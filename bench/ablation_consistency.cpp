@@ -1,0 +1,107 @@
+// Ablation: consistency protocol x object size.
+//
+// DESIGN.md calls out the choice of consistency protocol as the dominant
+// factor in put latency (§3.3.1 tradeoff discussion). This sweep measures
+// put and get latency from a US West application for each protocol across
+// object sizes, quantifying the tradeoffs the paper describes
+// qualitatively:
+//   MultiPrimaries    — lock RTT + synchronous broadcast (slowest put,
+//                       always-fresh reads everywhere)
+//   PrimaryBackupSync — no lock; pays forward + broadcast at the primary
+//   PrimaryBackupAsync— forward only; replicas lag
+//   Eventual          — local write only (fastest put)
+#include "harness.h"
+#include "common/units.h"
+
+using namespace wiera::bench;
+namespace geo = wiera::geo;
+using namespace wiera;
+
+namespace {
+
+struct Point {
+  std::string protocol;
+  int64_t size;
+  Duration put_mean;
+  Duration get_mean;
+};
+
+Point run_point(const std::string& protocol, std::string_view policy_src,
+                int64_t object_size, uint64_t seed) {
+  PaperCluster cluster(seed);
+  auto options = cluster.options_for(policy_src);
+  options.queue_flush_interval = msec(100);
+  auto peers = cluster.controller.start_instances("abl", std::move(options));
+  if (!peers.ok()) std::abort();
+  if (protocol == "PrimaryBackupAsync") {
+    // Same policy as PrimaryBackupSync but with queued updates.
+    bool done = false;
+    auto flip = [&]() -> sim::Task<void> {
+      Status st = co_await cluster.controller.change_consistency(
+          "abl", geo::ConsistencyMode::kPrimaryBackupAsync);
+      if (!st.ok()) std::abort();
+      done = true;
+      cluster.sim.stop();
+    };
+    cluster.sim.spawn(flip());
+    cluster.sim.run();
+    if (!done) std::abort();
+  }
+
+  geo::WieraClient client(cluster.sim, cluster.network, cluster.registry,
+                          "app", "client-us-west", *peers);
+  Point point;
+  point.protocol = protocol;
+  point.size = object_size;
+  LatencyHistogram put_hist, get_hist;
+  cluster.run([&]() -> sim::Task<void> {
+    for (int i = 0; i < 40; ++i) {
+      const std::string key = "k" + std::to_string(i % 8);
+      TimePoint start = cluster.sim.now();
+      auto put = co_await client.put(
+          key, Blob::zeros(static_cast<size_t>(object_size)));
+      if (put.ok()) put_hist.record(cluster.sim.now() - start);
+      start = cluster.sim.now();
+      auto got = co_await client.get(key);
+      if (got.ok()) get_hist.record(cluster.sim.now() - start);
+    }
+  });
+  point.put_mean = put_hist.mean();
+  point.get_mean = get_hist.mean();
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t sizes[] = {1 * KiB, 64 * KiB, 1 * MiB};
+  struct Protocol {
+    const char* name;
+    std::string_view (*policy)();
+  };
+  const Protocol protocols[] = {
+      {"MultiPrimaries", policy::builtin::multi_primaries_consistency},
+      {"PrimaryBackupSync", policy::builtin::primary_backup_consistency},
+      {"PrimaryBackupAsync", policy::builtin::primary_backup_consistency},
+      {"Eventual", policy::builtin::eventual_consistency},
+  };
+
+  print_header("Ablation: put/get latency (ms) by protocol and object size, "
+               "client in US West");
+  print_row({"protocol", "size", "put_ms", "get_ms"}, 20);
+  for (const Protocol& protocol : protocols) {
+    for (int64_t size : sizes) {
+      Point p = run_point(protocol.name, protocol.policy(), size, 3);
+      print_row({p.protocol,
+                 p.size >= MiB ? str_format("%lldMiB", (long long)(p.size / MiB))
+                               : str_format("%lldKiB", (long long)(p.size / KiB)),
+                 fmt_ms(p.put_mean), fmt_ms(p.get_mean)},
+                20);
+    }
+  }
+  std::printf(
+      "\nexpected shape: put latency MultiPrimaries > PrimaryBackupSync > "
+      "PrimaryBackupAsync > Eventual; gets fast everywhere (local "
+      "replicas)\n");
+  return 0;
+}

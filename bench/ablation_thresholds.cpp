@@ -1,0 +1,110 @@
+// Ablation: DynamicConsistency threshold sensitivity.
+//
+// The Fig. 5a policy hard-codes 800 ms / 30 s. This sweep varies both
+// thresholds under the same injected-delay schedule as the Fig. 7 bench
+// and reports how many consistency switches occur and the application's
+// mean put latency — quantifying the stability/responsiveness tradeoff:
+// a low period threshold reacts to transients (more switches); a high
+// latency threshold never reacts at all.
+#include "harness.h"
+
+using namespace wiera::bench;
+namespace geo = wiera::geo;
+using namespace wiera;
+
+namespace {
+
+std::string dynamic_policy(int latency_ms, int period_s) {
+  return str_format(R"(
+Wiera DynamicConsistency() {
+   event(threshold.type == put) : response {
+      if(threshold.latency > %d ms
+         && threshold.period > %d seconds)
+         change_policy(what:consistency,
+                       to:EventualConsistency);
+      else if (threshold.latency <= %d ms
+               && threshold.period > %d seconds)
+         change_policy(what:consistency,
+                       to:MultiPrimariesConsistency);
+   }
+}
+)",
+                    latency_ms, period_s, latency_ms, period_s);
+}
+
+struct Outcome {
+  int64_t switches;
+  double mean_put_ms;
+};
+
+Outcome run_grid_point(int latency_ms, int period_s) {
+  PaperCluster cluster(5);
+  auto options =
+      cluster.options_for(policy::builtin::multi_primaries_consistency());
+  auto dyn = policy::parse_policy(dynamic_policy(latency_ms, period_s));
+  if (!dyn.ok()) std::abort();
+  options.dynamic_consistency = std::move(dyn).value();
+  auto peers = cluster.controller.start_instances("grid", std::move(options));
+  if (!peers.ok()) std::abort();
+
+  // Same delay schedule as Fig. 7: two sustained delays + one transient.
+  cluster.network.topology().inject_node_delay(
+      "tiera-eu-west", msec(600), TimePoint(sec(60).us()),
+      TimePoint(sec(110).us()));
+  cluster.network.topology().inject_node_delay(
+      "tiera-eu-west", msec(600), TimePoint(sec(170).us()),
+      TimePoint(sec(215).us()));
+  cluster.network.topology().inject_node_delay(
+      "tiera-eu-west", msec(600), TimePoint(sec(270).us()),
+      TimePoint(sec(285).us()));
+
+  std::vector<std::unique_ptr<geo::WieraClient>> clients;
+  LatencyHistogram put_hist;
+  bool stop = false;
+  auto writer = [&](geo::WieraClient* client, bool record) -> sim::Task<void> {
+    int i = 0;
+    while (!stop) {
+      const TimePoint start = cluster.sim.now();
+      auto put = co_await client->put("k" + std::to_string(i++ % 8),
+                                      Blob::zeros(1024));
+      if (record && put.ok()) put_hist.record(cluster.sim.now() - start);
+      co_await cluster.sim.delay(msec(500));
+    }
+  };
+  for (const std::string& region : paper_regions()) {
+    clients.push_back(std::make_unique<geo::WieraClient>(
+        cluster.sim, cluster.network, cluster.registry, "app-" + region,
+        "client-" + region, *peers));
+    cluster.sim.spawn(writer(clients.back().get(), region == "us-west"));
+  }
+  cluster.sim.run_until(TimePoint(sec(330).us()));
+  stop = true;
+  return Outcome{cluster.controller.consistency_changes(),
+                 put_hist.mean().ms()};
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: DynamicConsistency threshold grid (same fault "
+               "schedule as Fig. 7: two sustained delays + one 15 s "
+               "transient)");
+  print_row({"latency_thr", "period_thr", "switches", "mean_put_ms"}, 16);
+  for (int latency_ms : {400, 800, 1600}) {
+    for (int period_s : {10, 30, 60}) {
+      Outcome o = run_grid_point(latency_ms, period_s);
+      print_row({str_format("%dms", latency_ms), str_format("%ds", period_s),
+                 str_format("%lld", (long long)o.switches),
+                 str_format("%.1f", o.mean_put_ms)},
+                16);
+    }
+  }
+  std::printf(
+      "\nreading: short periods (10s) also react to the transient delay and "
+      "to jitter flapping near the threshold (extra switches, e.g. 1600ms "
+      "sits right at the delayed put latency of ~1.5s); long periods (60s) "
+      "miss real sustained faults entirely; the paper's 800ms/30s point "
+      "switches exactly on the two sustained delays and ignores the "
+      "transient.\n");
+  return 0;
+}

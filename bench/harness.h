@@ -1,0 +1,105 @@
+// Shared setup for the paper-reproduction benches: the §5 deployment
+// (Wiera controller + ZooKeeper in US East; Tiera servers in US East,
+// US West, EU West, Asia East; clients co-located with instances) and
+// small table-printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "policy/builtin_policies.h"
+#include "policy/parser.h"
+#include "wiera/client.h"
+#include "wiera/controller.h"
+
+namespace wiera::bench {
+
+// The four paper regions, in the order the paper lists them.
+inline const std::vector<std::string>& paper_regions() {
+  static const std::vector<std::string> kRegions = {
+      "us-west", "us-east", "eu-west", "asia-east"};
+  return kRegions;
+}
+
+struct PaperCluster {
+  sim::Simulation sim;
+  net::Network network;
+  rpc::Registry registry;
+  geo::WieraController controller;
+  std::vector<std::unique_ptr<geo::TieraServer>> servers;
+
+  explicit PaperCluster(uint64_t seed = 1, double jitter = 0.05)
+      : sim(seed),
+        network(sim, make_topology(jitter)),
+        controller(sim, network, registry,
+                   geo::WieraController::Config{"wiera-controller", sec(1),
+                                                  0}) {
+    for (const std::string& region : paper_regions()) {
+      const std::string node = "tiera-" + region;
+      servers.push_back(std::make_unique<geo::TieraServer>(
+          sim, network, registry, node));
+      controller.register_server(servers.back().get());
+    }
+  }
+
+  static net::Topology make_topology(double jitter) {
+    net::Topology topo = net::Topology::paper_default();
+    topo.set_jitter_fraction(jitter);
+    topo.add_node("wiera-controller", "aws-us-east");
+    for (const std::string& region : paper_regions()) {
+      topo.add_node("tiera-" + region, "aws-" + region);
+      topo.add_node("client-" + region, "aws-" + region);
+    }
+    return topo;
+  }
+
+  geo::WieraController::StartOptions options_for(
+      std::string_view policy_src, Duration timer_param = sec(10)) {
+    geo::WieraController::StartOptions options;
+    auto doc = policy::parse_policy(policy_src);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "policy parse error: %s\n",
+                   doc.status().to_string().c_str());
+      std::abort();
+    }
+    options.global = std::move(doc).value();
+    options.local_params["t"] = policy::Value::duration_of(timer_param);
+    return options;
+  }
+
+  // Run `body` then stop (instances keep timers alive forever otherwise).
+  template <typename F>
+  void run(F&& body) {
+    bool done = false;
+    auto wrapper = [](sim::Simulation& s, F b, bool& flag) -> sim::Task<void> {
+      co_await b();
+      flag = true;
+      s.stop();
+    };
+    sim.spawn(wrapper(sim, std::forward<F>(body), done));
+    sim.run();
+    if (!done) {
+      std::fprintf(stderr, "bench body did not complete\n");
+      std::abort();
+    }
+  }
+};
+
+// ---- output helpers ----
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) std::printf("%-*s", width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt_ms(Duration d) { return str_format("%.2f", d.ms()); }
+inline std::string fmt_pct(double f) { return str_format("%.0f%%", f * 100); }
+
+}  // namespace wiera::bench

@@ -1,0 +1,204 @@
+// Google-benchmark micro-benchmarks for the substrates: DES kernel event
+// throughput, task fan-out, RNG/zipfian generation, wire serialization,
+// policy parsing/evaluation, lock-service cycles, storage-tier ops.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "coord/lock_service.h"
+#include "policy/builtin_policies.h"
+#include "policy/eval.h"
+#include "policy/parser.h"
+#include "rpc/wire.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "store/tier.h"
+#include "ycsb/ycsb.h"
+
+namespace wiera {
+namespace {
+
+// ------------------------------------------------------------ sim kernel
+
+sim::Task<void> tick_loop(sim::Simulation& sim, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    co_await sim.delay(usec(1));
+  }
+}
+
+void BM_SimDelayEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim.spawn(tick_loop(sim, state.range(0)));
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimDelayEvents)->Arg(1000)->Arg(10000);
+
+sim::Task<int> small_task(sim::Simulation& sim) {
+  co_await sim.delay(usec(1));
+  co_return 1;
+}
+
+void BM_WhenAllFanout(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int total = 0;
+    auto driver = [](sim::Simulation& s, int n, int& out) -> sim::Task<void> {
+      std::vector<sim::Task<int>> tasks;
+      tasks.reserve(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) tasks.push_back(small_task(s));
+      auto results = co_await sim::when_all(s, std::move(tasks));
+      for (int v : results) out += v;
+    };
+    sim.spawn(driver(sim, width, total));
+    sim.run();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_WhenAllFanout)->Arg(8)->Arg(64)->Arg(512);
+
+// ------------------------------------------------------------ rng / ycsb
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ycsb::ZipfianGenerator gen(static_cast<uint64_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next(rng));
+}
+BENCHMARK(BM_ZipfianNext)->Arg(1000)->Arg(1000000);
+
+void BM_WorkloadGeneratorNext(benchmark::State& state) {
+  auto spec = ycsb::WorkloadSpec::a();
+  spec.record_count = 100000;
+  ycsb::WorkloadGenerator gen(spec, 7);
+  for (auto _ : state) {
+    auto op = gen.next();
+    benchmark::DoNotOptimize(op.key.size());
+  }
+}
+BENCHMARK(BM_WorkloadGeneratorNext);
+
+// ------------------------------------------------------------ wire format
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  const Blob payload = Blob::zeros(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    rpc::WireWriter w;
+    w.put_string("some-object-key");
+    w.put_i64(42);
+    w.put_blob(payload);
+    Bytes data = w.take();
+    rpc::WireReader r(data);
+    benchmark::DoNotOptimize(r.get_string());
+    benchmark::DoNotOptimize(r.get_i64());
+    benchmark::DoNotOptimize(r.get_blob().size());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WireRoundTrip)->Arg(128)->Arg(4096)->Arg(65536);
+
+// ------------------------------------------------------------ policy
+
+void BM_PolicyParse(benchmark::State& state) {
+  const std::string_view src = policy::builtin::multi_primaries_consistency();
+  for (auto _ : state) {
+    auto doc = policy::parse_policy(src);
+    benchmark::DoNotOptimize(doc.ok());
+  }
+}
+BENCHMARK(BM_PolicyParse);
+
+void BM_PolicyEvaluateCondition(benchmark::State& state) {
+  using namespace policy;
+  auto expr = make_binary(
+      BinaryOp::kAnd,
+      make_binary(BinaryOp::kGt, make_path({"threshold", "latency"}),
+                  make_literal(Value::duration_of(msec(800)))),
+      make_binary(BinaryOp::kGt, make_path({"threshold", "period"}),
+                  make_literal(Value::duration_of(sec(30)))));
+  MapContext ctx;
+  ctx.set("threshold.latency", Value::duration_of(msec(900)));
+  ctx.set("threshold.period", Value::duration_of(sec(45)));
+  for (auto _ : state) {
+    auto v = evaluate_condition(*expr, ctx);
+    benchmark::DoNotOptimize(v.ok());
+  }
+}
+BENCHMARK(BM_PolicyEvaluateCondition);
+
+// ------------------------------------------------------------ lock service
+
+void BM_LockAcquireReleaseCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    net::Topology topo;
+    topo.add_datacenter("dc", net::Provider::kAws, "us-east");
+    topo.set_jitter_fraction(0);
+    topo.add_node("zk", "dc");
+    topo.add_node("client", "dc");
+    net::Network network(sim, std::move(topo));
+    rpc::Registry registry;
+    rpc::Endpoint zk_ep(network, registry, "zk");
+    coord::LockService service(sim, zk_ep);
+    rpc::Endpoint client_ep(network, registry, "client");
+    coord::LockClient client(client_ep, "zk");
+    state.ResumeTiming();
+
+    auto body = [](coord::LockClient c, int64_t n) -> sim::Task<void> {
+      for (int64_t i = 0; i < n; ++i) {
+        co_await c.acquire("k");
+        co_await c.release("k");
+      }
+    };
+    sim.spawn(body(client, state.range(0)));
+    sim.run();
+    benchmark::DoNotOptimize(service.acquires_served());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LockAcquireReleaseCycle)->Arg(100);
+
+// ------------------------------------------------------------ storage tiers
+
+void BM_MemoryTierPutGet(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    store::TierSpec spec;
+    spec.name = "mem";
+    spec.kind = store::TierKind::kMemory;
+    spec.capacity_bytes = 1 * GiB;
+    spec.jitter_fraction = 0;
+    auto tier = store::make_tier(sim, spec);
+    state.ResumeTiming();
+
+    auto body = [](store::StorageTier* t, int64_t n) -> sim::Task<void> {
+      for (int64_t i = 0; i < n; ++i) {
+        co_await t->put("k" + std::to_string(i % 32), Blob::zeros(4096), {});
+        auto r = co_await t->get("k" + std::to_string(i % 32), {});
+        (void)r;
+      }
+    };
+    sim.spawn(body(tier.get(), state.range(0)));
+    sim.run();
+    benchmark::DoNotOptimize(tier->stats().gets);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_MemoryTierPutGet)->Arg(256);
+
+}  // namespace
+}  // namespace wiera
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper figure/table.
+#   scripts/run_all.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+{
+  for b in "$BUILD"/bench/*; do
+    if [ -x "$b" ] && [ ! -d "$b" ]; then
+      echo "##### $(basename "$b")"
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"

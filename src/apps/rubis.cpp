@@ -1,0 +1,122 @@
+#include "apps/rubis.h"
+
+namespace wiera::apps {
+
+sim::Task<Status> RubisApp::populate() {
+  WIERA_CO_RETURN_IF_ERROR(db_->create_table("users", kUserRow));
+  WIERA_CO_RETURN_IF_ERROR(db_->create_table("items", kItemRow));
+  WIERA_CO_RETURN_IF_ERROR(db_->create_table("bids", kBidRow));
+  WIERA_CO_RETURN_IF_ERROR(db_->create_table("comments", kCommentRow));
+
+  for (int64_t i = 0; i < options_.users; ++i) {
+    auto id = co_await db_->insert(
+        "users", Blob::zeros(static_cast<size_t>(kUserRow)));
+    if (!id.ok()) co_return id.status();
+  }
+  for (int64_t i = 0; i < options_.items; ++i) {
+    auto id = co_await db_->insert(
+        "items", Blob::zeros(static_cast<size_t>(kItemRow)));
+    if (!id.ok()) co_return id.status();
+  }
+  co_return ok_status();
+}
+
+sim::Task<Status> RubisApp::browse(Rng& rng) {
+  // Category browse: a handful of item selects.
+  for (int i = 0; i < 3; ++i) {
+    auto row = co_await db_->select(
+        "items", rng.uniform_int(0, db_->row_count("items") - 1));
+    if (!row.ok()) co_return row.status();
+  }
+  co_return ok_status();
+}
+
+sim::Task<Status> RubisApp::view_item(Rng& rng) {
+  auto item = co_await db_->select(
+      "items", rng.uniform_int(0, db_->row_count("items") - 1));
+  if (!item.ok()) co_return item.status();
+  // Seller profile lookup.
+  auto seller = co_await db_->select(
+      "users", rng.uniform_int(0, db_->row_count("users") - 1));
+  co_return seller.status();
+}
+
+sim::Task<Status> RubisApp::place_bid(Rng& rng) {
+  auto item = co_await db_->select(
+      "items", rng.uniform_int(0, db_->row_count("items") - 1));
+  if (!item.ok()) co_return item.status();
+  auto bid = co_await db_->insert(
+      "bids", Blob::zeros(static_cast<size_t>(kBidRow)));
+  co_return bid.status();
+}
+
+sim::Task<Status> RubisApp::sell_item(Rng& /*rng*/) {
+  auto item = co_await db_->insert(
+      "items", Blob::zeros(static_cast<size_t>(kItemRow)));
+  co_return item.status();
+}
+
+sim::Task<Status> RubisApp::view_user(Rng& rng) {
+  auto user = co_await db_->select(
+      "users", rng.uniform_int(0, db_->row_count("users") - 1));
+  co_return user.status();
+}
+
+sim::Task<Status> RubisApp::comment(Rng& rng) {
+  auto user = co_await db_->select(
+      "users", rng.uniform_int(0, db_->row_count("users") - 1));
+  if (!user.ok()) co_return user.status();
+  auto row = co_await db_->insert(
+      "comments", Blob::zeros(static_cast<size_t>(kCommentRow)));
+  co_return row.status();
+}
+
+sim::Task<void> RubisApp::client_loop(uint64_t seed) {
+  Rng rng(seed);
+  while (!stop_) {
+    // RUBiS bidding mix: mostly reads with ~15% writing interactions.
+    const double roll = rng.next_double();
+    Status st = ok_status();
+    if (roll < 0.30) {
+      st = co_await browse(rng);
+    } else if (roll < 0.60) {
+      st = co_await view_item(rng);
+    } else if (roll < 0.70) {
+      st = co_await view_user(rng);
+    } else if (roll < 0.80) {
+      st = co_await place_bid(rng);
+    } else if (roll < 0.85) {
+      st = co_await sell_item(rng);
+    } else if (roll < 0.90) {
+      st = co_await comment(rng);
+    } else {
+      st = co_await view_item(rng);
+    }
+    (void)st;  // errors count as failed page loads; session continues
+    total_requests_++;
+    if (measuring_) measured_requests_++;
+    co_await sim_->delay(options_.think_time);
+  }
+}
+
+sim::Task<Result<RubisResult>> RubisApp::run() {
+  stop_ = false;
+  for (int c = 0; c < options_.clients; ++c) {
+    sim_->spawn(client_loop(options_.seed * 7919 + static_cast<uint64_t>(c)));
+  }
+
+  co_await sim_->delay(options_.ramp_up);
+  measuring_ = true;
+  measured_requests_ = 0;
+  const TimePoint measure_start = sim_->now();
+  co_await sim_->delay(options_.measure);
+  measuring_ = false;
+  RubisResult result;
+  result.requests_measured = measured_requests_;
+  result.measure_window = sim_->now() - measure_start;
+  co_await sim_->delay(options_.ramp_down);
+  stop_ = true;
+  co_return result;
+}
+
+}  // namespace wiera::apps

@@ -1,0 +1,73 @@
+// RUBiS stand-in — the auction-site web benchmark used in §5.4.2.
+//
+// Models the RUBiS "bidding" interaction mix against the page-based table
+// store (MySQL stand-in): browsing, item views, bidding, selling, user
+// views and comments. N simulated clients run closed loops with think
+// time; throughput (requests/s) is measured between ramp-up and ramp-down,
+// exactly like the paper's 300 s run with 120 s up / 60 s down.
+#pragma once
+
+#include "apps/table_store.h"
+#include "common/rng.h"
+
+namespace wiera::apps {
+
+struct RubisOptions {
+  int64_t items = 50000;  // paper: 50,000 items
+  int64_t users = 50000;  // paper: 50,000 customers
+  int clients = 300;      // paper: 300 simulated clients
+  Duration ramp_up = sec(120);
+  Duration measure = sec(120);
+  Duration ramp_down = sec(60);
+  Duration think_time = msec(350);
+  uint64_t seed = 1;
+};
+
+struct RubisResult {
+  int64_t requests_measured = 0;
+  Duration measure_window;
+  double throughput_rps() const {
+    const double s = measure_window.seconds();
+    return s <= 0 ? 0 : static_cast<double>(requests_measured) / s;
+  }
+};
+
+class RubisApp {
+ public:
+  RubisApp(sim::Simulation& sim, TableStore& db, RubisOptions options)
+      : sim_(&sim), db_(&db), options_(options), rng_(options.seed) {}
+
+  // Create tables and load users/items (the paper's populated DB).
+  sim::Task<Status> populate();
+  // Run the full benchmark (ramp-up, measurement, ramp-down).
+  sim::Task<Result<RubisResult>> run();
+
+  int64_t total_requests() const { return total_requests_; }
+
+ private:
+  // One client session: repeats weighted interactions until told to stop.
+  sim::Task<void> client_loop(uint64_t seed);
+  // The interactions (each returns ok or logs-and-continues).
+  sim::Task<Status> browse(Rng& rng);
+  sim::Task<Status> view_item(Rng& rng);
+  sim::Task<Status> place_bid(Rng& rng);
+  sim::Task<Status> sell_item(Rng& rng);
+  sim::Task<Status> view_user(Rng& rng);
+  sim::Task<Status> comment(Rng& rng);
+
+  static constexpr int64_t kUserRow = 256;
+  static constexpr int64_t kItemRow = 512;
+  static constexpr int64_t kBidRow = 128;
+  static constexpr int64_t kCommentRow = 256;
+
+  sim::Simulation* sim_;
+  TableStore* db_;
+  RubisOptions options_;
+  Rng rng_;
+  bool stop_ = false;
+  bool measuring_ = false;
+  int64_t total_requests_ = 0;
+  int64_t measured_requests_ = 0;
+};
+
+}  // namespace wiera::apps

@@ -1,0 +1,77 @@
+#include "apps/sysbench.h"
+
+#include "common/rng.h"
+
+namespace wiera::apps {
+
+sim::Task<Status> SysbenchFileIo::prepare() {
+  vfs::OpenFlags flags;
+  flags.create = true;
+  flags.truncate = true;
+  flags.direct = options_.direct;
+  auto fd = fs_->open(kPath, flags);
+  if (!fd.ok()) co_return fd.status();
+
+  const int64_t bs = options_.block_size;
+  for (int64_t offset = 0; offset < options_.file_size; offset += bs) {
+    Blob block = Blob::zeros(static_cast<size_t>(bs));
+    auto written = co_await fs_->pwrite(*fd, offset, std::move(block));
+    if (!written.ok()) co_return written.status();
+  }
+  co_return fs_->close(*fd);
+}
+
+sim::Task<Result<SysbenchResult>> SysbenchFileIo::run() {
+  vfs::OpenFlags flags;
+  flags.direct = options_.direct;
+  auto fd = fs_->open(kPath, flags);
+  if (!fd.ok()) co_return fd.status();
+
+  const int64_t bs = options_.block_size;
+  const int64_t blocks = options_.file_size / bs;
+  SysbenchResult result;
+  const TimePoint start = sim_->now();
+
+  // Worker threads share one remaining-op counter (sysbench --num-threads).
+  struct Shared {
+    int64_t remaining;
+    int pending_threads;
+    SysbenchResult* result;
+  };
+  Shared shared{options_.operations, std::max(options_.threads, 1), &result};
+  sim::Event done(*sim_);
+
+  auto worker = [](SysbenchFileIo* self, Shared* sh, sim::Event* finished,
+                   int fd_num, int64_t block_count,
+                   uint64_t seed) -> sim::Task<void> {
+    Rng rng(seed);
+    const int64_t block_size = self->options_.block_size;
+    while (sh->remaining > 0) {
+      sh->remaining--;
+      const int64_t block = rng.uniform_int(0, block_count - 1);
+      const int64_t offset = block * block_size;
+      if (rng.bernoulli(self->options_.read_fraction)) {
+        auto r = co_await self->fs_->pread(fd_num, offset, block_size);
+        if (r.ok()) sh->result->reads++;
+      } else {
+        Blob data = Blob::zeros(static_cast<size_t>(block_size));
+        auto w = co_await self->fs_->pwrite(fd_num, offset, std::move(data));
+        if (w.ok()) sh->result->writes++;
+      }
+    }
+    if (--sh->pending_threads == 0) finished->set();
+  };
+
+  for (int t = 0; t < std::max(options_.threads, 1); ++t) {
+    sim_->spawn(worker(this, &shared, &done, *fd, blocks,
+                       options_.seed * 1301 + static_cast<uint64_t>(t)));
+  }
+  co_await done.wait();
+
+  result.elapsed = sim_->now() - start;
+  Status st = fs_->close(*fd);
+  if (!st.ok()) co_return st;
+  co_return result;
+}
+
+}  // namespace wiera::apps

@@ -1,0 +1,50 @@
+// SysBench fileio stand-in (§5.4.1).
+//
+// Random-I/O benchmark over the WieraVfs: prepare a test file, then issue a
+// random read/write mix with O_DIRECT (as the paper configures to avoid
+// double caching) and report IOPS.
+#pragma once
+
+#include "vfs/vfs.h"
+
+namespace wiera::apps {
+
+struct SysbenchOptions {
+  int64_t file_size = 64 * MiB;
+  int64_t block_size = 16 * KiB;
+  int64_t operations = 500;     // total across all threads
+  int threads = 1;              // sysbench --num-threads
+  double read_fraction = 0.5;   // rndrw default mix
+  bool direct = true;           // O_DIRECT
+  uint64_t seed = 1;
+};
+
+struct SysbenchResult {
+  int64_t reads = 0;
+  int64_t writes = 0;
+  Duration elapsed;
+  double iops() const {
+    const double s = elapsed.seconds();
+    return s <= 0 ? 0 : static_cast<double>(reads + writes) / s;
+  }
+};
+
+class SysbenchFileIo {
+ public:
+  SysbenchFileIo(sim::Simulation& sim, vfs::WieraVfs& fs,
+                 SysbenchOptions options)
+      : sim_(&sim), fs_(&fs), options_(options) {}
+
+  // Write the test file sequentially (sysbench `prepare`).
+  sim::Task<Status> prepare();
+  // Random r/w phase (sysbench `run` with fileio rndrw).
+  sim::Task<Result<SysbenchResult>> run();
+
+ private:
+  sim::Simulation* sim_;
+  vfs::WieraVfs* fs_;
+  SysbenchOptions options_;
+  static constexpr const char* kPath = "/sysbench/testfile";
+};
+
+}  // namespace wiera::apps

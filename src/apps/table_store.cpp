@@ -1,0 +1,155 @@
+#include "apps/table_store.h"
+
+#include <cstring>
+
+namespace wiera::apps {
+
+TableStore::TableStore(sim::Simulation& sim, vfs::WieraVfs& fs,
+                       Options options)
+    : sim_(&sim), fs_(&fs), options_(options) {}
+
+Status TableStore::create_table(const std::string& name, int64_t row_size) {
+  if (tables_.count(name) > 0) return already_exists("table " + name);
+  if (row_size <= 0 || row_size > options_.page_size) {
+    return invalid_argument("row size must fit a page");
+  }
+  Table table;
+  table.name = name;
+  table.row_size = row_size;
+  vfs::OpenFlags flags;
+  flags.create = true;
+  flags.direct = options_.direct;
+  auto fd = fs_->open("/db/" + name + ".ibd", flags);
+  if (!fd.ok()) return fd.status();
+  table.fd = *fd;
+  tables_[name] = table;
+  return ok_status();
+}
+
+int64_t TableStore::row_count(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? 0 : it->second.rows;
+}
+
+const Blob* TableStore::pool_lookup(const PageKey& key) {
+  auto it = pool_.find(key);
+  if (it == pool_.end()) return nullptr;
+  pool_lru_.erase(it->second.lru_it);
+  pool_lru_.push_front(key);
+  it->second.lru_it = pool_lru_.begin();
+  return &it->second.data;
+}
+
+void TableStore::pool_touch(const PageKey& key, Blob data) {
+  auto it = pool_.find(key);
+  if (it != pool_.end()) {
+    pool_bytes_ -= static_cast<int64_t>(it->second.data.size());
+    pool_lru_.erase(it->second.lru_it);
+    pool_.erase(it);
+  }
+  pool_bytes_ += static_cast<int64_t>(data.size());
+  pool_lru_.push_front(key);
+  pool_[key] = PoolEntry{std::move(data), pool_lru_.begin()};
+  pool_evict_to_fit();
+}
+
+void TableStore::pool_evict_to_fit() {
+  while (pool_bytes_ > options_.buffer_pool_bytes && !pool_lru_.empty()) {
+    const PageKey victim = pool_lru_.back();
+    pool_lru_.pop_back();
+    auto it = pool_.find(victim);
+    pool_bytes_ -= static_cast<int64_t>(it->second.data.size());
+    pool_.erase(it);
+  }
+}
+
+sim::Task<Result<Blob>> TableStore::read_page(Table& table, int64_t page) {
+  const PageKey key{table.name, page};
+  if (const Blob* cached = pool_lookup(key)) {
+    pool_hits_++;
+    // Copy before suspending: a concurrent client's pool_touch may evict
+    // this entry while we model the access latency (Blob copies share the
+    // underlying buffer, so this is cheap).
+    Blob data = *cached;
+    co_await sim_->delay(usec(5));  // in-memory page access
+    co_return data;
+  }
+  pool_misses_++;
+  Bytes data;
+  auto read = co_await fs_->pread(table.fd, page * options_.page_size,
+                                  options_.page_size, &data);
+  if (!read.ok()) co_return read.status();
+  data.resize(static_cast<size_t>(options_.page_size), 0);
+  Blob blob(std::move(data));
+  pool_touch(key, blob);
+  co_return blob;
+}
+
+sim::Task<Status> TableStore::write_page(Table& table, int64_t page,
+                                         Blob data) {
+  const PageKey key{table.name, page};
+  pool_touch(key, data);
+  auto written = co_await fs_->pwrite(table.fd, page * options_.page_size,
+                                      std::move(data));
+  if (!written.ok()) co_return written.status();
+  co_return ok_status();
+}
+
+sim::Task<Result<int64_t>> TableStore::insert(std::string table_name,
+                                              Blob row) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) co_return not_found("table " + table_name);
+  Table& table = it->second;
+  if (static_cast<int64_t>(row.size()) > table.row_size) {
+    co_return invalid_argument("row too large");
+  }
+  const int64_t row_id = table.rows;
+  Status st = co_await update(table_name, row_id, std::move(row));
+  if (!st.ok()) co_return st;
+  table.rows = row_id + 1;
+  co_return row_id;
+}
+
+sim::Task<Result<Blob>> TableStore::select(std::string table_name,
+                                           int64_t row_id) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) co_return not_found("table " + table_name);
+  Table& table = it->second;
+  if (row_id < 0 || row_id >= table.rows) {
+    co_return not_found("row " + std::to_string(row_id));
+  }
+  const int64_t rows_per_page = options_.page_size / table.row_size;
+  const int64_t page = row_id / rows_per_page;
+  const int64_t in_page = (row_id % rows_per_page) * table.row_size;
+
+  auto page_data = co_await read_page(table, page);
+  if (!page_data.ok()) co_return page_data.status();
+  Bytes row(page_data->data() + in_page,
+            page_data->data() + in_page + table.row_size);
+  co_return Blob(std::move(row));
+}
+
+sim::Task<Status> TableStore::update(std::string table_name, int64_t row_id,
+                                     Blob row) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) co_return not_found("table " + table_name);
+  Table& table = it->second;
+  if (row_id < 0) co_return invalid_argument("bad row id");
+  const int64_t rows_per_page = options_.page_size / table.row_size;
+  const int64_t page = row_id / rows_per_page;
+  const int64_t in_page = (row_id % rows_per_page) * table.row_size;
+
+  // Read-modify-write the page.
+  auto page_data = co_await read_page(table, page);
+  Bytes merged(static_cast<size_t>(options_.page_size), 0);
+  if (page_data.ok()) {
+    std::memcpy(merged.data(), page_data->data(),
+                std::min<size_t>(page_data->size(), merged.size()));
+  }
+  std::memcpy(merged.data() + in_page, row.data(),
+              std::min<size_t>(row.size(),
+                               static_cast<size_t>(table.row_size)));
+  co_return co_await write_page(table, page, Blob(std::move(merged)));
+}
+
+}  // namespace wiera::apps

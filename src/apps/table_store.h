@@ -1,0 +1,94 @@
+// Minimal page-based table storage engine — the MySQL/InnoDB stand-in for
+// the RUBiS experiment (§5.4.2).
+//
+// Rows live in fixed-size pages stored in one VFS file per table; a small
+// LRU buffer pool fronts page reads. The paper configures MySQL with
+// O_DIRECT and a 16 MB InnoDB buffer (the minimum), so almost every page
+// touch hits the backing store — either the throttled local disk or the
+// remote memory tier through Wiera. That storage path is exactly what
+// Fig. 12 measures.
+#pragma once
+
+#include <list>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "vfs/vfs.h"
+
+namespace wiera::apps {
+
+class TableStore {
+ public:
+  struct Options {
+    int64_t page_size = 16 * KiB;          // InnoDB page size
+    int64_t buffer_pool_bytes = 16 * MiB;  // paper: minimum 16MB buffer
+    bool direct = true;                    // O_DIRECT
+  };
+
+  TableStore(sim::Simulation& sim, vfs::WieraVfs& fs, Options options);
+  TableStore(sim::Simulation& sim, vfs::WieraVfs& fs)
+      : TableStore(sim, fs, Options{}) {}
+
+  Status create_table(const std::string& name, int64_t row_size);
+  bool has_table(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  int64_t row_count(const std::string& name) const;
+
+  // Row operations. Rows are addressed by id; insert appends at the next
+  // id and returns it.
+  sim::Task<Result<int64_t>> insert(std::string table, Blob row);
+  sim::Task<Result<Blob>> select(std::string table, int64_t row_id);
+  sim::Task<Status> update(std::string table, int64_t row_id, Blob row);
+
+  // Stats for the benchmark report.
+  int64_t buffer_pool_hits() const { return pool_hits_; }
+  int64_t buffer_pool_misses() const { return pool_misses_; }
+
+ private:
+  struct Table {
+    std::string name;
+    int64_t row_size = 0;
+    int64_t rows = 0;
+    int fd = -1;
+  };
+
+  struct PageKey {
+    std::string table;
+    int64_t page;
+    bool operator==(const PageKey& o) const {
+      return page == o.page && table == o.table;
+    }
+  };
+  struct PageKeyHash {
+    size_t operator()(const PageKey& k) const {
+      return std::hash<std::string>()(k.table) ^
+             std::hash<int64_t>()(k.page) * 1099511628211ull;
+    }
+  };
+
+  sim::Task<Result<Blob>> read_page(Table& table, int64_t page);
+  sim::Task<Status> write_page(Table& table, int64_t page, Blob data);
+  void pool_touch(const PageKey& key, Blob data);
+  const Blob* pool_lookup(const PageKey& key);
+  void pool_evict_to_fit();
+
+  sim::Simulation* sim_;
+  vfs::WieraVfs* fs_;
+  Options options_;
+  std::map<std::string, Table> tables_;
+
+  // Buffer pool: LRU over pages.
+  struct PoolEntry {
+    Blob data;
+    std::list<PageKey>::iterator lru_it;
+  };
+  std::unordered_map<PageKey, PoolEntry, PageKeyHash> pool_;
+  std::list<PageKey> pool_lru_;
+  int64_t pool_bytes_ = 0;
+  int64_t pool_hits_ = 0;
+  int64_t pool_misses_ = 0;
+};
+
+}  // namespace wiera::apps

@@ -1,0 +1,69 @@
+// Byte-buffer type and helpers for object payloads.
+//
+// Objects in Wiera are uninterpreted byte sequences (§2.2 of the paper).
+// Payloads can be large and are shared between replicas inside one process,
+// so the canonical representation is a shared immutable buffer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wiera {
+
+using Bytes = std::vector<uint8_t>;
+
+// Immutable, cheaply copyable payload. A put() captures the bytes once;
+// replication/copy responses then share the buffer instead of duplicating
+// multi-megabyte values per replica.
+class Blob {
+ public:
+  Blob() = default;
+  explicit Blob(Bytes data)
+      : data_(std::make_shared<const Bytes>(std::move(data))) {}
+  explicit Blob(std::string_view s)
+      : Blob(Bytes(s.begin(), s.end())) {}
+
+  // A zero-filled payload of the given size (workload generators use this;
+  // content does not matter, size drives transfer and storage costs).
+  static Blob zeros(size_t size) { return Blob(Bytes(size, 0)); }
+
+  size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const uint8_t* data() const { return data_ ? data_->data() : nullptr; }
+
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data()), size()};
+  }
+  std::string to_string() const { return std::string(view()); }
+
+  friend bool operator==(const Blob& a, const Blob& b) {
+    if (a.size() != b.size()) return false;
+    if (a.data_ == b.data_) return true;
+    return a.size() == 0 ||
+           std::memcmp(a.data(), b.data(), a.size()) == 0;
+  }
+
+ private:
+  std::shared_ptr<const Bytes> data_;
+};
+
+// FNV-1a 64-bit — stable content hash for dedup checks and key scrambling.
+inline uint64_t fnv1a64(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+inline uint64_t fnv1a64(std::string_view s) {
+  return fnv1a64(s.data(), s.size());
+}
+
+}  // namespace wiera

@@ -1,0 +1,80 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wiera {
+
+namespace {
+// Geometric bucket growth factor. Bucket 0 covers [0, 1] µs.
+constexpr double kGrowth = 1.12;
+}  // namespace
+
+int LatencyHistogram::bucket_for(int64_t us) {
+  if (us <= 1) return 0;
+  const int b = static_cast<int>(std::log(static_cast<double>(us)) /
+                                 std::log(kGrowth)) + 1;
+  return std::min(b, kBuckets - 1);
+}
+
+int64_t LatencyHistogram::bucket_upper_us(int bucket) {
+  if (bucket <= 0) return 1;
+  return static_cast<int64_t>(std::pow(kGrowth, bucket));
+}
+
+void LatencyHistogram::record(Duration d) {
+  const int64_t us = std::max<int64_t>(d.us(), 0);
+  counts_[static_cast<size_t>(bucket_for(us))]++;
+  total_count_++;
+  sum_us_ += us;
+  if (d < min_) min_ = d;
+  if (d > max_) max_ = d;
+}
+
+Duration LatencyHistogram::percentile(double q) const {
+  if (total_count_ == 0) return Duration::zero();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(total_count_)));
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[static_cast<size_t>(b)];
+    if (seen >= target) {
+      return Duration(std::min(bucket_upper_us(b), max_.us()));
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    counts_[static_cast<size_t>(b)] += other.counts_[static_cast<size_t>(b)];
+  }
+  total_count_ += other.total_count_;
+  sum_us_ += other.sum_us_;
+  if (other.total_count_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+}
+
+void LatencyHistogram::reset() {
+  counts_.fill(0);
+  total_count_ = 0;
+  sum_us_ = 0;
+  min_ = Duration::max();
+  max_ = Duration::zero();
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld mean=%s p50=%s p95=%s p99=%s max=%s",
+                static_cast<long long>(total_count_),
+                mean().to_string().c_str(), p50().to_string().c_str(),
+                p95().to_string().c_str(), p99().to_string().c_str(),
+                max().to_string().c_str());
+  return buf;
+}
+
+}  // namespace wiera

@@ -1,0 +1,71 @@
+// Latency histogram with log-spaced buckets and exact percentile support
+// for the value ranges experiments care about (1 µs .. ~100 s).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace wiera {
+
+// Records durations; reports count/mean/min/max and percentiles. Buckets are
+// log1.12-spaced which keeps percentile error under ~6% across the range —
+// plenty for comparing hundreds-of-ms WAN latencies against sub-ms memory
+// hits.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() { counts_.fill(0); }
+
+  void record(Duration d);
+
+  int64_t count() const { return total_count_; }
+  Duration min() const { return total_count_ ? min_ : Duration::zero(); }
+  Duration max() const { return max_; }
+  Duration mean() const {
+    return total_count_ ? Duration(sum_us_ / total_count_) : Duration::zero();
+  }
+  // q in [0,1]; returns bucket-upper-bound approximation.
+  Duration percentile(double q) const;
+  Duration p50() const { return percentile(0.50); }
+  Duration p95() const { return percentile(0.95); }
+  Duration p99() const { return percentile(0.99); }
+
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  // e.g. "n=1000 mean=12.3ms p50=10ms p95=40ms p99=80ms max=120ms"
+  std::string summary() const;
+
+ private:
+  static constexpr int kBuckets = 256;
+  static int bucket_for(int64_t us);
+  static int64_t bucket_upper_us(int bucket);
+
+  std::array<int64_t, kBuckets> counts_{};
+  int64_t total_count_ = 0;
+  int64_t sum_us_ = 0;
+  Duration min_ = Duration::max();
+  Duration max_ = Duration::zero();
+};
+
+// Simple time-series recorder: (time, value) samples for timeline figures
+// (e.g. Fig. 7's put-latency-over-time plot).
+class TimeSeries {
+ public:
+  void record(TimePoint t, double value) { samples_.push_back({t, value}); }
+  struct Sample {
+    TimePoint time;
+    double value;
+  };
+  const std::vector<Sample>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace wiera

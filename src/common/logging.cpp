@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace wiera {
+
+namespace {
+LogLevel level_from_env() {
+  const char* env = std::getenv("WIERA_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger::Logger() : level_(level_from_env()) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  if (!enabled(level)) return;
+  if (time_source_) {
+    std::fprintf(stderr, "[%s %s %.*s] %.*s\n", level_tag(level),
+                 time_source_().to_string().c_str(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  } else {
+    std::fprintf(stderr, "[%s %.*s] %.*s\n", level_tag(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+}
+
+}  // namespace wiera

@@ -1,0 +1,67 @@
+// Minimal leveled logger. Simulation components log with virtual timestamps
+// (set via set_time_source) so traces line up with experiment timelines.
+// Logging is off by default in tests/benches; enable with WIERA_LOG=debug.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/time.h"
+
+namespace wiera {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  // Virtual-clock hook; when unset, messages carry no timestamp.
+  void set_time_source(std::function<TimePoint()> source) {
+    time_source_ = std::move(source);
+  }
+  void clear_time_source() { time_source_ = nullptr; }
+
+  void write(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::function<TimePoint()> time_source_;
+};
+
+namespace log_internal {
+struct Message {
+  Message(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~Message() {
+    Logger::instance().write(level_, component_, stream_.str());
+  }
+  template <typename T>
+  Message& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace log_internal
+
+#define WIERA_LOG(level, component)                                  \
+  if (!::wiera::Logger::instance().enabled(level)) {                 \
+  } else                                                             \
+    ::wiera::log_internal::Message(level, component)
+
+#define WLOG_DEBUG(component) WIERA_LOG(::wiera::LogLevel::kDebug, component)
+#define WLOG_INFO(component) WIERA_LOG(::wiera::LogLevel::kInfo, component)
+#define WLOG_WARN(component) WIERA_LOG(::wiera::LogLevel::kWarn, component)
+#define WLOG_ERROR(component) WIERA_LOG(::wiera::LogLevel::kError, component)
+
+}  // namespace wiera

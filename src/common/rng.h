@@ -1,0 +1,122 @@
+// Deterministic random number generation for simulations.
+//
+// xoshiro256** seeded via SplitMix64 — fast, high quality, and most
+// importantly *stable across platforms and standard libraries* (std::
+// distributions are not guaranteed to produce identical streams everywhere,
+// which would break bit-reproducible experiments). All distributions here
+// are implemented by hand for that reason.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace wiera {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+    has_cached_gaussian_ = false;
+  }
+
+  // Core generator: xoshiro256**.
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t next_below(uint64_t bound) {
+    assert(bound > 0);
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    next_below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Standard normal via Marsaglia polar method (deterministic given stream).
+  double gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * mul;
+    has_cached_gaussian_ = true;
+    return u * mul;
+  }
+
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  // Exponential with the given mean (inter-arrival style jitter).
+  double exponential(double mean) {
+    assert(mean > 0);
+    double u;
+    do { u = next_double(); } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  // Derive an independent child stream (for per-node/per-client RNGs).
+  Rng fork() { return Rng(next_u64() ^ 0xD1B54A32D192ED03ull); }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace wiera

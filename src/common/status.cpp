@@ -1,0 +1,51 @@
+#include "common/status.h"
+
+namespace wiera {
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out(status_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace {
+Status make(StatusCode code, std::string_view what) {
+  return Status(code, std::string(what));
+}
+}  // namespace
+
+Status not_found(std::string_view what) { return make(StatusCode::kNotFound, what); }
+Status already_exists(std::string_view what) { return make(StatusCode::kAlreadyExists, what); }
+Status invalid_argument(std::string_view what) { return make(StatusCode::kInvalidArgument, what); }
+Status failed_precondition(std::string_view what) { return make(StatusCode::kFailedPrecondition, what); }
+Status out_of_range(std::string_view what) { return make(StatusCode::kOutOfRange, what); }
+Status resource_exhausted(std::string_view what) { return make(StatusCode::kResourceExhausted, what); }
+Status unavailable(std::string_view what) { return make(StatusCode::kUnavailable, what); }
+Status deadline_exceeded(std::string_view what) { return make(StatusCode::kDeadlineExceeded, what); }
+Status aborted(std::string_view what) { return make(StatusCode::kAborted, what); }
+Status unimplemented(std::string_view what) { return make(StatusCode::kUnimplemented, what); }
+Status internal_error(std::string_view what) { return make(StatusCode::kInternal, what); }
+
+}  // namespace wiera

@@ -1,0 +1,149 @@
+// Status / Result<T> error-handling primitives used across the Wiera codebase.
+//
+// We avoid exceptions on data paths (the simulator resumes coroutines from a
+// scheduler loop where an escaping exception would tear down the whole
+// simulation); operations that can fail return Status or Result<T> instead.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace wiera {
+
+// Canonical error space, loosely modelled on absl::StatusCode but trimmed to
+// what a storage middleware needs.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kResourceExhausted,  // tier full, quota exceeded
+  kUnavailable,        // node down, network outage
+  kDeadlineExceeded,
+  kAborted,            // e.g. lost a conflict-resolution race
+  kUnimplemented,
+  kInternal,
+};
+
+std::string_view status_code_name(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (message empty).
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status() / ok_status() for OK");
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "CODE: message" rendering for logs and test failures.
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status ok_status() { return Status(); }
+Status not_found(std::string_view what);
+Status already_exists(std::string_view what);
+Status invalid_argument(std::string_view what);
+Status failed_precondition(std::string_view what);
+Status out_of_range(std::string_view what);
+Status resource_exhausted(std::string_view what);
+Status unavailable(std::string_view what);
+Status deadline_exceeded(std::string_view what);
+Status aborted(std::string_view what);
+Status unimplemented(std::string_view what);
+Status internal_error(std::string_view what);
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result<T> must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  // Status of the result; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(rep_) : fallback;
+  }
+
+  const T* operator->() const {
+    assert(ok());
+    return &std::get<T>(rep_);
+  }
+  T* operator->() {
+    assert(ok());
+    return &std::get<T>(rep_);
+  }
+  const T& operator*() const { return value(); }
+  T& operator*() { return value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagation helpers (statement-expression free, usable in coroutines).
+#define WIERA_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::wiera::Status _st = (expr);                     \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+// Coroutine variant: co_return instead of return.
+#define WIERA_CO_RETURN_IF_ERROR(expr)                \
+  do {                                                \
+    ::wiera::Status _st = (expr);                     \
+    if (!_st.ok()) co_return _st;                     \
+  } while (0)
+
+#define WIERA_CONCAT_INNER_(a, b) a##b
+#define WIERA_CONCAT_(a, b) WIERA_CONCAT_INNER_(a, b)
+
+#define WIERA_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+
+#define WIERA_ASSIGN_OR_RETURN(lhs, rexpr) \
+  WIERA_ASSIGN_OR_RETURN_IMPL_(WIERA_CONCAT_(_wiera_res_, __LINE__), lhs, rexpr)
+
+}  // namespace wiera

@@ -1,0 +1,29 @@
+#include "common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wiera {
+
+std::string Duration::to_string() const {
+  char buf[64];
+  const double abs_us = std::abs(static_cast<double>(us_));
+  if (abs_us < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us_));
+  } else if (abs_us < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3gms", static_cast<double>(us_) / 1e3);
+  } else if (abs_us < 6e7) {
+    std::snprintf(buf, sizeof(buf), "%.4gs", static_cast<double>(us_) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.5gmin", static_cast<double>(us_) / 6e7);
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t+%.6fs", static_cast<double>(us_) / 1e6);
+  return buf;
+}
+
+}  // namespace wiera

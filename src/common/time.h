@@ -1,0 +1,74 @@
+// Virtual-time types for the discrete-event simulation.
+//
+// All latencies and timestamps in the system are expressed in these strong
+// types. The unit is microseconds: fine enough for memory-tier service times
+// (hundreds of µs) and wide enough (int64) for months of simulated time,
+// which the cost model needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wiera {
+
+class Duration {
+ public:
+  constexpr Duration() : us_(0) {}
+  constexpr explicit Duration(int64_t microseconds) : us_(microseconds) {}
+
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() { return Duration(INT64_MAX); }
+
+  constexpr int64_t us() const { return us_; }
+  constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double hours() const { return static_cast<double>(us_) / 3.6e9; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(us_ + o.us_); }
+  constexpr Duration operator-(Duration o) const { return Duration(us_ - o.us_); }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(us_) * k));
+  }
+  constexpr Duration operator/(int64_t k) const { return Duration(us_ / k); }
+  Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string to_string() const;  // human-readable, e.g. "12.5ms"
+
+ private:
+  int64_t us_;
+};
+
+constexpr Duration usec(int64_t v) { return Duration(v); }
+constexpr Duration msec(double v) { return Duration(static_cast<int64_t>(v * 1e3)); }
+constexpr Duration sec(double v) { return Duration(static_cast<int64_t>(v * 1e6)); }
+constexpr Duration minutes(double v) { return Duration(static_cast<int64_t>(v * 6e7)); }
+constexpr Duration hoursd(double v) { return Duration(static_cast<int64_t>(v * 3.6e9)); }
+
+// A point in virtual time, measured from simulation start.
+class TimePoint {
+ public:
+  constexpr TimePoint() : us_(0) {}
+  constexpr explicit TimePoint(int64_t microseconds) : us_(microseconds) {}
+
+  static constexpr TimePoint origin() { return TimePoint(0); }
+  static constexpr TimePoint max() { return TimePoint(INT64_MAX); }
+
+  constexpr int64_t us() const { return us_; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(us_ + d.us()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(us_ - d.us()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration(us_ - o.us_); }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  int64_t us_;
+};
+
+}  // namespace wiera

@@ -1,0 +1,21 @@
+// Data-size units. Storage-tier capacities and object sizes are plain
+// int64 byte counts; these helpers keep call sites readable ("5 * GiB").
+#pragma once
+
+#include <cstdint>
+
+namespace wiera {
+
+inline constexpr int64_t KiB = 1024;
+inline constexpr int64_t MiB = 1024 * KiB;
+inline constexpr int64_t GiB = 1024 * MiB;
+inline constexpr int64_t TiB = 1024 * GiB;
+
+// Decimal GB, used by the pricing model (cloud providers bill decimal GB).
+inline constexpr int64_t GB = 1000LL * 1000 * 1000;
+
+inline constexpr double bytes_to_gb(int64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(GB);
+}
+
+}  // namespace wiera

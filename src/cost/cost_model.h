@@ -1,0 +1,64 @@
+// Cloud storage cost model — Table 4 of the paper (AWS US East prices,
+// 2016) plus the §5.3 cold-data savings arithmetic.
+//
+// Prices are per decimal GB (cloud billing convention). Network pricing:
+// free within a DC, $0.02/GB between AWS DCs, $0.09/GB to the Internet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/network.h"
+#include "store/tier.h"
+
+namespace wiera::cost {
+
+struct TierPricing {
+  double storage_gb_month = 0;  // $ per GB-month provisioned/stored
+  double put_per_10k = 0;       // $ per 10,000 put requests
+  double get_per_10k = 0;       // $ per 10,000 get requests
+};
+
+// Table 4 (+ Glacier from AWS's 2016 price sheet; the paper references it
+// as the archival option).
+TierPricing pricing_for(store::TierKind kind);
+
+inline constexpr double kEgressInternetPerGb = 0.09;  // Table 4
+inline constexpr double kCrossDcPerGb = 0.02;         // §5.3 "between AWS"
+
+class CostModel {
+ public:
+  // Monthly cost of storing `bytes` in a tier.
+  static double storage_cost_per_month(store::TierKind kind, int64_t bytes);
+  // Request charges for an operation mix.
+  static double request_cost(store::TierKind kind, int64_t puts,
+                             int64_t gets);
+  static double egress_cost_internet(int64_t bytes);
+  static double egress_cost_cross_dc(int64_t bytes);
+
+  // Bill a live tier: storage (pro-rated to `months`) + its recorded
+  // request counters.
+  static double bill_tier(const store::StorageTier& tier, double months);
+
+  // Bill the cross-DC traffic a simulation generated.
+  static double bill_traffic(const net::TrafficStats& traffic);
+};
+
+// The §5.3 worked example: an application holds `total_bytes` per instance,
+// `cold_fraction` of which has not been accessed within the policy
+// threshold; each of `regions` instances can demote its cold data to
+// S3-IA, and optionally share a single centralized S3-IA replica.
+struct ColdDataSavings {
+  double monthly_cost_hot_ssd;        // everything stays on EBS SSD
+  double monthly_cost_hot_hdd;        // everything stays on EBS HDD
+  double monthly_cost_tiered_ssd;     // hot on SSD + cold on S3-IA
+  double monthly_cost_tiered_hdd;     // hot on HDD + cold on S3-IA
+  double saving_per_instance_ssd;     // paper: ~$700/month for 10TB/80%
+  double saving_per_instance_hdd;     // paper: ~$300/month
+  double saving_centralized_extra;    // paper: ~$300 more across regions
+};
+
+ColdDataSavings cold_data_savings(int64_t total_bytes, double cold_fraction,
+                                  int regions);
+
+}  // namespace wiera::cost

@@ -1,0 +1,52 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+namespace wiera::net {
+
+TimePoint Network::reserve_nic(const std::string& from,
+                               const std::string& to, int64_t bytes) {
+  if (bytes <= 0) return sim_->now();
+  const double mbps = std::min(topology_.node(from).vm.net_mbps,
+                               topology_.node(to).vm.net_mbps);
+  const Duration ser = sec(static_cast<double>(bytes) / (mbps * 1e6));
+  TimePoint start = sim_->now();
+  auto from_it = nic_free_.find(from);
+  if (from_it != nic_free_.end()) start = std::max(start, from_it->second);
+  auto to_it = nic_free_.find(to);
+  if (to_it != nic_free_.end()) start = std::max(start, to_it->second);
+  const TimePoint end = start + ser;
+  nic_free_[from] = end;
+  nic_free_[to] = end;
+  return end;
+}
+
+sim::Task<Status> Network::transfer(std::string from, std::string to,
+                                    int64_t bytes) {
+  if (topology_.node_down(from, sim_->now()) ||
+      topology_.node_down(to, sim_->now())) {
+    co_await sim_->delay(kUnreachableDelay);
+    co_return unavailable("node unreachable: " + to);
+  }
+
+  // Serialization through the shared NICs, then propagation.
+  const TimePoint tx_done = reserve_nic(from, to, bytes);
+  const Duration propagation = topology_.sample_latency(
+      from, to, /*bytes=*/0, sim_->now(), sim_->rng());
+  co_await sim_->at(tx_done);
+  co_await sim_->delay(propagation);
+
+  // The destination may have gone down while the message was in flight.
+  if (topology_.node_down(to, sim_->now())) {
+    co_return unavailable("node went down mid-transfer: " + to);
+  }
+
+  traffic_.total_messages++;
+  traffic_.total_bytes += bytes;
+  const std::string& src_dc = topology_.node(from).datacenter;
+  const std::string& dst_dc = topology_.node(to).datacenter;
+  traffic_.dc_pair_bytes[{src_dc, dst_dc}] += bytes;
+  co_return ok_status();
+}
+
+}  // namespace wiera::net

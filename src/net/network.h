@@ -1,0 +1,77 @@
+// Simulated message transport over the Topology.
+//
+// transfer() models a one-way message: it completes after the sampled
+// latency (propagation + serialization + injected delay) or fails with
+// kUnavailable when an endpoint is inside an outage window. Traffic volume
+// is accounted per datacenter pair so the cost model can bill egress.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace wiera::net {
+
+// Byte counters used by cost accounting. "Egress" in cloud billing terms:
+// traffic leaving a DC (cross-DC or to the Internet) is charged; intra-DC
+// traffic is free (Table 4).
+struct TrafficStats {
+  int64_t total_messages = 0;
+  int64_t total_bytes = 0;
+  // bytes sent from dc -> dc (ordered pair)
+  std::map<std::pair<std::string, std::string>, int64_t> dc_pair_bytes;
+
+  int64_t cross_dc_bytes() const {
+    int64_t sum = 0;
+    for (const auto& [pair, bytes] : dc_pair_bytes) {
+      if (pair.first != pair.second) sum += bytes;
+    }
+    return sum;
+  }
+  int64_t egress_bytes_from(const std::string& dc) const {
+    int64_t sum = 0;
+    for (const auto& [pair, bytes] : dc_pair_bytes) {
+      if (pair.first == dc && pair.second != dc) sum += bytes;
+    }
+    return sum;
+  }
+};
+
+class Network {
+ public:
+  // How long a sender waits before concluding a down node is unreachable.
+  static constexpr Duration kUnreachableDelay = msec(500);
+
+  Network(sim::Simulation& sim, Topology topology)
+      : sim_(&sim), topology_(std::move(topology)) {}
+
+  sim::Simulation& sim() { return *sim_; }
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+  const TrafficStats& traffic() const { return traffic_; }
+  void reset_traffic() { traffic_ = TrafficStats{}; }
+
+  // Deliver `bytes` from node `from` to node `to`; resolves when the last
+  // byte arrives. Fails if either endpoint is down. NIC capacity is shared:
+  // concurrent transfers touching the same node queue behind each other for
+  // their serialization time (bytes / slower endpoint's throughput), which
+  // is what makes a VM's network throttle bound aggregate IOPS (Fig. 11).
+  sim::Task<Status> transfer(std::string from, std::string to, int64_t bytes);
+
+ private:
+  // Reserve NIC time on both endpoints; returns when the transfer may end.
+  TimePoint reserve_nic(const std::string& from, const std::string& to,
+                        int64_t bytes);
+
+  sim::Simulation* sim_;
+  Topology topology_;
+  TrafficStats traffic_;
+  std::map<std::string, TimePoint> nic_free_;  // per-node next free time
+};
+
+}  // namespace wiera::net

@@ -1,0 +1,151 @@
+// WAN topology model: datacenters, nodes (VMs), latency matrix, bandwidth
+// throttles, and fault injection.
+//
+// This is the stand-in for the live AWS + Azure deployment of the paper.
+// Latency between two nodes =
+//     one-way base (RTT/2 for their DC pair, with multiplicative jitter)
+//   + serialization time (bytes / min(sender egress, receiver ingress))
+//   + any injected extra delay active on either node or the path.
+// Outages make transfers fail with kUnavailable after a timeout.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace wiera::net {
+
+// Cloud provider of a datacenter — pricing and throttle defaults differ.
+enum class Provider { kAws, kAzure, kPrivate };
+
+std::string_view provider_name(Provider p);
+
+// VM instance type: determines network throughput. Azure throttles network
+// by VM size (the effect behind Fig. 11/12); AWS t2.micro gets a modest cap.
+// The NIC is a *shared* resource: concurrent transfers through one node
+// serialize (see Network::transfer), so these caps bound aggregate
+// throughput, not just per-message latency.
+struct VmType {
+  std::string name;
+  double net_mbps;  // usable network throughput, megabytes/s
+
+  // The instance types used in the paper's §5.4 experiments. The MBps
+  // values are calibrated so the Fig. 11 IOPS ratios match (see DESIGN.md §5):
+  // with 16 KiB blocks, remote-memory IOPS ~= net_mbps / 16KiB.
+  static VmType t2_micro() { return {"t2.micro", 30.0}; }
+  static VmType basic_a2() { return {"Basic A2", 5.7}; }
+  static VmType standard_d1() { return {"Standard D1", 7.9}; }
+  static VmType standard_d2() { return {"Standard D2", 11.8}; }
+  static VmType standard_d3() { return {"Standard D3", 12.2}; }
+};
+
+struct Datacenter {
+  std::string name;    // e.g. "aws-us-east"
+  Provider provider;
+  std::string region;  // e.g. "us-east"
+};
+
+struct Node {
+  std::string name;  // e.g. "tiera-us-west"
+  std::string datacenter;
+  VmType vm;
+};
+
+// Static description of the world + dynamic fault state.
+class Topology {
+ public:
+  Topology();
+
+  // ---- construction ----
+  void add_datacenter(const std::string& name, Provider provider,
+                      const std::string& region);
+  // RTT between two datacenters (symmetric). Same-DC RTT defaults to 0.5 ms.
+  void set_rtt(const std::string& dc_a, const std::string& dc_b, Duration rtt);
+  void add_node(const std::string& name, const std::string& datacenter,
+                VmType vm = VmType::t2_micro());
+
+  // Multiplicative jitter stddev applied to each one-way latency sample
+  // (default 5%).
+  void set_jitter_fraction(double f) { jitter_fraction_ = f; }
+
+  // ---- queries ----
+  bool has_node(const std::string& name) const;
+  const Node& node(const std::string& name) const;
+  const Datacenter& datacenter_of(const std::string& node_name) const;
+  std::vector<std::string> node_names() const;
+
+  Duration base_rtt(const std::string& dc_a, const std::string& dc_b) const;
+  // Base one-way latency between two *nodes* (no jitter/faults applied).
+  Duration base_one_way(const std::string& node_a,
+                        const std::string& node_b) const;
+
+  // One sampled one-way latency for a message between nodes, including
+  // jitter and active injected delays. `bytes` adds serialization time.
+  Duration sample_latency(const std::string& from, const std::string& to,
+                          int64_t bytes, TimePoint now, Rng& rng) const;
+
+  // ---- fault injection ----
+  // Add `extra` to every message touching `node_name` during [from, until).
+  void inject_node_delay(const std::string& node_name, Duration extra,
+                         TimePoint from, TimePoint until);
+  // Node outage window: transfers fail with kUnavailable.
+  void inject_outage(const std::string& node_name, TimePoint from,
+                     TimePoint until);
+  bool node_down(const std::string& node_name, TimePoint now) const;
+  void clear_faults();
+
+  // A standard 4-region AWS topology matching the paper's deployment
+  // (US East, US West, EU West, Asia East) plus calibrated RTTs.
+  static Topology paper_default();
+
+ private:
+  struct DelayWindow {
+    std::string node;
+    Duration extra;
+    TimePoint from;
+    TimePoint until;
+  };
+  struct OutageWindow {
+    std::string node;
+    TimePoint from;
+    TimePoint until;
+  };
+
+  Duration injected_extra(const std::string& node_name, TimePoint now) const;
+
+  std::map<std::string, Datacenter> datacenters_;
+  std::map<std::string, Node> nodes_;
+  std::map<std::pair<std::string, std::string>, Duration> rtt_;
+  double jitter_fraction_ = 0.05;
+  std::vector<DelayWindow> delays_;
+  std::vector<OutageWindow> outages_;
+};
+
+// Calibrated inter-region RTTs (see DESIGN.md §5).
+namespace calibration {
+inline constexpr int64_t kSameDcRttUs = 500;          // 0.5 ms
+inline constexpr int64_t kAwsAzureUsEastRttUs = 2000; // 2 ms (paper §5.4.1)
+
+struct RegionPairRtt {
+  const char* a;
+  const char* b;
+  int64_t rtt_us;
+};
+
+// 2016-era inter-region RTTs consistent with the paper's latency numbers.
+inline constexpr RegionPairRtt kRegionRtts[] = {
+    {"us-east", "us-west", 70000},
+    {"us-east", "eu-west", 80000},
+    {"us-east", "asia-east", 170000},
+    {"us-west", "eu-west", 140000},
+    {"us-west", "asia-east", 110000},
+    {"eu-west", "asia-east", 240000},
+};
+}  // namespace calibration
+
+}  // namespace wiera::net

@@ -1,0 +1,118 @@
+#include "policy/ast.h"
+
+#include "common/strings.h"
+
+namespace wiera::policy {
+
+std::string Value::to_string() const {
+  switch (kind) {
+    case Kind::kNumber: return str_format("%g", number);
+    case Kind::kBool: return boolean ? "true" : "false";
+    case Kind::kString: return text;
+    case Kind::kDuration: return duration.to_string();
+    case Kind::kSize: return str_format("%lldB", static_cast<long long>(size_bytes));
+    case Kind::kPercent: return str_format("%g%%", number);
+    case Kind::kRate: return str_format("%gB/s", number);
+  }
+  return "?";
+}
+
+std::string_view binary_op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+  }
+  return "?";
+}
+
+std::string PathExpr::dotted() const {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += '.';
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string Expr::to_string() const {
+  if (is_path()) return path().dotted();
+  if (is_literal()) return literal().value.to_string();
+  const BinaryExpr& b = binary();
+  return "(" + b.lhs->to_string() + " " +
+         std::string(binary_op_name(b.op)) + " " + b.rhs->to_string() + ")";
+}
+
+ExprPtr make_path(std::vector<std::string> parts) {
+  auto e = std::make_unique<Expr>();
+  e->node = PathExpr{std::move(parts)};
+  return e;
+}
+
+ExprPtr make_literal(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->node = LiteralExpr{std::move(v)};
+  return e;
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->node = BinaryExpr{op, std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+namespace {
+ExprPtr clone_or_null(const ExprPtr& e) {
+  return e == nullptr ? nullptr : clone_expr(*e);
+}
+}  // namespace
+
+ActionStmt::ActionStmt(const ActionStmt& o) : name(o.name) {
+  args.reserve(o.args.size());
+  for (const auto& [arg_name, expr] : o.args) {
+    args.emplace_back(arg_name, clone_or_null(expr));
+  }
+}
+
+ActionStmt& ActionStmt::operator=(const ActionStmt& o) {
+  if (this != &o) *this = ActionStmt(o);
+  return *this;
+}
+
+AssignStmt::AssignStmt(const AssignStmt& o)
+    : target(o.target), value(clone_or_null(o.value)) {}
+
+AssignStmt& AssignStmt::operator=(const AssignStmt& o) {
+  if (this != &o) *this = AssignStmt(o);
+  return *this;
+}
+
+IfStmt::Branch::Branch(const Branch& o)
+    : condition(clone_or_null(o.condition)), body(o.body) {}
+
+IfStmt::Branch& IfStmt::Branch::operator=(const Branch& o) {
+  if (this != &o) *this = Branch(o);
+  return *this;
+}
+
+EventRule::EventRule(const EventRule& o)
+    : trigger(clone_or_null(o.trigger)), response(o.response) {}
+
+EventRule& EventRule::operator=(const EventRule& o) {
+  if (this != &o) *this = EventRule(o);
+  return *this;
+}
+
+ExprPtr clone_expr(const Expr& e) {
+  if (e.is_path()) return make_path(e.path().parts);
+  if (e.is_literal()) return make_literal(e.literal().value);
+  const BinaryExpr& b = e.binary();
+  return make_binary(b.op, clone_expr(*b.lhs), clone_expr(*b.rhs));
+}
+
+}  // namespace wiera::policy

@@ -1,0 +1,278 @@
+// AST for the Tiera/Wiera policy specification language.
+//
+// The grammar is exactly what the paper's figures write (Figs. 1, 3, 4, 5,
+// 6): a policy header (`Tiera Name(params) { ... }` or `Wiera Name() {...}`),
+// tier declarations (`tier1: {name: Memcached, size: 5G};`), region
+// declarations (`Region1 = {name:LowLatencyInstance, region:US-West,
+// primary:True, tier1 = {...}}`), and event/response rules
+// (`event(insert.into) : response { store(what:insert.object, to:tier1); }`).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace wiera::policy {
+
+// ---------------------------------------------------------------- values
+
+// A literal in the DSL: numbers can carry units (5G, 800 ms, 50%, 40KB/s).
+struct Value {
+  enum class Kind {
+    kNumber,    // bare number
+    kBool,      // True / False / true / false
+    kString,    // identifier-ish value: US-West, EventualConsistency
+    kDuration,  // 800 ms, 30 seconds, 120 hours
+    kSize,      // 5G, 30G, 128KB
+    kPercent,   // 50%
+    kRate,      // 40KB/s, 100KB/s
+  };
+
+  Kind kind = Kind::kNumber;
+  double number = 0;       // kNumber / kPercent (0..100) / kRate (bytes/s)
+  bool boolean = false;    // kBool
+  std::string text;        // kString
+  Duration duration;       // kDuration
+  int64_t size_bytes = 0;  // kSize
+
+  static Value number_of(double v) {
+    Value out;
+    out.kind = Kind::kNumber;
+    out.number = v;
+    return out;
+  }
+  static Value bool_of(bool v) {
+    Value out;
+    out.kind = Kind::kBool;
+    out.boolean = v;
+    return out;
+  }
+  static Value string_of(std::string s) {
+    Value out;
+    out.kind = Kind::kString;
+    out.text = std::move(s);
+    return out;
+  }
+  static Value duration_of(Duration d) {
+    Value out;
+    out.kind = Kind::kDuration;
+    out.duration = d;
+    return out;
+  }
+  static Value size_of(int64_t bytes) {
+    Value out;
+    out.kind = Kind::kSize;
+    out.size_bytes = bytes;
+    return out;
+  }
+  static Value percent_of(double pct) {
+    Value out;
+    out.kind = Kind::kPercent;
+    out.number = pct;
+    return out;
+  }
+  static Value rate_of(double bytes_per_sec) {
+    Value out;
+    out.kind = Kind::kRate;
+    out.number = bytes_per_sec;
+    return out;
+  }
+
+  std::string to_string() const;
+};
+
+// ---------------------------------------------------------------- expressions
+
+enum class BinaryOp {
+  kEq,   // == (and single '=' inside event(...), as in event(time=t))
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+std::string_view binary_op_name(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+// A dotted path such as `insert.into`, `object.location`,
+// `threshold.latency`, `local_instance.isPrimary`.
+struct PathExpr {
+  std::vector<std::string> parts;
+  std::string dotted() const;
+};
+
+struct LiteralExpr {
+  Value value;
+};
+
+struct BinaryExpr {
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct Expr {
+  std::variant<PathExpr, LiteralExpr, BinaryExpr> node;
+
+  bool is_path() const { return std::holds_alternative<PathExpr>(node); }
+  bool is_literal() const { return std::holds_alternative<LiteralExpr>(node); }
+  bool is_binary() const { return std::holds_alternative<BinaryExpr>(node); }
+  const PathExpr& path() const { return std::get<PathExpr>(node); }
+  const LiteralExpr& literal() const { return std::get<LiteralExpr>(node); }
+  const BinaryExpr& binary() const { return std::get<BinaryExpr>(node); }
+
+  std::string to_string() const;
+};
+
+ExprPtr make_path(std::vector<std::string> parts);
+ExprPtr make_literal(Value v);
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr clone_expr(const Expr& e);
+
+// ---------------------------------------------------------------- statements
+
+struct Stmt;
+
+// Named-argument action call: store(what:insert.object, to:tier1,
+// bandwidth:40KB/s). Argument order is preserved for diagnostics.
+struct ActionStmt {
+  ActionStmt() = default;
+  ActionStmt(const ActionStmt& o);             // deep copy
+  ActionStmt& operator=(const ActionStmt& o);
+  ActionStmt(ActionStmt&&) = default;
+  ActionStmt& operator=(ActionStmt&&) = default;
+
+  std::string name;
+  std::vector<std::pair<std::string, ExprPtr>> args;
+
+  const Expr* arg(std::string_view arg_name) const {
+    for (const auto& [n, e] : args) {
+      if (n == arg_name) return e.get();
+    }
+    return nullptr;
+  }
+};
+
+// insert.object.dirty = true;
+struct AssignStmt {
+  AssignStmt() = default;
+  AssignStmt(const AssignStmt& o);             // deep copy
+  AssignStmt& operator=(const AssignStmt& o);
+  AssignStmt(AssignStmt&&) = default;
+  AssignStmt& operator=(AssignStmt&&) = default;
+
+  PathExpr target;
+  ExprPtr value;
+};
+
+// if (...) {...} else if (...) {...} else {...}
+struct IfStmt {
+  struct Branch {
+    Branch() = default;
+    Branch(const Branch& o);                   // deep copy
+    Branch& operator=(const Branch& o);
+    Branch(Branch&&) = default;
+    Branch& operator=(Branch&&) = default;
+
+    ExprPtr condition;  // null for the final else
+    std::vector<Stmt> body;
+  };
+  std::vector<Branch> branches;
+};
+
+struct Stmt {
+  std::variant<ActionStmt, AssignStmt, IfStmt> node;
+
+  bool is_action() const { return std::holds_alternative<ActionStmt>(node); }
+  bool is_assign() const { return std::holds_alternative<AssignStmt>(node); }
+  bool is_if() const { return std::holds_alternative<IfStmt>(node); }
+  const ActionStmt& action() const { return std::get<ActionStmt>(node); }
+  const AssignStmt& assign() const { return std::get<AssignStmt>(node); }
+  const IfStmt& if_stmt() const { return std::get<IfStmt>(node); }
+};
+
+// ---------------------------------------------------------------- declarations
+
+// event(<trigger>) : response { <stmts> }
+struct EventRule {
+  EventRule() = default;
+  EventRule(const EventRule& o);               // deep copy
+  EventRule& operator=(const EventRule& o);
+  EventRule(EventRule&&) = default;
+  EventRule& operator=(EventRule&&) = default;
+
+  ExprPtr trigger;
+  std::vector<Stmt> response;
+};
+
+// tier1: {name: Memcached, size: 5G};
+struct TierDecl {
+  std::string label;                    // tier1, tier2, ...
+  std::map<std::string, Value> attrs;   // name, size, ...
+
+  const Value* attr(const std::string& key) const {
+    auto it = attrs.find(key);
+    return it == attrs.end() ? nullptr : &it->second;
+  }
+};
+
+// Region1 = {name:LowLatencyInstance, region:US-West, primary:True,
+//            tier1 = {name:LocalMemory, size=5G}, ...}
+struct RegionDecl {
+  std::string label;                    // Region1, Region2, ...
+  std::map<std::string, Value> attrs;   // name, region, primary, ...
+  std::vector<TierDecl> tiers;          // nested tier blocks
+
+  const Value* attr(const std::string& key) const {
+    auto it = attrs.find(key);
+    return it == attrs.end() ? nullptr : &it->second;
+  }
+  std::string instance_name() const {
+    const Value* v = attr("name");
+    return v == nullptr ? "" : v->text;
+  }
+  std::string region() const {
+    const Value* v = attr("region");
+    return v == nullptr ? "" : v->text;
+  }
+  bool primary() const {
+    const Value* v = attr("primary");
+    return v != nullptr && v->kind == Value::Kind::kBool && v->boolean;
+  }
+};
+
+// A whole policy document.
+struct PolicyDoc {
+  bool is_wiera = false;  // "Wiera Name() {...}" vs "Tiera Name(...) {...}"
+  std::string name;
+  // Formal parameters, e.g. (time t) — a type/name pair each.
+  std::vector<std::pair<std::string, std::string>> params;
+  std::vector<TierDecl> tiers;      // Tiera-style tier declarations
+  std::vector<RegionDecl> regions;  // Wiera-style region declarations
+  std::vector<EventRule> events;
+
+  const TierDecl* tier(const std::string& label) const {
+    for (const auto& t : tiers) {
+      if (t.label == label) return &t;
+    }
+    return nullptr;
+  }
+  const RegionDecl* region_decl(const std::string& label) const {
+    for (const auto& r : regions) {
+      if (r.label == label) return &r;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace wiera::policy

@@ -1,0 +1,221 @@
+#include "policy/builtin_policies.h"
+
+#include <cassert>
+
+#include "policy/parser.h"
+
+namespace wiera::policy::builtin {
+
+std::string_view low_latency_instance() {
+  return R"(
+Tiera LowLatencyInstance(time t) {
+   % two tiers specified with initial sizes
+   tier1: {name: Memcached, size: 5G};
+   tier2: {name: EBS, size: 5G};
+   % action event defined to always store data into Memcached
+   event(insert.into) : response {
+      insert.object.dirty = true;
+      store(what:insert.object, to:tier1);
+   }
+   % write back policy: copying data to persistent store on a timer event
+   event(time=t) : response {
+      copy(what: object.location == tier1 &&
+                 object.dirty == true,
+           to:tier2);
+   }
+}
+)";
+}
+
+std::string_view persistent_instance() {
+  return R"(
+Tiera PersistentInstance(time t) {
+   tier1: {name: Memcached, size: 5G};
+   tier2: {name: EBS, size: 5G};
+   tier3: {name: S3, size: 10G};
+   % write-through policy using action event data and copy response
+   event(insert.into == tier1) : response {
+      copy(what:insert.object, to:tier2);
+   }
+   % simple backup policy
+   event(tier2.filled == 50%) : response {
+      copy(what:object.location == tier2,
+           to:tier3, bandwidth:40KB/s);
+   }
+}
+)";
+}
+
+std::string_view multi_primaries_consistency() {
+  return R"(
+Wiera MultiPrimariesConsistency() {
+   Region1 = {name:LowLatencyInstance, region:US-West,
+      tier1 = {name:LocalMemory, size=5G},
+      tier2 = {name:LocalDisk, size=5G} }
+   Region2 = {name:LowLatencyInstance, region:US-East,
+      tier1 = {name:LocalMemory, size=5G},
+      tier2 = {name:LocalDisk, size=5G} }
+   Region3 = {name:LowLatencyInstance, region:EU-West,
+      tier1 = {name:LocalMemory, size=5G},
+      tier2 = {name:LocalDisk, size=5G} }
+   Region4 = {name:LowLatencyInstance, region:Asia-East,
+      tier1 = {name:LocalMemory, size=5G},
+      tier2 = {name:LocalDisk, size=5G} }
+
+   %MultiPrimaries Consistency
+   event(insert.into) : response {
+      lock(what:insert.key)
+      store(what:insert.object, to:local_instance)
+      copy(what:insert.object, to:all_regions)
+      release(what:insert.key)
+   }
+}
+)";
+}
+
+std::string_view primary_backup_consistency() {
+  return R"(
+Wiera PrimaryBackupConsistency() {
+   % Primary instance is running on Region1
+   Region1 = {name:LowLatencyInstance, region:US-West, primary:True,
+      tier1 = {name:LocalMemory, size=5G},
+      tier2 = {name:LocalDisk, size=5G} }
+   Region2 = {name:LowLatencyInstance, region:US-East,
+      tier1 = {name:LocalMemory, size=5G},
+      tier2 = {name:LocalDisk, size=5G} }
+   Region3 = {name:LowLatencyInstance, region:EU-West,
+      tier1 = {name:LocalMemory, size=5G},
+      tier2 = {name:LocalDisk, size=5G} }
+
+   %PrimaryBackup Consistency
+   event(insert.into) : response {
+      if(local_instance.isPrimary == True)
+         store(what:insert.object, to:local_instance)
+         copy(what:insert.object, to:all_regions)
+      else
+         forward(what:insert.object, to:primary_instance)
+   }
+}
+)";
+}
+
+std::string_view eventual_consistency() {
+  return R"(
+Wiera EventualConsistency() {
+   Region1 = {name:LowLatencyInstance, region:US-West,
+      tier1 = {name:LocalMemory, size=5G},
+      tier2 = {name:LocalDisk, size=5G} }
+   Region2 = {name:LowLatencyInstance, region:US-East,
+      tier1 = {name:LocalMemory, size=5G},
+      tier2 = {name:LocalDisk, size=5G} }
+   Region3 = {name:LowLatencyInstance, region:EU-West,
+      tier1 = {name:LocalMemory, size=5G},
+      tier2 = {name:LocalDisk, size=5G} }
+   Region4 = {name:LowLatencyInstance, region:Asia-East,
+      tier1 = {name:LocalMemory, size=5G},
+      tier2 = {name:LocalDisk, size=5G} }
+
+   %Eventual Consistency
+   event(insert.into) : response {
+      store(what:insert.object, to:local_instance)
+      queue(what:insert.object, to:all_regions)
+   }
+}
+)";
+}
+
+std::string_view dynamic_consistency() {
+  return R"(
+Wiera DynamicConsistency() {
+   % In Multiple-Primaries Consistency
+   % Put operation spends more time than
+   % threshold required for specific amount of time
+   event(threshold.type == put) : response {
+      if(threshold.latency > 800 ms
+         && threshold.period > 30 seconds)
+         change_policy(what:consistency,
+                       to:EventualConsistency);
+      else if (threshold.latency <= 800 ms
+               && threshold.period > 30 seconds)
+         change_policy(what:consistency,
+                       to:MultiPrimariesConsistency);
+   }
+}
+)";
+}
+
+std::string_view change_primary() {
+  return R"(
+Wiera ChangePrimary() {
+   % In Primary-Backup Consistency
+   % If there is an instance which received more
+   % requests than primary received from application.
+   event(threshold.type == primary) : response {
+      if(forwarded_requests_per_each_instance
+            >= updates_from_primary
+         && threshold.period >= 15 seconds)
+         change_policy(what:primary_instance,
+                       to:instance_forward_most)
+   }
+}
+)";
+}
+
+std::string_view reduced_cost_policy() {
+  return R"(
+Wiera ReducedCostPolicy() {
+   Region1 = {name:PersistentInstance, region:US-West,
+      tier1 = {name:LocalDisk, size=5G},
+      tier2 = {name:CheapestArchival, size=5G} }
+
+   %Data is getting cold
+   event(object.lastAccessedTime > 120 hours) : response {
+      move(what:object.location == tier1,
+           to:tier2, bandwidth:100KB/s);
+   }
+}
+)";
+}
+
+std::string_view simpler_consistency() {
+  return R"(
+Wiera SimplerConsistency() {
+   Region1 = {name:LowLatencyInstance, region:US-West-1, primary:True,
+      tier1 = {name:LocalMemory, size=30G},
+      tier2 = {name:LocalDisk, size=30G} }
+   Region2 = {name:ForwardingInstance, region:US-West-2}
+   Region3 = {name:ForwardingInstance, region:US-West-3}
+
+   %PrimaryBackup Consistency
+   event(insert.into) : response {
+      if(local_instance.isPrimary == True)
+         store(what:insert.object, to:local_instance)
+      else
+         forward(what:insert.object, to:primary_instance)
+   }
+}
+)";
+}
+
+std::vector<PolicyDoc> all_parsed() {
+  std::vector<PolicyDoc> docs;
+  for (std::string_view src :
+       {low_latency_instance(), persistent_instance(),
+        multi_primaries_consistency(), primary_backup_consistency(),
+        eventual_consistency(), dynamic_consistency(), change_primary(),
+        reduced_cost_policy(), simpler_consistency()}) {
+    auto doc = parse_policy(src);
+    assert(doc.ok() && "built-in policy failed to parse");
+    docs.push_back(std::move(doc).value());
+  }
+  return docs;
+}
+
+Result<PolicyDoc> by_name(std::string_view name) {
+  for (auto& doc : all_parsed()) {
+    if (doc.name == name) return std::move(doc);
+  }
+  return not_found("no built-in policy named " + std::string(name));
+}
+
+}  // namespace wiera::policy::builtin

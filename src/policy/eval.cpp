@@ -1,0 +1,245 @@
+#include "policy/eval.h"
+
+#include <cmath>
+
+namespace wiera::policy {
+
+namespace {
+
+// Comparable scalar magnitude for ordered comparisons. Durations compare in
+// microseconds, sizes in bytes, rates in bytes/s, percents as numbers.
+Result<double> magnitude(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kNumber:
+    case Value::Kind::kPercent:
+    case Value::Kind::kRate:
+      return v.number;
+    case Value::Kind::kDuration:
+      return static_cast<double>(v.duration.us());
+    case Value::Kind::kSize:
+      return static_cast<double>(v.size_bytes);
+    case Value::Kind::kBool:
+      return v.boolean ? 1.0 : 0.0;
+    case Value::Kind::kString:
+      return invalid_argument("cannot order-compare string value '" + v.text +
+                              "'");
+  }
+  return internal_error("bad value kind");
+}
+
+Result<bool> values_equal(const Value& a, const Value& b) {
+  if (a.kind == Value::Kind::kString || b.kind == Value::Kind::kString) {
+    if (a.kind != b.kind) {
+      return invalid_argument("comparing string with non-string");
+    }
+    return a.text == b.text;
+  }
+  if (a.kind == Value::Kind::kBool || b.kind == Value::Kind::kBool) {
+    if (a.kind != b.kind) {
+      return invalid_argument("comparing bool with non-bool");
+    }
+    return a.boolean == b.boolean;
+  }
+  WIERA_ASSIGN_OR_RETURN(const double ma, magnitude(a));
+  WIERA_ASSIGN_OR_RETURN(const double mb, magnitude(b));
+  return ma == mb;
+}
+
+Result<bool> coerce_bool(const Value& v) {
+  if (v.kind == Value::Kind::kBool) return v.boolean;
+  return invalid_argument("expected boolean, got " + v.to_string());
+}
+
+}  // namespace
+
+Result<Value> evaluate(const Expr& expr, const EvalContext& ctx) {
+  if (expr.is_literal()) return expr.literal().value;
+
+  if (expr.is_path()) {
+    auto resolved = ctx.lookup(expr.path());
+    if (resolved.has_value()) return *resolved;
+    // Bare words act as string enums (e.g. `put`, `EventualConsistency`).
+    if (expr.path().parts.size() == 1) {
+      return Value::string_of(expr.path().parts[0]);
+    }
+    return invalid_argument("unresolved path: " + expr.path().dotted());
+  }
+
+  const BinaryExpr& bin = expr.binary();
+
+  if (bin.op == BinaryOp::kAnd || bin.op == BinaryOp::kOr) {
+    WIERA_ASSIGN_OR_RETURN(const Value lv, evaluate(*bin.lhs, ctx));
+    WIERA_ASSIGN_OR_RETURN(const bool lb, coerce_bool(lv));
+    // Short-circuit.
+    if (bin.op == BinaryOp::kAnd && !lb) return Value::bool_of(false);
+    if (bin.op == BinaryOp::kOr && lb) return Value::bool_of(true);
+    WIERA_ASSIGN_OR_RETURN(const Value rv, evaluate(*bin.rhs, ctx));
+    WIERA_ASSIGN_OR_RETURN(const bool rb, coerce_bool(rv));
+    return Value::bool_of(rb);
+  }
+
+  WIERA_ASSIGN_OR_RETURN(const Value lhs, evaluate(*bin.lhs, ctx));
+  WIERA_ASSIGN_OR_RETURN(const Value rhs, evaluate(*bin.rhs, ctx));
+
+  switch (bin.op) {
+    case BinaryOp::kEq: {
+      WIERA_ASSIGN_OR_RETURN(const bool eq, values_equal(lhs, rhs));
+      return Value::bool_of(eq);
+    }
+    case BinaryOp::kNe: {
+      WIERA_ASSIGN_OR_RETURN(const bool eq, values_equal(lhs, rhs));
+      return Value::bool_of(!eq);
+    }
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      WIERA_ASSIGN_OR_RETURN(const double ml, magnitude(lhs));
+      WIERA_ASSIGN_OR_RETURN(const double mr, magnitude(rhs));
+      bool result = false;
+      if (bin.op == BinaryOp::kLt) result = ml < mr;
+      if (bin.op == BinaryOp::kLe) result = ml <= mr;
+      if (bin.op == BinaryOp::kGt) result = ml > mr;
+      if (bin.op == BinaryOp::kGe) result = ml >= mr;
+      return Value::bool_of(result);
+    }
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      break;  // handled above
+  }
+  return internal_error("unhandled operator");
+}
+
+Result<bool> evaluate_condition(const Expr& expr, const EvalContext& ctx) {
+  WIERA_ASSIGN_OR_RETURN(const Value v, evaluate(expr, ctx));
+  if (v.kind != Value::Kind::kBool) {
+    return invalid_argument("condition did not evaluate to bool: " +
+                            expr.to_string());
+  }
+  return v.boolean;
+}
+
+// ---------------------------------------------------------------- triggers
+
+std::string_view trigger_kind_name(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::kInsert: return "insert";
+    case TriggerKind::kInsertInto: return "insert-into";
+    case TriggerKind::kTimer: return "timer";
+    case TriggerKind::kTierFilled: return "tier-filled";
+    case TriggerKind::kColdData: return "cold-data";
+    case TriggerKind::kLatencyThreshold: return "latency-threshold";
+    case TriggerKind::kRequestsThreshold: return "requests-threshold";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<Value> resolve_trigger_operand(const Expr& expr,
+                                      const std::map<std::string, Value>& params) {
+  if (expr.is_literal()) return expr.literal().value;
+  if (expr.is_path() && expr.path().parts.size() == 1) {
+    const std::string& name = expr.path().parts[0];
+    auto it = params.find(name);
+    if (it != params.end()) return it->second;
+    return Value::string_of(name);
+  }
+  return invalid_argument("unsupported trigger operand: " + expr.to_string());
+}
+
+}  // namespace
+
+Result<Trigger> classify_trigger(const Expr& expr,
+                                 const std::map<std::string, Value>& params) {
+  Trigger trigger;
+
+  // Bare `insert.into` — fires on every put.
+  if (expr.is_path()) {
+    if (expr.path().dotted() == "insert.into") {
+      trigger.kind = TriggerKind::kInsert;
+      return trigger;
+    }
+    return invalid_argument("unrecognized trigger: " + expr.path().dotted());
+  }
+
+  if (!expr.is_binary()) {
+    return invalid_argument("unrecognized trigger: " + expr.to_string());
+  }
+  const BinaryExpr& bin = expr.binary();
+  if (!bin.lhs->is_path()) {
+    return invalid_argument("trigger must start with a path: " +
+                            expr.to_string());
+  }
+  const std::string lhs = bin.lhs->path().dotted();
+
+  if (lhs == "insert.into" && bin.op == BinaryOp::kEq) {
+    if (!bin.rhs->is_path() || bin.rhs->path().parts.size() != 1) {
+      return invalid_argument("insert.into must compare to a tier label");
+    }
+    trigger.kind = TriggerKind::kInsertInto;
+    trigger.tier = bin.rhs->path().parts[0];
+    return trigger;
+  }
+
+  if (lhs == "time" && bin.op == BinaryOp::kEq) {
+    WIERA_ASSIGN_OR_RETURN(const Value v,
+                           resolve_trigger_operand(*bin.rhs, params));
+    if (v.kind != Value::Kind::kDuration) {
+      return invalid_argument("timer trigger needs a duration, got " +
+                              v.to_string());
+    }
+    trigger.kind = TriggerKind::kTimer;
+    trigger.period = v.duration;
+    return trigger;
+  }
+
+  // tierN.filled == 50%
+  if (bin.lhs->path().parts.size() == 2 &&
+      bin.lhs->path().parts[1] == "filled" && bin.op == BinaryOp::kEq) {
+    WIERA_ASSIGN_OR_RETURN(const Value v,
+                           resolve_trigger_operand(*bin.rhs, params));
+    if (v.kind != Value::Kind::kPercent) {
+      return invalid_argument("filled trigger needs a percentage");
+    }
+    trigger.kind = TriggerKind::kTierFilled;
+    trigger.tier = bin.lhs->path().parts[0];
+    trigger.fill_percent = v.number;
+    return trigger;
+  }
+
+  // object.lastAccessedTime > 120 hours
+  if (lhs == "object.lastAccessedTime" &&
+      (bin.op == BinaryOp::kGt || bin.op == BinaryOp::kGe)) {
+    WIERA_ASSIGN_OR_RETURN(const Value v,
+                           resolve_trigger_operand(*bin.rhs, params));
+    if (v.kind != Value::Kind::kDuration) {
+      return invalid_argument("cold-data trigger needs a duration");
+    }
+    trigger.kind = TriggerKind::kColdData;
+    trigger.cold_after = v.duration;
+    return trigger;
+  }
+
+  // threshold.type == put | primary
+  if (lhs == "threshold.type" && bin.op == BinaryOp::kEq) {
+    WIERA_ASSIGN_OR_RETURN(const Value v,
+                           resolve_trigger_operand(*bin.rhs, params));
+    if (v.kind != Value::Kind::kString) {
+      return invalid_argument("threshold.type must compare to a word");
+    }
+    if (v.text == "put" || v.text == "get" || v.text == "operation") {
+      trigger.kind = TriggerKind::kLatencyThreshold;
+      return trigger;
+    }
+    if (v.text == "primary" || v.text == "requests") {
+      trigger.kind = TriggerKind::kRequestsThreshold;
+      return trigger;
+    }
+    return invalid_argument("unknown threshold.type: " + v.text);
+  }
+
+  return invalid_argument("unrecognized trigger: " + expr.to_string());
+}
+
+}  // namespace wiera::policy

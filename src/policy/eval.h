@@ -1,0 +1,77 @@
+// Run-time evaluation of policy expressions and classification of event
+// triggers into the typed events the engine implements.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "policy/ast.h"
+
+namespace wiera::policy {
+
+// Name resolution for dotted paths during evaluation. The policy engine
+// provides contexts populated with runtime facts, e.g.
+//   threshold.latency -> Duration, threshold.period -> Duration,
+//   local_instance.isPrimary -> bool, insert.into -> tier name, ...
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+  virtual std::optional<Value> lookup(const PathExpr& path) const = 0;
+};
+
+// Simple map-backed context keyed on the dotted path string.
+class MapContext : public EvalContext {
+ public:
+  MapContext& set(const std::string& dotted_path, Value v) {
+    values_[dotted_path] = std::move(v);
+    return *this;
+  }
+  std::optional<Value> lookup(const PathExpr& path) const override {
+    auto it = values_.find(path.dotted());
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+// Evaluate an expression. Unresolvable single-segment paths evaluate to
+// their own name as a string (the DSL writes enum-ish bare words:
+// `to:EventualConsistency`, `threshold.type == put`).
+Result<Value> evaluate(const Expr& expr, const EvalContext& ctx);
+
+// Evaluate and coerce to bool (non-bool scalar results are an error).
+Result<bool> evaluate_condition(const Expr& expr, const EvalContext& ctx);
+
+// ---------------------------------------------------------------- triggers
+
+// The typed event catalog (§2.1 Tiera events + §3.2.3 Wiera additions).
+enum class TriggerKind {
+  kInsert,             // event(insert.into)            — action event on put
+  kInsertInto,         // event(insert.into == tier1)   — put landing in tier
+  kTimer,              // event(time = t)               — periodic
+  kTierFilled,         // event(tier2.filled == 50%)    — threshold
+  kColdData,           // event(object.lastAccessedTime > 120 hours)
+  kLatencyThreshold,   // event(threshold.type == put)  — LatencyMonitoring
+  kRequestsThreshold,  // event(threshold.type == primary) — RequestsMonitoring
+};
+
+std::string_view trigger_kind_name(TriggerKind kind);
+
+struct Trigger {
+  TriggerKind kind = TriggerKind::kInsert;
+  std::string tier;         // kInsertInto, kTierFilled
+  Duration period;          // kTimer interval
+  double fill_percent = 0;  // kTierFilled
+  Duration cold_after;      // kColdData idle threshold
+};
+
+// Classify an event(...) trigger expression. `params` resolves policy
+// formal parameters (e.g. `t` in `event(time=t)` for `Tiera Low...(time t)`).
+Result<Trigger> classify_trigger(const Expr& expr,
+                                 const std::map<std::string, Value>& params);
+
+}  // namespace wiera::policy

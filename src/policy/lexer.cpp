@@ -1,0 +1,252 @@
+#include "policy/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace wiera::policy {
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kAnd: return "'&&'";
+    case TokenKind::kOr: return "'||'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_whitespace_and_comments();
+      if (at_end()) break;
+      auto tok = next_token();
+      if (!tok.ok()) return tok.status();
+      tokens.push_back(std::move(tok).value());
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.line = line_;
+    eof.column = col_;
+    tokens.push_back(eof);
+    return tokens;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      line_++;
+      col_ = 1;
+    } else {
+      col_++;
+    }
+    return c;
+  }
+
+  void skip_whitespace_and_comments() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '%') {
+        // Comment to end of line ('%' after a number is handled inside
+        // number lexing, so a bare '%' here is always a comment).
+        while (!at_end() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token start_token(TokenKind kind) const {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.column = col_;
+    return t;
+  }
+
+  Result<Token> next_token() {
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return lex_ident();
+    }
+    if (c == '"') return lex_string();
+    return lex_symbol();
+  }
+
+  Result<Token> lex_number() {
+    Token t = start_token(TokenKind::kNumber);
+    std::string digits;
+    while (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.') {
+      // A dot is part of the number only when followed by a digit
+      // (protects dotted paths that begin with digits — not expected, but
+      // cheap to guard).
+      if (peek() == '.' &&
+          !std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        break;
+      }
+      digits.push_back(advance());
+    }
+    t.number = std::strtod(digits.c_str(), nullptr);
+    // Attached suffix: "5G", "40KB/s", "50%", "800ms".
+    if (peek() == '%') {
+      advance();
+      t.suffix = "%";
+    } else if (std::isalpha(static_cast<unsigned char>(peek()))) {
+      std::string suffix;
+      while (std::isalpha(static_cast<unsigned char>(peek()))) {
+        suffix.push_back(advance());
+      }
+      if (peek() == '/' && std::isalpha(static_cast<unsigned char>(peek(1)))) {
+        suffix.push_back(advance());
+        while (std::isalpha(static_cast<unsigned char>(peek()))) {
+          suffix.push_back(advance());
+        }
+      }
+      t.suffix = std::move(suffix);
+    }
+    return t;
+  }
+
+  Result<Token> lex_ident() {
+    Token t = start_token(TokenKind::kIdent);
+    std::string text;
+    while (true) {
+      const char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        text.push_back(advance());
+      } else if (c == '-' &&
+                 std::isalnum(static_cast<unsigned char>(peek(1)))) {
+        // Dashes inside identifiers: US-West-1, S3-IA.
+        text.push_back(advance());
+      } else {
+        break;
+      }
+    }
+    t.text = std::move(text);
+    return t;
+  }
+
+  Result<Token> lex_string() {
+    Token t = start_token(TokenKind::kString);
+    advance();  // opening quote
+    std::string text;
+    while (!at_end() && peek() != '"') text.push_back(advance());
+    if (at_end()) {
+      return invalid_argument(
+          str_format("unterminated string at line %d", t.line));
+    }
+    advance();  // closing quote
+    t.text = std::move(text);
+    return t;
+  }
+
+  Result<Token> lex_symbol() {
+    Token t = start_token(TokenKind::kEof);
+    const int line = line_;
+    const char c = advance();
+    switch (c) {
+      case '{': t.kind = TokenKind::kLBrace; return t;
+      case '}': t.kind = TokenKind::kRBrace; return t;
+      case '(': t.kind = TokenKind::kLParen; return t;
+      case ')': t.kind = TokenKind::kRParen; return t;
+      case ':': t.kind = TokenKind::kColon; return t;
+      case ';': t.kind = TokenKind::kSemicolon; return t;
+      case ',': t.kind = TokenKind::kComma; return t;
+      case '.': t.kind = TokenKind::kDot; return t;
+      case '=':
+        if (peek() == '=') {
+          advance();
+          t.kind = TokenKind::kEq;
+        } else {
+          t.kind = TokenKind::kAssign;
+        }
+        return t;
+      case '!':
+        if (peek() == '=') {
+          advance();
+          t.kind = TokenKind::kNe;
+          return t;
+        }
+        break;
+      case '<':
+        if (peek() == '=') {
+          advance();
+          t.kind = TokenKind::kLe;
+        } else {
+          t.kind = TokenKind::kLt;
+        }
+        return t;
+      case '>':
+        if (peek() == '=') {
+          advance();
+          t.kind = TokenKind::kGe;
+        } else {
+          t.kind = TokenKind::kGt;
+        }
+        return t;
+      case '&':
+        if (peek() == '&') {
+          advance();
+          t.kind = TokenKind::kAnd;
+          return t;
+        }
+        break;
+      case '|':
+        if (peek() == '|') {
+          advance();
+          t.kind = TokenKind::kOr;
+          return t;
+        }
+        break;
+      default:
+        break;
+    }
+    return invalid_argument(
+        str_format("unexpected character '%c' at line %d", c, line));
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> tokenize(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace wiera::policy

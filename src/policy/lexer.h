@@ -1,0 +1,59 @@
+// Lexer for the policy DSL.
+//
+// Notable quirks inherited from the paper's notation:
+//  * '%' starts a line comment ("% two tiers specified ...") EXCEPT when it
+//    immediately follows a number, where it is the percent sign ("50%").
+//  * Identifiers may contain '-' (region names: US-West-1) when the dash is
+//    followed by an alphanumeric.
+//  * Numbers may carry an attached unit suffix ("5G", "40KB/s"); detached
+//    units ("800 ms") surface as a number token followed by an identifier
+//    and are merged by the parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wiera::policy {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,   // numeric literal; may carry a suffix ("G", "KB/s", "%")
+  kString,   // "quoted"
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kColon,
+  kSemicolon,
+  kComma,
+  kDot,
+  kAssign,   // =
+  kEq,       // ==
+  kNe,       // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,      // &&
+  kOr,       // ||
+  kEof,
+};
+
+std::string_view token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;    // identifier text / string contents
+  double number = 0;   // numeric value for kNumber
+  std::string suffix;  // attached unit for kNumber ("G", "ms", "KB/s", "%")
+  int line = 0;
+  int column = 0;
+};
+
+// Tokenize the whole input; returns an error with line info on bad input.
+Result<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace wiera::policy

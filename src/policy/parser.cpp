@@ -1,0 +1,550 @@
+#include "policy/parser.h"
+
+#include <set>
+
+#include "common/strings.h"
+#include "common/units.h"
+#include "policy/lexer.h"
+
+namespace wiera::policy {
+
+namespace {
+
+// Unit classification for numeric literals.
+Result<Value> apply_unit(double number, const std::string& unit) {
+  const std::string u = to_lower(unit);
+  if (u.empty()) return Value::number_of(number);
+  if (u == "%") return Value::percent_of(number);
+  if (u == "ms" || u == "millis" || u == "milliseconds") {
+    return Value::duration_of(msec(number));
+  }
+  if (u == "s" || u == "sec" || u == "second" || u == "seconds") {
+    return Value::duration_of(sec(number));
+  }
+  if (u == "min" || u == "minute" || u == "minutes") {
+    return Value::duration_of(minutes(number));
+  }
+  if (u == "h" || u == "hour" || u == "hours") {
+    return Value::duration_of(hoursd(number));
+  }
+  if (u == "kb/s") return Value::rate_of(number * 1024);
+  if (u == "mb/s") return Value::rate_of(number * 1024 * 1024);
+  if (u == "gb/s") return Value::rate_of(number * 1024 * 1024 * 1024);
+  if (u == "b") return Value::size_of(static_cast<int64_t>(number));
+  if (u == "k" || u == "kb") {
+    return Value::size_of(static_cast<int64_t>(number * KiB));
+  }
+  if (u == "m" || u == "mb") {
+    return Value::size_of(static_cast<int64_t>(number * MiB));
+  }
+  if (u == "g" || u == "gb") {
+    return Value::size_of(static_cast<int64_t>(number * GiB));
+  }
+  if (u == "t" || u == "tb") {
+    return Value::size_of(static_cast<int64_t>(number * TiB));
+  }
+  return invalid_argument("unknown unit suffix: " + unit);
+}
+
+bool is_unit_ident(const std::string& text) {
+  static const std::set<std::string> kUnits = {
+      "ms",  "millis", "milliseconds", "s",      "sec",    "second",
+      "seconds", "min", "minute",      "minutes", "h",     "hour",
+      "hours"};
+  return kUnits.count(to_lower(text)) > 0;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<PolicyDoc> parse() {
+    PolicyDoc doc;
+    const Token& kind_tok = peek();
+    if (!match_ident("Tiera") && !match_ident("Wiera")) {
+      return error("expected 'Tiera' or 'Wiera' at document start");
+    }
+    doc.is_wiera = (kind_tok.text == "Wiera");
+
+    if (peek().kind != TokenKind::kIdent) return error("expected policy name");
+    doc.name = advance().text;
+
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kLParen));
+    while (peek().kind == TokenKind::kIdent) {
+      std::string type = advance().text;
+      if (peek().kind != TokenKind::kIdent) {
+        return error("expected parameter name after type '" + type + "'");
+      }
+      std::string name = advance().text;
+      doc.params.emplace_back(std::move(type), std::move(name));
+      if (!match(TokenKind::kComma)) break;
+    }
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kRParen));
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kLBrace));
+
+    while (!check(TokenKind::kRBrace)) {
+      if (check(TokenKind::kEof)) return error("unterminated policy body");
+      if (peek().kind == TokenKind::kIdent && peek().text == "event") {
+        auto rule = parse_event();
+        if (!rule.ok()) return rule.status();
+        doc.events.push_back(std::move(rule).value());
+      } else {
+        WIERA_RETURN_IF_ERROR(parse_declaration(doc));
+      }
+    }
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kRBrace));
+    return doc;
+  }
+
+ private:
+  // ---- token helpers ----
+  const Token& peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool check(TokenKind kind) const { return peek().kind == kind; }
+  bool match(TokenKind kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+  bool match_ident(std::string_view text) {
+    if (peek().kind == TokenKind::kIdent && peek().text == text) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  Status expect(TokenKind kind) {
+    if (match(kind)) return ok_status();
+    return error(str_format("expected %.*s, found %.*s",
+                            static_cast<int>(token_kind_name(kind).size()),
+                            token_kind_name(kind).data(),
+                            static_cast<int>(token_kind_name(peek().kind).size()),
+                            token_kind_name(peek().kind).data()));
+  }
+  Status error(const std::string& what) const {
+    return invalid_argument(
+        str_format("line %d: %s", peek().line, what.c_str()));
+  }
+
+  // ---- declarations ----
+
+  // LABEL (":"|"=") "{" ... "}" [";"]
+  Status parse_declaration(PolicyDoc& doc) {
+    if (peek().kind != TokenKind::kIdent) {
+      return error("expected declaration label");
+    }
+    std::string label = advance().text;
+    if (!match(TokenKind::kColon) && !match(TokenKind::kAssign)) {
+      return error("expected ':' or '=' after '" + label + "'");
+    }
+    std::map<std::string, Value> attrs;
+    std::vector<TierDecl> nested;
+    WIERA_RETURN_IF_ERROR(parse_attr_block(attrs, nested, /*allow_nested=*/true));
+    match(TokenKind::kSemicolon);
+
+    const bool is_region = attrs.count("region") > 0 || !nested.empty();
+    if (is_region) {
+      RegionDecl region;
+      region.label = std::move(label);
+      region.attrs = std::move(attrs);
+      region.tiers = std::move(nested);
+      doc.regions.push_back(std::move(region));
+    } else {
+      if (!nested.empty()) return error("tier declarations cannot nest");
+      TierDecl tier;
+      tier.label = std::move(label);
+      tier.attrs = std::move(attrs);
+      doc.tiers.push_back(std::move(tier));
+    }
+    return ok_status();
+  }
+
+  // "{" kv {"," kv} "}" where a kv value may itself be a brace block
+  // (nested tier within a region).
+  Status parse_attr_block(std::map<std::string, Value>& attrs,
+                          std::vector<TierDecl>& nested, bool allow_nested) {
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kLBrace));
+    while (!check(TokenKind::kRBrace)) {
+      if (peek().kind != TokenKind::kIdent) {
+        return error("expected attribute name");
+      }
+      std::string key = advance().text;
+      if (!match(TokenKind::kColon) && !match(TokenKind::kAssign)) {
+        return error("expected ':' or '=' after attribute '" + key + "'");
+      }
+      if (check(TokenKind::kLBrace)) {
+        if (!allow_nested) return error("unexpected nested block");
+        TierDecl tier;
+        tier.label = std::move(key);
+        std::vector<TierDecl> deeper;
+        WIERA_RETURN_IF_ERROR(
+            parse_attr_block(tier.attrs, deeper, /*allow_nested=*/false));
+        nested.push_back(std::move(tier));
+      } else {
+        auto value = parse_value();
+        if (!value.ok()) return value.status();
+        attrs[key] = std::move(value).value();
+      }
+      if (!match(TokenKind::kComma)) break;
+    }
+    return expect(TokenKind::kRBrace);
+  }
+
+  // A scalar attribute value: number (with units), bool, or bare identifier.
+  Result<Value> parse_value() {
+    if (check(TokenKind::kNumber)) {
+      const Token t = advance();
+      std::string unit = t.suffix;
+      if (unit.empty() && peek().kind == TokenKind::kIdent &&
+          is_unit_ident(peek().text)) {
+        unit = advance().text;
+      }
+      return apply_unit(t.number, unit);
+    }
+    if (check(TokenKind::kString)) return Value::string_of(advance().text);
+    if (check(TokenKind::kIdent)) {
+      const std::string text = advance().text;
+      const std::string lower = to_lower(text);
+      if (lower == "true") return Value::bool_of(true);
+      if (lower == "false") return Value::bool_of(false);
+      return Value::string_of(text);
+    }
+    return Result<Value>(error("expected a value"));
+  }
+
+  // ---- events ----
+
+  Result<EventRule> parse_event() {
+    advance();  // 'event'
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kLParen));
+    auto trigger = parse_expr();
+    if (!trigger.ok()) return trigger.status();
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kRParen));
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kColon));
+    if (!match_ident("response")) return Result<EventRule>(error("expected 'response'"));
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kLBrace));
+    EventRule rule;
+    rule.trigger = std::move(trigger).value();
+    while (!check(TokenKind::kRBrace)) {
+      if (check(TokenKind::kEof)) return Result<EventRule>(error("unterminated response"));
+      auto stmt = parse_stmt();
+      if (!stmt.ok()) return stmt.status();
+      rule.response.push_back(std::move(stmt).value());
+    }
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kRBrace));
+    return rule;
+  }
+
+  Result<Stmt> parse_stmt() {
+    if (peek().kind == TokenKind::kIdent && peek().text == "if") {
+      return parse_if();
+    }
+    // Disambiguate assignment (path = expr) vs action (name(args)).
+    if (peek().kind == TokenKind::kIdent &&
+        peek(1).kind == TokenKind::kLParen) {
+      return parse_action();
+    }
+    return parse_assign();
+  }
+
+  Result<Stmt> parse_if() {
+    advance();  // 'if'
+    IfStmt node;
+    while (true) {
+      WIERA_RETURN_IF_ERROR(expect(TokenKind::kLParen));
+      auto cond = parse_expr();
+      if (!cond.ok()) return cond.status();
+      WIERA_RETURN_IF_ERROR(expect(TokenKind::kRParen));
+      IfStmt::Branch branch;
+      branch.condition = std::move(cond).value();
+      WIERA_RETURN_IF_ERROR(parse_branch_body(branch.body));
+      node.branches.push_back(std::move(branch));
+
+      if (!match_ident("else")) break;
+      if (peek().kind == TokenKind::kIdent && peek().text == "if") {
+        advance();  // chained 'else if'
+        continue;
+      }
+      IfStmt::Branch else_branch;  // condition stays null
+      WIERA_RETURN_IF_ERROR(parse_branch_body(else_branch.body));
+      node.branches.push_back(std::move(else_branch));
+      break;
+    }
+    Stmt stmt;
+    stmt.node = std::move(node);
+    return stmt;
+  }
+
+  // A branch body: braced block, or (paper style) statements up to
+  // 'else' / '}' .
+  Status parse_branch_body(std::vector<Stmt>& body) {
+    if (match(TokenKind::kLBrace)) {
+      while (!check(TokenKind::kRBrace)) {
+        if (check(TokenKind::kEof)) return error("unterminated block");
+        auto stmt = parse_stmt();
+        if (!stmt.ok()) return stmt.status();
+        body.push_back(std::move(stmt).value());
+      }
+      return expect(TokenKind::kRBrace);
+    }
+    while (!check(TokenKind::kRBrace) && !check(TokenKind::kEof) &&
+           !(peek().kind == TokenKind::kIdent && peek().text == "else")) {
+      auto stmt = parse_stmt();
+      if (!stmt.ok()) return stmt.status();
+      body.push_back(std::move(stmt).value());
+    }
+    if (body.empty()) return error("empty if/else branch");
+    return ok_status();
+  }
+
+  Result<Stmt> parse_action() {
+    ActionStmt action;
+    action.name = advance().text;
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kLParen));
+    while (!check(TokenKind::kRParen)) {
+      if (peek().kind != TokenKind::kIdent) {
+        return Result<Stmt>(error("expected argument name in " + action.name + "()"));
+      }
+      std::string arg_name = advance().text;
+      WIERA_RETURN_IF_ERROR(expect(TokenKind::kColon));
+      auto value = parse_expr();
+      if (!value.ok()) return value.status();
+      action.args.emplace_back(std::move(arg_name), std::move(value).value());
+      if (!match(TokenKind::kComma)) break;
+    }
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kRParen));
+    match(TokenKind::kSemicolon);
+    Stmt stmt;
+    stmt.node = std::move(action);
+    return stmt;
+  }
+
+  Result<Stmt> parse_assign() {
+    auto target = parse_path();
+    if (!target.ok()) return target.status();
+    WIERA_RETURN_IF_ERROR(expect(TokenKind::kAssign));
+    auto value = parse_expr();
+    if (!value.ok()) return value.status();
+    match(TokenKind::kSemicolon);
+    AssignStmt assign;
+    assign.target = std::move(target).value();
+    assign.value = std::move(value).value();
+    Stmt stmt;
+    stmt.node = std::move(assign);
+    return stmt;
+  }
+
+  // ---- expressions ----
+
+  Result<ExprPtr> parse_expr() { return parse_or(); }
+
+  Result<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.ok()) return lhs;
+    while (match(TokenKind::kOr)) {
+      auto rhs = parse_and();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary(BinaryOp::kOr, std::move(lhs).value(),
+                        std::move(rhs).value());
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> parse_and() {
+    auto lhs = parse_cmp();
+    if (!lhs.ok()) return lhs;
+    while (match(TokenKind::kAnd)) {
+      auto rhs = parse_cmp();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary(BinaryOp::kAnd, std::move(lhs).value(),
+                        std::move(rhs).value());
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> parse_cmp() {
+    auto lhs = parse_primary();
+    if (!lhs.ok()) return lhs;
+    BinaryOp op;
+    switch (peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      // Single '=' is equality in expression position: event(time=t).
+      case TokenKind::kAssign: op = BinaryOp::kEq; break;
+      case TokenKind::kNe: op = BinaryOp::kNe; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      default:
+        return lhs;
+    }
+    advance();
+    auto rhs = parse_primary();
+    if (!rhs.ok()) return rhs;
+    return make_binary(op, std::move(lhs).value(), std::move(rhs).value());
+  }
+
+  Result<ExprPtr> parse_primary() {
+    if (match(TokenKind::kLParen)) {
+      auto inner = parse_expr();
+      if (!inner.ok()) return inner;
+      WIERA_RETURN_IF_ERROR(expect(TokenKind::kRParen));
+      return inner;
+    }
+    if (check(TokenKind::kNumber) || check(TokenKind::kString)) {
+      auto value = parse_value();
+      if (!value.ok()) return value.status();
+      return make_literal(std::move(value).value());
+    }
+    if (check(TokenKind::kIdent)) {
+      const std::string lower = to_lower(peek().text);
+      if (lower == "true" || lower == "false") {
+        advance();
+        return make_literal(Value::bool_of(lower == "true"));
+      }
+      auto path = parse_path();
+      if (!path.ok()) return path.status();
+      return make_path(std::move(path).value().parts);
+    }
+    return Result<ExprPtr>(error("expected expression"));
+  }
+
+  Result<PathExpr> parse_path() {
+    if (peek().kind != TokenKind::kIdent) {
+      return Result<PathExpr>(error("expected identifier"));
+    }
+    PathExpr path;
+    path.parts.push_back(advance().text);
+    while (match(TokenKind::kDot)) {
+      if (peek().kind != TokenKind::kIdent) {
+        return Result<PathExpr>(error("expected identifier after '.'"));
+      }
+      path.parts.push_back(advance().text);
+    }
+    return path;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+const std::set<std::string>& known_actions() {
+  static const std::set<std::string> kActions = {
+      // Tiera responses (§2.1)
+      "store", "retrieve", "copy", "move", "encrypt", "compress", "delete",
+      "grow",
+      // Wiera additions (§3.2.3) and the lock/release pair used by
+      // MultiPrimariesConsistency (Fig. 3a)
+      "forward", "queue", "change_consistency", "change_policy", "lock",
+      "release",
+  };
+  return kActions;
+}
+
+const std::set<std::string>& known_action_args() {
+  static const std::set<std::string> kArgs = {"what", "to", "from",
+                                              "bandwidth"};
+  return kArgs;
+}
+
+// Symbolic targets resolvable at run time rather than declared in the doc.
+bool is_symbolic_target(const std::string& name) {
+  static const std::set<std::string> kSymbolic = {
+      "local_instance", "all_regions", "primary_instance",
+      "instance_forward_most", "all_instances"};
+  return kSymbolic.count(name) > 0;
+}
+
+Status validate_stmts(const PolicyDoc& doc, const std::vector<Stmt>& stmts);
+
+Status validate_action(const PolicyDoc& doc, const ActionStmt& action) {
+  if (!is_known_action(action.name)) {
+    return invalid_argument("unknown action: " + action.name);
+  }
+  for (const auto& [arg_name, expr] : action.args) {
+    if (known_action_args().count(arg_name) == 0) {
+      return invalid_argument("unknown argument '" + arg_name + "' in " +
+                              action.name + "()");
+    }
+    (void)expr;
+  }
+  // `to:` targets must be a declared tier/region, a symbolic target, or (for
+  // change_policy) a policy name we cannot check here.
+  const Expr* to = action.arg("to");
+  if (to != nullptr && to->is_path() && to->path().parts.size() == 1 &&
+      action.name != "change_policy" && action.name != "change_consistency") {
+    const std::string& target = to->path().parts[0];
+    bool declared = doc.tier(target) != nullptr ||
+                    doc.region_decl(target) != nullptr ||
+                    is_symbolic_target(target);
+    // Wiera policies declare tiers nested inside region blocks.
+    for (const auto& region : doc.regions) {
+      if (declared) break;
+      for (const auto& tier : region.tiers) {
+        if (tier.label == target) {
+          declared = true;
+          break;
+        }
+      }
+    }
+    if (!declared) {
+      return invalid_argument("action '" + action.name +
+                              "' targets undeclared tier/region: " + target);
+    }
+  }
+  return ok_status();
+}
+
+Status validate_stmt(const PolicyDoc& doc, const Stmt& stmt) {
+  if (stmt.is_action()) return validate_action(doc, stmt.action());
+  if (stmt.is_if()) {
+    for (const auto& branch : stmt.if_stmt().branches) {
+      WIERA_RETURN_IF_ERROR(validate_stmts(doc, branch.body));
+    }
+  }
+  return ok_status();
+}
+
+Status validate_stmts(const PolicyDoc& doc, const std::vector<Stmt>& stmts) {
+  for (const Stmt& stmt : stmts) {
+    WIERA_RETURN_IF_ERROR(validate_stmt(doc, stmt));
+  }
+  return ok_status();
+}
+
+}  // namespace
+
+bool is_known_action(std::string_view name) {
+  return known_actions().count(std::string(name)) > 0;
+}
+
+Result<PolicyDoc> parse_policy(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(std::move(tokens).value()).parse();
+}
+
+Status validate(const PolicyDoc& doc) {
+  if (doc.name.empty()) return invalid_argument("policy has no name");
+  for (const auto& rule : doc.events) {
+    if (rule.trigger == nullptr) {
+      return invalid_argument("event rule without trigger");
+    }
+    if (rule.response.empty()) {
+      return invalid_argument("event rule with empty response");
+    }
+    WIERA_RETURN_IF_ERROR(validate_stmts(doc, rule.response));
+  }
+  for (const auto& region : doc.regions) {
+    if (region.instance_name().empty()) {
+      return invalid_argument("region " + region.label +
+                              " missing instance name");
+    }
+  }
+  return ok_status();
+}
+
+}  // namespace wiera::policy

@@ -1,0 +1,40 @@
+// Recursive-descent parser for the policy DSL, plus a semantic validator.
+//
+// Grammar (as written in the paper's figures):
+//   policy  := ("Tiera" | "Wiera") NAME "(" [TYPE NAME {"," TYPE NAME}] ")"
+//              "{" { tier_decl | region_decl | event_rule } "}"
+//   tier    := LABEL ":" "{" kv {"," kv} "}" [";"]
+//   region  := LABEL "=" "{" kv-or-tier {"," kv-or-tier} "}" [";"]
+//   event   := "event" "(" expr ")" ":" "response" "{" { stmt } "}"
+//   stmt    := if | assign | action
+//   if      := "if" "(" expr ")" stmts ["else" (if | stmts)]
+//              (bodies may be braced or run until else/})
+//   assign  := path "=" expr [";"]
+//   action  := NAME "(" [NAME ":" expr {"," NAME ":" expr}] ")" [";"]
+//   expr    := and { "||" and } ; and := cmp { "&&" cmp }
+//   cmp     := prim [("=="|"="|"!="|"<"|"<="|">"|">=") prim]
+//   prim    := "(" expr ")" | literal | path
+//
+// A declaration block is classified as a region when it has a `region`
+// attribute or nested tier blocks, otherwise as a tier.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "policy/ast.h"
+
+namespace wiera::policy {
+
+// Parse one policy document. Errors carry line numbers.
+Result<PolicyDoc> parse_policy(std::string_view source);
+
+// Semantic checks: known action names, known argument names, tier targets
+// either declared in the doc or well-known symbolic targets
+// (local_instance, all_regions, primary_instance, ...).
+Status validate(const PolicyDoc& doc);
+
+// Known response/action names (Tiera §2.1 + Wiera §3.2.3).
+bool is_known_action(std::string_view name);
+
+}  // namespace wiera::policy

@@ -1,0 +1,197 @@
+#include "policy/printer.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "common/units.h"
+
+namespace wiera::policy {
+
+namespace {
+
+// Render a duration with the largest unit that divides it exactly.
+std::string duration_to_source(Duration d) {
+  const int64_t us = d.us();
+  if (us % 3600000000LL == 0 && us != 0) {
+    return str_format("%lld hours", static_cast<long long>(us / 3600000000LL));
+  }
+  if (us % 60000000LL == 0 && us != 0) {
+    return str_format("%lld minutes", static_cast<long long>(us / 60000000LL));
+  }
+  if (us % 1000000LL == 0) {
+    return str_format("%lld seconds", static_cast<long long>(us / 1000000LL));
+  }
+  if (us % 1000LL == 0) {
+    return str_format("%lld ms", static_cast<long long>(us / 1000LL));
+  }
+  // Sub-millisecond durations round up to ms (the grammar has no µs unit).
+  return str_format("%lld ms", static_cast<long long>((us + 999) / 1000));
+}
+
+std::string size_to_source(int64_t bytes) {
+  if (bytes % TiB == 0 && bytes != 0) {
+    return str_format("%lldT", static_cast<long long>(bytes / TiB));
+  }
+  if (bytes % GiB == 0 && bytes != 0) {
+    return str_format("%lldG", static_cast<long long>(bytes / GiB));
+  }
+  if (bytes % MiB == 0 && bytes != 0) {
+    return str_format("%lldM", static_cast<long long>(bytes / MiB));
+  }
+  if (bytes % KiB == 0 && bytes != 0) {
+    return str_format("%lldK", static_cast<long long>(bytes / KiB));
+  }
+  return str_format("%lldB", static_cast<long long>(bytes));
+}
+
+std::string rate_to_source(double bytes_per_sec) {
+  const double kb = bytes_per_sec / 1024.0;
+  if (kb >= 1024.0 && std::fmod(kb, 1024.0) == 0.0) {
+    return str_format("%gMB/s", kb / 1024.0);
+  }
+  return str_format("%gKB/s", kb);
+}
+
+std::string expr_to_source(const Expr& expr);
+
+std::string binary_to_source(const BinaryExpr& bin) {
+  // Parenthesize nested logical operands to preserve associativity on
+  // re-parse; comparisons never nest in this grammar.
+  auto operand = [](const Expr& e) {
+    if (e.is_binary() && (e.binary().op == BinaryOp::kAnd ||
+                          e.binary().op == BinaryOp::kOr)) {
+      return "(" + expr_to_source(e) + ")";
+    }
+    return expr_to_source(e);
+  };
+  return operand(*bin.lhs) + " " + std::string(binary_op_name(bin.op)) +
+         " " + operand(*bin.rhs);
+}
+
+std::string expr_to_source(const Expr& expr) {
+  if (expr.is_path()) return expr.path().dotted();
+  if (expr.is_literal()) return value_to_source(expr.literal().value);
+  return binary_to_source(expr.binary());
+}
+
+void stmt_to_source(const Stmt& stmt, std::string& out, int indent);
+
+void stmts_to_source(const std::vector<Stmt>& stmts, std::string& out,
+                     int indent) {
+  for (const Stmt& stmt : stmts) stmt_to_source(stmt, out, indent);
+}
+
+void stmt_to_source(const Stmt& stmt, std::string& out, int indent) {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  if (stmt.is_assign()) {
+    out += pad + stmt.assign().target.dotted() + " = " +
+           expr_to_source(*stmt.assign().value) + ";\n";
+    return;
+  }
+  if (stmt.is_action()) {
+    const ActionStmt& action = stmt.action();
+    out += pad + action.name + "(";
+    for (size_t i = 0; i < action.args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += action.args[i].first + ":" +
+             expr_to_source(*action.args[i].second);
+    }
+    out += ");\n";
+    return;
+  }
+  // if / else if / else — always braced on output (unambiguous to re-parse).
+  const IfStmt& if_stmt = stmt.if_stmt();
+  for (size_t i = 0; i < if_stmt.branches.size(); ++i) {
+    const auto& branch = if_stmt.branches[i];
+    if (i == 0) {
+      out += pad + "if (" + expr_to_source(*branch.condition) + ") {\n";
+    } else if (branch.condition != nullptr) {
+      out += pad + "else if (" + expr_to_source(*branch.condition) + ") {\n";
+    } else {
+      out += pad + "else {\n";
+    }
+    stmts_to_source(branch.body, out, indent + 3);
+    out += pad + "}\n";
+  }
+}
+
+void attrs_to_source(const std::map<std::string, Value>& attrs,
+                     std::string& out, bool& first) {
+  for (const auto& [key, value] : attrs) {
+    if (!first) out += ", ";
+    first = false;
+    out += key + ": " + value_to_source(value);
+  }
+}
+
+}  // namespace
+
+std::string value_to_source(const Value& value) {
+  switch (value.kind) {
+    case Value::Kind::kNumber: return str_format("%g", value.number);
+    case Value::Kind::kBool: return value.boolean ? "True" : "False";
+    case Value::Kind::kString: return value.text;
+    case Value::Kind::kDuration: return duration_to_source(value.duration);
+    case Value::Kind::kSize: return size_to_source(value.size_bytes);
+    case Value::Kind::kPercent: return str_format("%g%%", value.number);
+    case Value::Kind::kRate: return rate_to_source(value.number);
+  }
+  return "?";
+}
+
+std::string to_source(const TierDecl& tier) {
+  std::string out = tier.label + ": {";
+  bool first = true;
+  attrs_to_source(tier.attrs, out, first);
+  out += "};";
+  return out;
+}
+
+std::string to_source(const RegionDecl& region) {
+  std::string out = region.label + " = {";
+  bool first = true;
+  attrs_to_source(region.attrs, out, first);
+  for (const TierDecl& tier : region.tiers) {
+    if (!first) out += ", ";
+    first = false;
+    out += tier.label + " = {";
+    bool tier_first = true;
+    attrs_to_source(tier.attrs, out, tier_first);
+    out += "}";
+  }
+  out += " }";
+  return out;
+}
+
+std::string to_source(const EventRule& rule) {
+  std::string out = "event(" + (rule.trigger != nullptr
+                                    ? expr_to_source(*rule.trigger)
+                                    : std::string()) +
+                    ") : response {\n";
+  stmts_to_source(rule.response, out, 6);
+  out += "   }";
+  return out;
+}
+
+std::string to_source(const PolicyDoc& doc) {
+  std::string out = doc.is_wiera ? "Wiera " : "Tiera ";
+  out += doc.name + "(";
+  for (size_t i = 0; i < doc.params.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += doc.params[i].first + " " + doc.params[i].second;
+  }
+  out += ") {\n";
+  for (const TierDecl& tier : doc.tiers) {
+    out += "   " + to_source(tier) + "\n";
+  }
+  for (const RegionDecl& region : doc.regions) {
+    out += "   " + to_source(region) + "\n";
+  }
+  for (const EventRule& rule : doc.events) {
+    out += "   " + to_source(rule) + "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace wiera::policy

@@ -1,0 +1,24 @@
+// Pretty-printer: PolicyDoc -> DSL source.
+//
+// Renders an AST back into the paper's concise notation, such that
+// parse(print(doc)) reproduces the same structure. Used to ship policies
+// over the wire (policies are data), to display the effective policy of a
+// running instance, and as a round-trip oracle in tests.
+#pragma once
+
+#include <string>
+
+#include "policy/ast.h"
+
+namespace wiera::policy {
+
+// Render a whole document.
+std::string to_source(const PolicyDoc& doc);
+
+// Render fragments (useful in logs/UIs).
+std::string to_source(const TierDecl& tier);
+std::string to_source(const RegionDecl& region);
+std::string to_source(const EventRule& rule);
+std::string value_to_source(const Value& value);
+
+}  // namespace wiera::policy

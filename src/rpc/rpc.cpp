@@ -1,0 +1,46 @@
+#include "rpc/rpc.h"
+
+namespace wiera::rpc {
+
+sim::Task<Result<Message>> Endpoint::call(std::string target_node,
+                                          std::string method,
+                                          Message request) {
+  calls_sent_++;
+
+  if (target_node == node_name_) {
+    // Loopback: no network hop.
+    co_return co_await dispatch(method, std::move(request));
+  }
+
+  const int64_t request_size = request.wire_size();
+  Status st = co_await network_->transfer(node_name_, target_node,
+                                          request_size);
+  if (!st.ok()) co_return st;
+
+  Endpoint* target = registry_->find(target_node);
+  if (target == nullptr) {
+    co_return unavailable("no endpoint registered at " + target_node);
+  }
+
+  Result<Message> response = co_await target->dispatch(method,
+                                                       std::move(request));
+  if (!response.ok()) co_return response.status();
+
+  st = co_await network_->transfer(target_node, node_name_,
+                                   response->wire_size());
+  if (!st.ok()) co_return st;
+
+  co_return std::move(response).value();
+}
+
+sim::Task<Result<Message>> Endpoint::dispatch(const std::string& method,
+                                              Message request) {
+  calls_handled_++;
+  auto it = handlers_.find(method);
+  if (it == handlers_.end()) {
+    co_return unimplemented("method " + method + " on " + node_name_);
+  }
+  co_return co_await it->second(std::move(request));
+}
+
+}  // namespace wiera::rpc

@@ -1,0 +1,98 @@
+// Typed request/response RPC over the simulated network (Thrift stand-in).
+//
+// Each node hosts one Endpoint; handlers are registered per method name and
+// are coroutines (they can perform storage work / further RPCs before
+// responding). A call pays: request transfer -> handler execution ->
+// response transfer. Failures (outages) surface as non-OK Status.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/network.h"
+#include "sim/task.h"
+
+namespace wiera::rpc {
+
+// A serialized message body plus a small framing overhead that models
+// headers on the wire.
+struct Message {
+  Bytes body;
+  static constexpr int64_t kFrameOverhead = 32;
+  int64_t wire_size() const {
+    return static_cast<int64_t>(body.size()) + kFrameOverhead;
+  }
+};
+
+class Endpoint;
+
+// Name -> endpoint routing; one per simulation.
+class Registry {
+ public:
+  void add(const std::string& node_name, Endpoint* endpoint) {
+    assert(endpoints_.count(node_name) == 0 && "duplicate endpoint");
+    endpoints_[node_name] = endpoint;
+  }
+  void remove(const std::string& node_name) { endpoints_.erase(node_name); }
+  Endpoint* find(const std::string& node_name) const {
+    auto it = endpoints_.find(node_name);
+    return it == endpoints_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::map<std::string, Endpoint*> endpoints_;
+};
+
+class Endpoint {
+ public:
+  // A handler consumes the request body and produces a response body.
+  using Handler = std::function<sim::Task<Result<Message>>(Message)>;
+
+  Endpoint(net::Network& network, Registry& registry, std::string node_name)
+      : network_(&network),
+        registry_(&registry),
+        node_name_(std::move(node_name)) {
+    assert(network_->topology().has_node(node_name_) &&
+           "endpoint node must exist in the topology");
+    registry_->add(node_name_, this);
+  }
+
+  ~Endpoint() { registry_->remove(node_name_); }
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  const std::string& node_name() const { return node_name_; }
+
+  void register_handler(const std::string& method, Handler handler) {
+    handlers_[method] = std::move(handler);
+  }
+
+  // Issue an RPC. Completes with the response, or kUnavailable /
+  // kUnimplemented on failure. Calling a method on one's own node skips the
+  // network (loopback).
+  sim::Task<Result<Message>> call(std::string target_node, std::string method,
+                                  Message request);
+
+  // Per-endpoint counters (the workload monitor reads these).
+  int64_t calls_handled() const { return calls_handled_; }
+  int64_t calls_sent() const { return calls_sent_; }
+
+ private:
+  sim::Task<Result<Message>> dispatch(const std::string& method,
+                                      Message request);
+
+  net::Network* network_;
+  Registry* registry_;
+  std::string node_name_;
+  std::map<std::string, Handler> handlers_;
+  int64_t calls_handled_ = 0;
+  int64_t calls_sent_ = 0;
+};
+
+}  // namespace wiera::rpc

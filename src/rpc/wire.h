@@ -1,0 +1,131 @@
+// Binary wire format — the Thrift stand-in's serialization layer.
+//
+// Little-endian fixed-width integers, length-prefixed strings/blobs. Every
+// RPC payload in the system is produced by WireWriter and consumed by
+// WireReader; the serialized size feeds the network model, so message sizes
+// (and therefore transfer times and egress bills) are realistic.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace wiera::rpc {
+
+class WireWriter {
+ public:
+  void put_u8(uint8_t v) { buf_.push_back(v); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_u32(uint32_t v) { put_raw(&v, sizeof(v)); }
+  void put_u64(uint64_t v) { put_raw(&v, sizeof(v)); }
+  void put_i64(int64_t v) { put_raw(&v, sizeof(v)); }
+  void put_double(double v) { put_raw(&v, sizeof(v)); }
+
+  void put_string(std::string_view s) {
+    put_u32(static_cast<uint32_t>(s.size()));
+    put_raw(s.data(), s.size());
+  }
+
+  void put_blob(const Blob& b) {
+    put_u32(static_cast<uint32_t>(b.size()));
+    put_raw(b.data(), b.size());
+  }
+
+  size_t size() const { return buf_.size(); }
+  Bytes take() { return std::move(buf_); }
+  const Bytes& bytes() const { return buf_; }
+
+ private:
+  void put_raw(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+  Bytes buf_;
+};
+
+// Bounds-checked reader. Reads return false / default on truncation and
+// latch an error flag; callers check ok() once at the end (Thrift-style).
+class WireReader {
+ public:
+  explicit WireReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return !failed_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t get_u8() {
+    uint8_t v = 0;
+    get_raw(&v, sizeof(v));
+    return v;
+  }
+  bool get_bool() { return get_u8() != 0; }
+  uint32_t get_u32() {
+    uint32_t v = 0;
+    get_raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t get_u64() {
+    uint64_t v = 0;
+    get_raw(&v, sizeof(v));
+    return v;
+  }
+  int64_t get_i64() {
+    int64_t v = 0;
+    get_raw(&v, sizeof(v));
+    return v;
+  }
+  double get_double() {
+    double v = 0;
+    get_raw(&v, sizeof(v));
+    return v;
+  }
+
+  std::string get_string() {
+    const uint32_t len = get_u32();
+    if (failed_ || len > remaining()) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  Blob get_blob() {
+    const uint32_t len = get_u32();
+    if (failed_ || len > remaining()) {
+      failed_ = true;
+      return {};
+    }
+    Blob b(Bytes(data_ + pos_, data_ + pos_ + len));
+    pos_ += len;
+    return b;
+  }
+
+  Status status() const {
+    return failed_ ? invalid_argument("truncated or malformed wire data")
+                   : ok_status();
+  }
+
+ private:
+  void get_raw(void* out, size_t len) {
+    if (failed_ || len > remaining()) {
+      failed_ = true;
+      std::memset(out, 0, len);
+      return;
+    }
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace wiera::rpc

@@ -1,0 +1,123 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace wiera::sim {
+
+namespace {
+
+// Wrapper coroutine that owns a detached Task<void>. It unregisters itself
+// from the simulation's root list when the task completes; if the simulation
+// dies first, destroying this frame destroys the task (and transitively any
+// child task frames it is awaiting).
+struct RootTask {
+  struct promise_type {
+    Simulation* sim = nullptr;
+    std::list<std::coroutine_handle<>>::iterator registry_it;
+    bool registered = false;
+
+    RootTask get_return_object() {
+      return RootTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // No final suspension: after unregistering (in return_void) the frame
+    // destroys itself when it runs off the end.
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept;
+    [[noreturn]] void unhandled_exception() noexcept {
+      std::fprintf(stderr, "wiera::sim: exception escaped a root task\n");
+      std::abort();
+    }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+RootTask run_root(Task<void> task) { co_await std::move(task); }
+
+}  // namespace
+
+struct Simulation::RootRegistry {
+  static void register_root(Simulation& sim,
+                            std::coroutine_handle<RootTask::promise_type> h) {
+    sim.roots_.push_back(h);
+    h.promise().sim = &sim;
+    h.promise().registry_it = std::prev(sim.roots_.end());
+    h.promise().registered = true;
+  }
+  static void unregister_root(RootTask::promise_type& p) {
+    if (p.registered && p.sim != nullptr) {
+      p.sim->roots_.erase(p.registry_it);
+      p.registered = false;
+    }
+  }
+};
+
+namespace {
+void RootTask::promise_type::return_void() noexcept {
+  Simulation::RootRegistry::unregister_root(*this);
+}
+}  // namespace
+
+Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+
+Simulation::~Simulation() {
+  // Destroy anything still suspended. Root frames own their child task
+  // frames, so destroying roots reclaims entire await chains. Queue entries
+  // whose frames were already destroyed via a root chain would dangle — but
+  // queued handles are exactly the *resumable leaves* of chains, and each
+  // leaf belongs to one root chain, so destroy roots only.
+  // (Leaves suspended on sync primitives are also reclaimed this way.)
+  stopped_ = true;
+  while (!roots_.empty()) {
+    auto h = roots_.front();
+    roots_.pop_front();
+    h.destroy();
+  }
+}
+
+void Simulation::schedule_at(TimePoint t, std::coroutine_handle<> h) {
+  assert(h);
+  if (t < now_) t = now_;  // never schedule into the past
+  queue_.push(QueueItem{t, next_seq_++, h});
+}
+
+void Simulation::spawn(Task<void> task) {
+  if (!task.valid()) return;
+  RootTask root = run_root(std::move(task));
+  RootRegistry::register_root(*this, root.handle);
+  schedule_at(now_, root.handle);
+}
+
+bool Simulation::step() {
+  if (stopped_ || queue_.empty()) return false;
+  QueueItem item = queue_.top();
+  queue_.pop();
+  assert(item.time >= now_);
+  now_ = item.time;
+  events_executed_++;
+  item.handle.resume();
+  return true;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(TimePoint t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulation::attach_logger() {
+  Logger::instance().set_time_source([this] { return now_; });
+}
+
+}  // namespace wiera::sim

@@ -1,0 +1,107 @@
+// Deterministic discrete-event simulation kernel.
+//
+// A Simulation owns a virtual clock and a priority queue of scheduled
+// coroutine resumptions. Everything in the Wiera reproduction — WAN message
+// delivery, storage-tier service times, timers, monitor threads — is a
+// coroutine suspended on this queue. Single-threaded by design: given the
+// same seed, every run is bit-identical, which makes the paper's timeline
+// experiments (Fig. 7) and all tests reproducible.
+//
+// Tie-breaking: events at the same virtual time run in schedule order
+// (monotonic sequence number), so the interleaving is fully specified.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/task.h"
+
+namespace wiera::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  TimePoint now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Low-level: schedule a bare coroutine resumption.
+  void schedule_at(TimePoint t, std::coroutine_handle<> h);
+  void schedule_after(Duration d, std::coroutine_handle<> h) {
+    schedule_at(now_ + d, h);
+  }
+
+  // co_await sim.delay(d): suspend for d of virtual time.
+  auto delay(Duration d) {
+    struct Awaiter {
+      Simulation* sim;
+      Duration d;
+      bool await_ready() const noexcept { return d <= Duration::zero(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->schedule_after(d, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  // co_await sim.at(t): suspend until virtual time t (no-op if in the past).
+  auto at(TimePoint t) { return delay(t - now_); }
+
+  // Launch a detached root task. It starts at the current virtual time, in
+  // FIFO order with other same-time events. The simulation owns the task:
+  // if the Simulation is destroyed first, suspended frames are destroyed too.
+  void spawn(Task<void> task);
+
+  // Run until the event queue drains (or stop() is called).
+  void run();
+  // Run until the given virtual time; the clock lands exactly on `t` even if
+  // the queue drains earlier. Events scheduled at exactly `t` DO run.
+  void run_until(TimePoint t);
+  void run_for(Duration d) { run_until(now_ + d); }
+  // Stop the run loop after the current event completes.
+  void stop() { stopped_ = true; }
+
+  // Number of events executed so far (for tests / micro-benchmarks).
+  uint64_t events_executed() const { return events_executed_; }
+
+  // Route the global logger's timestamps through this sim's clock.
+  void attach_logger();
+
+  // Implementation detail of spawn(): bookkeeping for detached root frames.
+  struct RootRegistry;
+
+ private:
+  struct QueueItem {
+    TimePoint time;
+    uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const QueueItem& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  bool step();  // execute one event; false if queue empty/stopped
+
+  TimePoint now_ = TimePoint::origin();
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>
+      queue_;
+  std::list<std::coroutine_handle<>> roots_;  // live detached root frames
+  Rng rng_;
+};
+
+}  // namespace wiera::sim

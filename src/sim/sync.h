@@ -1,0 +1,353 @@
+// Synchronization primitives for simulation coroutines.
+//
+// All primitives wake waiters by *scheduling* them at the current virtual
+// time rather than resuming inline. This keeps the call stack flat and makes
+// wake order deterministic (FIFO, after already-queued same-time events).
+//
+// None of these are thread-safe — the simulation is single-threaded.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace wiera::sim {
+
+// Manual-reset event: wait() suspends until set() is called; once set, all
+// current and future waiters pass through until reset().
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(&sim) {}
+
+  bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) sim_->schedule_at(sim_->now(), h);
+    waiters_.clear();
+  }
+
+  void reset() { set_ = false; }
+
+  auto wait() {
+    struct Awaiter {
+      Event* event;
+      bool await_ready() const noexcept { return event->set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        event->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulation* sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// FIFO mutex. Models exclusive critical sections in virtual time (e.g. the
+// serialization a single-writer store imposes).
+class SimMutex {
+ public:
+  explicit SimMutex(Simulation& sim) : sim_(&sim) {}
+
+  bool locked() const { return locked_; }
+
+  auto lock() {
+    struct Awaiter {
+      SimMutex* m;
+      bool await_ready() const noexcept {
+        if (!m->locked_) {
+          m->locked_ = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        m->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void unlock() {
+    assert(locked_);
+    if (waiters_.empty()) {
+      locked_ = false;
+      return;
+    }
+    // Hand the lock to the next waiter; it stays logically locked.
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    sim_->schedule_at(sim_->now(), h);
+  }
+
+ private:
+  Simulation* sim_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Counting semaphore; models bounded resources (IOPS tokens, connection
+// slots).
+class SimSemaphore {
+ public:
+  SimSemaphore(Simulation& sim, int64_t initial) : sim_(&sim), count_(initial) {
+    assert(initial >= 0);
+  }
+
+  int64_t available() const { return count_; }
+
+  auto acquire() {
+    struct Awaiter {
+      SimSemaphore* s;
+      bool await_ready() const noexcept {
+        if (s->count_ > 0) {
+          s->count_--;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        s->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void release(int64_t n = 1) {
+    assert(n >= 0);
+    while (n > 0 && !waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_->schedule_at(sim_->now(), h);
+      n--;
+    }
+    count_ += n;
+  }
+
+ private:
+  Simulation* sim_;
+  int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Unbounded MPSC/MPMC channel. Used for the `queue` response (asynchronous
+// update propagation) and actor mailboxes. recv() returns nullopt once the
+// channel is closed and drained.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulation& sim) : sim_(&sim) {}
+
+  void send(T item) {
+    assert(!closed_ && "send on closed channel");
+    items_.push_back(std::move(item));
+    wake_one();
+  }
+
+  void close() {
+    closed_ = true;
+    // Wake everyone; drained receivers observe nullopt.
+    while (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_->schedule_at(sim_->now(), h);
+    }
+  }
+
+  bool closed() const { return closed_; }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  auto recv() {
+    struct Awaiter {
+      Channel* ch;
+      bool await_ready() const noexcept {
+        return !ch->items_.empty() || ch->closed_;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->waiters_.push_back(h);
+      }
+      std::optional<T> await_resume() {
+        if (ch->items_.empty()) return std::nullopt;  // closed & drained
+        T item = std::move(ch->items_.front());
+        ch->items_.pop_front();
+        return item;
+      }
+    };
+    return Awaiter{this};
+  }
+
+  // Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+ private:
+  void wake_one() {
+    if (waiters_.empty()) return;
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    sim_->schedule_at(sim_->now(), h);
+  }
+
+  Simulation* sim_;
+  bool closed_ = false;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// One-shot future/promise pair, the RPC completion mechanism. Multiple
+// awaiters are allowed; the value is copied out to each.
+template <typename T>
+class Future;
+
+template <typename T>
+struct FutureState {
+  explicit FutureState(Simulation& sim) : sim(&sim) {}
+  Simulation* sim;
+  std::optional<T> value;
+  std::vector<std::coroutine_handle<>> waiters;
+};
+
+template <typename T>
+class Promise {
+ public:
+  explicit Promise(Simulation& sim)
+      : state_(std::make_shared<FutureState<T>>(sim)) {}
+
+  Future<T> future() const;
+
+  void set_value(T value) {
+    assert(!state_->value.has_value() && "promise fulfilled twice");
+    state_->value.emplace(std::move(value));
+    for (auto h : state_->waiters) {
+      state_->sim->schedule_at(state_->sim->now(), h);
+    }
+    state_->waiters.clear();
+  }
+
+  bool fulfilled() const { return state_->value.has_value(); }
+
+ private:
+  std::shared_ptr<FutureState<T>> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  explicit Future(std::shared_ptr<FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  bool ready() const { return state_->value.has_value(); }
+
+  auto operator co_await() const {
+    struct Awaiter {
+      std::shared_ptr<FutureState<T>> state;
+      bool await_ready() const noexcept { return state->value.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        state->waiters.push_back(h);
+      }
+      T await_resume() {
+        assert(state->value.has_value());
+        return *state->value;  // copy: future may have several awaiters
+      }
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  std::shared_ptr<FutureState<T>> state_;
+};
+
+template <typename T>
+Future<T> Promise<T>::future() const {
+  return Future<T>(state_);
+}
+
+namespace detail {
+
+template <typename T>
+struct WhenAllState {
+  explicit WhenAllState(Simulation& sim, size_t n)
+      : remaining(n), done(sim) {
+    results.resize(n);
+  }
+  std::vector<std::optional<T>> results;
+  size_t remaining;
+  Event done;
+};
+
+template <typename T>
+Task<void> when_all_runner(std::shared_ptr<WhenAllState<T>> state, size_t i,
+                           Task<T> task) {
+  state->results[i] = co_await std::move(task);
+  if (--state->remaining == 0) state->done.set();
+}
+
+}  // namespace detail
+
+// Run all tasks concurrently (in virtual time) and collect their results in
+// input order. This is the fan-out primitive used for synchronous update
+// broadcast in the MultiPrimaries / PrimaryBackup protocols.
+template <typename T>
+Task<std::vector<T>> when_all(Simulation& sim, std::vector<Task<T>> tasks) {
+  auto state =
+      std::make_shared<detail::WhenAllState<T>>(sim, tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    sim.spawn(detail::when_all_runner<T>(state, i, std::move(tasks[i])));
+  }
+  if (!state->results.empty()) {
+    co_await state->done.wait();
+  }
+  std::vector<T> out;
+  out.reserve(state->results.size());
+  for (auto& r : state->results) out.push_back(std::move(*r));
+  co_return out;
+}
+
+namespace detail {
+
+struct WhenAllVoidState {
+  explicit WhenAllVoidState(Simulation& sim, size_t n)
+      : remaining(n), done(sim) {}
+  size_t remaining;
+  Event done;
+};
+
+inline Task<void> when_all_void_runner(
+    std::shared_ptr<WhenAllVoidState> state, Task<void> task) {
+  co_await std::move(task);
+  if (--state->remaining == 0) state->done.set();
+}
+
+}  // namespace detail
+
+// Void overload: join a batch of side-effect tasks.
+inline Task<void> when_all(Simulation& sim, std::vector<Task<void>> tasks) {
+  auto state =
+      std::make_shared<detail::WhenAllVoidState>(sim, tasks.size());
+  const bool empty = tasks.empty();
+  for (auto& task : tasks) {
+    sim.spawn(detail::when_all_void_runner(state, std::move(task)));
+  }
+  if (!empty) {
+    co_await state->done.wait();
+  }
+}
+
+}  // namespace wiera::sim

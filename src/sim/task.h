@@ -1,0 +1,143 @@
+// Coroutine Task<T> for the discrete-event simulator.
+//
+// Tasks are *lazy*: creating one does not run any code; it starts when a
+// parent co_awaits it (symmetric transfer, same virtual instant) or when it
+// is handed to Simulation::spawn(). Completion resumes the awaiting parent
+// at the same virtual time. This lets middleware code read like ordinary
+// blocking code while the scheduler interleaves thousands of logical
+// activities deterministically.
+//
+// Error handling: the codebase returns Status/Result<T> instead of throwing;
+// an exception escaping a task aborts the simulation (see unhandled_exception).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+namespace wiera::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      // Hand control back to whoever awaited us; if nobody did (detached
+      // spawn path wraps tasks, so this is rare), just stop.
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  [[noreturn]] void unhandled_exception() noexcept {
+    std::fprintf(stderr,
+                 "wiera::sim: exception escaped a Task; simulation state is "
+                 "unrecoverable, aborting\n");
+    std::abort();
+  }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase {
+  std::optional<T> value;
+
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(handle_type h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  // Awaiting a task starts it (symmetric transfer) and resumes the awaiter
+  // when the task completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      handle_type handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      T await_resume() {
+        if constexpr (!std::is_void_v<T>) {
+          assert(handle.promise().value.has_value());
+          return std::move(*handle.promise().value);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  // Used by Simulation::spawn to drive a task it owns.
+  handle_type release() { return std::exchange(handle_, nullptr); }
+  handle_type handle() const { return handle_; }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  handle_type handle_ = nullptr;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace wiera::sim

@@ -1,0 +1,331 @@
+#include "store/tier.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace wiera::store {
+
+std::string_view tier_kind_name(TierKind kind) {
+  switch (kind) {
+    case TierKind::kMemory: return "memory";
+    case TierKind::kBlockSsd: return "block-ssd";
+    case TierKind::kBlockHdd: return "block-hdd";
+    case TierKind::kObjectS3: return "s3";
+    case TierKind::kObjectS3IA: return "s3-ia";
+    case TierKind::kGlacier: return "glacier";
+    case TierKind::kForward: return "forward";
+  }
+  return "?";
+}
+
+Result<TierKind> tier_kind_from_name(std::string_view name) {
+  const std::string n = to_lower(name);
+  if (n == "memcached" || n == "localmemory" || n == "memory" ||
+      n == "elasticache") {
+    return TierKind::kMemory;
+  }
+  if (n == "ebs" || n == "ebs-ssd" || n == "localdisk" || n == "ssd") {
+    return TierKind::kBlockSsd;
+  }
+  if (n == "ebs-hdd" || n == "hdd" || n == "magnetic") {
+    return TierKind::kBlockHdd;
+  }
+  if (n == "s3") return TierKind::kObjectS3;
+  if (n == "s3-ia" || n == "s3ia") return TierKind::kObjectS3IA;
+  if (n == "glacier" || n == "cheapestarchival" || n == "archival") {
+    return TierKind::kGlacier;
+  }
+  if (n == "forward" || n == "instance") return TierKind::kForward;
+  return invalid_argument("unknown storage tier name: " + std::string(name));
+}
+
+Duration StorageTier::service_time(Duration base, int64_t bytes) {
+  Duration t = base;
+  if (bytes > 0 && spec_.bandwidth_mbps > 0) {
+    t += sec(static_cast<double>(bytes) / (spec_.bandwidth_mbps * 1e6));
+  }
+  if (spec_.jitter_fraction > 0) {
+    const double k = std::max(0.5, 1.0 + spec_.jitter_fraction * rng_.gaussian());
+    t = t * k;
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------- MemoryTier
+
+void MemoryTier::touch(const std::string& key) {
+  auto it = entries_.find(key);
+  assert(it != entries_.end());
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+}
+
+void MemoryTier::evict_until_fits(int64_t incoming_bytes) {
+  if (spec_.capacity_bytes <= 0) return;
+  while (used_bytes_ + incoming_bytes > spec_.capacity_bytes &&
+         !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    used_bytes_ -= static_cast<int64_t>(it->second.value.size());
+    entries_.erase(it);
+    stats_.evictions++;
+  }
+}
+
+sim::Task<Status> MemoryTier::put(std::string key, Blob value,
+                                  IoOptions /*opts*/) {
+  const auto bytes = static_cast<int64_t>(value.size());
+  if (spec_.capacity_bytes > 0 && bytes > spec_.capacity_bytes) {
+    co_return resource_exhausted("object larger than memory tier");
+  }
+  co_await sim_->delay(service_time(spec_.write_base, bytes));
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    used_bytes_ -= static_cast<int64_t>(it->second.value.size());
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  evict_until_fits(bytes);  // memcached-style LRU eviction
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(value), lru_.begin()};
+  used_bytes_ += bytes;
+  stats_.puts++;
+  stats_.bytes_written += bytes;
+  co_return ok_status();
+}
+
+sim::Task<Result<Blob>> MemoryTier::get(std::string key, IoOptions /*opts*/) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    stats_.gets++;
+    stats_.get_misses++;
+    co_await sim_->delay(service_time(spec_.read_base, 0));
+    co_return not_found("memory tier: " + key);
+  }
+  const auto bytes = static_cast<int64_t>(it->second.value.size());
+  co_await sim_->delay(service_time(spec_.read_base, bytes));
+  // Entry may have been evicted while this op was "in flight".
+  it = entries_.find(key);
+  if (it == entries_.end()) {
+    stats_.gets++;
+    stats_.get_misses++;
+    co_return not_found("memory tier (evicted): " + key);
+  }
+  touch(key);
+  stats_.gets++;
+  stats_.bytes_read += bytes;
+  co_return it->second.value;
+}
+
+sim::Task<Status> MemoryTier::remove(std::string key) {
+  co_await sim_->delay(service_time(spec_.write_base / 2, 0));
+  auto it = entries_.find(key);
+  if (it == entries_.end()) co_return not_found("memory tier: " + key);
+  used_bytes_ -= static_cast<int64_t>(it->second.value.size());
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  stats_.removes++;
+  co_return ok_status();
+}
+
+// ---------------------------------------------------------------- BlockTier
+
+TimePoint BlockTier::reserve_device_slot() {
+  if (spec_.iops_limit <= 0) return sim_->now();
+  const Duration slot_interval = usec(1000000 / spec_.iops_limit);
+  const TimePoint start = std::max(sim_->now(), next_device_slot_);
+  next_device_slot_ = start + slot_interval;
+  return start;
+}
+
+bool BlockTier::cache_lookup(const std::string& key) {
+  if (!spec_.buffer_cache || memory_pressure_) return false;
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  cache_lru_.erase(it->second.lru_it);
+  cache_lru_.push_front(key);
+  it->second.lru_it = cache_lru_.begin();
+  return true;
+}
+
+void BlockTier::cache_insert(const std::string& key, int64_t bytes) {
+  if (!spec_.buffer_cache || memory_pressure_) return;
+  cache_erase(key);
+  if (spec_.buffer_cache_bytes > 0) {
+    while (cache_bytes_ + bytes > spec_.buffer_cache_bytes &&
+           !cache_lru_.empty()) {
+      const std::string victim = cache_lru_.back();
+      cache_lru_.pop_back();
+      auto it = cache_.find(victim);
+      cache_bytes_ -= it->second.bytes;
+      cache_.erase(it);
+    }
+  }
+  cache_lru_.push_front(key);
+  cache_[key] = CacheEntry{bytes, cache_lru_.begin()};
+  cache_bytes_ += bytes;
+}
+
+void BlockTier::cache_erase(const std::string& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return;
+  cache_bytes_ -= it->second.bytes;
+  cache_lru_.erase(it->second.lru_it);
+  cache_.erase(it);
+}
+
+sim::Task<Status> BlockTier::put(std::string key, Blob value, IoOptions opts) {
+  const auto bytes = static_cast<int64_t>(value.size());
+  const bool had = contains(key);
+  const int64_t old_bytes =
+      had ? static_cast<int64_t>(entries_[key].size()) : 0;
+  if (spec_.capacity_bytes > 0 &&
+      used_bytes_ - old_bytes + bytes > spec_.capacity_bytes) {
+    co_return resource_exhausted("block tier full: " + spec_.name);
+  }
+
+  const bool cached_write =
+      !opts.direct && spec_.buffer_cache && !memory_pressure_;
+  if (cached_write) {
+    // Write-back: lands in the page cache; device flush is asynchronous and
+    // not modelled per-op.
+    co_await sim_->delay(service_time(usec(calibration::kCacheHitUs), bytes));
+    cache_insert(key, bytes);
+    stats_.cache_hits++;
+  } else {
+    const TimePoint slot = reserve_device_slot();
+    co_await sim_->at(slot);
+    co_await sim_->delay(service_time(spec_.write_base, bytes));
+    stats_.cache_misses++;
+  }
+
+  used_bytes_ += bytes - old_bytes;
+  entries_[key] = std::move(value);
+  stats_.puts++;
+  stats_.bytes_written += bytes;
+  co_return ok_status();
+}
+
+sim::Task<Result<Blob>> BlockTier::get(std::string key, IoOptions opts) {
+  auto it = entries_.find(key);
+  stats_.gets++;
+  if (it == entries_.end()) {
+    stats_.get_misses++;
+    co_await sim_->delay(service_time(usec(calibration::kCacheHitUs), 0));
+    co_return not_found("block tier: " + key);
+  }
+  const auto bytes = static_cast<int64_t>(it->second.size());
+
+  if (!opts.direct && cache_lookup(key)) {
+    stats_.cache_hits++;
+    co_await sim_->delay(service_time(usec(calibration::kCacheHitUs), bytes));
+  } else {
+    stats_.cache_misses++;
+    const TimePoint slot = reserve_device_slot();
+    co_await sim_->at(slot);
+    co_await sim_->delay(service_time(spec_.read_base, bytes));
+    if (!opts.direct) cache_insert(key, bytes);
+  }
+
+  it = entries_.find(key);
+  if (it == entries_.end()) co_return not_found("block tier (removed): " + key);
+  stats_.bytes_read += bytes;
+  co_return it->second;
+}
+
+sim::Task<Status> BlockTier::remove(std::string key) {
+  co_await sim_->delay(service_time(usec(calibration::kCacheHitUs), 0));
+  auto it = entries_.find(key);
+  if (it == entries_.end()) co_return not_found("block tier: " + key);
+  used_bytes_ -= static_cast<int64_t>(it->second.size());
+  entries_.erase(it);
+  cache_erase(key);
+  stats_.removes++;
+  co_return ok_status();
+}
+
+// ---------------------------------------------------------------- ObjectTier
+
+sim::Task<Status> ObjectTier::put(std::string key, Blob value,
+                                  IoOptions /*opts*/) {
+  const auto bytes = static_cast<int64_t>(value.size());
+  co_await sim_->delay(service_time(spec_.write_base, bytes));
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    used_bytes_ -= static_cast<int64_t>(it->second.size());
+  }
+  entries_[key] = std::move(value);
+  used_bytes_ += bytes;
+  stats_.puts++;
+  stats_.bytes_written += bytes;
+  co_return ok_status();
+}
+
+sim::Task<Result<Blob>> ObjectTier::get(std::string key, IoOptions /*opts*/) {
+  stats_.gets++;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    stats_.get_misses++;
+    co_await sim_->delay(service_time(spec_.read_base, 0));
+    co_return not_found("object tier: " + key);
+  }
+  const auto bytes = static_cast<int64_t>(it->second.size());
+  co_await sim_->delay(service_time(spec_.read_base, bytes));
+  it = entries_.find(key);
+  if (it == entries_.end()) co_return not_found("object tier (removed): " + key);
+  stats_.bytes_read += bytes;
+  co_return it->second;
+}
+
+sim::Task<Status> ObjectTier::remove(std::string key) {
+  co_await sim_->delay(service_time(spec_.write_base / 4, 0));
+  auto it = entries_.find(key);
+  if (it == entries_.end()) co_return not_found("object tier: " + key);
+  used_bytes_ -= static_cast<int64_t>(it->second.size());
+  entries_.erase(it);
+  stats_.removes++;
+  co_return ok_status();
+}
+
+// ---------------------------------------------------------------- factory
+
+std::unique_ptr<StorageTier> make_tier(sim::Simulation& sim, TierSpec spec) {
+  using namespace calibration;
+  auto defaults = [&](int64_t read_us, int64_t write_us, double mbps) {
+    if (spec.read_base == Duration::zero()) spec.read_base = usec(read_us);
+    if (spec.write_base == Duration::zero()) spec.write_base = usec(write_us);
+    if (spec.bandwidth_mbps == 0) spec.bandwidth_mbps = mbps;
+  };
+
+  switch (spec.kind) {
+    case TierKind::kMemory:
+      defaults(kMemoryReadUs, kMemoryWriteUs, kMemoryMbps);
+      return std::make_unique<MemoryTier>(sim, std::move(spec));
+    case TierKind::kBlockSsd:
+      defaults(kSsdReadUs, kSsdWriteUs, kSsdMbps);
+      return std::make_unique<BlockTier>(sim, std::move(spec));
+    case TierKind::kBlockHdd:
+      defaults(kHddReadUs, kHddWriteUs, kHddMbps);
+      return std::make_unique<BlockTier>(sim, std::move(spec));
+    case TierKind::kObjectS3:
+      defaults(kS3ReadUs, kS3WriteUs, kObjectMbps);
+      return std::make_unique<ObjectTier>(sim, std::move(spec));
+    case TierKind::kObjectS3IA:
+      defaults(kS3IAReadUs, kS3IAWriteUs, kObjectMbps);
+      return std::make_unique<ObjectTier>(sim, std::move(spec));
+    case TierKind::kGlacier:
+      defaults(kGlacierReadUs, kGlacierWriteUs, kObjectMbps);
+      return std::make_unique<ObjectTier>(sim, std::move(spec));
+    case TierKind::kForward:
+      assert(false && "forward tiers are built by the tiera module");
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace wiera::store

@@ -1,0 +1,78 @@
+// ForwardTier — modular instances (§3.2.2): a Tiera instance used as a
+// storage tier of another instance.
+//
+// Lets an application compose containers, e.g. an INTERMEDIATE-DATA
+// instance with a local Memcached tier plus RAW-BIG-DATA-INSTANCES mounted
+// read-only for raw inputs. Reads/writes delegate to the backing instance's
+// public API (so its own policies apply); the backing instance's latest
+// version is what a get() observes.
+#pragma once
+
+#include "store/tier.h"
+#include "tiera/instance.h"
+
+namespace wiera::tiera {
+
+class ForwardTier final : public store::StorageTier {
+ public:
+  ForwardTier(sim::Simulation& sim, std::string label, TieraInstance& backing,
+              bool read_only)
+      : store::StorageTier(sim,
+                           [&] {
+                             store::TierSpec spec;
+                             spec.name = std::move(label);
+                             spec.kind = store::TierKind::kForward;
+                             spec.jitter_fraction = 0;
+                             return spec;
+                           }()),
+        backing_(&backing),
+        read_only_(read_only) {}
+
+  bool read_only() const { return read_only_; }
+  TieraInstance& backing() { return *backing_; }
+
+  sim::Task<Status> put(std::string key, Blob value,
+                        store::IoOptions opts) override {
+    if (read_only_) {
+      co_return failed_precondition("tier " + spec().name + " is read-only");
+    }
+    auto result = co_await backing_->put(std::move(key), std::move(value),
+                                         opts);
+    if (!result.ok()) co_return result.status();
+    stats_.puts++;
+    co_return ok_status();
+  }
+
+  sim::Task<Result<Blob>> get(std::string key,
+                              store::IoOptions opts) override {
+    auto result = co_await backing_->get(std::move(key), opts);
+    stats_.gets++;
+    if (!result.ok()) {
+      stats_.get_misses++;
+      co_return result.status();
+    }
+    co_return std::move(result).value().value;
+  }
+
+  sim::Task<Status> remove(std::string key) override {
+    if (read_only_) {
+      co_return failed_precondition("tier " + spec().name + " is read-only");
+    }
+    stats_.removes++;
+    co_return co_await backing_->remove(std::move(key));
+  }
+
+  bool contains(const std::string& key) const override {
+    return backing_->meta().find(key) != nullptr;
+  }
+  int64_t used_bytes() const override { return 0; }  // owned by backing
+  int64_t object_count() const override {
+    return static_cast<int64_t>(backing_->meta().object_count());
+  }
+
+ private:
+  TieraInstance* backing_;
+  bool read_only_;
+};
+
+}  // namespace wiera::tiera

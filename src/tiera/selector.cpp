@@ -1,0 +1,93 @@
+#include "tiera/selector.h"
+
+namespace wiera::tiera {
+
+bool ObjectSelector::matches(const metadb::ObjectMeta& meta) const {
+  const metadb::VersionMeta* latest = meta.latest();
+  if (latest == nullptr) return false;
+  if (location_equals && latest->tier != *location_equals) return false;
+  if (dirty_equals && latest->dirty != *dirty_equals) return false;
+  if (tag_equals && meta.tags.count(*tag_equals) == 0) return false;
+  return true;
+}
+
+namespace {
+
+Status apply_clause(ObjectSelector& sel, const policy::Expr& expr) {
+  using policy::BinaryOp;
+  if (!expr.is_binary()) {
+    return invalid_argument("unsupported selector clause: " +
+                            expr.to_string());
+  }
+  const auto& bin = expr.binary();
+
+  if (bin.op == BinaryOp::kAnd) {
+    WIERA_RETURN_IF_ERROR(apply_clause(sel, *bin.lhs));
+    WIERA_RETURN_IF_ERROR(apply_clause(sel, *bin.rhs));
+    return ok_status();
+  }
+  if (bin.op != BinaryOp::kEq) {
+    return invalid_argument("selectors support only '==' and '&&': " +
+                            expr.to_string());
+  }
+  if (!bin.lhs->is_path() || bin.lhs->path().parts.size() != 2 ||
+      bin.lhs->path().parts[0] != "object") {
+    return invalid_argument("selector clauses must test object.<attr>: " +
+                            expr.to_string());
+  }
+  const std::string& attr = bin.lhs->path().parts[1];
+
+  if (attr == "location") {
+    if (!bin.rhs->is_path() || bin.rhs->path().parts.size() != 1) {
+      return invalid_argument("object.location must equal a tier label");
+    }
+    sel.location_equals = bin.rhs->path().parts[0];
+    return ok_status();
+  }
+  if (attr == "dirty") {
+    if (bin.rhs->is_literal() &&
+        bin.rhs->literal().value.kind == policy::Value::Kind::kBool) {
+      sel.dirty_equals = bin.rhs->literal().value.boolean;
+      return ok_status();
+    }
+    return invalid_argument("object.dirty must equal a boolean");
+  }
+  if (attr == "tag") {
+    if (bin.rhs->is_path() && bin.rhs->path().parts.size() == 1) {
+      sel.tag_equals = bin.rhs->path().parts[0];
+      return ok_status();
+    }
+    if (bin.rhs->is_literal() &&
+        bin.rhs->literal().value.kind == policy::Value::Kind::kString) {
+      sel.tag_equals = bin.rhs->literal().value.text;
+      return ok_status();
+    }
+    return invalid_argument("object.tag must equal a word or string");
+  }
+  return invalid_argument("unknown object attribute in selector: " + attr);
+}
+
+}  // namespace
+
+Result<ObjectSelector> compile_selector(const policy::Expr& expr) {
+  ObjectSelector sel;
+
+  if (expr.is_path()) {
+    const std::string dotted = expr.path().dotted();
+    if (dotted == "insert.object") {
+      sel.kind = ObjectSelector::Kind::kInsertObject;
+      return sel;
+    }
+    if (dotted == "insert.key") {
+      sel.kind = ObjectSelector::Kind::kInsertKey;
+      return sel;
+    }
+    return invalid_argument("unsupported selector path: " + dotted);
+  }
+
+  sel.kind = ObjectSelector::Kind::kQuery;
+  WIERA_RETURN_IF_ERROR(apply_clause(sel, expr));
+  return sel;
+}
+
+}  // namespace wiera::tiera

@@ -1,0 +1,42 @@
+// Object selectors — the `what:` argument of copy/move/delete responses.
+//
+// The DSL writes selectors like
+//     what: insert.object                     (the object being inserted)
+//     what: insert.key
+//     what: object.location == tier1 && object.dirty == true
+//     what: object.tag == tmp
+// This module compiles such expressions into a predicate over object
+// metadata that the policy engine evaluates against the MetaDb.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "metadb/metadb.h"
+#include "policy/ast.h"
+
+namespace wiera::tiera {
+
+struct ObjectSelector {
+  enum class Kind {
+    kInsertObject,  // the object of the current insert event
+    kInsertKey,     // the key of the current insert event (lock/release)
+    kQuery,         // metadata predicate over all stored objects
+  };
+
+  Kind kind = Kind::kQuery;
+  // Conjunctive predicate (all set fields must match). Applied to the
+  // *latest* version of each object.
+  std::optional<std::string> location_equals;
+  std::optional<bool> dirty_equals;
+  std::optional<std::string> tag_equals;
+
+  bool matches(const metadb::ObjectMeta& meta) const;
+};
+
+// Compile a `what:` expression. Fails on selectors the engine cannot
+// evaluate (disjunctions, unknown attributes).
+Result<ObjectSelector> compile_selector(const policy::Expr& expr);
+
+}  // namespace wiera::tiera

@@ -1,0 +1,185 @@
+#include "vfs/vfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wiera::vfs {
+
+WieraVfs::WieraVfs(sim::Simulation& sim, geo::WieraPeer& peer,
+                   Options options)
+    : sim_(&sim), peer_(&peer), options_(options) {}
+
+std::string WieraVfs::block_key(const std::string& path, int64_t index) {
+  return path + ":blk:" + std::to_string(index);
+}
+
+Result<int> WieraVfs::open(const std::string& path, OpenFlags flags) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    if (!flags.create) return not_found("vfs: " + path);
+    it = files_.emplace(path, FileState{path, 0, 0}).first;
+  }
+  if (flags.truncate) it->second.size = 0;
+  it->second.open_count++;
+  const int fd = next_fd_++;
+  fds_[fd] = FdState{path, flags.direct};
+  return fd;
+}
+
+Status WieraVfs::close(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return invalid_argument("vfs: bad fd");
+  auto file = files_.find(it->second.path);
+  if (file != files_.end()) file->second.open_count--;
+  fds_.erase(it);
+  return ok_status();
+}
+
+Result<int64_t> WieraVfs::size(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return not_found("vfs: " + path);
+  return it->second.size;
+}
+
+bool WieraVfs::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+std::vector<std::string> WieraVfs::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, _] : files_) {
+    if (path.rfind(prefix, 0) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+sim::Task<Status> WieraVfs::unlink(std::string path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) co_return not_found("vfs: " + path);
+  const int64_t blocks =
+      (it->second.size + options_.block_size - 1) / options_.block_size;
+  files_.erase(it);
+  for (int64_t i = 0; i < blocks; ++i) {
+    // Best effort: remove the blocks from the local instance.
+    co_await peer_->local().remove(block_key(path, i));
+  }
+  co_return ok_status();
+}
+
+sim::Task<Result<Blob>> WieraVfs::read_block(const std::string& path,
+                                             int64_t index, bool direct) {
+  geo::GetRequest req;
+  req.key = block_key(path, index);
+  req.client = "vfs";
+  req.direct = direct;
+  auto resp = co_await peer_->client_get(std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp).value().value;
+}
+
+sim::Task<Status> WieraVfs::write_block(const std::string& path,
+                                        int64_t index, Blob data,
+                                        bool direct) {
+  geo::PutRequest req;
+  req.key = block_key(path, index);
+  req.value = std::move(data);
+  req.client = "vfs";
+  req.direct = direct;
+  auto resp = co_await peer_->client_put(std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return ok_status();
+}
+
+sim::Task<Result<int64_t>> WieraVfs::pread(int fd, int64_t offset,
+                                           int64_t length, Bytes* out) {
+  auto fd_it = fds_.find(fd);
+  if (fd_it == fds_.end()) co_return invalid_argument("vfs: bad fd");
+  const FdState fd_state = fd_it->second;
+  auto file_it = files_.find(fd_state.path);
+  if (file_it == files_.end()) co_return not_found("vfs: file gone");
+  const int64_t file_size = file_it->second.size;
+
+  if (offset >= file_size) co_return static_cast<int64_t>(0);  // EOF
+  length = std::min(length, file_size - offset);
+  if (out != nullptr) {
+    out->assign(static_cast<size_t>(length), 0);
+  }
+
+  const int64_t bs = options_.block_size;
+  int64_t done = 0;
+  while (done < length) {
+    const int64_t pos = offset + done;
+    const int64_t block = pos / bs;
+    const int64_t in_block = pos % bs;
+    const int64_t chunk = std::min(bs - in_block, length - done);
+
+    auto data = co_await read_block(fd_state.path, block, fd_state.direct);
+    if (data.ok() && out != nullptr) {
+      const int64_t avail =
+          std::min<int64_t>(static_cast<int64_t>(data->size()) - in_block,
+                            chunk);
+      if (avail > 0) {
+        std::memcpy(out->data() + done, data->data() + in_block,
+                    static_cast<size_t>(avail));
+      }
+    }
+    // A missing block reads as zeros (sparse file semantics).
+    done += chunk;
+    reads_++;
+  }
+  co_return length;
+}
+
+sim::Task<Result<int64_t>> WieraVfs::pwrite(int fd, int64_t offset,
+                                            Blob data) {
+  auto fd_it = fds_.find(fd);
+  if (fd_it == fds_.end()) co_return invalid_argument("vfs: bad fd");
+  const FdState fd_state = fd_it->second;
+  auto file_it = files_.find(fd_state.path);
+  if (file_it == files_.end()) co_return not_found("vfs: file gone");
+
+  const int64_t bs = options_.block_size;
+  const auto length = static_cast<int64_t>(data.size());
+  int64_t done = 0;
+  while (done < length) {
+    const int64_t pos = offset + done;
+    const int64_t block = pos / bs;
+    const int64_t in_block = pos % bs;
+    const int64_t chunk = std::min(bs - in_block, length - done);
+
+    Blob block_data;
+    if (in_block == 0 && chunk == bs) {
+      // Full-block overwrite.
+      block_data = Blob(Bytes(data.data() + done, data.data() + done + bs));
+    } else {
+      // Read-modify-write for partial blocks.
+      Bytes merged(static_cast<size_t>(bs), 0);
+      auto existing =
+          co_await read_block(fd_state.path, block, fd_state.direct);
+      if (existing.ok()) {
+        std::memcpy(merged.data(), existing->data(),
+                    std::min<size_t>(existing->size(),
+                                     static_cast<size_t>(bs)));
+      }
+      std::memcpy(merged.data() + in_block, data.data() + done,
+                  static_cast<size_t>(chunk));
+      block_data = Blob(std::move(merged));
+    }
+    Status st = co_await write_block(fd_state.path, block,
+                                     std::move(block_data), fd_state.direct);
+    if (!st.ok()) co_return st;
+    done += chunk;
+    writes_++;
+  }
+
+  file_it->second.size = std::max(file_it->second.size, offset + length);
+  co_return length;
+}
+
+sim::Task<Status> WieraVfs::fsync(int fd) {
+  if (fds_.count(fd) == 0) co_return invalid_argument("vfs: bad fd");
+  co_await sim_->delay(usec(20));  // syscall + barrier cost
+  co_return ok_status();
+}
+
+}  // namespace wiera::vfs

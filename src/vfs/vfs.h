@@ -1,0 +1,96 @@
+// WieraVfs — POSIX-style file layer over a Wiera instance (FUSE stand-in).
+//
+// §5.4: "we have built our own POSIX-compliant file system using FUSE to
+// run applications that require a POSIX interface to Wiera, so that all
+// application requests are forwarded to Wiera through FUSE. Thus,
+// applications that require a POSIX interface can run on top of Wiera
+// without any modification."
+//
+// Files are chunked into fixed-size blocks; block i of file /p is the Wiera
+// object "/p:blk:i". Partial-block writes read-modify-write the block.
+// O_DIRECT is honoured end to end: the flag travels with each Wiera request
+// down to the block tier, bypassing its buffer cache (what MySQL and
+// SysBench set in §5.4 to defeat double caching).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "wiera/peer.h"
+
+namespace wiera::vfs {
+
+// Open-file flags (the subset the experiments use).
+struct OpenFlags {
+  bool create = false;
+  bool direct = false;    // O_DIRECT
+  bool truncate = false;  // O_TRUNC
+};
+
+class WieraVfs {
+ public:
+  struct Options {
+    int64_t block_size = 16 * KiB;  // SysBench/InnoDB default page scale
+  };
+
+  // The VFS talks to the co-located Wiera peer (FUSE daemon runs on the
+  // same VM as the instance).
+  WieraVfs(sim::Simulation& sim, geo::WieraPeer& peer, Options options);
+  WieraVfs(sim::Simulation& sim, geo::WieraPeer& peer)
+      : WieraVfs(sim, peer, Options{}) {}
+
+  int64_t block_size() const { return options_.block_size; }
+
+  // ---- POSIX-ish surface ----
+  Result<int> open(const std::string& path, OpenFlags flags);
+  Status close(int fd);
+  Result<int64_t> size(const std::string& path) const;
+  bool exists(const std::string& path) const;
+  std::vector<std::string> list(const std::string& prefix) const;
+  sim::Task<Status> unlink(std::string path);
+
+  // pread/pwrite: return bytes transferred. Reads past EOF are truncated;
+  // writes extend the file.
+  sim::Task<Result<int64_t>> pread(int fd, int64_t offset, int64_t length,
+                                   Bytes* out = nullptr);
+  sim::Task<Result<int64_t>> pwrite(int fd, int64_t offset, Blob data);
+  // Durability barrier. Writes here are synchronous through the Wiera
+  // protocol already, so this only models the syscall cost.
+  sim::Task<Status> fsync(int fd);
+
+  // ---- stats ----
+  int64_t reads() const { return reads_; }
+  int64_t writes() const { return writes_; }
+
+ private:
+  struct FileState {
+    std::string path;
+    int64_t size = 0;
+    int open_count = 0;
+  };
+  struct FdState {
+    std::string path;
+    bool direct = false;
+  };
+
+  static std::string block_key(const std::string& path, int64_t index);
+  sim::Task<Result<Blob>> read_block(const std::string& path, int64_t index,
+                                     bool direct);
+  sim::Task<Status> write_block(const std::string& path, int64_t index,
+                                Blob data, bool direct);
+
+  sim::Simulation* sim_;
+  geo::WieraPeer* peer_;
+  Options options_;
+  std::map<std::string, FileState> files_;
+  std::map<int, FdState> fds_;
+  int next_fd_ = 3;  // 0..2 taken, as tradition demands
+  int64_t reads_ = 0;
+  int64_t writes_ = 0;
+};
+
+}  // namespace wiera::vfs

@@ -1,0 +1,119 @@
+#include "wiera/client.h"
+
+#include <algorithm>
+
+namespace wiera::geo {
+
+WieraClient::WieraClient(sim::Simulation& sim, net::Network& network,
+                         rpc::Registry& registry, std::string client_id,
+                         std::string node, std::vector<std::string> peer_ids)
+    : sim_(&sim), client_id_(std::move(client_id)),
+      peer_ids_(std::move(peer_ids)) {
+  endpoint_ = std::make_unique<rpc::Endpoint>(network, registry, node);
+  // Closest instance first (§4.1 places it at the head of the list).
+  std::stable_sort(peer_ids_.begin(), peer_ids_.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     return network.topology().base_one_way(node, a) <
+                            network.topology().base_one_way(node, b);
+                   });
+}
+
+sim::Task<Result<PutResponse>> WieraClient::put(std::string key, Blob value) {
+  co_return co_await update(std::move(key), 0, std::move(value));
+}
+
+sim::Task<Result<PutResponse>> WieraClient::update(std::string key,
+                                                   int64_t version,
+                                                   Blob value) {
+  const TimePoint start = sim_->now();
+  PutRequest req;
+  req.key = std::move(key);
+  req.value = std::move(value);
+  req.client = client_id_;
+  req.version = version;
+
+  Result<rpc::Message> resp = internal_error("no peers");
+  for (const std::string& peer : peer_ids_) {
+    rpc::Message msg = encode(req);
+    resp = co_await endpoint_->call(peer, method::kClientPut, std::move(msg));
+    if (resp.ok()) break;
+    if (resp.status().code() != StatusCode::kUnavailable) break;
+    failovers_++;  // closest instance down: try the next one (§4.4)
+  }
+  if (!resp.ok()) co_return resp.status();
+  auto decoded = decode_put_response(*resp);
+  if (!decoded.ok()) co_return decoded.status();
+  put_hist_.record(sim_->now() - start);
+  co_return std::move(decoded).value();
+}
+
+sim::Task<Result<GetResponse>> WieraClient::get(std::string key) {
+  co_return co_await get_version(std::move(key), 0);
+}
+
+sim::Task<Result<GetResponse>> WieraClient::get_version(std::string key,
+                                                        int64_t version) {
+  const TimePoint start = sim_->now();
+  GetRequest req;
+  req.key = std::move(key);
+  req.version = version;
+  req.client = client_id_;
+
+  Result<rpc::Message> resp = internal_error("no peers");
+  for (const std::string& peer : peer_ids_) {
+    rpc::Message msg = encode(req);
+    resp = co_await endpoint_->call(peer, method::kClientGet, std::move(msg));
+    if (resp.ok()) break;
+    if (resp.status().code() != StatusCode::kUnavailable) break;
+    failovers_++;
+  }
+  if (!resp.ok()) co_return resp.status();
+  auto decoded = decode_get_response(*resp);
+  if (!decoded.ok()) co_return decoded.status();
+  get_hist_.record(sim_->now() - start);
+  co_return std::move(decoded).value();
+}
+
+sim::Task<Result<std::vector<int64_t>>> WieraClient::get_version_list(
+    std::string key) {
+  GetRequest req;
+  req.key = std::move(key);
+  req.client = client_id_;
+  Result<rpc::Message> resp = internal_error("no peers");
+  for (const std::string& peer : peer_ids_) {
+    rpc::Message msg = encode(req);
+    resp = co_await endpoint_->call(peer, method::kVersionList,
+                                    std::move(msg));
+    if (resp.ok()) break;
+    if (resp.status().code() != StatusCode::kUnavailable) break;
+    failovers_++;
+  }
+  if (!resp.ok()) co_return resp.status();
+  auto decoded = decode_version_list(*resp);
+  if (!decoded.ok()) co_return decoded.status();
+  co_return std::move(decoded).value().versions;
+}
+
+sim::Task<Status> WieraClient::remove(std::string key) {
+  co_return co_await remove_version(std::move(key), 0);
+}
+
+sim::Task<Status> WieraClient::remove_version(std::string key,
+                                              int64_t version) {
+  RemoveRequest req;
+  req.key = std::move(key);
+  req.version = version;
+  req.propagate = true;
+  Result<rpc::Message> resp = internal_error("no peers");
+  for (const std::string& peer : peer_ids_) {
+    rpc::Message msg = encode(req);
+    resp = co_await endpoint_->call(peer, method::kRemove, std::move(msg));
+    if (resp.ok()) break;
+    if (resp.status().code() != StatusCode::kUnavailable) break;
+    failovers_++;
+  }
+  if (!resp.ok()) co_return resp.status();
+  co_return decode_status(*resp);
+}
+
+}  // namespace wiera::geo

@@ -1,0 +1,58 @@
+// WieraClient: the application-side handle.
+//
+// An application connects to the closest Tiera instance (the controller
+// returns the instance list with the closest first, §4.1 step 8) and issues
+// PUT/GET. If the closest instance is down it retries against the next
+// closest, and so on (§4.4). Latency is recorded as the application
+// perceives it: from issuing the request to receiving the response.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "wiera/messages.h"
+
+namespace wiera::geo {
+
+class WieraClient {
+ public:
+  // `peer_ids` is sorted by proximity automatically (base one-way latency
+  // from the client's node).
+  WieraClient(sim::Simulation& sim, net::Network& network,
+              rpc::Registry& registry, std::string client_id,
+              std::string node, std::vector<std::string> peer_ids);
+
+  const std::string& id() const { return client_id_; }
+  const std::string& closest_peer() const { return peer_ids_.front(); }
+  const std::vector<std::string>& peer_order() const { return peer_ids_; }
+
+  sim::Task<Result<PutResponse>> put(std::string key, Blob value);
+  sim::Task<Result<GetResponse>> get(std::string key);
+  sim::Task<Result<GetResponse>> get_version(std::string key,
+                                             int64_t version);
+  // Table 2: update(key, version, object) — write an explicit version.
+  sim::Task<Result<PutResponse>> update(std::string key, int64_t version,
+                                        Blob value);
+  // Table 2: getVersionList / remove / removeVersion. Removes propagate to
+  // every replica through the contacted instance.
+  sim::Task<Result<std::vector<int64_t>>> get_version_list(std::string key);
+  sim::Task<Status> remove(std::string key);
+  sim::Task<Status> remove_version(std::string key, int64_t version);
+
+  const LatencyHistogram& put_latency() const { return put_hist_; }
+  const LatencyHistogram& get_latency() const { return get_hist_; }
+  int64_t failovers() const { return failovers_; }
+
+ private:
+  sim::Simulation* sim_;
+  std::string client_id_;
+  std::unique_ptr<rpc::Endpoint> endpoint_;
+  std::vector<std::string> peer_ids_;
+  LatencyHistogram put_hist_;
+  LatencyHistogram get_hist_;
+  int64_t failovers_ = 0;
+};
+
+}  // namespace wiera::geo

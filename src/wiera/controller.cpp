@@ -1,0 +1,508 @@
+#include "wiera/controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "policy/builtin_policies.h"
+#include "policy/parser.h"
+
+namespace wiera::geo {
+
+namespace {
+constexpr char kComponent[] = "wiera";
+constexpr char kChangePolicyMethod[] = "wui.change_policy";
+constexpr char kChangePrimaryMethod[] = "wui.change_primary";
+
+// Default local-policy resolver: built-ins plus an empty ForwardingInstance
+// (Fig. 6b declares regions whose instances only forward).
+Result<policy::PolicyDoc> default_resolve(const std::string& name) {
+  if (name == "ForwardingInstance") {
+    policy::PolicyDoc doc;
+    doc.name = "ForwardingInstance";
+    return doc;
+  }
+  // The region declarations say "PersistentInstance"; accept a common
+  // misspelling from the paper's Fig. 6a as well.
+  if (name == "PersistanceInstance") {
+    return policy::builtin::by_name("PersistentInstance");
+  }
+  return policy::builtin::by_name(name);
+}
+
+std::string default_node_for_region(const std::string& region) {
+  return "tiera-" + to_lower(region);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TieraServer
+
+WieraPeer* TieraServer::spawn_peer(WieraPeer::Config config) {
+  const std::string id = config.instance_id;
+  auto peer = std::make_unique<WieraPeer>(*sim_, *network_, *registry_,
+                                          std::move(config));
+  WieraPeer* raw = peer.get();
+  peers_[id] = std::move(peer);
+  return raw;
+}
+
+Status TieraServer::stop_peer(const std::string& instance_id) {
+  auto it = peers_.find(instance_id);
+  if (it == peers_.end()) return not_found("no peer " + instance_id);
+  it->second->stop();
+  peers_.erase(it);
+  return ok_status();
+}
+
+WieraPeer* TieraServer::peer(const std::string& instance_id) {
+  auto it = peers_.find(instance_id);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> TieraServer::peer_ids() const {
+  std::vector<std::string> out;
+  out.reserve(peers_.size());
+  for (const auto& [id, _] : peers_) out.push_back(id);
+  return out;
+}
+
+// ---------------------------------------------------------------- controller
+
+WieraController::WieraController(sim::Simulation& sim, net::Network& network,
+                                 rpc::Registry& registry, Config config)
+    : sim_(&sim), network_(&network), registry_(&registry),
+      config_(std::move(config)) {
+  endpoint_ = std::make_unique<rpc::Endpoint>(network, registry, config_.node);
+  // ZooKeeper runs co-located with Wiera (paper §5 setup).
+  lock_service_ = std::make_unique<coord::LockService>(sim, *endpoint_);
+  register_handlers();
+}
+
+void WieraController::register_server(TieraServer* server) {
+  servers_.push_back(server);
+  node_alive_[server->node()] = true;
+}
+
+bool WieraController::server_alive(const std::string& node) const {
+  auto it = node_alive_.find(node);
+  return it != node_alive_.end() && it->second;
+}
+
+Result<std::vector<std::string>> WieraController::start_instances(
+    const std::string& wiera_id, StartOptions options) {
+  if (instances_.count(wiera_id) > 0) {
+    return already_exists("wiera instance " + wiera_id);
+  }
+  WIERA_RETURN_IF_ERROR(policy::validate(options.global));
+  auto mode = derive_consistency_mode(options.global);
+  if (!mode.ok()) return mode.status();
+
+  auto resolve = options.resolve_local ? options.resolve_local
+                                       : default_resolve;
+  auto node_for = options.node_for_region ? options.node_for_region
+                                          : default_node_for_region;
+
+  InstanceRecord record;
+  record.policy_id = options.global.name;
+  record.mode = *mode;
+
+  for (const policy::RegionDecl& region : options.global.regions) {
+    auto local_doc = resolve(region.instance_name());
+    if (!local_doc.ok()) return local_doc.status();
+
+    // Region tier blocks override the local policy's tier declarations
+    // (MultiPrimaries declares LocalMemory/LocalDisk inside each region).
+    policy::PolicyDoc local = std::move(local_doc).value();
+    if (!region.tiers.empty()) {
+      local.tiers = region.tiers;
+    }
+
+    // Locally-executable maintenance events declared at the Wiera level
+    // (Fig. 6a's cold-data rule, timers, fill thresholds) distribute to
+    // every instance; protocol events (insert) and monitoring hooks stay
+    // global.
+    for (const policy::EventRule& rule : options.global.events) {
+      auto trigger =
+          policy::classify_trigger(*rule.trigger, options.local_params);
+      if (!trigger.ok()) continue;
+      if (trigger->kind == policy::TriggerKind::kColdData ||
+          trigger->kind == policy::TriggerKind::kTimer ||
+          trigger->kind == policy::TriggerKind::kTierFilled) {
+        local.events.push_back(rule);
+      }
+    }
+
+    const std::string node = node_for(region.region());
+    TieraServer* server = nullptr;
+    for (TieraServer* candidate : servers_) {
+      if (candidate->node() == node) {
+        server = candidate;
+        break;
+      }
+    }
+    if (server == nullptr) {
+      return not_found("no Tiera server registered on node " + node +
+                       " for region " + region.region());
+    }
+
+    WieraPeer::Config peer_config;
+    peer_config.instance_id = node;
+    peer_config.region = region.region();
+    peer_config.local.policy = std::move(local);
+    peer_config.local.params = options.local_params;
+    peer_config.mode = *mode;
+    peer_config.is_primary = region.primary();
+    peer_config.lock_service_node = config_.node;
+    peer_config.queue_flush_interval = options.queue_flush_interval;
+    peer_config.forwarding_only =
+        region.instance_name() == "ForwardingInstance";
+    peer_config.dynamic_consistency_policy = options.dynamic_consistency;
+    peer_config.change_primary_policy = options.change_primary;
+    peer_config.network_monitor = &network_monitor_;
+    peer_config.workload_monitor = &workload_monitor_;
+    if (options.customize) options.customize(peer_config);
+
+    const bool can_store =
+        !peer_config.forwarding_only && !peer_config.local.policy.tiers.empty();
+    record.templates.push_back(peer_config);  // kept for §4.4 replacement
+    WieraPeer* peer = server->spawn_peer(std::move(peer_config));
+    record.peer_ids.push_back(peer->id());
+    if (can_store) record.storage_peer_ids.push_back(peer->id());
+    if (peer->is_primary()) record.primary = peer->id();
+  }
+
+  // Default the primary to the first region when the policy names none.
+  if (record.primary.empty() && !record.peer_ids.empty()) {
+    record.primary = record.peer_ids.front();
+  }
+
+  // Propagate membership + primary, wire the control plane, start peers.
+  for (const std::string& id : record.peer_ids) {
+    WieraPeer* p = peer_by_id_internal(id);
+    p->set_peers(record.peer_ids);
+    p->set_storage_peers(record.storage_peer_ids);
+    p->apply_primary_change(record.primary);
+    // apply_primary_change resets is_primary from the id comparison.
+    wire_control_plane(wiera_id, p);
+    p->start();
+  }
+
+  instances_[wiera_id] = record;
+  WLOG_INFO(kComponent) << "started " << wiera_id << " ("
+                        << record.policy_id << ", "
+                        << consistency_mode_name(record.mode) << ", "
+                        << record.peer_ids.size() << " peers)";
+  return record.peer_ids;
+}
+
+WieraPeer* WieraController::peer(const std::string& instance_id) {
+  return peer_by_id_internal(instance_id);
+}
+
+WieraPeer* WieraController::peer_by_id_internal(
+    const std::string& instance_id) {
+  for (TieraServer* server : servers_) {
+    WieraPeer* p = server->peer(instance_id);
+    if (p != nullptr) return p;
+  }
+  return nullptr;
+}
+
+Status WieraController::stop_instances(const std::string& wiera_id) {
+  auto it = instances_.find(wiera_id);
+  if (it == instances_.end()) return not_found("wiera instance " + wiera_id);
+  for (const std::string& id : it->second.peer_ids) {
+    for (TieraServer* server : servers_) {
+      if (server->peer(id) != nullptr) {
+        (void)server->stop_peer(id);
+        break;
+      }
+    }
+  }
+  instances_.erase(it);
+  return ok_status();
+}
+
+Result<std::vector<std::string>> WieraController::get_instances(
+    const std::string& wiera_id) const {
+  auto it = instances_.find(wiera_id);
+  if (it == instances_.end()) return not_found("wiera instance " + wiera_id);
+  return it->second.peer_ids;
+}
+
+sim::Task<Status> WieraController::change_consistency(std::string wiera_id,
+                                                      ConsistencyMode mode) {
+  auto it = instances_.find(wiera_id);
+  if (it == instances_.end()) {
+    co_return not_found("wiera instance " + wiera_id);
+  }
+  InstanceRecord& record = it->second;
+  if (record.mode == mode) co_return ok_status();
+  if (record.change_in_progress) {
+    co_return failed_precondition("consistency change already in progress");
+  }
+  record.change_in_progress = true;
+
+  // Tell every peer to block-drain-switch; pays a WAN RTT per peer,
+  // performed concurrently.
+  std::vector<sim::Task<Status>> tasks;
+  for (const std::string& id : record.peer_ids) {
+    SetConsistencyRequest req{mode};
+    rpc::Message msg = encode(req);
+    tasks.push_back([](rpc::Endpoint* ep, std::string target,
+                       rpc::Message m) -> sim::Task<Status> {
+      auto resp = co_await ep->call(std::move(target),
+                                    method::kSetConsistency, std::move(m));
+      if (!resp.ok()) co_return resp.status();
+      co_return decode_status(*resp);
+    }(endpoint_.get(), id, std::move(msg)));
+  }
+  std::vector<Status> results = co_await sim::when_all(*sim_, std::move(tasks));
+  record.change_in_progress = false;
+  for (const Status& st : results) {
+    if (!st.ok()) co_return st;
+  }
+  record.mode = mode;
+  consistency_changes_++;
+  WLOG_INFO(kComponent) << wiera_id << " now "
+                        << consistency_mode_name(mode);
+  co_return ok_status();
+}
+
+sim::Task<Status> WieraController::change_primary(std::string wiera_id,
+                                                  std::string new_primary) {
+  auto it = instances_.find(wiera_id);
+  if (it == instances_.end()) {
+    co_return not_found("wiera instance " + wiera_id);
+  }
+  InstanceRecord& record = it->second;
+  if (record.primary == new_primary) co_return ok_status();
+  if (std::find(record.peer_ids.begin(), record.peer_ids.end(),
+                new_primary) == record.peer_ids.end()) {
+    co_return invalid_argument(new_primary + " is not a member of " +
+                               wiera_id);
+  }
+  if (record.change_in_progress) {
+    co_return failed_precondition("change already in progress");
+  }
+  record.change_in_progress = true;
+
+  std::vector<sim::Task<Status>> tasks;
+  for (const std::string& id : record.peer_ids) {
+    SetPrimaryRequest req{new_primary};
+    rpc::Message msg = encode(req);
+    tasks.push_back([](rpc::Endpoint* ep, std::string target,
+                       rpc::Message m) -> sim::Task<Status> {
+      auto resp = co_await ep->call(std::move(target), method::kSetPrimary,
+                                    std::move(m));
+      if (!resp.ok()) co_return resp.status();
+      co_return decode_status(*resp);
+    }(endpoint_.get(), id, std::move(msg)));
+  }
+  std::vector<Status> results = co_await sim::when_all(*sim_, std::move(tasks));
+  record.change_in_progress = false;
+  for (const Status& st : results) {
+    if (!st.ok()) co_return st;
+  }
+  record.primary = new_primary;
+  primary_changes_++;
+  WLOG_INFO(kComponent) << wiera_id << " primary -> " << new_primary;
+  co_return ok_status();
+}
+
+ConsistencyMode WieraController::current_mode(
+    const std::string& wiera_id) const {
+  auto it = instances_.find(wiera_id);
+  return it == instances_.end() ? ConsistencyMode::kEventual
+                                : it->second.mode;
+}
+
+std::string WieraController::current_primary(
+    const std::string& wiera_id) const {
+  auto it = instances_.find(wiera_id);
+  return it == instances_.end() ? "" : it->second.primary;
+}
+
+std::string WieraController::recommend_primary(
+    const std::string& wiera_id) const {
+  auto it = instances_.find(wiera_id);
+  if (it == instances_.end()) return "";
+  const std::string busiest = advisor_.recommend_primary(workload_monitor_);
+  for (const std::string& id : it->second.peer_ids) {
+    if (id == busiest) return busiest;
+  }
+  return "";
+}
+
+std::vector<std::string> WieraController::down_instances(
+    const std::string& wiera_id) const {
+  std::vector<std::string> out;
+  auto it = instances_.find(wiera_id);
+  if (it == instances_.end()) return out;
+  for (const std::string& id : it->second.peer_ids) {
+    if (network_->topology().node_down(id, sim_->now())) out.push_back(id);
+  }
+  return out;
+}
+
+void WieraController::wire_control_plane(const std::string& wiera_id,
+                                         WieraPeer* peer) {
+  WieraPeer::ControlPlane control;
+  // Monitor callbacks issue an RPC from the peer to the controller's WUI
+  // (so the request itself pays a WAN hop), then the controller
+  // orchestrates the change. Fire-and-forget from the peer's view.
+  control.request_policy_change = [this, wiera_id, peer](
+                                      const std::string& to_policy) {
+    sim_->spawn([](WieraController* self, std::string wid, WieraPeer* p,
+                   std::string target) -> sim::Task<void> {
+      rpc::WireWriter w;
+      w.put_string(wid);
+      w.put_string(target);
+      rpc::Message msg{w.take()};
+      auto resp = co_await p->endpoint().call(
+          self->config_.node, kChangePolicyMethod, std::move(msg));
+      if (!resp.ok()) {
+        WLOG_WARN(kComponent) << "change_policy request failed: "
+                              << resp.status().to_string();
+      }
+    }(this, wiera_id, peer, to_policy));
+  };
+  control.request_primary_change = [this, wiera_id, peer](
+                                       const std::string& new_primary) {
+    sim_->spawn([](WieraController* self, std::string wid, WieraPeer* p,
+                   std::string target) -> sim::Task<void> {
+      rpc::WireWriter w;
+      w.put_string(wid);
+      w.put_string(target);
+      rpc::Message msg{w.take()};
+      auto resp = co_await p->endpoint().call(
+          self->config_.node, kChangePrimaryMethod, std::move(msg));
+      if (!resp.ok()) {
+        WLOG_WARN(kComponent) << "change_primary request failed: "
+                              << resp.status().to_string();
+      }
+    }(this, wiera_id, peer, new_primary));
+  };
+  peer->set_control_plane(std::move(control));
+}
+
+void WieraController::register_handlers() {
+  endpoint_->register_handler(
+      kChangePolicyMethod,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        rpc::WireReader r(msg.body);
+        std::string wiera_id = r.get_string();
+        std::string to_policy = r.get_string();
+        if (!r.ok()) co_return r.status();
+        auto mode = consistency_mode_from_name(to_policy);
+        if (!mode.ok()) co_return mode.status();
+        Status st = co_await change_consistency(std::move(wiera_id), *mode);
+        co_return encode_status(st);
+      });
+  endpoint_->register_handler(
+      kChangePrimaryMethod,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        rpc::WireReader r(msg.body);
+        std::string wiera_id = r.get_string();
+        std::string new_primary = r.get_string();
+        if (!r.ok()) co_return r.status();
+        Status st = co_await change_primary(std::move(wiera_id),
+                                            std::move(new_primary));
+        co_return encode_status(st);
+      });
+}
+
+sim::Task<void> WieraController::heartbeat_loop() {
+  while (running_) {
+    co_await sim_->delay(config_.heartbeat_interval);
+    if (!running_) break;
+    for (TieraServer* server : servers_) {
+      for (const std::string& id : server->peer_ids()) {
+        rpc::Message ping;
+        auto resp = co_await endpoint_->call(id, method::kPing,
+                                             std::move(ping));
+        node_alive_[id] = resp.ok();
+      }
+    }
+    if (config_.min_replicas > 0) maintain_replicas();
+  }
+}
+
+void WieraController::maintain_replicas() {
+  for (auto& [wiera_id, record] : instances_) {
+    std::vector<std::string> live;
+    for (const std::string& id : record.peer_ids) {
+      auto it = node_alive_.find(id);
+      if (it == node_alive_.end() || it->second) live.push_back(id);
+    }
+    if (static_cast<int>(live.size()) >= config_.min_replicas) continue;
+
+    // Find a spare server: registered, alive, not already hosting a peer
+    // of this instance.
+    TieraServer* spare = nullptr;
+    for (TieraServer* server : servers_) {
+      const bool hosting =
+          std::find(record.peer_ids.begin(), record.peer_ids.end(),
+                    server->node()) != record.peer_ids.end();
+      auto alive = node_alive_.find(server->node());
+      const bool up = alive == node_alive_.end() || alive->second;
+      if (!hosting && up) {
+        spare = server;
+        break;
+      }
+    }
+    if (spare == nullptr || record.templates.empty()) continue;
+
+    // Clone the config of a live peer (or the first template) onto the
+    // spare node. The new replica starts empty; replication fills it as
+    // updates flow (data backfill is future work, as in the paper §4.4).
+    WieraPeer::Config config = record.templates.front();
+    config.instance_id = spare->node();
+    config.is_primary = false;
+    const bool replacement_stores =
+        !record.templates.front().forwarding_only &&
+        !record.templates.front().local.policy.tiers.empty();
+    WieraPeer* replacement = spare->spawn_peer(std::move(config));
+    record.peer_ids.push_back(replacement->id());
+    if (replacement_stores) {
+      record.storage_peer_ids.push_back(replacement->id());
+    }
+    record.templates.push_back(record.templates.front());
+    replacements_spawned_++;
+    WLOG_INFO(kComponent) << wiera_id << " spawned replacement replica on "
+                          << replacement->id();
+
+    // Primary failover: if the down peer was the primary, promote the
+    // closest live peer.
+    std::string new_primary = record.primary;
+    auto primary_alive = node_alive_.find(record.primary);
+    if (primary_alive != node_alive_.end() && !primary_alive->second &&
+        !live.empty()) {
+      new_primary = live.front();
+      record.primary = new_primary;
+      primary_changes_++;
+    }
+
+    // Propagate membership + primary to every live peer and the newcomer.
+    for (const std::string& id : record.peer_ids) {
+      WieraPeer* p = peer_by_id_internal(id);
+      if (p == nullptr) continue;
+      p->set_peers(record.peer_ids);
+      p->set_storage_peers(record.storage_peer_ids);
+      p->apply_primary_change(record.primary);
+      wire_control_plane(wiera_id, p);
+    }
+    replacement->start();
+  }
+}
+
+void WieraController::start() {
+  if (running_) return;
+  running_ = true;
+  sim_->spawn(heartbeat_loop());
+}
+
+void WieraController::stop() { running_ = false; }
+
+}  // namespace wiera::geo

@@ -1,0 +1,168 @@
+// WieraController: the management plane (§3.1, §4.1).
+//
+// Combines the paper's components:
+//   * WUI  — startInstances / stopInstances / getInstances (Table 1);
+//   * GPM  — stores each Wiera instance's global policy and instantiates
+//            the protocol it derives;
+//   * TSM  — registry of Tiera servers, heartbeat health checks, and
+//            replacement of crashed replicas (§4.4);
+//   * TIM  — propagates peer membership and orchestrates run-time changes
+//            (consistency switch, primary migration) requested by the
+//            monitoring events.
+//
+// The controller lives on its own node (the paper runs it in US East with
+// ZooKeeper co-located), so peers pay a WAN round trip to request policy
+// changes and the controller pays WAN RTTs to apply them.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coord/lock_service.h"
+#include "wiera/monitors.h"
+#include "wiera/peer.h"
+
+namespace wiera::geo {
+
+// A Tiera server: one per node, spawns/stops instances in-process (§4.1
+// notes instances run within the server process).
+class TieraServer {
+ public:
+  TieraServer(sim::Simulation& sim, net::Network& network,
+              rpc::Registry& registry, std::string node)
+      : sim_(&sim), network_(&network), registry_(&registry),
+        node_(std::move(node)) {}
+
+  const std::string& node() const { return node_; }
+
+  // Spawns a peer whose instance_id must equal a topology node co-located
+  // with (or equal to) this server's node.
+  WieraPeer* spawn_peer(WieraPeer::Config config);
+  Status stop_peer(const std::string& instance_id);
+  WieraPeer* peer(const std::string& instance_id);
+  std::vector<std::string> peer_ids() const;
+
+ private:
+  sim::Simulation* sim_;
+  net::Network* network_;
+  rpc::Registry* registry_;
+  std::string node_;
+  std::map<std::string, std::unique_ptr<WieraPeer>> peers_;
+};
+
+class WieraController {
+ public:
+  struct Config {
+    std::string node = "wiera-controller";
+    Duration heartbeat_interval = sec(1);
+    // Minimum live replicas per Wiera instance; 0 disables maintenance.
+    int min_replicas = 0;
+  };
+
+  // How to launch a Wiera instance from a global policy document.
+  struct StartOptions {
+    policy::PolicyDoc global;  // Wiera doc (regions + insert protocol rule)
+    // Resolves region instance names (LowLatencyInstance, ...) to local
+    // Tiera docs; defaults to the built-in catalog (+ an empty
+    // ForwardingInstance).
+    std::function<Result<policy::PolicyDoc>(const std::string&)>
+        resolve_local;
+    std::map<std::string, policy::Value> local_params;
+    // Maps a policy region name (e.g. "US-West") to a topology node where
+    // a Tiera server runs. Defaults to "tiera-" + lowercased region.
+    std::function<std::string(const std::string& region)> node_for_region;
+    std::optional<policy::PolicyDoc> dynamic_consistency;  // Fig. 5a
+    std::optional<policy::PolicyDoc> change_primary;       // Fig. 5b
+    Duration queue_flush_interval = msec(100);
+    // Final per-peer adjustment (tier tweaks, get-forward targets, ...).
+    std::function<void(WieraPeer::Config&)> customize;
+  };
+
+  WieraController(sim::Simulation& sim, net::Network& network,
+                  rpc::Registry& registry, Config config);
+
+  const std::string& node() const { return config_.node; }
+  coord::LockService& lock_service() { return *lock_service_; }
+
+  // ---- TSM ----
+  void register_server(TieraServer* server);
+  bool server_alive(const std::string& node) const;
+  std::vector<std::string> down_instances(const std::string& wiera_id) const;
+
+  // ---- WUI (Table 1) ----
+  Result<std::vector<std::string>> start_instances(const std::string& wiera_id,
+                                                   StartOptions options);
+  Status stop_instances(const std::string& wiera_id);
+  Result<std::vector<std::string>> get_instances(
+      const std::string& wiera_id) const;
+
+  // ---- dynamic reconfiguration ----
+  sim::Task<Status> change_consistency(std::string wiera_id,
+                                       ConsistencyMode mode);
+  sim::Task<Status> change_primary(std::string wiera_id,
+                                   std::string new_primary);
+
+  ConsistencyMode current_mode(const std::string& wiera_id) const;
+  std::string current_primary(const std::string& wiera_id) const;
+  int64_t consistency_changes() const { return consistency_changes_; }
+  int64_t primary_changes() const { return primary_changes_; }
+  int64_t replacements_spawned() const { return replacements_spawned_; }
+
+  // §3.1 monitors, fed by every peer this controller launches, and the
+  // placement advisor built on them.
+  NetworkMonitor& network_monitor() { return network_monitor_; }
+  WorkloadMonitor& workload_monitor() { return workload_monitor_; }
+  // Recommended primary for a Wiera instance based on observed workload
+  // ("" when there is not enough signal).
+  std::string recommend_primary(const std::string& wiera_id) const;
+
+  WieraPeer* peer(const std::string& instance_id);
+
+  // Begin heartbeat monitoring.
+  void start();
+  void stop();
+
+ private:
+  struct InstanceRecord {
+    std::string policy_id;
+    std::vector<std::string> peer_ids;
+    ConsistencyMode mode = ConsistencyMode::kEventual;
+    std::string primary;
+    bool change_in_progress = false;
+    // Peer configs as launched, for §4.4 replica replacement.
+    std::vector<WieraPeer::Config> templates;
+    // Subset of peer_ids that can store data (not forwarding-only).
+    std::vector<std::string> storage_peer_ids;
+  };
+
+  void wire_control_plane(const std::string& wiera_id, WieraPeer* peer);
+  void register_handlers();
+  sim::Task<void> heartbeat_loop();
+  WieraPeer* peer_by_id_internal(const std::string& instance_id);
+  // §4.4: if an instance has fewer than min_replicas live peers, spawn a
+  // replacement on a spare Tiera server.
+  void maintain_replicas();
+
+  sim::Simulation* sim_;
+  net::Network* network_;
+  rpc::Registry* registry_;
+  Config config_;
+  std::unique_ptr<rpc::Endpoint> endpoint_;
+  std::unique_ptr<coord::LockService> lock_service_;
+  std::vector<TieraServer*> servers_;
+  std::map<std::string, InstanceRecord> instances_;
+  std::map<std::string, bool> node_alive_;
+  bool running_ = false;
+  int64_t consistency_changes_ = 0;
+  int64_t primary_changes_ = 0;
+  int64_t replacements_spawned_ = 0;
+  NetworkMonitor network_monitor_;
+  WorkloadMonitor workload_monitor_;
+  PlacementAdvisor advisor_;
+};
+
+}  // namespace wiera::geo

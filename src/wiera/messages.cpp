@@ -1,0 +1,199 @@
+#include "wiera/messages.h"
+
+namespace wiera::geo {
+
+rpc::Message encode(const PutRequest& m) {
+  rpc::WireWriter w;
+  w.put_string(m.key);
+  w.put_blob(m.value);
+  w.put_string(m.client);
+  w.put_bool(m.forwarded);
+  w.put_bool(m.direct);
+  w.put_i64(m.version);
+  return rpc::Message{w.take()};
+}
+
+Result<PutRequest> decode_put_request(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  PutRequest out;
+  out.key = r.get_string();
+  out.value = r.get_blob();
+  out.client = r.get_string();
+  out.forwarded = r.get_bool();
+  out.direct = r.get_bool();
+  out.version = r.get_i64();
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const PutResponse& m) {
+  rpc::WireWriter w;
+  w.put_i64(m.version);
+  return rpc::Message{w.take()};
+}
+
+Result<PutResponse> decode_put_response(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  PutResponse out;
+  out.version = r.get_i64();
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const GetRequest& m) {
+  rpc::WireWriter w;
+  w.put_string(m.key);
+  w.put_i64(m.version);
+  w.put_string(m.client);
+  w.put_bool(m.direct);
+  return rpc::Message{w.take()};
+}
+
+Result<GetRequest> decode_get_request(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  GetRequest out;
+  out.key = r.get_string();
+  out.version = r.get_i64();
+  out.client = r.get_string();
+  out.direct = r.get_bool();
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const GetResponse& m) {
+  rpc::WireWriter w;
+  w.put_blob(m.value);
+  w.put_i64(m.version);
+  w.put_string(m.served_by);
+  return rpc::Message{w.take()};
+}
+
+Result<GetResponse> decode_get_response(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  GetResponse out;
+  out.value = r.get_blob();
+  out.version = r.get_i64();
+  out.served_by = r.get_string();
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const ReplicateRequest& m) {
+  rpc::WireWriter w;
+  w.put_string(m.key);
+  w.put_i64(m.version);
+  w.put_blob(m.value);
+  w.put_i64(m.last_modified.us());
+  w.put_string(m.origin);
+  return rpc::Message{w.take()};
+}
+
+Result<ReplicateRequest> decode_replicate_request(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  ReplicateRequest out;
+  out.key = r.get_string();
+  out.version = r.get_i64();
+  out.value = r.get_blob();
+  out.last_modified = TimePoint(r.get_i64());
+  out.origin = r.get_string();
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const ReplicateResponse& m) {
+  rpc::WireWriter w;
+  w.put_bool(m.accepted);
+  return rpc::Message{w.take()};
+}
+
+Result<ReplicateResponse> decode_replicate_response(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  ReplicateResponse out;
+  out.accepted = r.get_bool();
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const SetConsistencyRequest& m) {
+  rpc::WireWriter w;
+  w.put_u32(static_cast<uint32_t>(m.mode));
+  return rpc::Message{w.take()};
+}
+
+Result<SetConsistencyRequest> decode_set_consistency(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  SetConsistencyRequest out;
+  out.mode = static_cast<ConsistencyMode>(r.get_u32());
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const SetPrimaryRequest& m) {
+  rpc::WireWriter w;
+  w.put_string(m.primary_instance);
+  return rpc::Message{w.take()};
+}
+
+Result<SetPrimaryRequest> decode_set_primary(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  SetPrimaryRequest out;
+  out.primary_instance = r.get_string();
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const VersionListResponse& m) {
+  rpc::WireWriter w;
+  w.put_u32(static_cast<uint32_t>(m.versions.size()));
+  for (int64_t v : m.versions) w.put_i64(v);
+  return rpc::Message{w.take()};
+}
+
+Result<VersionListResponse> decode_version_list(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  VersionListResponse out;
+  const uint32_t n = r.get_u32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    out.versions.push_back(r.get_i64());
+  }
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const RemoveRequest& m) {
+  rpc::WireWriter w;
+  w.put_string(m.key);
+  w.put_i64(m.version);
+  w.put_bool(m.propagate);
+  return rpc::Message{w.take()};
+}
+
+Result<RemoveRequest> decode_remove_request(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  RemoveRequest out;
+  out.key = r.get_string();
+  out.version = r.get_i64();
+  out.propagate = r.get_bool();
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode_status(const Status& st) {
+  rpc::WireWriter w;
+  w.put_bool(st.ok());
+  w.put_u32(static_cast<uint32_t>(st.code()));
+  w.put_string(st.message());
+  return rpc::Message{w.take()};
+}
+
+Status decode_status(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  const bool ok = r.get_bool();
+  const auto code = static_cast<StatusCode>(r.get_u32());
+  std::string message = r.get_string();
+  if (!r.ok()) return r.status();
+  if (ok) return ok_status();
+  return Status(code, std::move(message));
+}
+
+}  // namespace wiera::geo

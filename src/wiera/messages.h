@@ -1,0 +1,127 @@
+// Wire codecs for Wiera's RPC surface (peer<->peer and controller<->peer).
+//
+// Everything crossing the simulated network is serialized through these, so
+// message sizes (and thus transfer time and egress cost) reflect payloads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "rpc/rpc.h"
+#include "rpc/wire.h"
+#include "wiera/types.h"
+
+namespace wiera::geo {
+
+// RPC method names.
+namespace method {
+inline constexpr char kClientPut[] = "peer.client_put";
+inline constexpr char kClientGet[] = "peer.client_get";
+inline constexpr char kForwardPut[] = "peer.forward_put";
+inline constexpr char kForwardGet[] = "peer.forward_get";
+inline constexpr char kReplicate[] = "peer.replicate";
+inline constexpr char kSetConsistency[] = "peer.set_consistency";
+inline constexpr char kSetPrimary[] = "peer.set_primary";
+inline constexpr char kPing[] = "peer.ping";
+inline constexpr char kColdStore[] = "peer.cold_store";
+inline constexpr char kColdFetch[] = "peer.cold_fetch";
+// Table 2 versioning API.
+inline constexpr char kVersionList[] = "peer.version_list";
+inline constexpr char kRemove[] = "peer.remove";
+inline constexpr char kRemoveVersion[] = "peer.remove_version";
+}  // namespace method
+
+struct PutRequest {
+  std::string key;
+  Blob value;
+  std::string client;  // originating client/instance id (for monitors)
+  bool forwarded = false;
+  bool direct = false;   // O_DIRECT from the VFS layer (§5.4)
+  int64_t version = 0;   // Table 2 update(): write this exact version
+};
+
+struct PutResponse {
+  int64_t version = 0;
+};
+
+struct GetRequest {
+  std::string key;
+  int64_t version = 0;  // 0 = latest
+  std::string client;
+  bool direct = false;  // O_DIRECT from the VFS layer (§5.4)
+};
+
+struct GetResponse {
+  Blob value;
+  int64_t version = 0;
+  // True when the responding instance served its local latest rather than a
+  // known-globally-latest version (staleness accounting for Fig. 8).
+  std::string served_by;
+};
+
+struct ReplicateRequest {
+  std::string key;
+  int64_t version = 0;
+  Blob value;
+  TimePoint last_modified;
+  std::string origin;
+};
+
+struct ReplicateResponse {
+  bool accepted = false;
+};
+
+struct SetConsistencyRequest {
+  ConsistencyMode mode = ConsistencyMode::kMultiPrimaries;
+};
+
+struct SetPrimaryRequest {
+  std::string primary_instance;
+};
+
+// Table 2: getVersionList / remove / removeVersion.
+struct VersionListResponse {
+  std::vector<int64_t> versions;
+};
+
+struct RemoveRequest {
+  std::string key;
+  int64_t version = 0;      // 0 = all versions (remove), else removeVersion
+  bool propagate = true;    // false on replica-to-replica fan-out
+};
+
+// ---- encode/decode ----
+
+rpc::Message encode(const PutRequest& m);
+Result<PutRequest> decode_put_request(const rpc::Message& msg);
+rpc::Message encode(const PutResponse& m);
+Result<PutResponse> decode_put_response(const rpc::Message& msg);
+
+rpc::Message encode(const GetRequest& m);
+Result<GetRequest> decode_get_request(const rpc::Message& msg);
+rpc::Message encode(const GetResponse& m);
+Result<GetResponse> decode_get_response(const rpc::Message& msg);
+
+rpc::Message encode(const ReplicateRequest& m);
+Result<ReplicateRequest> decode_replicate_request(const rpc::Message& msg);
+rpc::Message encode(const ReplicateResponse& m);
+Result<ReplicateResponse> decode_replicate_response(const rpc::Message& msg);
+
+rpc::Message encode(const SetConsistencyRequest& m);
+Result<SetConsistencyRequest> decode_set_consistency(const rpc::Message& msg);
+rpc::Message encode(const SetPrimaryRequest& m);
+Result<SetPrimaryRequest> decode_set_primary(const rpc::Message& msg);
+
+rpc::Message encode(const VersionListResponse& m);
+Result<VersionListResponse> decode_version_list(const rpc::Message& msg);
+rpc::Message encode(const RemoveRequest& m);
+Result<RemoveRequest> decode_remove_request(const rpc::Message& msg);
+
+// Status-only payload (acknowledgements / errors carried in-band).
+rpc::Message encode_status(const Status& st);
+Status decode_status(const rpc::Message& msg);
+
+}  // namespace wiera::geo

@@ -1,0 +1,42 @@
+#include "wiera/monitors.h"
+
+namespace wiera::geo {
+
+std::string NetworkMonitor::slowest_instance() const {
+  std::string worst;
+  Duration worst_mean = Duration::zero();
+  for (const auto& [instance, hist] : request_latency_) {
+    if (hist.count() == 0) continue;
+    if (hist.mean() > worst_mean) {
+      worst_mean = hist.mean();
+      worst = instance;
+    }
+  }
+  return worst;
+}
+
+std::string WorkloadMonitor::busiest_instance() const {
+  std::string busiest;
+  int64_t top = 0;
+  for (const auto& [instance, counters] : per_instance_) {
+    if (counters.requests() > top) {
+      top = counters.requests();
+      busiest = instance;
+    }
+  }
+  return busiest;
+}
+
+double WorkloadMonitor::mean_object_size() const {
+  int64_t requests = 0;
+  int64_t bytes = 0;
+  for (const auto& [_, counters] : per_instance_) {
+    requests += counters.requests();
+    bytes += counters.bytes;
+  }
+  return requests == 0 ? 0.0
+                       : static_cast<double>(bytes) /
+                             static_cast<double>(requests);
+}
+
+}  // namespace wiera::geo

@@ -1,0 +1,121 @@
+// Network & workload monitors (§3.1) and a data placement advisor.
+//
+// The paper's architecture includes a network monitor ("aggregates latency
+// information for handling requests from each instance and latencies
+// between instances") and a workload monitor ("users' locations, access
+// patterns, and object sizes"), feeding a data placement manager that the
+// paper leaves as future work. This module implements the two monitors and
+// a first placement advisor on top of them: it recommends a primary region
+// from observed request origins — the automated counterpart of the Fig. 5b
+// ChangePrimary policy.
+//
+// Peers record samples as they serve requests; the controller (TIM) reads
+// the aggregates. Collection piggybacks on existing traffic, so no extra
+// messages are modelled.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace wiera::geo {
+
+class NetworkMonitor {
+ public:
+  // Request-handling latency observed at an instance.
+  void record_request_latency(const std::string& instance, Duration latency) {
+    request_latency_[instance].record(latency);
+  }
+  // Observed latency of an inter-instance exchange (replication ack, etc.).
+  void record_link_latency(const std::string& from, const std::string& to,
+                           Duration latency) {
+    link_latency_[{from, to}].record(latency);
+  }
+
+  const LatencyHistogram* request_latency(const std::string& instance) const {
+    auto it = request_latency_.find(instance);
+    return it == request_latency_.end() ? nullptr : &it->second;
+  }
+  const LatencyHistogram* link_latency(const std::string& from,
+                                       const std::string& to) const {
+    auto it = link_latency_.find({from, to});
+    return it == link_latency_.end() ? nullptr : &it->second;
+  }
+
+  // The instance currently serving requests slowest (mean); empty if no
+  // data. The controller can use this to spot poorly performing replicas.
+  std::string slowest_instance() const;
+
+  void reset() {
+    request_latency_.clear();
+    link_latency_.clear();
+  }
+
+ private:
+  std::map<std::string, LatencyHistogram> request_latency_;
+  std::map<std::pair<std::string, std::string>, LatencyHistogram>
+      link_latency_;
+};
+
+class WorkloadMonitor {
+ public:
+  void record_request(const std::string& instance, bool is_put,
+                      int64_t object_bytes) {
+    Counters& counters = per_instance_[instance];
+    if (is_put) {
+      counters.puts++;
+    } else {
+      counters.gets++;
+    }
+    counters.bytes += object_bytes;
+    total_requests_++;
+  }
+
+  struct Counters {
+    int64_t puts = 0;
+    int64_t gets = 0;
+    int64_t bytes = 0;
+    int64_t requests() const { return puts + gets; }
+  };
+
+  const Counters* counters(const std::string& instance) const {
+    auto it = per_instance_.find(instance);
+    return it == per_instance_.end() ? nullptr : &it->second;
+  }
+  int64_t total_requests() const { return total_requests_; }
+
+  // The instance receiving the most requests (the "active region").
+  std::string busiest_instance() const;
+  // Mean object size across all recorded requests (0 if none).
+  double mean_object_size() const;
+
+  void reset() {
+    per_instance_.clear();
+    total_requests_ = 0;
+  }
+
+ private:
+  std::map<std::string, Counters> per_instance_;
+  int64_t total_requests_ = 0;
+};
+
+// First cut of the paper's future-work "data placement manager": recommend
+// where the primary should live, based on observed workload. Returns empty
+// when there is not enough signal (fewer than `min_requests` recorded).
+class PlacementAdvisor {
+ public:
+  explicit PlacementAdvisor(int64_t min_requests = 100)
+      : min_requests_(min_requests) {}
+
+  std::string recommend_primary(const WorkloadMonitor& workload) const {
+    if (workload.total_requests() < min_requests_) return "";
+    return workload.busiest_instance();
+  }
+
+ private:
+  int64_t min_requests_;
+};
+
+}  // namespace wiera::geo

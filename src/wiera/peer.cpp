@@ -1,0 +1,812 @@
+#include "wiera/peer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace wiera::geo {
+
+namespace {
+constexpr char kComponent[] = "peer";
+
+// Extract the latency threshold a DynamicConsistency policy compares
+// against (`threshold.latency > 800 ms`), so the monitor knows when a
+// violation streak starts without hard-coding the number.
+Duration extract_latency_threshold(const policy::PolicyDoc& doc) {
+  Duration threshold = Duration::max();
+  std::function<void(const policy::Expr&)> scan = [&](const policy::Expr& e) {
+    if (!e.is_binary()) return;
+    const auto& bin = e.binary();
+    if (bin.lhs->is_path() &&
+        bin.lhs->path().dotted() == "threshold.latency" &&
+        bin.rhs->is_literal() &&
+        bin.rhs->literal().value.kind == policy::Value::Kind::kDuration) {
+      threshold = std::min(threshold, bin.rhs->literal().value.duration);
+      return;
+    }
+    scan(*bin.lhs);
+    scan(*bin.rhs);
+  };
+  for (const auto& rule : doc.events) {
+    for (const auto& stmt : rule.response) {
+      if (!stmt.is_if()) continue;
+      for (const auto& branch : stmt.if_stmt().branches) {
+        if (branch.condition != nullptr) scan(*branch.condition);
+      }
+    }
+  }
+  return threshold;
+}
+
+// Find the first change_policy action in a statement list whose condition
+// (already checked by the caller) matched; returns its what/to words.
+struct ChangeAction {
+  std::string what;
+  std::string to;
+};
+
+std::optional<ChangeAction> find_change_action(
+    const std::vector<policy::Stmt>& stmts) {
+  for (const auto& stmt : stmts) {
+    if (!stmt.is_action()) continue;
+    const auto& action = stmt.action();
+    if (action.name != "change_policy" && action.name != "change_consistency") {
+      continue;
+    }
+    ChangeAction out;
+    if (const policy::Expr* what = action.arg("what");
+        what != nullptr && what->is_path()) {
+      out.what = what->path().dotted();
+    }
+    if (const policy::Expr* to = action.arg("to");
+        to != nullptr && to->is_path()) {
+      out.to = to->path().dotted();
+    }
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+WieraPeer::WieraPeer(sim::Simulation& sim, net::Network& network,
+                     rpc::Registry& registry, Config config)
+    : sim_(&sim), network_(&network), config_(std::move(config)) {
+  endpoint_ = std::make_unique<rpc::Endpoint>(network, registry,
+                                              config_.instance_id);
+  config_.local.instance_id = config_.instance_id;
+  config_.local.region = config_.region;
+  local_ = std::make_unique<tiera::TieraInstance>(sim, config_.local);
+  local_->set_hooks(this);
+  if (!config_.lock_service_node.empty()) {
+    lock_client_ = std::make_unique<coord::LockClient>(
+        *endpoint_, config_.lock_service_node);
+  }
+  queue_ = std::make_unique<sim::Channel<QueuedUpdate>>(sim);
+  unblocked_ = std::make_unique<sim::Event>(sim);
+  drained_ = std::make_unique<sim::Event>(sim);
+  unblocked_->set();
+  if (config_.dynamic_consistency_policy.has_value()) {
+    latency_threshold_ =
+        extract_latency_threshold(*config_.dynamic_consistency_policy);
+  }
+  register_handlers();
+}
+
+WieraPeer::~WieraPeer() { stop(); }
+
+void WieraPeer::set_peers(std::vector<std::string> peer_ids) {
+  peer_ids_.clear();
+  for (auto& id : peer_ids) {
+    if (id != config_.instance_id) peer_ids_.push_back(std::move(id));
+  }
+  storage_peer_ids_ = peer_ids_;
+}
+
+void WieraPeer::set_storage_peers(std::vector<std::string> storage_peer_ids) {
+  storage_peer_ids_.clear();
+  for (auto& id : storage_peer_ids) {
+    if (id != config_.instance_id) {
+      storage_peer_ids_.push_back(std::move(id));
+    }
+  }
+}
+
+void WieraPeer::start() {
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  local_->start();
+  sim_->spawn(queue_flusher());
+  if (config_.change_primary_policy.has_value()) {
+    sim_->spawn(requests_monitor_loop());
+  }
+}
+
+void WieraPeer::stop() {
+  stopping_ = true;
+  started_ = false;
+  local_->stop();
+}
+
+int64_t WieraPeer::forwarded_puts_from(const std::string& origin) const {
+  auto it = forwarded_puts_.find(origin);
+  return it == forwarded_puts_.end() ? 0 : it->second;
+}
+
+void WieraPeer::register_handlers() {
+  endpoint_->register_handler(
+      method::kClientPut,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_put_request(msg);
+        if (!req.ok()) co_return req.status();
+        auto resp = co_await client_put(std::move(req).value());
+        if (!resp.ok()) co_return resp.status();
+        co_return encode(*resp);
+      });
+  endpoint_->register_handler(
+      method::kClientGet,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_get_request(msg);
+        if (!req.ok()) co_return req.status();
+        auto resp = co_await client_get(std::move(req).value());
+        if (!resp.ok()) co_return resp.status();
+        co_return encode(*resp);
+      });
+  endpoint_->register_handler(
+      method::kForwardPut,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_put_request(msg);
+        if (!req.ok()) co_return req.status();
+        PutRequest request = std::move(req).value();
+        request.forwarded = true;
+        auto resp = co_await client_put(std::move(request));
+        if (!resp.ok()) co_return resp.status();
+        co_return encode(*resp);
+      });
+  endpoint_->register_handler(
+      method::kForwardGet,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_get_request(msg);
+        if (!req.ok()) co_return req.status();
+        // Serve locally; do not re-forward (avoids loops).
+        GetRequest request = std::move(req).value();
+        // NOTE: no ternary around co_await — GCC 12 miscompiles conditional
+        // operators whose branches both await (frame-slot corruption).
+        Result<tiera::GetResult> local = not_found("unset");
+        if (request.version == 0) {
+          local = co_await local_->get(request.key,
+                                       {.direct = request.direct});
+        } else {
+          local = co_await local_->get_version(request.key, request.version,
+                                               {.direct = request.direct});
+        }
+        if (!local.ok()) co_return local.status();
+        GetResponse out;
+        out.value = std::move(local->value);
+        out.version = local->version;
+        out.served_by = config_.instance_id;
+        co_return encode(out);
+      });
+  endpoint_->register_handler(
+      method::kReplicate,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_replicate_request(msg);
+        if (!req.ok()) co_return req.status();
+        tiera::TieraInstance::RemoteUpdate update;
+        update.key = req->key;
+        update.version = req->version;
+        update.value = req->value;
+        update.last_modified = req->last_modified;
+        update.origin = req->origin;
+        auto accepted = co_await local_->apply_remote_update(std::move(update));
+        if (!accepted.ok()) co_return accepted.status();
+        co_return encode(ReplicateResponse{*accepted});
+      });
+  endpoint_->register_handler(
+      method::kSetConsistency,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_set_consistency(msg);
+        if (!req.ok()) co_return req.status();
+        Status st = co_await apply_consistency_change(req->mode);
+        co_return encode_status(st);
+      });
+  endpoint_->register_handler(
+      method::kSetPrimary,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_set_primary(msg);
+        if (!req.ok()) co_return req.status();
+        apply_primary_change(req->primary_instance);
+        co_return encode_status(ok_status());
+      });
+  endpoint_->register_handler(
+      method::kPing,
+      [](rpc::Message) -> sim::Task<Result<rpc::Message>> {
+        co_return encode_status(ok_status());
+      });
+  endpoint_->register_handler(
+      method::kVersionList,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_get_request(msg);
+        if (!req.ok()) co_return req.status();
+        VersionListResponse out;
+        out.versions = local_->get_version_list(req->key);
+        co_return encode(out);
+      });
+  endpoint_->register_handler(
+      method::kRemove,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_remove_request(msg);
+        if (!req.ok()) co_return req.status();
+        Status st = co_await remove_key(std::move(req).value());
+        co_return encode_status(st);
+      });
+  endpoint_->register_handler(
+      method::kColdStore,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_replicate_request(msg);
+        if (!req.ok()) co_return req.status();
+        store::StorageTier* tier =
+            local_->tier_by_label(config_.cold_tier_label);
+        if (tier == nullptr) {
+          co_return failed_precondition("no cold tier configured on " +
+                                        config_.instance_id);
+        }
+        std::string vkey =
+            tiera::TieraInstance::versioned_key(req->key, req->version);
+        Status st = co_await tier->put(std::move(vkey), req->value, {});
+        if (!st.ok()) co_return st;
+        metadb::VersionMeta& vm =
+            local_->meta_mutable().upsert_version(req->key, req->version);
+        vm.size = static_cast<int64_t>(req->value.size());
+        vm.last_modified = req->last_modified;
+        vm.origin = req->origin;
+        vm.tier = config_.cold_tier_label;
+        vm.committed = true;
+        co_return encode_status(ok_status());
+      });
+  endpoint_->register_handler(
+      method::kColdFetch,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_get_request(msg);
+        if (!req.ok()) co_return req.status();
+        auto local = co_await local_->get(req->key);
+        if (!local.ok()) co_return local.status();
+        GetResponse out;
+        out.value = std::move(local->value);
+        out.version = local->version;
+        out.served_by = config_.instance_id;
+        co_return encode(out);
+      });
+}
+
+// ---------------------------------------------------------------- data plane
+
+sim::Task<Result<PutResponse>> WieraPeer::client_put(PutRequest request) {
+  co_await wait_if_blocked();
+  op_started();
+  const TimePoint start = sim_->now();
+
+  record_put_source(request.client, request.forwarded);
+
+  Result<PutResponse> result = internal_error("unreached");
+  switch (config_.mode) {
+    case ConsistencyMode::kMultiPrimaries:
+      result = co_await put_multi_primaries(request);
+      break;
+    case ConsistencyMode::kPrimaryBackupSync:
+    case ConsistencyMode::kPrimaryBackupAsync:
+      result = co_await put_primary_backup(request);
+      break;
+    case ConsistencyMode::kEventual:
+      result = co_await put_eventual(request);
+      break;
+  }
+
+  const Duration latency = sim_->now() - start;
+  put_hist_.record(latency);
+  if (config_.network_monitor != nullptr) {
+    config_.network_monitor->record_request_latency(config_.instance_id,
+                                                    latency);
+  }
+  if (config_.workload_monitor != nullptr && !request.forwarded) {
+    config_.workload_monitor->record_request(
+        config_.instance_id, /*is_put=*/true,
+        static_cast<int64_t>(request.value.size()));
+  }
+  // In strong modes the client-perceived put latency is the monitoring
+  // signal; in eventual mode the flusher feeds replication latencies.
+  if (config_.mode != ConsistencyMode::kEventual) {
+    observe_put_latency(latency);
+  }
+  op_finished();
+  co_return result;
+}
+
+sim::Task<Result<PutResponse>> WieraPeer::put_multi_primaries(
+    PutRequest& request) {
+  if (lock_client_ == nullptr) {
+    co_return failed_precondition(
+        "MultiPrimaries requires a lock service (none configured)");
+  }
+  const std::string lock_name = "key:" + request.key;
+  Status st = co_await lock_client_->acquire(lock_name);
+  if (!st.ok()) co_return st;
+
+  Result<PutResponse> result = co_await put_local_and_replicate(
+      request, /*synchronous=*/true);
+
+  Status release_st = co_await lock_client_->release(lock_name);
+  if (!release_st.ok()) {
+    WLOG_WARN(kComponent) << id() << " lock release failed: "
+                          << release_st.to_string();
+  }
+  co_return result;
+}
+
+sim::Task<Result<PutResponse>> WieraPeer::put_primary_backup(
+    PutRequest& request) {
+  if (!config_.is_primary) {
+    // Forward to the primary (Fig. 3b else-branch).
+    PutRequest forwarded = request;
+    forwarded.client = config_.instance_id;
+    forwarded.forwarded = true;
+    rpc::Message msg = encode(forwarded);
+    auto resp = co_await endpoint_->call(config_.primary_instance,
+                                         method::kForwardPut, std::move(msg));
+    if (!resp.ok()) co_return resp.status();
+    co_return decode_put_response(*resp);
+  }
+  co_return co_await put_local_and_replicate(
+      request, config_.mode == ConsistencyMode::kPrimaryBackupSync);
+}
+
+sim::Task<Result<PutResponse>> WieraPeer::put_eventual(PutRequest& request) {
+  co_return co_await put_local_and_replicate(request, /*synchronous=*/false);
+}
+
+sim::Task<Result<PutResponse>> WieraPeer::put_local_and_replicate(
+    PutRequest& request, bool synchronous) {
+  if (config_.forwarding_only || local_->tier_count() == 0) {
+    co_return failed_precondition("forwarding-only instance cannot store");
+  }
+  int64_t version = request.version;
+  if (version == 0) {
+    auto put_result = co_await local_->put(request.key, request.value,
+                                           {.direct = request.direct});
+    if (!put_result.ok()) co_return put_result.status();
+    version = put_result->version;
+  } else {
+    // Table 2 update(): the application names the version explicitly.
+    Status st = co_await local_->update(request.key, version, request.value,
+                                        {.direct = request.direct});
+    if (!st.ok()) co_return st;
+  }
+
+  ReplicateRequest update;
+  update.key = request.key;
+  update.version = version;
+  update.value = request.value;
+  // Carry the exact timestamp the local metadata recorded — replicas must
+  // all compare the same value or LWW diverges.
+  const metadb::VersionMeta* vm =
+      local_->meta().find_version(request.key, version);
+  update.last_modified = vm != nullptr ? vm->last_modified : sim_->now();
+  update.origin = config_.instance_id;
+
+  if (synchronous) {
+    Status st = co_await replicate_to_all(std::move(update));
+    if (!st.ok()) co_return st;
+  } else if (!storage_peer_ids_.empty()) {
+    queue_->send(QueuedUpdate{std::move(update)});
+  }
+  co_return PutResponse{version};
+}
+
+sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
+  co_await wait_if_blocked();
+  op_started();
+  const TimePoint start = sim_->now();
+  Result<GetResponse> result = internal_error("unreached");
+
+  // §5.4 get-forwarding / Fig. 6b forwarding instances.
+  std::string forward_target;
+  if (!config_.get_forward_target.empty() &&
+      config_.get_forward_target != config_.instance_id) {
+    forward_target = config_.get_forward_target;
+  } else if (config_.forwarding_only) {
+    forward_target = config_.primary_instance;
+  }
+
+  if (!forward_target.empty()) {
+    rpc::Message msg = encode(request);
+    auto resp = co_await endpoint_->call(forward_target, method::kForwardGet,
+                                         std::move(msg));
+    if (!resp.ok()) {
+      result = resp.status();
+    } else {
+      result = decode_get_response(*resp);
+    }
+  } else if (cold_remote_keys_.count(request.key) > 0 &&
+             !config_.centralized_cold_target.empty()) {
+    // §5.3: the only replica of this (cold) key lives at the centralized
+    // cold-storage peer.
+    rpc::Message msg = encode(request);
+    auto resp = co_await endpoint_->call(config_.centralized_cold_target,
+                                         method::kColdFetch, std::move(msg));
+    if (!resp.ok()) {
+      result = resp.status();
+    } else {
+      result = decode_get_response(*resp);
+    }
+  } else {
+    Result<tiera::GetResult> local = not_found("unset");
+    if (request.version == 0) {
+      local = co_await local_->get(request.key, {.direct = request.direct});
+    } else {
+      local = co_await local_->get_version(request.key, request.version,
+                                           {.direct = request.direct});
+    }
+    if (local.ok()) {
+      GetResponse out;
+      out.value = std::move(local->value);
+      out.version = local->version;
+      out.served_by = config_.instance_id;
+      result = std::move(out);
+    } else if (local.status().code() == StatusCode::kNotFound &&
+               !config_.is_primary && !config_.primary_instance.empty() &&
+               config_.primary_instance != config_.instance_id) {
+      // Replica miss: ask the primary.
+      rpc::Message msg = encode(request);
+      auto resp = co_await endpoint_->call(config_.primary_instance,
+                                           method::kForwardGet,
+                                           std::move(msg));
+      if (!resp.ok()) {
+        result = resp.status();
+      } else {
+        result = decode_get_response(*resp);
+      }
+    } else {
+      result = local.status();
+    }
+  }
+
+  const Duration get_latency = sim_->now() - start;
+  get_hist_.record(get_latency);
+  if (config_.network_monitor != nullptr) {
+    config_.network_monitor->record_request_latency(config_.instance_id,
+                                                    get_latency);
+  }
+  if (config_.workload_monitor != nullptr) {
+    const int64_t bytes =
+        result.ok() ? static_cast<int64_t>(result->value.size()) : 0;
+    config_.workload_monitor->record_request(config_.instance_id,
+                                             /*is_put=*/false, bytes);
+  }
+  op_finished();
+  co_return result;
+}
+
+std::vector<int64_t> WieraPeer::version_list(const std::string& key) const {
+  return local_->get_version_list(key);
+}
+
+sim::Task<Status> WieraPeer::remove_key(RemoveRequest request) {
+  co_await wait_if_blocked();
+  op_started();
+  Status local_status;
+  if (request.version == 0) {
+    local_status = co_await local_->remove(request.key);
+  } else {
+    local_status = co_await local_->remove_version(request.key,
+                                                   request.version);
+  }
+
+  // Propagate the removal to every storage replica (fire-and-collect,
+  // like a synchronous copy). Replicas that never had the key report
+  // not-found, which is fine.
+  if (request.propagate && !storage_peer_ids_.empty()) {
+    RemoveRequest fanout = request;
+    fanout.propagate = false;
+    std::vector<sim::Task<Status>> tasks;
+    for (const std::string& peer_id : storage_peer_ids_) {
+      tasks.push_back([](rpc::Endpoint* ep, std::string target,
+                         rpc::Message m) -> sim::Task<Status> {
+        auto resp = co_await ep->call(std::move(target), method::kRemove,
+                                      std::move(m));
+        if (!resp.ok()) co_return resp.status();
+        co_return decode_status(*resp);
+      }(endpoint_.get(), peer_id, encode(fanout)));
+    }
+    std::vector<Status> results =
+        co_await sim::when_all(*sim_, std::move(tasks));
+    for (const Status& st : results) {
+      if (!st.ok() && st.code() != StatusCode::kNotFound) {
+        op_finished();
+        co_return st;
+      }
+    }
+  }
+  op_finished();
+  co_return local_status;
+}
+
+// ---------------------------------------------------------------- replication
+
+sim::Task<Status> WieraPeer::replicate_to_all(ReplicateRequest update) {
+  if (storage_peer_ids_.empty()) co_return ok_status();
+  std::vector<sim::Task<Status>> tasks;
+  tasks.reserve(storage_peer_ids_.size());
+  for (const std::string& peer_id : storage_peer_ids_) {
+    tasks.push_back(send_replicate(peer_id, update));
+  }
+  std::vector<Status> statuses =
+      co_await sim::when_all(*sim_, std::move(tasks));
+  for (const Status& st : statuses) {
+    if (!st.ok()) co_return st;
+  }
+  co_return ok_status();
+}
+
+sim::Task<Status> WieraPeer::send_replicate(std::string peer_id,
+                                            ReplicateRequest update) {
+  rpc::Message msg = encode(update);
+  replications_sent_++;
+  const TimePoint start = sim_->now();
+  const std::string target = peer_id;
+  auto resp = co_await endpoint_->call(std::move(peer_id), method::kReplicate,
+                                       std::move(msg));
+  if (config_.network_monitor != nullptr) {
+    config_.network_monitor->record_link_latency(config_.instance_id, target,
+                                                 sim_->now() - start);
+  }
+  if (!resp.ok()) co_return resp.status();
+  auto decoded = decode_replicate_response(*resp);
+  if (!decoded.ok()) co_return decoded.status();
+  if (decoded->accepted) replications_accepted_++;
+  co_return ok_status();
+}
+
+sim::Task<void> WieraPeer::queue_flusher() {
+  while (!stopping_) {
+    co_await sim_->delay(config_.queue_flush_interval);
+    if (stopping_) break;
+    Status st = co_await flush_queue();
+    if (!st.ok()) {
+      WLOG_WARN(kComponent) << id() << " queue flush: " << st.to_string();
+    }
+  }
+}
+
+sim::Task<Status> WieraPeer::flush_queue() {
+  // Bound this round to the items queued when it started; requeued
+  // failures are retried on the *next* flush tick rather than spinning.
+  size_t budget = queue_->size();
+  Status first_error;
+  while (budget-- > 0 && !queue_->empty()) {
+    std::optional<QueuedUpdate> item = queue_->try_recv();
+    if (!item.has_value()) break;
+    const TimePoint start = sim_->now();
+    QueuedUpdate retry_copy = *item;  // kept in case the fan-out fails
+    Status st = co_await replicate_to_all(std::move(item->update));
+    // In eventual mode, background replication latency is the monitoring
+    // signal for switching back to strong consistency (Fig. 7 points 1, 2).
+    if (config_.mode == ConsistencyMode::kEventual) {
+      observe_put_latency(sim_->now() - start);
+    }
+    if (!st.ok()) {
+      // A replica was unreachable: requeue and retry next tick. Replicas
+      // that already accepted the update reject the duplicate via LWW, so
+      // the retry is idempotent.
+      queue_->send(std::move(retry_copy));
+      if (first_error.ok()) first_error = st;
+    }
+  }
+  co_return first_error;
+}
+
+// ---------------------------------------------------------------- blocking
+
+sim::Task<void> WieraPeer::wait_if_blocked() {
+  while (blocking_) {
+    co_await unblocked_->wait();
+  }
+}
+
+void WieraPeer::op_finished() {
+  in_flight_--;
+  assert(in_flight_ >= 0);
+  if (in_flight_ == 0) drained_->set();
+}
+
+sim::Task<Status> WieraPeer::apply_consistency_change(ConsistencyMode mode) {
+  if (mode == config_.mode) co_return ok_status();
+  // Block new requests; let in-flight operations and queued updates finish
+  // first (§3.3.2).
+  blocking_ = true;
+  unblocked_->reset();
+  while (in_flight_ > 0) {
+    drained_->reset();
+    co_await drained_->wait();
+  }
+  Status st = co_await flush_queue();
+  if (!st.ok()) {
+    WLOG_WARN(kComponent) << id() << " drain during change: " << st.to_string();
+  }
+  config_.mode = mode;
+  streak_valid_ = false;  // restart monitor streaks under the new mode
+  blocking_ = false;
+  unblocked_->set();
+  WLOG_INFO(kComponent) << id() << " consistency changed to "
+                        << consistency_mode_name(mode);
+  co_return ok_status();
+}
+
+void WieraPeer::apply_primary_change(const std::string& new_primary) {
+  config_.primary_instance = new_primary;
+  config_.is_primary = (new_primary == config_.instance_id);
+  // Reset the requests monitor so the new primary starts a fresh window.
+  put_history_.clear();
+  requests_condition_active_ = false;
+}
+
+// ---------------------------------------------------------------- monitors
+
+void WieraPeer::observe_put_latency(Duration latency) {
+  if (!config_.dynamic_consistency_policy.has_value()) return;
+  if (latency_threshold_ == Duration::max()) return;
+
+  const bool violating = latency > latency_threshold_;
+  if (!streak_valid_ || violating != streak_violating_) {
+    streak_valid_ = true;
+    streak_violating_ = violating;
+    streak_start_ = sim_->now();
+  }
+  const Duration period = sim_->now() - streak_start_;
+
+  policy::MapContext ctx;
+  ctx.set("threshold.latency", policy::Value::duration_of(latency));
+  ctx.set("threshold.period", policy::Value::duration_of(period));
+
+  for (const auto& rule : config_.dynamic_consistency_policy->events) {
+    for (const auto& stmt : rule.response) {
+      if (!stmt.is_if()) continue;
+      for (const auto& branch : stmt.if_stmt().branches) {
+        bool matched = branch.condition == nullptr;
+        if (!matched) {
+          auto eval = policy::evaluate_condition(*branch.condition, ctx);
+          matched = eval.ok() && *eval;
+        }
+        if (!matched) continue;
+        auto change = find_change_action(branch.body);
+        if (change.has_value() && change->what == "consistency") {
+          auto target = consistency_mode_from_name(change->to);
+          if (target.ok() && *target != config_.mode &&
+              control_.request_policy_change) {
+            control_.request_policy_change(change->to);
+          }
+        }
+        break;  // first matching branch only
+      }
+      break;  // one if-statement per monitoring rule
+    }
+  }
+}
+
+void WieraPeer::record_put_source(const std::string& origin, bool forwarded) {
+  if (forwarded) {
+    forwarded_puts_[origin]++;
+  } else {
+    direct_puts_++;
+  }
+  put_history_.push_back(PutEvent{sim_->now(), origin, forwarded});
+}
+
+sim::Task<void> WieraPeer::requests_monitor_loop() {
+  while (!stopping_) {
+    co_await sim_->delay(config_.requests_monitor_check);
+    if (stopping_) break;
+    if (config_.is_primary) evaluate_requests_monitor();
+  }
+}
+
+void WieraPeer::evaluate_requests_monitor() {
+  // Prune history to the sliding window (paper: last 30 seconds).
+  const TimePoint cutoff = sim_->now() - config_.requests_monitor_window;
+  while (!put_history_.empty() && put_history_.front().time < cutoff) {
+    put_history_.pop_front();
+  }
+
+  int64_t direct = 0;
+  std::map<std::string, int64_t> forwarded_counts;
+  for (const PutEvent& event : put_history_) {
+    if (event.forwarded) {
+      forwarded_counts[event.origin]++;
+    } else {
+      direct++;
+    }
+  }
+  std::string top_origin;
+  int64_t top_count = 0;
+  for (const auto& [origin, count] : forwarded_counts) {
+    if (count > top_count) {
+      top_count = count;
+      top_origin = origin;
+    }
+  }
+
+  const bool condition = top_count > 0 && top_count >= direct;
+  if (condition && !requests_condition_active_) {
+    requests_condition_active_ = true;
+    requests_condition_start_ = sim_->now();
+  } else if (!condition) {
+    requests_condition_active_ = false;
+    return;
+  }
+  const Duration period = sim_->now() - requests_condition_start_;
+
+  if (!config_.change_primary_policy.has_value()) return;
+  policy::MapContext ctx;
+  ctx.set("forwarded_requests_per_each_instance",
+          policy::Value::number_of(static_cast<double>(top_count)));
+  ctx.set("updates_from_primary",
+          policy::Value::number_of(static_cast<double>(direct)));
+  ctx.set("threshold.period", policy::Value::duration_of(period));
+
+  for (const auto& rule : config_.change_primary_policy->events) {
+    for (const auto& stmt : rule.response) {
+      if (!stmt.is_if()) continue;
+      for (const auto& branch : stmt.if_stmt().branches) {
+        bool matched = branch.condition == nullptr;
+        if (!matched) {
+          auto eval = policy::evaluate_condition(*branch.condition, ctx);
+          matched = eval.ok() && *eval;
+        }
+        if (!matched) continue;
+        auto change = find_change_action(branch.body);
+        if (change.has_value() && change->what == "primary_instance" &&
+            control_.request_primary_change && !top_origin.empty() &&
+            top_origin != config_.instance_id) {
+          control_.request_primary_change(top_origin);
+        }
+        break;
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- cold data
+
+sim::Task<bool> WieraPeer::on_cold_object(const std::string& key) {
+  if (config_.centralized_cold_target.empty() ||
+      config_.centralized_cold_target == config_.instance_id) {
+    co_return false;  // the centralized region applies its local policy
+  }
+  if (cold_remote_keys_.count(key) > 0) co_return true;  // already shipped
+
+  auto value = co_await local_->get(key);
+  if (!value.ok()) co_return false;
+
+  ReplicateRequest update;
+  update.key = key;
+  update.version = value->version;
+  update.value = value->value;
+  update.last_modified = sim_->now();
+  update.origin = config_.instance_id;
+  rpc::Message msg = encode(update);
+  auto resp = co_await endpoint_->call(config_.centralized_cold_target,
+                                       method::kColdStore, std::move(msg));
+  if (!resp.ok()) co_return false;
+  Status st = decode_status(*resp);
+  if (!st.ok()) co_return false;
+
+  // Local replicas of the cold object are removed; the centralized S3-IA
+  // replica is now the only copy (durable, §5.3).
+  co_await local_->remove(key);
+  cold_remote_keys_.insert(key);
+  co_return true;
+}
+
+}  // namespace wiera::geo

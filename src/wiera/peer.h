@@ -1,0 +1,208 @@
+// WieraPeer: one geo-replicated member of a Wiera instance.
+//
+// A peer couples a local TieraInstance (multi-tier storage + local policy)
+// with the global protocol machinery of §3.3/§4:
+//   * consistency protocols — MultiPrimaries (global lock + synchronous
+//     broadcast), PrimaryBackup (sync `copy` or async `queue`), Eventual
+//     (local write + queued background propagation, LWW on conflict);
+//   * request forwarding (non-primary puts, ForwardingInstance regions,
+//     get-forwarding to a remote fast tier as in §5.4);
+//   * monitoring events — LatencyMonitoring drives DynamicConsistency
+//     (Fig. 5a), RequestsMonitoring drives ChangePrimary (Fig. 5b); both
+//     evaluate the *parsed policy rules* at run time;
+//   * centralized cold data (§5.3) via the InstanceHooks interception.
+//
+// Consistency changes block-and-queue (§3.3.2): while a switch is in
+// progress new client operations wait; in-flight operations and queued
+// updates drain first.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "coord/lock_service.h"
+#include "sim/sync.h"
+#include "tiera/instance.h"
+#include "wiera/messages.h"
+#include "wiera/monitors.h"
+#include "wiera/types.h"
+
+namespace wiera::geo {
+
+class WieraPeer : public tiera::InstanceHooks {
+ public:
+  struct Config {
+    std::string instance_id;  // globally unique; equals the topology node
+    std::string region;
+    // Local Tiera policy (instance_id/region fields are overwritten).
+    tiera::TieraInstance::Config local;
+    ConsistencyMode mode = ConsistencyMode::kEventual;
+    bool is_primary = false;
+    std::string primary_instance;            // current primary's id
+    std::string lock_service_node;           // ZooKeeper stand-in location
+    Duration queue_flush_interval = msec(100);
+    // §5.4: forward all gets to this instance (remote fast tier). Empty =
+    // serve locally.
+    std::string get_forward_target;
+    // Fig. 6b: instance with no tiers that forwards everything.
+    bool forwarding_only = false;
+    // §5.3 centralized cold data: when set (to another peer's id), cold
+    // objects are shipped there instead of being demoted locally.
+    std::string centralized_cold_target;
+    std::string cold_tier_label;  // tier that receives kColdStore objects
+    // Aggregation sinks for the §3.1 network/workload monitors (owned by
+    // the controller; null disables recording).
+    NetworkMonitor* network_monitor = nullptr;
+    WorkloadMonitor* workload_monitor = nullptr;
+    // Optional parsed dynamic policies evaluated by the monitors.
+    std::optional<policy::PolicyDoc> dynamic_consistency_policy;  // Fig. 5a
+    std::optional<policy::PolicyDoc> change_primary_policy;       // Fig. 5b
+    Duration requests_monitor_window = sec(30);  // put history (§5.2)
+    Duration requests_monitor_check = sec(5);
+  };
+
+  // Callbacks to the controller (wired by WieraController; RPC is used for
+  // data-plane paths, these are issued as controller RPCs by the caller).
+  struct ControlPlane {
+    // Ask Wiera to change the global consistency model.
+    std::function<void(const std::string& to_policy)> request_policy_change;
+    // Ask Wiera to migrate the primary.
+    std::function<void(const std::string& new_primary)> request_primary_change;
+  };
+
+  WieraPeer(sim::Simulation& sim, net::Network& network,
+            rpc::Registry& registry, Config config);
+  ~WieraPeer() override;
+
+  const std::string& id() const { return config_.instance_id; }
+  const std::string& region() const { return config_.region; }
+  ConsistencyMode mode() const { return config_.mode; }
+  bool is_primary() const { return config_.is_primary; }
+  const std::string& primary_instance() const {
+    return config_.primary_instance;
+  }
+  tiera::TieraInstance& local() { return *local_; }
+  rpc::Endpoint& endpoint() { return *endpoint_; }
+
+  // Wire up sibling peers (ids include this peer; it is skipped on sends).
+  // Replication defaults to all siblings; set_storage_peers narrows it to
+  // the peers that can actually store (Fig. 6b's forwarding instances hold
+  // no tiers and receive no update traffic).
+  void set_peers(std::vector<std::string> peer_ids);
+  void set_storage_peers(std::vector<std::string> storage_peer_ids);
+  void set_control_plane(ControlPlane control) { control_ = std::move(control); }
+
+  // Start background tasks (queue flusher, monitors, local policy timers).
+  void start();
+  void stop();
+
+  // ---- data plane (also reachable via RPC) ----
+  sim::Task<Result<PutResponse>> client_put(PutRequest request);
+  sim::Task<Result<GetResponse>> client_get(GetRequest request);
+
+  // Table 2 versioning surface (local list; removes propagate to the
+  // storage peers so all replicas drop the object).
+  std::vector<int64_t> version_list(const std::string& key) const;
+  sim::Task<Status> remove_key(RemoveRequest request);
+
+  // ---- management (invoked via RPC from the controller) ----
+  // Block new ops, drain in-flight + queued updates, switch mode.
+  sim::Task<Status> apply_consistency_change(ConsistencyMode mode);
+  void apply_primary_change(const std::string& new_primary);
+
+  // ---- monitor state (read by tests/benches) ----
+  const LatencyHistogram& put_latency() const { return put_hist_; }
+  const LatencyHistogram& get_latency() const { return get_hist_; }
+  int64_t direct_puts() const { return direct_puts_; }
+  int64_t forwarded_puts_from(const std::string& origin) const;
+  int64_t queue_depth() const { return static_cast<int64_t>(queue_->size()); }
+  int64_t replications_sent() const { return replications_sent_; }
+  int64_t replications_accepted() const { return replications_accepted_; }
+
+  // InstanceHooks (§5.3 centralized cold data).
+  sim::Task<bool> on_cold_object(const std::string& key) override;
+
+ private:
+  struct QueuedUpdate {
+    ReplicateRequest update;
+  };
+
+  void register_handlers();
+
+  sim::Task<Result<PutResponse>> put_multi_primaries(PutRequest& request);
+  sim::Task<Result<PutResponse>> put_primary_backup(PutRequest& request);
+  sim::Task<Result<PutResponse>> put_eventual(PutRequest& request);
+  sim::Task<Result<PutResponse>> put_local_and_replicate(PutRequest& request,
+                                                         bool synchronous);
+
+  sim::Task<Status> replicate_to_all(ReplicateRequest update);
+  sim::Task<Status> send_replicate(std::string peer_id,
+                                   ReplicateRequest update);
+  sim::Task<void> queue_flusher();
+  sim::Task<Status> flush_queue();
+
+  // Block-and-queue support.
+  sim::Task<void> wait_if_blocked();
+  void op_started() { in_flight_++; }
+  void op_finished();
+
+  // Monitors.
+  void observe_put_latency(Duration latency);
+  void record_put_source(const std::string& origin, bool forwarded);
+  sim::Task<void> requests_monitor_loop();
+  void evaluate_requests_monitor();
+
+  sim::Simulation* sim_;
+  net::Network* network_;
+  Config config_;
+  std::unique_ptr<rpc::Endpoint> endpoint_;
+  std::unique_ptr<tiera::TieraInstance> local_;
+  std::unique_ptr<coord::LockClient> lock_client_;
+  std::vector<std::string> peer_ids_;          // excludes self
+  std::vector<std::string> storage_peer_ids_;  // replication targets
+  ControlPlane control_;
+
+  std::unique_ptr<sim::Channel<QueuedUpdate>> queue_;
+  bool started_ = false;
+  bool stopping_ = false;
+
+  // Block-and-queue state for consistency changes.
+  bool blocking_ = false;
+  int64_t in_flight_ = 0;
+  std::unique_ptr<sim::Event> unblocked_;
+  std::unique_ptr<sim::Event> drained_;
+
+  // Latency monitor (Fig. 5a) state.
+  Duration latency_threshold_ = Duration::max();
+  TimePoint streak_start_;
+  bool streak_violating_ = false;
+  bool streak_valid_ = false;
+
+  // Requests monitor (Fig. 5b) state: put history over a sliding window.
+  struct PutEvent {
+    TimePoint time;
+    std::string origin;
+    bool forwarded;
+  };
+  std::deque<PutEvent> put_history_;
+  TimePoint requests_condition_start_;
+  bool requests_condition_active_ = false;
+
+  // §5.3 cold index: keys shipped to the centralized cold peer.
+  std::set<std::string> cold_remote_keys_;
+
+  LatencyHistogram put_hist_;
+  LatencyHistogram get_hist_;
+  int64_t direct_puts_ = 0;
+  std::map<std::string, int64_t> forwarded_puts_;
+  int64_t replications_sent_ = 0;
+  int64_t replications_accepted_ = 0;
+};
+
+}  // namespace wiera::geo

@@ -1,0 +1,97 @@
+#include "wiera/types.h"
+
+namespace wiera::geo {
+
+std::string_view consistency_mode_name(ConsistencyMode mode) {
+  switch (mode) {
+    case ConsistencyMode::kMultiPrimaries: return "MultiPrimariesConsistency";
+    case ConsistencyMode::kPrimaryBackupSync: return "PrimaryBackupConsistency";
+    case ConsistencyMode::kPrimaryBackupAsync:
+      return "PrimaryBackupAsyncConsistency";
+    case ConsistencyMode::kEventual: return "EventualConsistency";
+  }
+  return "?";
+}
+
+Result<ConsistencyMode> consistency_mode_from_name(std::string_view name) {
+  if (name == "MultiPrimariesConsistency" || name == "MultiPrimaries") {
+    return ConsistencyMode::kMultiPrimaries;
+  }
+  if (name == "PrimaryBackupConsistency" || name == "PrimaryBackup") {
+    return ConsistencyMode::kPrimaryBackupSync;
+  }
+  if (name == "PrimaryBackupAsyncConsistency" ||
+      name == "PrimaryBackupAsync") {
+    return ConsistencyMode::kPrimaryBackupAsync;
+  }
+  if (name == "EventualConsistency" || name == "Eventual") {
+    return ConsistencyMode::kEventual;
+  }
+  return invalid_argument("unknown consistency mode: " + std::string(name));
+}
+
+namespace {
+
+// Does this statement list (recursively) contain an action with this name?
+bool contains_action(const std::vector<policy::Stmt>& stmts,
+                     std::string_view name) {
+  for (const policy::Stmt& stmt : stmts) {
+    if (stmt.is_action() && stmt.action().name == name) return true;
+    if (stmt.is_if()) {
+      for (const auto& branch : stmt.if_stmt().branches) {
+        if (contains_action(branch.body, name)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool tests_is_primary(const std::vector<policy::Stmt>& stmts) {
+  for (const policy::Stmt& stmt : stmts) {
+    if (!stmt.is_if()) continue;
+    for (const auto& branch : stmt.if_stmt().branches) {
+      if (branch.condition == nullptr) continue;
+      const std::string s = branch.condition->to_string();
+      if (s.find("local_instance.isPrimary") != std::string::npos) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ConsistencyMode> derive_consistency_mode(const policy::PolicyDoc& doc) {
+  const policy::EventRule* insert_rule = nullptr;
+  for (const auto& rule : doc.events) {
+    if (rule.trigger->is_path() &&
+        rule.trigger->path().dotted() == "insert.into") {
+      insert_rule = &rule;
+      break;
+    }
+  }
+  if (insert_rule == nullptr) {
+    // No replication protocol specified (e.g. Fig. 6a's single-region
+    // ReducedCostPolicy, which only has a cold-data rule): store locally,
+    // propagate opportunistically — eventual consistency.
+    return ConsistencyMode::kEventual;
+  }
+  const auto& stmts = insert_rule->response;
+
+  if (contains_action(stmts, "lock")) {
+    return ConsistencyMode::kMultiPrimaries;
+  }
+  if (tests_is_primary(stmts)) {
+    return contains_action(stmts, "queue")
+               ? ConsistencyMode::kPrimaryBackupAsync
+               : ConsistencyMode::kPrimaryBackupSync;
+  }
+  if (contains_action(stmts, "queue")) {
+    return ConsistencyMode::kEventual;
+  }
+  return invalid_argument("cannot derive a consistency protocol from " +
+                          doc.name);
+}
+
+}  // namespace wiera::geo

@@ -1,0 +1,38 @@
+// Shared types for the Wiera layer: consistency modes and protocol
+// derivation from parsed global policies.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "policy/ast.h"
+
+namespace wiera::geo {
+
+// The consistency protocols of §3.3.1. PrimaryBackup comes in two flavours
+// depending on how the primary propagates updates: synchronous `copy`
+// (consistent reads everywhere) or asynchronous `queue` (better put
+// latency; §3.3.1 and the Fig. 8 experiment use this).
+enum class ConsistencyMode {
+  kMultiPrimaries,
+  kPrimaryBackupSync,
+  kPrimaryBackupAsync,
+  kEventual,
+};
+
+std::string_view consistency_mode_name(ConsistencyMode mode);
+Result<ConsistencyMode> consistency_mode_from_name(std::string_view name);
+
+// Inspect a Wiera policy document's insert rule and derive which protocol
+// it specifies:
+//   lock(...) ... copy(to:all_regions)          -> MultiPrimaries
+//   store(to:local_instance), queue(all_regions)-> Eventual
+//   if(isPrimary) store+copy else forward       -> PrimaryBackupSync
+//   if(isPrimary) store+queue else forward      -> PrimaryBackupAsync
+//   if(isPrimary) store else forward            -> PrimaryBackupSync with
+//                                                  no replication targets
+//                                                  (Fig. 6b SimplerConsistency)
+Result<ConsistencyMode> derive_consistency_mode(const policy::PolicyDoc& doc);
+
+}  // namespace wiera::geo

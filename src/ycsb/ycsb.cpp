@@ -1,0 +1,191 @@
+#include "ycsb/ycsb.h"
+
+#include <cmath>
+
+namespace wiera::ycsb {
+
+// ---------------------------------------------------------------- zipfian
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  zetan_ = zeta(n, theta);
+  const double zeta2 = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfianGenerator::zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::next(Rng& rng) {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(rank, n_ - 1);
+}
+
+// ---------------------------------------------------------------- workloads
+
+namespace {
+WorkloadSpec base(std::string name) {
+  WorkloadSpec spec;
+  spec.name = std::move(name);
+  return spec;
+}
+}  // namespace
+
+WorkloadSpec WorkloadSpec::a() {
+  WorkloadSpec s = base("A");
+  s.read_proportion = 0.5;
+  s.update_proportion = 0.5;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::b() {
+  WorkloadSpec s = base("B");
+  s.read_proportion = 0.95;
+  s.update_proportion = 0.05;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::c() {
+  WorkloadSpec s = base("C");
+  s.read_proportion = 1.0;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::d() {
+  WorkloadSpec s = base("D");
+  s.read_proportion = 0.95;
+  s.insert_proportion = 0.05;
+  s.distribution = Distribution::kLatest;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::e() {
+  WorkloadSpec s = base("E");
+  s.scan_proportion = 0.95;
+  s.insert_proportion = 0.05;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::f() {
+  WorkloadSpec s = base("F");
+  s.read_proportion = 0.5;
+  s.rmw_proportion = 0.5;
+  return s;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec, uint64_t seed)
+    : spec_(std::move(spec)),
+      rng_(seed),
+      zipfian_(static_cast<uint64_t>(std::max<int64_t>(spec_.record_count, 1))),
+      latest_(static_cast<uint64_t>(std::max<int64_t>(spec_.record_count, 1))),
+      insert_cursor_(spec_.record_count) {}
+
+int64_t WorkloadGenerator::next_key_id() {
+  switch (spec_.distribution) {
+    case Distribution::kZipfian:
+      return static_cast<int64_t>(zipfian_.next(rng_));
+    case Distribution::kUniform:
+      return rng_.uniform_int(0, spec_.record_count - 1);
+    case Distribution::kLatest:
+      return static_cast<int64_t>(latest_.next(rng_));
+  }
+  return 0;
+}
+
+WorkloadGenerator::Op WorkloadGenerator::next() {
+  const double roll = rng_.next_double();
+  double acc = spec_.read_proportion;
+  if (roll < acc) return {OpType::kRead, key_name(next_key_id())};
+  acc += spec_.update_proportion;
+  if (roll < acc) return {OpType::kUpdate, key_name(next_key_id())};
+  acc += spec_.insert_proportion;
+  if (roll < acc) {
+    const int64_t id = insert_cursor_++;
+    latest_.observe_insert(static_cast<uint64_t>(insert_cursor_));
+    return {OpType::kInsert, key_name(id)};
+  }
+  acc += spec_.scan_proportion;
+  if (roll < acc) return {OpType::kScan, key_name(next_key_id())};
+  return {OpType::kReadModifyWrite, key_name(next_key_id())};
+}
+
+// ---------------------------------------------------------------- driver
+
+sim::Task<Status> ClientDriver::load() {
+  const auto size = static_cast<size_t>(generator_.spec().value_size);
+  for (int64_t i = 0; i < generator_.spec().record_count; ++i) {
+    std::string key = WorkloadGenerator::key_name(i);
+    auto result = co_await client_->put(std::move(key), Blob::zeros(size));
+    if (!result.ok()) co_return result.status();
+  }
+  co_return ok_status();
+}
+
+sim::Task<Status> ClientDriver::run(Options options) {
+  for (int64_t i = 0; i < options.operations; ++i) {
+    if (options.should_stop && options.should_stop()) break;
+    WorkloadGenerator::Op op = generator_.next();
+    const TimePoint start = sim_->now();
+    switch (op.type) {
+      case OpType::kRead:
+      case OpType::kScan: {  // scans map to reads against the KV interface
+        auto result = co_await client_->get(op.key);
+        if (result.ok()) {
+          read_hist_.record(sim_->now() - start);
+          if (options.on_read) options.on_read(op.key, result->version);
+        } else {
+          errors_++;
+        }
+        break;
+      }
+      case OpType::kUpdate:
+      case OpType::kInsert: {
+        auto result = co_await client_->put(
+            op.key,
+            Blob::zeros(static_cast<size_t>(generator_.spec().value_size)));
+        if (result.ok()) {
+          update_hist_.record(sim_->now() - start);
+          if (options.on_write) options.on_write(op.key, result->version);
+        } else {
+          errors_++;
+        }
+        break;
+      }
+      case OpType::kReadModifyWrite: {
+        auto read = co_await client_->get(op.key);
+        if (read.ok() && options.on_read) {
+          options.on_read(op.key, read->version);
+        }
+        auto write = co_await client_->put(
+            op.key,
+            Blob::zeros(static_cast<size_t>(generator_.spec().value_size)));
+        if (write.ok()) {
+          update_hist_.record(sim_->now() - start);
+          if (options.on_write) options.on_write(op.key, write->version);
+        } else {
+          errors_++;
+        }
+        break;
+      }
+    }
+    ops_completed_++;
+    if (options.think_time > Duration::zero()) {
+      co_await sim_->delay(options.think_time);
+    }
+  }
+  co_return ok_status();
+}
+
+}  // namespace wiera::ycsb

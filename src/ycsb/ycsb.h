@@ -1,0 +1,179 @@
+// YCSB — Yahoo! Cloud Serving Benchmark stand-in (Cooper et al., SoCC'10).
+//
+// Implements the pieces the paper's evaluation uses: the core workload
+// definitions A–F, the request-distribution generators (zipfian,
+// scrambled-zipfian, latest, uniform), and a closed-loop client driver that
+// runs a workload against a Wiera client and records per-operation
+// latencies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "wiera/client.h"
+
+namespace wiera::ycsb {
+
+// ---------------------------------------------------------------- generators
+
+// Zipfian over [0, n); theta = 0.99 like YCSB's default. Uses the
+// Gray et al. incremental method (same as YCSB's ZipfianGenerator).
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(uint64_t n, double theta = kDefaultTheta);
+
+  uint64_t next(Rng& rng);
+  uint64_t n() const { return n_; }
+
+  static constexpr double kDefaultTheta = 0.99;
+
+ private:
+  static double zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+// Zipfian with the popular items scattered across the keyspace (YCSB's
+// ScrambledZipfianGenerator): avoids hotspots being adjacent keys.
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t n)
+      : n_(n), zipf_(n) {}
+
+  uint64_t next(Rng& rng) {
+    const uint64_t raw = zipf_.next(rng);
+    return fnv1a64(&raw, sizeof(raw)) % n_;
+  }
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+// "Latest" distribution: most requests go to recently inserted records.
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(uint64_t n) : zipf_(n), max_(n) {}
+
+  void observe_insert(uint64_t new_max) {
+    max_ = new_max;
+    if (max_ > zipf_.n()) zipf_ = ZipfianGenerator(max_);
+  }
+
+  uint64_t next(Rng& rng) {
+    const uint64_t offset = zipf_.next(rng);
+    return max_ - 1 - offset;
+  }
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t max_;
+};
+
+// ---------------------------------------------------------------- workloads
+
+enum class OpType { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+
+enum class Distribution { kZipfian, kUniform, kLatest };
+
+// A YCSB core-workload mix.
+struct WorkloadSpec {
+  std::string name;
+  double read_proportion = 0;
+  double update_proportion = 0;
+  double insert_proportion = 0;
+  double scan_proportion = 0;
+  double rmw_proportion = 0;
+  Distribution distribution = Distribution::kZipfian;
+  int64_t record_count = 1000;
+  int64_t value_size = 1024;  // 1 KB fields total by default
+
+  // The six core workloads (YCSB wiki definitions).
+  static WorkloadSpec a();  // update heavy: 50/50 read/update, zipfian
+  static WorkloadSpec b();  // read mostly: 95/5 read/update, zipfian
+  static WorkloadSpec c();  // read only: 100 read, zipfian
+  static WorkloadSpec d();  // read latest: 95/5 read/insert, latest
+  static WorkloadSpec e();  // short ranges: 95/5 scan/insert, zipfian
+  static WorkloadSpec f();  // read-modify-write: 50/50 read/rmw, zipfian
+
+  // §5.2's description of its client mix ("Read mostly workload (5% put
+  // and 95% get)") — workload B's mix.
+  static WorkloadSpec read_mostly() { return b(); }
+};
+
+// Chooses the next operation + key for a workload.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadSpec spec, uint64_t seed);
+
+  struct Op {
+    OpType type;
+    std::string key;
+  };
+  Op next();
+
+  const WorkloadSpec& spec() const { return spec_; }
+  static std::string key_name(int64_t id) {
+    return "user" + std::to_string(id);
+  }
+
+ private:
+  int64_t next_key_id();
+
+  WorkloadSpec spec_;
+  Rng rng_;
+  ScrambledZipfianGenerator zipfian_;
+  LatestGenerator latest_;
+  int64_t insert_cursor_;
+};
+
+// ---------------------------------------------------------------- driver
+
+// Closed-loop client: issues ops back-to-back (optionally with think time),
+// records latencies split by op class.
+class ClientDriver {
+ public:
+  struct Options {
+    int64_t operations = 1000;
+    Duration think_time = Duration::zero();
+    // Called after each get with (key, returned version) — benches use it
+    // for staleness accounting (Fig. 8).
+    std::function<void(const std::string& key, int64_t version)> on_read;
+    // Called after each successful put with (key, new version).
+    std::function<void(const std::string& key, int64_t version)> on_write;
+    // Abort the loop early when set (e.g. phase-driven benches).
+    std::function<bool()> should_stop;
+  };
+
+  ClientDriver(sim::Simulation& sim, geo::WieraClient& client,
+               WorkloadSpec spec, uint64_t seed)
+      : sim_(&sim), client_(&client), generator_(std::move(spec), seed) {}
+
+  // Load phase: insert all records.
+  sim::Task<Status> load();
+  // Run phase.
+  sim::Task<Status> run(Options options);
+
+  const LatencyHistogram& read_latency() const { return read_hist_; }
+  const LatencyHistogram& update_latency() const { return update_hist_; }
+  int64_t ops_completed() const { return ops_completed_; }
+  int64_t errors() const { return errors_; }
+
+ private:
+  sim::Simulation* sim_;
+  geo::WieraClient* client_;
+  WorkloadGenerator generator_;
+  LatencyHistogram read_hist_;
+  LatencyHistogram update_hist_;
+  int64_t ops_completed_ = 0;
+  int64_t errors_ = 0;
+};
+
+}  // namespace wiera::ycsb

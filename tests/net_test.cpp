@@ -1,0 +1,195 @@
+// Tests for the WAN topology and network transport model.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace wiera::net {
+namespace {
+
+Topology two_dc_topology() {
+  Topology topo;
+  topo.add_datacenter("dc-a", Provider::kAws, "us-east");
+  topo.add_datacenter("dc-b", Provider::kAws, "us-west");
+  topo.set_rtt("dc-a", "dc-b", msec(70));
+  topo.add_node("n1", "dc-a");
+  topo.add_node("n2", "dc-b");
+  topo.add_node("n3", "dc-a");
+  return topo;
+}
+
+TEST(TopologyTest, NodeAndDatacenterLookup) {
+  Topology topo = two_dc_topology();
+  EXPECT_TRUE(topo.has_node("n1"));
+  EXPECT_FALSE(topo.has_node("nx"));
+  EXPECT_EQ(topo.node("n1").datacenter, "dc-a");
+  EXPECT_EQ(topo.datacenter_of("n2").region, "us-west");
+  EXPECT_EQ(topo.node_names().size(), 3u);
+}
+
+TEST(TopologyTest, RttSymmetricAndSameDcDefault) {
+  Topology topo = two_dc_topology();
+  EXPECT_EQ(topo.base_rtt("dc-a", "dc-b").us(), 70000);
+  EXPECT_EQ(topo.base_rtt("dc-b", "dc-a").us(), 70000);
+  EXPECT_EQ(topo.base_rtt("dc-a", "dc-a").us(),
+            calibration::kSameDcRttUs);
+}
+
+TEST(TopologyTest, BaseOneWayIsHalfRtt) {
+  Topology topo = two_dc_topology();
+  EXPECT_EQ(topo.base_one_way("n1", "n2").us(), 35000);
+  EXPECT_EQ(topo.base_one_way("n1", "n3").us(),
+            calibration::kSameDcRttUs / 2);
+}
+
+TEST(TopologyTest, SampleLatencyJitterIsBounded) {
+  Topology topo = two_dc_topology();
+  topo.set_jitter_fraction(0.05);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    Duration d = topo.sample_latency("n1", "n2", 0, TimePoint::origin(), rng);
+    EXPECT_GT(d.us(), 35000 / 2);   // never below 50% of base
+    EXPECT_LT(d.us(), 35000 * 2);   // 5% jitter can't double latency
+  }
+}
+
+TEST(TopologyTest, ZeroJitterIsExact) {
+  Topology topo = two_dc_topology();
+  topo.set_jitter_fraction(0.0);
+  Rng rng(3);
+  EXPECT_EQ(topo.sample_latency("n1", "n2", 0, TimePoint::origin(), rng).us(),
+            35000);
+}
+
+TEST(TopologyTest, TransferTimeScalesWithBytesAndThrottle) {
+  Topology topo;
+  topo.add_datacenter("dc", Provider::kAzure, "us-east");
+  topo.add_node("small", "dc", VmType::basic_a2());
+  topo.add_node("large", "dc", VmType::standard_d3());
+  topo.set_jitter_fraction(0.0);
+  Rng rng(1);
+  const double small_mbps = VmType::basic_a2().net_mbps;
+  const double large_mbps = VmType::standard_d3().net_mbps;
+  const int64_t payload = 12 * 1000 * 1000;
+  // Bottleneck is the slower endpoint's NIC.
+  Duration d = topo.sample_latency("small", "large", payload,
+                                   TimePoint::origin(), rng);
+  EXPECT_NEAR(d.seconds(), payload / (small_mbps * 1e6), 0.01);
+  topo.add_node("large2", "dc", VmType::standard_d3());
+  d = topo.sample_latency("large", "large2", payload,
+                          TimePoint::origin(), rng);
+  EXPECT_NEAR(d.seconds(), payload / (large_mbps * 1e6), 0.01);
+}
+
+TEST(TopologyTest, InjectedDelayAppliesOnlyInWindow) {
+  Topology topo = two_dc_topology();
+  topo.set_jitter_fraction(0.0);
+  topo.inject_node_delay("n2", msec(500), TimePoint(1000000),
+                         TimePoint(2000000));
+  Rng rng(1);
+  EXPECT_EQ(topo.sample_latency("n1", "n2", 0, TimePoint(0), rng).us(), 35000);
+  EXPECT_EQ(topo.sample_latency("n1", "n2", 0, TimePoint(1500000), rng).us(),
+            535000);
+  EXPECT_EQ(topo.sample_latency("n1", "n2", 0, TimePoint(2000000), rng).us(),
+            35000);
+}
+
+TEST(TopologyTest, OutageWindow) {
+  Topology topo = two_dc_topology();
+  topo.inject_outage("n1", TimePoint(100), TimePoint(200));
+  EXPECT_FALSE(topo.node_down("n1", TimePoint(99)));
+  EXPECT_TRUE(topo.node_down("n1", TimePoint(100)));
+  EXPECT_TRUE(topo.node_down("n1", TimePoint(199)));
+  EXPECT_FALSE(topo.node_down("n1", TimePoint(200)));
+  topo.clear_faults();
+  EXPECT_FALSE(topo.node_down("n1", TimePoint(150)));
+}
+
+TEST(TopologyTest, PaperDefaultHasAllRegions) {
+  Topology topo = Topology::paper_default();
+  EXPECT_EQ(topo.base_rtt("aws-us-east", "aws-us-west").us(), 70000);
+  EXPECT_EQ(topo.base_rtt("aws-eu-west", "aws-asia-east").us(), 240000);
+  EXPECT_EQ(topo.base_rtt("azure-us-east", "aws-us-east").us(), 2000);
+  // Azure US East inherits AWS US East distances.
+  EXPECT_EQ(topo.base_rtt("azure-us-east", "aws-us-west").us(), 70000);
+}
+
+// ------------------------------------------------------------ Network
+
+struct TransferResult {
+  Status status = ok_status();
+  int64_t completed_at_us = -1;
+};
+
+sim::Task<void> do_transfer(Network& net, std::string from, std::string to,
+                            int64_t bytes, TransferResult& out) {
+  out.status = co_await net.transfer(std::move(from), std::move(to), bytes);
+  out.completed_at_us = net.sim().now().us();
+}
+
+TEST(NetworkTest, TransferTakesOneWayLatency) {
+  sim::Simulation sim;
+  Topology topo = two_dc_topology();
+  topo.set_jitter_fraction(0.0);
+  Network net(sim, std::move(topo));
+  TransferResult r;
+  sim.spawn(do_transfer(net, "n1", "n2", 0, r));
+  sim.run();
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.completed_at_us, 35000);
+}
+
+TEST(NetworkTest, TrafficAccounting) {
+  sim::Simulation sim;
+  Network net(sim, two_dc_topology());
+  TransferResult r1, r2, r3;
+  sim.spawn(do_transfer(net, "n1", "n2", 1000, r1));  // cross-DC
+  sim.spawn(do_transfer(net, "n1", "n3", 500, r2));   // intra-DC
+  sim.spawn(do_transfer(net, "n2", "n1", 200, r3));   // cross-DC reverse
+  sim.run();
+  const TrafficStats& t = net.traffic();
+  EXPECT_EQ(t.total_messages, 3);
+  EXPECT_EQ(t.total_bytes, 1700);
+  EXPECT_EQ(t.cross_dc_bytes(), 1200);
+  EXPECT_EQ(t.egress_bytes_from("dc-a"), 1000);
+  EXPECT_EQ(t.egress_bytes_from("dc-b"), 200);
+}
+
+TEST(NetworkTest, TransferToDownNodeFails) {
+  sim::Simulation sim;
+  Topology topo = two_dc_topology();
+  topo.inject_outage("n2", TimePoint(0), TimePoint(10000000));
+  Network net(sim, std::move(topo));
+  TransferResult r;
+  sim.spawn(do_transfer(net, "n1", "n2", 100, r));
+  sim.run();
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(r.completed_at_us, Network::kUnreachableDelay.us());
+  EXPECT_EQ(net.traffic().total_messages, 0);  // failed sends not billed
+}
+
+TEST(NetworkTest, NodeGoingDownMidFlightFailsTransfer) {
+  sim::Simulation sim;
+  Topology topo = two_dc_topology();
+  topo.set_jitter_fraction(0.0);
+  // n2 goes down at 10ms; one-way latency is 35ms, so the message is lost.
+  topo.inject_outage("n2", TimePoint(10000), TimePoint(10000000));
+  Network net(sim, std::move(topo));
+  TransferResult r;
+  sim.spawn(do_transfer(net, "n1", "n2", 0, r));
+  sim.run();
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(NetworkTest, VmTypesHaveExpectedOrdering) {
+  // Calibration sanity: bigger Azure VMs get more network throughput.
+  EXPECT_LT(VmType::basic_a2().net_mbps, VmType::standard_d1().net_mbps);
+  EXPECT_LT(VmType::standard_d1().net_mbps, VmType::standard_d2().net_mbps);
+  EXPECT_LE(VmType::standard_d2().net_mbps, VmType::standard_d3().net_mbps);
+}
+
+}  // namespace
+}  // namespace wiera::net

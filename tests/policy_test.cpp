@@ -1,0 +1,419 @@
+// Tests for the policy DSL: lexer, parser, evaluator, trigger classifier,
+// and the built-in paper policies.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "policy/builtin_policies.h"
+#include "policy/eval.h"
+#include "policy/lexer.h"
+#include "policy/parser.h"
+
+namespace wiera::policy {
+namespace {
+
+// ------------------------------------------------------------ lexer
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = tokenize("tier1: {name: Memcached, size: 5G};");
+  ASSERT_TRUE(toks.ok());
+  const auto& t = *toks;
+  ASSERT_GE(t.size(), 11u);
+  EXPECT_EQ(t[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(t[0].text, "tier1");
+  EXPECT_EQ(t[1].kind, TokenKind::kColon);
+  EXPECT_EQ(t[2].kind, TokenKind::kLBrace);
+  // size: 5G -> number 5 with suffix G
+  bool found_5g = false;
+  for (const auto& tok : t) {
+    if (tok.kind == TokenKind::kNumber && tok.number == 5 &&
+        tok.suffix == "G") {
+      found_5g = true;
+    }
+  }
+  EXPECT_TRUE(found_5g);
+}
+
+TEST(LexerTest, CommentsVsPercentLiterals) {
+  auto toks = tokenize(
+      "% a comment line\n"
+      "event(tier2.filled == 50%) % trailing comment\n");
+  ASSERT_TRUE(toks.ok());
+  bool found_pct = false;
+  for (const auto& tok : *toks) {
+    if (tok.kind == TokenKind::kNumber && tok.number == 50 &&
+        tok.suffix == "%") {
+      found_pct = true;
+    }
+    // Comment words must not leak into the token stream.
+    if (tok.kind == TokenKind::kIdent) {
+      EXPECT_TRUE(tok.text == "event" || tok.text == "tier2" ||
+                  tok.text == "filled")
+          << "comment text was tokenized: " << tok.text;
+    }
+  }
+  EXPECT_TRUE(found_pct);
+}
+
+TEST(LexerTest, OperatorsAndRates) {
+  auto toks = tokenize(">= <= == != && || = < > 40KB/s");
+  ASSERT_TRUE(toks.ok());
+  const auto& t = *toks;
+  EXPECT_EQ(t[0].kind, TokenKind::kGe);
+  EXPECT_EQ(t[1].kind, TokenKind::kLe);
+  EXPECT_EQ(t[2].kind, TokenKind::kEq);
+  EXPECT_EQ(t[3].kind, TokenKind::kNe);
+  EXPECT_EQ(t[4].kind, TokenKind::kAnd);
+  EXPECT_EQ(t[5].kind, TokenKind::kOr);
+  EXPECT_EQ(t[6].kind, TokenKind::kAssign);
+  EXPECT_EQ(t[7].kind, TokenKind::kLt);
+  EXPECT_EQ(t[8].kind, TokenKind::kGt);
+  EXPECT_EQ(t[9].kind, TokenKind::kNumber);
+  EXPECT_EQ(t[9].suffix, "KB/s");
+}
+
+TEST(LexerTest, DashedIdentifiers) {
+  auto toks = tokenize("region:US-West-1");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[2].text, "US-West-1");
+}
+
+TEST(LexerTest, RejectsBadCharacters) {
+  EXPECT_FALSE(tokenize("tier1 @ {}").ok());
+  EXPECT_FALSE(tokenize("\"unterminated").ok());
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto toks = tokenize("a\nb\nc");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 1);
+  EXPECT_EQ((*toks)[1].line, 2);
+  EXPECT_EQ((*toks)[2].line, 3);
+}
+
+// ------------------------------------------------------------ parser
+
+TEST(ParserTest, ParsesTieraHeaderAndTiers) {
+  auto doc = parse_policy(builtin::low_latency_instance());
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  EXPECT_FALSE(doc->is_wiera);
+  EXPECT_EQ(doc->name, "LowLatencyInstance");
+  ASSERT_EQ(doc->params.size(), 1u);
+  EXPECT_EQ(doc->params[0].first, "time");
+  EXPECT_EQ(doc->params[0].second, "t");
+  ASSERT_EQ(doc->tiers.size(), 2u);
+  EXPECT_EQ(doc->tiers[0].label, "tier1");
+  EXPECT_EQ(doc->tiers[0].attr("name")->text, "Memcached");
+  EXPECT_EQ(doc->tiers[0].attr("size")->size_bytes, 5 * GiB);
+  ASSERT_EQ(doc->events.size(), 2u);
+}
+
+TEST(ParserTest, ParsesEventResponses) {
+  auto doc = parse_policy(builtin::low_latency_instance());
+  ASSERT_TRUE(doc.ok());
+  // First event: assign + store action.
+  const EventRule& insert_rule = doc->events[0];
+  ASSERT_EQ(insert_rule.response.size(), 2u);
+  ASSERT_TRUE(insert_rule.response[0].is_assign());
+  EXPECT_EQ(insert_rule.response[0].assign().target.dotted(),
+            "insert.object.dirty");
+  ASSERT_TRUE(insert_rule.response[1].is_action());
+  EXPECT_EQ(insert_rule.response[1].action().name, "store");
+  EXPECT_EQ(insert_rule.response[1].action().arg("to")->path().parts[0],
+            "tier1");
+
+  // Second event: copy with a compound selector.
+  const EventRule& timer_rule = doc->events[1];
+  ASSERT_EQ(timer_rule.response.size(), 1u);
+  const ActionStmt& copy = timer_rule.response[0].action();
+  EXPECT_EQ(copy.name, "copy");
+  const Expr* what = copy.arg("what");
+  ASSERT_NE(what, nullptr);
+  ASSERT_TRUE(what->is_binary());
+  EXPECT_EQ(what->binary().op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ParsesWieraRegionsWithNestedTiers) {
+  auto doc = parse_policy(builtin::multi_primaries_consistency());
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  EXPECT_TRUE(doc->is_wiera);
+  ASSERT_EQ(doc->regions.size(), 4u);
+  const RegionDecl& r1 = doc->regions[0];
+  EXPECT_EQ(r1.label, "Region1");
+  EXPECT_EQ(r1.instance_name(), "LowLatencyInstance");
+  EXPECT_EQ(r1.region(), "US-West");
+  EXPECT_FALSE(r1.primary());
+  ASSERT_EQ(r1.tiers.size(), 2u);
+  EXPECT_EQ(r1.tiers[0].label, "tier1");
+  EXPECT_EQ(r1.tiers[0].attr("name")->text, "LocalMemory");
+}
+
+TEST(ParserTest, PrimaryFlagParsed) {
+  auto doc = parse_policy(builtin::primary_backup_consistency());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->regions[0].primary());
+  EXPECT_FALSE(doc->regions[1].primary());
+}
+
+TEST(ParserTest, UnbracedIfElseBranches) {
+  auto doc = parse_policy(builtin::primary_backup_consistency());
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->events.size(), 1u);
+  ASSERT_EQ(doc->events[0].response.size(), 1u);
+  ASSERT_TRUE(doc->events[0].response[0].is_if());
+  const IfStmt& if_stmt = doc->events[0].response[0].if_stmt();
+  ASSERT_EQ(if_stmt.branches.size(), 2u);
+  // if-branch greedily took store + copy; else got forward.
+  EXPECT_EQ(if_stmt.branches[0].body.size(), 2u);
+  EXPECT_NE(if_stmt.branches[0].condition, nullptr);
+  EXPECT_EQ(if_stmt.branches[1].body.size(), 1u);
+  EXPECT_EQ(if_stmt.branches[1].condition, nullptr);
+  EXPECT_EQ(if_stmt.branches[1].body[0].action().name, "forward");
+}
+
+TEST(ParserTest, ElseIfChain) {
+  auto doc = parse_policy(builtin::dynamic_consistency());
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  const IfStmt& if_stmt = doc->events[0].response[0].if_stmt();
+  ASSERT_EQ(if_stmt.branches.size(), 2u);
+  EXPECT_NE(if_stmt.branches[0].condition, nullptr);
+  EXPECT_NE(if_stmt.branches[1].condition, nullptr);  // else-if, not else
+  EXPECT_EQ(if_stmt.branches[0].body[0].action().name, "change_policy");
+}
+
+TEST(ParserTest, ParseErrorsCarryLineNumbers) {
+  auto doc = parse_policy("Tiera X() {\n  tier1: {name Memcached}\n}");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 2"), std::string::npos)
+      << doc.status().to_string();
+}
+
+TEST(ParserTest, RejectsMissingHeader) {
+  EXPECT_FALSE(parse_policy("Policy X() {}").ok());
+  EXPECT_FALSE(parse_policy("Tiera () {}").ok());
+  EXPECT_FALSE(parse_policy("Tiera X {}").ok());
+}
+
+TEST(ParserTest, AllBuiltinsParseAndValidate) {
+  auto docs = builtin::all_parsed();
+  EXPECT_EQ(docs.size(), 9u);
+  for (const auto& doc : docs) {
+    EXPECT_TRUE(validate(doc).ok())
+        << doc.name << ": " << validate(doc).to_string();
+  }
+}
+
+TEST(ParserTest, ByNameLookup) {
+  auto doc = builtin::by_name("EventualConsistency");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->name, "EventualConsistency");
+  EXPECT_FALSE(builtin::by_name("NoSuchPolicy").ok());
+}
+
+TEST(ValidateTest, RejectsUnknownAction) {
+  auto doc = parse_policy(
+      "Tiera X() { tier1: {name: Memcached, size: 1G};"
+      " event(insert.into) : response { teleport(what:insert.object, "
+      "to:tier1); } }");
+  ASSERT_TRUE(doc.ok());
+  Status st = validate(*doc);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("teleport"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsUndeclaredTierTarget) {
+  auto doc = parse_policy(
+      "Tiera X() { tier1: {name: Memcached, size: 1G};"
+      " event(insert.into) : response { store(what:insert.object, "
+      "to:tier9); } }");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(validate(*doc).ok());
+}
+
+TEST(ValidateTest, AcceptsNestedRegionTierTargets) {
+  auto doc = parse_policy(builtin::reduced_cost_policy());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(validate(*doc).ok()) << validate(*doc).to_string();
+}
+
+// ------------------------------------------------------------ evaluator
+
+TEST(EvalTest, LiteralsAndPaths) {
+  MapContext ctx;
+  ctx.set("threshold.latency", Value::duration_of(msec(900)));
+  auto lat = make_path({"threshold", "latency"});
+  auto v = evaluate(*lat, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->duration.us(), 900000);
+}
+
+TEST(EvalTest, BareWordsEvaluateAsStrings) {
+  MapContext ctx;
+  auto word = make_path({"EventualConsistency"});
+  auto v = evaluate(*word, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->text, "EventualConsistency");
+}
+
+TEST(EvalTest, UnresolvedDottedPathFails) {
+  MapContext ctx;
+  auto path = make_path({"threshold", "latency"});
+  EXPECT_FALSE(evaluate(*path, ctx).ok());
+}
+
+TEST(EvalTest, ComparisonAcrossUnits) {
+  MapContext ctx;
+  ctx.set("threshold.latency", Value::duration_of(msec(900)));
+  // threshold.latency > 800 ms  ->  true
+  auto expr = make_binary(BinaryOp::kGt, make_path({"threshold", "latency"}),
+                          make_literal(Value::duration_of(msec(800))));
+  auto v = evaluate_condition(*expr, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(*v);
+}
+
+TEST(EvalTest, AndOrShortCircuit) {
+  MapContext ctx;
+  ctx.set("a", Value::bool_of(false));
+  // a && <unresolvable dotted path> — short-circuits to false.
+  auto expr = make_binary(BinaryOp::kAnd, make_path({"a"}),
+                          make_path({"no", "such", "path"}));
+  auto v = evaluate_condition(*expr, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(*v);
+
+  ctx.set("b", Value::bool_of(true));
+  auto expr2 = make_binary(BinaryOp::kOr, make_path({"b"}),
+                           make_path({"no", "such", "path"}));
+  v = evaluate_condition(*expr2, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(*v);
+}
+
+TEST(EvalTest, EqualityOnStringsAndBools) {
+  MapContext ctx;
+  ctx.set("local_instance.isPrimary", Value::bool_of(true));
+  auto expr =
+      make_binary(BinaryOp::kEq, make_path({"local_instance", "isPrimary"}),
+                  make_literal(Value::bool_of(true)));
+  auto v = evaluate_condition(*expr, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(*v);
+
+  auto se = make_binary(BinaryOp::kEq, make_path({"put"}),
+                        make_literal(Value::string_of("put")));
+  v = evaluate_condition(*se, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(*v);
+}
+
+TEST(EvalTest, TypeErrorsSurface) {
+  MapContext ctx;
+  ctx.set("s", Value::string_of("abc"));
+  auto expr = make_binary(BinaryOp::kGt, make_path({"s"}),
+                          make_literal(Value::number_of(3)));
+  EXPECT_FALSE(evaluate(*expr, ctx).ok());
+  auto cond = make_literal(Value::number_of(3));
+  EXPECT_FALSE(evaluate_condition(*cond, ctx).ok());
+}
+
+TEST(EvalTest, ClonePreservesStructure) {
+  auto original = make_binary(
+      BinaryOp::kAnd,
+      make_binary(BinaryOp::kGt, make_path({"threshold", "latency"}),
+                  make_literal(Value::duration_of(msec(800)))),
+      make_binary(BinaryOp::kGt, make_path({"threshold", "period"}),
+                  make_literal(Value::duration_of(sec(30)))));
+  auto copy = clone_expr(*original);
+  EXPECT_EQ(copy->to_string(), original->to_string());
+}
+
+// ------------------------------------------------------------ triggers
+
+TEST(TriggerTest, ClassifiesInsert) {
+  auto doc = parse_policy(builtin::multi_primaries_consistency());
+  ASSERT_TRUE(doc.ok());
+  auto trig = classify_trigger(*doc->events[0].trigger, {});
+  ASSERT_TRUE(trig.ok());
+  EXPECT_EQ(trig->kind, TriggerKind::kInsert);
+}
+
+TEST(TriggerTest, ClassifiesInsertInto) {
+  auto doc = parse_policy(builtin::persistent_instance());
+  ASSERT_TRUE(doc.ok());
+  auto trig = classify_trigger(*doc->events[0].trigger, {});
+  ASSERT_TRUE(trig.ok());
+  EXPECT_EQ(trig->kind, TriggerKind::kInsertInto);
+  EXPECT_EQ(trig->tier, "tier1");
+}
+
+TEST(TriggerTest, ClassifiesTimerWithParam) {
+  auto doc = parse_policy(builtin::low_latency_instance());
+  ASSERT_TRUE(doc.ok());
+  std::map<std::string, Value> params{
+      {"t", Value::duration_of(sec(10))}};
+  auto trig = classify_trigger(*doc->events[1].trigger, params);
+  ASSERT_TRUE(trig.ok()) << trig.status().to_string();
+  EXPECT_EQ(trig->kind, TriggerKind::kTimer);
+  EXPECT_EQ(trig->period.us(), 10000000);
+  // Without the parameter bound, classification fails.
+  EXPECT_FALSE(classify_trigger(*doc->events[1].trigger, {}).ok());
+}
+
+TEST(TriggerTest, ClassifiesTierFilled) {
+  auto doc = parse_policy(builtin::persistent_instance());
+  ASSERT_TRUE(doc.ok());
+  auto trig = classify_trigger(*doc->events[1].trigger, {});
+  ASSERT_TRUE(trig.ok());
+  EXPECT_EQ(trig->kind, TriggerKind::kTierFilled);
+  EXPECT_EQ(trig->tier, "tier2");
+  EXPECT_DOUBLE_EQ(trig->fill_percent, 50.0);
+}
+
+TEST(TriggerTest, ClassifiesColdData) {
+  auto doc = parse_policy(builtin::reduced_cost_policy());
+  ASSERT_TRUE(doc.ok());
+  auto trig = classify_trigger(*doc->events[0].trigger, {});
+  ASSERT_TRUE(trig.ok());
+  EXPECT_EQ(trig->kind, TriggerKind::kColdData);
+  EXPECT_DOUBLE_EQ(trig->cold_after.hours(), 120.0);
+}
+
+TEST(TriggerTest, ClassifiesMonitoringThresholds) {
+  auto dyn = parse_policy(builtin::dynamic_consistency());
+  ASSERT_TRUE(dyn.ok());
+  auto trig = classify_trigger(*dyn->events[0].trigger, {});
+  ASSERT_TRUE(trig.ok());
+  EXPECT_EQ(trig->kind, TriggerKind::kLatencyThreshold);
+
+  auto cp = parse_policy(builtin::change_primary());
+  ASSERT_TRUE(cp.ok());
+  trig = classify_trigger(*cp->events[0].trigger, {});
+  ASSERT_TRUE(trig.ok());
+  EXPECT_EQ(trig->kind, TriggerKind::kRequestsThreshold);
+}
+
+TEST(TriggerTest, RejectsNonsense) {
+  auto expr = make_path({"banana"});
+  EXPECT_FALSE(classify_trigger(*expr, {}).ok());
+  auto expr2 = make_binary(BinaryOp::kLt, make_path({"time"}),
+                           make_literal(Value::number_of(3)));
+  EXPECT_FALSE(classify_trigger(*expr2, {}).ok());
+}
+
+// Round-trip property: to_string of all built-in triggers re-parses.
+class TriggerRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriggerRoundTrip, BuiltinEventTriggersStringify) {
+  auto docs = builtin::all_parsed();
+  const auto& doc = docs[static_cast<size_t>(GetParam())];
+  for (const auto& rule : doc.events) {
+    const std::string s = rule.trigger->to_string();
+    EXPECT_FALSE(s.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuiltins, TriggerRoundTrip,
+                         ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace wiera::policy

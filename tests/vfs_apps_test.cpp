@@ -1,0 +1,369 @@
+// Tests for the POSIX VFS layer (FUSE stand-in), the page-based table
+// store (MySQL stand-in), SysBench fileio and the RUBiS workload.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/rubis.h"
+#include "apps/sysbench.h"
+#include "apps/table_store.h"
+#include "policy/builtin_policies.h"
+#include "policy/parser.h"
+#include "vfs/vfs.h"
+#include "wiera/controller.h"
+
+namespace wiera {
+namespace {
+
+// Single-region deployment: the VFS talks to a local peer whose only tier
+// is a fast local disk (no replication — a plain local Tiera instance).
+struct VfsFixture {
+  sim::Simulation sim;
+  net::Network network;
+  rpc::Registry registry;
+  std::unique_ptr<geo::WieraPeer> peer;
+  std::unique_ptr<vfs::WieraVfs> fs;
+
+  explicit VfsFixture(int64_t block_size = 16 * KiB)
+      : sim(1), network(sim, make_topology()) {
+    geo::WieraPeer::Config config;
+    config.instance_id = "local-node";
+    config.region = "us-east";
+    config.mode = geo::ConsistencyMode::kEventual;
+    config.local.policy = std::move(policy::parse_policy(R"(
+Tiera DiskOnly() {
+   tier1: {name: EBS, size: 100G};
+}
+)")).value();
+    config.local.tier_tweak = [](const std::string&, store::TierSpec& spec) {
+      spec.jitter_fraction = 0;
+      spec.buffer_cache = true;
+    };
+    peer = std::make_unique<geo::WieraPeer>(sim, network, registry,
+                                              std::move(config));
+    peer->start();
+    vfs::WieraVfs::Options options;
+    options.block_size = block_size;
+    fs = std::make_unique<vfs::WieraVfs>(sim, *peer, options);
+  }
+
+  static net::Topology make_topology() {
+    net::Topology topo;
+    topo.add_datacenter("dc", net::Provider::kAws, "us-east");
+    topo.set_jitter_fraction(0.0);
+    topo.add_node("local-node", "dc");
+    return topo;
+  }
+
+  template <typename F>
+  void run(F&& body) {
+    bool done = false;
+    auto wrapper = [](sim::Simulation& s, F b, bool& flag) -> sim::Task<void> {
+      co_await b();
+      flag = true;
+      s.stop();
+    };
+    sim.spawn(wrapper(sim, std::forward<F>(body), done));
+    sim.run();
+    ASSERT_TRUE(done);
+  }
+};
+
+// ------------------------------------------------------------ VFS
+
+TEST(VfsTest, OpenCloseSemantics) {
+  VfsFixture f;
+  EXPECT_EQ(f.fs->open("/missing", {}).status().code(),
+            StatusCode::kNotFound);
+  auto fd = f.fs->open("/a", {.create = true});
+  ASSERT_TRUE(fd.ok());
+  EXPECT_GE(*fd, 3);
+  EXPECT_TRUE(f.fs->exists("/a"));
+  EXPECT_TRUE(f.fs->close(*fd).ok());
+  EXPECT_FALSE(f.fs->close(*fd).ok());  // double close
+  EXPECT_FALSE(f.fs->close(999).ok());
+}
+
+TEST(VfsTest, WriteReadRoundTrip) {
+  VfsFixture f;
+  f.run([&]() -> sim::Task<void> {
+    auto fd = f.fs->open("/data", {.create = true});
+    EXPECT_TRUE(fd.ok());
+    Bytes payload(10000);
+    for (size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<uint8_t>(i * 13 + 1);
+    }
+    auto written = co_await f.fs->pwrite(*fd, 0, Blob(Bytes(payload)));
+    EXPECT_TRUE(written.ok());
+    EXPECT_EQ(*written, 10000);
+    EXPECT_EQ(f.fs->size("/data").value(), 10000);
+
+    Bytes out;
+    auto read = co_await f.fs->pread(*fd, 0, 10000, &out);
+    EXPECT_TRUE(read.ok());
+    EXPECT_EQ(*read, 10000);
+    EXPECT_EQ(out, payload);
+    EXPECT_TRUE(f.fs->close(*fd).ok());
+  });
+}
+
+TEST(VfsTest, PartialBlockAndOffsetIo) {
+  VfsFixture f(4096);
+  f.run([&]() -> sim::Task<void> {
+    auto fd = f.fs->open("/p", {.create = true});
+    // Write 100 bytes at an unaligned offset spanning a block boundary.
+    Bytes chunk(100, 0xAB);
+    auto written = co_await f.fs->pwrite(*fd, 4050, Blob(Bytes(chunk)));
+    EXPECT_TRUE(written.ok());
+    EXPECT_EQ(f.fs->size("/p").value(), 4150);
+
+    Bytes out;
+    auto read = co_await f.fs->pread(*fd, 4050, 100, &out);
+    EXPECT_TRUE(read.ok());
+    EXPECT_EQ(out, chunk);
+    // Sparse region before the write reads as zeros.
+    auto read0 = co_await f.fs->pread(*fd, 0, 10, &out);
+    EXPECT_TRUE(read0.ok());
+    EXPECT_EQ(out, Bytes(10, 0));
+  });
+}
+
+TEST(VfsTest, ReadPastEofTruncates) {
+  VfsFixture f;
+  f.run([&]() -> sim::Task<void> {
+    auto fd = f.fs->open("/s", {.create = true});
+    co_await f.fs->pwrite(*fd, 0, Blob(Bytes(100, 1)));
+    Bytes out;
+    auto read = co_await f.fs->pread(*fd, 50, 1000, &out);
+    EXPECT_TRUE(read.ok());
+    EXPECT_EQ(*read, 50);
+    auto eof = co_await f.fs->pread(*fd, 100, 10, &out);
+    EXPECT_TRUE(eof.ok());
+    EXPECT_EQ(*eof, 0);
+  });
+}
+
+TEST(VfsTest, TruncateOnOpen) {
+  VfsFixture f;
+  f.run([&]() -> sim::Task<void> {
+    auto fd = f.fs->open("/t", {.create = true});
+    co_await f.fs->pwrite(*fd, 0, Blob(Bytes(500, 1)));
+    EXPECT_TRUE(f.fs->close(*fd).ok());
+    auto fd2 = f.fs->open("/t", {.create = true, .truncate = true});
+    EXPECT_EQ(f.fs->size("/t").value(), 0);
+    EXPECT_TRUE(f.fs->close(*fd2).ok());
+  });
+}
+
+TEST(VfsTest, UnlinkAndList) {
+  VfsFixture f;
+  f.run([&]() -> sim::Task<void> {
+    auto a = f.fs->open("/dir/a", {.create = true});
+    auto b = f.fs->open("/dir/b", {.create = true});
+    auto c = f.fs->open("/other/c", {.create = true});
+    (void)a; (void)b; (void)c;
+    EXPECT_EQ(f.fs->list("/dir/").size(), 2u);
+    EXPECT_TRUE((co_await f.fs->unlink("/dir/a")).ok());
+    EXPECT_EQ(f.fs->list("/dir/").size(), 1u);
+    EXPECT_FALSE(f.fs->exists("/dir/a"));
+    EXPECT_EQ((co_await f.fs->unlink("/dir/a")).code(),
+              StatusCode::kNotFound);
+  });
+}
+
+TEST(VfsTest, DirectIoBypassesCache) {
+  VfsFixture f(4096);
+  int64_t cached_us = 0, direct_us = 0;
+  f.run([&]() -> sim::Task<void> {
+    auto fd = f.fs->open("/d", {.create = true});
+    co_await f.fs->pwrite(*fd, 0, Blob(Bytes(4096, 1)));
+    // Warm read (buffer cache).
+    co_await f.fs->pread(*fd, 0, 4096);
+    int64_t t0 = f.sim.now().us();
+    co_await f.fs->pread(*fd, 0, 4096);
+    cached_us = f.sim.now().us() - t0;
+    EXPECT_TRUE(f.fs->close(*fd).ok());
+
+    auto dfd = f.fs->open("/d", {.direct = true});
+    t0 = f.sim.now().us();
+    co_await f.fs->pread(*dfd, 0, 4096);
+    direct_us = f.sim.now().us() - t0;
+    EXPECT_TRUE(f.fs->close(*dfd).ok());
+  });
+  EXPECT_GT(direct_us, 3 * cached_us);  // device latency vs cache hit
+}
+
+TEST(VfsTest, FsyncCostsAndValidatesFd) {
+  VfsFixture f;
+  f.run([&]() -> sim::Task<void> {
+    auto fd = f.fs->open("/f", {.create = true});
+    EXPECT_TRUE((co_await f.fs->fsync(*fd)).ok());
+    EXPECT_FALSE((co_await f.fs->fsync(12345)).ok());
+  });
+}
+
+// ------------------------------------------------------------ TableStore
+
+TEST(TableStoreTest, CreateInsertSelectUpdate) {
+  VfsFixture f;
+  apps::TableStore db(f.sim, *f.fs, {});
+  EXPECT_TRUE(db.create_table("t", 256).ok());
+  EXPECT_EQ(db.create_table("t", 256).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(db.create_table("huge", 1 * MiB).ok());  // row > page
+
+  f.run([&]() -> sim::Task<void> {
+    Bytes row(256, 0x5A);
+    auto id = co_await db.insert("t", Blob(Bytes(row)));
+    EXPECT_TRUE(id.ok());
+    EXPECT_EQ(*id, 0);
+    auto id2 = co_await db.insert("t", Blob(Bytes(256, 0x77)));
+    EXPECT_EQ(*id2, 1);
+    EXPECT_EQ(db.row_count("t"), 2);
+
+    auto got = co_await db.select("t", 0);
+    EXPECT_TRUE(got.ok());
+    EXPECT_EQ(got->view()[0], 0x5A);
+
+    EXPECT_TRUE((co_await db.update("t", 0, Blob(Bytes(256, 0x11)))).ok());
+    got = co_await db.select("t", 0);
+    EXPECT_EQ(got->view()[0], 0x11);
+    // Neighbour row untouched by the page RMW.
+    got = co_await db.select("t", 1);
+    EXPECT_EQ(static_cast<uint8_t>(got->view()[0]), 0x77);
+
+    auto missing = co_await db.select("t", 99);
+    EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+    auto no_table = co_await db.select("zz", 0);
+    EXPECT_EQ(no_table.status().code(), StatusCode::kNotFound);
+  });
+}
+
+TEST(TableStoreTest, BufferPoolHitsAndEviction) {
+  VfsFixture f;
+  apps::TableStore::Options options;
+  options.buffer_pool_bytes = 64 * KiB;  // 4 pages of 16K
+  apps::TableStore db(f.sim, *f.fs, options);
+  ASSERT_TRUE(db.create_table("t", 1024).ok());
+  f.run([&]() -> sim::Task<void> {
+    // 160 rows of 1K = 10 pages; pool holds 4.
+    for (int i = 0; i < 160; ++i) {
+      co_await db.insert("t", Blob(Bytes(1024, 1)));
+    }
+    const int64_t misses_before = db.buffer_pool_misses();
+    // Repeatedly touch two rows on the same page: hits.
+    for (int i = 0; i < 10; ++i) {
+      co_await db.select("t", 0);
+      co_await db.select("t", 1);
+    }
+    EXPECT_GE(db.buffer_pool_hits(), 19);
+    // Scan everything: forces evictions and misses.
+    for (int i = 0; i < 160; i += 16) {
+      co_await db.select("t", i);
+    }
+    EXPECT_GT(db.buffer_pool_misses(), misses_before);
+  });
+}
+
+// ------------------------------------------------------------ SysBench
+
+TEST(SysbenchTest, PrepareAndRunReportsIops) {
+  VfsFixture f;
+  apps::SysbenchOptions options;
+  options.file_size = 1 * MiB;
+  options.block_size = 16 * KiB;
+  options.operations = 200;
+  options.seed = 3;
+  apps::SysbenchFileIo bench(f.sim, *f.fs, options);
+  f.run([&]() -> sim::Task<void> {
+    Status st = co_await bench.prepare();
+    EXPECT_TRUE(st.ok()) << st.to_string();
+    auto result = co_await bench.run();
+    EXPECT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_EQ(result->reads + result->writes, 200);
+    EXPECT_GT(result->reads, 50);
+    EXPECT_GT(result->writes, 50);
+    EXPECT_GT(result->iops(), 0.0);
+  });
+}
+
+TEST(SysbenchTest, IopsThrottledDiskCapsNear500) {
+  // Fig. 11's key effect: a disk capped at 500 IOPS pins SysBench there.
+  sim::Simulation sim(1);
+  net::Topology topo;
+  topo.add_datacenter("dc", net::Provider::kAzure, "us-east");
+  topo.set_jitter_fraction(0.0);
+  topo.add_node("azure-node", "dc");
+  net::Network network(sim, std::move(topo));
+  rpc::Registry registry;
+
+  geo::WieraPeer::Config config;
+  config.instance_id = "azure-node";
+  config.region = "us-east";
+  config.mode = geo::ConsistencyMode::kEventual;
+  config.local.policy = std::move(policy::parse_policy(R"(
+Tiera AzureDisk() {
+   tier1: {name: EBS, size: 100G};
+}
+)")).value();
+  config.local.tier_tweak = [](const std::string&, store::TierSpec& spec) {
+    spec.jitter_fraction = 0;
+    spec.iops_limit = 500;  // Azure disk throttle
+    spec.buffer_cache = false;
+  };
+  geo::WieraPeer peer(sim, network, registry, std::move(config));
+  peer.start();
+  vfs::WieraVfs fs(sim, peer, {.block_size = 16 * KiB});
+
+  apps::SysbenchOptions options;
+  options.file_size = 1 * MiB;
+  options.operations = 1000;
+  options.direct = true;
+  apps::SysbenchFileIo bench(sim, fs, options);
+  bool done = false;
+  auto body = [](apps::SysbenchFileIo& b, bool& flag,
+                 sim::Simulation& s) -> sim::Task<void> {
+    Status st = co_await b.prepare();
+    EXPECT_TRUE(st.ok());
+    auto result = co_await b.run();
+    EXPECT_TRUE(result.ok());
+    // ~500 IOPS cap (same-DC RPC overhead eats a little).
+    EXPECT_LT(result->iops(), 520.0);
+    EXPECT_GT(result->iops(), 380.0);
+    flag = true;
+    s.stop();
+  };
+  sim.spawn(body(bench, done, sim));
+  sim.run();
+  ASSERT_TRUE(done);
+}
+
+// ------------------------------------------------------------ RUBiS
+
+TEST(RubisTest, PopulateAndRunSmall) {
+  VfsFixture f;
+  apps::TableStore db(f.sim, *f.fs, {});
+  apps::RubisOptions options;
+  options.items = 200;
+  options.users = 200;
+  options.clients = 10;
+  options.ramp_up = sec(5);
+  options.measure = sec(20);
+  options.ramp_down = sec(5);
+  options.think_time = msec(100);
+  apps::RubisApp app(f.sim, db, options);
+  f.run([&]() -> sim::Task<void> {
+    Status st = co_await app.populate();
+    EXPECT_TRUE(st.ok()) << st.to_string();
+    EXPECT_EQ(db.row_count("users"), 200);
+    EXPECT_EQ(db.row_count("items"), 200);
+    auto result = co_await app.run();
+    EXPECT_TRUE(result.ok());
+    EXPECT_GT(result->requests_measured, 100);
+    EXPECT_GT(result->throughput_rps(), 1.0);
+    EXPECT_NEAR(result->measure_window.seconds(), 20.0, 0.1);
+  });
+  EXPECT_GT(app.total_requests(), 0);
+}
+
+}  // namespace
+}  // namespace wiera
