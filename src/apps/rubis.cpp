@@ -102,7 +102,8 @@ sim::Task<void> RubisApp::client_loop(uint64_t seed) {
 sim::Task<Result<RubisResult>> RubisApp::run() {
   stop_ = false;
   for (int c = 0; c < options_.clients; ++c) {
-    sim_->spawn(client_loop(options_.seed * 7919 + static_cast<uint64_t>(c)));
+    sim_->spawn(client_loop(options_.seed * 7919 + static_cast<uint64_t>(c)),
+                "rubis.client-" + std::to_string(c));
   }
 
   co_await sim_->delay(options_.ramp_up);

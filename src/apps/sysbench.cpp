@@ -39,7 +39,7 @@ sim::Task<Result<SysbenchResult>> SysbenchFileIo::run() {
     SysbenchResult* result;
   };
   Shared shared{options_.operations, std::max(options_.threads, 1), &result};
-  sim::Event done(*sim_);
+  sim::Event done(*sim_, "sysbench.done");
 
   auto worker = [](SysbenchFileIo* self, Shared* sh, sim::Event* finished,
                    int fd_num, int64_t block_count,
@@ -64,7 +64,8 @@ sim::Task<Result<SysbenchResult>> SysbenchFileIo::run() {
 
   for (int t = 0; t < std::max(options_.threads, 1); ++t) {
     sim_->spawn(worker(this, &shared, &done, *fd, blocks,
-                       options_.seed * 1301 + static_cast<uint64_t>(t)));
+                       options_.seed * 1301 + static_cast<uint64_t>(t)),
+                "sysbench.worker-" + std::to_string(t));
   }
   co_await done.wait();
 

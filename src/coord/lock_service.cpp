@@ -52,7 +52,7 @@ LockService::~LockService() { reaping_ = false; }
 void LockService::start_lease_reaper(Duration check_interval) {
   if (reaping_) return;
   reaping_ = true;
-  sim_->spawn(lease_reaper_loop(check_interval));
+  sim_->spawn(lease_reaper_loop(check_interval), "lock.lease-reaper");
 }
 
 sim::Task<void> LockService::lease_reaper_loop(Duration check_interval) {

@@ -52,7 +52,7 @@ class LockService {
 
  private:
   struct LockState {
-    explicit LockState(sim::Simulation& sim) : mutex(sim) {}
+    explicit LockState(sim::Simulation& sim) : mutex(sim, "lock.state") {}
     sim::SimMutex mutex;
     std::string holder;
     int64_t waiting = 0;

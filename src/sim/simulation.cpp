@@ -49,6 +49,9 @@ struct Simulation::RootRegistry {
   }
   static void unregister_root(RootTask::promise_type& p) {
     if (p.registered && p.sim != nullptr) {
+      p.sim->checker_.on_task_complete(
+          std::coroutine_handle<RootTask::promise_type>::from_promise(p)
+              .address());
       p.sim->roots_.erase(p.registry_it);
       p.registered = false;
     }
@@ -61,7 +64,9 @@ void RootTask::promise_type::return_void() noexcept {
 }
 }  // namespace
 
-Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(uint64_t seed) : rng_(seed) {
+  checker_.on_simulation_created();
+}
 
 Simulation::~Simulation() {
   // Destroy anything still suspended. Root frames own their child task
@@ -71,23 +76,27 @@ Simulation::~Simulation() {
   // leaf belongs to one root chain, so destroy roots only.
   // (Leaves suspended on sync primitives are also reclaimed this way.)
   stopped_ = true;
+  checker_.begin_teardown();
   while (!roots_.empty()) {
     auto h = roots_.front();
     roots_.pop_front();
     h.destroy();
   }
+  checker_.end_teardown();
 }
 
 void Simulation::schedule_at(TimePoint t, std::coroutine_handle<> h) {
   assert(h);
   if (t < now_) t = now_;  // never schedule into the past
+  checker_.on_scheduled(h.address());
   queue_.push(QueueItem{t, next_seq_++, h});
 }
 
-void Simulation::spawn(Task<void> task) {
+void Simulation::spawn(Task<void> task, std::string name) {
   if (!task.valid()) return;
   RootTask root = run_root(std::move(task));
   RootRegistry::register_root(*this, root.handle);
+  checker_.on_task_spawn(root.handle.address(), std::move(name));
   schedule_at(now_, root.handle);
 }
 
@@ -98,7 +107,9 @@ bool Simulation::step() {
   assert(item.time >= now_);
   now_ = item.time;
   events_executed_++;
+  checker_.begin_event(item.handle.address(), item.time.us(), item.seq);
   item.handle.resume();
+  checker_.end_event();
   return true;
 }
 
@@ -106,6 +117,7 @@ void Simulation::run() {
   stopped_ = false;
   while (step()) {
   }
+  if (!stopped_ && queue_.empty()) checker_.on_quiescent();
 }
 
 void Simulation::run_until(TimePoint t) {

@@ -16,10 +16,12 @@
 #include <functional>
 #include <list>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/time.h"
+#include "sim/checker.h"
 #include "sim/task.h"
 
 namespace wiera::sim {
@@ -34,6 +36,11 @@ class Simulation {
 
   TimePoint now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  // The simulation sanitizer (wait-for graph, lifecycle diagnostics,
+  // determinism hash). Compiles to a no-op stub when WIERA_SIM_CHECKER=OFF.
+  SimChecker& checker() { return checker_; }
+  const SimChecker& checker() const { return checker_; }
 
   // Low-level: schedule a bare coroutine resumption.
   void schedule_at(TimePoint t, std::coroutine_handle<> h);
@@ -61,7 +68,9 @@ class Simulation {
   // Launch a detached root task. It starts at the current virtual time, in
   // FIFO order with other same-time events. The simulation owns the task:
   // if the Simulation is destroyed first, suspended frames are destroyed too.
-  void spawn(Task<void> task);
+  // `name` labels the task in checker diagnostics (stuck/deadlock reports);
+  // unnamed tasks are reported as "task#N".
+  void spawn(Task<void> task, std::string name = {});
 
   // Run until the event queue drains (or stop() is called).
   void run();
@@ -102,6 +111,7 @@ class Simulation {
       queue_;
   std::list<std::coroutine_handle<>> roots_;  // live detached root frames
   Rng rng_;
+  SimChecker checker_;
 };
 
 }  // namespace wiera::sim

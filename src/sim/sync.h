@@ -5,6 +5,13 @@
 // wake order deterministic (FIFO, after already-queued same-time events).
 //
 // None of these are thread-safe — the simulation is single-threaded.
+//
+// Every primitive takes an optional `name` (a pointer that must outlive the
+// primitive, typically a string literal) used by the SimChecker to label
+// stuck-task / deadlock / misuse diagnostics. API misuse that used to be a
+// bare `assert` (double unlock, send on a closed channel, double-fulfilled
+// promise, negative release) is reported as a structured checker error and
+// then handled gracefully, so the diagnostics survive NDEBUG builds.
 #pragma once
 
 #include <cassert>
@@ -12,9 +19,19 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "sim/checker.h"
 #include "sim/simulation.h"
+
+// Fallback for builds with the checker compiled out: keep the original
+// assert so misuse still trips in debug binaries.
+#if WIERA_SIM_CHECKER_ENABLED
+#define WIERA_SIM_FALLBACK_ASSERT(cond) ((void)0)
+#else
+#define WIERA_SIM_FALLBACK_ASSERT(cond) assert(cond)
+#endif
 
 namespace wiera::sim {
 
@@ -22,7 +39,18 @@ namespace wiera::sim {
 // current and future waiters pass through until reset().
 class Event {
  public:
-  explicit Event(Simulation& sim) : sim_(&sim) {}
+  explicit Event(Simulation& sim, const char* name = "")
+      : sim_(&sim), name_(name) {}
+
+  ~Event() {
+    if (!waiters_.empty()) {
+      sim_->checker().on_primitive_destroyed(WaitKind::kEvent, this, name_,
+                                             waiters_.size());
+    }
+  }
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
 
   bool is_set() const { return set_; }
 
@@ -41,6 +69,8 @@ class Event {
       bool await_ready() const noexcept { return event->set_; }
       void await_suspend(std::coroutine_handle<> h) {
         event->waiters_.push_back(h);
+        event->sim_->checker().on_block(h.address(), WaitKind::kEvent, event,
+                                        event->name_);
       }
       void await_resume() const noexcept {}
     };
@@ -49,15 +79,28 @@ class Event {
 
  private:
   Simulation* sim_;
+  const char* name_;
   bool set_ = false;
   std::vector<std::coroutine_handle<>> waiters_;
 };
 
 // FIFO mutex. Models exclusive critical sections in virtual time (e.g. the
-// serialization a single-writer store imposes).
+// serialization a single-writer store imposes). The checker tracks the
+// owning task, which is what makes ABBA deadlock cycles reportable by name.
 class SimMutex {
  public:
-  explicit SimMutex(Simulation& sim) : sim_(&sim) {}
+  explicit SimMutex(Simulation& sim, const char* name = "")
+      : sim_(&sim), name_(name) {}
+
+  ~SimMutex() {
+    if (!waiters_.empty()) {
+      sim_->checker().on_primitive_destroyed(WaitKind::kMutex, this, name_,
+                                             waiters_.size());
+    }
+  }
+
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
 
   bool locked() const { return locked_; }
 
@@ -67,12 +110,15 @@ class SimMutex {
       bool await_ready() const noexcept {
         if (!m->locked_) {
           m->locked_ = true;
+          m->sim_->checker().on_mutex_acquired(m, m->name_);
           return true;
         }
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
         m->waiters_.push_back(h);
+        m->sim_->checker().on_block(h.address(), WaitKind::kMutex, m,
+                                    m->name_);
       }
       void await_resume() const noexcept {}
     };
@@ -80,19 +126,33 @@ class SimMutex {
   }
 
   void unlock() {
-    assert(locked_);
+    if (!locked_) {
+      WIERA_SIM_FALLBACK_ASSERT(locked_);
+      sim_->checker().report_error(
+          SimDiagnostic::Kind::kDoubleUnlock, name_,
+          std::string("SimMutex '") + display_name() +
+              "' unlocked while not locked");
+      return;
+    }
     if (waiters_.empty()) {
       locked_ = false;
+      sim_->checker().on_mutex_released(this);
       return;
     }
     // Hand the lock to the next waiter; it stays logically locked.
     auto h = waiters_.front();
     waiters_.pop_front();
+    sim_->checker().on_mutex_handoff(this, h.address());
     sim_->schedule_at(sim_->now(), h);
   }
 
  private:
+  const char* display_name() const {
+    return name_[0] == '\0' ? "<unnamed>" : name_;
+  }
+
   Simulation* sim_;
+  const char* name_;
   bool locked_ = false;
   std::deque<std::coroutine_handle<>> waiters_;
 };
@@ -101,9 +161,20 @@ class SimMutex {
 // slots).
 class SimSemaphore {
  public:
-  SimSemaphore(Simulation& sim, int64_t initial) : sim_(&sim), count_(initial) {
+  SimSemaphore(Simulation& sim, int64_t initial, const char* name = "")
+      : sim_(&sim), name_(name), count_(initial) {
     assert(initial >= 0);
   }
+
+  ~SimSemaphore() {
+    if (!waiters_.empty()) {
+      sim_->checker().on_primitive_destroyed(WaitKind::kSemaphore, this,
+                                             name_, waiters_.size());
+    }
+  }
+
+  SimSemaphore(const SimSemaphore&) = delete;
+  SimSemaphore& operator=(const SimSemaphore&) = delete;
 
   int64_t available() const { return count_; }
 
@@ -119,14 +190,24 @@ class SimSemaphore {
       }
       void await_suspend(std::coroutine_handle<> h) {
         s->waiters_.push_back(h);
+        s->sim_->checker().on_block(h.address(), WaitKind::kSemaphore, s,
+                                    s->name_);
       }
       void await_resume() const noexcept {}
     };
     return Awaiter{this};
   }
 
+  // release(0) is an explicit no-op; a negative n is reported and ignored.
   void release(int64_t n = 1) {
-    assert(n >= 0);
+    if (n < 0) {
+      WIERA_SIM_FALLBACK_ASSERT(n >= 0);
+      sim_->checker().report_error(
+          SimDiagnostic::Kind::kNegativeRelease, name_,
+          std::string("SimSemaphore released with negative count ") +
+              std::to_string(n));
+      return;
+    }
     while (n > 0 && !waiters_.empty()) {
       auto h = waiters_.front();
       waiters_.pop_front();
@@ -138,6 +219,7 @@ class SimSemaphore {
 
  private:
   Simulation* sim_;
+  const char* name_;
   int64_t count_;
   std::deque<std::coroutine_handle<>> waiters_;
 };
@@ -148,10 +230,29 @@ class SimSemaphore {
 template <typename T>
 class Channel {
  public:
-  explicit Channel(Simulation& sim) : sim_(&sim) {}
+  explicit Channel(Simulation& sim, const char* name = "")
+      : sim_(&sim), name_(name) {}
+
+  ~Channel() {
+    if (!waiters_.empty()) {
+      sim_->checker().on_primitive_destroyed(WaitKind::kChannel, this, name_,
+                                             waiters_.size());
+    }
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
 
   void send(T item) {
-    assert(!closed_ && "send on closed channel");
+    if (closed_) {
+      WIERA_SIM_FALLBACK_ASSERT(!closed_ && "send on closed channel");
+      sim_->checker().report_error(
+          SimDiagnostic::Kind::kSendAfterClose, name_,
+          std::string("send on closed Channel '") +
+              (name_[0] == '\0' ? "<unnamed>" : name_) + "'");
+      // Fall through: deliver anyway so release builds keep their historic
+      // best-effort behaviour.
+    }
     items_.push_back(std::move(item));
     wake_one();
   }
@@ -178,6 +279,8 @@ class Channel {
       }
       void await_suspend(std::coroutine_handle<> h) {
         ch->waiters_.push_back(h);
+        ch->sim_->checker().on_block(h.address(), WaitKind::kChannel, ch,
+                                     ch->name_);
       }
       std::optional<T> await_resume() {
         if (ch->items_.empty()) return std::nullopt;  // closed & drained
@@ -206,6 +309,7 @@ class Channel {
   }
 
   Simulation* sim_;
+  const char* name_;
   bool closed_ = false;
   std::deque<T> items_;
   std::deque<std::coroutine_handle<>> waiters_;
@@ -218,22 +322,67 @@ class Future;
 
 template <typename T>
 struct FutureState {
-  explicit FutureState(Simulation& sim) : sim(&sim) {}
+  FutureState(Simulation& sim, const char* name)
+      : sim(&sim), name(name) {}
+
+  ~FutureState() {
+    if (!waiters.empty()) {
+      sim->checker().on_primitive_destroyed(WaitKind::kFuture, this, name,
+                                            waiters.size());
+    }
+  }
+
   Simulation* sim;
+  const char* name;
   std::optional<T> value;
   std::vector<std::coroutine_handle<>> waiters;
+  // Live Promise handles over this state; when the last one drops without
+  // fulfilling while coroutines wait, those waiters can never wake — the
+  // checker reports a broken promise.
+  int promise_refs = 0;
 };
 
 template <typename T>
 class Promise {
  public:
-  explicit Promise(Simulation& sim)
-      : state_(std::make_shared<FutureState<T>>(sim)) {}
+  explicit Promise(Simulation& sim, const char* name = "")
+      : state_(std::make_shared<FutureState<T>>(sim, name)) {
+    state_->promise_refs++;
+  }
+
+  Promise(const Promise& o) : state_(o.state_) { state_->promise_refs++; }
+  Promise& operator=(const Promise& o) {
+    if (this != &o) {
+      drop();
+      state_ = o.state_;
+      state_->promise_refs++;
+    }
+    return *this;
+  }
+  Promise(Promise&& o) noexcept : state_(std::move(o.state_)) {}
+  Promise& operator=(Promise&& o) noexcept {
+    if (this != &o) {
+      drop();
+      state_ = std::move(o.state_);
+    }
+    return *this;
+  }
+  ~Promise() { drop(); }
 
   Future<T> future() const;
 
+  // Fulfilling twice is a structured checker error; the first value wins.
   void set_value(T value) {
-    assert(!state_->value.has_value() && "promise fulfilled twice");
+    if (state_->value.has_value()) {
+      WIERA_SIM_FALLBACK_ASSERT(!state_->value.has_value() &&
+                                "promise fulfilled twice");
+      state_->sim->checker().report_error(
+          SimDiagnostic::Kind::kPromiseDoubleSet, state_->name,
+          std::string("Promise '") +
+              (state_->name[0] == '\0' ? "<unnamed>" : state_->name) +
+              "' fulfilled twice; keeping the first value");
+      return;
+    }
     state_->value.emplace(std::move(value));
     for (auto h : state_->waiters) {
       state_->sim->schedule_at(state_->sim->now(), h);
@@ -244,6 +393,21 @@ class Promise {
   bool fulfilled() const { return state_->value.has_value(); }
 
  private:
+  void drop() {
+    if (state_ == nullptr) return;
+    if (--state_->promise_refs == 0 && !state_->value.has_value() &&
+        !state_->waiters.empty() && !SimChecker::in_teardown()) {
+      state_->sim->checker().report_error(
+          SimDiagnostic::Kind::kPromiseBroken, state_->name,
+          std::string("last Promise '") +
+              (state_->name[0] == '\0' ? "<unnamed>" : state_->name) +
+              "' dropped unfulfilled with " +
+              std::to_string(state_->waiters.size()) +
+              " waiter(s); they can never be woken");
+    }
+    state_ = nullptr;
+  }
+
   std::shared_ptr<FutureState<T>> state_;
 };
 
@@ -261,10 +425,16 @@ class Future {
       bool await_ready() const noexcept { return state->value.has_value(); }
       void await_suspend(std::coroutine_handle<> h) {
         state->waiters.push_back(h);
+        state->sim->checker().on_block(h.address(), WaitKind::kFuture,
+                                       state.get(), state->name);
       }
       T await_resume() {
         assert(state->value.has_value());
-        return *state->value;  // copy: future may have several awaiters
+        // Deliberately a copy, not a move: a Future may be co_awaited by
+        // several tasks (fan-in on one RPC completion) and can be awaited
+        // again after it is ready, so the stored value must stay intact.
+        // Callers needing a cheap transfer should wrap T in shared_ptr.
+        return *state->value;
       }
     };
     return Awaiter{state_};
@@ -284,7 +454,7 @@ namespace detail {
 template <typename T>
 struct WhenAllState {
   explicit WhenAllState(Simulation& sim, size_t n)
-      : remaining(n), done(sim) {
+      : remaining(n), done(sim, "when_all.done") {
     results.resize(n);
   }
   std::vector<std::optional<T>> results;
@@ -324,7 +494,7 @@ namespace detail {
 
 struct WhenAllVoidState {
   explicit WhenAllVoidState(Simulation& sim, size_t n)
-      : remaining(n), done(sim) {}
+      : remaining(n), done(sim, "when_all.done") {}
   size_t remaining;
   Event done;
 };

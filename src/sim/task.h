@@ -18,6 +18,8 @@
 #include <optional>
 #include <utility>
 
+#include "sim/checker.h"
+
 namespace wiera::sim {
 
 template <typename T>
@@ -27,6 +29,10 @@ namespace detail {
 
 struct TaskPromiseBase {
   std::coroutine_handle<> continuation;
+  // Set when the task is first awaited (i.e. actually started). A Task
+  // destroyed with this still false was created and dropped without ever
+  // running — the checker reports it as a leaked coroutine.
+  bool started = false;
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -100,6 +106,7 @@ class [[nodiscard]] Task {
       std::coroutine_handle<> await_suspend(
           std::coroutine_handle<> awaiting) noexcept {
         handle.promise().continuation = awaiting;
+        handle.promise().started = true;
         return handle;
       }
       T await_resume() {
@@ -119,6 +126,9 @@ class [[nodiscard]] Task {
  private:
   void destroy() {
     if (handle_) {
+      if (!handle_.done() && !handle_.promise().started) {
+        SimChecker::report_dropped_task();
+      }
       handle_.destroy();
       handle_ = nullptr;
     }

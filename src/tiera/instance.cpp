@@ -71,9 +71,11 @@ void TieraInstance::start() {
 void TieraInstance::start_rule_loops() {
   for (const std::shared_ptr<CompiledRule>& rule : rules_) {
     if (rule->trigger.kind == policy::TriggerKind::kTimer) {
-      sim_->spawn(timer_loop(rule, policy_generation_));
+      sim_->spawn(timer_loop(rule, policy_generation_),
+                  config_.instance_id + "/policy-timer");
     } else if (rule->trigger.kind == policy::TriggerKind::kColdData) {
-      sim_->spawn(cold_scan_loop(rule, policy_generation_));
+      sim_->spawn(cold_scan_loop(rule, policy_generation_),
+                  config_.instance_id + "/cold-scan");
     }
   }
 }
@@ -165,7 +167,7 @@ sim::Task<Result<PutResult>> TieraInstance::put(std::string key, Blob value,
   ctx.opts = opts;
   Status st = co_await run_insert_rules(ctx);
   if (!st.ok()) {
-    meta_.remove_version(key, version);
+    (void)meta_.remove_version(key, version);  // roll back the upsert
     co_return st;
   }
   meta_.upsert_version(key, version).committed = true;
@@ -243,7 +245,7 @@ sim::Task<Status> TieraInstance::remove(std::string key) {
   for (int64_t version : versions) {
     co_await erase_version_everywhere(key, version);
   }
-  meta_.remove_object(key);
+  (void)meta_.remove_object(key);
   co_return ok_status();
 }
 
@@ -439,7 +441,7 @@ sim::Task<Status> TieraInstance::exec_maintenance_action(
 
     if (action.name == "delete") {
       co_await erase_version_everywhere(key, version);
-      meta_.remove_version(key, version);
+      (void)meta_.remove_version(key, version);
       continue;
     }
 
@@ -465,7 +467,8 @@ sim::Task<Status> TieraInstance::exec_maintenance_action(
       if (relocate && !source.empty() && source != target) {
         store::StorageTier* src_tier = tier_by_label(source);
         if (src_tier != nullptr) {
-          co_await src_tier->remove(versioned_key(key, version));
+          // Best effort: the move already committed at the target tier.
+          (void)co_await src_tier->remove(versioned_key(key, version));
         }
       }
       continue;
@@ -593,16 +596,15 @@ sim::Task<Result<Blob>> TieraInstance::read_version(const std::string& key,
   co_return not_found("no tier holds " + vkey);
 }
 
-sim::Task<Status> TieraInstance::erase_version_everywhere(
+sim::Task<void> TieraInstance::erase_version_everywhere(
     const std::string& key, int64_t version) {
   const std::string vkey = versioned_key(key, version);
   for (const std::string& label : tier_order_) {
     store::StorageTier* tier = tier_by_label(label);
     if (tier != nullptr && tier->contains(vkey)) {
-      co_await tier->remove(vkey);
+      (void)co_await tier->remove(vkey);
     }
   }
-  co_return ok_status();
 }
 
 void TieraInstance::prune_versions(const std::string& key) {
@@ -618,11 +620,12 @@ void TieraInstance::prune_versions(const std::string& key) {
       store::StorageTier* tier = tier_by_label(label);
       if (tier != nullptr && tier->contains(vkey)) {
         sim_->spawn([](store::StorageTier* t, std::string k) -> sim::Task<void> {
-          co_await t->remove(std::move(k));
-        }(tier, vkey));
+          (void)co_await t->remove(std::move(k));
+        }(tier, vkey),
+                    "tiera.version-gc");
       }
     }
-    meta_.remove_version(key, oldest);
+    (void)meta_.remove_version(key, oldest);
   }
 }
 

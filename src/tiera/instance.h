@@ -50,7 +50,7 @@ struct GetResult {
 class InstanceHooks {
  public:
   virtual ~InstanceHooks() = default;
-  virtual sim::Task<bool> on_cold_object(const std::string& key) {
+  virtual sim::Task<bool> on_cold_object(const std::string& /*key*/) {
     co_return false;
   }
 };
@@ -209,8 +209,8 @@ class TieraInstance {
   sim::Task<Result<Blob>> read_version(const std::string& key,
                                        int64_t version,
                                        store::IoOptions opts);
-  sim::Task<Status> erase_version_everywhere(const std::string& key,
-                                             int64_t version);
+  sim::Task<void> erase_version_everywhere(const std::string& key,
+                                           int64_t version);
   void prune_versions(const std::string& key);
 
   sim::Simulation* sim_;

@@ -366,7 +366,8 @@ void WieraController::wire_control_plane(const std::string& wiera_id,
         WLOG_WARN(kComponent) << "change_policy request failed: "
                               << resp.status().to_string();
       }
-    }(this, wiera_id, peer, to_policy));
+    }(this, wiera_id, peer, to_policy),
+                "controller.change-policy-rpc");
   };
   control.request_primary_change = [this, wiera_id, peer](
                                        const std::string& new_primary) {
@@ -382,7 +383,8 @@ void WieraController::wire_control_plane(const std::string& wiera_id,
         WLOG_WARN(kComponent) << "change_primary request failed: "
                               << resp.status().to_string();
       }
-    }(this, wiera_id, peer, new_primary));
+    }(this, wiera_id, peer, new_primary),
+                "controller.change-primary-rpc");
   };
   peer->set_control_plane(std::move(control));
 }
@@ -500,7 +502,7 @@ void WieraController::maintain_replicas() {
 void WieraController::start() {
   if (running_) return;
   running_ = true;
-  sim_->spawn(heartbeat_loop());
+  sim_->spawn(heartbeat_loop(), "controller.heartbeat");
 }
 
 void WieraController::stop() { running_ = false; }

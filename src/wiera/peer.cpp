@@ -83,9 +83,9 @@ WieraPeer::WieraPeer(sim::Simulation& sim, net::Network& network,
     lock_client_ = std::make_unique<coord::LockClient>(
         *endpoint_, config_.lock_service_node);
   }
-  queue_ = std::make_unique<sim::Channel<QueuedUpdate>>(sim);
-  unblocked_ = std::make_unique<sim::Event>(sim);
-  drained_ = std::make_unique<sim::Event>(sim);
+  queue_ = std::make_unique<sim::Channel<QueuedUpdate>>(sim, "peer.update-queue");
+  unblocked_ = std::make_unique<sim::Event>(sim, "peer.unblocked");
+  drained_ = std::make_unique<sim::Event>(sim, "peer.drained");
   unblocked_->set();
   if (config_.dynamic_consistency_policy.has_value()) {
     latency_threshold_ =
@@ -118,9 +118,10 @@ void WieraPeer::start() {
   started_ = true;
   stopping_ = false;
   local_->start();
-  sim_->spawn(queue_flusher());
+  sim_->spawn(queue_flusher(), config_.instance_id + "/queue-flusher");
   if (config_.change_primary_policy.has_value()) {
-    sim_->spawn(requests_monitor_loop());
+    sim_->spawn(requests_monitor_loop(),
+                config_.instance_id + "/requests-monitor");
   }
 }
 

@@ -1,0 +1,349 @@
+// Tests for the SimChecker simulation sanitizer: deliberately constructed
+// deadlocks, lost wakeups, leaked coroutines, and API misuse must each be
+// detected and attributed to the culprit task/primitive by name; clean
+// scenarios must stay diagnostic-free; and the determinism harness must
+// produce identical event-trace hashes for identical seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/checker.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace wiera::sim {
+namespace {
+
+using Kind = SimDiagnostic::Kind;
+
+#if WIERA_SIM_CHECKER_ENABLED
+
+// ------------------------------------------------------------ deadlock
+
+Task<void> lock_two(Simulation& sim, SimMutex& first, SimMutex& second) {
+  co_await first.lock();
+  co_await sim.delay(msec(1));  // give the other task time to grab its lock
+  co_await second.lock();
+  second.unlock();
+  first.unlock();
+}
+
+TEST(SimCheckerTest, DetectsAbbaDeadlockCycleByName) {
+  Simulation sim;
+  SimMutex alpha(sim, "m.alpha");
+  SimMutex beta(sim, "m.beta");
+  sim.spawn(lock_two(sim, alpha, beta), "locker-ab");
+  sim.spawn(lock_two(sim, beta, alpha), "locker-ba");
+  sim.run();
+
+  const SimDiagnostic* d = sim.checker().find(Kind::kDeadlock);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->is_error);
+  // The cycle report names both tasks and both mutexes.
+  EXPECT_NE(d->message.find("locker-ab"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("locker-ba"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("m.alpha"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("m.beta"), std::string::npos) << d->message;
+  // Both tasks are also individually reported as stuck, with holder info.
+  EXPECT_TRUE(sim.checker().has(Kind::kStuckTask));
+}
+
+TEST(SimCheckerTest, NoDeadlockWhenLockOrderIsConsistent) {
+  Simulation sim;
+  SimMutex alpha(sim, "m.alpha");
+  SimMutex beta(sim, "m.beta");
+  sim.spawn(lock_two(sim, alpha, beta), "locker-1");
+  sim.spawn(lock_two(sim, alpha, beta), "locker-2");
+  sim.run();
+  EXPECT_FALSE(sim.checker().has(Kind::kDeadlock));
+  EXPECT_FALSE(sim.checker().has(Kind::kStuckTask));
+  EXPECT_EQ(sim.checker().error_count(), 0u);
+}
+
+// ------------------------------------------------------------ lost wakeup
+
+Task<void> pulse(Event& e) {
+  e.set();    // waiters scheduled... but there are none yet
+  e.reset();  // ...and the signal is gone
+  co_return;
+}
+
+Task<void> late_waiter(Simulation& sim, Event& e) {
+  co_await sim.delay(msec(1));  // arrives after the pulse: waits forever
+  co_await e.wait();
+}
+
+TEST(SimCheckerTest, DetectsLostWakeupOnEvent) {
+  Simulation sim;
+  Event e(sim, "e.pulse");
+  sim.spawn(pulse(e), "producer");
+  sim.spawn(late_waiter(sim, e), "consumer");
+  sim.run();
+
+  const SimDiagnostic* d = sim.checker().find(Kind::kStuckTask);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->task, "consumer");
+  EXPECT_EQ(d->primitive, "e.pulse");
+  EXPECT_NE(d->message.find("lost wakeup"), std::string::npos) << d->message;
+}
+
+Task<void> recv_forever(Channel<int>& ch) {
+  while (true) {
+    auto item = co_await ch.recv();
+    if (!item) break;
+  }
+}
+
+TEST(SimCheckerTest, ReportsReceiverStuckOnUnclosedChannel) {
+  Simulation sim;
+  Channel<int> ch(sim, "ch.updates");
+  sim.spawn(recv_forever(ch), "flusher");
+  sim.run();  // producer never existed; channel never closed
+
+  const SimDiagnostic* d = sim.checker().find(Kind::kStuckTask);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->task, "flusher");
+  EXPECT_EQ(d->primitive, "ch.updates");
+}
+
+// ------------------------------------------------------------ leaked task
+
+Task<void> never_started() { co_return; }
+
+TEST(SimCheckerTest, DetectsTaskDroppedWithoutStarting) {
+  Simulation sim;
+  {
+    Task<void> t = never_started();
+    // destroyed here without co_await or spawn
+  }
+  const SimDiagnostic* d = sim.checker().find(Kind::kDroppedTask);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->is_error);
+  EXPECT_NE(d->message.find("never"), std::string::npos) << d->message;
+}
+
+TEST(SimCheckerTest, ReportsWaiterLeakedByDestroyedPrimitive) {
+  Simulation sim;
+  {
+    auto e = std::make_unique<Event>(sim, "e.doomed");
+    auto wait_on = [](Event* ev) -> Task<void> { co_await ev->wait(); };
+    sim.spawn(wait_on(e.get()), "orphan");
+    sim.run();  // orphan suspends on the event
+    // Destroy the event while 'orphan' still waits: it can never wake.
+  }
+  const SimDiagnostic* d = sim.checker().find(Kind::kDestroyedWithWaiters);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->primitive, "e.doomed");
+  EXPECT_NE(d->message.find("orphan"), std::string::npos) << d->message;
+}
+
+// ------------------------------------------------------------ misuse errors
+
+TEST(SimCheckerTest, DoubleUnlockIsStructuredError) {
+  Simulation sim;
+  SimMutex m(sim, "m.solo");
+  m.unlock();  // never locked
+  const SimDiagnostic* d = sim.checker().find(Kind::kDoubleUnlock);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->is_error);
+  EXPECT_EQ(d->primitive, "m.solo");
+  EXPECT_FALSE(m.locked());  // state stays consistent
+}
+
+TEST(SimCheckerTest, SendAfterCloseIsStructuredError) {
+  Simulation sim;
+  Channel<int> ch(sim, "ch.closed");
+  ch.close();
+  ch.send(42);
+  const SimDiagnostic* d = sim.checker().find(Kind::kSendAfterClose);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->is_error);
+  EXPECT_EQ(d->primitive, "ch.closed");
+  // Historic best-effort behaviour: the item is still delivered.
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(SimCheckerTest, PromiseDoubleSetKeepsFirstValue) {
+  Simulation sim;
+  Promise<int> p(sim, "p.reply");
+  p.set_value(1);
+  p.set_value(2);
+  const SimDiagnostic* d = sim.checker().find(Kind::kPromiseDoubleSet);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->is_error);
+  EXPECT_EQ(d->primitive, "p.reply");
+
+  int out = 0;
+  auto reader = [](Future<int> f, int& o) -> Task<void> {
+    o = co_await f;
+  };
+  sim.spawn(reader(p.future(), out));
+  sim.run();
+  EXPECT_EQ(out, 1);  // first value won
+}
+
+Task<void> await_reply(Future<int> f, int& out) { out = co_await f; }
+
+TEST(SimCheckerTest, PromiseDroppedUnfulfilledIsReported) {
+  Simulation sim;
+  int out = -1;
+  {
+    Promise<int> p(sim, "p.rpc");
+    sim.spawn(await_reply(p.future(), out), "rpc-caller");
+    sim.run();  // caller suspends on the future
+    // p destroyed here, unfulfilled, with rpc-caller waiting
+  }
+  const SimDiagnostic* d = sim.checker().find(Kind::kPromiseBroken);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->is_error);
+  EXPECT_EQ(d->primitive, "p.rpc");
+  EXPECT_EQ(out, -1);
+
+  sim.run();  // quiescent again: the caller is also reported stuck
+  const SimDiagnostic* stuck = sim.checker().find(Kind::kStuckTask);
+  ASSERT_NE(stuck, nullptr);
+  EXPECT_EQ(stuck->task, "rpc-caller");
+}
+
+TEST(SimCheckerTest, NegativeSemaphoreReleaseIsReportedAndIgnored) {
+  Simulation sim;
+  SimSemaphore s(sim, 3, "s.tokens");
+  s.release(-2);
+  const SimDiagnostic* d = sim.checker().find(Kind::kNegativeRelease);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->is_error);
+  EXPECT_EQ(s.available(), 3);  // unchanged
+}
+
+// ------------------------------------------------------------ bookkeeping
+
+Task<void> quick(Simulation& sim) { co_await sim.delay(msec(1)); }
+
+TEST(SimCheckerTest, TracksSpawnCompleteAndLiveTasks) {
+  Simulation sim;
+  sim.spawn(quick(sim), "a");
+  sim.spawn(quick(sim), "b");
+  sim.run();
+  EXPECT_EQ(sim.checker().tasks_spawned(), 2u);
+  EXPECT_EQ(sim.checker().tasks_completed(), 2u);
+  EXPECT_TRUE(sim.checker().live_task_names().empty());
+
+  Event e(sim, "e.hold");
+  auto hold = [](Event* ev) -> Task<void> { co_await ev->wait(); };
+  sim.spawn(hold(&e), "held");
+  sim.run_until(sim.now() + msec(1));
+  auto live = sim.checker().live_task_names();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0], "held");
+  e.set();
+  sim.run();
+  EXPECT_TRUE(sim.checker().live_task_names().empty());
+}
+
+TEST(SimCheckerTest, CleanScenarioProducesNoDiagnostics) {
+  Simulation sim;
+  Channel<int> ch(sim, "ch.pipe");
+  std::vector<int> got;
+  auto producer = [](Simulation* s, Channel<int>* c) -> Task<void> {
+    for (int i = 0; i < 8; ++i) {
+      co_await s->delay(msec(1));
+      c->send(i);
+    }
+    c->close();
+  };
+  auto consumer = [](Channel<int>* c, std::vector<int>* out) -> Task<void> {
+    while (true) {
+      auto item = co_await c->recv();
+      if (!item) break;
+      out->push_back(*item);
+    }
+  };
+  sim.spawn(producer(&sim, &ch), "producer");
+  sim.spawn(consumer(&ch, &got), "consumer");
+  sim.run();
+  EXPECT_EQ(got.size(), 8u);
+  EXPECT_TRUE(sim.checker().diagnostics().empty());
+}
+
+TEST(SimCheckerTest, RuntimeDisableSilencesChecker) {
+  Simulation sim;
+  sim.checker().set_enabled(false);
+  SimMutex m(sim, "m.any");
+  m.unlock();  // would be a double-unlock error
+  EXPECT_TRUE(sim.checker().diagnostics().empty());
+}
+
+#endif  // WIERA_SIM_CHECKER_ENABLED
+
+// ------------------------------------------------------------ determinism
+//
+// The determinism harness: run the same mixed-primitive scenario twice with
+// the same seed and require bit-identical scheduled-event traces (compared
+// via the checker's FNV-1a trace hash). A third run with a different seed
+// must diverge. This is the regression net for accidental nondeterminism
+// (unordered containers in wake paths, address-dependent tie-breaks, real
+// time leaking into virtual time).
+
+Task<void> chaos_worker(Simulation& sim, SimMutex& m, SimSemaphore& s,
+                        Channel<int>& ch, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await sim.delay(usec(static_cast<int64_t>(sim.rng().uniform(50, 500))));
+    co_await s.acquire();
+    co_await m.lock();
+    ch.send(i);
+    co_await sim.delay(usec(10));
+    m.unlock();
+    s.release();
+  }
+}
+
+Task<void> chaos_drain(Channel<int>& ch, int expected) {
+  for (int i = 0; i < expected; ++i) {
+    (void)co_await ch.recv();
+  }
+}
+
+// [[maybe_unused]]: with WIERA_SIM_CHECKER=OFF the determinism tests skip
+// at compile time and nothing references this helper.
+[[maybe_unused]] uint64_t run_chaos(uint64_t seed) {
+  Simulation sim(seed);
+  SimMutex m(sim, "chaos.m");
+  SimSemaphore s(sim, 2, "chaos.s");
+  Channel<int> ch(sim, "chaos.ch");
+  constexpr int kWorkers = 5;
+  constexpr int kRounds = 20;
+  for (int w = 0; w < kWorkers; ++w) {
+    sim.spawn(chaos_worker(sim, m, s, ch, kRounds),
+              "worker-" + std::to_string(w));
+  }
+  sim.spawn(chaos_drain(ch, kWorkers * kRounds), "drain");
+  sim.run();
+  EXPECT_EQ(sim.checker().error_count(), 0u);
+  return sim.checker().trace_hash();
+}
+
+TEST(SimDeterminismTest, SameSeedProducesIdenticalEventTraceHash) {
+#if WIERA_SIM_CHECKER_ENABLED
+  const uint64_t a = run_chaos(1234);
+  const uint64_t b = run_chaos(1234);
+  EXPECT_EQ(a, b) << "simulation diverged between two runs with one seed";
+#else
+  GTEST_SKIP() << "WIERA_SIM_CHECKER=OFF: trace hashing compiled out";
+#endif
+}
+
+TEST(SimDeterminismTest, DifferentSeedsDiverge) {
+#if WIERA_SIM_CHECKER_ENABLED
+  EXPECT_NE(run_chaos(1234), run_chaos(4321));
+#else
+  GTEST_SKIP() << "WIERA_SIM_CHECKER=OFF: trace hashing compiled out";
+#endif
+}
+
+}  // namespace
+}  // namespace wiera::sim

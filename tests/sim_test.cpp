@@ -469,6 +469,90 @@ TEST(FutureTest, MultipleAwaitersAllGetValue) {
   EXPECT_EQ(out2, 7);
 }
 
+// ------------------------------------------------------------ edge cases
+
+TEST(WhenAllTest, EmptyVectorDoesNotAdvanceTimeAndIsRepeatable) {
+  Simulation sim;
+  int completions = 0;
+  auto driver = [](Simulation& s, int& done) -> Task<void> {
+    auto r1 = co_await when_all(s, std::vector<Task<int>>{});
+    co_await when_all(s, std::vector<Task<void>>{});
+    auto r2 = co_await when_all(s, std::vector<Task<int>>{});
+    done = static_cast<int>(r1.size() + r2.size()) + 1;
+  };
+  sim.spawn(driver(sim, completions));
+  sim.run();
+  EXPECT_EQ(completions, 1);       // both empty result vectors
+  EXPECT_EQ(sim.now().us(), 0);    // nothing scheduled, no time passed
+}
+
+TEST(ChannelTest, CloseWakesAllPendingReceiversWithNullopt) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  int woken = 0;
+  std::vector<int64_t> wake_times;
+  auto rx = [](Channel<int>* c, Simulation* s, int& n,
+               std::vector<int64_t>& t) -> Task<void> {
+    auto item = co_await c->recv();
+    EXPECT_FALSE(item.has_value());  // closed, nothing buffered
+    n++;
+    t.push_back(s->now().us());
+  };
+  sim.spawn(rx(&ch, &sim, woken, wake_times));
+  sim.spawn(rx(&ch, &sim, woken, wake_times));
+  sim.run_until(TimePoint(3000));  // both receivers are now blocked
+  EXPECT_EQ(woken, 0);
+  ch.close();
+  sim.run();
+  EXPECT_EQ(woken, 2);
+  EXPECT_EQ(wake_times, (std::vector<int64_t>{3000, 3000}));
+}
+
+TEST(SimSemaphoreTest, ReleaseZeroIsANoOp) {
+  Simulation sim;
+  SimSemaphore s(sim, 0);
+  int acquired = 0;
+  auto user = [](SimSemaphore* sem, int& n) -> Task<void> {
+    co_await sem->acquire();
+    n++;
+  };
+  sim.spawn(user(&s, acquired));
+  sim.run();
+  EXPECT_EQ(acquired, 0);  // blocked
+  s.release(0);
+  sim.run();
+  EXPECT_EQ(acquired, 0);  // release(0) woke nobody, added no tokens
+  EXPECT_EQ(s.available(), 0);
+  s.release(1);
+  sim.run();
+  EXPECT_EQ(acquired, 1);
+}
+
+TEST(EventTest, ResetRacingReWaitInVirtualTime) {
+  Simulation sim;
+  Event e(sim);
+  std::vector<std::string> log;
+  // Waiter A is already suspended when set() fires; reset() at the same
+  // virtual instant must not revoke A's scheduled wakeup, but a fresh
+  // waiter B arriving after the reset must block.
+  auto wait_and_log = [](Event* ev, std::vector<std::string>* out,
+                         std::string tag) -> Task<void> {
+    co_await ev->wait();
+    out->push_back(std::move(tag));
+  };
+  sim.spawn(wait_and_log(&e, &log, "A"));
+  sim.run_until(TimePoint(1000));
+  e.set();
+  e.reset();  // same virtual time as set(): A's wakeup is already queued
+  sim.spawn(wait_and_log(&e, &log, "B"));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"A"}));  // B still blocked
+  EXPECT_FALSE(e.is_set());
+  e.set();
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"A", "B"}));
+}
+
 // ------------------------------------------------------------ determinism
 
 Task<void> jitter_worker(Simulation& sim, std::vector<int64_t>& log, int n) {
