@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Chaos sweep: run the randomized fault-injection suite over many seeds and
+# report every failing seed with its determinism trace hash.
+#
+# Usage:
+#   scripts/chaos_sweep.sh [SEEDS] [BUILD_DIR]
+#
+#   SEEDS      number of seeds per (mode, fault-class) combination
+#              (default 50; overrides WIERA_CHAOS_SEED_COUNT)
+#   BUILD_DIR  cmake build directory containing tests/chaos_test
+#              (default: build)
+#
+# Every failing run prints a line of the form
+#   CHAOS-FAIL seed=<n> mode=<mode> fault=<class> trace=0x<hash>
+# which this script collects and echoes at the end. To replay a failure,
+# re-run the suite with the same seed count (plans are derived purely from
+# the seed) and filter to the failing combination — see docs/FAULTS.md.
+set -u
+
+SEEDS="${1:-${WIERA_CHAOS_SEED_COUNT:-50}}"
+BUILD_DIR="${2:-build}"
+BINARY="${BUILD_DIR}/tests/chaos_test"
+
+if [[ ! -x "${BINARY}" ]]; then
+  echo "chaos_sweep: ${BINARY} not found; build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 2
+fi
+
+echo "chaos_sweep: ${SEEDS} seeds per (mode, fault) combination"
+LOG="$(mktemp)"
+trap 'rm -f "${LOG}"' EXIT
+
+WIERA_CHAOS_SEED_COUNT="${SEEDS}" "${BINARY}" \
+  --gtest_filter='AllModesAllFaults/*' --gtest_color=no >"${LOG}" 2>&1
+STATUS=$?
+
+grep -E '^\[ *(OK|FAILED) *\]' "${LOG}" | sed 's/^/  /'
+
+FAILS="$(grep -c '^CHAOS-FAIL' "${LOG}" || true)"
+if [[ "${STATUS}" -ne 0 || "${FAILS}" -gt 0 ]]; then
+  echo ""
+  echo "chaos_sweep: FAILING SEEDS (replay instructions in docs/FAULTS.md):"
+  grep '^CHAOS-FAIL' "${LOG}" | sed 's/^/  /'
+  echo ""
+  echo "chaos_sweep: ${FAILS} failing run(s) across the sweep"
+  exit 1
+fi
+
+echo "chaos_sweep: all seeds green"

@@ -21,24 +21,74 @@ TimePoint Network::reserve_nic(const std::string& from,
   return end;
 }
 
+bool Network::chaos_drop(const std::string& from, const std::string& to) {
+  bool drop = false;
+  for_each_chaos(from, to, [&](const ChaosWindow& w) {
+    if (w.drop_prob > 0 && sim_->rng().bernoulli(w.drop_prob)) drop = true;
+  });
+  if (drop) chaos_stats_.dropped++;
+  return drop;
+}
+
+bool Network::chaos_duplicate(const std::string& from, const std::string& to) {
+  bool dup = false;
+  for_each_chaos(from, to, [&](const ChaosWindow& w) {
+    if (w.dup_prob > 0 && sim_->rng().bernoulli(w.dup_prob)) dup = true;
+  });
+  if (dup) chaos_stats_.duplicated++;
+  return dup;
+}
+
+Duration Network::chaos_extra_delay(const std::string& from,
+                                    const std::string& to) {
+  Duration extra = Duration::zero();
+  for_each_chaos(from, to, [&](const ChaosWindow& w) {
+    if (w.max_extra_delay > Duration::zero()) {
+      extra += usec(sim_->rng().uniform_int(0, w.max_extra_delay.us()));
+    }
+  });
+  if (extra > Duration::zero()) chaos_stats_.delayed++;
+  return extra;
+}
+
 sim::Task<Status> Network::transfer(std::string from, std::string to,
                                     int64_t bytes) {
-  if (topology_.node_down(from, sim_->now()) ||
-      topology_.node_down(to, sim_->now())) {
+  const TimePoint departed = sim_->now();
+  if (topology_.node_down(from, departed) ||
+      topology_.node_down(to, departed)) {
     co_await sim_->delay(kUnreachableDelay);
     co_return unavailable("node unreachable: " + to);
   }
+  if (topology_.partitioned(from, to, departed)) {
+    // Packets into a partition vanish; the sender only learns via timeout.
+    co_await sim_->delay(kUnreachableDelay);
+    co_return unavailable("partitioned: " + from + " -> " + to);
+  }
+  if (chaos_drop(from, to)) {
+    co_await sim_->delay(kUnreachableDelay);
+    co_return unavailable("message dropped: " + from + " -> " + to);
+  }
 
-  // Serialization through the shared NICs, then propagation.
+  // Serialization through the shared NICs, then propagation. Chaos extra
+  // delay is per-message and random, so overlapping messages on one path
+  // can arrive out of order (reordering fault).
   const TimePoint tx_done = reserve_nic(from, to, bytes);
-  const Duration propagation = topology_.sample_latency(
-      from, to, /*bytes=*/0, sim_->now(), sim_->rng());
+  const Duration propagation =
+      topology_.sample_latency(from, to, /*bytes=*/0, sim_->now(),
+                               sim_->rng()) +
+      chaos_extra_delay(from, to);
   co_await sim_->at(tx_done);
   co_await sim_->delay(propagation);
 
-  // The destination may have gone down while the message was in flight.
-  if (topology_.node_down(to, sim_->now())) {
+  // The destination must have been continuously up for the whole flight: a
+  // crash-and-reboot strictly inside the flight window also kills the
+  // message (connections do not survive a reboot). A partition that closed
+  // while the message was in flight swallows it too.
+  if (topology_.node_down_during(to, departed, sim_->now())) {
     co_return unavailable("node went down mid-transfer: " + to);
+  }
+  if (topology_.partitioned(from, to, sim_->now())) {
+    co_return unavailable("partitioned mid-transfer: " + from + " -> " + to);
   }
 
   traffic_.total_messages++;

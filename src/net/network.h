@@ -42,6 +42,27 @@ struct TrafficStats {
   }
 };
 
+// A window of probabilistic message chaos (drop / duplicate / extra random
+// delay). `node` scopes the window to messages touching that node; empty
+// applies to every message. Sampling uses the simulation RNG, so a chaos
+// run is fully reproducible from the seed.
+struct ChaosWindow {
+  std::string node;  // empty = all messages
+  TimePoint from;
+  TimePoint until;
+  double drop_prob = 0.0;       // message silently lost in transit
+  double dup_prob = 0.0;        // request delivered twice (see rpc::Endpoint)
+  Duration max_extra_delay = Duration::zero();  // uniform [0, max] per message
+};
+
+// Counters for chaos effects actually applied (tests assert the fault plan
+// really exercised the code path it meant to).
+struct ChaosStats {
+  int64_t dropped = 0;
+  int64_t duplicated = 0;
+  int64_t delayed = 0;
+};
+
 class Network {
  public:
   // How long a sender waits before concluding a down node is unreachable.
@@ -56,6 +77,18 @@ class Network {
   const TrafficStats& traffic() const { return traffic_; }
   void reset_traffic() { traffic_ = TrafficStats{}; }
 
+  // ---- chaos injection ----
+  void inject_chaos(ChaosWindow window) {
+    chaos_windows_.push_back(std::move(window));
+  }
+  void clear_chaos() { chaos_windows_.clear(); }
+  const ChaosStats& chaos_stats() const { return chaos_stats_; }
+
+  // Sample whether the *request leg* of an RPC should be delivered twice.
+  // Called by rpc::Endpoint after a successful request transfer; consumes
+  // randomness and bumps stats, hence non-const.
+  bool chaos_duplicate(const std::string& from, const std::string& to);
+
   // Deliver `bytes` from node `from` to node `to`; resolves when the last
   // byte arrives. Fails if either endpoint is down. NIC capacity is shared:
   // concurrent transfers touching the same node queue behind each other for
@@ -68,9 +101,25 @@ class Network {
   TimePoint reserve_nic(const std::string& from, const std::string& to,
                         int64_t bytes);
 
+  bool chaos_drop(const std::string& from, const std::string& to);
+  Duration chaos_extra_delay(const std::string& from, const std::string& to);
+  // Active windows matching a message from->to at `now`.
+  template <typename Fn>
+  void for_each_chaos(const std::string& from, const std::string& to,
+                      Fn&& fn) const {
+    const TimePoint now = sim_->now();
+    for (const auto& w : chaos_windows_) {
+      if (now < w.from || now >= w.until) continue;
+      if (!w.node.empty() && w.node != from && w.node != to) continue;
+      fn(w);
+    }
+  }
+
   sim::Simulation* sim_;
   Topology topology_;
   TrafficStats traffic_;
+  ChaosStats chaos_stats_;
+  std::vector<ChaosWindow> chaos_windows_;
   std::map<std::string, TimePoint> nic_free_;  // per-node next free time
 };
 

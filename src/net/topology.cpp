@@ -120,9 +120,38 @@ bool Topology::node_down(const std::string& node_name, TimePoint now) const {
   return false;
 }
 
+bool Topology::node_down_during(const std::string& node_name, TimePoint from,
+                                TimePoint until) const {
+  for (const auto& o : outages_) {
+    if (o.node == node_name && o.from <= until && o.until > from) return true;
+  }
+  return false;
+}
+
+void Topology::inject_partition(const std::string& src, const std::string& dst,
+                                TimePoint from, TimePoint until,
+                                bool bidirectional) {
+  assert(nodes_.count(src) && nodes_.count(dst));
+  partitions_.push_back(PartitionWindow{src, dst, from, until});
+  if (bidirectional) {
+    partitions_.push_back(PartitionWindow{dst, src, from, until});
+  }
+}
+
+bool Topology::partitioned(const std::string& from, const std::string& to,
+                           TimePoint now) const {
+  for (const auto& p : partitions_) {
+    if (p.src == from && p.dst == to && now >= p.from && now < p.until) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Topology::clear_faults() {
   delays_.clear();
   outages_.clear();
+  partitions_.clear();
 }
 
 Duration Topology::injected_extra(const std::string& node_name,

@@ -97,6 +97,19 @@ class Topology {
   void inject_outage(const std::string& node_name, TimePoint from,
                      TimePoint until);
   bool node_down(const std::string& node_name, TimePoint now) const;
+  // True if the node was inside an outage window at any instant of
+  // [from, until] — a message in flight across a reboot is lost even if the
+  // node is back up when the last byte would arrive.
+  bool node_down_during(const std::string& node_name, TimePoint from,
+                        TimePoint until) const;
+  // Network partition: messages from `src` to `dst` are lost during
+  // [from, until). Bidirectional installs both directions; one direction
+  // only models an asymmetric partition (src can hear dst but not reach it).
+  void inject_partition(const std::string& src, const std::string& dst,
+                        TimePoint from, TimePoint until,
+                        bool bidirectional = true);
+  bool partitioned(const std::string& from, const std::string& to,
+                   TimePoint now) const;
   void clear_faults();
 
   // A standard 4-region AWS topology matching the paper's deployment
@@ -115,6 +128,12 @@ class Topology {
     TimePoint from;
     TimePoint until;
   };
+  struct PartitionWindow {
+    std::string src;  // direction src -> dst is cut
+    std::string dst;
+    TimePoint from;
+    TimePoint until;
+  };
 
   Duration injected_extra(const std::string& node_name, TimePoint now) const;
 
@@ -124,6 +143,7 @@ class Topology {
   double jitter_fraction_ = 0.05;
   std::vector<DelayWindow> delays_;
   std::vector<OutageWindow> outages_;
+  std::vector<PartitionWindow> partitions_;
 };
 
 // Calibrated inter-region RTTs (see DESIGN.md §5).

@@ -22,6 +22,15 @@ sim::Task<Result<Message>> Endpoint::call(std::string target_node,
     co_return unavailable("no endpoint registered at " + target_node);
   }
 
+  if (network_->chaos_duplicate(node_name_, target_node)) {
+    // The request packet was duplicated in transit: the handler runs twice,
+    // the duplicate's response is discarded. Handlers must be idempotent.
+    Message duplicate{request.body};
+    network_->sim().spawn(
+        target->dispatch_discard(method, std::move(duplicate)),
+        "rpc.chaos-duplicate");
+  }
+
   Result<Message> response = co_await target->dispatch(method,
                                                        std::move(request));
   if (!response.ok()) co_return response.status();
@@ -31,6 +40,12 @@ sim::Task<Result<Message>> Endpoint::call(std::string target_node,
   if (!st.ok()) co_return st;
 
   co_return std::move(response).value();
+}
+
+sim::Task<void> Endpoint::dispatch_discard(std::string method,
+                                           Message request) {
+  Result<Message> discarded = co_await dispatch(method, std::move(request));
+  (void)discarded;
 }
 
 sim::Task<Result<Message>> Endpoint::dispatch(const std::string& method,

@@ -86,6 +86,10 @@ class Endpoint {
  private:
   sim::Task<Result<Message>> dispatch(const std::string& method,
                                       Message request);
+  // Chaos duplicate delivery: run the handler a second time with a copy of
+  // the request and discard the result — the duplicate's response is lost.
+  // Exercises handler idempotency (replication dedup, LWW).
+  sim::Task<void> dispatch_discard(std::string method, Message request);
 
   net::Network* network_;
   Registry* registry_;

@@ -156,6 +156,11 @@ void SimChecker::on_task_complete(const void* root_handle) {
   if (id == current_) current_ = kNoTask;
 }
 
+void SimChecker::fold_trace(uint64_t value) {
+  if (!enabled_) return;
+  trace_hash_ = fnv1a(trace_hash_, value);
+}
+
 void SimChecker::begin_event(const void* handle, int64_t time_us,
                              uint64_t seq) {
   if (!enabled_) return;

@@ -125,6 +125,11 @@ class SimChecker {
   // same scenario with the same seed must agree; see docs/DETERMINISM.md.
   uint64_t trace_hash() const { return trace_hash_; }
 
+  // Fold an externally computed value into the trace hash. The fault
+  // injector records every applied FaultEvent this way, so a replayed
+  // chaos run must apply the identical fault schedule to reproduce a hash.
+  void fold_trace(uint64_t value);
+
   // The checker owning the innermost live Simulation on this thread (used by
   // ~Task to report dropped coroutines, where no Simulation* is reachable).
   static SimChecker* current();
@@ -231,6 +236,7 @@ class SimChecker {
   uint64_t tasks_completed() const { return 0; }
   std::vector<std::string> live_task_names() const { return {}; }
   uint64_t trace_hash() const { return 0; }
+  void fold_trace(uint64_t) {}
   static SimChecker* current() { return nullptr; }
   static bool in_teardown() { return false; }
 

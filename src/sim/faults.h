@@ -1,0 +1,162 @@
+// Deterministic fault injection for chaos testing (Jepsen-style nemesis).
+//
+// A FaultPlan is a schedule of typed fault events — node crash/restart,
+// network partitions (bidirectional or asymmetric), probabilistic message
+// chaos (drop/duplicate/random extra delay = reordering), latency spikes,
+// and storage-tier faults (slowdown / ENOSPC). Plans are either scripted by
+// a test or sampled from a seeded RNG, so every chaos run is reproducible
+// from its seed.
+//
+// The sim layer knows nothing about the network or storage stacks (they
+// link *against* wiera_sim), so the plan is applied through the abstract
+// FaultSurface interface; the wiera layer provides the concrete adapter
+// (geo::ChaosHost) that maps events onto net::Topology / net::Network /
+// store::StorageTier / WieraPeer hooks. The FaultInjector walks the plan on
+// virtual time and folds every applied event into the SimChecker
+// determinism trace hash, so a replay that diverges in its fault schedule
+// is immediately visible as a hash mismatch (docs/FAULTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace wiera::sim {
+
+// Which way an isolation-style fault cuts traffic relative to the node.
+enum class PartitionDirection {
+  kBoth,      // full isolation
+  kInbound,   // nobody can reach the node; its own packets get out
+  kOutbound,  // the node's packets are lost; it still hears the world
+};
+
+std::string_view partition_direction_name(PartitionDirection d);
+
+struct FaultEvent {
+  enum class Kind {
+    kCrash,         // node dies at `at`, loses volatile state, restarts at `until`
+    kRestart,       // node is back (paired with a kCrash; informational)
+    kPartition,     // node cut off from every other node during [at, until)
+    kMessageChaos,  // probabilistic drop/duplicate/extra-delay window
+    kLatencySpike,  // +extra_delay on every message touching node
+    kTierFault,     // storage-tier slowdown and/or ENOSPC window
+  };
+
+  Kind kind = Kind::kCrash;
+  TimePoint at;           // when the fault begins
+  TimePoint until;        // when it ends (restart time for kCrash)
+  std::string node;       // affected node ("" = all, kMessageChaos only)
+  PartitionDirection direction = PartitionDirection::kBoth;
+
+  // kMessageChaos knobs.
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  Duration max_extra_delay = Duration::zero();
+
+  // kLatencySpike knob.
+  Duration extra_delay = Duration::zero();
+
+  // kTierFault knobs. Empty tier_label = every tier on the node.
+  std::string tier_label;
+  double slowdown = 1.0;
+  bool enospc = false;
+
+  std::string describe() const;
+  // Stable content hash folded into the determinism trace when applied.
+  uint64_t hash() const;
+};
+
+// Receiver of fault events — implemented by the wiera layer (geo::ChaosHost)
+// or by unit tests. Handlers run on the injector's coroutine at the event's
+// scheduled virtual time.
+class FaultSurface {
+ public:
+  virtual ~FaultSurface() = default;
+  virtual void on_node_crash(const FaultEvent& e) = 0;
+  virtual void on_node_restart(const FaultEvent& e) = 0;
+  virtual void on_partition(const FaultEvent& e) = 0;
+  virtual void on_message_chaos(const FaultEvent& e) = 0;
+  virtual void on_latency_spike(const FaultEvent& e) = 0;
+  virtual void on_tier_fault(const FaultEvent& e) = 0;
+};
+
+class FaultPlan {
+ public:
+  // ---- scripted construction ----
+  // Crash at `at`, restart at `restart_at` (emits kCrash + kRestart).
+  FaultPlan& crash(std::string node, TimePoint at, TimePoint restart_at);
+  // Isolate `node` from every other node during [at, until).
+  FaultPlan& partition(std::string node, TimePoint at, TimePoint until,
+                       PartitionDirection direction = PartitionDirection::kBoth);
+  // Probabilistic message chaos on messages touching `node` ("" = all).
+  FaultPlan& message_chaos(std::string node, TimePoint at, TimePoint until,
+                           double drop_prob, double dup_prob,
+                           Duration max_extra_delay = Duration::zero());
+  FaultPlan& latency_spike(std::string node, Duration extra, TimePoint at,
+                           TimePoint until);
+  FaultPlan& tier_fault(std::string node, std::string tier_label,
+                        double slowdown, bool enospc, TimePoint at,
+                        TimePoint until);
+  FaultPlan& add(FaultEvent event);
+
+  // ---- random generation ----
+  // Knobs for FaultPlan::random. Counts say how many windows of each fault
+  // class to sample; windows land inside [earliest, latest] with durations
+  // in [min_window, max_window]. Nodes are drawn from `nodes` (typically
+  // only storage nodes — crashing the coordinator is a different test).
+  struct RandomOptions {
+    std::vector<std::string> nodes;
+    TimePoint earliest = TimePoint::origin() + sec(2);
+    TimePoint latest = TimePoint::origin() + sec(30);
+    Duration min_window = sec(1);
+    Duration max_window = sec(4);
+    int crashes = 0;
+    int partitions = 0;
+    int chaos_windows = 0;
+    int latency_spikes = 0;
+    int tier_faults = 0;
+    double drop_prob = 0.2;
+    double dup_prob = 0.1;
+    Duration max_extra_delay = msec(80);
+    Duration max_spike = msec(400);
+    double tier_slowdown = 8.0;
+    bool tier_enospc = false;
+  };
+  static FaultPlan random(uint64_t seed, const RandomOptions& options);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::string describe() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+// Walks a FaultPlan on virtual time: sleeps to each event's `at`, folds the
+// event's hash into the determinism trace, and dispatches it to the surface.
+class FaultInjector {
+ public:
+  FaultInjector(Simulation& sim, FaultSurface& surface)
+      : sim_(&sim), surface_(&surface) {}
+
+  // Spawn the driver task for `plan`. Call once per plan; the driver exits
+  // after the last event fires.
+  void arm(FaultPlan plan);
+
+  int64_t events_applied() const { return events_applied_; }
+
+ private:
+  Task<void> drive(std::vector<FaultEvent> events);
+  void apply(const FaultEvent& e);
+
+  Simulation* sim_;
+  FaultSurface* surface_;
+  int64_t events_applied_ = 0;
+};
+
+}  // namespace wiera::sim

@@ -1,0 +1,338 @@
+#include "sim/oracle.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace wiera::sim {
+
+std::string_view check_mode_name(CheckMode mode) {
+  switch (mode) {
+    case CheckMode::kLinearizable: return "linearizable";
+    case CheckMode::kPrimaryOrder: return "primary-order";
+    case CheckMode::kEventual: return "eventual";
+  }
+  return "?";
+}
+
+int64_t ConsistencyOracle::begin_put(const std::string& client,
+                                     const std::string& key,
+                                     const std::string& value,
+                                     TimePoint invoked) {
+  Op op;
+  op.type = Op::Type::kPut;
+  op.client = client;
+  op.key = key;
+  op.value = value;
+  op.invoked = invoked;
+  ops_.push_back(std::move(op));
+  return static_cast<int64_t>(ops_.size()) - 1;
+}
+
+void ConsistencyOracle::end_put(int64_t op_id, TimePoint completed, bool ok,
+                                int64_t version) {
+  Op& op = ops_.at(static_cast<size_t>(op_id));
+  op.completed = completed;
+  op.done = true;
+  op.ok = ok;
+  op.version = version;
+}
+
+int64_t ConsistencyOracle::begin_get(const std::string& client,
+                                     const std::string& key,
+                                     TimePoint invoked) {
+  Op op;
+  op.type = Op::Type::kGet;
+  op.client = client;
+  op.key = key;
+  op.invoked = invoked;
+  ops_.push_back(std::move(op));
+  return static_cast<int64_t>(ops_.size()) - 1;
+}
+
+void ConsistencyOracle::end_get(int64_t op_id, TimePoint completed, bool ok,
+                                const std::string& value, int64_t version,
+                                const std::string& served_by) {
+  Op& op = ops_.at(static_cast<size_t>(op_id));
+  op.completed = completed;
+  op.done = true;
+  op.ok = ok;
+  op.value = value;
+  op.version = version;
+  op.served_by = served_by;
+}
+
+void ConsistencyOracle::record_replica_value(const std::string& replica,
+                                             const std::string& key,
+                                             int64_t version,
+                                             TimePoint last_modified,
+                                             const std::string& origin,
+                                             const std::string& value) {
+  finals_[key][replica] = ReplicaFinal{version, last_modified, origin, value};
+}
+
+int64_t ConsistencyOracle::completed_ok_count() const {
+  int64_t n = 0;
+  for (const auto& op : ops_) {
+    if (op.done && op.ok) n++;
+  }
+  return n;
+}
+
+std::map<std::string, std::vector<const ConsistencyOracle::Op*>>
+ConsistencyOracle::ops_by_key() const {
+  std::map<std::string, std::vector<const Op*>> by_key;
+  for (const auto& op : ops_) by_key[op.key].push_back(&op);
+  return by_key;
+}
+
+std::vector<OracleViolation> ConsistencyOracle::check(CheckMode mode) const {
+  std::vector<OracleViolation> out;
+  const auto by_key = ops_by_key();
+  std::set<std::string> keys;
+  for (const auto& [key, _] : by_key) keys.insert(key);
+  for (const auto& [key, _] : finals_) keys.insert(key);
+
+  static const std::vector<const Op*> kNoOps;
+  for (const auto& key : keys) {
+    auto it = by_key.find(key);
+    const auto& key_ops = it == by_key.end() ? kNoOps : it->second;
+    switch (mode) {
+      case CheckMode::kLinearizable:
+        check_key_linearizable(key, key_ops, out);
+        break;
+      case CheckMode::kPrimaryOrder:
+        check_key_primary_order(key, key_ops, out);
+        break;
+      case CheckMode::kEventual:
+        check_key_eventual(key, key_ops, out);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string ConsistencyOracle::describe(
+    const std::vector<OracleViolation>& violations) {
+  std::string out;
+  for (const auto& v : violations) {
+    if (!out.empty()) out += "\n";
+    out += "[" + v.key + "] " + v.message;
+  }
+  return out;
+}
+
+namespace {
+
+// One entry in the per-key linearizability search. A failed or unresolved
+// write is a "maybe" op: it may take effect at any point after invocation
+// (complete = infinity) or never (it can stay unchosen).
+struct LinEntry {
+  bool is_put = false;
+  bool maybe = false;
+  std::string value;
+  TimePoint invoked;
+  TimePoint complete = TimePoint::max();
+};
+
+struct LinSearch {
+  std::vector<LinEntry> entries;
+  uint64_t definite_mask = 0;
+  std::set<std::pair<uint64_t, int>> visited;
+
+  bool dfs(uint64_t chosen, int last_write) {
+    if ((chosen & definite_mask) == definite_mask) return true;
+    if (!visited.insert({chosen, last_write}).second) return false;
+
+    TimePoint min_complete = TimePoint::max();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (chosen & (1ull << i)) continue;
+      min_complete = std::min(min_complete, entries[i].complete);
+    }
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (chosen & (1ull << i)) continue;
+      const LinEntry& e = entries[i];
+      // e may linearize next only if no other pending op already completed
+      // before e was even invoked (real-time order must be respected).
+      if (e.invoked > min_complete) continue;
+      if (e.is_put) {
+        if (dfs(chosen | (1ull << i), static_cast<int>(i))) return true;
+      } else {
+        const std::string& current =
+            last_write < 0 ? std::string() : entries[static_cast<size_t>(last_write)].value;
+        if (e.value == current &&
+            dfs(chosen | (1ull << i), last_write)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+void ConsistencyOracle::check_key_linearizable(
+    const std::string& key, const std::vector<const Op*>& ops,
+    std::vector<OracleViolation>& out) const {
+  LinSearch search;
+  std::set<std::string> written;
+  for (const Op* op : ops) {
+    if (op->type == Op::Type::kPut) {
+      written.insert(op->value);
+      LinEntry e;
+      e.is_put = true;
+      e.value = op->value;
+      e.invoked = op->invoked;
+      if (op->done && op->ok) {
+        e.complete = op->completed;
+      } else {
+        e.maybe = true;  // complete stays at infinity
+      }
+      search.entries.push_back(std::move(e));
+    } else {
+      if (!op->done || !op->ok) continue;  // failed reads observe nothing
+      LinEntry e;
+      e.value = op->value;
+      e.invoked = op->invoked;
+      e.complete = op->completed;
+      search.entries.push_back(std::move(e));
+    }
+  }
+
+  if (search.entries.size() > kMaxOpsPerKey) {
+    out.push_back({key, "history too large for linearizability check (" +
+                            std::to_string(search.entries.size()) + " ops)"});
+    return;
+  }
+
+  // Fast sanity check with a readable message before the full search.
+  for (const LinEntry& e : search.entries) {
+    if (!e.is_put && !e.value.empty() && written.count(e.value) == 0) {
+      out.push_back({key, "read returned a value nobody wrote: '" + e.value +
+                              "'"});
+      return;
+    }
+  }
+
+  for (size_t i = 0; i < search.entries.size(); ++i) {
+    if (!search.entries[i].maybe) search.definite_mask |= 1ull << i;
+  }
+  if (!search.dfs(0, -1)) {
+    out.push_back({key,
+                   "no valid linearization of " +
+                       std::to_string(search.entries.size()) + " ops"});
+  }
+}
+
+void ConsistencyOracle::check_key_primary_order(
+    const std::string& key, const std::vector<const Op*>& ops,
+    std::vector<OracleViolation>& out) const {
+  std::vector<const Op*> committed_puts;
+  std::set<std::string> written;  // all put values, incl. failed (maybe) ones
+  std::map<std::string, TimePoint> value_invoked;
+  for (const Op* op : ops) {
+    if (op->type != Op::Type::kPut) continue;
+    written.insert(op->value);
+    auto [it, fresh] = value_invoked.try_emplace(op->value, op->invoked);
+    if (!fresh) it->second = std::min(it->second, op->invoked);
+    if (op->done && op->ok) committed_puts.push_back(op);
+  }
+  std::sort(committed_puts.begin(), committed_puts.end(),
+            [](const Op* a, const Op* b) { return a->completed < b->completed; });
+
+  // Committed versions must be distinct and respect real-time order: the
+  // primary serializes writes, so a put that finished before another began
+  // must carry the smaller version.
+  for (size_t i = 0; i < committed_puts.size(); ++i) {
+    for (size_t j = i + 1; j < committed_puts.size(); ++j) {
+      const Op* a = committed_puts[i];
+      const Op* b = committed_puts[j];
+      if (a->version == b->version) {
+        out.push_back({key, "two committed puts share version " +
+                                std::to_string(a->version)});
+      }
+      if (a->completed < b->invoked && a->version >= b->version) {
+        out.push_back({key, "primary order violated: put v" +
+                                std::to_string(a->version) +
+                                " finished before put v" +
+                                std::to_string(b->version) + " began"});
+      }
+    }
+  }
+
+  // Reads: no phantom values, no values from the future, and per-server
+  // version monotonicity (a backup never rolls back what it served).
+  std::map<std::string, std::vector<const Op*>> by_server;
+  for (const Op* op : ops) {
+    if (op->type != Op::Type::kGet || !op->done || !op->ok) continue;
+    if (!op->value.empty()) {
+      if (written.count(op->value) == 0) {
+        out.push_back({key, "read returned a value nobody wrote: '" +
+                                op->value + "'"});
+        continue;
+      }
+      if (value_invoked.at(op->value) > op->completed) {
+        out.push_back({key, "read from the future: value '" + op->value +
+                                "' observed before its put was invoked"});
+      }
+    }
+    by_server[op->served_by].push_back(op);
+  }
+  for (auto& [server, reads] : by_server) {
+    std::sort(reads.begin(), reads.end(),
+              [](const Op* a, const Op* b) { return a->completed < b->completed; });
+    for (size_t i = 0; i + 1 < reads.size(); ++i) {
+      const Op* a = reads[i];
+      const Op* b = reads[i + 1];
+      if (a->completed < b->invoked && b->version < a->version) {
+        out.push_back({key, "monotonic reads violated at " + server +
+                                ": served v" + std::to_string(a->version) +
+                                " then v" + std::to_string(b->version)});
+      }
+    }
+  }
+}
+
+void ConsistencyOracle::check_key_eventual(
+    const std::string& key, const std::vector<const Op*>& ops,
+    std::vector<OracleViolation>& out) const {
+  std::set<std::string> written;
+  for (const Op* op : ops) {
+    if (op->type == Op::Type::kPut) written.insert(op->value);
+  }
+
+  // Reads may be stale but never corrupt.
+  for (const Op* op : ops) {
+    if (op->type != Op::Type::kGet || !op->done || !op->ok) continue;
+    if (!op->value.empty() && written.count(op->value) == 0) {
+      out.push_back({key, "read returned a value nobody wrote: '" +
+                              op->value + "'"});
+    }
+  }
+
+  // After quiescence every replica must agree (convergence) and the agreed
+  // winner must be something a client actually wrote (LWW agreement).
+  auto it = finals_.find(key);
+  if (it == finals_.end()) return;
+  const auto& replicas = it->second;
+  if (replicas.empty()) return;
+  const ReplicaFinal& first = replicas.begin()->second;
+  for (const auto& [replica, state] : replicas) {
+    if (state.version != first.version || state.origin != first.origin ||
+        state.value != first.value) {
+      out.push_back(
+          {key, "divergence after quiescence: " + replicas.begin()->first +
+                    " has v" + std::to_string(first.version) + " from " +
+                    first.origin + " ('" + first.value + "') but " + replica +
+                    " has v" + std::to_string(state.version) + " from " +
+                    state.origin + " ('" + state.value + "')"});
+    }
+  }
+  if (!first.value.empty() && written.count(first.value) == 0) {
+    out.push_back({key, "converged winner was never written: '" +
+                            first.value + "'"});
+  }
+}
+
+}  // namespace wiera::sim

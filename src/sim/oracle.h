@@ -1,0 +1,112 @@
+// Consistency oracle: records a timestamped history of client operations
+// and checks it against the invariant of the consistency mode under test
+// (docs/FAULTS.md lists the exact invariants).
+//
+//   * kLinearizable — Wing & Gong style exhaustive linearizability check
+//     per key over the small op alphabet (multi-primary locking mode).
+//     Failed writes are "maybe" ops: they may take effect at any point
+//     after invocation or never (a crashed replication fan-out can leave
+//     the value behind).
+//   * kPrimaryOrder — primary-backup (sync/async): committed versions
+//     respect real-time order, reads never see values from the future, and
+//     each server's reads are version-monotonic.
+//   * kEventual — after quiescence every replica agrees on each key's
+//     (version, origin, value) and the winner is a value some client
+//     actually wrote (LWW agreement).
+//
+// The oracle is pure bookkeeping: callers stamp operations with virtual
+// times from the Simulation. It depends on nothing above the sim layer, so
+// it can also check histories produced by unit tests or future protocols.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace wiera::sim {
+
+enum class CheckMode { kLinearizable, kPrimaryOrder, kEventual };
+
+std::string_view check_mode_name(CheckMode mode);
+
+struct OracleViolation {
+  std::string key;
+  std::string message;
+};
+
+class ConsistencyOracle {
+ public:
+  // ---- history recording ----
+  // begin_* returns an op id; pass it to the matching end_* with the
+  // completion time and outcome. An op whose end_* never arrives counts as
+  // a "maybe" write / ignored read (client never learned the outcome).
+  int64_t begin_put(const std::string& client, const std::string& key,
+                    const std::string& value, TimePoint invoked);
+  void end_put(int64_t op_id, TimePoint completed, bool ok, int64_t version);
+  int64_t begin_get(const std::string& client, const std::string& key,
+                    TimePoint invoked);
+  // `value` empty = not found; `served_by` is the instance that answered.
+  void end_get(int64_t op_id, TimePoint completed, bool ok,
+               const std::string& value, int64_t version,
+               const std::string& served_by);
+
+  // ---- final replica states (kEventual convergence check) ----
+  void record_replica_value(const std::string& replica, const std::string& key,
+                            int64_t version, TimePoint last_modified,
+                            const std::string& origin,
+                            const std::string& value);
+
+  // ---- checking ----
+  std::vector<OracleViolation> check(CheckMode mode) const;
+  static std::string describe(const std::vector<OracleViolation>& violations);
+
+  int64_t op_count() const { return static_cast<int64_t>(ops_.size()); }
+  int64_t completed_ok_count() const;
+
+  // Linearizability is exponential in ops-per-key; histories above this
+  // bound per key are rejected with a violation rather than checked.
+  static constexpr size_t kMaxOpsPerKey = 62;
+
+ private:
+  struct Op {
+    enum class Type { kPut, kGet };
+    Type type = Type::kPut;
+    std::string client;
+    std::string key;
+    std::string value;  // put: written value; get: returned ("" = absent)
+    int64_t version = 0;
+    std::string served_by;
+    TimePoint invoked;
+    TimePoint completed = TimePoint::max();
+    bool done = false;
+    bool ok = false;
+  };
+
+  struct ReplicaFinal {
+    int64_t version = 0;
+    TimePoint last_modified;
+    std::string origin;
+    std::string value;
+  };
+
+  std::map<std::string, std::vector<const Op*>> ops_by_key() const;
+
+  void check_key_linearizable(const std::string& key,
+                              const std::vector<const Op*>& ops,
+                              std::vector<OracleViolation>& out) const;
+  void check_key_primary_order(const std::string& key,
+                               const std::vector<const Op*>& ops,
+                               std::vector<OracleViolation>& out) const;
+  void check_key_eventual(const std::string& key,
+                          const std::vector<const Op*>& ops,
+                          std::vector<OracleViolation>& out) const;
+
+  std::vector<Op> ops_;
+  // key -> replica -> final observed state
+  std::map<std::string, std::map<std::string, ReplicaFinal>> finals_;
+};
+
+}  // namespace wiera::sim

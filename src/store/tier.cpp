@@ -50,7 +50,40 @@ Duration StorageTier::service_time(Duration base, int64_t bytes) {
     const double k = std::max(0.5, 1.0 + spec_.jitter_fraction * rng_.gaussian());
     t = t * k;
   }
+  const TimePoint now = sim_->now();
+  for (const auto& f : faults_) {
+    if (f.slowdown > 1.0 && now >= f.from && now < f.until) {
+      t = t * f.slowdown;
+    }
+  }
   return t;
+}
+
+void StorageTier::inject_slowdown(double factor, TimePoint from,
+                                  TimePoint until) {
+  FaultWindow w;
+  w.slowdown = factor;
+  w.from = from;
+  w.until = until;
+  faults_.push_back(w);
+}
+
+void StorageTier::inject_write_errors(TimePoint from, TimePoint until) {
+  FaultWindow w;
+  w.write_error = true;
+  w.from = from;
+  w.until = until;
+  faults_.push_back(w);
+}
+
+Status StorageTier::write_fault() const {
+  const TimePoint now = sim_->now();
+  for (const auto& f : faults_) {
+    if (f.write_error && now >= f.from && now < f.until) {
+      return resource_exhausted("injected ENOSPC on tier " + spec_.name);
+    }
+  }
+  return ok_status();
 }
 
 // ---------------------------------------------------------------- MemoryTier
@@ -78,6 +111,7 @@ void MemoryTier::evict_until_fits(int64_t incoming_bytes) {
 
 sim::Task<Status> MemoryTier::put(std::string key, Blob value,
                                   IoOptions /*opts*/) {
+  if (Status fault = write_fault(); !fault.ok()) co_return fault;
   const auto bytes = static_cast<int64_t>(value.size());
   if (spec_.capacity_bytes > 0 && bytes > spec_.capacity_bytes) {
     co_return resource_exhausted("object larger than memory tier");
@@ -180,6 +214,7 @@ void BlockTier::cache_erase(const std::string& key) {
 }
 
 sim::Task<Status> BlockTier::put(std::string key, Blob value, IoOptions opts) {
+  if (Status fault = write_fault(); !fault.ok()) co_return fault;
   const auto bytes = static_cast<int64_t>(value.size());
   const bool had = contains(key);
   const int64_t old_bytes =
@@ -253,6 +288,7 @@ sim::Task<Status> BlockTier::remove(std::string key) {
 
 sim::Task<Status> ObjectTier::put(std::string key, Blob value,
                                   IoOptions /*opts*/) {
+  if (Status fault = write_fault(); !fault.ok()) co_return fault;
   const auto bytes = static_cast<int64_t>(value.size());
   co_await sim_->delay(service_time(spec_.write_base, bytes));
   auto it = entries_.find(key);

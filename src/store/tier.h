@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/rng.h"
@@ -112,15 +113,35 @@ class StorageTier {
     spec_.capacity_bytes += additional_bytes;
   }
 
+  // ---- fault injection (chaos harness) ----
+  // Multiply every service time by `factor` during [from, until) — a
+  // degraded device or noisy neighbor.
+  void inject_slowdown(double factor, TimePoint from, TimePoint until);
+  // Writes fail with kResourceExhausted (ENOSPC) during [from, until);
+  // reads keep working.
+  void inject_write_errors(TimePoint from, TimePoint until);
+  void clear_faults() { faults_.clear(); }
+
  protected:
   // Sampled service time: base + payload/bandwidth, with multiplicative
-  // jitter.
+  // jitter and any active injected slowdown.
   Duration service_time(Duration base, int64_t bytes);
+
+  // Non-OK while a write-error window is active; every put checks this.
+  Status write_fault() const;
+
+  struct FaultWindow {
+    double slowdown = 1.0;
+    bool write_error = false;
+    TimePoint from;
+    TimePoint until;
+  };
 
   sim::Simulation* sim_;
   TierSpec spec_;
   TierStats stats_;
   Rng rng_;
+  std::vector<FaultWindow> faults_;
 };
 
 // ---------------------------------------------------------------- MemoryTier
@@ -184,6 +205,13 @@ class BlockTier final : public StorageTier {
   // Models "running a memory-intensive application" (paper §5.3): the page
   // cache is effectively gone.
   void set_memory_pressure(bool pressure) { memory_pressure_ = pressure; }
+
+  // A host crash empties the OS page cache (data on the device survives).
+  void drop_cache() {
+    cache_.clear();
+    cache_lru_.clear();
+    cache_bytes_ = 0;
+  }
 
  private:
   // Reserve the next device slot under the IOPS throttle; returns the time

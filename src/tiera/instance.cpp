@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -258,6 +259,44 @@ sim::Task<Status> TieraInstance::remove_version(std::string key,
   co_return meta_.remove_version(key, version);
 }
 
+void TieraInstance::wipe_volatile() {
+  std::set<std::string> wiped;
+  for (auto& [label, tier] : tiers_) {
+    if (auto* mem = dynamic_cast<store::MemoryTier*>(tier.get())) {
+      mem->wipe();
+      wiped.insert(label);
+    } else if (auto* blk = dynamic_cast<store::BlockTier*>(tier.get())) {
+      blk->drop_cache();
+    }
+  }
+  if (wiped.empty()) return;
+  // Versions whose recorded location was a wiped tier are gone: drop their
+  // metadata so a catch-up resync can re-apply them (a surviving metadata
+  // row would make LWW reject the re-sent payload as a stale duplicate).
+  for (const std::string& key : meta_.keys()) {
+    const metadb::ObjectMeta* obj = meta_.find(key);
+    if (obj == nullptr) continue;
+    std::vector<int64_t> lost;
+    for (const auto& [version, vm] : obj->versions) {
+      if (wiped.count(vm.tier) > 0) lost.push_back(version);
+    }
+    for (int64_t version : lost) {
+      (void)meta_.remove_version(key, version);
+    }
+  }
+}
+
+bool TieraInstance::lww_wins(const LwwSample& incoming,
+                             const LwwSample& local) {
+  if (incoming.version != local.version) {
+    return incoming.version > local.version;
+  }
+  if (incoming.last_modified != local.last_modified) {
+    return incoming.last_modified > local.last_modified;
+  }
+  return incoming.origin > local.origin;
+}
+
 sim::Task<Result<bool>> TieraInstance::apply_remote_update(
     RemoteUpdate update) {
   // Last-write-wins (§4.2): accept when the incoming version is newer, or
@@ -266,16 +305,15 @@ sim::Task<Result<bool>> TieraInstance::apply_remote_update(
   // break deterministically on origin id so all replicas pick one winner.
   const metadb::ObjectMeta* obj = meta_.find(update.key);
   if (obj != nullptr && !obj->versions.empty()) {
-    const int64_t local_latest = obj->latest_version();
     const metadb::VersionMeta* local = obj->latest();
-    if (update.version < local_latest) co_return false;
-    if (update.version == local_latest) {
-      if (update.last_modified < local->last_modified) co_return false;
-      if (update.last_modified == local->last_modified &&
-          update.origin <= local->origin) {
-        co_return false;
-      }
-    }
+    const LwwSample incoming{update.version, update.last_modified,
+                             update.origin};
+    const LwwSample current{obj->latest_version(), local->last_modified,
+                            local->origin};
+    const bool wins = config_.lww_override
+                          ? config_.lww_override(incoming, current)
+                          : lww_wins(incoming, current);
+    if (!wins) co_return false;
   }
 
   metadb::VersionMeta& vm = meta_.upsert_version(update.key, update.version);

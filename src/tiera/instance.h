@@ -39,6 +39,14 @@ struct PutResult {
   int64_t version = 0;
 };
 
+// The three fields last-write-wins compares (§4.2); see
+// TieraInstance::lww_wins.
+struct LwwSample {
+  int64_t version = 0;
+  TimePoint last_modified;
+  std::string origin;
+};
+
 struct GetResult {
   Blob value;
   int64_t version = 0;
@@ -70,6 +78,12 @@ class TieraInstance {
     // applied after defaults, keyed by tier label.
     std::function<void(const std::string& label, store::TierSpec&)>
         tier_tweak;
+    // Test-only override of the LWW comparator. The chaos suite's mutation
+    // test installs a deliberately broken comparator on one replica and
+    // asserts the consistency oracle notices the divergence. Null = use
+    // lww_wins.
+    std::function<bool(const LwwSample& incoming, const LwwSample& local)>
+        lww_override;
   };
 
   TieraInstance(sim::Simulation& sim, Config config);
@@ -127,6 +141,18 @@ class TieraInstance {
   // Apply an update received from another instance. Returns true if
   // accepted, false if rejected by last-write-wins.
   sim::Task<Result<bool>> apply_remote_update(RemoteUpdate update);
+
+  // Last-write-wins (§4.2): true when `incoming` beats `local`. Higher
+  // version wins; version ties go to the later last_modified; exact
+  // timestamp ties break deterministically on origin id so every replica
+  // picks the same winner.
+  static bool lww_wins(const LwwSample& incoming, const LwwSample& local);
+
+  // Crash semantics: volatile (memory) tier contents are lost and block-tier
+  // page caches are dropped; metadata and durable-tier payloads survive (the
+  // paper persists metadata in BerkeleyDB). Versions whose only copy lived
+  // in memory become unreadable until catch-up resync restores them.
+  void wipe_volatile();
 
   // ---- dynamic tier management ----
   // Tiera supports adding/removing tiers at run time (the modular-instance

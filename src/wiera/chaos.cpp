@@ -1,0 +1,83 @@
+#include "wiera/chaos.h"
+
+#include "common/logging.h"
+
+namespace wiera::geo {
+
+namespace {
+constexpr char kComponent[] = "chaos";
+}  // namespace
+
+void ChaosHost::on_node_crash(const sim::FaultEvent& e) {
+  // The node is unreachable until the restart time; in-flight messages
+  // touching the outage window are lost (Topology::node_down_during).
+  network_->topology().inject_outage(e.node, e.at, e.until);
+  WieraPeer* peer = controller_->peer(e.node);
+  if (peer != nullptr) {
+    peer->on_crash();
+  } else {
+    WLOG_WARN(kComponent) << "crash of unknown peer " << e.node;
+  }
+}
+
+void ChaosHost::on_node_restart(const sim::FaultEvent& e) {
+  // The outage window installed at crash time expires on its own, and the
+  // peer restarted in recovering state; the controller's next heartbeat
+  // notices and drives catch-up. Nothing to do but note the moment.
+  WLOG_INFO(kComponent) << e.node << " restarting (recovering until catch-up)";
+}
+
+void ChaosHost::on_partition(const sim::FaultEvent& e) {
+  net::Topology& topo = network_->topology();
+  for (const std::string& other : topo.node_names()) {
+    if (other == e.node) continue;
+    switch (e.direction) {
+      case sim::PartitionDirection::kBoth:
+        topo.inject_partition(e.node, other, e.at, e.until,
+                              /*bidirectional=*/true);
+        break;
+      case sim::PartitionDirection::kOutbound:
+        // The node's own packets are lost; it still hears the world.
+        topo.inject_partition(e.node, other, e.at, e.until,
+                              /*bidirectional=*/false);
+        break;
+      case sim::PartitionDirection::kInbound:
+        // Nobody can reach the node; its packets get out.
+        topo.inject_partition(other, e.node, e.at, e.until,
+                              /*bidirectional=*/false);
+        break;
+    }
+  }
+}
+
+void ChaosHost::on_message_chaos(const sim::FaultEvent& e) {
+  net::ChaosWindow window;
+  window.node = e.node;
+  window.from = e.at;
+  window.until = e.until;
+  window.drop_prob = e.drop_prob;
+  window.dup_prob = e.dup_prob;
+  window.max_extra_delay = e.max_extra_delay;
+  network_->inject_chaos(std::move(window));
+}
+
+void ChaosHost::on_latency_spike(const sim::FaultEvent& e) {
+  network_->topology().inject_node_delay(e.node, e.extra_delay, e.at, e.until);
+}
+
+void ChaosHost::on_tier_fault(const sim::FaultEvent& e) {
+  WieraPeer* peer = controller_->peer(e.node);
+  if (peer == nullptr) {
+    WLOG_WARN(kComponent) << "tier fault on unknown peer " << e.node;
+    return;
+  }
+  for (const std::string& label : peer->local().tier_labels()) {
+    if (!e.tier_label.empty() && label != e.tier_label) continue;
+    store::StorageTier* tier = peer->local().tier_by_label(label);
+    if (tier == nullptr) continue;
+    if (e.slowdown != 1.0) tier->inject_slowdown(e.slowdown, e.at, e.until);
+    if (e.enospc) tier->inject_write_errors(e.at, e.until);
+  }
+}
+
+}  // namespace wiera::geo

@@ -1,0 +1,40 @@
+// geo::ChaosHost — the concrete FaultSurface for a running Wiera cluster.
+//
+// The sim-layer FaultInjector walks a FaultPlan and calls back into this
+// adapter, which maps each typed event onto the real hooks:
+//   * crash      -> topology outage window + WieraPeer::on_crash() (volatile
+//                   state lost, replication queue dropped, recovering latch);
+//                   the controller's heartbeat later drives catch-up resync;
+//   * partition  -> pairwise topology partition windows isolating the node
+//                   from every other node, in the event's direction;
+//   * msg chaos  -> a net::Network ChaosWindow (drop/duplicate/extra delay);
+//   * spike      -> a topology per-node delay window;
+//   * tier fault -> slowdown / ENOSPC windows on the peer's storage tiers.
+#pragma once
+
+#include <string>
+
+#include "net/network.h"
+#include "sim/faults.h"
+#include "wiera/controller.h"
+
+namespace wiera::geo {
+
+class ChaosHost : public sim::FaultSurface {
+ public:
+  ChaosHost(net::Network& network, WieraController& controller)
+      : network_(&network), controller_(&controller) {}
+
+  void on_node_crash(const sim::FaultEvent& e) override;
+  void on_node_restart(const sim::FaultEvent& e) override;
+  void on_partition(const sim::FaultEvent& e) override;
+  void on_message_chaos(const sim::FaultEvent& e) override;
+  void on_latency_spike(const sim::FaultEvent& e) override;
+  void on_tier_fault(const sim::FaultEvent& e) override;
+
+ private:
+  net::Network* network_;
+  WieraController* controller_;
+};
+
+}  // namespace wiera::geo

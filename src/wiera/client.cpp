@@ -18,6 +18,24 @@ WieraClient::WieraClient(sim::Simulation& sim, net::Network& network,
                    });
 }
 
+sim::Task<Result<rpc::Message>> WieraClient::call_any(
+    std::string rpc_method, std::function<rpc::Message()> make_request) {
+  Result<rpc::Message> resp = internal_error("no peers");
+  const size_t attempts = peer_ids_.size();
+  for (size_t i = 0; i < attempts; ++i) {
+    const std::string peer = peer_ids_.front();
+    rpc::Message msg = make_request();
+    resp = co_await endpoint_->call(peer, rpc_method, std::move(msg));
+    if (resp.ok()) co_return resp;
+    if (resp.status().code() != StatusCode::kUnavailable) co_return resp;
+    // Preferred instance unreachable (§4.4): one failover, then demote it
+    // so subsequent operations go straight to the next-closest peer.
+    failovers_++;
+    std::rotate(peer_ids_.begin(), peer_ids_.begin() + 1, peer_ids_.end());
+  }
+  co_return resp;
+}
+
 sim::Task<Result<PutResponse>> WieraClient::put(std::string key, Blob value) {
   co_return co_await update(std::move(key), 0, std::move(value));
 }
@@ -32,14 +50,8 @@ sim::Task<Result<PutResponse>> WieraClient::update(std::string key,
   req.client = client_id_;
   req.version = version;
 
-  Result<rpc::Message> resp = internal_error("no peers");
-  for (const std::string& peer : peer_ids_) {
-    rpc::Message msg = encode(req);
-    resp = co_await endpoint_->call(peer, method::kClientPut, std::move(msg));
-    if (resp.ok()) break;
-    if (resp.status().code() != StatusCode::kUnavailable) break;
-    failovers_++;  // closest instance down: try the next one (§4.4)
-  }
+  Result<rpc::Message> resp =
+      co_await call_any(method::kClientPut, [&] { return encode(req); });
   if (!resp.ok()) co_return resp.status();
   auto decoded = decode_put_response(*resp);
   if (!decoded.ok()) co_return decoded.status();
@@ -59,14 +71,8 @@ sim::Task<Result<GetResponse>> WieraClient::get_version(std::string key,
   req.version = version;
   req.client = client_id_;
 
-  Result<rpc::Message> resp = internal_error("no peers");
-  for (const std::string& peer : peer_ids_) {
-    rpc::Message msg = encode(req);
-    resp = co_await endpoint_->call(peer, method::kClientGet, std::move(msg));
-    if (resp.ok()) break;
-    if (resp.status().code() != StatusCode::kUnavailable) break;
-    failovers_++;
-  }
+  Result<rpc::Message> resp =
+      co_await call_any(method::kClientGet, [&] { return encode(req); });
   if (!resp.ok()) co_return resp.status();
   auto decoded = decode_get_response(*resp);
   if (!decoded.ok()) co_return decoded.status();
@@ -79,15 +85,8 @@ sim::Task<Result<std::vector<int64_t>>> WieraClient::get_version_list(
   GetRequest req;
   req.key = std::move(key);
   req.client = client_id_;
-  Result<rpc::Message> resp = internal_error("no peers");
-  for (const std::string& peer : peer_ids_) {
-    rpc::Message msg = encode(req);
-    resp = co_await endpoint_->call(peer, method::kVersionList,
-                                    std::move(msg));
-    if (resp.ok()) break;
-    if (resp.status().code() != StatusCode::kUnavailable) break;
-    failovers_++;
-  }
+  Result<rpc::Message> resp =
+      co_await call_any(method::kVersionList, [&] { return encode(req); });
   if (!resp.ok()) co_return resp.status();
   auto decoded = decode_version_list(*resp);
   if (!decoded.ok()) co_return decoded.status();
@@ -104,14 +103,8 @@ sim::Task<Status> WieraClient::remove_version(std::string key,
   req.key = std::move(key);
   req.version = version;
   req.propagate = true;
-  Result<rpc::Message> resp = internal_error("no peers");
-  for (const std::string& peer : peer_ids_) {
-    rpc::Message msg = encode(req);
-    resp = co_await endpoint_->call(peer, method::kRemove, std::move(msg));
-    if (resp.ok()) break;
-    if (resp.status().code() != StatusCode::kUnavailable) break;
-    failovers_++;
-  }
+  Result<rpc::Message> resp =
+      co_await call_any(method::kRemove, [&] { return encode(req); });
   if (!resp.ok()) co_return resp.status();
   co_return decode_status(*resp);
 }

@@ -7,6 +7,7 @@
 // perceives it: from issuing the request to receiving the response.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +47,13 @@ class WieraClient {
   int64_t failovers() const { return failovers_; }
 
  private:
+  // Issue `rpc_method` against the preferred peer; on kUnavailable demote
+  // that peer to the back of the preference order (counting one failover)
+  // and try the next, so a crashed primary costs exactly one failover
+  // instead of one per subsequent operation (§4.4).
+  sim::Task<Result<rpc::Message>> call_any(
+      std::string rpc_method, std::function<rpc::Message()> make_request);
+
   sim::Simulation* sim_;
   std::string client_id_;
   std::unique_ptr<rpc::Endpoint> endpoint_;

@@ -155,6 +155,10 @@ Result<std::vector<std::string>> WieraController::start_instances(
     peer_config.is_primary = region.primary();
     peer_config.lock_service_node = config_.node;
     peer_config.queue_flush_interval = options.queue_flush_interval;
+    if (config_.serve_lease > Duration::zero()) {
+      peer_config.serve_lease = config_.serve_lease;
+      peer_config.lease_authority = config_.node;
+    }
     peer_config.forwarding_only =
         region.instance_name() == "ForwardingInstance";
     peer_config.dynamic_consistency_policy = options.dynamic_consistency;
@@ -179,6 +183,7 @@ Result<std::vector<std::string>> WieraController::start_instances(
 
   // Propagate membership + primary, wire the control plane, start peers.
   for (const std::string& id : record.peer_ids) {
+    lease_seen_[id] = sim_->now();
     WieraPeer* p = peer_by_id_internal(id);
     p->set_peers(record.peer_ids);
     p->set_storage_peers(record.storage_peer_ids);
@@ -402,6 +407,25 @@ void WieraController::register_handlers() {
         Status st = co_await change_consistency(std::move(wiera_id), *mode);
         co_return encode_status(st);
       });
+  // Serve-lease renewal: record when each peer last proved round-trip
+  // reachability. The renewal time gates membership narrowing: because the
+  // controller's record is always at least as fresh as the peer's own
+  // (the response can be lost after the handler runs, never the reverse),
+  // "lease stale here" implies "lease lapsed at the peer".
+  endpoint_->register_handler(
+      method::kLeaseRenew,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        rpc::WireReader r(msg.body);
+        std::string instance_id = r.get_string();
+        if (!r.ok()) co_return r.status();
+        lease_seen_[instance_id] = sim_->now();
+        co_return encode_status(ok_status());
+      });
+  endpoint_->register_handler(
+      method::kPing,
+      [](rpc::Message) -> sim::Task<Result<rpc::Message>> {
+        co_return encode_status(ok_status());
+      });
   endpoint_->register_handler(
       kChangePrimaryMethod,
       [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
@@ -424,11 +448,162 @@ sim::Task<void> WieraController::heartbeat_loop() {
         rpc::Message ping;
         auto resp = co_await endpoint_->call(id, method::kPing,
                                              std::move(ping));
-        node_alive_[id] = resp.ok();
+        auto prev = node_alive_.find(id);
+        const bool was_alive = prev == node_alive_.end() || prev->second;
+        const bool alive = resp.ok();
+        node_alive_[id] = alive;
+        if (alive) {
+          down_handled_.erase(id);
+        } else if (down_handled_.count(id) == 0) {
+          // Narrowing membership around an unreachable peer is only safe
+          // once its serve lease has provably lapsed: lease_seen_ upper-
+          // bounds the peer's own last renewal, so waiting one heartbeat
+          // past the lease guarantees the peer is already refusing
+          // strong-mode reads before anyone stops replicating to it.
+          bool lease_lapsed = true;
+          if (config_.serve_lease > Duration::zero()) {
+            auto seen = lease_seen_.find(id);
+            lease_lapsed = seen == lease_seen_.end() ||
+                           sim_->now() - seen->second >
+                               config_.serve_lease + config_.heartbeat_interval;
+          }
+          if (lease_lapsed) {
+            down_handled_.insert(id);
+            handle_peer_down(id);
+          }
+        }
+        // A peer that answers but is recovering (crash restart, lapsed
+        // serve lease) gets a controller-driven catch-up before it rejoins.
+        WieraPeer* p = peer_by_id_internal(id);
+        const bool needs_recovery =
+            alive && p != nullptr && (!was_alive || p->recovering());
+        if (needs_recovery && catching_up_.insert(id).second) {
+          for (auto& [wiera_id, record] : instances_) {
+            if (std::find(record.peer_ids.begin(), record.peer_ids.end(),
+                          id) == record.peer_ids.end()) {
+              continue;
+            }
+            sim_->spawn(recover_peer(wiera_id, id),
+                        "controller.recover/" + id);
+            break;
+          }
+        }
       }
     }
     if (config_.min_replicas > 0) maintain_replicas();
   }
+}
+
+void WieraController::handle_peer_down(const std::string& peer_id) {
+  for (auto& [wiera_id, record] : instances_) {
+    if (std::find(record.peer_ids.begin(), record.peer_ids.end(), peer_id) ==
+        record.peer_ids.end()) {
+      continue;
+    }
+    if (record.primary == peer_id) {
+      // §4.4 failover: promote the first live storage peer.
+      for (const std::string& candidate : record.storage_peer_ids) {
+        if (candidate == peer_id) continue;
+        auto alive = node_alive_.find(candidate);
+        if (alive != node_alive_.end() && !alive->second) continue;
+        record.primary = candidate;
+        primary_changes_++;
+        WLOG_INFO(kComponent) << wiera_id << " primary failover: " << peer_id
+                              << " -> " << candidate;
+        break;
+      }
+    }
+    push_membership(wiera_id, record);
+  }
+}
+
+void WieraController::push_membership(const std::string& wiera_id,
+                                      InstanceRecord& record) {
+  // Narrow replication to the live storage peers so strong-mode puts stop
+  // waiting on the dead node; a recovered peer is restored to the set by
+  // the next push after its catch-up.
+  std::vector<std::string> live_storage;
+  for (const std::string& id : record.storage_peer_ids) {
+    auto alive = node_alive_.find(id);
+    if (alive == node_alive_.end() || alive->second) live_storage.push_back(id);
+  }
+  for (const std::string& id : record.peer_ids) {
+    auto alive = node_alive_.find(id);
+    if (alive != node_alive_.end() && !alive->second) continue;
+    WieraPeer* p = peer_by_id_internal(id);
+    if (p == nullptr) continue;
+    p->set_peers(record.peer_ids);
+    p->set_storage_peers(live_storage);
+    p->apply_primary_change(record.primary);
+  }
+  WLOG_INFO(kComponent) << wiera_id << " membership pushed ("
+                        << live_storage.size() << "/"
+                        << record.storage_peer_ids.size()
+                        << " storage peers live, primary " << record.primary
+                        << ")";
+}
+
+sim::Task<void> WieraController::recover_peer(std::string wiera_id,
+                                              std::string peer_id) {
+  WieraPeer* p = peer_by_id_internal(peer_id);
+  auto it = instances_.find(wiera_id);
+  if (p == nullptr || it == instances_.end()) {
+    catching_up_.erase(peer_id);
+    co_return;
+  }
+  p->begin_recovery();
+
+  // Catch-up sources: the primary first (in primary-backup modes it has
+  // every committed write), then the other live, settled storage peers.
+  std::vector<std::string> sources;
+  auto add_source = [&](const std::string& candidate) {
+    if (candidate.empty() || candidate == peer_id) return;
+    if (std::find(sources.begin(), sources.end(), candidate) !=
+        sources.end()) {
+      return;
+    }
+    auto alive = node_alive_.find(candidate);
+    if (alive != node_alive_.end() && !alive->second) return;
+    WieraPeer* src = peer_by_id_internal(candidate);
+    if (src == nullptr || src->recovering()) return;
+    sources.push_back(candidate);
+  };
+  add_source(it->second.primary);
+  for (const std::string& candidate : it->second.storage_peer_ids) {
+    add_source(candidate);
+  }
+
+  Status st = co_await p->catch_up(sources);
+  if (!st.ok()) {
+    // Leave the peer recovering; the next heartbeat retries.
+    WLOG_WARN(kComponent) << peer_id << " catch-up failed: "
+                          << st.to_string();
+    catching_up_.erase(peer_id);
+    co_return;
+  }
+  // Re-find the record: the instance may have been stopped while we were
+  // pulling state.
+  auto post = instances_.find(wiera_id);
+  if (post != instances_.end()) {
+    push_membership(wiera_id, post->second);
+  }
+  // Second pull, after rejoining the replication membership: a put whose
+  // fan-out was computed before the rejoin may have committed at the source
+  // after the first snapshot was taken. Every such put has fully committed
+  // by now (its membership check preceded the rejoin), so this snapshot
+  // closes the gap; puts fanning out after the rejoin reach this peer
+  // directly (replicate_to_all re-checks membership before completing).
+  Status delta = co_await p->catch_up(sources);
+  if (!delta.ok()) {
+    WLOG_WARN(kComponent) << peer_id << " delta catch-up failed: "
+                          << delta.to_string();
+    catching_up_.erase(peer_id);
+    co_return;
+  }
+  p->finish_recovery();
+  recoveries_completed_++;
+  WLOG_INFO(kComponent) << peer_id << " recovered and rejoined " << wiera_id;
+  catching_up_.erase(peer_id);
 }
 
 void WieraController::maintain_replicas() {
@@ -502,6 +677,10 @@ void WieraController::maintain_replicas() {
 void WieraController::start() {
   if (running_) return;
   running_ = true;
+  if (config_.lock_lease > Duration::zero()) {
+    lock_service_->set_lease(config_.lock_lease);
+    lock_service_->start_lease_reaper(config_.heartbeat_interval);
+  }
   sim_->spawn(heartbeat_loop(), "controller.heartbeat");
 }
 

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,18 @@ class WieraController {
     Duration heartbeat_interval = sec(1);
     // Minimum live replicas per Wiera instance; 0 disables maintenance.
     int min_replicas = 0;
+    // When nonzero, locks are leased: a holder that crashes mid-critical-
+    // section is evicted after this long so waiters make progress
+    // (ZooKeeper ephemeral-node semantics). Zero keeps locks indefinite.
+    Duration lock_lease = Duration::zero();
+    // When nonzero, every launched peer gets this serve lease (it refuses
+    // strong-mode client ops once it has gone this long without a
+    // successful lease renewal against this controller). The controller in
+    // turn narrows replication membership around an unreachable peer only
+    // after the peer's lease has provably lapsed — that ordering guarantees
+    // an isolated replica is refusing reads before anyone stops
+    // replicating to it. Zero disables both sides (seed behaviour).
+    Duration serve_lease = Duration::zero();
   };
 
   // How to launch a Wiera instance from a global policy document.
@@ -111,6 +124,7 @@ class WieraController {
   int64_t consistency_changes() const { return consistency_changes_; }
   int64_t primary_changes() const { return primary_changes_; }
   int64_t replacements_spawned() const { return replacements_spawned_; }
+  int64_t recoveries_completed() const { return recoveries_completed_; }
 
   // §3.1 monitors, fed by every peer this controller launches, and the
   // placement advisor built on them.
@@ -146,6 +160,12 @@ class WieraController {
   // §4.4: if an instance has fewer than min_replicas live peers, spawn a
   // replacement on a spare Tiera server.
   void maintain_replicas();
+  // Liveness transitions driven by the heartbeat: a peer went down (primary
+  // failover + membership narrowed to live nodes) or came back (catch-up
+  // resync, then rejoin).
+  void handle_peer_down(const std::string& peer_id);
+  void push_membership(const std::string& wiera_id, InstanceRecord& record);
+  sim::Task<void> recover_peer(std::string wiera_id, std::string peer_id);
 
   sim::Simulation* sim_;
   net::Network* network_;
@@ -157,9 +177,18 @@ class WieraController {
   std::map<std::string, InstanceRecord> instances_;
   std::map<std::string, bool> node_alive_;
   bool running_ = false;
+  // Peers with a recovery task in flight (one at a time per peer).
+  std::set<std::string> catching_up_;
+  // Last lease renewal received per peer (conservative upper bound on the
+  // peer's own view of its lease).
+  std::map<std::string, TimePoint> lease_seen_;
+  // Peers whose down-transition has been handled (failover + narrowing);
+  // cleared when the peer answers pings again.
+  std::set<std::string> down_handled_;
   int64_t consistency_changes_ = 0;
   int64_t primary_changes_ = 0;
   int64_t replacements_spawned_ = 0;
+  int64_t recoveries_completed_ = 0;
   NetworkMonitor network_monitor_;
   WorkloadMonitor workload_monitor_;
   PlacementAdvisor advisor_;

@@ -178,6 +178,50 @@ Result<RemoveRequest> decode_remove_request(const rpc::Message& msg) {
   return out;
 }
 
+rpc::Message encode(const SyncPullRequest& m) {
+  rpc::WireWriter w;
+  w.put_string(m.requester);
+  return rpc::Message{w.take()};
+}
+
+Result<SyncPullRequest> decode_sync_pull_request(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  SyncPullRequest out;
+  out.requester = r.get_string();
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const SyncPullResponse& m) {
+  rpc::WireWriter w;
+  w.put_u32(static_cast<uint32_t>(m.entries.size()));
+  for (const ReplicateRequest& e : m.entries) {
+    w.put_string(e.key);
+    w.put_i64(e.version);
+    w.put_blob(e.value);
+    w.put_i64(e.last_modified.us());
+    w.put_string(e.origin);
+  }
+  return rpc::Message{w.take()};
+}
+
+Result<SyncPullResponse> decode_sync_pull_response(const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  SyncPullResponse out;
+  const uint32_t n = r.get_u32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    ReplicateRequest e;
+    e.key = r.get_string();
+    e.version = r.get_i64();
+    e.value = r.get_blob();
+    e.last_modified = TimePoint(r.get_i64());
+    e.origin = r.get_string();
+    out.entries.push_back(std::move(e));
+  }
+  if (!r.ok()) return r.status();
+  return out;
+}
+
 rpc::Message encode_status(const Status& st) {
   rpc::WireWriter w;
   w.put_bool(st.ok());

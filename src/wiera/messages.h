@@ -32,6 +32,14 @@ inline constexpr char kColdFetch[] = "peer.cold_fetch";
 inline constexpr char kVersionList[] = "peer.version_list";
 inline constexpr char kRemove[] = "peer.remove";
 inline constexpr char kRemoveVersion[] = "peer.remove_version";
+// Catch-up resync after crash/partition recovery: pull every key's latest
+// committed version from a healthy peer.
+inline constexpr char kSyncPull[] = "peer.sync_pull";
+// Serve-lease renewal: a peer proves round-trip reachability to the
+// controller (body = instance id). The controller records the renewal time
+// and will not narrow replication membership around a peer whose lease
+// could still be valid — that ordering is what makes the lease sound.
+inline constexpr char kLeaseRenew[] = "wui.lease_renew";
 }  // namespace method
 
 struct PutRequest {
@@ -93,6 +101,17 @@ struct RemoveRequest {
   bool propagate = true;    // false on replica-to-replica fan-out
 };
 
+// Catch-up resync (recovery after crash/partition): the source answers with
+// its latest committed version of every key, as replication entries the
+// puller merges through LWW.
+struct SyncPullRequest {
+  std::string requester;
+};
+
+struct SyncPullResponse {
+  std::vector<ReplicateRequest> entries;
+};
+
 // ---- encode/decode ----
 
 rpc::Message encode(const PutRequest& m);
@@ -119,6 +138,11 @@ rpc::Message encode(const VersionListResponse& m);
 Result<VersionListResponse> decode_version_list(const rpc::Message& msg);
 rpc::Message encode(const RemoveRequest& m);
 Result<RemoveRequest> decode_remove_request(const rpc::Message& msg);
+
+rpc::Message encode(const SyncPullRequest& m);
+Result<SyncPullRequest> decode_sync_pull_request(const rpc::Message& msg);
+rpc::Message encode(const SyncPullResponse& m);
+Result<SyncPullResponse> decode_sync_pull_response(const rpc::Message& msg);
 
 // Status-only payload (acknowledgements / errors carried in-band).
 rpc::Message encode_status(const Status& st);

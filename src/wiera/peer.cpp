@@ -118,7 +118,12 @@ void WieraPeer::start() {
   started_ = true;
   stopping_ = false;
   local_->start();
+  last_contact_ = sim_->now();
   sim_->spawn(queue_flusher(), config_.instance_id + "/queue-flusher");
+  if (config_.serve_lease > Duration::zero()) {
+    sim_->spawn(availability_loop(),
+                config_.instance_id + "/availability-loop");
+  }
   if (config_.change_primary_policy.has_value()) {
     sim_->spawn(requests_monitor_loop(),
                 config_.instance_id + "/requests-monitor");
@@ -244,6 +249,29 @@ void WieraPeer::register_handlers() {
         co_return encode_status(st);
       });
   endpoint_->register_handler(
+      method::kSyncPull,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_sync_pull_request(msg);
+        if (!req.ok()) co_return req.status();
+        SyncPullResponse out;
+        for (const std::string& key : local_->meta().keys()) {
+          const metadb::ObjectMeta* obj = local_->meta().find(key);
+          if (obj == nullptr) continue;
+          const metadb::VersionMeta* vm = obj->latest_committed();
+          if (vm == nullptr) continue;
+          auto value = co_await local_->get_version(key, vm->version);
+          if (!value.ok()) continue;  // payload lost (volatile-only copy)
+          ReplicateRequest entry;
+          entry.key = key;
+          entry.version = vm->version;
+          entry.value = std::move(value->value);
+          entry.last_modified = vm->last_modified;
+          entry.origin = vm->origin;
+          out.entries.push_back(std::move(entry));
+        }
+        co_return encode(out);
+      });
+  endpoint_->register_handler(
       method::kColdStore,
       [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
         auto req = decode_replicate_request(msg);
@@ -285,6 +313,7 @@ void WieraPeer::register_handlers() {
 // ---------------------------------------------------------------- data plane
 
 sim::Task<Result<PutResponse>> WieraPeer::client_put(PutRequest request) {
+  if (Status gate = availability_gate(); !gate.ok()) co_return gate;
   co_await wait_if_blocked();
   op_started();
   const TimePoint start = sim_->now();
@@ -406,6 +435,7 @@ sim::Task<Result<PutResponse>> WieraPeer::put_local_and_replicate(
 }
 
 sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
+  if (Status gate = availability_gate(); !gate.ok()) co_return gate;
   co_await wait_if_blocked();
   op_started();
   const TimePoint start = sim_->now();
@@ -494,6 +524,7 @@ std::vector<int64_t> WieraPeer::version_list(const std::string& key) const {
 }
 
 sim::Task<Status> WieraPeer::remove_key(RemoveRequest request) {
+  if (Status gate = availability_gate(); !gate.ok()) co_return gate;
   co_await wait_if_blocked();
   op_started();
   Status local_status;
@@ -536,37 +567,63 @@ sim::Task<Status> WieraPeer::remove_key(RemoveRequest request) {
 // ---------------------------------------------------------------- replication
 
 sim::Task<Status> WieraPeer::replicate_to_all(ReplicateRequest update) {
-  if (storage_peer_ids_.empty()) co_return ok_status();
-  std::vector<sim::Task<Status>> tasks;
-  tasks.reserve(storage_peer_ids_.size());
-  for (const std::string& peer_id : storage_peer_ids_) {
-    tasks.push_back(send_replicate(peer_id, update));
+  // Membership can widen while the fan-out is in flight (a recovered peer
+  // rejoining). Keep sending until the acknowledged set covers the current
+  // membership: a put must never report success while excluding a peer that
+  // became a replication target again mid-flight — its catch-up snapshot may
+  // predate this update, which would leave it permanently stale.
+  std::set<std::string> acked;
+  while (true) {
+    std::vector<std::string> targets;
+    for (const std::string& peer_id : storage_peer_ids_) {
+      if (acked.insert(peer_id).second) targets.push_back(peer_id);
+    }
+    if (targets.empty()) co_return ok_status();
+    std::vector<sim::Task<Status>> tasks;
+    tasks.reserve(targets.size());
+    for (const std::string& peer_id : targets) {
+      tasks.push_back(send_replicate(peer_id, update));
+    }
+    std::vector<Status> statuses =
+        co_await sim::when_all(*sim_, std::move(tasks));
+    for (const Status& st : statuses) {
+      if (!st.ok()) co_return st;
+    }
   }
-  std::vector<Status> statuses =
-      co_await sim::when_all(*sim_, std::move(tasks));
-  for (const Status& st : statuses) {
-    if (!st.ok()) co_return st;
-  }
-  co_return ok_status();
 }
 
 sim::Task<Status> WieraPeer::send_replicate(std::string peer_id,
                                             ReplicateRequest update) {
-  rpc::Message msg = encode(update);
-  replications_sent_++;
-  const TimePoint start = sim_->now();
-  const std::string target = peer_id;
-  auto resp = co_await endpoint_->call(std::move(peer_id), method::kReplicate,
-                                       std::move(msg));
-  if (config_.network_monitor != nullptr) {
-    config_.network_monitor->record_link_latency(config_.instance_id, target,
-                                                 sim_->now() - start);
+  const std::string target = std::move(peer_id);
+  Status last = unavailable("replicate: no attempt made");
+  for (int attempt = 0; attempt <= config_.replicate_retries; ++attempt) {
+    if (attempt > 0) {
+      replication_retries_++;
+      co_await sim_->delay(config_.replicate_backoff *
+                           static_cast<double>(int64_t{1} << (attempt - 1)));
+      if (stopping_) co_return last;
+    }
+    rpc::Message msg = encode(update);
+    replications_sent_++;
+    const TimePoint start = sim_->now();
+    auto resp = co_await endpoint_->call(target, method::kReplicate,
+                                         std::move(msg));
+    if (config_.network_monitor != nullptr) {
+      config_.network_monitor->record_link_latency(config_.instance_id, target,
+                                                   sim_->now() - start);
+    }
+    if (!resp.ok()) {
+      last = resp.status();
+      // Only unreachability is worth retrying; other errors are permanent.
+      if (last.code() == StatusCode::kUnavailable) continue;
+      co_return last;
+    }
+    auto decoded = decode_replicate_response(*resp);
+    if (!decoded.ok()) co_return decoded.status();
+    if (decoded->accepted) replications_accepted_++;
+    co_return ok_status();
   }
-  if (!resp.ok()) co_return resp.status();
-  auto decoded = decode_replicate_response(*resp);
-  if (!decoded.ok()) co_return decoded.status();
-  if (decoded->accepted) replications_accepted_++;
-  co_return ok_status();
+  co_return last;
 }
 
 sim::Task<void> WieraPeer::queue_flusher() {
@@ -650,6 +707,112 @@ void WieraPeer::apply_primary_change(const std::string& new_primary) {
   // Reset the requests monitor so the new primary starts a fresh window.
   put_history_.clear();
   requests_condition_active_ = false;
+}
+
+// ---------------------------------------------------------------- recovery
+
+Status WieraPeer::availability_gate() {
+  // Eventual mode keeps serving through faults (that is its contract; the
+  // oracle only demands convergence after quiescence). The strong modes
+  // must not serve stale data from an isolated or freshly-restarted node.
+  if (config_.mode == ConsistencyMode::kEventual) return ok_status();
+  if (config_.serve_lease > Duration::zero() &&
+      sim_->now() - last_contact_ > config_.serve_lease) {
+    if (!recovering_) {
+      WLOG_INFO(kComponent) << id() << " serve lease lapsed; recovering";
+    }
+    recovering_ = true;
+  }
+  if (recovering_) {
+    return unavailable(config_.instance_id + " is recovering");
+  }
+  return ok_status();
+}
+
+sim::Task<void> WieraPeer::availability_loop() {
+  const std::string authority = config_.lease_authority.empty()
+                                    ? config_.lock_service_node
+                                    : config_.lease_authority;
+  if (authority.empty()) co_return;
+  const Duration interval = config_.serve_lease / 3;
+  while (!stopping_) {
+    co_await sim_->delay(interval);
+    if (stopping_) break;
+    rpc::WireWriter w;
+    w.put_string(config_.instance_id);
+    rpc::Message renew{w.take()};
+    auto resp = co_await endpoint_->call(authority, method::kLeaseRenew,
+                                         std::move(renew));
+    if (resp.ok()) last_contact_ = sim_->now();
+  }
+}
+
+void WieraPeer::on_crash() {
+  local_->wipe_volatile();
+  // The outbound replication queue lived in memory: it dies with the node.
+  while (queue_->try_recv().has_value()) {
+  }
+  recovering_ = true;
+  WLOG_INFO(kComponent) << id() << " crashed: volatile state lost";
+}
+
+sim::Task<Status> WieraPeer::catch_up(std::vector<std::string> sources) {
+  Status last = unavailable("catch-up: no source available");
+  for (const std::string& source : sources) {
+    if (source == config_.instance_id) continue;
+    SyncPullRequest pull{config_.instance_id};
+    rpc::Message msg = encode(pull);
+    auto resp = co_await endpoint_->call(source, method::kSyncPull,
+                                         std::move(msg));
+    if (!resp.ok()) {
+      last = resp.status();
+      continue;
+    }
+    auto decoded = decode_sync_pull_response(*resp);
+    if (!decoded.ok()) {
+      last = decoded.status();
+      continue;
+    }
+    for (ReplicateRequest& entry : decoded->entries) {
+      tiera::TieraInstance::RemoteUpdate update;
+      update.key = entry.key;
+      update.version = entry.version;
+      update.value = entry.value;
+      update.last_modified = entry.last_modified;
+      update.origin = entry.origin;
+      auto accepted = co_await local_->apply_remote_update(std::move(update));
+      if (!accepted.ok()) {
+        WLOG_WARN(kComponent) << id() << " catch-up merge of " << entry.key
+                              << " failed: " << accepted.status().to_string();
+      }
+    }
+    // Push survivors the other way: any durable local write the outage kept
+    // from replicating goes back on the queue for the flusher.
+    for (const std::string& key : local_->meta().keys()) {
+      const metadb::ObjectMeta* obj = local_->meta().find(key);
+      if (obj == nullptr) continue;
+      const metadb::VersionMeta* vm = obj->latest_committed();
+      if (vm == nullptr) continue;
+      auto value = co_await local_->get_version(key, vm->version);
+      if (!value.ok()) continue;
+      ReplicateRequest entry;
+      entry.key = key;
+      entry.version = vm->version;
+      entry.value = std::move(value->value);
+      entry.last_modified = vm->last_modified;
+      entry.origin = vm->origin;
+      queue_->send(QueuedUpdate{std::move(entry)});
+    }
+    catch_ups_completed_++;
+    WLOG_INFO(kComponent) << id() << " caught up from " << source;
+    co_return ok_status();
+  }
+  co_return last;
+}
+
+void WieraPeer::finish_recovery() {
+  recovering_ = false;
+  last_contact_ = sim_->now();
 }
 
 // ---------------------------------------------------------------- monitors

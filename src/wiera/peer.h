@@ -47,6 +47,19 @@ class WieraPeer : public tiera::InstanceHooks {
     std::string primary_instance;            // current primary's id
     std::string lock_service_node;           // ZooKeeper stand-in location
     Duration queue_flush_interval = msec(100);
+    // ---- fault recovery (chaos harness) ----
+    // Retry budget for replication sends that fail kUnavailable (dropped
+    // messages, transient partitions). 0 = fail fast (seed behaviour).
+    int replicate_retries = 0;
+    Duration replicate_backoff = msec(100);  // doubles per attempt
+    // Serve lease: when nonzero, the peer pings the lease authority every
+    // serve_lease/3 and — in the strong consistency modes — refuses client
+    // operations once the lease lapses, so a partitioned replica cannot
+    // serve stale data. Zero disables the lease (seed behaviour).
+    Duration serve_lease = Duration::zero();
+    // Node pinged to refresh the serve lease (the controller's node).
+    // Empty = fall back to lock_service_node.
+    std::string lease_authority;
     // §5.4: forward all gets to this instance (remote fast tier). Empty =
     // serve locally.
     std::string get_forward_target;
@@ -116,6 +129,26 @@ class WieraPeer : public tiera::InstanceHooks {
   sim::Task<Status> apply_consistency_change(ConsistencyMode mode);
   void apply_primary_change(const std::string& new_primary);
 
+  // ---- crash / recovery (chaos harness) ----
+  // Crash semantics at the instant of failure: volatile tier contents are
+  // lost, the outbound replication queue is dropped, and the peer restarts
+  // in recovering state (client ops refused in strong modes until catch-up
+  // completes).
+  void on_crash();
+  bool recovering() const { return recovering_; }
+  // Mark the peer recovering without a crash (controller-driven, e.g. when
+  // the serve lease lapsed during a partition).
+  void begin_recovery() { recovering_ = true; }
+  // Pull every key's latest committed version from the first reachable
+  // source and LWW-merge it, then enqueue our own latest committed versions
+  // so the flusher pushes back out whatever durable writes the outage kept
+  // local (bidirectional anti-entropy).
+  sim::Task<Status> catch_up(std::vector<std::string> sources);
+  // Clear recovering state and refresh the serve lease.
+  void finish_recovery();
+  int64_t catch_ups_completed() const { return catch_ups_completed_; }
+  int64_t replication_retries() const { return replication_retries_; }
+
   // ---- monitor state (read by tests/benches) ----
   const LatencyHistogram& put_latency() const { return put_hist_; }
   const LatencyHistogram& get_latency() const { return get_hist_; }
@@ -152,6 +185,11 @@ class WieraPeer : public tiera::InstanceHooks {
   void op_started() { in_flight_++; }
   void op_finished();
 
+  // Serve-lease enforcement: non-ok when this peer must refuse client
+  // operations (recovering, or the lease lapsed in a strong mode).
+  Status availability_gate();
+  sim::Task<void> availability_loop();
+
   // Monitors.
   void observe_put_latency(Duration latency);
   void record_put_source(const std::string& origin, bool forwarded);
@@ -171,6 +209,12 @@ class WieraPeer : public tiera::InstanceHooks {
   std::unique_ptr<sim::Channel<QueuedUpdate>> queue_;
   bool started_ = false;
   bool stopping_ = false;
+
+  // Crash/recovery state.
+  bool recovering_ = false;
+  TimePoint last_contact_;  // last successful lease-authority round trip
+  int64_t catch_ups_completed_ = 0;
+  int64_t replication_retries_ = 0;
 
   // Block-and-queue state for consistency changes.
   bool blocking_ = false;

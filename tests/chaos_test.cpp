@@ -1,0 +1,630 @@
+// Chaos suite (docs/FAULTS.md): seeded random fault plans run against a
+// live four-region cluster while concurrent clients execute a read/write
+// workload recorded into the consistency oracle. After quiescence the
+// history is checked against the invariant of the consistency mode under
+// test:
+//   MultiPrimaries -> linearizability, PrimaryBackup -> primary order,
+//   Eventual       -> convergence + LWW agreement.
+// A failing run prints "CHAOS-FAIL seed=... mode=... fault=... trace=..."
+// so scripts/chaos_sweep.sh can collect failing seeds and the determinism
+// trace hash allows an exact replay.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "policy/builtin_policies.h"
+#include "policy/parser.h"
+#include "sim/faults.h"
+#include "sim/oracle.h"
+#include "wiera/chaos.h"
+#include "wiera/client.h"
+#include "wiera/controller.h"
+
+namespace wiera::geo {
+namespace {
+
+const char* const kStorageNodes[] = {"tiera-us-west", "tiera-us-east",
+                                     "tiera-eu-west", "tiera-asia-east"};
+const char* const kKeys[] = {"k0", "k1"};
+
+enum class FaultClass { kPartition, kCrash, kDropWindow, kLatencySpike };
+
+const char* fault_class_name(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kPartition:
+      return "partition";
+    case FaultClass::kCrash:
+      return "crash";
+    case FaultClass::kDropWindow:
+      return "drop";
+    case FaultClass::kLatencySpike:
+      return "spike";
+  }
+  return "?";
+}
+
+sim::CheckMode check_mode_for(ConsistencyMode mode) {
+  switch (mode) {
+    case ConsistencyMode::kMultiPrimaries:
+      return sim::CheckMode::kLinearizable;
+    case ConsistencyMode::kEventual:
+      return sim::CheckMode::kEventual;
+    default:
+      return sim::CheckMode::kPrimaryOrder;
+  }
+}
+
+std::string_view policy_for(ConsistencyMode mode) {
+  switch (mode) {
+    case ConsistencyMode::kMultiPrimaries:
+      return policy::builtin::multi_primaries_consistency();
+    case ConsistencyMode::kEventual:
+      return policy::builtin::eventual_consistency();
+    default:
+      return policy::builtin::primary_backup_consistency();
+  }
+}
+
+// Same four-region deployment as wiera_test's fixture, plus the fault
+// tolerance knobs the chaos runs rely on: leased locks (a crashed holder
+// is evicted), serve leases (an isolated replica refuses strong-mode
+// reads), and replication retries that outlast any fault window the random
+// plans can generate (max 4s vs ~12.7s of backoff).
+struct ChaosCluster {
+  sim::Simulation sim;
+  net::Network network;
+  rpc::Registry registry;
+  WieraController controller;
+  std::vector<std::unique_ptr<TieraServer>> servers;
+
+  explicit ChaosCluster(uint64_t seed)
+      : sim(seed),
+        network(sim, make_topology()),
+        controller(sim, network, registry, controller_config()) {
+    for (const char* node : kStorageNodes) {
+      servers.push_back(
+          std::make_unique<TieraServer>(sim, network, registry, node));
+      controller.register_server(servers.back().get());
+    }
+  }
+
+  static WieraController::Config controller_config() {
+    WieraController::Config config;
+    config.node = "wiera-controller";
+    config.heartbeat_interval = sec(1);
+    config.lock_lease = sec(20);
+    config.serve_lease = msec(1500);
+    return config;
+  }
+
+  static net::Topology make_topology() {
+    net::Topology topo = net::Topology::paper_default();
+    topo.set_jitter_fraction(0.0);
+    topo.add_node("wiera-controller", "aws-us-east");
+    topo.add_node("tiera-us-west", "aws-us-west");
+    topo.add_node("tiera-us-east", "aws-us-east");
+    topo.add_node("tiera-eu-west", "aws-eu-west");
+    topo.add_node("tiera-asia-east", "aws-asia-east");
+    topo.add_node("client-us-west", "aws-us-west");
+    topo.add_node("client-eu-west", "aws-eu-west");
+    topo.add_node("client-asia-east", "aws-asia-east");
+    return topo;
+  }
+
+  WieraController::StartOptions options_for(
+      ConsistencyMode mode,
+      std::function<void(WieraPeer::Config&)> peer_tweak) {
+    WieraController::StartOptions options;
+    auto doc = policy::parse_policy(policy_for(mode));
+    EXPECT_TRUE(doc.ok()) << doc.status().to_string();
+    options.global = std::move(doc).value();
+    options.local_params["t"] = policy::Value::duration_of(sec(10));
+    options.customize = [peer_tweak =
+                             std::move(peer_tweak)](WieraPeer::Config& config) {
+      config.local.tier_tweak = [](const std::string&, store::TierSpec& spec) {
+        spec.jitter_fraction = 0;
+      };
+      config.replicate_retries = 8;
+      config.replicate_backoff = msec(50);
+      if (peer_tweak) peer_tweak(config);
+    };
+    return options;
+  }
+};
+
+sim::FaultPlan plan_for(FaultClass fault, uint64_t seed) {
+  sim::FaultPlan::RandomOptions options;
+  // Only storage nodes are targeted: crashing the controller (lock service
+  // + heartbeat authority) is a different availability model than the one
+  // the per-mode invariants describe.
+  for (const char* node : kStorageNodes) options.nodes.push_back(node);
+  options.earliest = TimePoint::origin() + sec(3);
+  options.latest = TimePoint::origin() + sec(18);
+  switch (fault) {
+    case FaultClass::kPartition:
+      options.partitions = 1;
+      break;
+    case FaultClass::kCrash:
+      options.crashes = 1;
+      break;
+    case FaultClass::kDropWindow:
+      options.chaos_windows = 2;
+      break;
+    case FaultClass::kLatencySpike:
+      options.latency_spikes = 2;
+      break;
+  }
+  return sim::FaultPlan::random(seed, options);
+}
+
+struct RunResult {
+  std::vector<sim::OracleViolation> violations;
+  uint64_t trace_hash = 0;
+  int64_t ops = 0;
+  int64_t completed_ok = 0;
+  int64_t events_applied = 0;
+};
+
+// One client: alternating put/get rounds against the two workload keys,
+// every outcome recorded into the oracle. Failed puts stay "maybe" ops;
+// kNotFound is an (ok) absent read; other get errors are ignored reads.
+sim::Task<void> client_workload(sim::Simulation& sim,
+                                sim::ConsistencyOracle& oracle,
+                                WieraClient& client, int index) {
+  co_await sim.delay(msec(300) * static_cast<double>(index + 1));
+  for (int round = 0; round < 8; ++round) {
+    const std::string key = kKeys[round % 2];
+    const std::string value =
+        "c" + std::to_string(index) + "r" + std::to_string(round);
+    int64_t put_op = oracle.begin_put(client.id(), key, value, sim.now());
+    auto put = co_await client.put(key, Blob(value));
+    oracle.end_put(put_op, sim.now(), put.ok(), put.ok() ? put->version : 0);
+
+    co_await sim.delay(msec(400) + msec(90) * static_cast<double>(index));
+
+    int64_t get_op = oracle.begin_get(client.id(), key, sim.now());
+    auto got = co_await client.get(key);
+    if (got.ok()) {
+      oracle.end_get(get_op, sim.now(), true, got->value.to_string(),
+                     got->version, got->served_by);
+    } else if (got.status().code() == StatusCode::kNotFound) {
+      oracle.end_get(get_op, sim.now(), true, "", 0, "");
+    } else {
+      oracle.end_get(get_op, sim.now(), false, "", 0, "");
+    }
+
+    co_await sim.delay(msec(800));
+  }
+}
+
+// Record every storage peer's final state for the convergence check: the
+// latest committed version's metadata plus the payload as actually served
+// from local tiers (an unreadable payload records as "" and shows up as
+// divergence — losing a committed payload is a consistency bug).
+sim::Task<void> harvest_finals(WieraController& controller,
+                               sim::ConsistencyOracle& oracle, bool& done) {
+  for (const char* node : kStorageNodes) {
+    WieraPeer* peer = controller.peer(node);
+    if (peer == nullptr) continue;
+    for (const char* key : kKeys) {
+      const metadb::ObjectMeta* obj = peer->local().meta().find(key);
+      const metadb::VersionMeta* vm =
+          obj == nullptr ? nullptr : obj->latest_committed();
+      if (vm == nullptr) {
+        oracle.record_replica_value(node, key, 0, TimePoint(), "", "");
+        continue;
+      }
+      auto value = co_await peer->local().get_version(key, vm->version);
+      oracle.record_replica_value(
+          node, key, vm->version, vm->last_modified, vm->origin,
+          value.ok() ? value->value.to_string() : "");
+    }
+  }
+  done = true;
+}
+
+RunResult run_chaos(ConsistencyMode mode, FaultClass fault, uint64_t seed,
+                    std::function<void(WieraPeer::Config&)> peer_tweak = {}) {
+  ChaosCluster cluster(seed);
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(mode, std::move(peer_tweak)));
+  EXPECT_TRUE(peers.ok()) << peers.status().to_string();
+  if (!peers.ok()) return {};
+  cluster.controller.start();
+
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  injector.arm(plan_for(fault, seed));
+
+  sim::ConsistencyOracle oracle;
+  std::vector<std::unique_ptr<WieraClient>> clients;
+  const char* const client_nodes[] = {"client-us-west", "client-eu-west",
+                                      "client-asia-east"};
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back(std::make_unique<WieraClient>(
+        cluster.sim, cluster.network, cluster.registry,
+        "app-" + std::to_string(i), client_nodes[i], *peers));
+    cluster.sim.spawn(
+        client_workload(cluster.sim, oracle, *clients.back(), i));
+  }
+
+  // Workload and faults are over by ~30s even with full retry backoff;
+  // running to 45s leaves room for crash recovery + catch-up to settle
+  // before final replica states are harvested.
+  cluster.sim.run_until(TimePoint(sec(45).us()));
+  bool harvested = false;
+  cluster.sim.spawn(harvest_finals(cluster.controller, oracle, harvested));
+  cluster.sim.run_until(TimePoint(sec(50).us()));
+  EXPECT_TRUE(harvested);
+
+  RunResult result;
+  result.violations = oracle.check(check_mode_for(mode));
+  result.trace_hash = cluster.sim.checker().trace_hash();
+  result.ops = oracle.op_count();
+  result.completed_ok = oracle.completed_ok_count();
+  result.events_applied = injector.events_applied();
+  return result;
+}
+
+int seed_count() {
+  const char* env = std::getenv("WIERA_CHAOS_SEED_COUNT");
+  if (env == nullptr) return 20;
+  int n = std::atoi(env);
+  return n > 0 ? n : 20;
+}
+
+std::string hex_trace(uint64_t hash) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+// ------------------------------------------------------- randomized sweeps
+
+struct ChaosCase {
+  ConsistencyMode mode;
+  FaultClass fault;
+};
+
+class ChaosSuite : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosSuite, OracleHoldsAcrossSeeds) {
+  const ChaosCase c = GetParam();
+  const int seeds = seed_count();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    RunResult r = run_chaos(c.mode, c.fault, static_cast<uint64_t>(seed));
+    EXPECT_GT(r.completed_ok, 0) << "seed " << seed << ": no op completed";
+    EXPECT_GT(r.events_applied, 0) << "seed " << seed << ": no fault fired";
+    if (!r.violations.empty()) {
+      ADD_FAILURE() << "CHAOS-FAIL seed=" << seed << " mode="
+                    << consistency_mode_name(c.mode)
+                    << " fault=" << fault_class_name(c.fault)
+                    << " trace=" << hex_trace(r.trace_hash) << "\n"
+                    << sim::ConsistencyOracle::describe(r.violations);
+    }
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<ChaosCase>& info) {
+  std::string mode(consistency_mode_name(info.param.mode));
+  for (char& ch : mode) {
+    if (ch == '-') ch = '_';
+  }
+  return mode + "_" + fault_class_name(info.param.fault);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModesAllFaults, ChaosSuite,
+    ::testing::Values(
+        ChaosCase{ConsistencyMode::kMultiPrimaries, FaultClass::kPartition},
+        ChaosCase{ConsistencyMode::kMultiPrimaries, FaultClass::kCrash},
+        ChaosCase{ConsistencyMode::kMultiPrimaries, FaultClass::kDropWindow},
+        ChaosCase{ConsistencyMode::kMultiPrimaries,
+                  FaultClass::kLatencySpike},
+        ChaosCase{ConsistencyMode::kPrimaryBackupSync, FaultClass::kPartition},
+        ChaosCase{ConsistencyMode::kPrimaryBackupSync, FaultClass::kCrash},
+        ChaosCase{ConsistencyMode::kPrimaryBackupSync,
+                  FaultClass::kDropWindow},
+        ChaosCase{ConsistencyMode::kPrimaryBackupSync,
+                  FaultClass::kLatencySpike},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kPartition},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kCrash},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kDropWindow},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kLatencySpike}),
+    case_name);
+
+// ------------------------------------------------------------ determinism
+
+TEST(ChaosDeterminismTest, SameSeedSameTraceHash) {
+  RunResult a = run_chaos(ConsistencyMode::kEventual, FaultClass::kDropWindow,
+                          /*seed=*/7);
+  RunResult b = run_chaos(ConsistencyMode::kEventual, FaultClass::kDropWindow,
+                          /*seed=*/7);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.completed_ok, b.completed_ok);
+  RunResult c = run_chaos(ConsistencyMode::kEventual, FaultClass::kDropWindow,
+                          /*seed=*/8);
+  EXPECT_NE(a.trace_hash, c.trace_hash);
+}
+
+// ------------------------------------------------------------ mutation test
+
+// Acceptance gate for the oracle itself: break the LWW comparator on one
+// replica (version-only, ignoring the timestamp/origin tiebreak) and the
+// eventual-consistency check must observe divergence after quiescence.
+//
+// The scenario forces a version tie: two clients in different regions write
+// the same key 50ms apart — within the queue-flush interval, so each
+// replica assigns version 1 to its own write. Correct LWW picks the later
+// timestamp everywhere; the broken replica (which ignores timestamps on
+// version ties) keeps its stale local value and diverges.
+RunResult run_lww_scenario(
+    std::function<void(WieraPeer::Config&)> peer_tweak) {
+  ChaosCluster cluster(/*seed=*/9);
+  auto peers = cluster.controller.start_instances(
+      "w1",
+      cluster.options_for(ConsistencyMode::kEventual, std::move(peer_tweak)));
+  EXPECT_TRUE(peers.ok()) << peers.status().to_string();
+  if (!peers.ok()) return {};
+  cluster.controller.start();
+
+  sim::ConsistencyOracle oracle;
+  WieraClient eu(cluster.sim, cluster.network, cluster.registry, "app-eu",
+                 "client-eu-west", *peers);
+  WieraClient us(cluster.sim, cluster.network, cluster.registry, "app-us",
+                 "client-us-west", *peers);
+  auto do_put = [](sim::Simulation& sim, sim::ConsistencyOracle& oracle,
+                   WieraClient& c, std::string value) -> sim::Task<void> {
+    int64_t op = oracle.begin_put(c.id(), "k0", value, sim.now());
+    auto put = co_await c.put("k0", Blob(value));
+    oracle.end_put(op, sim.now(), put.ok(), put.ok() ? put->version : 0);
+    EXPECT_TRUE(put.ok()) << put.status().to_string();
+  };
+  auto writers = [&](sim::Simulation& sim) -> sim::Task<void> {
+    co_await sim.delay(sec(1));
+    co_await do_put(sim, oracle, eu, "stale-loser");
+    co_await sim.delay(msec(50));
+    co_await do_put(sim, oracle, us, "true-winner");
+  };
+  cluster.sim.spawn(writers(cluster.sim));
+  cluster.sim.run_until(TimePoint(sec(10).us()));
+
+  bool harvested = false;
+  cluster.sim.spawn(harvest_finals(cluster.controller, oracle, harvested));
+  cluster.sim.run_until(TimePoint(sec(11).us()));
+  EXPECT_TRUE(harvested);
+
+  RunResult result;
+  result.violations = oracle.check(sim::CheckMode::kEventual);
+  result.trace_hash = cluster.sim.checker().trace_hash();
+  result.ops = oracle.op_count();
+  result.completed_ok = oracle.completed_ok_count();
+  return result;
+}
+
+TEST(ChaosMutationTest, BrokenLwwComparatorIsCaught) {
+  RunResult broken = run_lww_scenario([](WieraPeer::Config& config) {
+    if (config.instance_id != "tiera-eu-west") return;
+    config.local.lww_override = [](const tiera::LwwSample& incoming,
+                                   const tiera::LwwSample& local) {
+      return incoming.version > local.version;
+    };
+  });
+  EXPECT_FALSE(broken.violations.empty())
+      << "oracle failed to notice a deliberately broken LWW comparator";
+
+  // Control: the same scenario with the real comparator converges.
+  RunResult honest = run_lww_scenario({});
+  EXPECT_TRUE(honest.violations.empty())
+      << sim::ConsistencyOracle::describe(honest.violations);
+}
+
+// ----------------------------------------------------- targeted regressions
+
+// A crashed backup loses its volatile tier contents; after restart the
+// controller-driven catch-up resync must restore the latest committed
+// version so the backup serves it again locally.
+TEST(ChaosRegressionTest, BackupCatchesUpAfterRestart) {
+  ChaosCluster cluster(/*seed=*/42);
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kEventual, {}));
+  ASSERT_TRUE(peers.ok()) << peers.status().to_string();
+  cluster.controller.start();
+
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  plan.crash("tiera-eu-west", TimePoint::origin() + sec(5),
+             TimePoint::origin() + sec(8));
+  injector.arm(std::move(plan));
+
+  WieraClient client(cluster.sim, cluster.network, cluster.registry, "app",
+                     "client-us-west", *peers);
+  auto writer = [](sim::Simulation& sim, WieraClient& c) -> sim::Task<void> {
+    co_await sim.delay(sec(1));
+    auto v1 = co_await c.put("k", Blob("before-crash"));
+    EXPECT_TRUE(v1.ok()) << v1.status().to_string();
+    co_await sim.delay(sec(5));  // t=6s: eu-west is down
+    auto v2 = co_await c.put("k", Blob("during-crash"));
+    EXPECT_TRUE(v2.ok()) << v2.status().to_string();
+  };
+  cluster.sim.spawn(writer(cluster.sim, client));
+  cluster.sim.run_until(TimePoint(sec(20).us()));
+
+  WieraPeer* eu = cluster.controller.peer("tiera-eu-west");
+  ASSERT_NE(eu, nullptr);
+  EXPECT_FALSE(eu->recovering());
+  EXPECT_GE(eu->catch_ups_completed(), 1);
+  EXPECT_GE(cluster.controller.recoveries_completed(), 1);
+
+  const metadb::ObjectMeta* obj = eu->local().meta().find("k");
+  ASSERT_NE(obj, nullptr);
+  const metadb::VersionMeta* vm = obj->latest_committed();
+  ASSERT_NE(vm, nullptr);
+  EXPECT_EQ(vm->version, 2);
+
+  bool read_done = false;
+  auto reader = [](WieraPeer& peer, bool& done) -> sim::Task<void> {
+    auto got = co_await peer.local().get("k");
+    EXPECT_TRUE(got.ok()) << got.status().to_string();
+    if (got.ok()) {
+      EXPECT_EQ(got->value.to_string(), "during-crash");
+      EXPECT_EQ(got->version, 2);
+    }
+    done = true;
+  };
+  cluster.sim.spawn(reader(*eu, read_done));
+  cluster.sim.run_until(TimePoint(sec(21).us()));
+  EXPECT_TRUE(read_done);
+}
+
+// §4.4: a crashed closest peer costs the client exactly one failover — the
+// demotion is remembered, so subsequent operations go straight to the next
+// peer instead of paying a failed attempt each time.
+TEST(ChaosRegressionTest, FailoverCountsOncePerPrimaryCrash) {
+  ChaosCluster cluster(/*seed=*/43);
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kPrimaryBackupSync, {}));
+  ASSERT_TRUE(peers.ok()) << peers.status().to_string();
+  cluster.controller.start();
+
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  plan.crash("tiera-us-west", TimePoint::origin() + sec(5),
+             TimePoint::origin() + sec(8));
+  injector.arm(std::move(plan));
+
+  WieraClient client(cluster.sim, cluster.network, cluster.registry, "app",
+                     "client-us-west", *peers);
+  ASSERT_EQ(client.closest_peer(), "tiera-us-west");
+
+  int ok_reads = 0;
+  auto workload = [](sim::Simulation& sim, WieraClient& c,
+                     int& reads) -> sim::Task<void> {
+    co_await sim.delay(sec(1));
+    auto put = co_await c.put("k", Blob("v"));
+    EXPECT_TRUE(put.ok()) << put.status().to_string();
+    EXPECT_EQ(c.failovers(), 0);
+    // Reads spanning the crash window: the first one after the crash pays
+    // the failover; everything later uses the demoted order.
+    for (int i = 0; i < 40; ++i) {
+      co_await sim.delay(msec(300));
+      auto got = co_await c.get("k");
+      if (got.ok()) reads++;
+    }
+  };
+  cluster.sim.spawn(workload(cluster.sim, client, ok_reads));
+  cluster.sim.run_until(TimePoint(sec(20).us()));
+
+  EXPECT_EQ(client.failovers(), 1);
+  EXPECT_GE(ok_reads, 35);
+}
+
+// Leased locks (ZooKeeper ephemeral-node semantics): a holder that crashes
+// mid-critical-section is evicted after the lease, so waiters on the same
+// lock make progress instead of deadlocking.
+TEST(ChaosRegressionTest, LockLeaseReleasesCrashedHolder) {
+  sim::Simulation sim(7);
+  net::Topology topo;
+  topo.add_datacenter("us-east", net::Provider::kAws, "us-east");
+  topo.add_datacenter("us-west", net::Provider::kAws, "us-west");
+  topo.set_rtt("us-east", "us-west", msec(70));
+  topo.set_jitter_fraction(0.0);
+  topo.add_node("zk", "us-east");
+  topo.add_node("node-a", "us-west");
+  topo.add_node("node-b", "us-east");
+  net::Network network(sim, std::move(topo));
+  rpc::Registry registry;
+  rpc::Endpoint zk(network, registry, "zk");
+  coord::LockService service(sim, zk);
+  service.set_lease(sec(2));
+  service.start_lease_reaper(msec(500));
+
+  rpc::Endpoint a(network, registry, "node-a");
+  rpc::Endpoint b(network, registry, "node-b");
+
+  // node-a acquires and "crashes" (never releases, stops responding).
+  auto holder = [](rpc::Endpoint& ep) -> sim::Task<void> {
+    coord::LockClient client(ep, "zk");
+    Status st = co_await client.acquire("chaos-lock");
+    EXPECT_TRUE(st.ok()) << st.to_string();
+  };
+  TimePoint granted_at;
+  bool acquired = false;
+  auto waiter = [](sim::Simulation& s, rpc::Endpoint& ep, TimePoint& at,
+                   bool& ok) -> sim::Task<void> {
+    co_await s.delay(msec(500));
+    coord::LockClient client(ep, "zk");
+    Status st = co_await client.acquire("chaos-lock");
+    EXPECT_TRUE(st.ok()) << st.to_string();
+    at = s.now();
+    ok = true;
+    (void)co_await client.release("chaos-lock");
+  };
+  sim.spawn(holder(a));
+  sim.spawn(waiter(sim, b, granted_at, acquired));
+  sim.run_until(TimePoint(sec(10).us()));
+
+  ASSERT_TRUE(acquired);
+  EXPECT_EQ(service.leases_expired(), 1);
+  // Eviction happens at lease expiry (2s after the grant), not before.
+  EXPECT_GT(granted_at.us(), sec(2).us());
+  EXPECT_LT(granted_at.us(), sec(4).us());
+  EXPECT_EQ(service.holder("chaos-lock"), "");
+}
+
+// An ENOSPC window on the primary's tiers makes strong-mode puts fail with
+// a permanent (non-retryable) error while the window lasts, and the
+// history stays primary-ordered: failed puts are maybe ops, never
+// committed-version collisions.
+TEST(ChaosRegressionTest, TierEnospcFailsPutsCleanly) {
+  ChaosCluster cluster(/*seed=*/44);
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kPrimaryBackupSync, {}));
+  ASSERT_TRUE(peers.ok()) << peers.status().to_string();
+  cluster.controller.start();
+
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  plan.tier_fault("tiera-us-west", /*tier_label=*/"", /*slowdown=*/1.0,
+                  /*enospc=*/true, TimePoint::origin() + sec(3),
+                  TimePoint::origin() + sec(6));
+  injector.arm(std::move(plan));
+
+  sim::ConsistencyOracle oracle;
+  WieraClient client(cluster.sim, cluster.network, cluster.registry, "app",
+                     "client-us-west", *peers);
+  int failed_puts = 0;
+  auto workload = [](sim::Simulation& sim, sim::ConsistencyOracle& oracle,
+                     WieraClient& c, int& failed) -> sim::Task<void> {
+    co_await sim.delay(sec(1));
+    for (int i = 0; i < 8; ++i) {
+      const std::string value = "v" + std::to_string(i);
+      int64_t op = oracle.begin_put(c.id(), "k", value, sim.now());
+      auto put = co_await c.put("k", Blob(value));
+      oracle.end_put(op, sim.now(), put.ok(), put.ok() ? put->version : 0);
+      if (!put.ok()) failed++;
+      co_await sim.delay(msec(700));
+    }
+  };
+  cluster.sim.spawn(workload(cluster.sim, oracle, client, failed_puts));
+  cluster.sim.run_until(TimePoint(sec(15).us()));
+
+  EXPECT_GT(failed_puts, 0);
+  EXPECT_LT(failed_puts, 8);
+  auto violations = oracle.check(sim::CheckMode::kPrimaryOrder);
+  EXPECT_TRUE(violations.empty())
+      << sim::ConsistencyOracle::describe(violations);
+}
+
+}  // namespace
+}  // namespace wiera::geo

@@ -184,6 +184,101 @@ TEST(NetworkTest, NodeGoingDownMidFlightFailsTransfer) {
   EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
 }
 
+TEST(TopologyTest, OutageEdgeCatchesMessagesInFlightAcrossReboot) {
+  Topology topo = two_dc_topology();
+  // Outage [10ms, 20ms): a message whose flight time overlaps any instant
+  // of the window is lost, even when the node is back up at arrival time.
+  topo.inject_outage("n2", TimePoint(10000), TimePoint(20000));
+  EXPECT_TRUE(topo.node_down_during("n2", TimePoint(0), TimePoint(35000)));
+  EXPECT_TRUE(topo.node_down_during("n2", TimePoint(15000), TimePoint(16000)));
+  EXPECT_FALSE(topo.node_down_during("n2", TimePoint(20000), TimePoint(55000)));
+  EXPECT_FALSE(topo.node_down_during("n2", TimePoint(0), TimePoint(9999)));
+}
+
+TEST(NetworkTest, TransferInFlightAcrossRebootFails) {
+  sim::Simulation sim;
+  Topology topo = two_dc_topology();
+  topo.set_jitter_fraction(0.0);
+  // One-way latency n1->n2 is 35ms; the outage covers [10ms, 20ms), fully
+  // inside the flight window, so the message dies mid-flight.
+  topo.inject_outage("n2", TimePoint(10000), TimePoint(20000));
+  Network net(sim, std::move(topo));
+  TransferResult r;
+  sim.spawn(do_transfer(net, "n1", "n2", 0, r));
+  sim.run();
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(TopologyTest, AsymmetricPartitionCutsOneDirection) {
+  Topology topo = two_dc_topology();
+  topo.inject_partition("n1", "n2", TimePoint(100), TimePoint(200),
+                        /*bidirectional=*/false);
+  EXPECT_TRUE(topo.partitioned("n1", "n2", TimePoint(150)));
+  EXPECT_FALSE(topo.partitioned("n2", "n1", TimePoint(150)));
+  EXPECT_FALSE(topo.partitioned("n1", "n2", TimePoint(99)));
+  EXPECT_FALSE(topo.partitioned("n1", "n2", TimePoint(200)));  // window end
+}
+
+TEST(TopologyTest, BidirectionalPartitionCutsBothDirections) {
+  Topology topo = two_dc_topology();
+  topo.inject_partition("n1", "n2", TimePoint(100), TimePoint(200),
+                        /*bidirectional=*/true);
+  EXPECT_TRUE(topo.partitioned("n1", "n2", TimePoint(150)));
+  EXPECT_TRUE(topo.partitioned("n2", "n1", TimePoint(150)));
+  // Unrelated pairs are unaffected.
+  EXPECT_FALSE(topo.partitioned("n1", "n3", TimePoint(150)));
+  topo.clear_faults();
+  EXPECT_FALSE(topo.partitioned("n1", "n2", TimePoint(150)));
+}
+
+TEST(NetworkTest, ResetTrafficClearsCounters) {
+  sim::Simulation sim;
+  Network net(sim, two_dc_topology());
+  TransferResult r1;
+  sim.spawn(do_transfer(net, "n1", "n2", 1000, r1));
+  sim.run();
+  ASSERT_EQ(net.traffic().total_messages, 1);
+  ASSERT_EQ(net.traffic().total_bytes, 1000);
+  net.reset_traffic();
+  EXPECT_EQ(net.traffic().total_messages, 0);
+  EXPECT_EQ(net.traffic().total_bytes, 0);
+  EXPECT_EQ(net.traffic().dc_pair_bytes.size(), 0u);
+  // Counting resumes from zero after the reset.
+  TransferResult r2;
+  sim.spawn(do_transfer(net, "n2", "n1", 200, r2));
+  sim.run();
+  EXPECT_EQ(net.traffic().total_messages, 1);
+  EXPECT_EQ(net.traffic().total_bytes, 200);
+}
+
+TEST(NetworkTest, ChaosDropWindowLosesEveryMessageInside) {
+  sim::Simulation sim(5);
+  Topology topo = two_dc_topology();
+  topo.set_jitter_fraction(0.0);
+  Network net(sim, std::move(topo));
+  ChaosWindow window;
+  window.node = "n2";
+  window.from = TimePoint(0);
+  window.until = TimePoint(sec(1).us());
+  window.drop_prob = 1.0;
+  net.inject_chaos(window);
+
+  TransferResult in_window, other_pair;
+  sim.spawn(do_transfer(net, "n1", "n2", 100, in_window));
+  sim.spawn(do_transfer(net, "n1", "n3", 100, other_pair));
+  sim.run();
+  EXPECT_EQ(in_window.status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(other_pair.status.ok());  // window scoped to n2 only
+  EXPECT_EQ(net.chaos_stats().dropped, 1);
+
+  // After the window (and after clear_chaos) messages flow again.
+  net.clear_chaos();
+  TransferResult after;
+  sim.spawn(do_transfer(net, "n1", "n2", 100, after));
+  sim.run();
+  EXPECT_TRUE(after.status.ok());
+}
+
 TEST(NetworkTest, VmTypesHaveExpectedOrdering) {
   // Calibration sanity: bigger Azure VMs get more network throughput.
   EXPECT_LT(VmType::basic_a2().net_mbps, VmType::standard_d1().net_mbps);
