@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Chaos sweep: run the randomized fault-injection suite over many seeds and
-# report every failing seed with its determinism trace hash.
+# report every failing seed with its determinism trace hash and a one-line
+# reproducer command.
 #
 # Usage:
 #   scripts/chaos_sweep.sh [SEEDS] [BUILD_DIR]
@@ -10,16 +11,21 @@
 #   BUILD_DIR  cmake build directory containing tests/chaos_test
 #              (default: build)
 #
+# Combinations run in parallel when CTEST_PARALLEL_LEVEL is set (the same
+# knob ctest honors); each combination is its own chaos_test process. The
+# brownout overload schedule (docs/OVERLOAD.md) sweeps alongside the
+# per-mode fault classes.
+#
 # Every failing run prints a line of the form
 #   CHAOS-FAIL seed=<n> mode=<mode> fault=<class> trace=0x<hash>
-# which this script collects and echoes at the end. To replay a failure,
-# re-run the suite with the same seed count (plans are derived purely from
-# the seed) and filter to the failing combination — see docs/FAULTS.md.
+# which this script collects, echoing next to each one the exact replay:
+#   <build>/tests/chaos_test --seed <n> --plan <mode>:<class>
 set -u
 
 SEEDS="${1:-${WIERA_CHAOS_SEED_COUNT:-50}}"
 BUILD_DIR="${2:-build}"
 BINARY="${BUILD_DIR}/tests/chaos_test"
+JOBS="${CTEST_PARALLEL_LEVEL:-1}"
 
 if [[ ! -x "${BINARY}" ]]; then
   echo "chaos_sweep: ${BINARY} not found; build first:" >&2
@@ -27,23 +33,49 @@ if [[ ! -x "${BINARY}" ]]; then
   exit 2
 fi
 
-echo "chaos_sweep: ${SEEDS} seeds per (mode, fault) combination"
-LOG="$(mktemp)"
-trap 'rm -f "${LOG}"' EXIT
+# One gtest filter per (mode, fault) combination, plus the brownout sweep.
+FILTERS="$("${BINARY}" --gtest_list_tests \
+    --gtest_filter='AllModesAllFaults/*:ChaosBrownoutTest.EveryRequest*' \
+  | awk '/^[^ ]/ {suite=$1} /^  / {print suite $1}')"
+COMBOS="$(wc -l <<<"${FILTERS}")"
 
-WIERA_CHAOS_SEED_COUNT="${SEEDS}" "${BINARY}" \
-  --gtest_filter='AllModesAllFaults/*' --gtest_color=no >"${LOG}" 2>&1
-STATUS=$?
+echo "chaos_sweep: ${SEEDS} seeds x ${COMBOS} combinations (${JOBS} parallel)"
+LOGDIR="$(mktemp -d)"
+trap 'rm -rf "${LOGDIR}"' EXIT
 
-grep -E '^\[ *(OK|FAILED) *\]' "${LOG}" | sed 's/^/  /'
+export WIERA_CHAOS_SEED_COUNT="${SEEDS}"
+running=0
+for FILTER in ${FILTERS}; do
+  LOG="${LOGDIR}/$(echo "${FILTER}" | tr '/.' '__').log"
+  "${BINARY}" --gtest_filter="${FILTER}" --gtest_color=no \
+    >"${LOG}" 2>&1 &
+  running=$((running + 1))
+  if (( running >= JOBS )); then
+    wait -n || true
+    running=$((running - 1))
+  fi
+done
+wait || true
 
-FAILS="$(grep -c '^CHAOS-FAIL' "${LOG}" || true)"
-if [[ "${STATUS}" -ne 0 || "${FAILS}" -gt 0 ]]; then
+grep -hE '^\[ *(OK|FAILED) *\]' "${LOGDIR}"/*.log | sed 's/^/  /'
+
+FAILS="$(grep -h '^CHAOS-FAIL' "${LOGDIR}"/*.log | wc -l)"
+GTEST_FAILS="$(grep -l '\[  FAILED  \]' "${LOGDIR}"/*.log | wc -l)"
+if [[ "${FAILS}" -gt 0 || "${GTEST_FAILS}" -gt 0 ]]; then
   echo ""
-  echo "chaos_sweep: FAILING SEEDS (replay instructions in docs/FAULTS.md):"
-  grep '^CHAOS-FAIL' "${LOG}" | sed 's/^/  /'
+  echo "chaos_sweep: FAILING SEEDS (replay semantics in docs/FAULTS.md):"
+  grep -h '^CHAOS-FAIL' "${LOGDIR}"/*.log | while read -r LINE; do
+    SEED="$(sed -n 's/.*seed=\([0-9]*\).*/\1/p' <<<"${LINE}")"
+    MODE="$(sed -n 's/.*mode=\([^ ]*\).*/\1/p' <<<"${LINE}")"
+    FAULT="$(sed -n 's/.*fault=\([^ ]*\).*/\1/p' <<<"${LINE}")"
+    echo "  ${LINE}"
+    echo "    reproduce: ${BINARY} --seed ${SEED} --plan ${MODE}:${FAULT}"
+  done
+  # Overload counters from any failing brownout runs, for CI logs.
+  grep -h '^BROWNOUT-STATS' "${LOGDIR}"/*Brownout*.log 2>/dev/null \
+    | sed 's/^/  /' || true
   echo ""
-  echo "chaos_sweep: ${FAILS} failing run(s) across the sweep"
+  echo "chaos_sweep: ${FAILS} oracle failure(s), ${GTEST_FAILS} failing combination(s)"
   exit 1
 fi
 

@@ -1,0 +1,66 @@
+#include "common/breaker.h"
+
+namespace wiera {
+
+const char* CircuitBreaker::state_name(State state) {
+  switch (state) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::transition(State to) {
+  if (state_ == to) return;
+  const State from = state_;
+  state_ = to;
+  if (to == State::kOpen) opens_++;
+  if (transition_) transition_(from, to);
+}
+
+bool CircuitBreaker::allow(TimePoint now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ >= options_.open_for) {
+        transition(State::kHalfOpen);
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      // One probe at a time; everyone else keeps failing fast.
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  transition(State::kClosed);
+}
+
+void CircuitBreaker::record_failure(TimePoint now) {
+  consecutive_failures_++;
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: back to fully open for another window.
+    probe_in_flight_ = false;
+    opened_at_ = now;
+    transition(State::kOpen);
+    return;
+  }
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    opened_at_ = now;
+    transition(State::kOpen);
+  }
+}
+
+}  // namespace wiera

@@ -1,0 +1,64 @@
+// Per-target circuit breaker (closed / open / half-open).
+//
+// Gates traffic to a peer that keeps failing: after `failure_threshold`
+// consecutive failures the breaker opens and callers fail fast instead of
+// paying the unreachable-timeout on every attempt; after `open_for` of
+// virtual time one probe is admitted (half-open) and its outcome decides
+// between closing again and re-opening. Time is passed in explicitly so the
+// breaker is simulation-agnostic and unit-testable without a Simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/time.h"
+
+namespace wiera {
+
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    int failure_threshold = 5;        // consecutive failures to open
+    Duration open_for = sec(1);       // how long to fail fast before probing
+  };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(Options options) : options_(options) {}
+
+  // True when a call may be attempted now. In the open state this flips to
+  // half-open once `open_for` elapsed and admits exactly one probe; further
+  // callers keep failing fast until the probe reports back.
+  bool allow(TimePoint now);
+
+  void record_success();
+  void record_failure(TimePoint now);
+
+  State state() const { return state_; }
+  int64_t opens() const { return opens_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+
+  // Invoked on every state transition (old, new). The peer folds these into
+  // the determinism trace hash, so a replayed chaos run must trip the same
+  // breakers at the same virtual times.
+  void set_transition_hook(std::function<void(State, State)> hook) {
+    transition_ = std::move(hook);
+  }
+
+  static const char* state_name(State state);
+
+ private:
+  void transition(State to);
+
+  Options options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  TimePoint opened_at_;
+  bool probe_in_flight_ = false;
+  int64_t opens_ = 0;
+  std::function<void(State, State)> transition_;
+};
+
+}  // namespace wiera

@@ -34,13 +34,20 @@ void LatencyHistogram::record(Duration d) {
 Duration LatencyHistogram::percentile(double q) const {
   if (total_count_ == 0) return Duration::zero();
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<int64_t>(
-      std::ceil(q * static_cast<double>(total_count_)));
+  // target >= 1: p0 means "the smallest sample", not "before any sample"
+  // (a target of 0 would match bucket 0 and report 1µs even when every
+  // sample is far larger).
+  const auto target = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil(q * static_cast<double>(total_count_))));
   int64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     seen += counts_[static_cast<size_t>(b)];
     if (seen >= target) {
-      return Duration(std::min(bucket_upper_us(b), max_.us()));
+      // Bucket upper bounds are coarse; the true samples all lie within
+      // [min_, max_], so clamp into that range (single-sample histograms
+      // then report the exact value at every percentile).
+      return Duration(std::clamp(bucket_upper_us(b), min_.us(), max_.us()));
     }
   }
   return max_;

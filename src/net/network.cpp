@@ -53,19 +53,32 @@ Duration Network::chaos_extra_delay(const std::string& from,
 
 sim::Task<Status> Network::transfer(std::string from, std::string to,
                                     int64_t bytes) {
+  co_return co_await transfer(std::move(from), std::move(to), bytes,
+                              TimePoint::max());
+}
+
+Duration Network::unreachable_wait(TimePoint deadline) const {
+  if (deadline == TimePoint::max()) return kUnreachableDelay;
+  const Duration remaining =
+      deadline > sim_->now() ? deadline - sim_->now() : Duration::zero();
+  return std::min(kUnreachableDelay, remaining);
+}
+
+sim::Task<Status> Network::transfer(std::string from, std::string to,
+                                    int64_t bytes, TimePoint deadline) {
   const TimePoint departed = sim_->now();
   if (topology_.node_down(from, departed) ||
       topology_.node_down(to, departed)) {
-    co_await sim_->delay(kUnreachableDelay);
+    co_await sim_->delay(unreachable_wait(deadline));
     co_return unavailable("node unreachable: " + to);
   }
   if (topology_.partitioned(from, to, departed)) {
     // Packets into a partition vanish; the sender only learns via timeout.
-    co_await sim_->delay(kUnreachableDelay);
+    co_await sim_->delay(unreachable_wait(deadline));
     co_return unavailable("partitioned: " + from + " -> " + to);
   }
   if (chaos_drop(from, to)) {
-    co_await sim_->delay(kUnreachableDelay);
+    co_await sim_->delay(unreachable_wait(deadline));
     co_return unavailable("message dropped: " + from + " -> " + to);
   }
 

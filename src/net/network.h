@@ -96,7 +96,17 @@ class Network {
   // is what makes a VM's network throttle bound aggregate IOPS (Fig. 11).
   sim::Task<Status> transfer(std::string from, std::string to, int64_t bytes);
 
+  // Deadline-aware variant: identical delivery semantics, but the
+  // unreachable-timeout waits (down node, partition, dropped message) are
+  // capped at the time remaining before `deadline`, so a sender with a
+  // deadline learns about unreachability no later than its deadline instead
+  // of always paying the full kUnreachableDelay. TimePoint::max() = none.
+  sim::Task<Status> transfer(std::string from, std::string to, int64_t bytes,
+                             TimePoint deadline);
+
  private:
+  // The capped wait a sender pays before concluding unreachability.
+  Duration unreachable_wait(TimePoint deadline) const;
   // Reserve NIC time on both endpoints; returns when the transfer may end.
   TimePoint reserve_nic(const std::string& from, const std::string& to,
                         int64_t bytes);

@@ -197,13 +197,27 @@ Wiera SimplerConsistency() {
 )";
 }
 
+std::string_view bounded_staleness() {
+  return R"(
+Wiera BoundedStaleness() {
+   % Overload degradation: a replica that cannot prove freshness (lease
+   % lapsed, primary unreachable) may keep answering reads from its local
+   % copy -- marked stale -- while that copy is younger than the bound.
+   event(threshold.type == get) : response {
+      if(threshold.staleness <= 10 seconds)
+         change_policy(what:degradation, to:StaleReads);
+   }
+}
+)";
+}
+
 std::vector<PolicyDoc> all_parsed() {
   std::vector<PolicyDoc> docs;
   for (std::string_view src :
        {low_latency_instance(), persistent_instance(),
         multi_primaries_consistency(), primary_backup_consistency(),
         eventual_consistency(), dynamic_consistency(), change_primary(),
-        reduced_cost_policy(), simpler_consistency()}) {
+        reduced_cost_policy(), simpler_consistency(), bounded_staleness()}) {
     auto doc = parse_policy(src);
     assert(doc.ok() && "built-in policy failed to parse");
     docs.push_back(std::move(doc).value());

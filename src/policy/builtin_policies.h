@@ -31,6 +31,10 @@ std::string_view change_primary();
 std::string_view reduced_cost_policy();
 // Fig. 6(b): one primary with fast tiers, forwarding instances elsewhere.
 std::string_view simpler_consistency();
+// Graceful degradation under overload (docs/OVERLOAD.md): when the primary
+// is unreachable, replicas may serve their local copy — flagged stale — as
+// long as it is younger than the staleness bound.
+std::string_view bounded_staleness();
 
 // All of the above, parsed and validated (asserts on internal error —
 // these are compiled-in texts).

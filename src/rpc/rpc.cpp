@@ -1,10 +1,85 @@
 #include "rpc/rpc.h"
 
+#include "sim/checker.h"
+#include "sim/simulation.h"
+
 namespace wiera::rpc {
 
+bool Registry::add(const std::string& node_name, Endpoint* endpoint) {
+  auto [it, inserted] = endpoints_.try_emplace(node_name, endpoint);
+  (void)it;
+  if (!inserted) {
+    if (sim::SimChecker* checker = sim::SimChecker::current()) {
+      checker->report_error(
+          sim::SimDiagnostic::Kind::kDuplicateEndpoint, node_name.c_str(),
+          "Registry::add: endpoint name '" + node_name +
+              "' already registered; keeping the existing endpoint");
+    }
+  }
+  return inserted;
+}
+
+Endpoint::~Endpoint() {
+  // Only the endpoint that owns the registration may remove it: a rejected
+  // duplicate must not unhook the original on destruction.
+  if (registered_) registry_->remove(node_name_);
+  if (!adm_queue_.empty()) {
+    network_->sim().checker().on_primitive_destroyed(
+        sim::WaitKind::kAdmission, this, "rpc.admission", adm_queue_.size());
+  }
+}
+
+// ------------------------------------------------------------- call (client)
+
 sim::Task<Result<Message>> Endpoint::call(std::string target_node,
-                                          std::string method,
-                                          Message request) {
+                                          std::string method, Message request,
+                                          Context ctx) {
+  if (!ctx.has_deadline()) {
+    co_return co_await call_inner(std::move(target_node), std::move(method),
+                                  std::move(request));
+  }
+  if (ctx.cancelled() || ctx.expired(network_->sim().now())) {
+    calls_expired_++;
+    co_return deadline_exceeded("rpc " + method + " to " + target_node +
+                                ": deadline expired before send");
+  }
+  request.deadline = ctx.deadline();
+  // Race the real call against a sim-clock timer sharing one promise. The
+  // loser keeps running (cooperatively cancelled, SimChecker-visible) but
+  // the caller resumes no later than the deadline.
+  auto promise = std::make_shared<sim::Promise<Result<Message>>>(
+      network_->sim(), "rpc.call-deadline");
+  network_->sim().spawn(call_body(std::move(target_node), method,
+                                  std::move(request), promise),
+                        node_name_ + "/rpc-call-body");
+  network_->sim().spawn(call_timer(ctx, std::move(method), promise),
+                        node_name_ + "/rpc-call-timer");
+  Result<Message> response = co_await promise->future();
+  co_return response;
+}
+
+sim::Task<void> Endpoint::call_body(
+    std::string target_node, std::string method, Message request,
+    std::shared_ptr<sim::Promise<Result<Message>>> promise) {
+  Result<Message> response = co_await call_inner(
+      std::move(target_node), std::move(method), std::move(request));
+  if (!promise->fulfilled()) promise->set_value(std::move(response));
+}
+
+sim::Task<void> Endpoint::call_timer(
+    Context ctx, std::string method,
+    std::shared_ptr<sim::Promise<Result<Message>>> promise) {
+  co_await network_->sim().delay(ctx.remaining(network_->sim().now()));
+  if (promise->fulfilled()) co_return;
+  ctx.cancel();
+  calls_expired_++;
+  promise->set_value(deadline_exceeded("rpc " + method + " from " +
+                                       node_name_ + ": deadline exceeded"));
+}
+
+sim::Task<Result<Message>> Endpoint::call_inner(std::string target_node,
+                                                std::string method,
+                                                Message request) {
   calls_sent_++;
 
   if (target_node == node_name_) {
@@ -14,7 +89,7 @@ sim::Task<Result<Message>> Endpoint::call(std::string target_node,
 
   const int64_t request_size = request.wire_size();
   Status st = co_await network_->transfer(node_name_, target_node,
-                                          request_size);
+                                          request_size, request.deadline);
   if (!st.ok()) co_return st;
 
   Endpoint* target = registry_->find(target_node);
@@ -25,22 +100,80 @@ sim::Task<Result<Message>> Endpoint::call(std::string target_node,
   if (network_->chaos_duplicate(node_name_, target_node)) {
     // The request packet was duplicated in transit: the handler runs twice,
     // the duplicate's response is discarded. Handlers must be idempotent.
-    Message duplicate{request.body};
+    Message duplicate{request.body, request.deadline};
     network_->sim().spawn(
         target->dispatch_discard(method, std::move(duplicate)),
         "rpc.chaos-duplicate");
   }
 
+  const TimePoint deadline = request.deadline;
   Result<Message> response = co_await target->dispatch(method,
                                                        std::move(request));
   if (!response.ok()) co_return response.status();
 
   st = co_await network_->transfer(target_node, node_name_,
-                                   response->wire_size());
+                                   response->wire_size(), deadline);
   if (!st.ok()) co_return st;
 
   co_return std::move(response).value();
 }
+
+// ---------------------------------------------------------- admission (server)
+
+struct Endpoint::AdmissionAwaiter {
+  Endpoint* ep;
+  AdmissionWaiter waiter;
+
+  bool await_ready() {
+    if (ep->adm_inflight_ < ep->adm_max_inflight_) {
+      ep->adm_inflight_++;
+      return true;
+    }
+    if (ep->adm_max_queue_ <= 0) {
+      // No queue configured at all: shed immediately without suspending.
+      waiter.shed = true;
+      return true;
+    }
+    return false;
+  }
+
+  void await_suspend(std::coroutine_handle<> h) {
+    if (static_cast<int>(ep->adm_queue_.size()) >= ep->adm_max_queue_) {
+      // Queue full: shed the *oldest* waiter to make room (LIFO shedding —
+      // the request that waited longest is the least likely to still meet
+      // its caller's deadline, so it is the one to drop).
+      AdmissionWaiter* oldest = ep->adm_queue_.front();
+      ep->adm_queue_.pop_front();
+      oldest->shed = true;
+      ep->network_->sim().schedule_at(ep->network_->sim().now(),
+                                      oldest->handle);
+    }
+    waiter.handle = h;
+    ep->adm_queue_.push_back(&waiter);
+    ep->network_->sim().checker().on_block(
+        h.address(), sim::WaitKind::kAdmission, ep, "rpc.admission");
+  }
+
+  // True = admitted (an inflight slot is held); false = shed.
+  bool await_resume() const { return !waiter.shed; }
+};
+
+Endpoint::AdmissionAwaiter Endpoint::admission_enter() {
+  return AdmissionAwaiter{this, {}};
+}
+
+void Endpoint::admission_exit() {
+  adm_inflight_--;
+  if (!adm_queue_.empty()) {
+    // LIFO service: admit the newest waiter.
+    AdmissionWaiter* next = adm_queue_.back();
+    adm_queue_.pop_back();
+    adm_inflight_++;
+    network_->sim().schedule_at(network_->sim().now(), next->handle);
+  }
+}
+
+// ----------------------------------------------------------- dispatch (server)
 
 sim::Task<void> Endpoint::dispatch_discard(std::string method,
                                            Message request) {
@@ -55,7 +188,36 @@ sim::Task<Result<Message>> Endpoint::dispatch(const std::string& method,
   if (it == handlers_.end()) {
     co_return unimplemented("method " + method + " on " + node_name_);
   }
-  co_return co_await it->second(std::move(request));
+  // A request whose deadline already passed in transit is dead on arrival:
+  // the caller's timer has (or will have) fired, so running the handler
+  // would be pure wasted work during an overload.
+  if (request.deadline != TimePoint::max() &&
+      network_->sim().now() >= request.deadline) {
+    calls_expired_++;
+    co_return deadline_exceeded("rpc " + method + " on " + node_name_ +
+                                ": expired in transit");
+  }
+  if (!admission_enabled()) {
+    co_return co_await it->second(std::move(request));
+  }
+
+  const bool admitted = co_await admission_enter();
+  if (!admitted) {
+    calls_shed_++;
+    co_return resource_exhausted("rpc " + method + " on " + node_name_ +
+                                 ": shed by admission control");
+  }
+  // Re-check the deadline: it may have expired while queued.
+  if (request.deadline != TimePoint::max() &&
+      network_->sim().now() >= request.deadline) {
+    calls_expired_++;
+    admission_exit();
+    co_return deadline_exceeded("rpc " + method + " on " + node_name_ +
+                                ": expired in admission queue");
+  }
+  Result<Message> response = co_await it->second(std::move(request));
+  admission_exit();
+  co_return response;
 }
 
 }  // namespace wiera::rpc

@@ -4,17 +4,31 @@
 // are coroutines (they can perform storage work / further RPCs before
 // responding). A call pays: request transfer -> handler execution ->
 // response transfer. Failures (outages) surface as non-OK Status.
+//
+// Request-lifecycle defenses (see docs/OVERLOAD.md):
+//  * Deadlines — a call issued with a Context deadline races the RPC
+//    against a sim-clock timer: the caller resumes with kDeadlineExceeded
+//    at the deadline even if the peer or the network stalls, and the
+//    deadline travels in the message frame so the server sheds work whose
+//    caller has already given up.
+//  * Admission control — `set_admission` bounds concurrently-executing
+//    handlers plus a wait queue. The queue is served LIFO (the newest
+//    request is the most likely to still meet its deadline) and sheds the
+//    oldest waiter with kResourceExhausted when full.
 #pragma once
 
 #include <cassert>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "common/bytes.h"
+#include "common/context.h"
 #include "common/status.h"
 #include "net/network.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 
 namespace wiera::rpc {
@@ -23,6 +37,9 @@ namespace wiera::rpc {
 // headers on the wire.
 struct Message {
   Bytes body;
+  // Absolute deadline carried in the frame header (gRPC-style metadata, not
+  // part of the serialized body). TimePoint::max() = no deadline.
+  TimePoint deadline = TimePoint::max();
   static constexpr int64_t kFrameOverhead = 32;
   int64_t wire_size() const {
     return static_cast<int64_t>(body.size()) + kFrameOverhead;
@@ -34,10 +51,10 @@ class Endpoint;
 // Name -> endpoint routing; one per simulation.
 class Registry {
  public:
-  void add(const std::string& node_name, Endpoint* endpoint) {
-    assert(endpoints_.count(node_name) == 0 && "duplicate endpoint");
-    endpoints_[node_name] = endpoint;
-  }
+  // Registers the endpoint; returns false (keeping the existing entry) when
+  // the name is already taken. A duplicate used to be a bare assert, which
+  // vanishes under NDEBUG — now it is a structured SimChecker diagnostic.
+  bool add(const std::string& node_name, Endpoint* endpoint);
   void remove(const std::string& node_name) { endpoints_.erase(node_name); }
   Endpoint* find(const std::string& node_name) const {
     auto it = endpoints_.find(node_name);
@@ -59,10 +76,10 @@ class Endpoint {
         node_name_(std::move(node_name)) {
     assert(network_->topology().has_node(node_name_) &&
            "endpoint node must exist in the topology");
-    registry_->add(node_name_, this);
+    registered_ = registry_->add(node_name_, this);
   }
 
-  ~Endpoint() { registry_->remove(node_name_); }
+  ~Endpoint();
 
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
@@ -73,17 +90,50 @@ class Endpoint {
     handlers_[method] = std::move(handler);
   }
 
-  // Issue an RPC. Completes with the response, or kUnavailable /
-  // kUnimplemented on failure. Calling a method on one's own node skips the
-  // network (loopback).
-  sim::Task<Result<Message>> call(std::string target_node, std::string method,
-                                  Message request);
+  // Bound concurrent handler execution: at most `max_inflight` handlers run
+  // at once and at most `max_queue` requests wait behind them; beyond that
+  // the *oldest* waiter is shed with kResourceExhausted (LIFO service).
+  // max_inflight <= 0 disables admission control (the default).
+  void set_admission(int max_inflight, int max_queue) {
+    adm_max_inflight_ = max_inflight;
+    adm_max_queue_ = max_queue;
+  }
 
-  // Per-endpoint counters (the workload monitor reads these).
+  // Issue an RPC. Completes with the response, or kUnavailable /
+  // kUnimplemented / kResourceExhausted on failure. With a Context deadline
+  // the call completes no later than the deadline (kDeadlineExceeded); the
+  // in-flight work is cancelled cooperatively and remains checker-visible.
+  // Calling a method on one's own node skips the network (loopback).
+  sim::Task<Result<Message>> call(std::string target_node, std::string method,
+                                  Message request, Context ctx = {});
+
+  // Per-endpoint counters (the workload monitor and tests read these).
   int64_t calls_handled() const { return calls_handled_; }
   int64_t calls_sent() const { return calls_sent_; }
+  int64_t calls_shed() const { return calls_shed_; }
+  int64_t calls_expired() const { return calls_expired_; }
+  int adm_inflight() const { return adm_inflight_; }
 
  private:
+  struct AdmissionWaiter {
+    std::coroutine_handle<> handle;
+    bool shed = false;
+  };
+  struct AdmissionAwaiter;
+
+  // The un-raced call path (request transfer -> dispatch -> response).
+  sim::Task<Result<Message>> call_inner(std::string target_node,
+                                        std::string method, Message request);
+  // Deadline race: `call_body` runs the real call and fulfills the shared
+  // promise; `call_timer` fulfills it with kDeadlineExceeded at the
+  // deadline and cancels the context so downstream layers stop early.
+  sim::Task<void> call_body(
+      std::string target_node, std::string method, Message request,
+      std::shared_ptr<sim::Promise<Result<Message>>> promise);
+  sim::Task<void> call_timer(
+      Context ctx, std::string method,
+      std::shared_ptr<sim::Promise<Result<Message>>> promise);
+
   sim::Task<Result<Message>> dispatch(const std::string& method,
                                       Message request);
   // Chaos duplicate delivery: run the handler a second time with a copy of
@@ -91,12 +141,24 @@ class Endpoint {
   // Exercises handler idempotency (replication dedup, LWW).
   sim::Task<void> dispatch_discard(std::string method, Message request);
 
+  bool admission_enabled() const { return adm_max_inflight_ > 0; }
+  AdmissionAwaiter admission_enter();
+  void admission_exit();
+
   net::Network* network_;
   Registry* registry_;
   std::string node_name_;
+  bool registered_ = false;
   std::map<std::string, Handler> handlers_;
   int64_t calls_handled_ = 0;
   int64_t calls_sent_ = 0;
+  int64_t calls_shed_ = 0;
+  int64_t calls_expired_ = 0;
+
+  int adm_max_inflight_ = 0;
+  int adm_max_queue_ = 0;
+  int adm_inflight_ = 0;
+  std::deque<AdmissionWaiter*> adm_queue_;  // front = oldest
 };
 
 }  // namespace wiera::rpc

@@ -16,6 +16,7 @@ const char* wait_kind_name(WaitKind kind) {
     case WaitKind::kSemaphore: return "SimSemaphore";
     case WaitKind::kChannel: return "Channel";
     case WaitKind::kFuture: return "Future";
+    case WaitKind::kAdmission: return "Admission";
   }
   return "?";
 }
@@ -29,6 +30,7 @@ const char* diagnostic_kind_name(SimDiagnostic::Kind kind) {
     case SimDiagnostic::Kind::kPromiseBroken: return "promise-broken";
     case SimDiagnostic::Kind::kNegativeRelease: return "negative-release";
     case SimDiagnostic::Kind::kDroppedTask: return "dropped-task";
+    case SimDiagnostic::Kind::kDuplicateEndpoint: return "duplicate-endpoint";
     case SimDiagnostic::Kind::kStuckTask: return "stuck-task";
     case SimDiagnostic::Kind::kLostWakeup: return "lost-wakeup";
     case SimDiagnostic::Kind::kDestroyedWithWaiters:

@@ -58,6 +58,7 @@ enum class WaitKind : uint8_t {
   kSemaphore,
   kChannel,
   kFuture,
+  kAdmission,  // queued behind an rpc::Endpoint admission limit
 };
 
 const char* wait_kind_name(WaitKind kind);
@@ -72,6 +73,7 @@ struct SimDiagnostic {
     kPromiseBroken,       // last Promise handle dropped with waiters pending
     kNegativeRelease,     // SimSemaphore::release with n < 0
     kDroppedTask,         // Task created but destroyed without ever starting
+    kDuplicateEndpoint,   // rpc::Registry::add with an already-taken name
     // Warnings — suspicious, surfaced for tests/forensics.
     kStuckTask,           // task still blocked when the event queue drained
     kLostWakeup,          // task alive at quiescence with no pending wakeup

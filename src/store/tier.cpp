@@ -214,6 +214,9 @@ void BlockTier::cache_erase(const std::string& key) {
 }
 
 sim::Task<Status> BlockTier::put(std::string key, Blob value, IoOptions opts) {
+  if (io_deadline_expired(opts, sim_->now())) {
+    co_return deadline_exceeded("block tier put: " + spec_.name);
+  }
   if (Status fault = write_fault(); !fault.ok()) co_return fault;
   const auto bytes = static_cast<int64_t>(value.size());
   const bool had = contains(key);
@@ -247,6 +250,9 @@ sim::Task<Status> BlockTier::put(std::string key, Blob value, IoOptions opts) {
 }
 
 sim::Task<Result<Blob>> BlockTier::get(std::string key, IoOptions opts) {
+  if (io_deadline_expired(opts, sim_->now())) {
+    co_return deadline_exceeded("block tier get: " + spec_.name);
+  }
   auto it = entries_.find(key);
   stats_.gets++;
   if (it == entries_.end()) {
@@ -287,7 +293,10 @@ sim::Task<Status> BlockTier::remove(std::string key) {
 // ---------------------------------------------------------------- ObjectTier
 
 sim::Task<Status> ObjectTier::put(std::string key, Blob value,
-                                  IoOptions /*opts*/) {
+                                  IoOptions opts) {
+  if (io_deadline_expired(opts, sim_->now())) {
+    co_return deadline_exceeded("object tier put: " + spec_.name);
+  }
   if (Status fault = write_fault(); !fault.ok()) co_return fault;
   const auto bytes = static_cast<int64_t>(value.size());
   co_await sim_->delay(service_time(spec_.write_base, bytes));
@@ -302,7 +311,10 @@ sim::Task<Status> ObjectTier::put(std::string key, Blob value,
   co_return ok_status();
 }
 
-sim::Task<Result<Blob>> ObjectTier::get(std::string key, IoOptions /*opts*/) {
+sim::Task<Result<Blob>> ObjectTier::get(std::string key, IoOptions opts) {
+  if (io_deadline_expired(opts, sim_->now())) {
+    co_return deadline_exceeded("object tier get: " + spec_.name);
+  }
   stats_.gets++;
   auto it = entries_.find(key);
   if (it == entries_.end()) {

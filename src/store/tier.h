@@ -49,7 +49,17 @@ Result<TierKind> tier_kind_from_name(std::string_view name);
 // Per-operation options threaded down from the VFS layer.
 struct IoOptions {
   bool direct = false;  // O_DIRECT: bypass the buffer cache
+  // Absolute deadline for the operation (request-lifecycle propagation,
+  // docs/OVERLOAD.md): tier operations check it on entry and return
+  // kDeadlineExceeded instead of starting work the caller abandoned.
+  // TimePoint::max() = none.
+  TimePoint deadline = TimePoint::max();
 };
+
+// True when `opts` carries a deadline that has already passed at `now`.
+inline bool io_deadline_expired(const IoOptions& opts, TimePoint now) {
+  return opts.deadline != TimePoint::max() && now >= opts.deadline;
+}
 
 struct TierStats {
   int64_t puts = 0;

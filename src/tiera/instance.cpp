@@ -150,6 +150,11 @@ Status TieraInstance::unmount_tier(const std::string& label) {
 
 sim::Task<Result<PutResult>> TieraInstance::put(std::string key, Blob value,
                                                 store::IoOptions opts) {
+  // Deadline check before any metadata side effect: an already-expired
+  // request must not leave an uncommitted version behind.
+  if (store::io_deadline_expired(opts, sim_->now())) {
+    co_return deadline_exceeded("tiera put: " + key);
+  }
   const TimePoint start = sim_->now();
   const metadb::ObjectMeta* existing = meta_.find(key);
   const int64_t version =
@@ -194,6 +199,9 @@ sim::Task<Result<GetResult>> TieraInstance::get(std::string key,
 
 sim::Task<Result<GetResult>> TieraInstance::get_version(
     std::string key, int64_t version, store::IoOptions opts) {
+  if (store::io_deadline_expired(opts, sim_->now())) {
+    co_return deadline_exceeded("tiera get: " + key);
+  }
   const TimePoint start = sim_->now();
   const metadb::VersionMeta* vm = meta_.find_version(key, version);
   if (vm == nullptr || !vm->committed) {
@@ -219,6 +227,9 @@ std::vector<int64_t> TieraInstance::get_version_list(
 
 sim::Task<Status> TieraInstance::update(std::string key, int64_t version,
                                         Blob value, store::IoOptions opts) {
+  if (store::io_deadline_expired(opts, sim_->now())) {
+    co_return deadline_exceeded("tiera update: " + key);
+  }
   metadb::VersionMeta& vm = meta_.upsert_version(key, version);
   vm.size = static_cast<int64_t>(value.size());
   if (vm.create_time == TimePoint::origin()) vm.create_time = sim_->now();

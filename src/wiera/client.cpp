@@ -2,13 +2,18 @@
 
 #include <algorithm>
 
+#include "sim/sync.h"
+
 namespace wiera::geo {
 
 WieraClient::WieraClient(sim::Simulation& sim, net::Network& network,
                          rpc::Registry& registry, std::string client_id,
-                         std::string node, std::vector<std::string> peer_ids)
-    : sim_(&sim), client_id_(std::move(client_id)),
-      peer_ids_(std::move(peer_ids)) {
+                         std::string node, std::vector<std::string> peer_ids,
+                         Config config)
+    : sim_(&sim), client_id_(std::move(client_id)), config_(config),
+      peer_ids_(std::move(peer_ids)),
+      retry_budget_(config.retry_budget_per_sec,
+                    config.retry_budget_capacity) {
   endpoint_ = std::make_unique<rpc::Endpoint>(network, registry, node);
   // Closest instance first (§4.1 places it at the head of the list).
   std::stable_sort(peer_ids_.begin(), peer_ids_.end(),
@@ -18,22 +23,103 @@ WieraClient::WieraClient(sim::Simulation& sim, net::Network& network,
                    });
 }
 
+Context WieraClient::make_ctx() const {
+  if (config_.op_deadline <= Duration::zero()) return Context{};
+  return Context::with_deadline(sim_->now() + config_.op_deadline);
+}
+
 sim::Task<Result<rpc::Message>> WieraClient::call_any(
     std::string rpc_method, std::function<rpc::Message()> make_request) {
+  co_return co_await call_any_ctx(std::move(rpc_method),
+                                  std::move(make_request), make_ctx());
+}
+
+sim::Task<Result<rpc::Message>> WieraClient::call_any_ctx(
+    std::string rpc_method, std::function<rpc::Message()> make_request,
+    Context ctx) {
   Result<rpc::Message> resp = internal_error("no peers");
   const size_t attempts = peer_ids_.size();
   for (size_t i = 0; i < attempts; ++i) {
     const std::string peer = peer_ids_.front();
     rpc::Message msg = make_request();
-    resp = co_await endpoint_->call(peer, rpc_method, std::move(msg));
+    resp = co_await endpoint_->call(peer, rpc_method, std::move(msg), ctx);
     if (resp.ok()) co_return resp;
-    if (resp.status().code() != StatusCode::kUnavailable) co_return resp;
+    const StatusCode code = resp.status().code();
+    // kDeadlineExceeded is final: the deadline covers the whole operation,
+    // so another replica cannot answer in time either. But a peer slow
+    // enough to burn the whole deadline is still demoted — subsequent
+    // operations should prefer replicas that answer.
+    if (code == StatusCode::kDeadlineExceeded && peer_ids_.size() > 1) {
+      std::rotate(peer_ids_.begin(), peer_ids_.begin() + 1, peer_ids_.end());
+      co_return resp;
+    }
+    // Any other non-retriable error is the peer's verdict, not a liveness
+    // problem.
+    if (code != StatusCode::kUnavailable &&
+        code != StatusCode::kResourceExhausted) {
+      co_return resp;
+    }
+    if (i + 1 == attempts) break;
+    // Failovers spend the retry budget: when the bucket is dry the last
+    // error stands instead of amplifying an overload (docs/OVERLOAD.md).
+    if (!retry_budget_.try_spend(sim_->now())) co_return resp;
     // Preferred instance unreachable (§4.4): one failover, then demote it
     // so subsequent operations go straight to the next-closest peer.
     failovers_++;
     std::rotate(peer_ids_.begin(), peer_ids_.begin() + 1, peer_ids_.end());
   }
   co_return resp;
+}
+
+bool WieraClient::hedge_ready() const {
+  return config_.hedge_gets && peer_ids_.size() >= 2 &&
+         get_hist_.count() >= config_.hedge_min_samples;
+}
+
+sim::Task<Result<rpc::Message>> WieraClient::call_hedged(GetRequest request) {
+  const Duration trigger =
+      std::max(get_hist_.percentile(config_.hedge_percentile),
+               config_.hedge_min_delay);
+  auto promise = std::make_shared<sim::Promise<Result<rpc::Message>>>(
+      *sim_, "client.hedged-get");
+  Context ctx = make_ctx();
+
+  // Primary path: the normal failover sequence; it always reports its
+  // outcome (first writer wins — the promise ignores late arrivals).
+  sim_->spawn(
+      [](WieraClient* self, GetRequest req, Context c,
+         std::shared_ptr<sim::Promise<Result<rpc::Message>>> p)
+          -> sim::Task<void> {
+        auto resp = co_await self->call_any_ctx(
+            method::kClientGet, [&] { return encode(req); }, c);
+        if (!p->fulfilled()) p->set_value(std::move(resp));
+      }(this, request, ctx, promise),
+      client_id_ + "/hedge-primary");
+
+  // Backup path: wait for the latency-percentile trigger, then send one
+  // request to the second-closest replica. Only a success may win the race
+  // — a failed hedge must not mask a primary still in flight.
+  sim_->spawn(
+      [](WieraClient* self, GetRequest req, Context c, Duration delay,
+         std::shared_ptr<sim::Promise<Result<rpc::Message>>> p)
+          -> sim::Task<void> {
+        co_await self->sim_->delay(delay);
+        if (p->fulfilled() || c.cancelled()) co_return;
+        self->hedged_gets_++;
+        const std::string backup = self->peer_ids_[1];
+        auto resp = co_await self->endpoint_->call(
+            backup, method::kClientGet, encode(req), c);
+        if (resp.ok() && !p->fulfilled()) {
+          self->hedged_wins_++;
+          p->set_value(std::move(resp));
+        }
+      }(this, request, ctx, trigger, promise),
+      client_id_ + "/hedge-backup");
+
+  Result<rpc::Message> winner = co_await promise->future();
+  // The loser keeps running until its own RPC resolves (or the deadline
+  // cancels it); it holds the promise alive, so no dangling completion.
+  co_return winner;
 }
 
 sim::Task<Result<PutResponse>> WieraClient::put(std::string key, Blob value) {
@@ -71,8 +157,14 @@ sim::Task<Result<GetResponse>> WieraClient::get_version(std::string key,
   req.version = version;
   req.client = client_id_;
 
-  Result<rpc::Message> resp =
-      co_await call_any(method::kClientGet, [&] { return encode(req); });
+  // NOTE: no ternary around co_await — GCC 12 miscompiles conditional
+  // operators whose branches both await (frame-slot corruption).
+  Result<rpc::Message> resp = internal_error("unset");
+  if (hedge_ready()) {
+    resp = co_await call_hedged(req);
+  } else {
+    resp = co_await call_any(method::kClientGet, [&] { return encode(req); });
+  }
   if (!resp.ok()) co_return resp.status();
   auto decoded = decode_get_response(*resp);
   if (!decoded.ok()) co_return decoded.status();

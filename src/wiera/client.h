@@ -5,6 +5,14 @@
 // PUT/GET. If the closest instance is down it retries against the next
 // closest, and so on (§4.4). Latency is recorded as the application
 // perceives it: from issuing the request to receiving the response.
+//
+// Request lifecycle (docs/OVERLOAD.md): every operation may carry an
+// absolute deadline covering the whole attempt sequence — failovers do not
+// restart the clock — and failover retries spend a token-bucket budget so a
+// browned-out cluster is not hammered by retry storms. GETs can optionally
+// be hedged: when the primary attempt is slower than the observed latency
+// percentile, one backup request is sent to the second-closest replica and
+// whichever answers first wins.
 #pragma once
 
 #include <functional>
@@ -12,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/context.h"
 #include "common/histogram.h"
 #include "wiera/messages.h"
 
@@ -19,11 +28,33 @@ namespace wiera::geo {
 
 class WieraClient {
  public:
+  struct Config {
+    // Absolute budget for one client operation including failovers.
+    // Zero = no deadline (seed behaviour).
+    Duration op_deadline = Duration::zero();
+    // Token bucket spent by failover retries. 0 = unlimited.
+    double retry_budget_per_sec = 0;
+    double retry_budget_capacity = 10;
+    // Hedged GETs: after hedge_min_samples observed gets, a get that is
+    // still pending past the hedge_percentile latency (never sooner than
+    // hedge_min_delay) sends one backup request to the second peer.
+    bool hedge_gets = false;
+    int hedge_min_samples = 20;
+    double hedge_percentile = 0.95;
+    Duration hedge_min_delay = msec(10);
+  };
+
   // `peer_ids` is sorted by proximity automatically (base one-way latency
   // from the client's node).
   WieraClient(sim::Simulation& sim, net::Network& network,
               rpc::Registry& registry, std::string client_id,
-              std::string node, std::vector<std::string> peer_ids);
+              std::string node, std::vector<std::string> peer_ids,
+              Config config);
+  WieraClient(sim::Simulation& sim, net::Network& network,
+              rpc::Registry& registry, std::string client_id,
+              std::string node, std::vector<std::string> peer_ids)
+      : WieraClient(sim, network, registry, std::move(client_id),
+                    std::move(node), std::move(peer_ids), Config()) {}
 
   const std::string& id() const { return client_id_; }
   const std::string& closest_peer() const { return peer_ids_.front(); }
@@ -45,22 +76,40 @@ class WieraClient {
   const LatencyHistogram& put_latency() const { return put_hist_; }
   const LatencyHistogram& get_latency() const { return get_hist_; }
   int64_t failovers() const { return failovers_; }
+  int64_t hedged_gets() const { return hedged_gets_; }
+  int64_t hedged_wins() const { return hedged_wins_; }
+  int64_t retry_budget_denials() const { return retry_budget_.denied(); }
 
  private:
-  // Issue `rpc_method` against the preferred peer; on kUnavailable demote
-  // that peer to the back of the preference order (counting one failover)
-  // and try the next, so a crashed primary costs exactly one failover
-  // instead of one per subsequent operation (§4.4).
+  // Issue `rpc_method` against the preferred peer; on kUnavailable (peer
+  // down) or kResourceExhausted (peer shedding load) demote that peer to
+  // the back of the preference order (counting one failover) and try the
+  // next, so a crashed primary costs exactly one failover instead of one
+  // per subsequent operation (§4.4). Each failover spends a retry-budget
+  // token; kDeadlineExceeded is final — the deadline covers all attempts —
+  // but the peer that burned it is still demoted for future operations.
   sim::Task<Result<rpc::Message>> call_any(
       std::string rpc_method, std::function<rpc::Message()> make_request);
+  sim::Task<Result<rpc::Message>> call_any_ctx(
+      std::string rpc_method, std::function<rpc::Message()> make_request,
+      Context ctx);
+  // Hedged GET: race the normal failover path against one delayed backup
+  // request to the second-closest peer.
+  sim::Task<Result<rpc::Message>> call_hedged(GetRequest request);
+  bool hedge_ready() const;
+  Context make_ctx() const;
 
   sim::Simulation* sim_;
   std::string client_id_;
+  Config config_;
   std::unique_ptr<rpc::Endpoint> endpoint_;
   std::vector<std::string> peer_ids_;
   LatencyHistogram put_hist_;
   LatencyHistogram get_hist_;
+  RetryBudget retry_budget_;
   int64_t failovers_ = 0;
+  int64_t hedged_gets_ = 0;
+  int64_t hedged_wins_ = 0;
 };
 
 }  // namespace wiera::geo

@@ -446,8 +446,13 @@ sim::Task<void> WieraController::heartbeat_loop() {
     for (TieraServer* server : servers_) {
       for (const std::string& id : server->peer_ids()) {
         rpc::Message ping;
+        Context ping_ctx;
+        if (config_.ping_deadline > Duration::zero()) {
+          ping_ctx =
+              Context::with_deadline(sim_->now() + config_.ping_deadline);
+        }
         auto resp = co_await endpoint_->call(id, method::kPing,
-                                             std::move(ping));
+                                             std::move(ping), ping_ctx);
         auto prev = node_alive_.find(id);
         const bool was_alive = prev == node_alive_.end() || prev->second;
         const bool alive = resp.ok();
@@ -552,6 +557,29 @@ sim::Task<void> WieraController::recover_peer(std::string wiera_id,
     co_return;
   }
   p->begin_recovery();
+
+  // Cluster-wide lease lapse (control-plane brownout): every candidate
+  // source may itself be recovering, which would deadlock — each peer waits
+  // for a settled source that never appears. In primary-backup modes a
+  // lapsed-but-uncrashed primary lost no data (every committed write flowed
+  // through it, and nothing commits while it is refusing writes), so it is
+  // the source of truth: rejoin it directly, and the next heartbeat uses it
+  // as the catch-up source for everyone else. Multi-primaries writes commit
+  // at *any* lock holder, so there this shortcut would resurrect a peer
+  // that really did miss writes — it must catch up like everyone else.
+  const bool single_write_path =
+      it->second.mode == ConsistencyMode::kPrimaryBackupSync ||
+      it->second.mode == ConsistencyMode::kPrimaryBackupAsync;
+  if (single_write_path && peer_id == it->second.primary &&
+      !p->data_suspect()) {
+    p->finish_recovery();
+    recoveries_completed_++;
+    WLOG_INFO(kComponent) << peer_id
+                          << " (primary, data intact) rejoined " << wiera_id
+                          << " without catch-up";
+    catching_up_.erase(peer_id);
+    co_return;
+  }
 
   // Catch-up sources: the primary first (in primary-backup modes it has
   // every committed write), then the other live, settled storage peers.

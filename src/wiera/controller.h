@@ -74,6 +74,11 @@ class WieraController {
     // an isolated replica is refusing reads before anyone stops
     // replicating to it. Zero disables both sides (seed behaviour).
     Duration serve_lease = Duration::zero();
+    // Deadline on each heartbeat ping (docs/OVERLOAD.md). Without one, a
+    // ping to a partitioned node blocks the heartbeat loop for the full
+    // unreachable timeout; with one, failure detection keeps its cadence
+    // under brownouts. Zero = no deadline (seed behaviour).
+    Duration ping_deadline = Duration::zero();
   };
 
   // How to launch a Wiera instance from a global policy document.

@@ -65,6 +65,7 @@ rpc::Message encode(const GetResponse& m) {
   w.put_blob(m.value);
   w.put_i64(m.version);
   w.put_string(m.served_by);
+  w.put_bool(m.stale);
   return rpc::Message{w.take()};
 }
 
@@ -74,6 +75,7 @@ Result<GetResponse> decode_get_response(const rpc::Message& msg) {
   out.value = r.get_blob();
   out.version = r.get_i64();
   out.served_by = r.get_string();
+  out.stale = r.get_bool();
   if (!r.ok()) return r.status();
   return out;
 }

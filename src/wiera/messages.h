@@ -49,6 +49,9 @@ struct PutRequest {
   bool forwarded = false;
   bool direct = false;   // O_DIRECT from the VFS layer (§5.4)
   int64_t version = 0;   // Table 2 update(): write this exact version
+  // Absolute deadline, copied by handlers from the rpc::Message frame (not
+  // part of the wire body). TimePoint::max() = none.
+  TimePoint deadline = TimePoint::max();
 };
 
 struct PutResponse {
@@ -60,14 +63,20 @@ struct GetRequest {
   int64_t version = 0;  // 0 = latest
   std::string client;
   bool direct = false;  // O_DIRECT from the VFS layer (§5.4)
+  // Absolute deadline, copied by handlers from the rpc::Message frame (not
+  // part of the wire body). TimePoint::max() = none.
+  TimePoint deadline = TimePoint::max();
 };
 
 struct GetResponse {
   Blob value;
   int64_t version = 0;
-  // True when the responding instance served its local latest rather than a
-  // known-globally-latest version (staleness accounting for Fig. 8).
   std::string served_by;
+  // Graceful degradation (docs/OVERLOAD.md): true when the serving instance
+  // answered from its local copy while unable to prove freshness (lease
+  // lapsed / primary unreachable) under a BoundedStaleness policy. Clients
+  // and the consistency oracle must treat such reads as possibly stale.
+  bool stale = false;
 };
 
 struct ReplicateRequest {
@@ -99,6 +108,7 @@ struct RemoveRequest {
   std::string key;
   int64_t version = 0;      // 0 = all versions (remove), else removeVersion
   bool propagate = true;    // false on replica-to-replica fan-out
+  TimePoint deadline = TimePoint::max();  // frame metadata, not wire body
 };
 
 // Catch-up resync (recovery after crash/partition): the source answers with

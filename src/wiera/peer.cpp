@@ -39,6 +39,46 @@ Duration extract_latency_threshold(const policy::PolicyDoc& doc) {
   return threshold;
 }
 
+// Extract the staleness bound a BoundedStaleness degradation policy allows
+// (`threshold.staleness <= 10 seconds`). Duration::zero() when the policy
+// names no bound — stale serving stays disabled rather than unbounded.
+Duration extract_staleness_threshold(const policy::PolicyDoc& doc) {
+  Duration bound = Duration::zero();
+  std::function<void(const policy::Expr&)> scan = [&](const policy::Expr& e) {
+    if (!e.is_binary()) return;
+    const auto& bin = e.binary();
+    if (bin.lhs->is_path() &&
+        bin.lhs->path().dotted() == "threshold.staleness" &&
+        bin.rhs->is_literal() &&
+        bin.rhs->literal().value.kind == policy::Value::Kind::kDuration) {
+      bound = std::max(bound, bin.rhs->literal().value.duration);
+      return;
+    }
+    scan(*bin.lhs);
+    scan(*bin.rhs);
+  };
+  for (const auto& rule : doc.events) {
+    for (const auto& stmt : rule.response) {
+      if (!stmt.is_if()) continue;
+      for (const auto& branch : stmt.if_stmt().branches) {
+        if (branch.condition != nullptr) scan(*branch.condition);
+      }
+    }
+  }
+  return bound;
+}
+
+// FNV-1a over a small string, used to fold breaker transitions into the
+// determinism trace hash (same recipe as the fault injector).
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 // Find the first change_policy action in a statement list whose condition
 // (already checked by the caller) matched; returns its what/to words.
 struct ChangeAction {
@@ -90,6 +130,15 @@ WieraPeer::WieraPeer(sim::Simulation& sim, net::Network& network,
   if (config_.dynamic_consistency_policy.has_value()) {
     latency_threshold_ =
         extract_latency_threshold(*config_.dynamic_consistency_policy);
+  }
+  if (config_.max_inflight > 0) {
+    endpoint_->set_admission(config_.max_inflight, config_.max_queue);
+  }
+  retry_budget_ = RetryBudget(config_.retry_budget_per_sec,
+                              config_.retry_budget_capacity);
+  if (config_.degradation_policy.has_value()) {
+    stale_bound_ = extract_staleness_threshold(*config_.degradation_policy);
+    allow_stale_ = stale_bound_ > Duration::zero();
   }
   register_handlers();
 }
@@ -147,7 +196,9 @@ void WieraPeer::register_handlers() {
       [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
         auto req = decode_put_request(msg);
         if (!req.ok()) co_return req.status();
-        auto resp = co_await client_put(std::move(req).value());
+        PutRequest request = std::move(req).value();
+        request.deadline = msg.deadline;  // frame metadata -> request
+        auto resp = co_await client_put(std::move(request));
         if (!resp.ok()) co_return resp.status();
         co_return encode(*resp);
       });
@@ -156,7 +207,9 @@ void WieraPeer::register_handlers() {
       [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
         auto req = decode_get_request(msg);
         if (!req.ok()) co_return req.status();
-        auto resp = co_await client_get(std::move(req).value());
+        GetRequest request = std::move(req).value();
+        request.deadline = msg.deadline;
+        auto resp = co_await client_get(std::move(request));
         if (!resp.ok()) co_return resp.status();
         co_return encode(*resp);
       });
@@ -167,6 +220,7 @@ void WieraPeer::register_handlers() {
         if (!req.ok()) co_return req.status();
         PutRequest request = std::move(req).value();
         request.forwarded = true;
+        request.deadline = msg.deadline;
         auto resp = co_await client_put(std::move(request));
         if (!resp.ok()) co_return resp.status();
         co_return encode(*resp);
@@ -178,15 +232,18 @@ void WieraPeer::register_handlers() {
         if (!req.ok()) co_return req.status();
         // Serve locally; do not re-forward (avoids loops).
         GetRequest request = std::move(req).value();
+        request.deadline = msg.deadline;
         // NOTE: no ternary around co_await — GCC 12 miscompiles conditional
         // operators whose branches both await (frame-slot corruption).
         Result<tiera::GetResult> local = not_found("unset");
         if (request.version == 0) {
-          local = co_await local_->get(request.key,
-                                       {.direct = request.direct});
+          local = co_await local_->get(
+              request.key,
+              {.direct = request.direct, .deadline = request.deadline});
         } else {
-          local = co_await local_->get_version(request.key, request.version,
-                                               {.direct = request.direct});
+          local = co_await local_->get_version(
+              request.key, request.version,
+              {.direct = request.direct, .deadline = request.deadline});
         }
         if (!local.ok()) co_return local.status();
         GetResponse out;
@@ -245,7 +302,9 @@ void WieraPeer::register_handlers() {
       [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
         auto req = decode_remove_request(msg);
         if (!req.ok()) co_return req.status();
-        Status st = co_await remove_key(std::move(req).value());
+        RemoveRequest request = std::move(req).value();
+        request.deadline = msg.deadline;
+        Status st = co_await remove_key(std::move(request));
         co_return encode_status(st);
       });
   endpoint_->register_handler(
@@ -378,13 +437,31 @@ sim::Task<Result<PutResponse>> WieraPeer::put_multi_primaries(
 sim::Task<Result<PutResponse>> WieraPeer::put_primary_backup(
     PutRequest& request) {
   if (!config_.is_primary) {
-    // Forward to the primary (Fig. 3b else-branch).
+    // Forward to the primary (Fig. 3b else-branch). The forward is gated by
+    // the per-peer breaker: once the primary has burned a few deadlines the
+    // backup fails fast instead of parking every put until its deadline.
+    CircuitBreaker* brk = breaker_for(config_.primary_instance);
+    if (brk != nullptr && !brk->allow(sim_->now())) {
+      breaker_fast_fails_++;
+      co_return unavailable("forward to " + config_.primary_instance +
+                            ": circuit open");
+    }
     PutRequest forwarded = request;
     forwarded.client = config_.instance_id;
     forwarded.forwarded = true;
     rpc::Message msg = encode(forwarded);
     auto resp = co_await endpoint_->call(config_.primary_instance,
-                                         method::kForwardPut, std::move(msg));
+                                         method::kForwardPut, std::move(msg),
+                                         ctx_for(request.deadline));
+    if (brk != nullptr) {
+      if (resp.ok() || (resp.status().code() != StatusCode::kUnavailable &&
+                        resp.status().code() !=
+                            StatusCode::kDeadlineExceeded)) {
+        brk->record_success();  // the primary answered (even with an error)
+      } else {
+        brk->record_failure(sim_->now());
+      }
+    }
     if (!resp.ok()) co_return resp.status();
     co_return decode_put_response(*resp);
   }
@@ -403,14 +480,16 @@ sim::Task<Result<PutResponse>> WieraPeer::put_local_and_replicate(
   }
   int64_t version = request.version;
   if (version == 0) {
-    auto put_result = co_await local_->put(request.key, request.value,
-                                           {.direct = request.direct});
+    auto put_result = co_await local_->put(
+        request.key, request.value,
+        {.direct = request.direct, .deadline = request.deadline});
     if (!put_result.ok()) co_return put_result.status();
     version = put_result->version;
   } else {
     // Table 2 update(): the application names the version explicitly.
-    Status st = co_await local_->update(request.key, version, request.value,
-                                        {.direct = request.direct});
+    Status st = co_await local_->update(
+        request.key, version, request.value,
+        {.direct = request.direct, .deadline = request.deadline});
     if (!st.ok()) co_return st;
   }
 
@@ -426,7 +505,7 @@ sim::Task<Result<PutResponse>> WieraPeer::put_local_and_replicate(
   update.origin = config_.instance_id;
 
   if (synchronous) {
-    Status st = co_await replicate_to_all(std::move(update));
+    Status st = co_await replicate_to_all(std::move(update), request.deadline);
     if (!st.ok()) co_return st;
   } else if (!storage_peer_ids_.empty()) {
     queue_->send(QueuedUpdate{std::move(update)});
@@ -435,7 +514,17 @@ sim::Task<Result<PutResponse>> WieraPeer::put_local_and_replicate(
 }
 
 sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
-  if (Status gate = availability_gate(); !gate.ok()) co_return gate;
+  if (Status gate = availability_gate(); !gate.ok()) {
+    // Graceful degradation (docs/OVERLOAD.md): a lease-lapsed replica may
+    // answer from its local copy, flagged stale, while the BoundedStaleness
+    // bound still covers it. Consumers treating the flag as a failure keep
+    // strong semantics; the oracle records stale reads as unverified.
+    if (stale_read_allowed()) {
+      auto stale = co_await stale_local_get(request);
+      if (stale.ok()) co_return stale;
+    }
+    co_return gate;
+  }
   co_await wait_if_blocked();
   op_started();
   const TimePoint start = sim_->now();
@@ -451,13 +540,39 @@ sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
   }
 
   if (!forward_target.empty()) {
-    rpc::Message msg = encode(request);
-    auto resp = co_await endpoint_->call(forward_target, method::kForwardGet,
-                                         std::move(msg));
-    if (!resp.ok()) {
-      result = resp.status();
+    CircuitBreaker* brk = breaker_for(forward_target);
+    if (brk != nullptr && !brk->allow(sim_->now())) {
+      breaker_fast_fails_++;
+      result = unavailable("forward to " + forward_target +
+                           ": circuit open");
     } else {
-      result = decode_get_response(*resp);
+      rpc::Message msg = encode(request);
+      auto resp = co_await endpoint_->call(forward_target, method::kForwardGet,
+                                           std::move(msg),
+                                           ctx_for(request.deadline));
+      if (brk != nullptr) {
+        if (resp.ok() || (resp.status().code() != StatusCode::kUnavailable &&
+                          resp.status().code() !=
+                              StatusCode::kDeadlineExceeded)) {
+          brk->record_success();  // the target answered (even with an error)
+        } else {
+          brk->record_failure(sim_->now());
+        }
+      }
+      if (!resp.ok()) {
+        result = resp.status();
+      } else {
+        result = decode_get_response(*resp);
+      }
+    }
+    // Forward target unreachable or too slow: fall back to the local copy,
+    // flagged stale, when the degradation policy covers it.
+    if (!result.ok() &&
+        (result.status().code() == StatusCode::kUnavailable ||
+         result.status().code() == StatusCode::kDeadlineExceeded) &&
+        stale_read_allowed()) {
+      auto stale = co_await stale_local_get(request);
+      if (stale.ok()) result = std::move(stale);
     }
   } else if (cold_remote_keys_.count(request.key) > 0 &&
              !config_.centralized_cold_target.empty()) {
@@ -465,7 +580,8 @@ sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
     // cold-storage peer.
     rpc::Message msg = encode(request);
     auto resp = co_await endpoint_->call(config_.centralized_cold_target,
-                                         method::kColdFetch, std::move(msg));
+                                         method::kColdFetch, std::move(msg),
+                                         ctx_for(request.deadline));
     if (!resp.ok()) {
       result = resp.status();
     } else {
@@ -474,10 +590,13 @@ sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
   } else {
     Result<tiera::GetResult> local = not_found("unset");
     if (request.version == 0) {
-      local = co_await local_->get(request.key, {.direct = request.direct});
+      local = co_await local_->get(
+          request.key,
+          {.direct = request.direct, .deadline = request.deadline});
     } else {
-      local = co_await local_->get_version(request.key, request.version,
-                                           {.direct = request.direct});
+      local = co_await local_->get_version(
+          request.key, request.version,
+          {.direct = request.direct, .deadline = request.deadline});
     }
     if (local.ok()) {
       GetResponse out;
@@ -491,8 +610,8 @@ sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
       // Replica miss: ask the primary.
       rpc::Message msg = encode(request);
       auto resp = co_await endpoint_->call(config_.primary_instance,
-                                           method::kForwardGet,
-                                           std::move(msg));
+                                           method::kForwardGet, std::move(msg),
+                                           ctx_for(request.deadline));
       if (!resp.ok()) {
         result = resp.status();
       } else {
@@ -543,13 +662,13 @@ sim::Task<Status> WieraPeer::remove_key(RemoveRequest request) {
     fanout.propagate = false;
     std::vector<sim::Task<Status>> tasks;
     for (const std::string& peer_id : storage_peer_ids_) {
-      tasks.push_back([](rpc::Endpoint* ep, std::string target,
-                         rpc::Message m) -> sim::Task<Status> {
+      tasks.push_back([](rpc::Endpoint* ep, std::string target, rpc::Message m,
+                         Context ctx) -> sim::Task<Status> {
         auto resp = co_await ep->call(std::move(target), method::kRemove,
-                                      std::move(m));
+                                      std::move(m), ctx);
         if (!resp.ok()) co_return resp.status();
         co_return decode_status(*resp);
-      }(endpoint_.get(), peer_id, encode(fanout)));
+      }(endpoint_.get(), peer_id, encode(fanout), ctx_for(request.deadline)));
     }
     std::vector<Status> results =
         co_await sim::when_all(*sim_, std::move(tasks));
@@ -566,7 +685,8 @@ sim::Task<Status> WieraPeer::remove_key(RemoveRequest request) {
 
 // ---------------------------------------------------------------- replication
 
-sim::Task<Status> WieraPeer::replicate_to_all(ReplicateRequest update) {
+sim::Task<Status> WieraPeer::replicate_to_all(ReplicateRequest update,
+                                              TimePoint deadline) {
   // Membership can widen while the fan-out is in flight (a recovered peer
   // rejoining). Keep sending until the acknowledged set covers the current
   // membership: a put must never report success while excluding a peer that
@@ -582,7 +702,7 @@ sim::Task<Status> WieraPeer::replicate_to_all(ReplicateRequest update) {
     std::vector<sim::Task<Status>> tasks;
     tasks.reserve(targets.size());
     for (const std::string& peer_id : targets) {
-      tasks.push_back(send_replicate(peer_id, update));
+      tasks.push_back(send_replicate(peer_id, update, deadline));
     }
     std::vector<Status> statuses =
         co_await sim::when_all(*sim_, std::move(tasks));
@@ -593,24 +713,51 @@ sim::Task<Status> WieraPeer::replicate_to_all(ReplicateRequest update) {
 }
 
 sim::Task<Status> WieraPeer::send_replicate(std::string peer_id,
-                                            ReplicateRequest update) {
+                                            ReplicateRequest update,
+                                            TimePoint deadline) {
   const std::string target = std::move(peer_id);
   Status last = unavailable("replicate: no attempt made");
   for (int attempt = 0; attempt <= config_.replicate_retries; ++attempt) {
     if (attempt > 0) {
+      // Retries spend the budget: under a sustained brownout the token
+      // bucket drains and the send fails with its last error instead of
+      // amplifying the overload (docs/OVERLOAD.md).
+      if (!retry_budget_.try_spend(sim_->now())) co_return last;
       replication_retries_++;
       co_await sim_->delay(config_.replicate_backoff *
                            static_cast<double>(int64_t{1} << (attempt - 1)));
       if (stopping_) co_return last;
     }
+    if (deadline != TimePoint::max() && sim_->now() >= deadline) {
+      co_return deadline_exceeded("replicate to " + target +
+                                  ": deadline exceeded");
+    }
+    CircuitBreaker* brk = breaker_for(target);
+    if (brk != nullptr && !brk->allow(sim_->now())) {
+      // Fail fast; the backoff loop above still paces any retry attempts.
+      breaker_fast_fails_++;
+      last = unavailable("replicate to " + target + ": circuit open");
+      continue;
+    }
     rpc::Message msg = encode(update);
     replications_sent_++;
     const TimePoint start = sim_->now();
     auto resp = co_await endpoint_->call(target, method::kReplicate,
-                                         std::move(msg));
+                                         std::move(msg), ctx_for(deadline));
     if (config_.network_monitor != nullptr) {
       config_.network_monitor->record_link_latency(config_.instance_id, target,
                                                    sim_->now() - start);
+    }
+    if (brk != nullptr) {
+      // Unreachability and timeouts mark the target unhealthy; any decoded
+      // response (even an application error) proves it is alive.
+      if (!resp.ok() && (resp.status().code() == StatusCode::kUnavailable ||
+                         resp.status().code() ==
+                             StatusCode::kDeadlineExceeded)) {
+        brk->record_failure(sim_->now());
+      } else {
+        brk->record_success();
+      }
     }
     if (!resp.ok()) {
       last = resp.status();
@@ -753,6 +900,10 @@ void WieraPeer::on_crash() {
   while (queue_->try_recv().has_value()) {
   }
   recovering_ = true;
+  // A crashed peer lost its volatile tiers: its local copy is not merely
+  // stale, it may be gone or torn, so the degradation path stays closed
+  // until catch-up completes.
+  data_suspect_ = true;
   WLOG_INFO(kComponent) << id() << " crashed: volatile state lost";
 }
 
@@ -812,7 +963,68 @@ sim::Task<Status> WieraPeer::catch_up(std::vector<std::string> sources) {
 
 void WieraPeer::finish_recovery() {
   recovering_ = false;
+  data_suspect_ = false;
   last_contact_ = sim_->now();
+}
+
+// ------------------------------------------------------- overload robustness
+
+CircuitBreaker* WieraPeer::breaker_for(const std::string& target) {
+  if (config_.breaker_failures <= 0) return nullptr;
+  auto it = breakers_.find(target);
+  if (it == breakers_.end()) {
+    CircuitBreaker::Options options;
+    options.failure_threshold = config_.breaker_failures;
+    options.open_for = config_.breaker_open_for;
+    it = breakers_.emplace(target, CircuitBreaker(options)).first;
+    // Fold every transition into the determinism trace: a replayed chaos
+    // run must trip the same breakers in the same order.
+    it->second.set_transition_hook(
+        [this, target](CircuitBreaker::State, CircuitBreaker::State to) {
+          sim_->checker().fold_trace(
+              fnv1a(config_.instance_id + "|" + target + "|" +
+                    CircuitBreaker::state_name(to)));
+        });
+  }
+  return &it->second;
+}
+
+const CircuitBreaker* WieraPeer::breaker(const std::string& target) const {
+  auto it = breakers_.find(target);
+  return it == breakers_.end() ? nullptr : &it->second;
+}
+
+Context WieraPeer::ctx_for(TimePoint deadline) {
+  if (deadline == TimePoint::max()) return Context{};
+  return Context::with_deadline(deadline);
+}
+
+bool WieraPeer::stale_read_allowed() const {
+  if (!allow_stale_ || data_suspect_) return false;
+  return sim_->now() - last_contact_ <= stale_bound_;
+}
+
+sim::Task<Result<GetResponse>> WieraPeer::stale_local_get(
+    const GetRequest& request) {
+  Result<tiera::GetResult> local = not_found("unset");
+  if (request.version == 0) {
+    local = co_await local_->get(
+        request.key, {.direct = request.direct, .deadline = request.deadline});
+  } else {
+    local = co_await local_->get_version(
+        request.key, request.version,
+        {.direct = request.direct, .deadline = request.deadline});
+  }
+  if (!local.ok()) co_return local.status();
+  GetResponse out;
+  out.value = std::move(local->value);
+  out.version = local->version;
+  out.served_by = config_.instance_id;
+  out.stale = true;
+  stale_serves_++;
+  WLOG_INFO(kComponent) << id() << " served " << request.key
+                        << " stale (degradation)";
+  co_return out;
 }
 
 // ---------------------------------------------------------------- monitors

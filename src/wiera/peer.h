@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "common/breaker.h"
+#include "common/context.h"
 #include "coord/lock_service.h"
 #include "sim/sync.h"
 #include "tiera/instance.h"
@@ -78,6 +80,29 @@ class WieraPeer : public tiera::InstanceHooks {
     std::optional<policy::PolicyDoc> change_primary_policy;       // Fig. 5b
     Duration requests_monitor_window = sec(30);  // put history (§5.2)
     Duration requests_monitor_check = sec(5);
+    // ---- overload robustness (docs/OVERLOAD.md) ----
+    // Admission control on this peer's endpoint: at most max_inflight
+    // handlers run concurrently, max_queue wait behind them (LIFO service,
+    // oldest-waiter shedding). 0 = unlimited (seed behaviour).
+    int max_inflight = 0;
+    int max_queue = 0;
+    // Per-target circuit breaker on replication / forwarding sends: after
+    // breaker_failures consecutive failures the target is failed fast for
+    // breaker_open_for, then probed (half-open). 0 = disabled.
+    int breaker_failures = 0;
+    Duration breaker_open_for = sec(1);
+    // Token-bucket budget for replication *retries* (the PR-2 backoff
+    // loop): refills at retry_budget_per_sec up to retry_budget_capacity;
+    // a denied retry fails the send with its last error instead of piling
+    // more traffic onto a browned-out peer. 0 = unlimited.
+    double retry_budget_per_sec = 0;
+    double retry_budget_capacity = 10;
+    // Bounded-staleness escape hatch: a parsed BoundedStaleness policy
+    // (policy::builtin::bounded_staleness()). When set, a replica whose
+    // serve lease lapsed — or whose forward target is unreachable — may
+    // answer GETs from its local copy, flagged `stale`, while its last
+    // authority contact is younger than the policy's staleness bound.
+    std::optional<policy::PolicyDoc> degradation_policy;
   };
 
   // Callbacks to the controller (wired by WieraController; RPC is used for
@@ -136,6 +161,10 @@ class WieraPeer : public tiera::InstanceHooks {
   // completes).
   void on_crash();
   bool recovering() const { return recovering_; }
+  // True after a crash until catch-up completes: volatile tiers may have
+  // lost committed data, so this peer can neither serve stale reads nor act
+  // as a catch-up source of truth.
+  bool data_suspect() const { return data_suspect_; }
   // Mark the peer recovering without a crash (controller-driven, e.g. when
   // the serve lease lapsed during a partition).
   void begin_recovery() { recovering_ = true; }
@@ -148,6 +177,13 @@ class WieraPeer : public tiera::InstanceHooks {
   void finish_recovery();
   int64_t catch_ups_completed() const { return catch_ups_completed_; }
   int64_t replication_retries() const { return replication_retries_; }
+
+  // ---- overload-robustness state (read by tests/benches) ----
+  int64_t stale_serves() const { return stale_serves_; }
+  int64_t breaker_fast_fails() const { return breaker_fast_fails_; }
+  int64_t retry_budget_denials() const { return retry_budget_.denied(); }
+  // nullptr when breakers are disabled or no traffic went to `target` yet.
+  const CircuitBreaker* breaker(const std::string& target) const;
 
   // ---- monitor state (read by tests/benches) ----
   const LatencyHistogram& put_latency() const { return put_hist_; }
@@ -174,9 +210,22 @@ class WieraPeer : public tiera::InstanceHooks {
   sim::Task<Result<PutResponse>> put_local_and_replicate(PutRequest& request,
                                                          bool synchronous);
 
-  sim::Task<Status> replicate_to_all(ReplicateRequest update);
-  sim::Task<Status> send_replicate(std::string peer_id,
-                                   ReplicateRequest update);
+  sim::Task<Status> replicate_to_all(ReplicateRequest update,
+                                     TimePoint deadline = TimePoint::max());
+  sim::Task<Status> send_replicate(std::string peer_id, ReplicateRequest update,
+                                   TimePoint deadline);
+
+  // Overload robustness helpers.
+  // Breaker for a send target; nullptr when breakers are disabled.
+  CircuitBreaker* breaker_for(const std::string& target);
+  // Context carrying `deadline` (default Context when there is none).
+  static Context ctx_for(TimePoint deadline);
+  // Whether a stale local read may substitute for an unreachable
+  // primary/forward-target right now (degradation policy present, local
+  // data not wiped by a crash, authority contact within the bound).
+  bool stale_read_allowed() const;
+  // Local read for the bounded-staleness path; flags the response stale.
+  sim::Task<Result<GetResponse>> stale_local_get(const GetRequest& request);
   sim::Task<void> queue_flusher();
   sim::Task<Status> flush_queue();
 
@@ -215,6 +264,17 @@ class WieraPeer : public tiera::InstanceHooks {
   TimePoint last_contact_;  // last successful lease-authority round trip
   int64_t catch_ups_completed_ = 0;
   int64_t replication_retries_ = 0;
+
+  // Overload-robustness state (docs/OVERLOAD.md).
+  std::map<std::string, CircuitBreaker> breakers_;  // per send target
+  RetryBudget retry_budget_;
+  Duration stale_bound_ = Duration::zero();  // from degradation_policy
+  bool allow_stale_ = false;
+  // Set on crash, cleared when recovery finishes: a crashed peer lost its
+  // volatile tiers, so its local copy must not be served as merely stale.
+  bool data_suspect_ = false;
+  int64_t stale_serves_ = 0;
+  int64_t breaker_fast_fails_ = 0;
 
   // Block-and-queue state for consistency changes.
   bool blocking_ = false;

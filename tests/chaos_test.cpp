@@ -10,10 +10,13 @@
 // trace hash allows an exact replay.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/units.h"
@@ -82,10 +85,13 @@ struct ChaosCluster {
   WieraController controller;
   std::vector<std::unique_ptr<TieraServer>> servers;
 
-  explicit ChaosCluster(uint64_t seed)
+  explicit ChaosCluster(
+      uint64_t seed,
+      std::function<void(WieraController::Config&)> config_tweak = nullptr)
       : sim(seed),
         network(sim, make_topology()),
-        controller(sim, network, registry, controller_config()) {
+        controller(sim, network, registry,
+                   controller_config(std::move(config_tweak))) {
     for (const char* node : kStorageNodes) {
       servers.push_back(
           std::make_unique<TieraServer>(sim, network, registry, node));
@@ -93,12 +99,14 @@ struct ChaosCluster {
     }
   }
 
-  static WieraController::Config controller_config() {
+  static WieraController::Config controller_config(
+      std::function<void(WieraController::Config&)> tweak = nullptr) {
     WieraController::Config config;
     config.node = "wiera-controller";
     config.heartbeat_interval = sec(1);
     config.lock_lease = sec(20);
     config.serve_lease = msec(1500);
+    if (tweak) tweak(config);
     return config;
   }
 
@@ -283,6 +291,294 @@ std::string hex_trace(uint64_t hash) {
   std::snprintf(buf, sizeof(buf), "0x%016llx",
                 static_cast<unsigned long long>(hash));
   return buf;
+}
+
+// --------------------------------------------- brownout (overload) schedule
+//
+// The request-lifecycle acceptance scenario (docs/OVERLOAD.md): the primary's
+// region answers 10x slower than the client op deadline while the control
+// plane browns out (lease renewals dropped, so serve leases lapse and the
+// BoundedStaleness degradation policy kicks in). Admission control, circuit
+// breakers, retry budgets and hedged GETs are all armed. Every request must
+// resolve — OK, stale, or a clean overload status — within the deadline plus
+// one cross-region round trip, and the consistency oracle must stay clean.
+
+constexpr Duration kBrownoutDeadline = sec(2);
+constexpr Duration kBrownoutSlack = sec(1);  // ~one WAN RTT + scheduling
+
+struct BrownoutCounts {
+  int64_t started = 0;
+  int64_t resolved = 0;
+  int64_t late = 0;        // resolved after deadline + slack
+  int64_t unexpected = 0;  // status outside the allowed overload set
+  int64_t ok = 0;
+  int64_t stale = 0;
+  int64_t expired = 0;
+  int64_t unavailable = 0;
+  int64_t exhausted = 0;
+  int64_t not_found = 0;
+};
+
+struct BrownoutResult {
+  std::vector<sim::OracleViolation> violations;
+  uint64_t trace_hash = 0;
+  BrownoutCounts counts;
+  int64_t shed = 0;          // rpc admission sheds across all peers
+  int64_t rpc_expired = 0;   // rpc calls cut off at their deadline
+  int64_t stale_serves = 0;  // degraded reads served by peers
+  int64_t fast_fails = 0;    // breaker-open fast failures
+  int64_t hedged = 0;
+  int64_t hedged_wins = 0;
+  int64_t budget_denied = 0;
+};
+
+void note_outcome(BrownoutCounts& counts, Duration elapsed, StatusCode code,
+                  bool stale) {
+  counts.resolved++;
+  if (elapsed > kBrownoutDeadline + kBrownoutSlack) counts.late++;
+  switch (code) {
+    case StatusCode::kOk:
+      if (stale) {
+        counts.stale++;
+      } else {
+        counts.ok++;
+      }
+      break;
+    case StatusCode::kDeadlineExceeded:
+      counts.expired++;
+      break;
+    case StatusCode::kUnavailable:
+      counts.unavailable++;
+      break;
+    case StatusCode::kResourceExhausted:
+      counts.exhausted++;
+      break;
+    case StatusCode::kNotFound:
+      counts.not_found++;
+      break;
+    default:
+      counts.unexpected++;
+      break;
+  }
+}
+
+// Like client_workload, but every op carries the client's op deadline and
+// its outcome/latency is audited. Stale reads go into the oracle as
+// unverified (ok=false) — the oracle must not treat a flagged-stale value
+// as proof of the strong invariant.
+sim::Task<void> brownout_workload(sim::Simulation& sim,
+                                  sim::ConsistencyOracle& oracle,
+                                  WieraClient& client, int index,
+                                  BrownoutCounts& counts) {
+  co_await sim.delay(msec(300) * static_cast<double>(index + 1));
+  for (int round = 0; round < 12; ++round) {
+    const std::string key = kKeys[round % 2];
+    const std::string value =
+        "c" + std::to_string(index) + "r" + std::to_string(round);
+
+    counts.started++;
+    TimePoint start = sim.now();
+    int64_t put_op = oracle.begin_put(client.id(), key, value, sim.now());
+    auto put = co_await client.put(key, Blob(value));
+    oracle.end_put(put_op, sim.now(), put.ok(), put.ok() ? put->version : 0);
+    note_outcome(counts, sim.now() - start,
+                 put.ok() ? StatusCode::kOk : put.status().code(),
+                 /*stale=*/false);
+
+    co_await sim.delay(msec(150) + msec(40) * static_cast<double>(index));
+
+    counts.started++;
+    start = sim.now();
+    int64_t get_op = oracle.begin_get(client.id(), key, sim.now());
+    auto got = co_await client.get(key);
+    if (got.ok() && !got->stale) {
+      oracle.end_get(get_op, sim.now(), true, got->value.to_string(),
+                     got->version, got->served_by);
+    } else {
+      // Stale serves and failures are unverified reads; a flagged-stale
+      // value must never count as evidence for the strong invariant.
+      oracle.end_get(get_op, sim.now(), false, "", 0, "");
+    }
+    note_outcome(counts, sim.now() - start,
+                 got.ok() ? StatusCode::kOk : got.status().code(),
+                 got.ok() && got->stale);
+
+    co_await sim.delay(msec(650));
+  }
+}
+
+BrownoutResult run_brownout(uint64_t seed) {
+  ChaosCluster cluster(seed);
+  auto degradation = policy::parse_policy(policy::builtin::bounded_staleness());
+  EXPECT_TRUE(degradation.ok()) << degradation.status().to_string();
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(
+                ConsistencyMode::kPrimaryBackupSync,
+                [&degradation](WieraPeer::Config& config) {
+                  config.max_inflight = 3;
+                  config.max_queue = 2;
+                  // Hair-trigger breakers: one burned forward deadline opens
+                  // the circuit, and the open window outlasts a full deadline
+                  // burn (2s) so another client's put through the same backup
+                  // fast-fails instead of parking for its own deadline.
+                  config.breaker_failures = 1;
+                  config.breaker_open_for = sec(4);
+                  config.retry_budget_per_sec = 2;
+                  config.retry_budget_capacity = 5;
+                  config.degradation_policy = degradation.value();
+                }));
+  EXPECT_TRUE(peers.ok()) << peers.status().to_string();
+  if (!peers.ok()) return {};
+  cluster.controller.start();
+
+  std::string primary = kStorageNodes[0];
+  for (const char* node : kStorageNodes) {
+    WieraPeer* p = cluster.controller.peer(node);
+    if (p != nullptr && p->is_primary()) primary = node;
+  }
+
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  // Data plane: every message touching the primary is 10x the op deadline.
+  // The controller has no ping deadline (seed behaviour), so its serial
+  // heartbeat loop parks behind the first spiked ping for the whole spike:
+  // no failover rescues the cluster, and backups keep forwarding puts into
+  // the slow primary — exactly the regime circuit breakers exist for.
+  // (PingDeadlineKeepsFailureDetectionLive covers the configured escape.)
+  plan.latency_spike(primary, sec(20), TimePoint::origin() + sec(4),
+                     TimePoint::origin() + sec(24));
+  // Control plane: lease renewals dropped mid-spike, so every strong-mode
+  // replica's serve lease lapses and BoundedStaleness takes over its reads.
+  // The window starts well after the spike — if it covered the spike start,
+  // every gate would close before a single put-forward could feed the
+  // breakers.
+  plan.message_chaos("wiera-controller", TimePoint::origin() + sec(14),
+                     TimePoint::origin() + sec(21), /*drop_prob=*/1.0,
+                     /*dup_prob=*/0.0);
+  // Light drop/dup/reordering everywhere: per-seed variation for the sweep.
+  plan.message_chaos("", TimePoint::origin() + sec(4),
+                     TimePoint::origin() + sec(24), /*drop_prob=*/0.03,
+                     /*dup_prob=*/0.03, msec(30));
+  injector.arm(std::move(plan));
+
+  WieraClient::Config client_config;
+  client_config.op_deadline = kBrownoutDeadline;
+  client_config.retry_budget_per_sec = 2;
+  client_config.retry_budget_capacity = 5;
+  client_config.hedge_gets = true;
+  client_config.hedge_min_samples = 3;
+  client_config.hedge_min_delay = msec(10);
+
+  sim::ConsistencyOracle oracle;
+  BrownoutCounts counts;
+  std::vector<std::unique_ptr<WieraClient>> clients;
+  const char* const client_nodes[] = {"client-us-west", "client-eu-west",
+                                      "client-asia-east"};
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back(std::make_unique<WieraClient>(
+        cluster.sim, cluster.network, cluster.registry,
+        "app-" + std::to_string(i), client_nodes[i], *peers, client_config));
+    cluster.sim.spawn(brownout_workload(cluster.sim, oracle, *clients.back(),
+                                        i, counts));
+  }
+
+  // Worst case every one of 12 rounds burns its full deadline twice plus
+  // inter-op delays: comfortably inside 60s of virtual time.
+  cluster.sim.run_until(TimePoint(sec(60).us()));
+  bool harvested = false;
+  cluster.sim.spawn(harvest_finals(cluster.controller, oracle, harvested));
+  cluster.sim.run_until(TimePoint(sec(62).us()));
+  EXPECT_TRUE(harvested);
+
+  BrownoutResult result;
+  result.violations = oracle.check(sim::CheckMode::kPrimaryOrder);
+  result.trace_hash = cluster.sim.checker().trace_hash();
+  result.counts = counts;
+  for (const char* node : kStorageNodes) {
+    WieraPeer* p = cluster.controller.peer(node);
+    if (p == nullptr) continue;
+    result.shed += p->endpoint().calls_shed();
+    result.rpc_expired += p->endpoint().calls_expired();
+    result.stale_serves += p->stale_serves();
+    result.fast_fails += p->breaker_fast_fails();
+    result.budget_denied += p->retry_budget_denials();
+  }
+  for (const auto& client : clients) {
+    result.hedged += client->hedged_gets();
+    result.hedged_wins += client->hedged_wins();
+    result.budget_denied += client->retry_budget_denials();
+  }
+  return result;
+}
+
+// CI greps these counters out of a failing brownout sweep.
+void print_brownout_stats(uint64_t seed, const BrownoutResult& r) {
+  std::printf(
+      "BROWNOUT-STATS seed=%llu ok=%lld stale=%lld expired=%lld "
+      "unavailable=%lld exhausted=%lld notfound=%lld shed=%lld "
+      "rpc_expired=%lld hedged=%lld hedged_wins=%lld fastfail=%lld "
+      "budget_denied=%lld trace=%s\n",
+      static_cast<unsigned long long>(seed),
+      static_cast<long long>(r.counts.ok),
+      static_cast<long long>(r.counts.stale),
+      static_cast<long long>(r.counts.expired),
+      static_cast<long long>(r.counts.unavailable),
+      static_cast<long long>(r.counts.exhausted),
+      static_cast<long long>(r.counts.not_found),
+      static_cast<long long>(r.shed), static_cast<long long>(r.rpc_expired),
+      static_cast<long long>(r.hedged),
+      static_cast<long long>(r.hedged_wins),
+      static_cast<long long>(r.fast_fails),
+      static_cast<long long>(r.budget_denied),
+      hex_trace(r.trace_hash).c_str());
+}
+
+TEST(ChaosBrownoutTest, EveryRequestResolvesUnderBrownoutAcrossSeeds) {
+  const int seeds = seed_count();
+  int64_t total_stale = 0;
+  int64_t total_expired = 0;
+  int64_t total_hedged = 0;
+  int64_t total_fast_fails = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    BrownoutResult r = run_brownout(static_cast<uint64_t>(seed));
+    print_brownout_stats(static_cast<uint64_t>(seed), r);
+    EXPECT_EQ(r.counts.resolved, r.counts.started)
+        << "seed " << seed << ": an op hung past quiescence";
+    EXPECT_EQ(r.counts.late, 0)
+        << "seed " << seed << ": op resolved after deadline + slack";
+    EXPECT_EQ(r.counts.unexpected, 0)
+        << "seed " << seed << ": status outside the allowed overload set";
+    EXPECT_GT(r.counts.ok, 0) << "seed " << seed << ": no op completed";
+    if (!r.violations.empty()) {
+      ADD_FAILURE() << "CHAOS-FAIL seed=" << seed
+                    << " mode=PrimaryBackupConsistency fault=brownout"
+                    << " trace=" << hex_trace(r.trace_hash) << "\n"
+                    << sim::ConsistencyOracle::describe(r.violations);
+    }
+    total_stale += r.counts.stale;
+    total_expired += r.counts.expired;
+    total_hedged += r.hedged;
+    total_fast_fails += r.fast_fails;
+  }
+  EXPECT_GT(total_expired, 0) << "brownout never expired a single request";
+  EXPECT_GT(total_stale, 0) << "degradation policy never served stale";
+  EXPECT_GT(total_hedged, 0) << "hedging never triggered";
+  EXPECT_GT(total_fast_fails, 0) << "no breaker ever fast-failed";
+}
+
+TEST(ChaosBrownoutTest, TraceHashReplayDeterministicWithOverloadActive) {
+  BrownoutResult a = run_brownout(/*seed=*/7);
+  BrownoutResult b = run_brownout(/*seed=*/7);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.counts.ok, b.counts.ok);
+  EXPECT_EQ(a.counts.stale, b.counts.stale);
+  EXPECT_EQ(a.counts.expired, b.counts.expired);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.fast_fails, b.fast_fails);
+  EXPECT_EQ(a.hedged, b.hedged);
+  BrownoutResult c = run_brownout(/*seed=*/8);
+  EXPECT_NE(a.trace_hash, c.trace_hash);
 }
 
 // ------------------------------------------------------- randomized sweeps
@@ -626,5 +922,236 @@ TEST(ChaosRegressionTest, TierEnospcFailsPutsCleanly) {
       << sim::ConsistencyOracle::describe(violations);
 }
 
+// BoundedStaleness degradation (docs/OVERLOAD.md): when a strong-mode
+// replica's serve lease lapses (control plane unreachable) it may answer
+// reads from its local copy — flagged stale — while the copy is younger
+// than the policy's staleness bound. Puts never degrade. Once the control
+// plane returns and recovery completes, reads are strong (unflagged) again.
+TEST(ChaosRegressionTest, LeaseLapseServesBoundedStaleReads) {
+  ChaosCluster cluster(/*seed=*/45);
+  auto degradation = policy::parse_policy(policy::builtin::bounded_staleness());
+  ASSERT_TRUE(degradation.ok()) << degradation.status().to_string();
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kPrimaryBackupSync,
+                                [&degradation](WieraPeer::Config& config) {
+                                  config.degradation_policy =
+                                      degradation.value();
+                                }));
+  ASSERT_TRUE(peers.ok()) << peers.status().to_string();
+  cluster.controller.start();
+
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  // Drop everything touching the controller: leases lapse cluster-wide but
+  // client <-> replica traffic is untouched.
+  plan.message_chaos("wiera-controller", TimePoint::origin() + sec(3),
+                     TimePoint::origin() + sec(9), /*drop_prob=*/1.0,
+                     /*dup_prob=*/0.0);
+  injector.arm(std::move(plan));
+
+  WieraClient client(cluster.sim, cluster.network, cluster.registry, "app",
+                     "client-eu-west", *peers);
+  bool stale_seen = false;
+  bool put_failed_in_window = false;
+  bool fresh_after_recovery = false;
+  auto workload = [](sim::Simulation& sim, WieraClient& c, bool& stale,
+                     bool& put_failed, bool& fresh) -> sim::Task<void> {
+    co_await sim.delay(sec(1));
+    auto put = co_await c.put("k", Blob("fresh"));
+    EXPECT_TRUE(put.ok()) << put.status().to_string();
+
+    co_await sim.delay(sec(5) + msec(500));  // t=6.5s: leases lapsed
+    auto got = co_await c.get("k");
+    EXPECT_TRUE(got.ok()) << got.status().to_string();
+    if (got.ok()) {
+      EXPECT_TRUE(got->stale) << "lease-lapsed read not flagged stale";
+      EXPECT_EQ(got->value.to_string(), "fresh");
+      EXPECT_EQ(got->version, 1);
+      stale = got->stale;
+    }
+    // Writes have no degraded path: a put in the same window must fail.
+    auto blocked = co_await c.put("k", Blob("rejected"));
+    put_failed = !blocked.ok();
+
+    co_await sim.delay(sec(18) + msec(500));  // t=25s: recovered
+    auto after = co_await c.get("k");
+    EXPECT_TRUE(after.ok()) << after.status().to_string();
+    if (after.ok()) {
+      EXPECT_FALSE(after->stale) << "recovered replica still serving stale";
+      fresh = !after->stale;
+    }
+  };
+  cluster.sim.spawn(workload(cluster.sim, client, stale_seen,
+                             put_failed_in_window, fresh_after_recovery));
+  cluster.sim.run_until(TimePoint(sec(26).us()));
+
+  EXPECT_TRUE(stale_seen);
+  EXPECT_TRUE(put_failed_in_window);
+  EXPECT_TRUE(fresh_after_recovery);
+}
+
+TEST(ChaosRegressionTest, PingDeadlineKeepsFailureDetectionLive) {
+  // A latency-spiked peer parks the controller's serial heartbeat loop
+  // behind one ping for the whole spike when pings carry no deadline (the
+  // brownout suite exploits exactly that). With ping_deadline set, failure
+  // detection keeps its cadence: a primary that crashes *while another peer
+  // is spiked* is still replaced within a few heartbeats (§4.4), and
+  // deadline-bounded writes succeed long before the spike ends.
+  ChaosCluster cluster(/*seed=*/11, [](WieraController::Config& config) {
+    config.ping_deadline = msec(900);
+  });
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kPrimaryBackupSync, nullptr));
+  ASSERT_TRUE(peers.ok()) << peers.status().to_string();
+  cluster.controller.start();
+
+  std::string primary = kStorageNodes[0];
+  for (const char* node : kStorageNodes) {
+    WieraPeer* p = cluster.controller.peer(node);
+    if (p != nullptr && p->is_primary()) primary = node;
+  }
+  std::string spiked;
+  for (const char* node : kStorageNodes) {
+    if (primary != node) {
+      spiked = node;
+      break;
+    }
+  }
+
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  plan.latency_spike(spiked, sec(20), TimePoint::origin() + sec(2),
+                     TimePoint::origin() + sec(30));
+  // Restart lands after the run window: the crashed primary stays gone.
+  plan.crash(primary, TimePoint::origin() + sec(5),
+             TimePoint::origin() + sec(40));
+  injector.arm(std::move(plan));
+
+  WieraClient::Config client_config;
+  client_config.op_deadline = sec(2);
+  WieraClient client(cluster.sim, cluster.network, cluster.registry, "app",
+                     "client-eu-west", *peers, client_config);
+
+  bool baseline_ok = false;
+  bool write_after_failover = false;
+  auto workload = [](sim::Simulation& sim, WieraClient& c, bool& baseline,
+                     bool& after) -> sim::Task<void> {
+    co_await sim.delay(sec(1));
+    auto put = co_await c.put("k", Blob("v1"));
+    EXPECT_TRUE(put.ok()) << put.status().to_string();
+    baseline = put.ok();
+
+    co_await sim.delay(sec(11));  // t=12: several heartbeats past the lapse
+    auto again = co_await c.put("k", Blob("v2"));
+    EXPECT_TRUE(again.ok()) << again.status().to_string();
+    after = again.ok();
+    auto got = co_await c.get("k");
+    EXPECT_TRUE(got.ok()) << got.status().to_string();
+    if (got.ok()) {
+      EXPECT_EQ(got->value.to_string(), "v2");
+      EXPECT_FALSE(got->stale);
+    }
+  };
+  cluster.sim.spawn(
+      workload(cluster.sim, client, baseline_ok, write_after_failover));
+  cluster.sim.run_until(TimePoint(sec(15).us()));
+
+  EXPECT_TRUE(baseline_ok);
+  EXPECT_TRUE(write_after_failover);
+
+  bool promoted_elsewhere = false;
+  for (const char* node : kStorageNodes) {
+    if (primary == node || spiked == node) continue;
+    WieraPeer* p = cluster.controller.peer(node);
+    if (p != nullptr && p->is_primary()) promoted_elsewhere = true;
+  }
+  EXPECT_TRUE(promoted_elsewhere)
+      << "no healthy peer was promoted while " << spiked << " was spiked";
+}
+
+// ------------------------------------------------------------------ replay
+//
+// `chaos_test --seed N --plan MODE:FAULT` re-runs exactly one schedule —
+// the reproducer line scripts/chaos_sweep.sh prints for every CHAOS-FAIL.
+// FAULT is one of partition|crash|drop|spike|brownout (brownout ignores
+// MODE; it always runs the primary-backup overload schedule).
+
+int replay_main(uint64_t seed, const std::string& plan_spec) {
+  const size_t colon = plan_spec.find(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--plan must be MODE:FAULT, got '%s'\n",
+                 plan_spec.c_str());
+    return 2;
+  }
+  const std::string mode_name = plan_spec.substr(0, colon);
+  const std::string fault_name = plan_spec.substr(colon + 1);
+
+  if (fault_name == "brownout") {
+    BrownoutResult r = run_brownout(seed);
+    print_brownout_stats(seed, r);
+    if (!r.violations.empty()) {
+      std::printf("%s\n",
+                  sim::ConsistencyOracle::describe(r.violations).c_str());
+      return 1;
+    }
+    std::printf("replay clean\n");
+    return 0;
+  }
+
+  auto mode = consistency_mode_from_name(mode_name);
+  if (!mode.ok()) {
+    std::fprintf(stderr, "%s\n", mode.status().to_string().c_str());
+    return 2;
+  }
+  FaultClass fault;
+  if (fault_name == "partition") {
+    fault = FaultClass::kPartition;
+  } else if (fault_name == "crash") {
+    fault = FaultClass::kCrash;
+  } else if (fault_name == "drop") {
+    fault = FaultClass::kDropWindow;
+  } else if (fault_name == "spike") {
+    fault = FaultClass::kLatencySpike;
+  } else {
+    std::fprintf(stderr, "unknown fault class '%s'\n", fault_name.c_str());
+    return 2;
+  }
+
+  RunResult r = run_chaos(*mode, fault, seed);
+  std::printf("replay seed=%llu mode=%s fault=%s trace=%s ops=%lld ok=%lld\n",
+              static_cast<unsigned long long>(seed),
+              std::string(consistency_mode_name(*mode)).c_str(),
+              fault_name.c_str(), hex_trace(r.trace_hash).c_str(),
+              static_cast<long long>(r.ops),
+              static_cast<long long>(r.completed_ok));
+  if (!r.violations.empty()) {
+    std::printf("%s\n", sim::ConsistencyOracle::describe(r.violations).c_str());
+    return 1;
+  }
+  std::printf("replay clean\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace wiera::geo
+
+// Custom main (gtest_main is deliberately not linked, see tests/CMakeLists):
+// with --plan the binary replays a single schedule and exits; otherwise it
+// runs the whole suite.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  uint64_t seed = 1;
+  std::string plan;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--plan" && i + 1 < argc) {
+      plan = argv[++i];
+    }
+  }
+  if (!plan.empty()) return wiera::geo::replay_main(seed, plan);
+  return RUN_ALL_TESTS();
+}

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <set>
 
+#include "common/breaker.h"
 #include "common/bytes.h"
+#include "common/context.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -207,6 +209,167 @@ TEST(HistogramTest, ResetClears) {
   h.reset();
   EXPECT_EQ(h.count(), 0);
   EXPECT_EQ(h.max().us(), 0);
+}
+
+TEST(HistogramTest, PercentileEdgeCasesEmpty) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile(0.0).us(), 0);
+  EXPECT_EQ(h.percentile(1.0).us(), 0);
+  // Out-of-range quantiles clamp instead of misbehaving.
+  EXPECT_EQ(h.percentile(-1.0).us(), 0);
+  EXPECT_EQ(h.percentile(2.0).us(), 0);
+}
+
+TEST(HistogramTest, PercentileEdgeCasesSingleSample) {
+  LatencyHistogram h;
+  h.record(msec(50));
+  // With one sample every percentile is that sample — including p0, which
+  // must not report bucket 0's 1µs upper bound.
+  EXPECT_EQ(h.percentile(0.0).us(), 50000);
+  EXPECT_EQ(h.percentile(0.5).us(), 50000);
+  EXPECT_EQ(h.percentile(1.0).us(), 50000);
+}
+
+TEST(HistogramTest, PercentileBoundedByMinAndMax) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.record(msec(10 + i));  // 11ms..110ms
+  EXPECT_GE(h.percentile(0.0).us(), h.min().us());
+  EXPECT_EQ(h.percentile(1.0).us(), h.max().us());
+  EXPECT_LE(h.p50().us(), h.max().us());
+  EXPECT_GE(h.p50().us(), h.min().us());
+}
+
+// ---------------------------------------------------------------- Context
+
+TEST(ContextTest, DefaultHasNoDeadlineAndNeverCancels) {
+  Context ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.expired(TimePoint(1) + sec(1000000)));
+  EXPECT_EQ(ctx.remaining(TimePoint(0)), Duration::max());
+  ctx.cancel();  // no-op without a cancel state
+  EXPECT_FALSE(ctx.cancelled());
+}
+
+TEST(ContextTest, DeadlineExpiryAndRemaining) {
+  Context ctx = Context::with_deadline(TimePoint(0) + msec(100));
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.expired(TimePoint(0) + msec(99)));
+  EXPECT_TRUE(ctx.expired(TimePoint(0) + msec(100)));
+  EXPECT_EQ(ctx.remaining(TimePoint(0) + msec(40)), msec(60));
+  EXPECT_EQ(ctx.remaining(TimePoint(0) + msec(150)), Duration::zero());
+}
+
+TEST(ContextTest, CancellationIsSharedAcrossCopies) {
+  Context ctx = Context::with_deadline(TimePoint(0) + sec(1));
+  Context copy = ctx;
+  copy.cancel();
+  EXPECT_TRUE(ctx.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+}
+
+// ------------------------------------------------------------ RetryBudget
+
+TEST(RetryBudgetTest, DisabledBudgetAlwaysAllows) {
+  RetryBudget b;
+  EXPECT_FALSE(b.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(b.try_spend(TimePoint(0)));
+  EXPECT_EQ(b.denied(), 0);
+}
+
+TEST(RetryBudgetTest, DrainsToDenialAndRefillsOverTime) {
+  RetryBudget b(/*tokens_per_sec=*/1.0, /*capacity=*/3.0);
+  TimePoint t(0);
+  EXPECT_TRUE(b.try_spend(t));
+  EXPECT_TRUE(b.try_spend(t));
+  EXPECT_TRUE(b.try_spend(t));
+  EXPECT_FALSE(b.try_spend(t));  // bucket dry
+  EXPECT_EQ(b.denied(), 1);
+  // One token refills after one second.
+  EXPECT_TRUE(b.try_spend(t + sec(1)));
+  EXPECT_FALSE(b.try_spend(t + sec(1)));
+  EXPECT_EQ(b.denied(), 2);
+}
+
+TEST(RetryBudgetTest, RefillCapsAtCapacity) {
+  RetryBudget b(/*tokens_per_sec=*/10.0, /*capacity=*/2.0);
+  TimePoint t(0);
+  // A long idle stretch must not bank more than `capacity` tokens.
+  EXPECT_TRUE(b.try_spend(t + sec(100)));
+  EXPECT_TRUE(b.try_spend(t + sec(100)));
+  EXPECT_FALSE(b.try_spend(t + sec(100)));
+}
+
+// ---------------------------------------------------------- CircuitBreaker
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreaker brk(CircuitBreaker::Options{.failure_threshold = 3,
+                                             .open_for = sec(1)});
+  TimePoint t(0);
+  EXPECT_TRUE(brk.allow(t));
+  brk.record_failure(t);
+  brk.record_failure(t);
+  EXPECT_EQ(brk.state(), CircuitBreaker::State::kClosed);
+  brk.record_failure(t);
+  EXPECT_EQ(brk.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(brk.allow(t + msec(500)));  // still open
+  EXPECT_EQ(brk.opens(), 1);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureStreak) {
+  CircuitBreaker brk(CircuitBreaker::Options{.failure_threshold = 2,
+                                             .open_for = sec(1)});
+  TimePoint t(0);
+  brk.record_failure(t);
+  brk.record_success();
+  brk.record_failure(t);
+  EXPECT_EQ(brk.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOneProbe) {
+  CircuitBreaker brk(CircuitBreaker::Options{.failure_threshold = 1,
+                                             .open_for = sec(1)});
+  TimePoint t(0);
+  brk.record_failure(t);
+  ASSERT_EQ(brk.state(), CircuitBreaker::State::kOpen);
+  // After open_for, exactly one probe goes through.
+  EXPECT_TRUE(brk.allow(t + sec(1)));
+  EXPECT_EQ(brk.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(brk.allow(t + sec(1)));  // second caller keeps failing fast
+  brk.record_success();
+  EXPECT_EQ(brk.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(brk.allow(t + sec(1)));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  CircuitBreaker brk(CircuitBreaker::Options{.failure_threshold = 1,
+                                             .open_for = sec(1)});
+  TimePoint t(0);
+  brk.record_failure(t);
+  EXPECT_TRUE(brk.allow(t + sec(1)));  // probe
+  brk.record_failure(t + sec(1));
+  EXPECT_EQ(brk.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(brk.allow(t + sec(1) + msec(500)));
+  // The re-open restarts the open_for clock from the probe failure.
+  EXPECT_TRUE(brk.allow(t + sec(2)));
+  EXPECT_EQ(brk.opens(), 2);
+}
+
+TEST(CircuitBreakerTest, TransitionHookSeesEveryStateChange) {
+  CircuitBreaker brk(CircuitBreaker::Options{.failure_threshold = 1,
+                                             .open_for = sec(1)});
+  std::vector<std::pair<CircuitBreaker::State, CircuitBreaker::State>> seen;
+  brk.set_transition_hook([&](CircuitBreaker::State from,
+                              CircuitBreaker::State to) {
+    seen.emplace_back(from, to);
+  });
+  TimePoint t(0);
+  brk.record_failure(t);            // closed -> open
+  EXPECT_TRUE(brk.allow(t + sec(1)));  // open -> half-open
+  brk.record_success();             // half-open -> closed
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].second, CircuitBreaker::State::kOpen);
+  EXPECT_EQ(seen[1].second, CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(seen[2].second, CircuitBreaker::State::kClosed);
 }
 
 TEST(TimeSeriesTest, RecordsInOrder) {

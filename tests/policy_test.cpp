@@ -195,7 +195,7 @@ TEST(ParserTest, RejectsMissingHeader) {
 
 TEST(ParserTest, AllBuiltinsParseAndValidate) {
   auto docs = builtin::all_parsed();
-  EXPECT_EQ(docs.size(), 9u);
+  EXPECT_EQ(docs.size(), 10u);
   for (const auto& doc : docs) {
     EXPECT_TRUE(validate(doc).ok())
         << doc.name << ": " << validate(doc).to_string();
@@ -413,7 +413,7 @@ TEST_P(TriggerRoundTrip, BuiltinEventTriggersStringify) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBuiltins, TriggerRoundTrip,
-                         ::testing::Range(0, 9));
+                         ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace wiera::policy

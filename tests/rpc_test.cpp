@@ -230,5 +230,175 @@ TEST(RpcTest, CountersTrackTraffic) {
   EXPECT_GE(f.network.traffic().total_bytes, 2 * Message::kFrameOverhead);
 }
 
+// ------------------------------------------------------------ deadlines
+
+sim::Task<void> run_call_ctx(Endpoint& ep, std::string target,
+                             std::string method, Message req, Context ctx,
+                             Result<Message>& out, int64_t& at_us,
+                             sim::Simulation& sim) {
+  out = co_await ep.call(std::move(target), std::move(method), std::move(req),
+                         ctx);
+  at_us = sim.now().us();
+}
+
+TEST(RpcDeadlineTest, ExpiredBeforeSendFailsWithoutTraffic) {
+  Fixture f;
+  Endpoint server(f.network, f.registry, "server");
+  Endpoint client(f.network, f.registry, "client");
+  server.register_handler("echo", [](Message req) -> sim::Task<Result<Message>> {
+    co_return req;
+  });
+  Result<Message> out = internal_error("unset");
+  int64_t at_us = -1;
+  // Deadline == now: already expired at the call site.
+  f.sim.spawn(run_call_ctx(client, "server", "echo", make_msg(""),
+                           Context::with_deadline(f.sim.now()), out, at_us,
+                           f.sim));
+  f.sim.run();
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(at_us, 0);  // failed immediately, no network wait
+  EXPECT_EQ(f.network.traffic().total_messages, 0);
+  EXPECT_EQ(client.calls_expired(), 1);
+}
+
+TEST(RpcDeadlineTest, SlowHandlerCutOffAtDeadline) {
+  Fixture f;
+  Endpoint server(f.network, f.registry, "server");
+  Endpoint client(f.network, f.registry, "client");
+  sim::Simulation* simp = &f.sim;
+  server.register_handler(
+      "slow", [simp](Message req) -> sim::Task<Result<Message>> {
+        co_await simp->delay(msec(500));
+        co_return req;
+      });
+  Result<Message> out = internal_error("unset");
+  int64_t at_us = -1;
+  f.sim.spawn(run_call_ctx(client, "server", "slow", make_msg(""),
+                           Context::with_deadline(f.sim.now() + msec(100)),
+                           out, at_us, f.sim));
+  f.sim.run();
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+  // The caller is released exactly at the deadline, not after the handler's
+  // 500 ms + response leg.
+  EXPECT_NEAR(at_us, 100000, 50);
+  EXPECT_EQ(client.calls_expired(), 1);
+}
+
+TEST(RpcDeadlineTest, FastCallUnaffectedByDeadline) {
+  Fixture f;
+  Endpoint server(f.network, f.registry, "server");
+  Endpoint client(f.network, f.registry, "client");
+  server.register_handler("echo", [](Message req) -> sim::Task<Result<Message>> {
+    co_return req;
+  });
+  Result<Message> out = internal_error("unset");
+  int64_t at_us = -1;
+  f.sim.spawn(run_call_ctx(client, "server", "echo", make_msg("ping"),
+                           Context::with_deadline(f.sim.now() + sec(1)), out,
+                           at_us, f.sim));
+  f.sim.run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(msg_text(*out), "ping");
+  EXPECT_NEAR(at_us, 70000, 50);
+  EXPECT_EQ(client.calls_expired(), 0);
+}
+
+// ------------------------------------------------------------ admission
+
+TEST(RpcAdmissionTest, ShedsOldestWaiterWhenQueueOverflows) {
+  Fixture f;
+  Endpoint server(f.network, f.registry, "server");
+  Endpoint client(f.network, f.registry, "client");
+  sim::Simulation* simp = &f.sim;
+  server.register_handler(
+      "slow", [simp](Message req) -> sim::Task<Result<Message>> {
+        co_await simp->delay(msec(100));
+        co_return req;
+      });
+  server.set_admission(/*max_inflight=*/1, /*max_queue=*/1);
+
+  Result<Message> out[3] = {internal_error("unset"), internal_error("unset"),
+                            internal_error("unset")};
+  int64_t at_us[3] = {-1, -1, -1};
+  for (int i = 0; i < 3; ++i) {
+    f.sim.spawn(run_call(client, "server", "slow", make_msg("x"), out[i],
+                         at_us[i], f.sim));
+  }
+  f.sim.run();
+
+  int ok = 0, shed = 0;
+  for (const auto& r : out) {
+    if (r.ok()) {
+      ok++;
+    } else if (r.status().code() == StatusCode::kResourceExhausted) {
+      shed++;
+    }
+  }
+  // One runs, one waits, the overflow sheds the oldest waiter (LIFO
+  // service favours the freshest request under overload).
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(shed, 1);
+  EXPECT_EQ(server.calls_shed(), 1);
+  EXPECT_EQ(server.adm_inflight(), 0);  // all slots released
+}
+
+TEST(RpcAdmissionTest, ZeroQueueShedsImmediately) {
+  Fixture f;
+  Endpoint server(f.network, f.registry, "server");
+  Endpoint client(f.network, f.registry, "client");
+  sim::Simulation* simp = &f.sim;
+  server.register_handler(
+      "slow", [simp](Message req) -> sim::Task<Result<Message>> {
+        co_await simp->delay(msec(100));
+        co_return req;
+      });
+  server.set_admission(/*max_inflight=*/1, /*max_queue=*/0);
+
+  Result<Message> a = internal_error("unset"), b = internal_error("unset");
+  int64_t at_a = -1, at_b = -1;
+  f.sim.spawn(run_call(client, "server", "slow", make_msg("a"), a, at_a,
+                       f.sim));
+  f.sim.spawn(run_call(client, "server", "slow", make_msg("b"), b, at_b,
+                       f.sim));
+  f.sim.run();
+
+  const bool a_ok = a.ok();
+  const Result<Message>& failed = a_ok ? b : a;
+  EXPECT_TRUE(a_ok || b.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.calls_shed(), 1);
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(RpcRegistryTest, DuplicateEndpointKeepsFirstAndReportsError) {
+  Fixture f;
+  Endpoint server(f.network, f.registry, "server");
+  Endpoint client(f.network, f.registry, "client");
+  server.register_handler("echo", [](Message req) -> sim::Task<Result<Message>> {
+    co_return req;
+  });
+  {
+    // A second endpoint claiming the same node name must not hijack —
+    // or, on destruction, unhook — the first registration.
+    Endpoint imposter(f.network, f.registry, "server");
+  }
+  const sim::SimDiagnostic* d =
+      f.sim.checker().find(sim::SimDiagnostic::Kind::kDuplicateEndpoint);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->is_error);
+  EXPECT_NE(d->message.find("server"), std::string::npos) << d->message;
+  f.sim.checker().clear_diagnostics();
+
+  // The original endpoint still serves traffic.
+  Result<Message> out = internal_error("unset");
+  int64_t at_us = -1;
+  f.sim.spawn(run_call(client, "server", "echo", make_msg("still-here"), out,
+                       at_us, f.sim));
+  f.sim.run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(msg_text(*out), "still-here");
+}
+
 }  // namespace
 }  // namespace wiera::rpc

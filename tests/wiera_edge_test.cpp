@@ -518,6 +518,70 @@ TEST(QueueRetryTest, QueuedUpdatesSurviveReplicaOutage) {
   EXPECT_EQ(cluster.controller.peer("tiera-us-west")->queue_depth(), 0);
 }
 
+// ------------------------------------------------------ deadline vs migration
+
+TEST(MigrationDeadlineTest, GetDuringPrimaryMigrationCompletesOrExpires) {
+  // Regression: a GET issued while the primary is migrating used to be able
+  // to wait on the moving forward target indefinitely. With an op deadline
+  // every such GET must resolve — success or kDeadlineExceeded — within the
+  // deadline, and the simulation must fully drain (no hung coroutine).
+  Cluster cluster;
+  WieraController::StartOptions options;
+  options.global = std::move(policy::parse_policy(
+                                 policy::builtin::primary_backup_consistency()))
+                       .value();
+  options.local_params["t"] = policy::Value::duration_of(sec(60));
+  auto peers = cluster.controller.start_instances("w", std::move(options));
+  ASSERT_TRUE(peers.ok());
+
+  WieraClient::Config client_config;
+  client_config.op_deadline = sec(2);
+  WieraClient client(cluster.sim, cluster.network, cluster.registry, "app",
+                     "client-us-west", *peers, client_config);
+
+  cluster.run([&]() -> sim::Task<void> {
+    auto put = co_await client.put("k", Blob("v"));
+    EXPECT_TRUE(put.ok()) << put.status().to_string();
+  });
+
+  // Fire a burst of GETs bracketing the migration; every one must resolve
+  // within its deadline (plus scheduling slack) and never hang.
+  int resolved = 0;
+  int failed_late = 0;
+  auto reader = [](Cluster& c, WieraClient& cl, Duration delay_before,
+                   int& done, int& late) -> sim::Task<void> {
+    co_await c.sim.delay(delay_before);
+    const TimePoint issued = c.sim.now();
+    auto got = co_await cl.get("k");
+    const Duration took = c.sim.now() - issued;
+    if (!got.ok()) {
+      EXPECT_TRUE(got.status().code() == StatusCode::kDeadlineExceeded ||
+                  got.status().code() == StatusCode::kUnavailable)
+          << got.status().to_string();
+    }
+    // op_deadline 2s + one cross-region RTT of slack.
+    if (took > sec(2) + msec(200)) late++;
+    done++;
+  };
+  auto migrator = [](Cluster& c) -> sim::Task<void> {
+    co_await c.sim.delay(msec(30));
+    Status st = co_await c.controller.change_primary("w", "tiera-us-east");
+    EXPECT_TRUE(st.ok()) << st.to_string();
+  };
+  constexpr int kReaders = 8;
+  for (int i = 0; i < kReaders; ++i) {
+    cluster.sim.spawn(
+        reader(cluster, client, msec(10 * i), resolved, failed_late));
+  }
+  cluster.sim.spawn(migrator(cluster));
+  // 30 virtual seconds is 15x the op deadline: if any GET coroutine hangs
+  // past its deadline, `resolved` stays short. (run_until, because the
+  // controller heartbeat and queue flushers never drain on their own.)
+  cluster.sim.run_until(cluster.sim.now() + sec(30));
+  EXPECT_EQ(resolved, kReaders);
+  EXPECT_EQ(failed_late, 0);
+}
+
 // ------------------------------------------------------------ NIC sharing
 
 TEST(NicSharingTest, ConcurrentTransfersSerializeOnOneNic) {
