@@ -14,7 +14,9 @@
 # Combinations run in parallel when CTEST_PARALLEL_LEVEL is set (the same
 # knob ctest honors); each combination is its own chaos_test process. The
 # brownout overload schedule (docs/OVERLOAD.md) sweeps alongside the
-# per-mode fault classes.
+# per-mode fault classes, and the corruption classes (bit-rot, torn writes,
+# message corruption — docs/INTEGRITY.md) sweep with scrub + read-repair
+# armed.
 #
 # Every failing run prints a line of the form
 #   CHAOS-FAIL seed=<n> mode=<mode> fault=<class> trace=0x<hash>
@@ -33,9 +35,10 @@ if [[ ! -x "${BINARY}" ]]; then
   exit 2
 fi
 
-# One gtest filter per (mode, fault) combination, plus the brownout sweep.
+# One gtest filter per (mode, fault) combination: the availability faults,
+# the corruption faults, and the brownout sweep.
 FILTERS="$("${BINARY}" --gtest_list_tests \
-    --gtest_filter='AllModesAllFaults/*:ChaosBrownoutTest.EveryRequest*' \
+    --gtest_filter='AllModesAllFaults/*:AllModesAllCorruptionFaults/*:ChaosBrownoutTest.EveryRequest*' \
   | awk '/^[^ ]/ {suite=$1} /^  / {print suite $1}')"
 COMBOS="$(wc -l <<<"${FILTERS}")"
 
@@ -73,6 +76,10 @@ if [[ "${FAILS}" -gt 0 || "${GTEST_FAILS}" -gt 0 ]]; then
   done
   # Overload counters from any failing brownout runs, for CI logs.
   grep -h '^BROWNOUT-STATS' "${LOGDIR}"/*Brownout*.log 2>/dev/null \
+    | sed 's/^/  /' || true
+  # Detection/repair counters from any failing corruption runs: how much
+  # was corrupted, caught, quarantined, and healed (docs/INTEGRITY.md).
+  grep -h '^CORRUPTION-STATS' "${LOGDIR}"/*Corruption*.log 2>/dev/null \
     | sed 's/^/  /' || true
   echo ""
   echo "chaos_sweep: ${FAILS} oracle failure(s), ${GTEST_FAILS} failing combination(s)"

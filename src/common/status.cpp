@@ -16,6 +16,7 @@ std::string_view status_code_name(StatusCode code) {
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -47,5 +48,6 @@ Status deadline_exceeded(std::string_view what) { return make(StatusCode::kDeadl
 Status aborted(std::string_view what) { return make(StatusCode::kAborted, what); }
 Status unimplemented(std::string_view what) { return make(StatusCode::kUnimplemented, what); }
 Status internal_error(std::string_view what) { return make(StatusCode::kInternal, what); }
+Status data_loss(std::string_view what) { return make(StatusCode::kDataLoss, what); }
 
 }  // namespace wiera

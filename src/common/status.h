@@ -29,6 +29,7 @@ enum class StatusCode {
   kAborted,            // e.g. lost a conflict-resolution race
   kUnimplemented,
   kInternal,
+  kDataLoss,  // checksum mismatch, torn write, unrecoverable corruption
 };
 
 std::string_view status_code_name(StatusCode code);
@@ -70,6 +71,7 @@ Status deadline_exceeded(std::string_view what);
 Status aborted(std::string_view what);
 Status unimplemented(std::string_view what);
 Status internal_error(std::string_view what);
+Status data_loss(std::string_view what);
 
 // Result<T>: either a value or a non-OK Status.
 template <typename T>

@@ -1,5 +1,8 @@
 #include "metadb/metadb.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "rpc/wire.h"
 
 namespace wiera::metadb {
@@ -15,6 +18,7 @@ TimePoint ObjectMeta::last_accessed() const {
 VersionMeta& MetaDb::upsert_version(const std::string& key, int64_t version) {
   ObjectMeta& obj = objects_[key];
   obj.key = key;
+  obj.max_allocated = std::max(obj.max_allocated, version);
   VersionMeta& vm = obj.versions[version];
   vm.version = version;
   return vm;
@@ -60,6 +64,17 @@ Status MetaDb::remove_version(const std::string& key, int64_t version) {
 
 Status MetaDb::remove_object(const std::string& key) {
   if (objects_.erase(key) == 0) return not_found("metadb object: " + key);
+  return ok_status();
+}
+
+Status MetaDb::forget_version(const std::string& key, int64_t version) {
+  ObjectMeta* obj = find_mutable(key);
+  if (obj == nullptr) return not_found("metadb object: " + key);
+  if (obj->versions.erase(version) == 0) {
+    return not_found("metadb version of " + key);
+  }
+  // Deliberately keep the (possibly now version-less) object record: it
+  // carries max_allocated, the floor for future version allocation.
   return ok_status();
 }
 
@@ -112,6 +127,7 @@ Bytes MetaDb::serialize() const {
   w.put_u32(static_cast<uint32_t>(objects_.size()));
   for (const auto& [key, obj] : objects_) {
     w.put_string(key);
+    w.put_i64(obj.max_allocated);
     w.put_u32(static_cast<uint32_t>(obj.tags.size()));
     for (const auto& tag : obj.tags) w.put_string(tag);
     w.put_u32(static_cast<uint32_t>(obj.versions.size()));
@@ -126,18 +142,33 @@ Bytes MetaDb::serialize() const {
       w.put_bool(vm.committed);
       w.put_string(vm.tier);
       w.put_string(vm.origin);
+      w.put_u64(vm.checksum);
     }
   }
+  // Snapshot checksum: a torn or bit-flipped metadata file must fail to
+  // load, never half-load (docs/INTEGRITY.md).
+  const uint64_t body_sum = fnv1a64(w.bytes().data(), w.bytes().size());
+  w.put_u64(body_sum);
   return w.take();
 }
 
 Status MetaDb::deserialize(const Bytes& data) {
-  rpc::WireReader r(data);
+  if (data.size() < sizeof(uint64_t)) {
+    return data_loss("metadb snapshot truncated below checksum footer");
+  }
+  const size_t body_size = data.size() - sizeof(uint64_t);
+  uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, data.data() + body_size, sizeof(stored_sum));
+  if (stored_sum != fnv1a64(data.data(), body_size)) {
+    return data_loss("metadb snapshot checksum mismatch");
+  }
+  rpc::WireReader r(data.data(), body_size);
   std::map<std::string, ObjectMeta> loaded;
   const uint32_t n_objects = r.get_u32();
   for (uint32_t i = 0; i < n_objects && r.ok(); ++i) {
     ObjectMeta obj;
     obj.key = r.get_string();
+    obj.max_allocated = r.get_i64();
     const uint32_t n_tags = r.get_u32();
     for (uint32_t t = 0; t < n_tags && r.ok(); ++t) {
       obj.tags.insert(r.get_string());
@@ -155,11 +186,15 @@ Status MetaDb::deserialize(const Bytes& data) {
       vm.committed = r.get_bool();
       vm.tier = r.get_string();
       vm.origin = r.get_string();
+      vm.checksum = r.get_u64();
       obj.versions[vm.version] = vm;
     }
     loaded[obj.key] = std::move(obj);
   }
   if (!r.ok()) return r.status();
+  if (r.remaining() != 0) {
+    return invalid_argument("metadb snapshot has trailing bytes");
+  }
   objects_ = std::move(loaded);
   return ok_status();
 }

@@ -36,6 +36,9 @@ struct VersionMeta {
   bool committed = false;
   std::string tier;          // which tier currently holds this version
   std::string origin;        // instance that created this version
+  // object_checksum(key, version, payload) — verified on every tier read
+  // and identical across replicas holding the same version (scrub digest).
+  uint64_t checksum = 0;
 };
 
 struct ObjectMeta {
@@ -43,6 +46,12 @@ struct ObjectMeta {
   std::set<std::string> tags;
   // version number -> metadata; ordered so *rbegin() is the latest.
   std::map<int64_t, VersionMeta> versions;
+  // Highest version number ever recorded for this key. Never decremented:
+  // forget_version() may drop the latest version's row (quarantined copy,
+  // lost durable payload) but allocation must stay monotonic — reusing a
+  // burned number would let two distinct committed payloads share one
+  // version id (docs/INTEGRITY.md).
+  int64_t max_allocated = 0;
 
   bool has_version(int64_t v) const { return versions.count(v) > 0; }
   // Highest version number, committed or not (used to allocate the next).
@@ -80,6 +89,12 @@ class MetaDb {
 
   Status remove_version(const std::string& key, int64_t version);
   Status remove_object(const std::string& key);
+  // Drop a version's row but keep the object record (tags + max_allocated)
+  // even when no versions remain. Integrity paths use this when a payload
+  // is quarantined or lost: the row must go (so a peer's repair of the same
+  // version is not LWW-rejected as a stale duplicate) but the allocation
+  // high-water mark must survive.
+  Status forget_version(const std::string& key, int64_t version);
 
   void add_tag(const std::string& key, const std::string& tag);
   bool has_tag(const std::string& key, const std::string& tag) const;
@@ -96,7 +111,10 @@ class MetaDb {
   int64_t version_count() const;
 
   // Durability round-trip (BerkeleyDB role). The format is the project wire
-  // format; deserialize replaces current contents.
+  // format plus a trailing FNV-1a checksum of the body; deserialize replaces
+  // current contents only after the whole snapshot validates (truncated,
+  // bit-flipped, or trailing-garbage input returns a non-OK Status and
+  // leaves the store untouched).
   Bytes serialize() const;
   Status deserialize(const Bytes& data);
 

@@ -39,6 +39,17 @@ bool Network::chaos_duplicate(const std::string& from, const std::string& to) {
   return dup;
 }
 
+bool Network::chaos_corrupt(const std::string& from, const std::string& to) {
+  bool corrupt = false;
+  for_each_chaos(from, to, [&](const ChaosWindow& w) {
+    if (w.corrupt_prob > 0 && sim_->rng().bernoulli(w.corrupt_prob)) {
+      corrupt = true;
+    }
+  });
+  if (corrupt) chaos_stats_.corrupted++;
+  return corrupt;
+}
+
 Duration Network::chaos_extra_delay(const std::string& from,
                                     const std::string& to) {
   Duration extra = Duration::zero();

@@ -53,6 +53,7 @@ struct ChaosWindow {
   double drop_prob = 0.0;       // message silently lost in transit
   double dup_prob = 0.0;        // request delivered twice (see rpc::Endpoint)
   Duration max_extra_delay = Duration::zero();  // uniform [0, max] per message
+  double corrupt_prob = 0.0;    // payload byte flipped in transit (rpc layer)
 };
 
 // Counters for chaos effects actually applied (tests assert the fault plan
@@ -61,6 +62,7 @@ struct ChaosStats {
   int64_t dropped = 0;
   int64_t duplicated = 0;
   int64_t delayed = 0;
+  int64_t corrupted = 0;
 };
 
 class Network {
@@ -88,6 +90,11 @@ class Network {
   // Called by rpc::Endpoint after a successful request transfer; consumes
   // randomness and bumps stats, hence non-const.
   bool chaos_duplicate(const std::string& from, const std::string& to);
+
+  // Sample whether a delivered message body should arrive with a flipped
+  // byte (checksum-corrupting chaos). Called by rpc::Endpoint on each leg
+  // after a successful transfer; consumes randomness and bumps stats.
+  bool chaos_corrupt(const std::string& from, const std::string& to);
 
   // Deliver `bytes` from node `from` to node `to`; resolves when the last
   // byte arrives. Fails if either endpoint is down. NIC capacity is shared:

@@ -97,6 +97,14 @@ sim::Task<Result<Message>> Endpoint::call_inner(std::string target_node,
     co_return unavailable("no endpoint registered at " + target_node);
   }
 
+  if (network_->chaos_corrupt(node_name_, target_node) &&
+      !request.body.empty()) {
+    // The request payload arrives with a flipped byte. The frame itself
+    // still parses (headers are modeled out of band), so only end-to-end
+    // checksums can catch this.
+    request.body[request.body.size() / 2] ^= 0x01;
+  }
+
   if (network_->chaos_duplicate(node_name_, target_node)) {
     // The request packet was duplicated in transit: the handler runs twice,
     // the duplicate's response is discarded. Handlers must be idempotent.
@@ -114,6 +122,11 @@ sim::Task<Result<Message>> Endpoint::call_inner(std::string target_node,
   st = co_await network_->transfer(target_node, node_name_,
                                    response->wire_size(), deadline);
   if (!st.ok()) co_return st;
+
+  if (network_->chaos_corrupt(target_node, node_name_) &&
+      !response->body.empty()) {
+    response->body[response->body.size() / 2] ^= 0x01;
+  }
 
   co_return std::move(response).value();
 }

@@ -16,6 +16,9 @@ const char* kind_name(FaultEvent::Kind k) {
     case FaultEvent::Kind::kMessageChaos: return "message-chaos";
     case FaultEvent::Kind::kLatencySpike: return "latency-spike";
     case FaultEvent::Kind::kTierFault: return "tier-fault";
+    case FaultEvent::Kind::kBitRot: return "bit-rot";
+    case FaultEvent::Kind::kTornWrite: return "torn-write";
+    case FaultEvent::Kind::kMsgCorrupt: return "msg-corrupt";
   }
   return "?";
 }
@@ -69,6 +72,12 @@ std::string FaultEvent::describe() const {
              " slowdown=" + std::to_string(slowdown) +
              (enospc ? " enospc" : "");
       break;
+    case Kind::kBitRot:
+      out += " key=" + object_key;
+      break;
+    case Kind::kMsgCorrupt:
+      out += " corrupt=" + std::to_string(corrupt_prob);
+      break;
     default:
       break;
   }
@@ -89,6 +98,8 @@ uint64_t FaultEvent::hash() const {
   h = fnv1a_str(h, tier_label);
   h = fnv1a(h, static_cast<uint64_t>(slowdown * 1e6));
   h = fnv1a(h, enospc ? 1 : 0);
+  h = fnv1a_str(h, object_key);
+  h = fnv1a(h, static_cast<uint64_t>(corrupt_prob * 1e6));
   return h;
 }
 
@@ -165,6 +176,48 @@ FaultPlan& FaultPlan::tier_fault(std::string node, std::string tier_label,
   return *this;
 }
 
+FaultPlan& FaultPlan::bit_rot(std::string node, std::string key,
+                              TimePoint at) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kBitRot;
+  e.node = std::move(node);
+  e.object_key = std::move(key);
+  e.at = at;
+  e.until = at;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::torn_write(std::string node, TimePoint at,
+                                 TimePoint restart_at) {
+  FaultEvent down;
+  down.kind = FaultEvent::Kind::kTornWrite;
+  down.node = node;
+  down.at = at;
+  down.until = restart_at;
+  events_.push_back(down);
+
+  FaultEvent up;
+  up.kind = FaultEvent::Kind::kRestart;
+  up.node = std::move(node);
+  up.at = restart_at;
+  up.until = restart_at;
+  events_.push_back(std::move(up));
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupting_chaos(std::string node, TimePoint at,
+                                       TimePoint until, double corrupt_prob) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kMsgCorrupt;
+  e.node = std::move(node);
+  e.at = at;
+  e.until = until;
+  e.corrupt_prob = corrupt_prob;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
 FaultPlan& FaultPlan::add(FaultEvent event) {
   events_.push_back(std::move(event));
   return *this;
@@ -216,6 +269,25 @@ FaultPlan FaultPlan::random(uint64_t seed, const RandomOptions& options) {
     plan.tier_fault(pick_node(), /*tier_label=*/"", options.tier_slowdown,
                     options.tier_enospc, at, until);
   }
+  // Integrity fault classes sample last: pre-existing seeds (all counts 0)
+  // consume the identical RNG draw sequence and stay byte-identical.
+  if (!options.keys.empty()) {
+    for (int i = 0; i < options.bit_rots; ++i) {
+      pick_window(at, until);
+      const std::string& key = options.keys[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(options.keys.size()) - 1))];
+      plan.bit_rot(pick_node(), key, at);
+    }
+  }
+  for (int i = 0; i < options.torn_writes; ++i) {
+    pick_window(at, until);
+    plan.torn_write(pick_node(), at, until);
+  }
+  for (int i = 0; i < options.corrupt_windows; ++i) {
+    pick_window(at, until);
+    const std::string node = rng.bernoulli(0.5) ? pick_node() : std::string();
+    plan.corrupting_chaos(node, at, until, options.corrupt_prob);
+  }
   return plan;
 }
 
@@ -258,6 +330,9 @@ void FaultInjector::apply(const FaultEvent& e) {
     case FaultEvent::Kind::kMessageChaos: surface_->on_message_chaos(e); break;
     case FaultEvent::Kind::kLatencySpike: surface_->on_latency_spike(e); break;
     case FaultEvent::Kind::kTierFault: surface_->on_tier_fault(e); break;
+    case FaultEvent::Kind::kBitRot: surface_->on_bit_rot(e); break;
+    case FaultEvent::Kind::kTornWrite: surface_->on_torn_write(e); break;
+    case FaultEvent::Kind::kMsgCorrupt: surface_->on_message_corrupt(e); break;
   }
 }
 

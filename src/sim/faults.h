@@ -45,6 +45,9 @@ struct FaultEvent {
     kMessageChaos,  // probabilistic drop/duplicate/extra-delay window
     kLatencySpike,  // +extra_delay on every message touching node
     kTierFault,     // storage-tier slowdown and/or ENOSPC window
+    kBitRot,        // flip a byte of object_key's stored copy on node at `at`
+    kTornWrite,     // crash whose window tears in-flight durable-tier writes
+    kMsgCorrupt,    // probabilistic payload-corrupting message window
   };
 
   Kind kind = Kind::kCrash;
@@ -66,6 +69,12 @@ struct FaultEvent {
   double slowdown = 1.0;
   bool enospc = false;
 
+  // kBitRot knob: which object's stored copy to flip.
+  std::string object_key;
+
+  // kMsgCorrupt knob.
+  double corrupt_prob = 0.0;
+
   std::string describe() const;
   // Stable content hash folded into the determinism trace when applied.
   uint64_t hash() const;
@@ -83,6 +92,11 @@ class FaultSurface {
   virtual void on_message_chaos(const FaultEvent& e) = 0;
   virtual void on_latency_spike(const FaultEvent& e) = 0;
   virtual void on_tier_fault(const FaultEvent& e) = 0;
+  // Integrity faults (docs/INTEGRITY.md). Default no-op so pre-existing
+  // surfaces (unit-test fakes) keep compiling unchanged.
+  virtual void on_bit_rot(const FaultEvent& /*e*/) {}
+  virtual void on_torn_write(const FaultEvent& /*e*/) {}
+  virtual void on_message_corrupt(const FaultEvent& /*e*/) {}
 };
 
 class FaultPlan {
@@ -102,6 +116,14 @@ class FaultPlan {
   FaultPlan& tier_fault(std::string node, std::string tier_label,
                         double slowdown, bool enospc, TimePoint at,
                         TimePoint until);
+  // Flip one byte of `key`'s stored copy on `node` at `at` (silent bit-rot).
+  FaultPlan& bit_rot(std::string node, std::string key, TimePoint at);
+  // Crash at `at` whose outage window tears durable-tier writes that were
+  // in flight when the node died (emits kTornWrite + kRestart).
+  FaultPlan& torn_write(std::string node, TimePoint at, TimePoint restart_at);
+  // Probabilistic payload corruption on messages touching `node` ("" = all).
+  FaultPlan& corrupting_chaos(std::string node, TimePoint at, TimePoint until,
+                              double corrupt_prob);
   FaultPlan& add(FaultEvent event);
 
   // ---- random generation ----
@@ -126,6 +148,13 @@ class FaultPlan {
     Duration max_spike = msec(400);
     double tier_slowdown = 8.0;
     bool tier_enospc = false;
+    // Integrity fault classes (all default 0 so pre-existing seeds keep
+    // drawing the identical RNG sequence and plans stay byte-identical).
+    std::vector<std::string> keys;  // bit-rot targets
+    int bit_rots = 0;
+    int torn_writes = 0;
+    int corrupt_windows = 0;
+    double corrupt_prob = 0.3;
   };
   static FaultPlan random(uint64_t seed, const RandomOptions& options);
 

@@ -112,6 +112,35 @@ std::vector<OracleViolation> ConsistencyOracle::check(CheckMode mode) const {
   return out;
 }
 
+std::vector<OracleViolation> ConsistencyOracle::check_convergence() const {
+  std::vector<OracleViolation> out;
+  std::set<std::string> written;
+  for (const auto& op : ops_) {
+    if (op.type == Op::Type::kPut) written.insert(op.value);
+  }
+  for (const auto& [key, replicas] : finals_) {
+    if (replicas.empty()) continue;
+    const ReplicaFinal& first = replicas.begin()->second;
+    for (const auto& [replica, state] : replicas) {
+      if (state.version != first.version || state.origin != first.origin ||
+          state.value != first.value) {
+        out.push_back(
+            {key, "replicas diverged after scrub: " +
+                      replicas.begin()->first + " has v" +
+                      std::to_string(first.version) + " from " + first.origin +
+                      " ('" + first.value + "') but " + replica + " has v" +
+                      std::to_string(state.version) + " from " + state.origin +
+                      " ('" + state.value + "')"});
+      }
+    }
+    if (!first.value.empty() && written.count(first.value) == 0) {
+      out.push_back({key, "replicas converged on a value nobody wrote: '" +
+                              first.value + "'"});
+    }
+  }
+  return out;
+}
+
 std::string ConsistencyOracle::describe(
     const std::vector<OracleViolation>& violations) {
   std::string out;

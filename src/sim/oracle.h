@@ -61,6 +61,13 @@ class ConsistencyOracle {
 
   // ---- checking ----
   std::vector<OracleViolation> check(CheckMode mode) const;
+  // Mode-independent replica-convergence check over the recorded finals
+  // (docs/INTEGRITY.md): after a scrub/repair pass every replica holding a
+  // key must report the identical (version, origin, value), and that value
+  // must be one a client actually wrote. Used by the corruption chaos suite
+  // in all three consistency modes — a scrub that "converges" replicas onto
+  // a bit-rotted payload is a violation, not a repair.
+  std::vector<OracleViolation> check_convergence() const;
   static std::string describe(const std::vector<OracleViolation>& violations);
 
   int64_t op_count() const { return static_cast<int64_t>(ops_.size()); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "common/strings.h"
 
@@ -76,6 +77,14 @@ void StorageTier::inject_write_errors(TimePoint from, TimePoint until) {
   faults_.push_back(w);
 }
 
+void StorageTier::inject_torn_writes(TimePoint from, TimePoint until) {
+  FaultWindow w;
+  w.torn_write = true;
+  w.from = from;
+  w.until = until;
+  faults_.push_back(w);
+}
+
 Status StorageTier::write_fault() const {
   const TimePoint now = sim_->now();
   for (const auto& f : faults_) {
@@ -85,6 +94,41 @@ Status StorageTier::write_fault() const {
   }
   return ok_status();
 }
+
+bool StorageTier::torn_fault() const {
+  const TimePoint now = sim_->now();
+  for (const auto& f : faults_) {
+    if (f.torn_write && now >= f.from && now < f.until) return true;
+  }
+  return false;
+}
+
+Status StorageTier::grow(int64_t additional_bytes) {
+  if (additional_bytes < 0) {
+    return invalid_argument("tier grow: negative growth on " + spec_.name);
+  }
+  if (additional_bytes >
+      std::numeric_limits<int64_t>::max() - spec_.capacity_bytes) {
+    return out_of_range("tier grow: capacity overflow on " + spec_.name);
+  }
+  spec_.capacity_bytes += additional_bytes;
+  return ok_status();
+}
+
+namespace {
+// One flipped byte mid-payload: invisible to size checks, fatal to the
+// object checksum.
+Blob flip_middle_byte(const Blob& value) {
+  Bytes mutated(value.data(), value.data() + value.size());
+  mutated[mutated.size() / 2] ^= 0x01;
+  return Blob(std::move(mutated));
+}
+
+// A torn write publishes only the first half of the payload.
+Blob torn_prefix(const Blob& value) {
+  return Blob(Bytes(value.data(), value.data() + value.size() / 2));
+}
+}  // namespace
 
 // ---------------------------------------------------------------- MemoryTier
 
@@ -154,6 +198,14 @@ sim::Task<Result<Blob>> MemoryTier::get(std::string key, IoOptions /*opts*/) {
   stats_.gets++;
   stats_.bytes_read += bytes;
   co_return it->second.value;
+}
+
+bool MemoryTier::corrupt_object(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.value.empty()) return false;
+  it->second.value = flip_middle_byte(it->second.value);
+  stats_.corruptions++;
+  return true;
 }
 
 sim::Task<Status> MemoryTier::remove(std::string key) {
@@ -242,11 +294,45 @@ sim::Task<Status> BlockTier::put(std::string key, Blob value, IoOptions opts) {
     stats_.cache_misses++;
   }
 
+  if (torn_fault()) {
+    stats_.torn_writes++;
+    cache_erase(key);
+    if (spec_.crash_consistent) {
+      // Shadow commit: the partial write stays staged in the journal and is
+      // discarded by recover(); the previous committed copy is untouched.
+      journal_[key] = torn_prefix(value);
+      co_return data_loss("torn write staged on tier " + spec_.name);
+    }
+    // Legacy in-place write: the torn prefix silently replaces the object.
+    // Size checks can't tell (metadata records the intended size); only the
+    // object checksum can.
+    Blob torn = torn_prefix(value);
+    const auto torn_bytes = static_cast<int64_t>(torn.size());
+    used_bytes_ += torn_bytes - old_bytes;
+    entries_[key] = std::move(torn);
+    stats_.puts++;
+    stats_.bytes_written += torn_bytes;
+    co_return ok_status();
+  }
+
   used_bytes_ += bytes - old_bytes;
   entries_[key] = std::move(value);
   stats_.puts++;
   stats_.bytes_written += bytes;
   co_return ok_status();
+}
+
+void BlockTier::recover() {
+  stats_.torn_discards += static_cast<int64_t>(journal_.size());
+  journal_.clear();
+}
+
+bool BlockTier::corrupt_object(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.empty()) return false;
+  it->second = flip_middle_byte(it->second);
+  stats_.corruptions++;
+  return true;
 }
 
 sim::Task<Result<Blob>> BlockTier::get(std::string key, IoOptions opts) {
@@ -300,15 +386,39 @@ sim::Task<Status> ObjectTier::put(std::string key, Blob value,
   if (Status fault = write_fault(); !fault.ok()) co_return fault;
   const auto bytes = static_cast<int64_t>(value.size());
   co_await sim_->delay(service_time(spec_.write_base, bytes));
+  if (torn_fault()) {
+    stats_.torn_writes++;
+    if (spec_.crash_consistent) {
+      // Staged in the journal, discarded by recover(); the previous
+      // committed copy is untouched.
+      journal_[key] = torn_prefix(value);
+      co_return data_loss("torn write staged on tier " + spec_.name);
+    }
+    value = torn_prefix(value);
+  }
+  const auto stored = static_cast<int64_t>(value.size());
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     used_bytes_ -= static_cast<int64_t>(it->second.size());
   }
   entries_[key] = std::move(value);
-  used_bytes_ += bytes;
+  used_bytes_ += stored;
   stats_.puts++;
-  stats_.bytes_written += bytes;
+  stats_.bytes_written += stored;
   co_return ok_status();
+}
+
+void ObjectTier::recover() {
+  stats_.torn_discards += static_cast<int64_t>(journal_.size());
+  journal_.clear();
+}
+
+bool ObjectTier::corrupt_object(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.empty()) return false;
+  it->second = flip_middle_byte(it->second);
+  stats_.corruptions++;
+  return true;
 }
 
 sim::Task<Result<Blob>> ObjectTier::get(std::string key, IoOptions opts) {

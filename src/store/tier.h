@@ -71,6 +71,9 @@ struct TierStats {
   int64_t evictions = 0;
   int64_t cache_hits = 0;   // buffer-cache hits (block tiers)
   int64_t cache_misses = 0;
+  int64_t torn_writes = 0;     // writes whose commit landed in a torn window
+  int64_t torn_discards = 0;   // journalled torn writes discarded by recover()
+  int64_t corruptions = 0;     // injected bit-rot flips
 };
 
 struct TierSpec {
@@ -88,6 +91,12 @@ struct TierSpec {
   int64_t iops_limit = 0;          // 0 = unlimited
   bool buffer_cache = false;       // OS page cache in front of the device
   int64_t buffer_cache_bytes = 0;  // 0 with buffer_cache => unlimited cache
+
+  // Durable tiers commit via a shadow journal (docs/INTEGRITY.md): a write
+  // torn by a crash is staged, detected on recover() and discarded instead
+  // of served. Disabling this models a legacy in-place write path where a
+  // torn write silently publishes a truncated payload.
+  bool crash_consistent = true;
 };
 
 class StorageTier {
@@ -118,10 +127,19 @@ class StorageTier {
            static_cast<double>(spec_.capacity_bytes);
   }
 
-  // Capacity growth — the Tiera `grow` response.
-  void grow(int64_t additional_bytes) {
-    spec_.capacity_bytes += additional_bytes;
-  }
+  // Capacity growth — the Tiera `grow` response. Rejects negative growth
+  // and additions that would overflow capacity_bytes.
+  Status grow(int64_t additional_bytes);
+
+  // Post-restart crash-consistency pass: durable tiers discard journalled
+  // torn writes here. Default: nothing to recover.
+  virtual void recover() {}
+
+  // Bit-rot injection: flip one byte of the stored copy of `key` in place.
+  // Returns false when the tier holds no such key (volatile tiers after a
+  // wipe, forward tiers). Metadata is untouched — only checksum
+  // verification can tell.
+  virtual bool corrupt_object(const std::string& /*key*/) { return false; }
 
   // ---- fault injection (chaos harness) ----
   // Multiply every service time by `factor` during [from, until) — a
@@ -130,6 +148,9 @@ class StorageTier {
   // Writes fail with kResourceExhausted (ENOSPC) during [from, until);
   // reads keep working.
   void inject_write_errors(TimePoint from, TimePoint until);
+  // Writes whose commit lands in [from, until) are torn mid-payload — the
+  // crash window of a node outage (docs/INTEGRITY.md).
+  void inject_torn_writes(TimePoint from, TimePoint until);
   void clear_faults() { faults_.clear(); }
 
  protected:
@@ -140,9 +161,13 @@ class StorageTier {
   // Non-OK while a write-error window is active; every put checks this.
   Status write_fault() const;
 
+  // True while a torn-write window is active at the commit instant.
+  bool torn_fault() const;
+
   struct FaultWindow {
     double slowdown = 1.0;
     bool write_error = false;
+    bool torn_write = false;
     TimePoint from;
     TimePoint until;
   };
@@ -179,6 +204,8 @@ class MemoryTier final : public StorageTier {
     lru_.clear();
     used_bytes_ = 0;
   }
+
+  bool corrupt_object(const std::string& key) override;
 
  private:
   void touch(const std::string& key);
@@ -223,6 +250,9 @@ class BlockTier final : public StorageTier {
     cache_bytes_ = 0;
   }
 
+  void recover() override;
+  bool corrupt_object(const std::string& key) override;
+
  private:
   // Reserve the next device slot under the IOPS throttle; returns the time
   // the device can start this op.
@@ -232,6 +262,9 @@ class BlockTier final : public StorageTier {
   void cache_erase(const std::string& key);
 
   std::unordered_map<std::string, Blob> entries_;
+  // Shadow journal: torn writes staged here instead of entries_ when the
+  // tier is crash-consistent; recover() discards them.
+  std::unordered_map<std::string, Blob> journal_;
   int64_t used_bytes_ = 0;
   bool memory_pressure_ = false;
   TimePoint next_device_slot_ = TimePoint::origin();
@@ -264,8 +297,12 @@ class ObjectTier final : public StorageTier {
     return static_cast<int64_t>(entries_.size());
   }
 
+  void recover() override;
+  bool corrupt_object(const std::string& key) override;
+
  private:
   std::map<std::string, Blob> entries_;
+  std::unordered_map<std::string, Blob> journal_;  // staged torn writes
   int64_t used_bytes_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <set>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "policy/parser.h"
@@ -157,14 +158,20 @@ sim::Task<Result<PutResult>> TieraInstance::put(std::string key, Blob value,
   }
   const TimePoint start = sim_->now();
   const metadb::ObjectMeta* existing = meta_.find(key);
+  // Allocate past the high-water mark, not past the latest surviving row:
+  // a quarantine may have dropped the latest version's metadata, and
+  // reusing its number would commit two distinct payloads under one id.
   const int64_t version =
-      existing == nullptr ? 1 : existing->latest_version() + 1;
+      existing == nullptr
+          ? 1
+          : std::max(existing->latest_version(), existing->max_allocated) + 1;
 
   metadb::VersionMeta& vm = meta_.upsert_version(key, version);
   vm.size = static_cast<int64_t>(value.size());
   vm.create_time = sim_->now();
   vm.last_modified = sim_->now();
   vm.origin = config_.instance_id;
+  vm.checksum = object_checksum(key, version, value);
 
   InsertCtx ctx;
   ctx.key = key;
@@ -235,6 +242,7 @@ sim::Task<Status> TieraInstance::update(std::string key, int64_t version,
   if (vm.create_time == TimePoint::origin()) vm.create_time = sim_->now();
   vm.last_modified = sim_->now();
   vm.origin = config_.instance_id;
+  vm.checksum = object_checksum(key, version, value);
 
   InsertCtx ctx;
   ctx.key = std::move(key);
@@ -297,6 +305,55 @@ void TieraInstance::wipe_volatile() {
   }
 }
 
+void TieraInstance::recover_tiers() {
+  for (auto& [label, tier] : tiers_) tier->recover();
+}
+
+bool TieraInstance::corrupt_stored_copy(const std::string& key) {
+  const metadb::ObjectMeta* obj = meta_.find(key);
+  if (obj == nullptr) return false;
+  const metadb::VersionMeta* vm = obj->latest_committed();
+  if (vm == nullptr) return false;
+  const std::string vkey = versioned_key(key, vm->version);
+  std::vector<std::string> order;
+  if (!vm->tier.empty()) order.push_back(vm->tier);
+  for (const std::string& label : tier_order_) {
+    if (std::find(order.begin(), order.end(), label) == order.end()) {
+      order.push_back(label);
+    }
+  }
+  for (const std::string& label : order) {
+    store::StorageTier* tier = tier_by_label(label);
+    if (tier != nullptr && tier->corrupt_object(vkey)) return true;
+  }
+  return false;
+}
+
+sim::Task<std::vector<std::string>> TieraInstance::scrub_local() {
+  std::vector<std::string> lost;
+  for (const std::string& key : meta_.keys()) {
+    const metadb::ObjectMeta* obj = meta_.find(key);
+    if (obj == nullptr) continue;
+    const metadb::VersionMeta* vm = obj->latest_committed();
+    if (vm == nullptr) continue;
+    const int64_t version = vm->version;
+    Result<Blob> value = co_await read_version(key, version, {});
+    if (value.ok()) continue;
+    const StatusCode code = value.status().code();
+    if (code == StatusCode::kDataLoss) {
+      // read_version already quarantined the copies and dropped metadata.
+      lost.push_back(key);
+    } else if (code == StatusCode::kNotFound) {
+      // Committed but gone from every tier (e.g. lost durable copy): drop
+      // the metadata row so a peer's repair is not LWW-rejected, keeping
+      // the allocation high-water mark.
+      (void)meta_.forget_version(key, version);
+      lost.push_back(key);
+    }
+  }
+  co_return lost;
+}
+
 bool TieraInstance::lww_wins(const LwwSample& incoming,
                              const LwwSample& local) {
   if (incoming.version != local.version) {
@@ -332,6 +389,10 @@ sim::Task<Result<bool>> TieraInstance::apply_remote_update(
   if (vm.create_time == TimePoint::origin()) vm.create_time = sim_->now();
   vm.last_modified = update.last_modified;
   vm.origin = update.origin;
+  // Recomputed locally (not trusted from the wire): replicas holding the
+  // same (key, version, payload) record the same checksum, which is what
+  // the scrubber's digest exchange compares.
+  vm.checksum = object_checksum(update.key, update.version, update.value);
 
   InsertCtx ctx;
   ctx.key = update.key;
@@ -475,7 +536,8 @@ sim::Task<Status> TieraInstance::exec_maintenance_action(
   if (action.name == "grow") {
     store::StorageTier* tier = tier_by_label(target);
     if (tier != nullptr && tier->spec().capacity_bytes > 0) {
-      tier->grow(tier->spec().capacity_bytes);  // double it
+      Status st = tier->grow(tier->spec().capacity_bytes);  // double it
+      if (!st.ok()) co_return st;
     }
     co_return ok_status();
   }
@@ -623,6 +685,7 @@ sim::Task<Result<Blob>> TieraInstance::read_version(const std::string& key,
                                                     int64_t version,
                                                     store::IoOptions opts) {
   const metadb::VersionMeta* vm = meta_.find_version(key, version);
+  const uint64_t expected = vm == nullptr ? 0 : vm->checksum;
   const std::string vkey = versioned_key(key, version);
 
   // Preferred tier first (the recorded location), then the rest in
@@ -636,11 +699,34 @@ sim::Task<Result<Blob>> TieraInstance::read_version(const std::string& key,
     }
   }
 
+  bool saw_corrupt = false;
   for (const std::string& label : order) {
     store::StorageTier* tier = tier_by_label(label);
     if (tier == nullptr || !tier->contains(vkey)) continue;
     Result<Blob> value = co_await tier->get(vkey, opts);
-    if (value.ok()) co_return value;
+    if (!value.ok()) continue;
+    if (config_.verify_checksums && expected != 0 &&
+        object_checksum(key, version, *value) != expected) {
+      // Quarantine: a corrupt copy must never be served (or scrubbed
+      // outward) — drop it and fall through to the next tier; a healthy
+      // tier or replica supplies the repair.
+      checksum_failures_++;
+      quarantined_copies_++;
+      saw_corrupt = true;
+      WLOG_WARN(kComponent) << id() << " checksum mismatch on " << vkey
+                            << " in tier " << label << " (quarantined)";
+      (void)co_await tier->remove(vkey);
+      continue;
+    }
+    co_return value;
+  }
+  if (saw_corrupt) {
+    // Every local copy was corrupt: drop the version's metadata so a repair
+    // re-applied from a healthy replica is not rejected by LWW as a stale
+    // duplicate (same rationale as wipe_volatile). forget_version keeps the
+    // allocation high-water mark so the burned number is never reused.
+    (void)meta_.forget_version(key, version);
+    co_return data_loss("all local copies of " + vkey + " corrupt");
   }
   co_return not_found("no tier holds " + vkey);
 }

@@ -84,6 +84,11 @@ class TieraInstance {
     // lww_wins.
     std::function<bool(const LwwSample& incoming, const LwwSample& local)>
         lww_override;
+    // Verify the object checksum on every tier read; a corrupt copy is
+    // quarantined (removed) instead of served (docs/INTEGRITY.md). The
+    // chaos suite's mutation test disables this on one replica and asserts
+    // the oracle observes the served corruption.
+    bool verify_checksums = true;
   };
 
   TieraInstance(sim::Simulation& sim, Config config);
@@ -154,6 +159,20 @@ class TieraInstance {
   // in memory become unreadable until catch-up resync restores them.
   void wipe_volatile();
 
+  // Post-restart crash-consistency pass: every durable tier discards its
+  // journalled torn writes (docs/INTEGRITY.md).
+  void recover_tiers();
+
+  // Bit-rot injection (chaos harness): flip one byte of a stored copy of
+  // the latest committed version of `key`. Metadata is untouched; only
+  // checksum verification can tell. Returns false when no copy was hit.
+  bool corrupt_stored_copy(const std::string& key);
+
+  // Local scrub: verify every committed version against its recorded
+  // checksum, quarantining corrupt copies. Returns the keys that lost their
+  // last good local copy (candidates for repair from a peer).
+  sim::Task<std::vector<std::string>> scrub_local();
+
   // ---- dynamic tier management ----
   // Tiera supports adding/removing tiers at run time (the modular-instance
   // mechanism of §3.2.2 mounts another instance as a tier this way).
@@ -175,6 +194,9 @@ class TieraInstance {
   const LatencyHistogram& get_latency() const { return get_hist_; }
   // Number of objects relocated by `move` responses (cold demotions).
   int64_t cold_moves() const { return cold_moves_; }
+  // Integrity counters (docs/INTEGRITY.md).
+  int64_t checksum_failures() const { return checksum_failures_; }
+  int64_t quarantined_copies() const { return quarantined_copies_; }
 
   // ---- metadata durability (BerkeleyDB role, §4.2) ----
   // Snapshot/restore the metadata store. The paper persists all object
@@ -254,6 +276,8 @@ class TieraInstance {
   LatencyHistogram put_hist_;
   LatencyHistogram get_hist_;
   int64_t cold_moves_ = 0;
+  int64_t checksum_failures_ = 0;
+  int64_t quarantined_copies_ = 0;
 };
 
 }  // namespace wiera::tiera

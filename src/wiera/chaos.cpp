@@ -23,7 +23,10 @@ void ChaosHost::on_node_crash(const sim::FaultEvent& e) {
 void ChaosHost::on_node_restart(const sim::FaultEvent& e) {
   // The outage window installed at crash time expires on its own, and the
   // peer restarted in recovering state; the controller's next heartbeat
-  // notices and drives catch-up. Nothing to do but note the moment.
+  // notices and drives catch-up. Run the crash-consistency pass: durable
+  // tiers discard journalled torn writes instead of publishing them.
+  WieraPeer* peer = controller_->peer(e.node);
+  if (peer != nullptr) peer->local().recover_tiers();
   WLOG_INFO(kComponent) << e.node << " restarting (recovering until catch-up)";
 }
 
@@ -78,6 +81,44 @@ void ChaosHost::on_tier_fault(const sim::FaultEvent& e) {
     if (e.slowdown != 1.0) tier->inject_slowdown(e.slowdown, e.at, e.until);
     if (e.enospc) tier->inject_write_errors(e.at, e.until);
   }
+}
+
+void ChaosHost::on_bit_rot(const sim::FaultEvent& e) {
+  WieraPeer* peer = controller_->peer(e.node);
+  if (peer == nullptr) {
+    WLOG_WARN(kComponent) << "bit rot on unknown peer " << e.node;
+    return;
+  }
+  if (peer->local().corrupt_stored_copy(e.object_key)) {
+    WLOG_INFO(kComponent) << "bit rot flipped a stored byte of "
+                          << e.object_key << " on " << e.node;
+  }
+}
+
+void ChaosHost::on_torn_write(const sim::FaultEvent& e) {
+  // Crash semantics plus: durable-tier puts that are in flight when the
+  // node dies land torn instead of vanishing cleanly. The paired kRestart
+  // event later runs recover_tiers(), which discards the journalled tears.
+  network_->topology().inject_outage(e.node, e.at, e.until);
+  WieraPeer* peer = controller_->peer(e.node);
+  if (peer == nullptr) {
+    WLOG_WARN(kComponent) << "torn-write crash of unknown peer " << e.node;
+    return;
+  }
+  for (const std::string& label : peer->local().tier_labels()) {
+    store::StorageTier* tier = peer->local().tier_by_label(label);
+    if (tier != nullptr) tier->inject_torn_writes(e.at, e.until);
+  }
+  peer->on_crash();
+}
+
+void ChaosHost::on_message_corrupt(const sim::FaultEvent& e) {
+  net::ChaosWindow window;
+  window.node = e.node;
+  window.from = e.at;
+  window.until = e.until;
+  window.corrupt_prob = e.corrupt_prob;
+  network_->inject_chaos(std::move(window));
 }
 
 }  // namespace wiera::geo

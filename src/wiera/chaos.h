@@ -9,7 +9,11 @@
 //                   from every other node, in the event's direction;
 //   * msg chaos  -> a net::Network ChaosWindow (drop/duplicate/extra delay);
 //   * spike      -> a topology per-node delay window;
-//   * tier fault -> slowdown / ENOSPC windows on the peer's storage tiers.
+//   * tier fault -> slowdown / ENOSPC windows on the peer's storage tiers;
+//   * bit rot    -> flip one byte of a stored copy (TieraInstance);
+//   * torn write -> crash + torn-write windows armed on every storage tier,
+//                   so in-flight durable puts land as torn prefixes;
+//   * msg corrupt-> a payload-corrupting net::Network ChaosWindow.
 #pragma once
 
 #include <string>
@@ -31,6 +35,9 @@ class ChaosHost : public sim::FaultSurface {
   void on_message_chaos(const sim::FaultEvent& e) override;
   void on_latency_spike(const sim::FaultEvent& e) override;
   void on_tier_fault(const sim::FaultEvent& e) override;
+  void on_bit_rot(const sim::FaultEvent& e) override;
+  void on_torn_write(const sim::FaultEvent& e) override;
+  void on_message_corrupt(const sim::FaultEvent& e) override;
 
  private:
   net::Network* network_;

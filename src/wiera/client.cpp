@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checksum.h"
 #include "sim/sync.h"
 
 namespace wiera::geo {
@@ -135,12 +136,25 @@ sim::Task<Result<PutResponse>> WieraClient::update(std::string key,
   req.value = std::move(value);
   req.client = client_id_;
   req.version = version;
+  // Checksum the payload before it leaves the application: every hop to the
+  // storing replica re-verifies it (docs/INTEGRITY.md).
+  req.checksum = object_checksum(req.key, req.version, req.value);
 
   Result<rpc::Message> resp =
       co_await call_any(method::kClientPut, [&] { return encode(req); });
   if (!resp.ok()) co_return resp.status();
   auto decoded = decode_put_response(*resp);
   if (!decoded.ok()) co_return decoded.status();
+  // The serving peer echoed a checksum bound to (key, allocated version,
+  // payload). Recomputing it over the bytes we sent proves the ack — and in
+  // particular the version number in it — survived the return leg intact.
+  if (decoded->checksum != 0 &&
+      object_checksum(req.key, decoded->version, req.value) !=
+          decoded->checksum) {
+    checksum_failures_++;
+    co_return data_loss("put " + req.key +
+                        ": response corrupted in transit (checksum mismatch)");
+  }
   put_hist_.record(sim_->now() - start);
   co_return std::move(decoded).value();
 }
@@ -156,6 +170,9 @@ sim::Task<Result<GetResponse>> WieraClient::get_version(std::string key,
   req.key = std::move(key);
   req.version = version;
   req.client = client_id_;
+  // Request integrity: binds (key, version, client) so a request garbled in
+  // transit is rejected by the peer instead of answered as a clean miss.
+  req.checksum = object_checksum(req.key, req.version, req.client);
 
   // NOTE: no ternary around co_await — GCC 12 miscompiles conditional
   // operators whose branches both await (frame-slot corruption).
@@ -168,6 +185,17 @@ sim::Task<Result<GetResponse>> WieraClient::get_version(std::string key,
   if (!resp.ok()) co_return resp.status();
   auto decoded = decode_get_response(*resp);
   if (!decoded.ok()) co_return decoded.status();
+  // The serving peer checksummed the payload it sent; a mismatch over the
+  // delivered bytes means the response leg corrupted them in transit. The
+  // operation fails kDataLoss rather than handing the application a
+  // silently-corrupt payload.
+  if (decoded->checksum != 0 &&
+      object_checksum(req.key, decoded->version, decoded->value) !=
+          decoded->checksum) {
+    checksum_failures_++;
+    co_return data_loss("get " + req.key +
+                        ": payload corrupted in transit (checksum mismatch)");
+  }
   get_hist_.record(sim_->now() - start);
   co_return std::move(decoded).value();
 }

@@ -79,6 +79,9 @@ class WieraClient {
   int64_t hedged_gets() const { return hedged_gets_; }
   int64_t hedged_wins() const { return hedged_wins_; }
   int64_t retry_budget_denials() const { return retry_budget_.denied(); }
+  // Responses the client rejected because their checksum did not match the
+  // delivered bytes (corrupted on the response leg).
+  int64_t checksum_failures() const { return checksum_failures_; }
 
  private:
   // Issue `rpc_method` against the preferred peer; on kUnavailable (peer
@@ -110,6 +113,7 @@ class WieraClient {
   int64_t failovers_ = 0;
   int64_t hedged_gets_ = 0;
   int64_t hedged_wins_ = 0;
+  int64_t checksum_failures_ = 0;
 };
 
 }  // namespace wiera::geo

@@ -10,6 +10,7 @@ rpc::Message encode(const PutRequest& m) {
   w.put_bool(m.forwarded);
   w.put_bool(m.direct);
   w.put_i64(m.version);
+  w.put_u64(m.checksum);
   return rpc::Message{w.take()};
 }
 
@@ -22,6 +23,7 @@ Result<PutRequest> decode_put_request(const rpc::Message& msg) {
   out.forwarded = r.get_bool();
   out.direct = r.get_bool();
   out.version = r.get_i64();
+  out.checksum = r.get_u64();
   if (!r.ok()) return r.status();
   return out;
 }
@@ -29,6 +31,7 @@ Result<PutRequest> decode_put_request(const rpc::Message& msg) {
 rpc::Message encode(const PutResponse& m) {
   rpc::WireWriter w;
   w.put_i64(m.version);
+  w.put_u64(m.checksum);
   return rpc::Message{w.take()};
 }
 
@@ -36,6 +39,7 @@ Result<PutResponse> decode_put_response(const rpc::Message& msg) {
   rpc::WireReader r(msg.body);
   PutResponse out;
   out.version = r.get_i64();
+  out.checksum = r.get_u64();
   if (!r.ok()) return r.status();
   return out;
 }
@@ -46,6 +50,7 @@ rpc::Message encode(const GetRequest& m) {
   w.put_i64(m.version);
   w.put_string(m.client);
   w.put_bool(m.direct);
+  w.put_u64(m.checksum);
   return rpc::Message{w.take()};
 }
 
@@ -56,6 +61,7 @@ Result<GetRequest> decode_get_request(const rpc::Message& msg) {
   out.version = r.get_i64();
   out.client = r.get_string();
   out.direct = r.get_bool();
+  out.checksum = r.get_u64();
   if (!r.ok()) return r.status();
   return out;
 }
@@ -66,6 +72,7 @@ rpc::Message encode(const GetResponse& m) {
   w.put_i64(m.version);
   w.put_string(m.served_by);
   w.put_bool(m.stale);
+  w.put_u64(m.checksum);
   return rpc::Message{w.take()};
 }
 
@@ -76,6 +83,7 @@ Result<GetResponse> decode_get_response(const rpc::Message& msg) {
   out.version = r.get_i64();
   out.served_by = r.get_string();
   out.stale = r.get_bool();
+  out.checksum = r.get_u64();
   if (!r.ok()) return r.status();
   return out;
 }
@@ -87,6 +95,7 @@ rpc::Message encode(const ReplicateRequest& m) {
   w.put_blob(m.value);
   w.put_i64(m.last_modified.us());
   w.put_string(m.origin);
+  w.put_u64(m.checksum);
   return rpc::Message{w.take()};
 }
 
@@ -98,6 +107,7 @@ Result<ReplicateRequest> decode_replicate_request(const rpc::Message& msg) {
   out.value = r.get_blob();
   out.last_modified = TimePoint(r.get_i64());
   out.origin = r.get_string();
+  out.checksum = r.get_u64();
   if (!r.ok()) return r.status();
   return out;
 }
@@ -203,6 +213,7 @@ rpc::Message encode(const SyncPullResponse& m) {
     w.put_blob(e.value);
     w.put_i64(e.last_modified.us());
     w.put_string(e.origin);
+    w.put_u64(e.checksum);
   }
   return rpc::Message{w.take()};
 }
@@ -218,8 +229,68 @@ Result<SyncPullResponse> decode_sync_pull_response(const rpc::Message& msg) {
     e.value = r.get_blob();
     e.last_modified = TimePoint(r.get_i64());
     e.origin = r.get_string();
+    e.checksum = r.get_u64();
     out.entries.push_back(std::move(e));
   }
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const ScrubDigestRequest& m) {
+  rpc::WireWriter w;
+  w.put_string(m.requester);
+  return rpc::Message{w.take()};
+}
+
+Result<ScrubDigestRequest> decode_scrub_digest_request(
+    const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  ScrubDigestRequest out;
+  out.requester = r.get_string();
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const ScrubDigestResponse& m) {
+  rpc::WireWriter w;
+  w.put_u32(static_cast<uint32_t>(m.entries.size()));
+  for (const ScrubDigest& d : m.entries) {
+    w.put_string(d.key);
+    w.put_i64(d.version);
+    w.put_u64(d.checksum);
+  }
+  return rpc::Message{w.take()};
+}
+
+Result<ScrubDigestResponse> decode_scrub_digest_response(
+    const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  ScrubDigestResponse out;
+  const uint32_t n = r.get_u32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    ScrubDigest d;
+    d.key = r.get_string();
+    d.version = r.get_i64();
+    d.checksum = r.get_u64();
+    out.entries.push_back(std::move(d));
+  }
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const RepairFetchRequest& m) {
+  rpc::WireWriter w;
+  w.put_string(m.key);
+  w.put_i64(m.version);
+  return rpc::Message{w.take()};
+}
+
+Result<RepairFetchRequest> decode_repair_fetch_request(
+    const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  RepairFetchRequest out;
+  out.key = r.get_string();
+  out.version = r.get_i64();
   if (!r.ok()) return r.status();
   return out;
 }

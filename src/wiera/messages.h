@@ -35,6 +35,12 @@ inline constexpr char kRemoveVersion[] = "peer.remove_version";
 // Catch-up resync after crash/partition recovery: pull every key's latest
 // committed version from a healthy peer.
 inline constexpr char kSyncPull[] = "peer.sync_pull";
+// Integrity scrub (docs/INTEGRITY.md): exchange per-key checksum digests of
+// the latest committed versions so replicas can detect silent divergence.
+inline constexpr char kScrubDigest[] = "peer.scrub_digest";
+// Read-repair / scrub-repair: fetch one (key, version) with its payload and
+// checksum from a healthy replica to replace a quarantined local copy.
+inline constexpr char kRepairFetch[] = "peer.repair_fetch";
 // Serve-lease renewal: a peer proves round-trip reachability to the
 // controller (body = instance id). The controller records the renewal time
 // and will not narrow replication membership around a peer whose lease
@@ -49,6 +55,11 @@ struct PutRequest {
   bool forwarded = false;
   bool direct = false;   // O_DIRECT from the VFS layer (§5.4)
   int64_t version = 0;   // Table 2 update(): write this exact version
+  // End-to-end payload checksum: object_checksum(key, version, value)
+  // computed by the client before the bytes leave it. The serving peer
+  // recomputes and rejects the put when they disagree (corrupted in
+  // transit) instead of durably storing a bad payload. 0 = not provided.
+  uint64_t checksum = 0;
   // Absolute deadline, copied by handlers from the rpc::Message frame (not
   // part of the wire body). TimePoint::max() = none.
   TimePoint deadline = TimePoint::max();
@@ -56,6 +67,11 @@ struct PutRequest {
 
 struct PutResponse {
   int64_t version = 0;
+  // object_checksum(key, version, value) as recorded by the serving peer.
+  // The client recomputes it over the bytes it sent and the version it was
+  // assigned; a mismatch means the response (or its version field) was
+  // corrupted in transit. 0 = not provided.
+  uint64_t checksum = 0;
 };
 
 struct GetRequest {
@@ -63,6 +79,11 @@ struct GetRequest {
   int64_t version = 0;  // 0 = latest
   std::string client;
   bool direct = false;  // O_DIRECT from the VFS layer (§5.4)
+  // Request-integrity checksum over (key, version, client). Without it a
+  // request whose key was garbled in transit would be answered as a clean
+  // miss (or worse, another object's bytes); the serving peer verifies and
+  // rejects kDataLoss instead. 0 = not provided (internal forwards).
+  uint64_t checksum = 0;
   // Absolute deadline, copied by handlers from the rpc::Message frame (not
   // part of the wire body). TimePoint::max() = none.
   TimePoint deadline = TimePoint::max();
@@ -77,6 +98,10 @@ struct GetResponse {
   // lapsed / primary unreachable) under a BoundedStaleness policy. Clients
   // and the consistency oracle must treat such reads as possibly stale.
   bool stale = false;
+  // object_checksum(key, version, value) as recorded by the serving peer;
+  // the client recomputes it over the delivered bytes (it knows the key it
+  // asked for) and surfaces kDataLoss on mismatch. 0 = not provided.
+  uint64_t checksum = 0;
 };
 
 struct ReplicateRequest {
@@ -85,6 +110,10 @@ struct ReplicateRequest {
   Blob value;
   TimePoint last_modified;
   std::string origin;
+  // object_checksum(key, version, value) at the sender. Receivers verify
+  // before applying and reject kDataLoss on mismatch, so a payload that was
+  // bit-flipped in transit never lands in a replica. 0 = not provided.
+  uint64_t checksum = 0;
 };
 
 struct ReplicateResponse {
@@ -122,6 +151,34 @@ struct SyncPullResponse {
   std::vector<ReplicateRequest> entries;
 };
 
+// ---- integrity scrub / repair (docs/INTEGRITY.md) ----
+
+// One digest row: the latest committed version of a key plus its recorded
+// checksum. Checksums are recomputed locally at write-apply time, so two
+// healthy replicas holding the same (key, version, payload) report the same
+// digest — a mismatch means silent divergence (bit rot / torn write).
+struct ScrubDigest {
+  std::string key;
+  int64_t version = 0;
+  uint64_t checksum = 0;
+};
+
+struct ScrubDigestRequest {
+  std::string requester;
+};
+
+struct ScrubDigestResponse {
+  std::vector<ScrubDigest> entries;
+};
+
+// Fetch one (key, version) with payload + checksum from a healthy replica to
+// replace a quarantined local copy. version 0 = latest committed. The
+// response reuses ReplicateRequest (same fields; merged through LWW).
+struct RepairFetchRequest {
+  std::string key;
+  int64_t version = 0;
+};
+
 // ---- encode/decode ----
 
 rpc::Message encode(const PutRequest& m);
@@ -153,6 +210,14 @@ rpc::Message encode(const SyncPullRequest& m);
 Result<SyncPullRequest> decode_sync_pull_request(const rpc::Message& msg);
 rpc::Message encode(const SyncPullResponse& m);
 Result<SyncPullResponse> decode_sync_pull_response(const rpc::Message& msg);
+
+rpc::Message encode(const ScrubDigestRequest& m);
+Result<ScrubDigestRequest> decode_scrub_digest_request(const rpc::Message& msg);
+rpc::Message encode(const ScrubDigestResponse& m);
+Result<ScrubDigestResponse> decode_scrub_digest_response(
+    const rpc::Message& msg);
+rpc::Message encode(const RepairFetchRequest& m);
+Result<RepairFetchRequest> decode_repair_fetch_request(const rpc::Message& msg);
 
 // Status-only payload (acknowledgements / errors carried in-band).
 rpc::Message encode_status(const Status& st);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 
 namespace wiera::geo {
@@ -169,6 +170,9 @@ void WieraPeer::start() {
   local_->start();
   last_contact_ = sim_->now();
   sim_->spawn(queue_flusher(), config_.instance_id + "/queue-flusher");
+  if (config_.scrub_interval > Duration::zero()) {
+    sim_->spawn(scrub_loop(), config_.instance_id + "/scrubber");
+  }
   if (config_.serve_lease > Duration::zero()) {
     sim_->spawn(availability_loop(),
                 config_.instance_id + "/availability-loop");
@@ -250,6 +254,7 @@ void WieraPeer::register_handlers() {
         out.value = std::move(local->value);
         out.version = local->version;
         out.served_by = config_.instance_id;
+        out.checksum = object_checksum(request.key, out.version, out.value);
         co_return encode(out);
       });
   endpoint_->register_handler(
@@ -257,6 +262,17 @@ void WieraPeer::register_handlers() {
       [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
         auto req = decode_replicate_request(msg);
         if (!req.ok()) co_return req.status();
+        // Verify before applying: a payload bit-flipped in transit must
+        // never land in a replica. The sender sees the error, keeps the
+        // update queued, and retries on the next flush tick.
+        if (config_.local.verify_checksums && req->checksum != 0 &&
+            object_checksum(req->key, req->version, req->value) !=
+                req->checksum) {
+          wire_checksum_failures_++;
+          co_return data_loss("replicate of " + req->key + " to " +
+                              config_.instance_id +
+                              ": payload arrived corrupt");
+        }
         tiera::TieraInstance::RemoteUpdate update;
         update.key = req->key;
         update.version = req->version;
@@ -326,15 +342,77 @@ void WieraPeer::register_handlers() {
           entry.value = std::move(value->value);
           entry.last_modified = vm->last_modified;
           entry.origin = vm->origin;
+          entry.checksum = object_checksum(entry.key, entry.version,
+                                           entry.value);
           out.entries.push_back(std::move(entry));
         }
         co_return encode(out);
+      });
+  endpoint_->register_handler(
+      method::kScrubDigest,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_scrub_digest_request(msg);
+        if (!req.ok()) co_return req.status();
+        // Metadata-only: the recorded checksum of each key's latest
+        // committed version. No payload reads — the digest exchange stays
+        // cheap even over large objects.
+        ScrubDigestResponse out;
+        for (const std::string& key : local_->meta().keys()) {
+          const metadb::ObjectMeta* obj = local_->meta().find(key);
+          if (obj == nullptr) continue;
+          const metadb::VersionMeta* vm = obj->latest_committed();
+          if (vm == nullptr) continue;
+          out.entries.push_back(ScrubDigest{key, vm->version, vm->checksum});
+        }
+        co_return encode(out);
+      });
+  endpoint_->register_handler(
+      method::kRepairFetch,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_repair_fetch_request(msg);
+        if (!req.ok()) co_return req.status();
+        int64_t version = req->version;
+        if (version == 0) {
+          const metadb::ObjectMeta* obj = local_->meta().find(req->key);
+          const metadb::VersionMeta* latest =
+              obj == nullptr ? nullptr : obj->latest_committed();
+          if (latest == nullptr) {
+            co_return not_found("repair fetch: no committed version of " +
+                                req->key + " on " + config_.instance_id);
+          }
+          version = latest->version;
+        }
+        // The read path verifies the payload against the recorded checksum,
+        // so a replica whose own copy rotted answers kDataLoss here and the
+        // requester moves on to the next replica.
+        auto value = co_await local_->get_version(req->key, version);
+        if (!value.ok()) co_return value.status();
+        const metadb::VersionMeta* vm =
+            local_->meta().find_version(req->key, version);
+        ReplicateRequest entry;
+        entry.key = req->key;
+        entry.version = version;
+        entry.value = std::move(value->value);
+        entry.last_modified =
+            vm != nullptr ? vm->last_modified : sim_->now();
+        entry.origin = vm != nullptr ? vm->origin : config_.instance_id;
+        entry.checksum = object_checksum(entry.key, entry.version,
+                                         entry.value);
+        co_return encode(entry);
       });
   endpoint_->register_handler(
       method::kColdStore,
       [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
         auto req = decode_replicate_request(msg);
         if (!req.ok()) co_return req.status();
+        if (config_.local.verify_checksums && req->checksum != 0 &&
+            object_checksum(req->key, req->version, req->value) !=
+                req->checksum) {
+          wire_checksum_failures_++;
+          co_return data_loss("cold store of " + req->key + " on " +
+                              config_.instance_id +
+                              ": payload arrived corrupt");
+        }
         store::StorageTier* tier =
             local_->tier_by_label(config_.cold_tier_label);
         if (tier == nullptr) {
@@ -352,6 +430,8 @@ void WieraPeer::register_handlers() {
         vm.origin = req->origin;
         vm.tier = config_.cold_tier_label;
         vm.committed = true;
+        // Recomputed locally — never trusted from the wire.
+        vm.checksum = object_checksum(req->key, req->version, req->value);
         co_return encode_status(ok_status());
       });
   endpoint_->register_handler(
@@ -365,6 +445,7 @@ void WieraPeer::register_handlers() {
         out.value = std::move(local->value);
         out.version = local->version;
         out.served_by = config_.instance_id;
+        out.checksum = object_checksum(req->key, out.version, out.value);
         co_return encode(out);
       });
 }
@@ -372,6 +453,17 @@ void WieraPeer::register_handlers() {
 // ---------------------------------------------------------------- data plane
 
 sim::Task<Result<PutResponse>> WieraPeer::client_put(PutRequest request) {
+  // End-to-end write integrity: the client checksummed (key, version,
+  // payload) before the bytes left it; reject rather than durably store a
+  // payload that was corrupted in transit. Covers the forwarded-put hop
+  // too (the checksum travels with the re-encoded request).
+  if (config_.local.verify_checksums && request.checksum != 0 &&
+      object_checksum(request.key, request.version, request.value) !=
+          request.checksum) {
+    wire_checksum_failures_++;
+    co_return data_loss("put " + request.key + " on " + config_.instance_id +
+                        ": payload arrived corrupt (checksum mismatch)");
+  }
   if (Status gate = availability_gate(); !gate.ok()) co_return gate;
   co_await wait_if_blocked();
   op_started();
@@ -503,6 +595,15 @@ sim::Task<Result<PutResponse>> WieraPeer::put_local_and_replicate(
       local_->meta().find_version(request.key, version);
   update.last_modified = vm != nullptr ? vm->last_modified : sim_->now();
   update.origin = config_.instance_id;
+  // The recorded checksum now binds the allocated version; replicas verify
+  // it on receipt and recompute it locally when they apply the update.
+  update.checksum = vm != nullptr
+                        ? vm->checksum
+                        : object_checksum(request.key, version, request.value);
+
+  // The response carries the same checksum so the client can prove the
+  // (version, ack) it receives wasn't garbled on the return leg.
+  const uint64_t response_checksum = update.checksum;
 
   if (synchronous) {
     Status st = co_await replicate_to_all(std::move(update), request.deadline);
@@ -510,10 +611,21 @@ sim::Task<Result<PutResponse>> WieraPeer::put_local_and_replicate(
   } else if (!storage_peer_ids_.empty()) {
     queue_->send(QueuedUpdate{std::move(update)});
   }
-  co_return PutResponse{version};
+  co_return PutResponse{version, response_checksum};
 }
 
 sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
+  // Request integrity: a GET whose key was garbled in transit must fail
+  // loudly, not be answered as a clean miss (or with another object's
+  // bytes). Clients checksum (key, version, client); internal forwards
+  // leave it 0.
+  if (config_.local.verify_checksums && request.checksum != 0 &&
+      object_checksum(request.key, request.version, request.client) !=
+          request.checksum) {
+    wire_checksum_failures_++;
+    co_return data_loss("get " + request.key + " on " + config_.instance_id +
+                        ": request arrived corrupt (checksum mismatch)");
+  }
   if (Status gate = availability_gate(); !gate.ok()) {
     // Graceful degradation (docs/OVERLOAD.md): a lease-lapsed replica may
     // answer from its local copy, flagged stale, while the BoundedStaleness
@@ -603,7 +715,14 @@ sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
       out.value = std::move(local->value);
       out.version = local->version;
       out.served_by = config_.instance_id;
+      out.checksum = object_checksum(request.key, out.version, out.value);
       result = std::move(out);
+    } else if (local.status().code() == StatusCode::kDataLoss &&
+               !storage_peer_ids_.empty()) {
+      // Every local copy failed its checksum and was quarantined: read-
+      // repair from a healthy replica and serve the repaired payload
+      // (docs/INTEGRITY.md).
+      result = co_await repair_get(request);
     } else if (local.status().code() == StatusCode::kNotFound &&
                !config_.is_primary && !config_.primary_instance.empty() &&
                config_.primary_instance != config_.instance_id) {
@@ -925,6 +1044,16 @@ sim::Task<Status> WieraPeer::catch_up(std::vector<std::string> sources) {
       continue;
     }
     for (ReplicateRequest& entry : decoded->entries) {
+      // A snapshot entry corrupted in transit must not be merged: skip it
+      // (the scrubber's digest exchange repairs the gap later).
+      if (config_.local.verify_checksums && entry.checksum != 0 &&
+          object_checksum(entry.key, entry.version, entry.value) !=
+              entry.checksum) {
+        wire_checksum_failures_++;
+        WLOG_WARN(kComponent) << id() << " catch-up entry " << entry.key
+                              << " arrived corrupt; skipped";
+        continue;
+      }
       tiera::TieraInstance::RemoteUpdate update;
       update.key = entry.key;
       update.version = entry.version;
@@ -952,6 +1081,7 @@ sim::Task<Status> WieraPeer::catch_up(std::vector<std::string> sources) {
       entry.value = std::move(value->value);
       entry.last_modified = vm->last_modified;
       entry.origin = vm->origin;
+      entry.checksum = object_checksum(entry.key, entry.version, entry.value);
       queue_->send(QueuedUpdate{std::move(entry)});
     }
     catch_ups_completed_++;
@@ -1020,11 +1150,155 @@ sim::Task<Result<GetResponse>> WieraPeer::stale_local_get(
   out.value = std::move(local->value);
   out.version = local->version;
   out.served_by = config_.instance_id;
+  out.checksum = object_checksum(request.key, out.version, out.value);
   out.stale = true;
   stale_serves_++;
   WLOG_INFO(kComponent) << id() << " served " << request.key
                         << " stale (degradation)";
   co_return out;
+}
+
+// ------------------------------------------------- integrity: repair / scrub
+
+sim::Task<Status> WieraPeer::fetch_and_merge(std::string source,
+                                             std::string key, int64_t version,
+                                             bool from_scrub) {
+  RepairFetchRequest fetch{key, version};
+  auto resp = co_await endpoint_->call(source, method::kRepairFetch,
+                                       encode(fetch));
+  if (!resp.ok()) co_return resp.status();
+  auto entry = decode_replicate_request(*resp);
+  if (!entry.ok()) co_return entry.status();
+  // A repair payload must prove itself unconditionally (not gated by
+  // verify_checksums): installing an unverified "repair" would spread
+  // corruption instead of healing it.
+  if (entry->checksum == 0 ||
+      object_checksum(entry->key, entry->version, entry->value) !=
+          entry->checksum) {
+    wire_checksum_failures_++;
+    co_return data_loss("repair fetch of " + key + " from " + source +
+                        " arrived corrupt");
+  }
+  tiera::TieraInstance::RemoteUpdate update;
+  update.key = entry->key;
+  update.version = entry->version;
+  update.value = entry->value;
+  update.last_modified = entry->last_modified;
+  update.origin = entry->origin;
+  auto accepted = co_await local_->apply_remote_update(std::move(update));
+  if (!accepted.ok()) co_return accepted.status();
+  if (*accepted) {
+    if (from_scrub) {
+      scrub_repairs_++;
+    } else {
+      repairs_++;
+    }
+    // Fold every applied repair into the determinism trace: a replayed
+    // corruption run must heal the same objects in the same order.
+    sim_->checker().fold_trace(
+        fnv1a(config_.instance_id + "|repair|" + entry->key + "#" +
+              std::to_string(entry->version)));
+    WLOG_INFO(kComponent) << id()
+                          << (from_scrub ? " scrub-repaired " : " read-repaired ")
+                          << entry->key << "#" << entry->version << " from "
+                          << source;
+  }
+  co_return ok_status();
+}
+
+sim::Task<Result<GetResponse>> WieraPeer::repair_get(GetRequest request) {
+  Status last = unavailable("read-repair of " + request.key +
+                            ": no replica reachable");
+  for (const std::string& peer_id : storage_peer_ids_) {
+    Status st = co_await fetch_and_merge(peer_id, request.key, request.version,
+                                         /*from_scrub=*/false);
+    if (!st.ok()) {
+      last = st;
+      continue;
+    }
+    // Serve the repaired object through the normal (checksum-verified)
+    // local read path rather than echoing the fetched bytes.
+    Result<tiera::GetResult> local = not_found("unset");
+    if (request.version == 0) {
+      local = co_await local_->get(
+          request.key,
+          {.direct = request.direct, .deadline = request.deadline});
+    } else {
+      local = co_await local_->get_version(
+          request.key, request.version,
+          {.direct = request.direct, .deadline = request.deadline});
+    }
+    if (!local.ok()) {
+      last = local.status();
+      continue;
+    }
+    GetResponse out;
+    out.value = std::move(local->value);
+    out.version = local->version;
+    out.served_by = config_.instance_id;
+    out.checksum = object_checksum(request.key, out.version, out.value);
+    co_return out;
+  }
+  co_return last;
+}
+
+sim::Task<void> WieraPeer::scrub_loop() {
+  while (!stopping_) {
+    co_await sim_->delay(config_.scrub_interval);
+    if (stopping_) break;
+    // A recovering peer is about to catch up wholesale; scrubbing its
+    // suspect state would be wasted work.
+    if (recovering_) continue;
+    co_await run_scrub();
+  }
+}
+
+sim::Task<void> WieraPeer::run_scrub() {
+  if (config_.forwarding_only || local_->tier_count() == 0) co_return;
+  scrub_rounds_++;
+
+  // Pass 1 — local verification: every committed version is re-read against
+  // its recorded checksum; corrupt copies are quarantined. Keys whose last
+  // good local copy is gone get repaired from the first healthy replica.
+  std::vector<std::string> lost = co_await local_->scrub_local();
+  for (const std::string& key : lost) {
+    for (const std::string& peer_id : storage_peer_ids_) {
+      Status st = co_await fetch_and_merge(peer_id, key, /*version=*/0,
+                                           /*from_scrub=*/true);
+      if (st.ok()) break;
+    }
+  }
+
+  // Pass 2 — digest exchange: compare each storage peer's per-key
+  // (version, checksum) summary against ours. Checksums are recomputed
+  // locally at apply time, so healthy replicas of the same version agree;
+  // a mismatch (or a key we miss entirely) is silent divergence. Pull the
+  // peer's copy and let LWW decide — if ours is actually newer the merge
+  // rejects it, and the peer's own scrub pulls ours on its next round.
+  for (const std::string& peer_id : storage_peer_ids_) {
+    ScrubDigestRequest req{config_.instance_id};
+    auto resp = co_await endpoint_->call(peer_id, method::kScrubDigest,
+                                         encode(req));
+    if (!resp.ok()) continue;  // unreachable peer: next scrub round retries
+    auto digests = decode_scrub_digest_response(*resp);
+    if (!digests.ok()) continue;
+    for (const ScrubDigest& d : digests->entries) {
+      const metadb::ObjectMeta* obj = local_->meta().find(d.key);
+      const metadb::VersionMeta* vm =
+          obj == nullptr ? nullptr : obj->latest_committed();
+      if (vm != nullptr && vm->version == d.version &&
+          vm->checksum == d.checksum) {
+        continue;  // digest-identical: healthy
+      }
+      Status st = co_await fetch_and_merge(peer_id, d.key, d.version,
+                                           /*from_scrub=*/true);
+      if (!st.ok()) {
+        WLOG_WARN(kComponent) << id() << " scrub repair of " << d.key
+                              << " from " << peer_id
+                              << " failed: " << st.to_string();
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------- monitors
@@ -1171,6 +1445,7 @@ sim::Task<bool> WieraPeer::on_cold_object(const std::string& key) {
   update.value = value->value;
   update.last_modified = sim_->now();
   update.origin = config_.instance_id;
+  update.checksum = object_checksum(update.key, update.version, update.value);
   rpc::Message msg = encode(update);
   auto resp = co_await endpoint_->call(config_.centralized_cold_target,
                                        method::kColdStore, std::move(msg));

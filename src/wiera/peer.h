@@ -103,6 +103,14 @@ class WieraPeer : public tiera::InstanceHooks {
     // answer GETs from its local copy, flagged `stale`, while its last
     // authority contact is younger than the policy's staleness bound.
     std::optional<policy::PolicyDoc> degradation_policy;
+    // ---- data integrity (docs/INTEGRITY.md) ----
+    // Periodic self-healing scrub: verify every local copy against its
+    // recorded checksum, exchange per-key digest summaries with the storage
+    // peers, and repair divergence through kRepairFetch + LWW merge.
+    // Zero disables the scrubber (seed behaviour).
+    Duration scrub_interval = Duration::zero();
+    // Wire/tier checksum verification on this peer is gated by
+    // local.verify_checksums (the mutation test flips it on one replica).
   };
 
   // Callbacks to the controller (wired by WieraController; RPC is used for
@@ -178,6 +186,17 @@ class WieraPeer : public tiera::InstanceHooks {
   int64_t catch_ups_completed() const { return catch_ups_completed_; }
   int64_t replication_retries() const { return replication_retries_; }
 
+  // ---- data-integrity state (read by tests/benches) ----
+  // Wire-level checksum rejections (put / replicate / repair payloads that
+  // arrived corrupt). Tier-level failures live on the TieraInstance.
+  int64_t wire_checksum_failures() const { return wire_checksum_failures_; }
+  // Read-repairs served inline after a local kDataLoss.
+  int64_t repairs() const { return repairs_; }
+  // Repairs applied by the periodic scrubber (local re-verify + digest
+  // exchange), and completed scrub rounds.
+  int64_t scrub_repairs() const { return scrub_repairs_; }
+  int64_t scrub_rounds() const { return scrub_rounds_; }
+
   // ---- overload-robustness state (read by tests/benches) ----
   int64_t stale_serves() const { return stale_serves_; }
   int64_t breaker_fast_fails() const { return breaker_fast_fails_; }
@@ -229,6 +248,18 @@ class WieraPeer : public tiera::InstanceHooks {
   sim::Task<void> queue_flusher();
   sim::Task<Status> flush_queue();
 
+  // ---- integrity: read-repair and scrub (docs/INTEGRITY.md) ----
+  // Inline read-repair: every local copy of the requested object failed its
+  // checksum (and was quarantined), so re-fetch from a healthy replica,
+  // LWW-merge it back, and serve the repaired payload.
+  sim::Task<Result<GetResponse>> repair_get(GetRequest request);
+  // Fetch (key, version; 0 = latest) from `source`, verify the payload
+  // checksum, and LWW-merge it locally. ok = merged or already newer.
+  sim::Task<Status> fetch_and_merge(std::string source, std::string key,
+                                    int64_t version, bool from_scrub);
+  sim::Task<void> scrub_loop();
+  sim::Task<void> run_scrub();
+
   // Block-and-queue support.
   sim::Task<void> wait_if_blocked();
   void op_started() { in_flight_++; }
@@ -275,6 +306,12 @@ class WieraPeer : public tiera::InstanceHooks {
   bool data_suspect_ = false;
   int64_t stale_serves_ = 0;
   int64_t breaker_fast_fails_ = 0;
+
+  // Data-integrity state (docs/INTEGRITY.md).
+  int64_t wire_checksum_failures_ = 0;
+  int64_t repairs_ = 0;
+  int64_t scrub_repairs_ = 0;
+  int64_t scrub_rounds_ = 0;
 
   // Block-and-queue state for consistency changes.
   bool blocking_ = false;

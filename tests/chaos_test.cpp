@@ -35,7 +35,17 @@ const char* const kStorageNodes[] = {"tiera-us-west", "tiera-us-east",
                                      "tiera-eu-west", "tiera-asia-east"};
 const char* const kKeys[] = {"k0", "k1"};
 
-enum class FaultClass { kPartition, kCrash, kDropWindow, kLatencySpike };
+enum class FaultClass {
+  kPartition,
+  kCrash,
+  kDropWindow,
+  kLatencySpike,
+  // Integrity fault classes (docs/INTEGRITY.md): silent storage bit-rot,
+  // crashes that tear in-flight durable writes, payload-corrupting links.
+  kBitRot,
+  kTornWrite,
+  kMsgCorrupt,
+};
 
 const char* fault_class_name(FaultClass fault) {
   switch (fault) {
@@ -47,8 +57,19 @@ const char* fault_class_name(FaultClass fault) {
       return "drop";
     case FaultClass::kLatencySpike:
       return "spike";
+    case FaultClass::kBitRot:
+      return "bitrot";
+    case FaultClass::kTornWrite:
+      return "torn";
+    case FaultClass::kMsgCorrupt:
+      return "msgcorrupt";
   }
   return "?";
+}
+
+bool is_integrity_fault(FaultClass fault) {
+  return fault == FaultClass::kBitRot || fault == FaultClass::kTornWrite ||
+         fault == FaultClass::kMsgCorrupt;
 }
 
 sim::CheckMode check_mode_for(ConsistencyMode mode) {
@@ -166,16 +187,63 @@ sim::FaultPlan plan_for(FaultClass fault, uint64_t seed) {
     case FaultClass::kLatencySpike:
       options.latency_spikes = 2;
       break;
+    case FaultClass::kBitRot:
+      // Several rot events against the workload keys: some land on copies
+      // that exist (detected + repaired), some on keys not yet stored
+      // (no-ops) — both are part of the model.
+      for (const char* key : kKeys) options.keys.push_back(key);
+      options.bit_rots = 3;
+      break;
+    case FaultClass::kTornWrite:
+      options.torn_writes = 1;
+      break;
+    case FaultClass::kMsgCorrupt:
+      options.corrupt_windows = 2;
+      options.corrupt_prob = 0.25;
+      break;
   }
-  return sim::FaultPlan::random(seed, options);
+  sim::FaultPlan plan = sim::FaultPlan::random(seed, options);
+  if (fault == FaultClass::kMsgCorrupt) {
+    // The random windows are node-scoped to storage nodes, where traffic is
+    // dominated by heartbeats and scrub digests — corruption there proves
+    // the control plane shrugs it off, but rarely exercises the data-plane
+    // checksums. Pin one extra window to a client node (whose traffic is
+    // exclusively puts/gets) so every schedule also corrupts payloads the
+    // end-to-end checksums must catch.
+    const char* const client_nodes[] = {"client-us-west", "client-eu-west",
+                                        "client-asia-east"};
+    plan.corrupting_chaos(client_nodes[seed % 3],
+                          TimePoint::origin() + sec(4),
+                          TimePoint::origin() + sec(16), 0.5);
+  }
+  return plan;
+}
+
+// Scrubbing on a short period plus inline read-repair: the self-healing
+// configuration every corruption-class run uses.
+std::function<void(WieraPeer::Config&)> self_heal_tweak() {
+  return [](WieraPeer::Config& config) { config.scrub_interval = sec(3); };
 }
 
 struct RunResult {
   std::vector<sim::OracleViolation> violations;
+  // Mode-independent finals check: post-scrub replicas must agree on every
+  // key, and on a value some client actually wrote.
+  std::vector<sim::OracleViolation> convergence_violations;
   uint64_t trace_hash = 0;
   int64_t ops = 0;
   int64_t completed_ok = 0;
   int64_t events_applied = 0;
+  // Integrity counters summed across storage peers (docs/INTEGRITY.md).
+  int64_t tier_checksum_failures = 0;  // corrupt copies caught on tier read
+  int64_t quarantined = 0;             // corrupt copies removed from tiers
+  int64_t wire_checksum_failures = 0;  // corrupt payloads caught at receive
+  int64_t repairs = 0;                 // read-repair refetches that landed
+  int64_t scrub_repairs = 0;           // scrubber-driven repairs
+  int64_t scrub_rounds = 0;
+  int64_t torn_writes = 0;    // durable writes torn by a crash window
+  int64_t torn_discards = 0;  // journalled tears discarded on restart
+  int64_t corrupted_msgs = 0;  // messages the network chaos corrupted
 };
 
 // One client: alternating put/get rounds against the two workload keys,
@@ -272,10 +340,33 @@ RunResult run_chaos(ConsistencyMode mode, FaultClass fault, uint64_t seed,
 
   RunResult result;
   result.violations = oracle.check(check_mode_for(mode));
+  result.convergence_violations = oracle.check_convergence();
   result.trace_hash = cluster.sim.checker().trace_hash();
   result.ops = oracle.op_count();
   result.completed_ok = oracle.completed_ok_count();
   result.events_applied = injector.events_applied();
+  for (const char* node : kStorageNodes) {
+    WieraPeer* p = cluster.controller.peer(node);
+    if (p == nullptr) continue;
+    result.tier_checksum_failures += p->local().checksum_failures();
+    result.quarantined += p->local().quarantined_copies();
+    result.wire_checksum_failures += p->wire_checksum_failures();
+    result.repairs += p->repairs();
+    result.scrub_repairs += p->scrub_repairs();
+    result.scrub_rounds += p->scrub_rounds();
+    for (const std::string& label : p->local().tier_labels()) {
+      const store::StorageTier* tier = p->local().tier_by_label(label);
+      if (tier == nullptr) continue;
+      result.torn_writes += tier->stats().torn_writes;
+      result.torn_discards += tier->stats().torn_discards;
+    }
+  }
+  // Client-side detections: responses whose checksum failed over the
+  // delivered bytes (the last hop a corruption can hide on).
+  for (const auto& client : clients) {
+    result.wire_checksum_failures += client->checksum_failures();
+  }
+  result.corrupted_msgs = cluster.network.chaos_stats().corrupted;
   return result;
 }
 
@@ -291,6 +382,31 @@ std::string hex_trace(uint64_t hash) {
   std::snprintf(buf, sizeof(buf), "0x%016llx",
                 static_cast<unsigned long long>(hash));
   return buf;
+}
+
+// CI greps these counters out of a failing corruption sweep: how much
+// corruption was injected, how much each detection layer caught, and how
+// much the self-healing machinery put back.
+void print_corruption_stats(ConsistencyMode mode, FaultClass fault,
+                            uint64_t seed, const RunResult& r) {
+  std::printf(
+      "CORRUPTION-STATS seed=%llu mode=%s fault=%s tier_detected=%lld "
+      "quarantined=%lld wire_detected=%lld repairs=%lld scrub_repairs=%lld "
+      "scrub_rounds=%lld torn=%lld torn_discarded=%lld corrupted_msgs=%lld "
+      "trace=%s\n",
+      static_cast<unsigned long long>(seed),
+      std::string(consistency_mode_name(mode)).c_str(),
+      fault_class_name(fault),
+      static_cast<long long>(r.tier_checksum_failures),
+      static_cast<long long>(r.quarantined),
+      static_cast<long long>(r.wire_checksum_failures),
+      static_cast<long long>(r.repairs),
+      static_cast<long long>(r.scrub_repairs),
+      static_cast<long long>(r.scrub_rounds),
+      static_cast<long long>(r.torn_writes),
+      static_cast<long long>(r.torn_discards),
+      static_cast<long long>(r.corrupted_msgs),
+      hex_trace(r.trace_hash).c_str());
 }
 
 // --------------------------------------------- brownout (overload) schedule
@@ -635,6 +751,88 @@ INSTANTIATE_TEST_SUITE_P(
         ChaosCase{ConsistencyMode::kEventual, FaultClass::kLatencySpike}),
     case_name);
 
+// ------------------------------------------------------- corruption sweeps
+//
+// Every consistency mode against every integrity fault class, with the
+// self-healing machinery (periodic scrub + inline read-repair) enabled.
+// Two oracle gates per seed: no client GET ever observes a corrupt payload
+// (the per-mode invariant check — a rotted read surfaces as "a value nobody
+// wrote"), and after the last scrub all replicas are digest-identical on a
+// client-written value (check_convergence).
+
+class CorruptionSuite : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(CorruptionSuite, NoCorruptReadsAndEventualRepairAcrossSeeds) {
+  const ChaosCase c = GetParam();
+  const int seeds = seed_count();
+  int64_t total_detected = 0;
+  int64_t total_healed = 0;
+  int64_t total_corrupted_msgs = 0;
+  int64_t total_scrub_rounds = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    RunResult r = run_chaos(c.mode, c.fault, static_cast<uint64_t>(seed),
+                            self_heal_tweak());
+    EXPECT_GT(r.completed_ok, 0) << "seed " << seed << ": no op completed";
+    EXPECT_GT(r.events_applied, 0) << "seed " << seed << ": no fault fired";
+    if (!r.violations.empty()) {
+      print_corruption_stats(c.mode, c.fault, static_cast<uint64_t>(seed), r);
+      ADD_FAILURE() << "CHAOS-FAIL seed=" << seed
+                    << " mode=" << consistency_mode_name(c.mode)
+                    << " fault=" << fault_class_name(c.fault)
+                    << " trace=" << hex_trace(r.trace_hash) << "\n"
+                    << sim::ConsistencyOracle::describe(r.violations);
+    }
+    if (!r.convergence_violations.empty()) {
+      print_corruption_stats(c.mode, c.fault, static_cast<uint64_t>(seed), r);
+      ADD_FAILURE() << "CHAOS-FAIL seed=" << seed
+                    << " mode=" << consistency_mode_name(c.mode)
+                    << " fault=" << fault_class_name(c.fault)
+                    << " trace=" << hex_trace(r.trace_hash)
+                    << " (post-scrub replicas not digest-identical)\n"
+                    << sim::ConsistencyOracle::describe(
+                           r.convergence_violations);
+    }
+    total_detected += r.tier_checksum_failures + r.wire_checksum_failures;
+    total_healed += r.repairs + r.scrub_repairs + r.torn_discards;
+    total_corrupted_msgs += r.corrupted_msgs;
+    total_scrub_rounds += r.scrub_rounds;
+  }
+  EXPECT_GT(total_scrub_rounds, 0) << "scrubber never ran";
+  switch (c.fault) {
+    case FaultClass::kBitRot:
+      // Across the sweep some rot events must land on live copies, be
+      // detected by a checksum layer, and be healed from a peer.
+      EXPECT_GT(total_detected, 0) << "no bit rot was ever detected";
+      EXPECT_GT(total_healed, 0) << "no rotted copy was ever repaired";
+      break;
+    case FaultClass::kMsgCorrupt:
+      EXPECT_GT(total_corrupted_msgs, 0) << "chaos never corrupted a message";
+      EXPECT_GT(total_detected, 0) << "no corrupt payload was ever detected";
+      break;
+    default:
+      // Torn-write crashes tear a durable write only when one is in flight
+      // at the crash instant — too rare to assert per-sweep; the targeted
+      // TornWriteDiscardedOnRestart regression pins that path down.
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModesAllCorruptionFaults, CorruptionSuite,
+    ::testing::Values(
+        ChaosCase{ConsistencyMode::kMultiPrimaries, FaultClass::kBitRot},
+        ChaosCase{ConsistencyMode::kMultiPrimaries, FaultClass::kTornWrite},
+        ChaosCase{ConsistencyMode::kMultiPrimaries, FaultClass::kMsgCorrupt},
+        ChaosCase{ConsistencyMode::kPrimaryBackupSync, FaultClass::kBitRot},
+        ChaosCase{ConsistencyMode::kPrimaryBackupSync,
+                  FaultClass::kTornWrite},
+        ChaosCase{ConsistencyMode::kPrimaryBackupSync,
+                  FaultClass::kMsgCorrupt},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kBitRot},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kTornWrite},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kMsgCorrupt}),
+    case_name);
+
 // ------------------------------------------------------------ determinism
 
 TEST(ChaosDeterminismTest, SameSeedSameTraceHash) {
@@ -647,6 +845,26 @@ TEST(ChaosDeterminismTest, SameSeedSameTraceHash) {
   EXPECT_EQ(a.completed_ok, b.completed_ok);
   RunResult c = run_chaos(ConsistencyMode::kEventual, FaultClass::kDropWindow,
                           /*seed=*/8);
+  EXPECT_NE(a.trace_hash, c.trace_hash);
+}
+
+TEST(ChaosDeterminismTest, SameSeedSameTraceHashWithScrubAndRepairActive) {
+  // The self-healing paths (scrub rounds, digest exchanges, read-repair
+  // refetches) are themselves folded into the trace: a replay with bit rot
+  // plus an active scrubber must reproduce hash-identically.
+  RunResult a = run_chaos(ConsistencyMode::kEventual, FaultClass::kBitRot,
+                          /*seed=*/7, self_heal_tweak());
+  RunResult b = run_chaos(ConsistencyMode::kEventual, FaultClass::kBitRot,
+                          /*seed=*/7, self_heal_tweak());
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.completed_ok, b.completed_ok);
+  EXPECT_EQ(a.tier_checksum_failures, b.tier_checksum_failures);
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.scrub_repairs, b.scrub_repairs);
+  EXPECT_EQ(a.scrub_rounds, b.scrub_rounds);
+  RunResult c = run_chaos(ConsistencyMode::kEventual, FaultClass::kBitRot,
+                          /*seed=*/8, self_heal_tweak());
   EXPECT_NE(a.trace_hash, c.trace_hash);
 }
 
@@ -720,6 +938,93 @@ TEST(ChaosMutationTest, BrokenLwwComparatorIsCaught) {
   RunResult honest = run_lww_scenario({});
   EXPECT_TRUE(honest.violations.empty())
       << sim::ConsistencyOracle::describe(honest.violations);
+}
+
+// Acceptance gate for the integrity oracle: disable checksum verification
+// on one replica and rot its stored copy. The crippled replica serves the
+// rotted payload (its wire checksum is recomputed over the bytes it sends,
+// so the client's transit check passes — exactly the blind spot read-path
+// verification exists to cover), and the oracle must flag the read as a
+// value nobody wrote. The control run (verification on) detects the rot on
+// read, repairs from a peer, and stays clean.
+RunResult run_bit_rot_scenario(
+    std::function<void(WieraPeer::Config&)> peer_tweak) {
+  ChaosCluster cluster(/*seed=*/12);
+  auto peers = cluster.controller.start_instances(
+      "w1",
+      cluster.options_for(ConsistencyMode::kEventual, std::move(peer_tweak)));
+  EXPECT_TRUE(peers.ok()) << peers.status().to_string();
+  if (!peers.ok()) return {};
+  cluster.controller.start();
+
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  plan.bit_rot("tiera-eu-west", "k0", TimePoint::origin() + sec(5));
+  injector.arm(std::move(plan));
+
+  sim::ConsistencyOracle oracle;
+  WieraClient eu(cluster.sim, cluster.network, cluster.registry, "app-eu",
+                 "client-eu-west", *peers);
+  auto workload = [](sim::Simulation& sim, sim::ConsistencyOracle& oracle,
+                     WieraClient& c) -> sim::Task<void> {
+    co_await sim.delay(sec(1));
+    int64_t put_op = oracle.begin_put(c.id(), "k0", "good-value", sim.now());
+    auto put = co_await c.put("k0", Blob("good-value"));
+    oracle.end_put(put_op, sim.now(), put.ok(), put.ok() ? put->version : 0);
+    EXPECT_TRUE(put.ok()) << put.status().to_string();
+
+    co_await sim.delay(sec(5));  // t=6s: eu-west's copy rotted at t=5
+    int64_t get_op = oracle.begin_get(c.id(), "k0", sim.now());
+    auto got = co_await c.get("k0");
+    if (got.ok()) {
+      oracle.end_get(get_op, sim.now(), true, got->value.to_string(),
+                     got->version, got->served_by);
+    } else {
+      oracle.end_get(get_op, sim.now(), false, "", 0, "");
+    }
+  };
+  cluster.sim.spawn(workload(cluster.sim, oracle, eu));
+  cluster.sim.run_until(TimePoint(sec(10).us()));
+
+  bool harvested = false;
+  cluster.sim.spawn(harvest_finals(cluster.controller, oracle, harvested));
+  cluster.sim.run_until(TimePoint(sec(11).us()));
+  EXPECT_TRUE(harvested);
+
+  RunResult result;
+  result.violations = oracle.check(sim::CheckMode::kEventual);
+  result.convergence_violations = oracle.check_convergence();
+  result.trace_hash = cluster.sim.checker().trace_hash();
+  WieraPeer* peer = cluster.controller.peer("tiera-eu-west");
+  if (peer != nullptr) {
+    result.tier_checksum_failures = peer->local().checksum_failures();
+    result.repairs = peer->repairs();
+  }
+  return result;
+}
+
+TEST(ChaosMutationTest, DisabledChecksumVerificationIsCaught) {
+  RunResult crippled = run_bit_rot_scenario([](WieraPeer::Config& config) {
+    if (config.instance_id != "tiera-eu-west") return;
+    config.local.verify_checksums = false;
+  });
+  EXPECT_FALSE(crippled.violations.empty())
+      << "oracle failed to notice a replica serving rotted payloads";
+  EXPECT_FALSE(crippled.convergence_violations.empty())
+      << "convergence check missed the unrepaired rotted replica";
+  EXPECT_EQ(crippled.tier_checksum_failures, 0)
+      << "verification was supposed to be disabled";
+
+  // Control: with verification on, the rot is caught on read, repaired
+  // from a peer, and no client ever sees it.
+  RunResult honest = run_bit_rot_scenario({});
+  EXPECT_TRUE(honest.violations.empty())
+      << sim::ConsistencyOracle::describe(honest.violations);
+  EXPECT_TRUE(honest.convergence_violations.empty())
+      << sim::ConsistencyOracle::describe(honest.convergence_violations);
+  EXPECT_GT(honest.tier_checksum_failures, 0) << "rot was never detected";
+  EXPECT_GT(honest.repairs, 0) << "rot was never repaired";
 }
 
 // ----------------------------------------------------- targeted regressions
@@ -922,6 +1227,70 @@ TEST(ChaosRegressionTest, TierEnospcFailsPutsCleanly) {
       << sim::ConsistencyOracle::describe(violations);
 }
 
+// A durable write whose commit lands inside a torn-write crash window is
+// staged in the tier's shadow journal (kDataLoss to the writer, previous
+// committed copy untouched) and discarded by the recovery pass the chaos
+// host runs at restart — never published as a truncated payload.
+TEST(ChaosRegressionTest, TornWriteDiscardedOnRestart) {
+  ChaosCluster cluster(/*seed=*/46);
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kEventual, {}));
+  ASSERT_TRUE(peers.ok()) << peers.status().to_string();
+  cluster.controller.start();
+
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  plan.torn_write("tiera-eu-west", TimePoint::origin() + sec(5),
+                  TimePoint::origin() + sec(8));
+  injector.arm(std::move(plan));
+
+  WieraPeer* eu = cluster.controller.peer("tiera-eu-west");
+  ASSERT_NE(eu, nullptr);
+  store::StorageTier* durable = nullptr;
+  for (const std::string& label : eu->local().tier_labels()) {
+    store::StorageTier* tier = eu->local().tier_by_label(label);
+    if (tier != nullptr && tier->spec().kind != store::TierKind::kMemory) {
+      durable = tier;
+    }
+  }
+  ASSERT_NE(durable, nullptr) << "policy deploys no durable tier";
+
+  // A committed durable copy from before the crash, then a write whose
+  // commit instant lands inside the [5s, 8s) crash window.
+  auto writer = [](sim::Simulation& sim,
+                   store::StorageTier& tier) -> sim::Task<void> {
+    co_await sim.delay(sec(1));
+    Status before = co_await tier.put("probe#1", Blob(Bytes(4096, 1)));
+    EXPECT_TRUE(before.ok()) << before.to_string();
+    co_await sim.at(TimePoint::origin() + sec(5) + msec(500));
+    Status torn = co_await tier.put("probe#1", Blob(Bytes(4096, 2)));
+    EXPECT_EQ(torn.code(), StatusCode::kDataLoss) << torn.to_string();
+  };
+  cluster.sim.spawn(writer(cluster.sim, *durable));
+  cluster.sim.run_until(TimePoint(sec(20).us()));
+
+  EXPECT_EQ(durable->stats().torn_writes, 1);
+  // The restart event drove recover_tiers(): the journalled tear is gone.
+  EXPECT_EQ(durable->stats().torn_discards, 1);
+  EXPECT_FALSE(eu->recovering());
+
+  // The pre-crash committed copy is what the tier still serves.
+  bool read_done = false;
+  auto reader = [](store::StorageTier& tier, bool& done) -> sim::Task<void> {
+    auto got = co_await tier.get("probe#1");
+    EXPECT_TRUE(got.ok()) << got.status().to_string();
+    if (got.ok()) {
+      EXPECT_EQ(got->size(), 4096u);
+      EXPECT_EQ(got->data()[0], 1);
+    }
+    done = true;
+  };
+  cluster.sim.spawn(reader(*durable, read_done));
+  cluster.sim.run_until(TimePoint(sec(21).us()));
+  EXPECT_TRUE(read_done);
+}
+
 // BoundedStaleness degradation (docs/OVERLOAD.md): when a strong-mode
 // replica's serve lease lapses (control plane unreachable) it may answer
 // reads from its local copy — flagged stale — while the copy is younger
@@ -1075,8 +1444,10 @@ TEST(ChaosRegressionTest, PingDeadlineKeepsFailureDetectionLive) {
 //
 // `chaos_test --seed N --plan MODE:FAULT` re-runs exactly one schedule —
 // the reproducer line scripts/chaos_sweep.sh prints for every CHAOS-FAIL.
-// FAULT is one of partition|crash|drop|spike|brownout (brownout ignores
-// MODE; it always runs the primary-backup overload schedule).
+// FAULT is one of partition|crash|drop|spike|brownout|bitrot|torn|msgcorrupt
+// (brownout ignores MODE; it always runs the primary-backup overload
+// schedule). The corruption classes replay with scrub + read-repair armed,
+// exactly as the CorruptionSuite runs them.
 
 int replay_main(uint64_t seed, const std::string& plan_spec) {
   const size_t colon = plan_spec.find(':');
@@ -1114,20 +1485,36 @@ int replay_main(uint64_t seed, const std::string& plan_spec) {
     fault = FaultClass::kDropWindow;
   } else if (fault_name == "spike") {
     fault = FaultClass::kLatencySpike;
+  } else if (fault_name == "bitrot") {
+    fault = FaultClass::kBitRot;
+  } else if (fault_name == "torn") {
+    fault = FaultClass::kTornWrite;
+  } else if (fault_name == "msgcorrupt") {
+    fault = FaultClass::kMsgCorrupt;
   } else {
     std::fprintf(stderr, "unknown fault class '%s'\n", fault_name.c_str());
     return 2;
   }
 
-  RunResult r = run_chaos(*mode, fault, seed);
+  const bool integrity = is_integrity_fault(fault);
+  RunResult r = run_chaos(*mode, fault, seed,
+                          integrity ? self_heal_tweak()
+                                    : std::function<void(WieraPeer::Config&)>{});
   std::printf("replay seed=%llu mode=%s fault=%s trace=%s ops=%lld ok=%lld\n",
               static_cast<unsigned long long>(seed),
               std::string(consistency_mode_name(*mode)).c_str(),
               fault_name.c_str(), hex_trace(r.trace_hash).c_str(),
               static_cast<long long>(r.ops),
               static_cast<long long>(r.completed_ok));
+  if (integrity) print_corruption_stats(*mode, fault, seed, r);
   if (!r.violations.empty()) {
     std::printf("%s\n", sim::ConsistencyOracle::describe(r.violations).c_str());
+    return 1;
+  }
+  if (integrity && !r.convergence_violations.empty()) {
+    std::printf("%s\n",
+                sim::ConsistencyOracle::describe(r.convergence_violations)
+                    .c_str());
     return 1;
   }
   std::printf("replay clean\n");

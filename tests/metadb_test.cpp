@@ -66,6 +66,31 @@ TEST(MetaDbTest, RemoveVersionAndObject) {
   EXPECT_EQ(db.remove_object("k2").code(), StatusCode::kNotFound);
 }
 
+TEST(MetaDbTest, ForgetVersionKeepsAllocationFloor) {
+  MetaDb db;
+  db.upsert_version("k", 5);
+  db.upsert_version("k", 6);
+  EXPECT_EQ(db.find("k")->max_allocated, 6);
+  // forget_version drops the row but not the object record or the floor.
+  EXPECT_TRUE(db.forget_version("k", 6).ok());
+  ASSERT_NE(db.find("k"), nullptr);
+  EXPECT_EQ(db.find("k")->latest_version(), 5);
+  EXPECT_EQ(db.find("k")->max_allocated, 6);
+  // Even forgetting the last version keeps the record as a tombstone.
+  EXPECT_TRUE(db.forget_version("k", 5).ok());
+  ASSERT_NE(db.find("k"), nullptr);
+  EXPECT_EQ(db.find("k")->latest_version(), 0);
+  EXPECT_EQ(db.find("k")->max_allocated, 6);
+  EXPECT_EQ(db.forget_version("k", 5).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.forget_version("zz", 1).code(), StatusCode::kNotFound);
+  // An empty record never reports as cold (nothing to migrate).
+  EXPECT_TRUE(db.cold_objects(TimePoint(hoursd(999).us()), hoursd(1)).empty());
+  // remove_version (user-level delete) still erases empty objects.
+  db.upsert_version("k2", 1);
+  EXPECT_TRUE(db.remove_version("k2", 1).ok());
+  EXPECT_EQ(db.find("k2"), nullptr);
+}
+
 TEST(MetaDbTest, Tags) {
   MetaDb db;
   db.upsert_version("a", 1);
@@ -118,8 +143,10 @@ TEST(MetaDbTest, SerializeDeserializeRoundTrip) {
   vm.last_accessed = TimePoint(3000);
   vm.access_count = 7;
   vm.dirty = true;
+  vm.committed = true;
   vm.tier = "tier2";
   vm.origin = "us-west";
+  vm.checksum = 0x1234567890ABCDEFULL;
   db.add_tag("k1", "tmp");
   db.upsert_version("k2", 1).size = 10;
 
@@ -135,7 +162,18 @@ TEST(MetaDbTest, SerializeDeserializeRoundTrip) {
   EXPECT_TRUE(lv->dirty);
   EXPECT_EQ(lv->tier, "tier2");
   EXPECT_EQ(lv->origin, "us-west");
+  EXPECT_TRUE(lv->committed);
+  EXPECT_EQ(lv->checksum, 0x1234567890ABCDEFULL);
   EXPECT_TRUE(loaded.has_tag("k1", "tmp"));
+  // The allocation high-water mark survives the round trip, including one
+  // raised above the surviving rows by forget_version.
+  EXPECT_TRUE(db.forget_version("k2", 1).ok());
+  Bytes again = db.serialize();
+  MetaDb reloaded;
+  ASSERT_TRUE(reloaded.deserialize(again).ok());
+  ASSERT_NE(reloaded.find("k2"), nullptr);
+  EXPECT_EQ(reloaded.find("k2")->max_allocated, 1);
+  EXPECT_EQ(reloaded.find("k2")->latest_version(), 0);
 }
 
 TEST(MetaDbTest, DeserializeCorruptFailsAndPreservesContents) {

@@ -231,5 +231,54 @@ TEST_P(MetaDbFuzz, SerializeDeserializeIsIdentityUnderRandomOps) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MetaDbFuzz, ::testing::Values(100, 200, 300));
 
+// Exhaustive corruption sweep over a snapshot: flip every byte, truncate at
+// every length. Every mutation must be rejected with a non-OK Status (the
+// body checksum covers all of it) and must leave the target store exactly
+// as it was — never crash, never half-load.
+TEST(MetaDbFuzz, EveryByteFlipAndTruncationIsRejected) {
+  metadb::MetaDb db;
+  auto& vm = db.upsert_version("key-one", 3);
+  vm.size = 4096;
+  vm.create_time = TimePoint(1000);
+  vm.last_modified = TimePoint(2000);
+  vm.dirty = true;
+  vm.committed = true;
+  vm.tier = "tier1";
+  vm.origin = "eu-west";
+  vm.checksum = 0xDEADBEEFCAFEF00DULL;
+  db.add_tag("key-one", "tmp");
+  db.upsert_version("key-two", 1).size = 10;
+  const Bytes snapshot = db.serialize();
+
+  metadb::MetaDb target;
+  target.upsert_version("sentinel", 9).size = 42;
+  const Bytes before = target.serialize();
+
+  for (size_t off = 0; off < snapshot.size(); ++off) {
+    Bytes mutated = snapshot;
+    mutated[off] ^= 0x01;
+    EXPECT_FALSE(target.deserialize(mutated).ok())
+        << "byte flip at offset " << off << " was accepted";
+    ASSERT_EQ(target.serialize(), before)
+        << "byte flip at offset " << off << " modified the store";
+  }
+  for (size_t len = 0; len < snapshot.size(); ++len) {
+    Bytes truncated(snapshot.begin(), snapshot.begin() + len);
+    EXPECT_FALSE(target.deserialize(truncated).ok())
+        << "truncation to " << len << " bytes was accepted";
+    ASSERT_EQ(target.serialize(), before)
+        << "truncation to " << len << " bytes modified the store";
+  }
+  // Trailing garbage after a valid snapshot must also be rejected.
+  Bytes padded = snapshot;
+  padded.push_back(0);
+  EXPECT_FALSE(target.deserialize(padded).ok());
+
+  // The unmutated snapshot still loads — the sweep didn't poison anything.
+  EXPECT_TRUE(target.deserialize(snapshot).ok());
+  EXPECT_EQ(target.find_version("key-one", 3)->checksum,
+            0xDEADBEEFCAFEF00DULL);
+}
+
 }  // namespace
 }  // namespace wiera

@@ -3,6 +3,7 @@
 // cache, O_DIRECT, memory pressure, IOPS throttling, latency ordering).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "common/units.h"
@@ -357,8 +358,179 @@ TEST(TierTest, FillFractionAndGrow) {
     co_return;
   });
   EXPECT_DOUBLE_EQ(tier->fill_fraction(), 0.5);
-  tier->grow(1000);
+  ASSERT_TRUE(tier->grow(1000).ok());
   EXPECT_DOUBLE_EQ(tier->fill_fraction(), 0.25);
+}
+
+TEST(TierTest, GrowRejectsNegative) {
+  sim::Simulation sim;
+  auto tier = make_tier(sim, memory_spec(1000));
+  EXPECT_EQ(tier->grow(-1).code(), StatusCode::kInvalidArgument);
+  // Rejected growth must not touch the capacity.
+  EXPECT_EQ(tier->spec().capacity_bytes, 1000);
+}
+
+TEST(TierTest, GrowRejectsOverflow) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  sim::Simulation sim;
+  auto tier = make_tier(sim, memory_spec(1000));
+  EXPECT_EQ(tier->grow(kMax).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(tier->spec().capacity_bytes, 1000);
+  // The exact boundary is allowed: capacity lands on INT64_MAX, not past it.
+  EXPECT_TRUE(tier->grow(kMax - 1000).ok());
+  EXPECT_EQ(tier->spec().capacity_bytes, kMax);
+  EXPECT_EQ(tier->grow(1).code(), StatusCode::kOutOfRange);
+}
+
+// ------------------------------------------------------- fault-window edges
+
+TEST(TierFaultTest, EnospcWindowBlocksBeforeEviction) {
+  // A full memory tier hit by an ENOSPC window: the put must fail up front
+  // without evicting residents to make room for a write that cannot land.
+  sim::Simulation sim;
+  auto tier = make_tier(sim, memory_spec(250));
+  run(sim, [&]() -> sim::Task<void> {
+    co_await tier->put("a", Blob(Bytes(100, 1)));
+    co_await tier->put("b", Blob(Bytes(100, 2)));
+    tier->inject_write_errors(sim.now(), sim.now() + sec(10));
+    auto st = co_await tier->put("c", Blob(Bytes(100, 3)));
+    EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  });
+  EXPECT_TRUE(tier->contains("a"));
+  EXPECT_TRUE(tier->contains("b"));
+  EXPECT_FALSE(tier->contains("c"));
+  EXPECT_EQ(tier->stats().evictions, 0);
+}
+
+TEST(TierFaultTest, SlowdownWindowIsHalfOpen) {
+  // The window is [from, until): an operation starting exactly at `until`
+  // pays no slowdown.
+  sim::Simulation sim;
+  auto tier = make_tier(sim, memory_spec(1 * MiB));
+  const TimePoint until = TimePoint::origin() + usec(10000);
+  tier->inject_slowdown(10.0, TimePoint::origin(), until);
+  int64_t inside_us = 0, boundary_us = 0;
+  run(sim, [&]() -> sim::Task<void> {
+    // Empty payload: service time is exactly write_base (jitter disabled).
+    int64_t t0 = sim.now().us();
+    co_await tier->put("k", Blob(Bytes()));
+    inside_us = sim.now().us() - t0;
+    co_await sim.at(until);
+    t0 = sim.now().us();
+    co_await tier->put("k", Blob(Bytes()));
+    boundary_us = sim.now().us() - t0;
+  });
+  EXPECT_EQ(inside_us, 10 * boundary_us);
+  EXPECT_EQ(boundary_us, calibration::kMemoryWriteUs);
+}
+
+TEST(TierFaultTest, ClearFaultsMidWindowRestoresWrites) {
+  sim::Simulation sim;
+  auto tier = make_tier(sim, memory_spec(1 * MiB));
+  run(sim, [&]() -> sim::Task<void> {
+    tier->inject_write_errors(sim.now(), sim.now() + sec(60));
+    auto st = co_await tier->put("k", Blob("v"));
+    EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+    tier->clear_faults();
+    // Still well inside the (now cancelled) window.
+    EXPECT_LT(sim.now(), TimePoint::origin() + sec(60));
+    EXPECT_TRUE((co_await tier->put("k", Blob("v"))).ok());
+  });
+  EXPECT_TRUE(tier->contains("k"));
+}
+
+// ------------------------------------------------------ torn writes / rot
+
+TEST(BlockTierTest, TornWriteJournalledAndDiscardedByRecover) {
+  sim::Simulation sim;
+  auto disk = make_tier(sim, block_spec(TierKind::kBlockSsd, /*cache=*/false));
+  run(sim, [&]() -> sim::Task<void> {
+    EXPECT_TRUE((co_await disk->put("k", Blob(Bytes(4096, 1)))).ok());
+    // The node "crashes" while the second write is in flight: its commit
+    // instant lands inside the torn window.
+    disk->inject_torn_writes(sim.now(), sim.now() + sec(10));
+    auto st = co_await disk->put("k", Blob(Bytes(4096, 2)));
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+    // The previous committed copy is untouched by the shadow journal.
+    auto r = co_await disk->get("k");
+    EXPECT_TRUE(r.ok());
+    if (!r.ok()) co_return;
+    EXPECT_EQ(r->size(), 4096u);
+    EXPECT_EQ(r->data()[0], 1);
+  });
+  EXPECT_EQ(disk->stats().torn_writes, 1);
+  disk->recover();
+  EXPECT_EQ(disk->stats().torn_discards, 1);
+  run(sim, [&]() -> sim::Task<void> {
+    auto r = co_await disk->get("k");
+    EXPECT_TRUE(r.ok());
+    if (!r.ok()) co_return;
+    EXPECT_EQ(r->data()[0], 1);  // still the old committed copy
+  });
+}
+
+TEST(BlockTierTest, LegacyTornWritePublishesTruncatedPrefix) {
+  // crash_consistent=false models an in-place write path: the torn prefix
+  // silently replaces the object with an OK status. Only the object
+  // checksum can tell downstream.
+  sim::Simulation sim;
+  TierSpec spec = block_spec(TierKind::kBlockSsd, /*cache=*/false);
+  spec.crash_consistent = false;
+  auto disk = make_tier(sim, spec);
+  run(sim, [&]() -> sim::Task<void> {
+    disk->inject_torn_writes(sim.now(), sim.now() + sec(10));
+    EXPECT_TRUE((co_await disk->put("k", Blob(Bytes(4096, 7)))).ok());
+    disk->clear_faults();
+    auto r = co_await disk->get("k");
+    EXPECT_TRUE(r.ok());
+    if (!r.ok()) co_return;
+    EXPECT_EQ(r->size(), 2048u);  // first half only
+  });
+  EXPECT_EQ(disk->stats().torn_writes, 1);
+  EXPECT_EQ(disk->used_bytes(), 2048);
+  disk->recover();
+  EXPECT_EQ(disk->stats().torn_discards, 0);  // nothing was journalled
+}
+
+TEST(ObjectTierTest, TornWriteJournalledAndDiscardedByRecover) {
+  sim::Simulation sim;
+  TierSpec s;
+  s.name = "s3";
+  s.kind = TierKind::kObjectS3;
+  auto tier = make_tier(sim, s);
+  run(sim, [&]() -> sim::Task<void> {
+    EXPECT_TRUE((co_await tier->put("k", Blob(Bytes(1000, 1)))).ok());
+    tier->inject_torn_writes(sim.now(), sim.now() + sec(10));
+    auto st = co_await tier->put("k", Blob(Bytes(1000, 2)));
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+    auto r = co_await tier->get("k");
+    EXPECT_TRUE(r.ok());
+    if (!r.ok()) co_return;
+    EXPECT_EQ(r->data()[0], 1);
+  });
+  EXPECT_EQ(tier->stats().torn_writes, 1);
+  tier->recover();
+  EXPECT_EQ(tier->stats().torn_discards, 1);
+}
+
+TEST(TierTest, CorruptObjectFlipsOneStoredByte) {
+  sim::Simulation sim;
+  auto tier = make_tier(sim, memory_spec(1 * MiB));
+  Bytes payload(64, 0xAB);
+  run(sim, [&]() -> sim::Task<void> {
+    co_await tier->put("k", Blob(Bytes(payload)));
+    co_return;
+  });
+  EXPECT_FALSE(tier->corrupt_object("missing"));
+  EXPECT_TRUE(tier->corrupt_object("k"));
+  EXPECT_EQ(tier->stats().corruptions, 1);
+  run(sim, [&]() -> sim::Task<void> {
+    auto r = co_await tier->get("k");
+    EXPECT_TRUE(r.ok());
+    if (!r.ok()) co_return;
+    EXPECT_EQ(r->size(), payload.size());  // size is unchanged — only a flip
+    EXPECT_NE(r->view(), Blob(Bytes(payload)).view());
+  });
 }
 
 // Property sweep: every persistent tier kind round-trips payloads of many
