@@ -68,6 +68,7 @@ Point run_point(const std::string& protocol, std::string_view policy_src,
   });
   point.put_mean = put_hist.mean();
   point.get_mean = get_hist.mean();
+  print_metrics(cluster.sim, point.protocol, {"wiera_client_"});
   return point;
 }
 

@@ -107,6 +107,9 @@ int main() {
     cells.push_back(str_format("%.4f", storage));
     cells.push_back(str_format("%.4f", egress));
     print_row(cells, 13);
+    print_metrics(cluster.sim,
+                  str_format("%d replica(s)", replicas),
+                  {"wiera_replications_", "wiera_client_get_latency_us"});
   }
   std::printf(
       "\nreading: each added replica cuts far-region read latency but "

@@ -79,6 +79,7 @@ Outcome run_grid_point(int latency_ms, int period_s) {
   }
   cluster.sim.run_until(TimePoint(sec(330).us()));
   stop = true;
+  print_metrics(cluster.sim, "thresholds run", {"wiera_put_latency_us"});
   return Outcome{cluster.controller.consistency_changes(),
                  put_hist.mean().ms()};
 }

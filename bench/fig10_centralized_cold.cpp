@@ -137,6 +137,8 @@ Tiera ColdInstance() {
                paper_get.at(region)});
   }
 
+  print_metrics(cluster.sim, "fig10 centralized cold storage",
+                {"tiera_", "wiera_client_"});
   std::printf("\n(the paper's headline: worst-case cold get ~200 ms from "
               "Asia East; put stays fast everywhere because writes are "
               "local)\n");

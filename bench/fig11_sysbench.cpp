@@ -123,6 +123,9 @@ double run_sysbench(const net::VmType& vm, bool remote_memory) {
   setup.sim.spawn(body());
   setup.sim.run();
   if (!done) std::abort();
+  print_metrics(setup.sim,
+                vm.name + (remote_memory ? " (remote)" : " (local)"),
+                {"tiera_", "wiera_put", "wiera_get"});
   return iops;
 }
 

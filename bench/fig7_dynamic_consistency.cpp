@@ -145,5 +145,6 @@ int main() {
       eventual_fraction_in(205, 215) > 0.5 ? "Eventual" : "MultiPrimaries",
       eventual_fraction_in(272, 300) < 0.5 ? "yes" : "NO",
       static_cast<long long>(cluster.controller.consistency_changes()));
+  print_metrics(cluster.sim, "fig7 dynamic consistency", {"wiera_"});
   return 0;
 }

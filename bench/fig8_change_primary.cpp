@@ -189,6 +189,11 @@ Wiera Fig8PrimaryBackup() {
   cluster.sim.run_until(TimePoint(kRunTime.us()));
   stop = true;
   result.primary_changes = cluster.controller.primary_changes();
+  print_metrics(cluster.sim,
+                changing_primary ? "fig8 changing primary"
+                                 : "fig8 static primary",
+                {"wiera_client_put_latency_us", "wiera_forwarded_",
+                 "wiera_replications_"});
   return result;
 }
 

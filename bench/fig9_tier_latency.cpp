@@ -59,6 +59,7 @@ TierResult measure_tier(const std::string& label, const std::string& dsl_name,
   sim.spawn(body());
   sim.run();
   if (!done) std::abort();
+  print_metrics(sim, label, {"tiera_"});
   return result;
 }
 

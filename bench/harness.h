@@ -5,8 +5,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/strings.h"
@@ -92,6 +96,35 @@ struct PaperCluster {
 
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Per-figure registry snapshot (docs/OBSERVABILITY.md): every bench reports
+// its counters through Registry::render_text, so all figures share one
+// metric vocabulary instead of ad-hoc printf fields. `prefixes` filters to
+// the families a figure cares about ("tiera_", "wiera_client_", ...); empty
+// prints everything. WIERA_BENCH_METRICS=0 silences the snapshots.
+inline void print_metrics(sim::Simulation& sim, const std::string& title,
+                          std::initializer_list<const char*> prefixes = {}) {
+  const char* env = std::getenv("WIERA_BENCH_METRICS");
+  if (env != nullptr && std::strcmp(env, "0") == 0) return;
+  std::printf("\n--- metrics: %s ---\n", title.c_str());
+  const std::string text = sim.telemetry().registry().render_text();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    // "# TYPE <name> <kind>" headers carry the family name at offset 7.
+    const std::string_view probe =
+        line.rfind("# TYPE ", 0) == 0 ? line.substr(7) : line;
+    bool keep = prefixes.size() == 0;
+    for (const char* prefix : prefixes) {
+      if (probe.rfind(prefix, 0) == 0) keep = true;
+    }
+    if (keep) std::printf("%.*s\n", static_cast<int>(line.size()),
+                          line.data());
+  }
 }
 
 inline void print_row(const std::vector<std::string>& cells, int width = 14) {

@@ -73,6 +73,13 @@ if [[ "${FAILS}" -gt 0 || "${GTEST_FAILS}" -gt 0 ]]; then
     FAULT="$(sed -n 's/.*fault=\([^ ]*\).*/\1/p' <<<"${LINE}")"
     echo "  ${LINE}"
     echo "    reproduce: ${BINARY} --seed ${SEED} --plan ${MODE}:${FAULT}"
+    # Replay the failing seed with telemetry dumping on: the registry
+    # snapshot plus the reassembled span tree of an implicated trace land
+    # in the CI log next to the reproducer (docs/OBSERVABILITY.md).
+    DUMP="${LOGDIR}/dump_${SEED}_${MODE}_${FAULT}.log"
+    "${BINARY}" --seed "${SEED}" --plan "${MODE}:${FAULT}" \
+      --dump-telemetry >"${DUMP}" 2>&1 || true
+    sed -n '/^TELEMETRY-SNAPSHOT/,$p' "${DUMP}" | sed 's/^/    /'
   done
   # Overload counters from any failing brownout runs, for CI logs.
   grep -h '^BROWNOUT-STATS' "${LOGDIR}"/*Brownout*.log 2>/dev/null \

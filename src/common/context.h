@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "common/time.h"
+#include "common/trace.h"
 
 namespace wiera {
 
@@ -25,6 +26,11 @@ class Context {
     ctx.cancel_ = std::make_shared<CancelState>();
     return ctx;
   }
+
+  // Trace identity for this request: copied across layers with the context
+  // and stamped onto outgoing RPC frames. Inactive (all-zero) when the
+  // request is untraced; plain data, so carrying it costs nothing.
+  TraceContext trace;
 
   TimePoint deadline() const { return deadline_; }
   bool has_deadline() const { return deadline_ != TimePoint::max(); }

@@ -29,11 +29,29 @@ void LatencyHistogram::record(Duration d) {
   sum_us_ += us;
   if (d < min_) min_ = d;
   if (d > max_) max_ = d;
+  if (exact_) {
+    if (total_count_ <= kExactSamples) {
+      raw_.push_back(us);
+    } else {
+      exact_ = false;
+      raw_.clear();
+      raw_.shrink_to_fit();
+    }
+  }
 }
 
 Duration LatencyHistogram::percentile(double q) const {
   if (total_count_ == 0) return Duration::zero();
   q = std::clamp(q, 0.0, 1.0);
+  if (exact_) {
+    // Exact nearest-rank: rank max(1, ceil(q*n)) in the sorted samples.
+    std::vector<int64_t> sorted = raw_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               std::ceil(q * static_cast<double>(total_count_))));
+    return Duration(sorted[static_cast<size_t>(rank - 1)]);
+  }
   // target >= 1: p0 means "the smallest sample", not "before any sample"
   // (a target of 0 would match bucket 0 and report 1µs even when every
   // sample is far larger).
@@ -63,6 +81,14 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
   }
+  // Stay exact only if both sides are and the union still fits.
+  if (exact_ && other.exact_ && total_count_ <= kExactSamples) {
+    raw_.insert(raw_.end(), other.raw_.begin(), other.raw_.end());
+  } else {
+    exact_ = false;
+    raw_.clear();
+    raw_.shrink_to_fit();
+  }
 }
 
 void LatencyHistogram::reset() {
@@ -71,6 +97,8 @@ void LatencyHistogram::reset() {
   sum_us_ = 0;
   min_ = Duration::max();
   max_ = Duration::zero();
+  exact_ = true;
+  raw_.clear();
 }
 
 std::string LatencyHistogram::summary() const {

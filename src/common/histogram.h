@@ -23,12 +23,21 @@ class LatencyHistogram {
   void record(Duration d);
 
   int64_t count() const { return total_count_; }
+  Duration sum() const { return Duration(sum_us_); }
   Duration min() const { return total_count_ ? min_ : Duration::zero(); }
   Duration max() const { return max_; }
   Duration mean() const {
     return total_count_ ? Duration(sum_us_ / total_count_) : Duration::zero();
   }
-  // q in [0,1]; returns bucket-upper-bound approximation.
+  // q in [0,1]. Exact (nearest-rank over retained raw samples) while the
+  // histogram holds <= kExactSamples recordings; bucket-upper-bound
+  // approximation beyond that. The old always-bucketed path had an
+  // interpolation edge at n=1,2: with two samples 1ms and 100ms, p50
+  // reported the 1ms sample's *bucket upper bound* clamped into [min,max] —
+  // ~1.08ms rather than 1ms — and tiny-n hedge/threshold triggers keyed off
+  // that drift. Nearest-rank on the raw samples makes small-n percentiles
+  // exact: n=1 reports the sample at every q; n=2 reports the lower sample
+  // for q<=0.5 and the upper one above.
   Duration percentile(double q) const;
   Duration p50() const { return percentile(0.50); }
   Duration p95() const { return percentile(0.95); }
@@ -42,6 +51,10 @@ class LatencyHistogram {
 
  private:
   static constexpr int kBuckets = 256;
+  // Raw samples retained for exact percentiles until the histogram grows
+  // past this; beyond it the log-bucketed approximation (<~6% error) takes
+  // over and the raw buffer is dropped.
+  static constexpr int kExactSamples = 64;
   static int bucket_for(int64_t us);
   static int64_t bucket_upper_us(int bucket);
 
@@ -50,6 +63,8 @@ class LatencyHistogram {
   int64_t sum_us_ = 0;
   Duration min_ = Duration::max();
   Duration max_ = Duration::zero();
+  bool exact_ = true;
+  std::vector<int64_t> raw_;  // sorted lazily at percentile() time
 };
 
 // Simple time-series recorder: (time, value) samples for timeline figures

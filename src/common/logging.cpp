@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/strings.h"
+
 namespace wiera {
 
 namespace {
@@ -28,7 +30,10 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-Logger::Logger() : level_(level_from_env()) {}
+Logger::Logger() : level_(level_from_env()) {
+  const char* json = std::getenv("WIERA_LOG_JSON");
+  json_ = json != nullptr && std::strcmp(json, "1") == 0;
+}
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -38,6 +43,18 @@ Logger& Logger::instance() {
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view msg) {
   if (!enabled(level)) return;
+  if (json_) {
+    // Machine-parseable JSONL variant of the log stream (WIERA_LOG_JSON=1);
+    // same schema family as the obs journal (docs/OBSERVABILITY.md).
+    const int64_t ts =
+        time_source_ ? (time_source_() - TimePoint::origin()).us() : -1;
+    std::fprintf(stderr,
+                 "{\"ts_us\":%lld,\"level\":\"%s\",\"component\":\"%s\","
+                 "\"msg\":\"%s\"}\n",
+                 static_cast<long long>(ts), level_tag(level),
+                 json_escape(component).c_str(), json_escape(msg).c_str());
+    return;
+  }
   if (time_source_) {
     std::fprintf(stderr, "[%s %s %.*s] %.*s\n", level_tag(level),
                  time_source_().to_string().c_str(),

@@ -30,9 +30,15 @@ class Logger {
 
   void write(LogLevel level, std::string_view component, std::string_view msg);
 
+  // JSONL output mode (WIERA_LOG_JSON=1): one JSON object per line instead
+  // of the human-format prefix; see docs/OBSERVABILITY.md.
+  void set_json(bool on) { json_ = on; }
+  bool json() const { return json_; }
+
  private:
   Logger();
   LogLevel level_;
+  bool json_ = false;
   std::function<TimePoint()> time_source_;
 };
 

@@ -44,6 +44,33 @@ inline std::string to_lower(std::string_view s) {
   return out;
 }
 
+// Minimal JSON string escaping (quotes, backslash, control chars) for the
+// event journal and registry snapshots; no unicode handling beyond passing
+// UTF-8 bytes through untouched.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 // printf-style formatting into std::string.
 inline std::string str_format(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -1,0 +1,23 @@
+// Dapper-style trace identity carried by value along a request path
+// (client -> RPC frame -> peer handler -> replication fan-out -> tier).
+//
+// Lives in common/ (not obs/) so the RPC frame and the wiera message structs
+// can carry it without depending on the telemetry library. Ids are assigned
+// by obs::Tracer from a dedicated RNG stream seeded from the simulation seed,
+// so traces are deterministic and replayable; an all-zero context means "not
+// traced" and is ignored by every consumer.
+#pragma once
+
+#include <cstdint>
+
+namespace wiera {
+
+struct TraceContext {
+  uint64_t trace_id = 0;        // whole-request identity, shared by all spans
+  uint64_t span_id = 0;         // this hop's span
+  uint64_t parent_span_id = 0;  // 0 for the root span
+
+  bool active() const { return trace_id != 0 && span_id != 0; }
+};
+
+}  // namespace wiera

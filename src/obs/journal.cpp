@@ -1,0 +1,77 @@
+#include "obs/journal.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace wiera::obs {
+
+Event::~Event() {
+  if (journal_ == nullptr) return;
+  line_ += "}";
+  journal_->write_line(line_);
+}
+
+Event& Event::str(std::string_view key, std::string_view value) {
+  if (journal_ == nullptr) return *this;
+  line_ += ",\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  return *this;
+}
+
+Event& Event::num(std::string_view key, int64_t value) {
+  if (journal_ == nullptr) return *this;
+  line_ += ",\"" + json_escape(key) +
+           "\":" + str_format("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+Event& Event::boolean(std::string_view key, bool value) {
+  if (journal_ == nullptr) return *this;
+  line_ += ",\"" + json_escape(key) + "\":" + (value ? "true" : "false");
+  return *this;
+}
+
+Event& Event::trace(const TraceContext& ctx) {
+  if (journal_ == nullptr || !ctx.active()) return *this;
+  line_ += str_format(",\"trace\":\"0x%016llx\",\"span\":\"0x%016llx\"",
+                      static_cast<unsigned long long>(ctx.trace_id),
+                      static_cast<unsigned long long>(ctx.span_id));
+  return *this;
+}
+
+Journal::Journal() {
+  const char* env = std::getenv("WIERA_JOURNAL");
+  if (env == nullptr || env[0] == '\0') return;
+  if (std::strcmp(env, "stderr") == 0 || std::strcmp(env, "-") == 0) {
+    sink_ = stderr;
+  } else {
+    // Append so several simulations in one process (gtest) share the file.
+    sink_ = std::fopen(env, "ae");
+    owns_sink_ = sink_ != nullptr;
+  }
+}
+
+Journal::~Journal() {
+  if (owns_sink_ && sink_ != nullptr) std::fclose(sink_);
+}
+
+Event Journal::event(std::string_view component, std::string_view name) {
+  if (!enabled()) return Event();
+  const int64_t ts =
+      clock_ ? (clock_() - TimePoint::origin()).us() : 0;
+  std::string line = str_format("{\"ts_us\":%lld,\"component\":\"",
+                                static_cast<long long>(ts));
+  line += json_escape(component);
+  line += "\",\"event\":\"";
+  line += json_escape(name);
+  line += "\"";
+  return Event(this, std::move(line));
+}
+
+void Journal::write_line(const std::string& line) {
+  std::fprintf(sink_, "%s\n", line.c_str());
+  events_written_++;
+}
+
+}  // namespace wiera::obs

@@ -1,0 +1,92 @@
+// Structured event journal: machine-parseable JSONL alongside (not instead
+// of) the human-oriented WIERA_LOG stream.
+//
+// One JSON object per line, flat schema (docs/OBSERVABILITY.md):
+//   {"ts_us":<virtual µs>,"component":"peer","event":"repair",
+//    "trace":"0x<trace_id>","span":"0x<span_id>", ...free-form fields...}
+// ts_us/component/event are always present; trace/span appear when the
+// emitting code had an active TraceContext, so a chaos failure can be
+// diagnosed by grepping a single seed's journal for its trace id.
+//
+// Sink selection is via the WIERA_JOURNAL env var: "stderr" (or "-") writes
+// to stderr, any other value is opened as a file path, unset disables the
+// journal entirely. Emission is pure IO — it never touches the simulation
+// schedule, so enabling it cannot perturb the determinism trace hash.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/time.h"
+#include "common/trace.h"
+
+namespace wiera::obs {
+
+class Journal;
+
+// Builder for one JSONL line; emits on destruction. Cheap no-op when the
+// journal is disabled.
+class Event {
+ public:
+  Event(Event&& other) noexcept
+      : journal_(other.journal_), line_(std::move(other.line_)) {
+    other.journal_ = nullptr;
+  }
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+  ~Event();
+
+  Event& str(std::string_view key, std::string_view value);
+  Event& num(std::string_view key, int64_t value);
+  Event& num(std::string_view key, uint64_t value) {
+    return num(key, static_cast<int64_t>(value));
+  }
+  Event& boolean(std::string_view key, bool value);
+  Event& trace(const TraceContext& ctx);
+
+ private:
+  friend class Journal;
+  Event() = default;  // disabled event
+  Event(Journal* journal, std::string line)
+      : journal_(journal), line_(std::move(line)) {}
+
+  Journal* journal_ = nullptr;  // null => every call is a no-op
+  std::string line_;
+};
+
+class Journal {
+ public:
+  // Reads WIERA_JOURNAL to pick the sink (see header comment).
+  Journal();
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  bool enabled() const { return enabled_ && sink_ != nullptr; }
+  // Master gate (telemetry on/off); the sink still has to be configured.
+  void set_enabled(bool on) { enabled_ = on; }
+  void set_clock(std::function<TimePoint()> clock) {
+    clock_ = std::move(clock);
+  }
+
+  // Start an event line; fields chain, the line is written when the Event
+  // goes out of scope.
+  Event event(std::string_view component, std::string_view name);
+
+  int64_t events_written() const { return events_written_; }
+
+ private:
+  friend class Event;
+  void write_line(const std::string& line);
+
+  bool enabled_ = true;
+  std::FILE* sink_ = nullptr;
+  bool owns_sink_ = false;
+  std::function<TimePoint()> clock_;
+  int64_t events_written_ = 0;
+};
+
+}  // namespace wiera::obs

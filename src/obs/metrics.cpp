@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include "common/strings.h"
+
+namespace wiera::obs {
+
+std::string Registry::label_string(const LabelSet& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Counter* Registry::counter(const std::string& name, const LabelSet& labels) {
+  auto& slot = counters_[name].series[label_string(labels)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name, const LabelSet& labels) {
+  auto& slot = gauges_[name].series[label_string(labels)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               const LabelSet& labels) {
+  auto& slot = histograms_[name].series[label_string(labels)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+int64_t Registry::counter_value(const std::string& name,
+                                const LabelSet& labels) const {
+  auto fam = counters_.find(name);
+  if (fam == counters_.end()) return 0;
+  auto it = fam->second.series.find(label_string(labels));
+  return it == fam->second.series.end() ? 0 : it->second->value();
+}
+
+int64_t Registry::counter_sum(const std::string& name) const {
+  auto fam = counters_.find(name);
+  if (fam == counters_.end()) return 0;
+  int64_t sum = 0;
+  for (const auto& [labels, c] : fam->second.series) sum += c->value();
+  return sum;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name,
+                                          const LabelSet& labels) const {
+  auto fam = histograms_.find(name);
+  if (fam == histograms_.end()) return nullptr;
+  auto it = fam->second.series.find(label_string(labels));
+  return it == fam->second.series.end() ? nullptr : it->second.get();
+}
+
+std::string Registry::render_text() const {
+  std::string out;
+  for (const auto& [name, fam] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    for (const auto& [labels, c] : fam.series) {
+      out += str_format("%s%s %lld\n", name.c_str(), labels.c_str(),
+                        static_cast<long long>(c->value()));
+    }
+  }
+  for (const auto& [name, fam] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    for (const auto& [labels, g] : fam.series) {
+      out += str_format("%s%s %g\n", name.c_str(), labels.c_str(), g->value());
+    }
+  }
+  for (const auto& [name, fam] : histograms_) {
+    out += "# TYPE " + name + " histogram\n";
+    for (const auto& [labels, h] : fam.series) {
+      out += str_format("%s_count%s %lld\n", name.c_str(), labels.c_str(),
+                        static_cast<long long>(h->count()));
+      out += str_format("%s_sum%s %lld\n", name.c_str(), labels.c_str(),
+                        static_cast<long long>(h->sum().us()));
+      // Splice the quantile label into the existing label string:
+      // "" -> {quantile="x"}, {a="b"} -> {a="b",quantile="x"}.
+      std::string prefix = labels.empty()
+                               ? "{"
+                               : labels.substr(0, labels.size() - 1) + ",";
+      for (const auto& [q, tag] :
+           {std::pair<double, const char*>{0.50, "0.5"},
+            {0.95, "0.95"},
+            {0.99, "0.99"}}) {
+        out += str_format("%s%squantile=\"%s\"} %lld\n", name.c_str(),
+                          prefix.c_str(), tag,
+                          static_cast<long long>(h->percentile(q).us()));
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::render_json() const {
+  std::string out = "{";
+  bool first = true;
+  auto emit = [&](const std::string& key, const std::string& value) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(key) + "\":" + value;
+  };
+  for (const auto& [name, fam] : counters_) {
+    for (const auto& [labels, c] : fam.series) {
+      emit(name + labels, str_format("%lld",
+                                     static_cast<long long>(c->value())));
+    }
+  }
+  for (const auto& [name, fam] : gauges_) {
+    for (const auto& [labels, g] : fam.series) {
+      emit(name + labels, str_format("%g", g->value()));
+    }
+  }
+  for (const auto& [name, fam] : histograms_) {
+    for (const auto& [labels, h] : fam.series) {
+      emit(name + labels,
+           str_format("{\"count\":%lld,\"sum_us\":%lld,\"p50_us\":%lld,"
+                      "\"p95_us\":%lld,\"p99_us\":%lld}",
+                      static_cast<long long>(h->count()),
+                      static_cast<long long>(h->sum().us()),
+                      static_cast<long long>(h->percentile(0.50).us()),
+                      static_cast<long long>(h->percentile(0.95).us()),
+                      static_cast<long long>(h->percentile(0.99).us())));
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace wiera::obs

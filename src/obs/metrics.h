@@ -1,0 +1,112 @@
+// Metrics registry: labeled Counter/Gauge/Histogram families with
+// deterministic iteration order, a Prometheus-style text exposition and a
+// JSON snapshot.
+//
+// Naming conventions (docs/OBSERVABILITY.md): metric names are
+// snake_case with a subsystem prefix (wiera_, rpc_, tiera_) and a unit
+// suffix where one applies (_total for counters, _us for histograms of
+// virtual-clock durations). Labels identify the emitting instance
+// ({instance="NYC"}) and, where a metric is per-target, the far end
+// ({target="Paris"}).
+//
+// The registry is single-threaded like the simulation itself ("lock-free in
+// sim" means there is nothing to lock); families are std::map-backed so
+// render_text() output is byte-stable across runs — bench snapshots diff
+// cleanly and CI can assert on exact lines. Instruments are owned by the
+// registry and handed out as stable pointers: a migrated component stores
+// `obs::Counter* repairs_` and its legacy accessor becomes a thin view
+// (`return repairs_->value();`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/time.h"
+
+namespace wiera::obs {
+
+// Ordered label set; rendered as {k1="v1",k2="v2"} with keys sorted, so two
+// call sites naming labels in different orders hit the same instrument.
+using LabelSet = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void inc(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Thin wrapper over LatencyHistogram so percentile logic lives in exactly one
+// place (the satellite dedupe): obs::Histogram adds nothing but the registry
+// identity. Values are virtual-clock durations in microseconds.
+class Histogram {
+ public:
+  void record(Duration d) { hist_.record(d); }
+  int64_t count() const { return hist_.count(); }
+  Duration sum() const { return hist_.sum(); }
+  Duration mean() const { return hist_.mean(); }
+  Duration percentile(double q) const { return hist_.percentile(q); }
+  const LatencyHistogram& latency() const { return hist_; }
+
+ private:
+  LatencyHistogram hist_;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Get-or-create. Pointers are stable for the registry's lifetime.
+  Counter* counter(const std::string& name, const LabelSet& labels = {});
+  Gauge* gauge(const std::string& name, const LabelSet& labels = {});
+  Histogram* histogram(const std::string& name, const LabelSet& labels = {});
+
+  // Read-only lookups for tests/tooling; 0 when the series does not exist.
+  int64_t counter_value(const std::string& name,
+                        const LabelSet& labels = {}) const;
+  // Sum over every label combination of the family (e.g. total shed calls
+  // across all endpoints).
+  int64_t counter_sum(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name,
+                                  const LabelSet& labels = {}) const;
+
+  // Prometheus-style text exposition: families sorted by name, series by
+  // label string. Histograms render count/sum plus p50/p95/p99 gauge lines
+  // (the sim has no scrape loop, so quantiles beat +Inf bucket dumps).
+  std::string render_text() const;
+  // Same content as a single JSON object keyed by "name{labels}".
+  std::string render_json() const;
+
+ private:
+  template <typename T>
+  struct Family {
+    // label-string -> instrument; map keeps series order deterministic.
+    std::map<std::string, std::unique_ptr<T>> series;
+  };
+
+  static std::string label_string(const LabelSet& labels);
+
+  std::map<std::string, Family<Counter>> counters_;
+  std::map<std::string, Family<Gauge>> gauges_;
+  std::map<std::string, Family<Histogram>> histograms_;
+};
+
+}  // namespace wiera::obs

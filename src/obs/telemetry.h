@@ -1,0 +1,58 @@
+// Aggregate telemetry facade owned by the simulation: one metrics registry,
+// one tracer and one event journal per sim, all on the virtual clock.
+//
+// The enabled flag gates only what telemetry *keeps* (span retention) and
+// *emits* (journal IO). Metrics always record and trace/span ids are always
+// generated — both are pure memory operations that schedule nothing — so
+// flipping telemetry on or off can never change the determinism trace hash
+// (docs/DETERMINISM.md) while legacy counter accessors, now thin views over
+// the registry, keep working regardless.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+
+#include "common/time.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wiera::obs {
+
+class Telemetry {
+ public:
+  explicit Telemetry(uint64_t seed) : tracer_(seed) {
+    const char* env = std::getenv("WIERA_TELEMETRY");
+    if (env != nullptr && std::strcmp(env, "0") == 0) set_enabled(false);
+  }
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  Journal& journal() { return journal_; }
+
+  void set_clock(std::function<TimePoint()> clock) {
+    tracer_.set_clock(clock);
+    journal_.set_clock(std::move(clock));
+  }
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) {
+    enabled_ = on;
+    tracer_.set_retain(on);
+    journal_.set_enabled(on);
+  }
+
+ private:
+  bool enabled_ = true;
+  Registry registry_;
+  Tracer tracer_;
+  Journal journal_;
+};
+
+}  // namespace wiera::obs

@@ -1,0 +1,197 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace wiera::obs {
+
+namespace {
+// Keep the tracer's id stream independent of everything else derived from
+// the seed (sim RNG, workload RNGs) so adding a trace never shifts them.
+constexpr uint64_t kTracerSeedSalt = 0x7261636572696457ull;  // "WieraTrace"
+}  // namespace
+
+Tracer::Tracer(uint64_t seed) : id_rng_(seed ^ kTracerSeedSalt) {}
+
+TraceContext Tracer::start_trace(std::string_view name,
+                                 std::string_view host) {
+  TraceContext ctx;
+  do {
+    ctx.trace_id = id_rng_.next_u64();
+  } while (ctx.trace_id == 0);
+  ctx.span_id = ++span_seq_;
+  ctx.parent_span_id = 0;
+  if (retain_) {
+    Span span;
+    span.trace_id = ctx.trace_id;
+    span.span_id = ctx.span_id;
+    span.name = std::string(name);
+    span.host = std::string(host);
+    span.start = now();
+    retain_span(std::move(span));
+  }
+  return ctx;
+}
+
+TraceContext Tracer::start_span(std::string_view name, std::string_view host,
+                                const TraceContext& parent) {
+  if (!parent.active()) return {};
+  TraceContext ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = ++span_seq_;
+  ctx.parent_span_id = parent.span_id;
+  if (retain_) {
+    Span span;
+    span.trace_id = ctx.trace_id;
+    span.span_id = ctx.span_id;
+    span.parent_span_id = ctx.parent_span_id;
+    span.name = std::string(name);
+    span.host = std::string(host);
+    span.start = now();
+    retain_span(std::move(span));
+  }
+  return ctx;
+}
+
+void Tracer::end_span(const TraceContext& ctx, std::string_view status) {
+  auto it = by_id_.find(ctx.span_id);
+  if (it == by_id_.end() || !it->second->open()) return;
+  it->second->end = now();
+  it->second->status = std::string(status);
+  open_count_--;
+}
+
+void Tracer::annotate(const TraceContext& ctx, std::string annotation) {
+  annotate(ctx.span_id, std::move(annotation));
+}
+
+void Tracer::annotate(uint64_t span_id, std::string annotation) {
+  auto it = by_id_.find(span_id);
+  if (it == by_id_.end()) return;
+  it->second->annotations.push_back(std::move(annotation));
+}
+
+std::vector<std::string> Tracer::open_span_names() const {
+  std::vector<std::string> out;
+  for (const Span& span : spans_) {
+    if (span.open()) out.push_back(span.name + " (" + span.host + ")");
+  }
+  return out;
+}
+
+const Span* Tracer::find_span(uint64_t span_id) const {
+  auto it = by_id_.find(span_id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<const Span*> Tracer::trace_spans(uint64_t trace_id) const {
+  std::vector<const Span*> out;
+  for (const Span& span : spans_) {
+    if (span.trace_id == trace_id) out.push_back(&span);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  by_id_.clear();
+  open_count_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::retain_span(Span span) {
+  if (spans_.size() >= kCapacity) {
+    const Span& oldest = spans_.front();
+    if (oldest.open()) open_count_--;
+    by_id_.erase(oldest.span_id);
+    spans_.pop_front();
+    dropped_++;
+  }
+  spans_.push_back(std::move(span));
+  by_id_[spans_.back().span_id] = &spans_.back();
+  open_count_++;
+}
+
+// ---------------------------------------------------------------- TraceView
+
+TraceView::TraceView(const Tracer& tracer, uint64_t trace_id)
+    : trace_id_(trace_id), spans_(tracer.trace_spans(trace_id)) {
+  for (const Span* span : spans_) {
+    children_[span->parent_span_id].push_back(span);
+  }
+  for (auto& [parent, kids] : children_) {
+    std::sort(kids.begin(), kids.end(), [](const Span* a, const Span* b) {
+      if (a->start != b->start) return a->start < b->start;
+      return a->span_id < b->span_id;
+    });
+  }
+}
+
+const Span* TraceView::root() const {
+  auto it = children_.find(0);
+  if (it == children_.end() || it->second.size() != 1) return nullptr;
+  return it->second.front();
+}
+
+bool TraceView::well_formed() const {
+  if (root() == nullptr) return false;
+  for (const Span* span : spans_) {
+    if (span->parent_span_id == 0) continue;
+    bool found = false;
+    for (const Span* other : spans_) {
+      if (other->span_id == span->parent_span_id) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string TraceView::render() const {
+  std::string out = str_format("trace %016llx: %zu span(s)\n",
+                               static_cast<unsigned long long>(trace_id_),
+                               spans_.size());
+  if (spans_.empty()) return out;
+  // Render every parentless subtree (a single root in the well-formed case;
+  // orphans still render rather than vanish when the collector dropped
+  // their ancestors).
+  const Span* r = root();
+  const TimePoint origin = r != nullptr ? r->start : spans_.front()->start;
+  for (const auto& [parent, kids] : children_) {
+    for (const Span* span : kids) {
+      bool parent_present = false;
+      for (const Span* other : spans_) {
+        if (other->span_id == span->parent_span_id) {
+          parent_present = true;
+          break;
+        }
+      }
+      if (span->parent_span_id != 0 && parent_present) continue;
+      render_node(span, 1, origin, out);
+    }
+  }
+  return out;
+}
+
+void TraceView::render_node(const Span* span, int depth, TimePoint origin,
+                            std::string& out) const {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += str_format(
+      "+%-9s %-9s %s [%s] %s", (span->start - origin).to_string().c_str(),
+      span->open() ? "open" : span->duration().to_string().c_str(),
+      span->name.c_str(), span->host.c_str(), span->status.c_str());
+  for (const std::string& a : span->annotations) {
+    out += " {" + a + "}";
+  }
+  out += "\n";
+  auto it = children_.find(span->span_id);
+  if (it == children_.end()) return;
+  for (const Span* child : it->second) {
+    render_node(child, depth + 1, origin, out);
+  }
+}
+
+}  // namespace wiera::obs

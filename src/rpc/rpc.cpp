@@ -34,12 +34,33 @@ Endpoint::~Endpoint() {
 sim::Task<Result<Message>> Endpoint::call(std::string target_node,
                                           std::string method, Message request,
                                           Context ctx) {
+  // Client span: one per call attempt, child of the caller's span. The
+  // request frame carries this span's identity so the server span chains
+  // under it. Ends with the final status even when the deadline timer wins
+  // the race (the span closes here, not in the abandoned body).
+  const TraceContext span =
+      tracer().start_span("rpc.call " + method, node_name_, ctx.trace);
+  if (span.active()) {
+    request.trace_id = span.trace_id;
+    request.span_id = span.span_id;
+  }
+  Result<Message> response = co_await call_impl(
+      std::move(target_node), std::move(method), std::move(request), ctx);
+  const std::string_view status =
+      response.ok() ? "ok" : status_code_name(response.status().code());
+  tracer().end_span(span, status);
+  co_return response;
+}
+
+sim::Task<Result<Message>> Endpoint::call_impl(std::string target_node,
+                                               std::string method,
+                                               Message request, Context ctx) {
   if (!ctx.has_deadline()) {
     co_return co_await call_inner(std::move(target_node), std::move(method),
                                   std::move(request));
   }
   if (ctx.cancelled() || ctx.expired(network_->sim().now())) {
-    calls_expired_++;
+    calls_expired_->inc();
     co_return deadline_exceeded("rpc " + method + " to " + target_node +
                                 ": deadline expired before send");
   }
@@ -72,7 +93,7 @@ sim::Task<void> Endpoint::call_timer(
   co_await network_->sim().delay(ctx.remaining(network_->sim().now()));
   if (promise->fulfilled()) co_return;
   ctx.cancel();
-  calls_expired_++;
+  calls_expired_->inc();
   promise->set_value(deadline_exceeded("rpc " + method + " from " +
                                        node_name_ + ": deadline exceeded"));
 }
@@ -80,7 +101,7 @@ sim::Task<void> Endpoint::call_timer(
 sim::Task<Result<Message>> Endpoint::call_inner(std::string target_node,
                                                 std::string method,
                                                 Message request) {
-  calls_sent_++;
+  calls_sent_->inc();
 
   if (target_node == node_name_) {
     // Loopback: no network hop.
@@ -108,7 +129,11 @@ sim::Task<Result<Message>> Endpoint::call_inner(std::string target_node,
   if (network_->chaos_duplicate(node_name_, target_node)) {
     // The request packet was duplicated in transit: the handler runs twice,
     // the duplicate's response is discarded. Handlers must be idempotent.
-    Message duplicate{request.body, request.deadline};
+    // The duplicate keeps the original frame's trace identity (it IS the
+    // same packet), so its handler span appears as a second child of the
+    // same client span — exactly what a duplicated delivery looks like.
+    Message duplicate{request.body, request.deadline, request.trace_id,
+                      request.span_id};
     network_->sim().spawn(
         target->dispatch_discard(method, std::move(duplicate)),
         "rpc.chaos-duplicate");
@@ -196,7 +221,29 @@ sim::Task<void> Endpoint::dispatch_discard(std::string method,
 
 sim::Task<Result<Message>> Endpoint::dispatch(const std::string& method,
                                               Message request) {
-  calls_handled_++;
+  calls_handled_->inc();
+  // Server span: child of the frame's (client) span. The request's trace
+  // identity is rewritten to this span before the handler runs, so any RPCs
+  // the handler issues chain under the server span — that is what turns a
+  // fan-out into a tree.
+  const TraceContext span =
+      tracer().start_span("rpc.server " + method, node_name_,
+                          request.trace());
+  if (span.active()) {
+    request.trace_id = span.trace_id;
+    request.span_id = span.span_id;
+  }
+  Result<Message> response =
+      co_await dispatch_inner(method, std::move(request), span);
+  const std::string_view status =
+      response.ok() ? "ok" : status_code_name(response.status().code());
+  tracer().end_span(span, status);
+  co_return response;
+}
+
+sim::Task<Result<Message>> Endpoint::dispatch_inner(const std::string& method,
+                                                    Message request,
+                                                    TraceContext span) {
   auto it = handlers_.find(method);
   if (it == handlers_.end()) {
     co_return unimplemented("method " + method + " on " + node_name_);
@@ -206,7 +253,8 @@ sim::Task<Result<Message>> Endpoint::dispatch(const std::string& method,
   // would be pure wasted work during an overload.
   if (request.deadline != TimePoint::max() &&
       network_->sim().now() >= request.deadline) {
-    calls_expired_++;
+    calls_expired_->inc();
+    tracer().annotate(span, "expired=in-transit");
     co_return deadline_exceeded("rpc " + method + " on " + node_name_ +
                                 ": expired in transit");
   }
@@ -216,15 +264,22 @@ sim::Task<Result<Message>> Endpoint::dispatch(const std::string& method,
 
   const bool admitted = co_await admission_enter();
   if (!admitted) {
-    calls_shed_++;
+    calls_shed_->inc();
+    tracer().annotate(span, "shed=true");
+    network_->sim().telemetry().journal()
+        .event("rpc", "shed")
+        .str("node", node_name_)
+        .str("method", method)
+        .trace(span);
     co_return resource_exhausted("rpc " + method + " on " + node_name_ +
                                  ": shed by admission control");
   }
   // Re-check the deadline: it may have expired while queued.
   if (request.deadline != TimePoint::max() &&
       network_->sim().now() >= request.deadline) {
-    calls_expired_++;
+    calls_expired_->inc();
     admission_exit();
+    tracer().annotate(span, "expired=in-queue");
     co_return deadline_exceeded("rpc " + method + " on " + node_name_ +
                                 ": expired in admission queue");
   }

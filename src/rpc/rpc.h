@@ -27,7 +27,9 @@
 #include "common/bytes.h"
 #include "common/context.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 
@@ -40,9 +42,20 @@ struct Message {
   // Absolute deadline carried in the frame header (gRPC-style metadata, not
   // part of the serialized body). TimePoint::max() = no deadline.
   TimePoint deadline = TimePoint::max();
+  // Trace identity, also frame metadata: the caller's span, which becomes
+  // the parent of the server-side span. Both zero when untraced. Covered by
+  // kFrameOverhead, so tracing never changes transfer times.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
   static constexpr int64_t kFrameOverhead = 32;
   int64_t wire_size() const {
     return static_cast<int64_t>(body.size()) + kFrameOverhead;
+  }
+  TraceContext trace() const {
+    TraceContext t;
+    t.trace_id = trace_id;
+    t.span_id = span_id;
+    return t;
   }
 };
 
@@ -77,6 +90,12 @@ class Endpoint {
     assert(network_->topology().has_node(node_name_) &&
            "endpoint node must exist in the topology");
     registered_ = registry_->add(node_name_, this);
+    obs::Registry& metrics = network_->sim().telemetry().registry();
+    const obs::LabelSet labels{{"node", node_name_}};
+    calls_handled_ = metrics.counter("rpc_calls_handled_total", labels);
+    calls_sent_ = metrics.counter("rpc_calls_sent_total", labels);
+    calls_shed_ = metrics.counter("rpc_calls_shed_total", labels);
+    calls_expired_ = metrics.counter("rpc_calls_expired_total", labels);
   }
 
   ~Endpoint();
@@ -107,11 +126,13 @@ class Endpoint {
   sim::Task<Result<Message>> call(std::string target_node, std::string method,
                                   Message request, Context ctx = {});
 
-  // Per-endpoint counters (the workload monitor and tests read these).
-  int64_t calls_handled() const { return calls_handled_; }
-  int64_t calls_sent() const { return calls_sent_; }
-  int64_t calls_shed() const { return calls_shed_; }
-  int64_t calls_expired() const { return calls_expired_; }
+  // Per-endpoint counters: thin views over the sim-wide metrics registry
+  // (rpc_calls_*_total{node=...}); the workload monitor and tests read
+  // these.
+  int64_t calls_handled() const { return calls_handled_->value(); }
+  int64_t calls_sent() const { return calls_sent_->value(); }
+  int64_t calls_shed() const { return calls_shed_->value(); }
+  int64_t calls_expired() const { return calls_expired_->value(); }
   int adm_inflight() const { return adm_inflight_; }
 
  private:
@@ -121,6 +142,12 @@ class Endpoint {
   };
   struct AdmissionAwaiter;
 
+  obs::Tracer& tracer() { return network_->sim().telemetry().tracer(); }
+
+  // call() minus the client-span bracket (deadline race / direct path).
+  sim::Task<Result<Message>> call_impl(std::string target_node,
+                                       std::string method, Message request,
+                                       Context ctx);
   // The un-raced call path (request transfer -> dispatch -> response).
   sim::Task<Result<Message>> call_inner(std::string target_node,
                                         std::string method, Message request);
@@ -136,6 +163,10 @@ class Endpoint {
 
   sim::Task<Result<Message>> dispatch(const std::string& method,
                                       Message request);
+  // dispatch() minus the server-span bracket.
+  sim::Task<Result<Message>> dispatch_inner(const std::string& method,
+                                            Message request,
+                                            TraceContext span);
   // Chaos duplicate delivery: run the handler a second time with a copy of
   // the request and discard the result — the duplicate's response is lost.
   // Exercises handler idempotency (replication dedup, LWW).
@@ -150,10 +181,10 @@ class Endpoint {
   std::string node_name_;
   bool registered_ = false;
   std::map<std::string, Handler> handlers_;
-  int64_t calls_handled_ = 0;
-  int64_t calls_sent_ = 0;
-  int64_t calls_shed_ = 0;
-  int64_t calls_expired_ = 0;
+  obs::Counter* calls_handled_ = nullptr;
+  obs::Counter* calls_sent_ = nullptr;
+  obs::Counter* calls_shed_ = nullptr;
+  obs::Counter* calls_expired_ = nullptr;
 
   int adm_max_inflight_ = 0;
   int adm_max_queue_ = 0;

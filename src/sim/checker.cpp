@@ -35,6 +35,7 @@ const char* diagnostic_kind_name(SimDiagnostic::Kind kind) {
     case SimDiagnostic::Kind::kLostWakeup: return "lost-wakeup";
     case SimDiagnostic::Kind::kDestroyedWithWaiters:
       return "destroyed-with-waiters";
+    case SimDiagnostic::Kind::kLeakedSpan: return "leaked-span";
   }
   return "?";
 }
@@ -266,6 +267,13 @@ void SimChecker::report_error(SimDiagnostic::Kind kind, const char* prim_name,
   std::string task = current_ == kNoTask ? "" : task_name(current_);
   if (!task.empty()) message += " (in task '" + task + "')";
   add(SimDiagnostic{kind, /*is_error=*/true, std::move(message), task,
+                    prim_name == nullptr ? "" : prim_name});
+}
+
+void SimChecker::report_warning(SimDiagnostic::Kind kind,
+                                const char* prim_name, std::string message) {
+  if (!enabled_) return;
+  add(SimDiagnostic{kind, /*is_error=*/false, std::move(message), "",
                     prim_name == nullptr ? "" : prim_name});
 }
 

@@ -78,6 +78,7 @@ struct SimDiagnostic {
     kStuckTask,           // task still blocked when the event queue drained
     kLostWakeup,          // task alive at quiescence with no pending wakeup
     kDestroyedWithWaiters,// primitive destructed while coroutines wait on it
+    kLeakedSpan,          // telemetry span still open at quiescence
   };
 
   Kind kind;
@@ -176,6 +177,10 @@ class SimChecker {
   // Structured replacements for the former bare asserts.
   void report_error(SimDiagnostic::Kind kind, const char* prim_name,
                     std::string message);
+  // Warning-severity diagnostic from outside the checker (e.g. the
+  // span-leak sweep in Simulation::run at quiescence).
+  void report_warning(SimDiagnostic::Kind kind, const char* prim_name,
+                      std::string message);
 
   // ~Task saw a coroutine that was created but never started.
   static void report_dropped_task();
@@ -256,6 +261,7 @@ class SimChecker {
   void on_mutex_released(const void*) {}
   void on_primitive_destroyed(WaitKind, const void*, const char*, size_t) {}
   void report_error(SimDiagnostic::Kind, const char*, std::string) {}
+  void report_warning(SimDiagnostic::Kind, const char*, std::string) {}
   static void report_dropped_task() {}
   void on_quiescent() {}
 };

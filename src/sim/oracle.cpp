@@ -1,6 +1,7 @@
 #include "sim/oracle.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 #include <utility>
 
@@ -18,13 +19,14 @@ std::string_view check_mode_name(CheckMode mode) {
 int64_t ConsistencyOracle::begin_put(const std::string& client,
                                      const std::string& key,
                                      const std::string& value,
-                                     TimePoint invoked) {
+                                     TimePoint invoked, uint64_t trace_id) {
   Op op;
   op.type = Op::Type::kPut;
   op.client = client;
   op.key = key;
   op.value = value;
   op.invoked = invoked;
+  op.trace_id = trace_id;
   ops_.push_back(std::move(op));
   return static_cast<int64_t>(ops_.size()) - 1;
 }
@@ -40,12 +42,13 @@ void ConsistencyOracle::end_put(int64_t op_id, TimePoint completed, bool ok,
 
 int64_t ConsistencyOracle::begin_get(const std::string& client,
                                      const std::string& key,
-                                     TimePoint invoked) {
+                                     TimePoint invoked, uint64_t trace_id) {
   Op op;
   op.type = Op::Type::kGet;
   op.client = client;
   op.key = key;
   op.invoked = invoked;
+  op.trace_id = trace_id;
   ops_.push_back(std::move(op));
   return static_cast<int64_t>(ops_.size()) - 1;
 }
@@ -144,9 +147,15 @@ std::vector<OracleViolation> ConsistencyOracle::check_convergence() const {
 std::string ConsistencyOracle::describe(
     const std::vector<OracleViolation>& violations) {
   std::string out;
+  char trace_buf[32];
   for (const auto& v : violations) {
     if (!out.empty()) out += "\n";
     out += "[" + v.key + "] " + v.message;
+    if (v.trace_id != 0) {
+      std::snprintf(trace_buf, sizeof(trace_buf), " (trace %016llx)",
+                    static_cast<unsigned long long>(v.trace_id));
+      out += trace_buf;
+    }
   }
   return out;
 }
@@ -162,6 +171,7 @@ struct LinEntry {
   std::string value;
   TimePoint invoked;
   TimePoint complete = TimePoint::max();
+  uint64_t trace_id = 0;
 };
 
 struct LinSearch {
@@ -213,6 +223,7 @@ void ConsistencyOracle::check_key_linearizable(
       e.is_put = true;
       e.value = op->value;
       e.invoked = op->invoked;
+      e.trace_id = op->trace_id;
       if (op->done && op->ok) {
         e.complete = op->completed;
       } else {
@@ -225,6 +236,7 @@ void ConsistencyOracle::check_key_linearizable(
       e.value = op->value;
       e.invoked = op->invoked;
       e.complete = op->completed;
+      e.trace_id = op->trace_id;
       search.entries.push_back(std::move(e));
     }
   }
@@ -238,8 +250,9 @@ void ConsistencyOracle::check_key_linearizable(
   // Fast sanity check with a readable message before the full search.
   for (const LinEntry& e : search.entries) {
     if (!e.is_put && !e.value.empty() && written.count(e.value) == 0) {
-      out.push_back({key, "read returned a value nobody wrote: '" + e.value +
-                              "'"});
+      out.push_back({key,
+                     "read returned a value nobody wrote: '" + e.value + "'",
+                     e.trace_id});
       return;
     }
   }
@@ -282,10 +295,12 @@ void ConsistencyOracle::check_key_primary_order(
                                 std::to_string(a->version)});
       }
       if (a->completed < b->invoked && a->version >= b->version) {
-        out.push_back({key, "primary order violated: put v" +
-                                std::to_string(a->version) +
-                                " finished before put v" +
-                                std::to_string(b->version) + " began"});
+        out.push_back({key,
+                       "primary order violated: put v" +
+                           std::to_string(a->version) +
+                           " finished before put v" +
+                           std::to_string(b->version) + " began",
+                       b->trace_id});
       }
     }
   }
@@ -297,13 +312,17 @@ void ConsistencyOracle::check_key_primary_order(
     if (op->type != Op::Type::kGet || !op->done || !op->ok) continue;
     if (!op->value.empty()) {
       if (written.count(op->value) == 0) {
-        out.push_back({key, "read returned a value nobody wrote: '" +
-                                op->value + "'"});
+        out.push_back({key,
+                       "read returned a value nobody wrote: '" + op->value +
+                           "'",
+                       op->trace_id});
         continue;
       }
       if (value_invoked.at(op->value) > op->completed) {
-        out.push_back({key, "read from the future: value '" + op->value +
-                                "' observed before its put was invoked"});
+        out.push_back({key,
+                       "read from the future: value '" + op->value +
+                           "' observed before its put was invoked",
+                       op->trace_id});
       }
     }
     by_server[op->served_by].push_back(op);
@@ -315,9 +334,11 @@ void ConsistencyOracle::check_key_primary_order(
       const Op* a = reads[i];
       const Op* b = reads[i + 1];
       if (a->completed < b->invoked && b->version < a->version) {
-        out.push_back({key, "monotonic reads violated at " + server +
-                                ": served v" + std::to_string(a->version) +
-                                " then v" + std::to_string(b->version)});
+        out.push_back({key,
+                       "monotonic reads violated at " + server + ": served v" +
+                           std::to_string(a->version) + " then v" +
+                           std::to_string(b->version),
+                       b->trace_id});
       }
     }
   }
@@ -335,8 +356,9 @@ void ConsistencyOracle::check_key_eventual(
   for (const Op* op : ops) {
     if (op->type != Op::Type::kGet || !op->done || !op->ok) continue;
     if (!op->value.empty() && written.count(op->value) == 0) {
-      out.push_back({key, "read returned a value nobody wrote: '" +
-                              op->value + "'"});
+      out.push_back({key,
+                     "read returned a value nobody wrote: '" + op->value + "'",
+                     op->trace_id});
     }
   }
 

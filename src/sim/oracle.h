@@ -35,6 +35,10 @@ std::string_view check_mode_name(CheckMode mode);
 struct OracleViolation {
   std::string key;
   std::string message;
+  // Trace id of the client operation that witnessed the violation (0 when
+  // no single op is implicated). Reassemble with obs::TraceView to see the
+  // exact hop sequence behind the bad read/write (docs/OBSERVABILITY.md).
+  uint64_t trace_id = 0;
 };
 
 class ConsistencyOracle {
@@ -44,14 +48,32 @@ class ConsistencyOracle {
   // completion time and outcome. An op whose end_* never arrives counts as
   // a "maybe" write / ignored read (client never learned the outcome).
   int64_t begin_put(const std::string& client, const std::string& key,
-                    const std::string& value, TimePoint invoked);
+                    const std::string& value, TimePoint invoked,
+                    uint64_t trace_id = 0);
   void end_put(int64_t op_id, TimePoint completed, bool ok, int64_t version);
   int64_t begin_get(const std::string& client, const std::string& key,
-                    TimePoint invoked);
+                    TimePoint invoked, uint64_t trace_id = 0);
   // `value` empty = not found; `served_by` is the instance that answered.
   void end_get(int64_t op_id, TimePoint completed, bool ok,
                const std::string& value, int64_t version,
                const std::string& served_by);
+  // Attach a distributed-trace id to an op after the fact. Workloads call
+  // begin_* before issuing the client op (the invoke time must precede the
+  // RPC), but the trace id is only known once the op returns — so it is
+  // stamped here, before end_*.
+  void set_op_trace(int64_t op_id, uint64_t trace_id) {
+    ops_.at(static_cast<size_t>(op_id)).trace_id = trace_id;
+  }
+  // Trace id of the first successfully completed put in the history
+  // (0 = none). Used by telemetry dumps to pick a representative write
+  // whose span tree is worth rendering.
+  uint64_t sample_put_trace() const {
+    for (const Op& op : ops_) {
+      if (op.type == Op::Type::kPut && op.done && op.ok && op.trace_id != 0)
+        return op.trace_id;
+    }
+    return 0;
+  }
 
   // ---- final replica states (kEventual convergence check) ----
   void record_replica_value(const std::string& replica, const std::string& key,
@@ -90,6 +112,7 @@ class ConsistencyOracle {
     TimePoint completed = TimePoint::max();
     bool done = false;
     bool ok = false;
+    uint64_t trace_id = 0;  // distributed trace of the client op (0 = none)
   };
 
   struct ReplicaFinal {

@@ -64,8 +64,10 @@ void RootTask::promise_type::return_void() noexcept {
 }
 }  // namespace
 
-Simulation::Simulation(uint64_t seed) : rng_(seed) {
+Simulation::Simulation(uint64_t seed)
+    : seed_(seed), rng_(seed), telemetry_(seed) {
   checker_.on_simulation_created();
+  telemetry_.set_clock([this] { return now_; });
 }
 
 Simulation::~Simulation() {
@@ -117,7 +119,24 @@ void Simulation::run() {
   stopped_ = false;
   while (step()) {
   }
-  if (!stopped_ && queue_.empty()) checker_.on_quiescent();
+  if (!stopped_ && queue_.empty()) {
+    checker_.on_quiescent();
+    // Span-leak check: at quiescence every request has completed, so any
+    // retained span still open was started and never ended — a missing
+    // end_span on some path (e.g. an early return). A warning, not an
+    // error: telemetry bugs must not fail otherwise-correct runs.
+    if (telemetry_.tracer().open_count() > 0) {
+      std::string names;
+      for (const std::string& n : telemetry_.tracer().open_span_names()) {
+        if (!names.empty()) names += ", ";
+        names += n;
+      }
+      checker_.report_warning(
+          SimDiagnostic::Kind::kLeakedSpan, "obs.tracer",
+          std::to_string(telemetry_.tracer().open_count()) +
+              " span(s) still open at quiescence: " + names);
+    }
+  }
 }
 
 void Simulation::run_until(TimePoint t) {

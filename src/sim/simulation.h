@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "common/time.h"
+#include "obs/telemetry.h"
 #include "sim/checker.h"
 #include "sim/task.h"
 
@@ -36,6 +37,14 @@ class Simulation {
 
   TimePoint now() const { return now_; }
   Rng& rng() { return rng_; }
+  uint64_t seed() const { return seed_; }
+
+  // Per-sim telemetry: metrics registry, tracer and event journal on the
+  // virtual clock. Always usable; obs::Telemetry::set_enabled gates only
+  // span retention and journal IO, never metric recording, so disabling it
+  // cannot change any component's behavior (docs/OBSERVABILITY.md).
+  obs::Telemetry& telemetry() { return telemetry_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
 
   // The simulation sanitizer (wait-for graph, lifecycle diagnostics,
   // determinism hash). Compiles to a no-op stub when WIERA_SIM_CHECKER=OFF.
@@ -104,6 +113,7 @@ class Simulation {
   bool step();  // execute one event; false if queue empty/stopped
 
   TimePoint now_ = TimePoint::origin();
+  uint64_t seed_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
   bool stopped_ = false;
@@ -111,6 +121,7 @@ class Simulation {
       queue_;
   std::list<std::coroutine_handle<>> roots_;  // live detached root frames
   Rng rng_;
+  obs::Telemetry telemetry_;
   SimChecker checker_;
 };
 

@@ -22,6 +22,15 @@ std::string TieraInstance::versioned_key(const std::string& key,
 
 TieraInstance::TieraInstance(sim::Simulation& sim, Config config)
     : sim_(&sim), config_(std::move(config)) {
+  metrics_ = &sim.telemetry().registry();
+  const obs::LabelSet inst{{"instance", config_.instance_id}};
+  put_hist_ = metrics_->histogram("tiera_put_latency_us", inst);
+  get_hist_ = metrics_->histogram("tiera_get_latency_us", inst);
+  cold_moves_ = metrics_->counter("tiera_cold_moves_total", inst);
+  checksum_failures_ =
+      metrics_->counter("tiera_checksum_failures_total", inst);
+  quarantined_copies_ =
+      metrics_->counter("tiera_quarantined_copies_total", inst);
   build_tiers();
   const Status st = compile_rules();
   assert(st.ok() && "unclassifiable trigger in local policy");
@@ -187,7 +196,7 @@ sim::Task<Result<PutResult>> TieraInstance::put(std::string key, Blob value,
 
   prune_versions(key);
   co_await check_fill_thresholds();
-  put_hist_.record(sim_->now() - start);
+  put_hist_->record(sim_->now() - start);
   co_return PutResult{version};
 }
 
@@ -218,7 +227,7 @@ sim::Task<Result<GetResult>> TieraInstance::get_version(
   Result<Blob> value = co_await read_version(key, version, opts);
   if (!value.ok()) co_return value.status();
   meta_.record_access(key, version, sim_->now());
-  get_hist_.record(sim_->now() - start);
+  get_hist_->record(sim_->now() - start);
   co_return GetResult{std::move(value).value(), version};
 }
 
@@ -572,7 +581,7 @@ sim::Task<Status> TieraInstance::exec_maintenance_action(
       Status st = co_await write_to_tier(target, key, version, *value, {},
                                          /*set_location=*/relocate);
       if (!st.ok()) co_return st;
-      if (relocate) cold_moves_++;
+      if (relocate) cold_moves_->inc();
       metadb::VersionMeta& mut = meta_.upsert_version(key, version);
       mut.dirty = false;  // persisted copy exists now
       if (relocate && !source.empty() && source != target) {
@@ -710,8 +719,14 @@ sim::Task<Result<Blob>> TieraInstance::read_version(const std::string& key,
       // Quarantine: a corrupt copy must never be served (or scrubbed
       // outward) — drop it and fall through to the next tier; a healthy
       // tier or replica supplies the repair.
-      checksum_failures_++;
-      quarantined_copies_++;
+      checksum_failures_->inc();
+      quarantined_copies_->inc();
+      sim_->telemetry().journal()
+          .event("tiera", "quarantine")
+          .str("instance", config_.instance_id)
+          .str("key", key)
+          .num("version", version)
+          .str("tier", label);
       saw_corrupt = true;
       WLOG_WARN(kComponent) << id() << " checksum mismatch on " << vkey
                             << " in tier " << label << " (quarantined)";

@@ -26,6 +26,7 @@
 
 #include "common/histogram.h"
 #include "metadb/metadb.h"
+#include "obs/metrics.h"
 #include "policy/ast.h"
 #include "policy/eval.h"
 #include "sim/simulation.h"
@@ -190,13 +191,15 @@ class TieraInstance {
   metadb::MetaDb& meta_mutable() { return meta_; }
   sim::Simulation& sim() { return *sim_; }
 
-  const LatencyHistogram& put_latency() const { return put_hist_; }
-  const LatencyHistogram& get_latency() const { return get_hist_; }
+  // Thin views over the sim-wide metrics registry
+  // (tiera_*{instance=...}; docs/OBSERVABILITY.md).
+  const LatencyHistogram& put_latency() const { return put_hist_->latency(); }
+  const LatencyHistogram& get_latency() const { return get_hist_->latency(); }
   // Number of objects relocated by `move` responses (cold demotions).
-  int64_t cold_moves() const { return cold_moves_; }
+  int64_t cold_moves() const { return cold_moves_->value(); }
   // Integrity counters (docs/INTEGRITY.md).
-  int64_t checksum_failures() const { return checksum_failures_; }
-  int64_t quarantined_copies() const { return quarantined_copies_; }
+  int64_t checksum_failures() const { return checksum_failures_->value(); }
+  int64_t quarantined_copies() const { return quarantined_copies_->value(); }
 
   // ---- metadata durability (BerkeleyDB role, §4.2) ----
   // Snapshot/restore the metadata store. The paper persists all object
@@ -273,11 +276,13 @@ class TieraInstance {
   // Bumped by adopt_policy; periodic loops from older generations exit.
   uint64_t policy_generation_ = 0;
 
-  LatencyHistogram put_hist_;
-  LatencyHistogram get_hist_;
-  int64_t cold_moves_ = 0;
-  int64_t checksum_failures_ = 0;
-  int64_t quarantined_copies_ = 0;
+  // Registry-backed instruments (created in the constructor).
+  obs::Registry* metrics_ = nullptr;
+  obs::Histogram* put_hist_ = nullptr;
+  obs::Histogram* get_hist_ = nullptr;
+  obs::Counter* cold_moves_ = nullptr;
+  obs::Counter* checksum_failures_ = nullptr;
+  obs::Counter* quarantined_copies_ = nullptr;
 };
 
 }  // namespace wiera::tiera

@@ -16,6 +16,15 @@ WieraClient::WieraClient(sim::Simulation& sim, net::Network& network,
       retry_budget_(config.retry_budget_per_sec,
                     config.retry_budget_capacity) {
   endpoint_ = std::make_unique<rpc::Endpoint>(network, registry, node);
+  metrics_ = &sim.telemetry().registry();
+  const obs::LabelSet labels{{"client", client_id_}};
+  put_hist_ = metrics_->histogram("wiera_client_put_latency_us", labels);
+  get_hist_ = metrics_->histogram("wiera_client_get_latency_us", labels);
+  failovers_ = metrics_->counter("wiera_client_failovers_total", labels);
+  hedged_gets_ = metrics_->counter("wiera_client_hedged_gets_total", labels);
+  hedged_wins_ = metrics_->counter("wiera_client_hedged_wins_total", labels);
+  checksum_failures_ =
+      metrics_->counter("wiera_client_checksum_failures_total", labels);
   // Closest instance first (§4.1 places it at the head of the list).
   std::stable_sort(peer_ids_.begin(), peer_ids_.end(),
                    [&](const std::string& a, const std::string& b) {
@@ -24,15 +33,41 @@ WieraClient::WieraClient(sim::Simulation& sim, net::Network& network,
                    });
 }
 
-Context WieraClient::make_ctx() const {
-  if (config_.op_deadline <= Duration::zero()) return Context{};
-  return Context::with_deadline(sim_->now() + config_.op_deadline);
+Context WieraClient::make_ctx(TraceContext trace) const {
+  Context ctx;
+  if (config_.op_deadline > Duration::zero()) {
+    ctx = Context::with_deadline(sim_->now() + config_.op_deadline);
+  }
+  ctx.trace = trace;
+  return ctx;
+}
+
+TraceContext WieraClient::begin_op(const char* name) {
+  const TraceContext op = tracer().start_trace(name, client_id_);
+  last_trace_id_ = op.trace_id;
+  return op;
+}
+
+void WieraClient::finish_op(std::string_view op_kind, const TraceContext& span,
+                            const Status& st) {
+  tracer().end_span(span, st.ok() ? "ok" : status_code_name(st.code()));
+  if (!st.ok()) {
+    // Failed client operations always reach the journal with their trace
+    // identity (CI asserts this linkage; docs/OBSERVABILITY.md).
+    journal()
+        .event("client", "op_failed")
+        .str("client", client_id_)
+        .str("op", op_kind)
+        .str("status", status_code_name(st.code()))
+        .trace(span);
+  }
 }
 
 sim::Task<Result<rpc::Message>> WieraClient::call_any(
-    std::string rpc_method, std::function<rpc::Message()> make_request) {
+    std::string rpc_method, std::function<rpc::Message()> make_request,
+    TraceContext trace) {
   co_return co_await call_any_ctx(std::move(rpc_method),
-                                  std::move(make_request), make_ctx());
+                                  std::move(make_request), make_ctx(trace));
 }
 
 sim::Task<Result<rpc::Message>> WieraClient::call_any_ctx(
@@ -66,7 +101,8 @@ sim::Task<Result<rpc::Message>> WieraClient::call_any_ctx(
     if (!retry_budget_.try_spend(sim_->now())) co_return resp;
     // Preferred instance unreachable (§4.4): one failover, then demote it
     // so subsequent operations go straight to the next-closest peer.
-    failovers_++;
+    failovers_->inc();
+    tracer().annotate(ctx.trace, "failover_from=" + peer);
     std::rotate(peer_ids_.begin(), peer_ids_.begin() + 1, peer_ids_.end());
   }
   co_return resp;
@@ -74,16 +110,17 @@ sim::Task<Result<rpc::Message>> WieraClient::call_any_ctx(
 
 bool WieraClient::hedge_ready() const {
   return config_.hedge_gets && peer_ids_.size() >= 2 &&
-         get_hist_.count() >= config_.hedge_min_samples;
+         get_hist_->count() >= config_.hedge_min_samples;
 }
 
-sim::Task<Result<rpc::Message>> WieraClient::call_hedged(GetRequest request) {
+sim::Task<Result<rpc::Message>> WieraClient::call_hedged(GetRequest request,
+                                                         TraceContext trace) {
   const Duration trigger =
-      std::max(get_hist_.percentile(config_.hedge_percentile),
+      std::max(get_hist_->percentile(config_.hedge_percentile),
                config_.hedge_min_delay);
   auto promise = std::make_shared<sim::Promise<Result<rpc::Message>>>(
       *sim_, "client.hedged-get");
-  Context ctx = make_ctx();
+  Context ctx = make_ctx(trace);
 
   // Primary path: the normal failover sequence; it always reports its
   // outcome (first writer wins — the promise ignores late arrivals).
@@ -106,12 +143,14 @@ sim::Task<Result<rpc::Message>> WieraClient::call_hedged(GetRequest request) {
           -> sim::Task<void> {
         co_await self->sim_->delay(delay);
         if (p->fulfilled() || c.cancelled()) co_return;
-        self->hedged_gets_++;
+        self->hedged_gets_->inc();
+        self->tracer().annotate(c.trace, "hedged=true");
         const std::string backup = self->peer_ids_[1];
         auto resp = co_await self->endpoint_->call(
             backup, method::kClientGet, encode(req), c);
         if (resp.ok() && !p->fulfilled()) {
-          self->hedged_wins_++;
+          self->hedged_wins_->inc();
+          self->tracer().annotate(c.trace, "hedge_won=true");
           p->set_value(std::move(resp));
         }
       }(this, request, ctx, trigger, promise),
@@ -130,6 +169,17 @@ sim::Task<Result<PutResponse>> WieraClient::put(std::string key, Blob value) {
 sim::Task<Result<PutResponse>> WieraClient::update(std::string key,
                                                    int64_t version,
                                                    Blob value) {
+  const TraceContext op = begin_op("client.put");
+  Result<PutResponse> r =
+      co_await update_impl(std::move(key), version, std::move(value), op);
+  finish_op("put", op, r.ok() ? ok_status() : r.status());
+  co_return r;
+}
+
+sim::Task<Result<PutResponse>> WieraClient::update_impl(std::string key,
+                                                        int64_t version,
+                                                        Blob value,
+                                                        TraceContext op) {
   const TimePoint start = sim_->now();
   PutRequest req;
   req.key = std::move(key);
@@ -141,7 +191,7 @@ sim::Task<Result<PutResponse>> WieraClient::update(std::string key,
   req.checksum = object_checksum(req.key, req.version, req.value);
 
   Result<rpc::Message> resp =
-      co_await call_any(method::kClientPut, [&] { return encode(req); });
+      co_await call_any(method::kClientPut, [&] { return encode(req); }, op);
   if (!resp.ok()) co_return resp.status();
   auto decoded = decode_put_response(*resp);
   if (!decoded.ok()) co_return decoded.status();
@@ -151,11 +201,11 @@ sim::Task<Result<PutResponse>> WieraClient::update(std::string key,
   if (decoded->checksum != 0 &&
       object_checksum(req.key, decoded->version, req.value) !=
           decoded->checksum) {
-    checksum_failures_++;
+    checksum_failures_->inc();
     co_return data_loss("put " + req.key +
                         ": response corrupted in transit (checksum mismatch)");
   }
-  put_hist_.record(sim_->now() - start);
+  put_hist_->record(sim_->now() - start);
   co_return std::move(decoded).value();
 }
 
@@ -165,6 +215,16 @@ sim::Task<Result<GetResponse>> WieraClient::get(std::string key) {
 
 sim::Task<Result<GetResponse>> WieraClient::get_version(std::string key,
                                                         int64_t version) {
+  const TraceContext op = begin_op("client.get");
+  Result<GetResponse> r =
+      co_await get_version_impl(std::move(key), version, op);
+  finish_op("get", op, r.ok() ? ok_status() : r.status());
+  co_return r;
+}
+
+sim::Task<Result<GetResponse>> WieraClient::get_version_impl(std::string key,
+                                                             int64_t version,
+                                                             TraceContext op) {
   const TimePoint start = sim_->now();
   GetRequest req;
   req.key = std::move(key);
@@ -178,9 +238,10 @@ sim::Task<Result<GetResponse>> WieraClient::get_version(std::string key,
   // operators whose branches both await (frame-slot corruption).
   Result<rpc::Message> resp = internal_error("unset");
   if (hedge_ready()) {
-    resp = co_await call_hedged(req);
+    resp = co_await call_hedged(req, op);
   } else {
-    resp = co_await call_any(method::kClientGet, [&] { return encode(req); });
+    resp = co_await call_any(method::kClientGet, [&] { return encode(req); },
+                             op);
   }
   if (!resp.ok()) co_return resp.status();
   auto decoded = decode_get_response(*resp);
@@ -192,23 +253,29 @@ sim::Task<Result<GetResponse>> WieraClient::get_version(std::string key,
   if (decoded->checksum != 0 &&
       object_checksum(req.key, decoded->version, decoded->value) !=
           decoded->checksum) {
-    checksum_failures_++;
+    checksum_failures_->inc();
     co_return data_loss("get " + req.key +
                         ": payload corrupted in transit (checksum mismatch)");
   }
-  get_hist_.record(sim_->now() - start);
+  get_hist_->record(sim_->now() - start);
   co_return std::move(decoded).value();
 }
 
 sim::Task<Result<std::vector<int64_t>>> WieraClient::get_version_list(
     std::string key) {
+  const TraceContext op = begin_op("client.version_list");
   GetRequest req;
   req.key = std::move(key);
   req.client = client_id_;
-  Result<rpc::Message> resp =
-      co_await call_any(method::kVersionList, [&] { return encode(req); });
-  if (!resp.ok()) co_return resp.status();
+  Result<rpc::Message> resp = co_await call_any(
+      method::kVersionList, [&] { return encode(req); }, op);
+  if (!resp.ok()) {
+    finish_op("version_list", op, resp.status());
+    co_return resp.status();
+  }
   auto decoded = decode_version_list(*resp);
+  finish_op("version_list", op,
+            decoded.ok() ? ok_status() : decoded.status());
   if (!decoded.ok()) co_return decoded.status();
   co_return std::move(decoded).value().versions;
 }
@@ -219,12 +286,21 @@ sim::Task<Status> WieraClient::remove(std::string key) {
 
 sim::Task<Status> WieraClient::remove_version(std::string key,
                                               int64_t version) {
+  const TraceContext op = begin_op("client.remove");
+  Status st = co_await remove_version_impl(std::move(key), version, op);
+  finish_op("remove", op, st);
+  co_return st;
+}
+
+sim::Task<Status> WieraClient::remove_version_impl(std::string key,
+                                                   int64_t version,
+                                                   TraceContext op) {
   RemoveRequest req;
   req.key = std::move(key);
   req.version = version;
   req.propagate = true;
-  Result<rpc::Message> resp =
-      co_await call_any(method::kRemove, [&] { return encode(req); });
+  Result<rpc::Message> resp = co_await call_any(
+      method::kRemove, [&] { return encode(req); }, op);
   if (!resp.ok()) co_return resp.status();
   co_return decode_status(*resp);
 }

@@ -22,6 +22,7 @@
 
 #include "common/context.h"
 #include "common/histogram.h"
+#include "sim/simulation.h"
 #include "wiera/messages.h"
 
 namespace wiera::geo {
@@ -73,15 +74,21 @@ class WieraClient {
   sim::Task<Status> remove(std::string key);
   sim::Task<Status> remove_version(std::string key, int64_t version);
 
-  const LatencyHistogram& put_latency() const { return put_hist_; }
-  const LatencyHistogram& get_latency() const { return get_hist_; }
-  int64_t failovers() const { return failovers_; }
-  int64_t hedged_gets() const { return hedged_gets_; }
-  int64_t hedged_wins() const { return hedged_wins_; }
+  // Thin views over the sim-wide metrics registry
+  // (wiera_client_*{client=...}; docs/OBSERVABILITY.md).
+  const LatencyHistogram& put_latency() const { return put_hist_->latency(); }
+  const LatencyHistogram& get_latency() const { return get_hist_->latency(); }
+  int64_t failovers() const { return failovers_->value(); }
+  int64_t hedged_gets() const { return hedged_gets_->value(); }
+  int64_t hedged_wins() const { return hedged_wins_->value(); }
   int64_t retry_budget_denials() const { return retry_budget_.denied(); }
   // Responses the client rejected because their checksum did not match the
   // delivered bytes (corrupted on the response leg).
-  int64_t checksum_failures() const { return checksum_failures_; }
+  int64_t checksum_failures() const { return checksum_failures_->value(); }
+  // Trace id of the most recently *started* operation (the consistency
+  // oracle stamps it onto the op it records, so a violation names the trace
+  // that can be reassembled with obs::TraceView).
+  uint64_t last_trace_id() const { return last_trace_id_; }
 
  private:
   // Issue `rpc_method` against the preferred peer; on kUnavailable (peer
@@ -92,28 +99,51 @@ class WieraClient {
   // token; kDeadlineExceeded is final — the deadline covers all attempts —
   // but the peer that burned it is still demoted for future operations.
   sim::Task<Result<rpc::Message>> call_any(
-      std::string rpc_method, std::function<rpc::Message()> make_request);
+      std::string rpc_method, std::function<rpc::Message()> make_request,
+      TraceContext trace = {});
   sim::Task<Result<rpc::Message>> call_any_ctx(
       std::string rpc_method, std::function<rpc::Message()> make_request,
       Context ctx);
   // Hedged GET: race the normal failover path against one delayed backup
   // request to the second-closest peer.
-  sim::Task<Result<rpc::Message>> call_hedged(GetRequest request);
+  sim::Task<Result<rpc::Message>> call_hedged(GetRequest request,
+                                              TraceContext trace);
   bool hedge_ready() const;
-  Context make_ctx() const;
+  Context make_ctx(TraceContext trace = {}) const;
+
+  // Root-span bracket around one client operation: begin_op starts a fresh
+  // trace (recorded in last_trace_id_), finish_op closes it with the final
+  // status and journals failed operations with their trace identity.
+  TraceContext begin_op(const char* name);
+  void finish_op(std::string_view op_kind, const TraceContext& span,
+                 const Status& st);
+  // Op bodies minus the root-span bracket.
+  sim::Task<Result<PutResponse>> update_impl(std::string key, int64_t version,
+                                             Blob value, TraceContext op);
+  sim::Task<Result<GetResponse>> get_version_impl(std::string key,
+                                                  int64_t version,
+                                                  TraceContext op);
+  sim::Task<Status> remove_version_impl(std::string key, int64_t version,
+                                        TraceContext op);
+
+  obs::Tracer& tracer() { return sim_->telemetry().tracer(); }
+  obs::Journal& journal() { return sim_->telemetry().journal(); }
 
   sim::Simulation* sim_;
   std::string client_id_;
   Config config_;
   std::unique_ptr<rpc::Endpoint> endpoint_;
   std::vector<std::string> peer_ids_;
-  LatencyHistogram put_hist_;
-  LatencyHistogram get_hist_;
+  // Registry-backed instruments (created in the constructor).
+  obs::Registry* metrics_ = nullptr;
+  obs::Histogram* put_hist_ = nullptr;
+  obs::Histogram* get_hist_ = nullptr;
+  obs::Counter* failovers_ = nullptr;
+  obs::Counter* hedged_gets_ = nullptr;
+  obs::Counter* hedged_wins_ = nullptr;
+  obs::Counter* checksum_failures_ = nullptr;
   RetryBudget retry_budget_;
-  int64_t failovers_ = 0;
-  int64_t hedged_gets_ = 0;
-  int64_t hedged_wins_ = 0;
-  int64_t checksum_failures_ = 0;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace wiera::geo

@@ -63,6 +63,9 @@ struct PutRequest {
   // Absolute deadline, copied by handlers from the rpc::Message frame (not
   // part of the wire body). TimePoint::max() = none.
   TimePoint deadline = TimePoint::max();
+  // Trace identity of the handling server span, copied by handlers from the
+  // rpc::Message frame (not wire body); parent for downstream spans.
+  TraceContext trace;
 };
 
 struct PutResponse {
@@ -87,6 +90,9 @@ struct GetRequest {
   // Absolute deadline, copied by handlers from the rpc::Message frame (not
   // part of the wire body). TimePoint::max() = none.
   TimePoint deadline = TimePoint::max();
+  // Trace identity of the handling server span (frame metadata, see
+  // PutRequest::trace).
+  TraceContext trace;
 };
 
 struct GetResponse {
@@ -138,6 +144,7 @@ struct RemoveRequest {
   int64_t version = 0;      // 0 = all versions (remove), else removeVersion
   bool propagate = true;    // false on replica-to-replica fan-out
   TimePoint deadline = TimePoint::max();  // frame metadata, not wire body
+  TraceContext trace;                     // frame metadata, not wire body
 };
 
 // Catch-up resync (recovery after crash/partition): the source answers with

@@ -116,6 +116,28 @@ WieraPeer::WieraPeer(sim::Simulation& sim, net::Network& network,
     : sim_(&sim), network_(&network), config_(std::move(config)) {
   endpoint_ = std::make_unique<rpc::Endpoint>(network, registry,
                                               config_.instance_id);
+  // Every legacy counter/histogram is an instrument in the sim-wide metrics
+  // registry, labeled by instance; accessors are thin views over these.
+  metrics_ = &sim.telemetry().registry();
+  const obs::LabelSet inst{{"instance", config_.instance_id}};
+  catch_ups_completed_ = metrics_->counter("wiera_catch_ups_total", inst);
+  replication_retries_ =
+      metrics_->counter("wiera_replication_retries_total", inst);
+  stale_serves_ = metrics_->counter("wiera_stale_serves_total", inst);
+  breaker_fast_fails_ =
+      metrics_->counter("wiera_breaker_fast_fails_total", inst);
+  wire_checksum_failures_ =
+      metrics_->counter("wiera_wire_checksum_failures_total", inst);
+  repairs_ = metrics_->counter("wiera_repairs_total", inst);
+  scrub_repairs_ = metrics_->counter("wiera_scrub_repairs_total", inst);
+  scrub_rounds_ = metrics_->counter("wiera_scrub_rounds_total", inst);
+  direct_puts_ = metrics_->counter("wiera_direct_puts_total", inst);
+  replications_sent_ =
+      metrics_->counter("wiera_replications_sent_total", inst);
+  replications_accepted_ =
+      metrics_->counter("wiera_replications_accepted_total", inst);
+  put_hist_ = metrics_->histogram("wiera_put_latency_us", inst);
+  get_hist_ = metrics_->histogram("wiera_get_latency_us", inst);
   config_.local.instance_id = config_.instance_id;
   config_.local.region = config_.region;
   local_ = std::make_unique<tiera::TieraInstance>(sim, config_.local);
@@ -190,8 +212,9 @@ void WieraPeer::stop() {
 }
 
 int64_t WieraPeer::forwarded_puts_from(const std::string& origin) const {
-  auto it = forwarded_puts_.find(origin);
-  return it == forwarded_puts_.end() ? 0 : it->second;
+  return metrics_->counter_value(
+      "wiera_forwarded_puts_total",
+      {{"instance", config_.instance_id}, {"origin", origin}});
 }
 
 void WieraPeer::register_handlers() {
@@ -202,6 +225,7 @@ void WieraPeer::register_handlers() {
         if (!req.ok()) co_return req.status();
         PutRequest request = std::move(req).value();
         request.deadline = msg.deadline;  // frame metadata -> request
+        request.trace = msg.trace();
         auto resp = co_await client_put(std::move(request));
         if (!resp.ok()) co_return resp.status();
         co_return encode(*resp);
@@ -213,6 +237,7 @@ void WieraPeer::register_handlers() {
         if (!req.ok()) co_return req.status();
         GetRequest request = std::move(req).value();
         request.deadline = msg.deadline;
+        request.trace = msg.trace();
         auto resp = co_await client_get(std::move(request));
         if (!resp.ok()) co_return resp.status();
         co_return encode(*resp);
@@ -225,6 +250,7 @@ void WieraPeer::register_handlers() {
         PutRequest request = std::move(req).value();
         request.forwarded = true;
         request.deadline = msg.deadline;
+        request.trace = msg.trace();
         auto resp = co_await client_put(std::move(request));
         if (!resp.ok()) co_return resp.status();
         co_return encode(*resp);
@@ -268,7 +294,7 @@ void WieraPeer::register_handlers() {
         if (config_.local.verify_checksums && req->checksum != 0 &&
             object_checksum(req->key, req->version, req->value) !=
                 req->checksum) {
-          wire_checksum_failures_++;
+          wire_checksum_failures_->inc();
           co_return data_loss("replicate of " + req->key + " to " +
                               config_.instance_id +
                               ": payload arrived corrupt");
@@ -320,6 +346,7 @@ void WieraPeer::register_handlers() {
         if (!req.ok()) co_return req.status();
         RemoveRequest request = std::move(req).value();
         request.deadline = msg.deadline;
+        request.trace = msg.trace();
         Status st = co_await remove_key(std::move(request));
         co_return encode_status(st);
       });
@@ -408,7 +435,7 @@ void WieraPeer::register_handlers() {
         if (config_.local.verify_checksums && req->checksum != 0 &&
             object_checksum(req->key, req->version, req->value) !=
                 req->checksum) {
-          wire_checksum_failures_++;
+          wire_checksum_failures_->inc();
           co_return data_loss("cold store of " + req->key + " on " +
                               config_.instance_id +
                               ": payload arrived corrupt");
@@ -460,7 +487,7 @@ sim::Task<Result<PutResponse>> WieraPeer::client_put(PutRequest request) {
   if (config_.local.verify_checksums && request.checksum != 0 &&
       object_checksum(request.key, request.version, request.value) !=
           request.checksum) {
-    wire_checksum_failures_++;
+    wire_checksum_failures_->inc();
     co_return data_loss("put " + request.key + " on " + config_.instance_id +
                         ": payload arrived corrupt (checksum mismatch)");
   }
@@ -468,6 +495,9 @@ sim::Task<Result<PutResponse>> WieraPeer::client_put(PutRequest request) {
   co_await wait_if_blocked();
   op_started();
   const TimePoint start = sim_->now();
+  tracer().annotate(request.trace,
+                    std::string("mode=")
+                        .append(consistency_mode_name(config_.mode)));
 
   record_put_source(request.client, request.forwarded);
 
@@ -486,7 +516,7 @@ sim::Task<Result<PutResponse>> WieraPeer::client_put(PutRequest request) {
   }
 
   const Duration latency = sim_->now() - start;
-  put_hist_.record(latency);
+  put_hist_->record(latency);
   if (config_.network_monitor != nullptr) {
     config_.network_monitor->record_request_latency(config_.instance_id,
                                                     latency);
@@ -534,7 +564,9 @@ sim::Task<Result<PutResponse>> WieraPeer::put_primary_backup(
     // backup fails fast instead of parking every put until its deadline.
     CircuitBreaker* brk = breaker_for(config_.primary_instance);
     if (brk != nullptr && !brk->allow(sim_->now())) {
-      breaker_fast_fails_++;
+      breaker_fast_fails_->inc();
+      tracer().annotate(request.trace,
+                        "breaker=open target=" + config_.primary_instance);
       co_return unavailable("forward to " + config_.primary_instance +
                             ": circuit open");
     }
@@ -542,9 +574,9 @@ sim::Task<Result<PutResponse>> WieraPeer::put_primary_backup(
     forwarded.client = config_.instance_id;
     forwarded.forwarded = true;
     rpc::Message msg = encode(forwarded);
-    auto resp = co_await endpoint_->call(config_.primary_instance,
-                                         method::kForwardPut, std::move(msg),
-                                         ctx_for(request.deadline));
+    auto resp = co_await endpoint_->call(
+        config_.primary_instance, method::kForwardPut, std::move(msg),
+        ctx_for(request.deadline, request.trace));
     if (brk != nullptr) {
       if (resp.ok() || (resp.status().code() != StatusCode::kUnavailable &&
                         resp.status().code() !=
@@ -571,19 +603,29 @@ sim::Task<Result<PutResponse>> WieraPeer::put_local_and_replicate(
     co_return failed_precondition("forwarding-only instance cannot store");
   }
   int64_t version = request.version;
+  // Tier-access hop of the trace: how much of the put was the local write.
+  const TraceContext tier_span =
+      tracer().start_span("tiera.put", config_.instance_id, request.trace);
+  Status tier_status = ok_status();
   if (version == 0) {
     auto put_result = co_await local_->put(
         request.key, request.value,
         {.direct = request.direct, .deadline = request.deadline});
-    if (!put_result.ok()) co_return put_result.status();
-    version = put_result->version;
+    if (!put_result.ok()) {
+      tier_status = put_result.status();
+    } else {
+      version = put_result->version;
+    }
   } else {
     // Table 2 update(): the application names the version explicitly.
-    Status st = co_await local_->update(
+    tier_status = co_await local_->update(
         request.key, version, request.value,
         {.direct = request.direct, .deadline = request.deadline});
-    if (!st.ok()) co_return st;
   }
+  const std::string_view tier_st_name =
+      tier_status.ok() ? "ok" : status_code_name(tier_status.code());
+  tracer().end_span(tier_span, tier_st_name);
+  if (!tier_status.ok()) co_return tier_status;
 
   ReplicateRequest update;
   update.key = request.key;
@@ -606,7 +648,8 @@ sim::Task<Result<PutResponse>> WieraPeer::put_local_and_replicate(
   const uint64_t response_checksum = update.checksum;
 
   if (synchronous) {
-    Status st = co_await replicate_to_all(std::move(update), request.deadline);
+    Status st = co_await replicate_to_all(std::move(update), request.deadline,
+                                          request.trace);
     if (!st.ok()) co_return st;
   } else if (!storage_peer_ids_.empty()) {
     queue_->send(QueuedUpdate{std::move(update)});
@@ -622,7 +665,7 @@ sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
   if (config_.local.verify_checksums && request.checksum != 0 &&
       object_checksum(request.key, request.version, request.client) !=
           request.checksum) {
-    wire_checksum_failures_++;
+    wire_checksum_failures_->inc();
     co_return data_loss("get " + request.key + " on " + config_.instance_id +
                         ": request arrived corrupt (checksum mismatch)");
   }
@@ -654,14 +697,15 @@ sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
   if (!forward_target.empty()) {
     CircuitBreaker* brk = breaker_for(forward_target);
     if (brk != nullptr && !brk->allow(sim_->now())) {
-      breaker_fast_fails_++;
+      breaker_fast_fails_->inc();
+      tracer().annotate(request.trace, "breaker=open target=" + forward_target);
       result = unavailable("forward to " + forward_target +
                            ": circuit open");
     } else {
       rpc::Message msg = encode(request);
-      auto resp = co_await endpoint_->call(forward_target, method::kForwardGet,
-                                           std::move(msg),
-                                           ctx_for(request.deadline));
+      auto resp = co_await endpoint_->call(
+          forward_target, method::kForwardGet, std::move(msg),
+          ctx_for(request.deadline, request.trace));
       if (brk != nullptr) {
         if (resp.ok() || (resp.status().code() != StatusCode::kUnavailable &&
                           resp.status().code() !=
@@ -691,15 +735,17 @@ sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
     // §5.3: the only replica of this (cold) key lives at the centralized
     // cold-storage peer.
     rpc::Message msg = encode(request);
-    auto resp = co_await endpoint_->call(config_.centralized_cold_target,
-                                         method::kColdFetch, std::move(msg),
-                                         ctx_for(request.deadline));
+    auto resp = co_await endpoint_->call(
+        config_.centralized_cold_target, method::kColdFetch, std::move(msg),
+        ctx_for(request.deadline, request.trace));
     if (!resp.ok()) {
       result = resp.status();
     } else {
       result = decode_get_response(*resp);
     }
   } else {
+    const TraceContext tier_span =
+        tracer().start_span("tiera.get", config_.instance_id, request.trace);
     Result<tiera::GetResult> local = not_found("unset");
     if (request.version == 0) {
       local = co_await local_->get(
@@ -710,6 +756,9 @@ sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
           request.key, request.version,
           {.direct = request.direct, .deadline = request.deadline});
     }
+    const std::string_view tier_st_name =
+        local.ok() ? "ok" : status_code_name(local.status().code());
+    tracer().end_span(tier_span, tier_st_name);
     if (local.ok()) {
       GetResponse out;
       out.value = std::move(local->value);
@@ -722,15 +771,16 @@ sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
       // Every local copy failed its checksum and was quarantined: read-
       // repair from a healthy replica and serve the repaired payload
       // (docs/INTEGRITY.md).
+      tracer().annotate(request.trace, "read_repair=true");
       result = co_await repair_get(request);
     } else if (local.status().code() == StatusCode::kNotFound &&
                !config_.is_primary && !config_.primary_instance.empty() &&
                config_.primary_instance != config_.instance_id) {
       // Replica miss: ask the primary.
       rpc::Message msg = encode(request);
-      auto resp = co_await endpoint_->call(config_.primary_instance,
-                                           method::kForwardGet, std::move(msg),
-                                           ctx_for(request.deadline));
+      auto resp = co_await endpoint_->call(
+          config_.primary_instance, method::kForwardGet, std::move(msg),
+          ctx_for(request.deadline, request.trace));
       if (!resp.ok()) {
         result = resp.status();
       } else {
@@ -742,7 +792,7 @@ sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
   }
 
   const Duration get_latency = sim_->now() - start;
-  get_hist_.record(get_latency);
+  get_hist_->record(get_latency);
   if (config_.network_monitor != nullptr) {
     config_.network_monitor->record_request_latency(config_.instance_id,
                                                     get_latency);
@@ -787,7 +837,8 @@ sim::Task<Status> WieraPeer::remove_key(RemoveRequest request) {
                                       std::move(m), ctx);
         if (!resp.ok()) co_return resp.status();
         co_return decode_status(*resp);
-      }(endpoint_.get(), peer_id, encode(fanout), ctx_for(request.deadline)));
+      }(endpoint_.get(), peer_id, encode(fanout),
+        ctx_for(request.deadline, request.trace)));
     }
     std::vector<Status> results =
         co_await sim::when_all(*sim_, std::move(tasks));
@@ -805,7 +856,8 @@ sim::Task<Status> WieraPeer::remove_key(RemoveRequest request) {
 // ---------------------------------------------------------------- replication
 
 sim::Task<Status> WieraPeer::replicate_to_all(ReplicateRequest update,
-                                              TimePoint deadline) {
+                                              TimePoint deadline,
+                                              TraceContext trace) {
   // Membership can widen while the fan-out is in flight (a recovered peer
   // rejoining). Keep sending until the acknowledged set covers the current
   // membership: a put must never report success while excluding a peer that
@@ -821,7 +873,7 @@ sim::Task<Status> WieraPeer::replicate_to_all(ReplicateRequest update,
     std::vector<sim::Task<Status>> tasks;
     tasks.reserve(targets.size());
     for (const std::string& peer_id : targets) {
-      tasks.push_back(send_replicate(peer_id, update, deadline));
+      tasks.push_back(send_replicate(peer_id, update, deadline, trace));
     }
     std::vector<Status> statuses =
         co_await sim::when_all(*sim_, std::move(tasks));
@@ -833,7 +885,23 @@ sim::Task<Status> WieraPeer::replicate_to_all(ReplicateRequest update,
 
 sim::Task<Status> WieraPeer::send_replicate(std::string peer_id,
                                             ReplicateRequest update,
-                                            TimePoint deadline) {
+                                            TimePoint deadline,
+                                            TraceContext trace) {
+  // One replication span per target covering every retry attempt, so a
+  // retried send shows up as one annotated span, not duplicate spans.
+  const TraceContext span = tracer().start_span(
+      "peer.replicate " + peer_id, config_.instance_id, trace);
+  Status st = co_await send_replicate_impl(std::move(peer_id),
+                                           std::move(update), deadline, span);
+  const std::string_view st_name = st.ok() ? "ok" : status_code_name(st.code());
+  tracer().end_span(span, st_name);
+  co_return st;
+}
+
+sim::Task<Status> WieraPeer::send_replicate_impl(std::string peer_id,
+                                                 ReplicateRequest update,
+                                                 TimePoint deadline,
+                                                 TraceContext span) {
   const std::string target = std::move(peer_id);
   Status last = unavailable("replicate: no attempt made");
   for (int attempt = 0; attempt <= config_.replicate_retries; ++attempt) {
@@ -841,8 +909,12 @@ sim::Task<Status> WieraPeer::send_replicate(std::string peer_id,
       // Retries spend the budget: under a sustained brownout the token
       // bucket drains and the send fails with its last error instead of
       // amplifying the overload (docs/OVERLOAD.md).
-      if (!retry_budget_.try_spend(sim_->now())) co_return last;
-      replication_retries_++;
+      if (!retry_budget_.try_spend(sim_->now())) {
+        tracer().annotate(span, "retry_budget=denied");
+        co_return last;
+      }
+      replication_retries_->inc();
+      tracer().annotate(span, "retry=" + std::to_string(attempt));
       co_await sim_->delay(config_.replicate_backoff *
                            static_cast<double>(int64_t{1} << (attempt - 1)));
       if (stopping_) co_return last;
@@ -854,15 +926,17 @@ sim::Task<Status> WieraPeer::send_replicate(std::string peer_id,
     CircuitBreaker* brk = breaker_for(target);
     if (brk != nullptr && !brk->allow(sim_->now())) {
       // Fail fast; the backoff loop above still paces any retry attempts.
-      breaker_fast_fails_++;
+      breaker_fast_fails_->inc();
+      tracer().annotate(span, "breaker=open");
       last = unavailable("replicate to " + target + ": circuit open");
       continue;
     }
     rpc::Message msg = encode(update);
-    replications_sent_++;
+    replications_sent_->inc();
     const TimePoint start = sim_->now();
     auto resp = co_await endpoint_->call(target, method::kReplicate,
-                                         std::move(msg), ctx_for(deadline));
+                                         std::move(msg),
+                                         ctx_for(deadline, span));
     if (config_.network_monitor != nullptr) {
       config_.network_monitor->record_link_latency(config_.instance_id, target,
                                                    sim_->now() - start);
@@ -886,7 +960,7 @@ sim::Task<Status> WieraPeer::send_replicate(std::string peer_id,
     }
     auto decoded = decode_replicate_response(*resp);
     if (!decoded.ok()) co_return decoded.status();
-    if (decoded->accepted) replications_accepted_++;
+    if (decoded->accepted) replications_accepted_->inc();
     co_return ok_status();
   }
   co_return last;
@@ -907,13 +981,21 @@ sim::Task<Status> WieraPeer::flush_queue() {
   // Bound this round to the items queued when it started; requeued
   // failures are retried on the *next* flush tick rather than spinning.
   size_t budget = queue_->size();
+  // Async replication is its own root trace: the originating put returned
+  // long ago, so the flush round cannot ride its span tree. One root per
+  // non-empty round keeps the span volume proportional to actual work.
+  TraceContext flush_trace;
+  if (budget > 0) {
+    flush_trace = tracer().start_trace("peer.flush", config_.instance_id);
+  }
   Status first_error;
   while (budget-- > 0 && !queue_->empty()) {
     std::optional<QueuedUpdate> item = queue_->try_recv();
     if (!item.has_value()) break;
     const TimePoint start = sim_->now();
     QueuedUpdate retry_copy = *item;  // kept in case the fan-out fails
-    Status st = co_await replicate_to_all(std::move(item->update));
+    Status st = co_await replicate_to_all(std::move(item->update),
+                                          TimePoint::max(), flush_trace);
     // In eventual mode, background replication latency is the monitoring
     // signal for switching back to strong consistency (Fig. 7 points 1, 2).
     if (config_.mode == ConsistencyMode::kEventual) {
@@ -927,6 +1009,9 @@ sim::Task<Status> WieraPeer::flush_queue() {
       if (first_error.ok()) first_error = st;
     }
   }
+  const std::string_view flush_st =
+      first_error.ok() ? "ok" : status_code_name(first_error.code());
+  tracer().end_span(flush_trace, flush_st);
   co_return first_error;
 }
 
@@ -1023,6 +1108,7 @@ void WieraPeer::on_crash() {
   // stale, it may be gone or torn, so the degradation path stays closed
   // until catch-up completes.
   data_suspect_ = true;
+  journal().event("peer", "crash").str("instance", config_.instance_id);
   WLOG_INFO(kComponent) << id() << " crashed: volatile state lost";
 }
 
@@ -1049,7 +1135,7 @@ sim::Task<Status> WieraPeer::catch_up(std::vector<std::string> sources) {
       if (config_.local.verify_checksums && entry.checksum != 0 &&
           object_checksum(entry.key, entry.version, entry.value) !=
               entry.checksum) {
-        wire_checksum_failures_++;
+        wire_checksum_failures_->inc();
         WLOG_WARN(kComponent) << id() << " catch-up entry " << entry.key
                               << " arrived corrupt; skipped";
         continue;
@@ -1084,7 +1170,11 @@ sim::Task<Status> WieraPeer::catch_up(std::vector<std::string> sources) {
       entry.checksum = object_checksum(entry.key, entry.version, entry.value);
       queue_->send(QueuedUpdate{std::move(entry)});
     }
-    catch_ups_completed_++;
+    catch_ups_completed_->inc();
+    journal()
+        .event("peer", "catch_up")
+        .str("instance", config_.instance_id)
+        .str("source", source);
     WLOG_INFO(kComponent) << id() << " caught up from " << source;
     co_return ok_status();
   }
@@ -1114,6 +1204,17 @@ CircuitBreaker* WieraPeer::breaker_for(const std::string& target) {
           sim_->checker().fold_trace(
               fnv1a(config_.instance_id + "|" + target + "|" +
                     CircuitBreaker::state_name(to)));
+          metrics_
+              ->counter("wiera_breaker_transitions_total",
+                        {{"instance", config_.instance_id},
+                         {"target", target},
+                         {"state", CircuitBreaker::state_name(to)}})
+              ->inc();
+          journal()
+              .event("peer", "breaker_transition")
+              .str("instance", config_.instance_id)
+              .str("target", target)
+              .str("state", CircuitBreaker::state_name(to));
         });
   }
   return &it->second;
@@ -1124,9 +1225,11 @@ const CircuitBreaker* WieraPeer::breaker(const std::string& target) const {
   return it == breakers_.end() ? nullptr : &it->second;
 }
 
-Context WieraPeer::ctx_for(TimePoint deadline) {
-  if (deadline == TimePoint::max()) return Context{};
-  return Context::with_deadline(deadline);
+Context WieraPeer::ctx_for(TimePoint deadline, TraceContext trace) {
+  Context ctx;
+  if (deadline != TimePoint::max()) ctx = Context::with_deadline(deadline);
+  ctx.trace = trace;
+  return ctx;
 }
 
 bool WieraPeer::stale_read_allowed() const {
@@ -1152,7 +1255,13 @@ sim::Task<Result<GetResponse>> WieraPeer::stale_local_get(
   out.served_by = config_.instance_id;
   out.checksum = object_checksum(request.key, out.version, out.value);
   out.stale = true;
-  stale_serves_++;
+  stale_serves_->inc();
+  tracer().annotate(request.trace, "stale=true");
+  journal()
+      .event("peer", "stale_serve")
+      .str("instance", config_.instance_id)
+      .str("key", request.key)
+      .trace(request.trace);
   WLOG_INFO(kComponent) << id() << " served " << request.key
                         << " stale (degradation)";
   co_return out;
@@ -1162,10 +1271,12 @@ sim::Task<Result<GetResponse>> WieraPeer::stale_local_get(
 
 sim::Task<Status> WieraPeer::fetch_and_merge(std::string source,
                                              std::string key, int64_t version,
-                                             bool from_scrub) {
+                                             bool from_scrub,
+                                             TraceContext trace) {
   RepairFetchRequest fetch{key, version};
   auto resp = co_await endpoint_->call(source, method::kRepairFetch,
-                                       encode(fetch));
+                                       encode(fetch),
+                                       ctx_for(TimePoint::max(), trace));
   if (!resp.ok()) co_return resp.status();
   auto entry = decode_replicate_request(*resp);
   if (!entry.ok()) co_return entry.status();
@@ -1175,7 +1286,7 @@ sim::Task<Status> WieraPeer::fetch_and_merge(std::string source,
   if (entry->checksum == 0 ||
       object_checksum(entry->key, entry->version, entry->value) !=
           entry->checksum) {
-    wire_checksum_failures_++;
+    wire_checksum_failures_->inc();
     co_return data_loss("repair fetch of " + key + " from " + source +
                         " arrived corrupt");
   }
@@ -1189,15 +1300,23 @@ sim::Task<Status> WieraPeer::fetch_and_merge(std::string source,
   if (!accepted.ok()) co_return accepted.status();
   if (*accepted) {
     if (from_scrub) {
-      scrub_repairs_++;
+      scrub_repairs_->inc();
     } else {
-      repairs_++;
+      repairs_->inc();
     }
     // Fold every applied repair into the determinism trace: a replayed
     // corruption run must heal the same objects in the same order.
     sim_->checker().fold_trace(
         fnv1a(config_.instance_id + "|repair|" + entry->key + "#" +
               std::to_string(entry->version)));
+    journal()
+        .event("peer", "repair")
+        .str("instance", config_.instance_id)
+        .str("key", entry->key)
+        .num("version", entry->version)
+        .str("source", source)
+        .boolean("scrub", from_scrub)
+        .trace(trace);
     WLOG_INFO(kComponent) << id()
                           << (from_scrub ? " scrub-repaired " : " read-repaired ")
                           << entry->key << "#" << entry->version << " from "
@@ -1211,7 +1330,7 @@ sim::Task<Result<GetResponse>> WieraPeer::repair_get(GetRequest request) {
                             ": no replica reachable");
   for (const std::string& peer_id : storage_peer_ids_) {
     Status st = co_await fetch_and_merge(peer_id, request.key, request.version,
-                                         /*from_scrub=*/false);
+                                         /*from_scrub=*/false, request.trace);
     if (!st.ok()) {
       last = st;
       continue;
@@ -1255,7 +1374,10 @@ sim::Task<void> WieraPeer::scrub_loop() {
 
 sim::Task<void> WieraPeer::run_scrub() {
   if (config_.forwarding_only || local_->tier_count() == 0) co_return;
-  scrub_rounds_++;
+  scrub_rounds_->inc();
+  // A scrub round is its own root trace: repairs it triggers chain under it.
+  const TraceContext scrub_trace =
+      tracer().start_trace("peer.scrub", config_.instance_id);
 
   // Pass 1 — local verification: every committed version is re-read against
   // its recorded checksum; corrupt copies are quarantined. Keys whose last
@@ -1264,7 +1386,7 @@ sim::Task<void> WieraPeer::run_scrub() {
   for (const std::string& key : lost) {
     for (const std::string& peer_id : storage_peer_ids_) {
       Status st = co_await fetch_and_merge(peer_id, key, /*version=*/0,
-                                           /*from_scrub=*/true);
+                                           /*from_scrub=*/true, scrub_trace);
       if (st.ok()) break;
     }
   }
@@ -1278,7 +1400,9 @@ sim::Task<void> WieraPeer::run_scrub() {
   for (const std::string& peer_id : storage_peer_ids_) {
     ScrubDigestRequest req{config_.instance_id};
     auto resp = co_await endpoint_->call(peer_id, method::kScrubDigest,
-                                         encode(req));
+                                         encode(req),
+                                         ctx_for(TimePoint::max(),
+                                                 scrub_trace));
     if (!resp.ok()) continue;  // unreachable peer: next scrub round retries
     auto digests = decode_scrub_digest_response(*resp);
     if (!digests.ok()) continue;
@@ -1291,7 +1415,7 @@ sim::Task<void> WieraPeer::run_scrub() {
         continue;  // digest-identical: healthy
       }
       Status st = co_await fetch_and_merge(peer_id, d.key, d.version,
-                                           /*from_scrub=*/true);
+                                           /*from_scrub=*/true, scrub_trace);
       if (!st.ok()) {
         WLOG_WARN(kComponent) << id() << " scrub repair of " << d.key
                               << " from " << peer_id
@@ -1299,6 +1423,7 @@ sim::Task<void> WieraPeer::run_scrub() {
       }
     }
   }
+  tracer().end_span(scrub_trace);
 }
 
 // ---------------------------------------------------------------- monitors
@@ -1346,9 +1471,12 @@ void WieraPeer::observe_put_latency(Duration latency) {
 
 void WieraPeer::record_put_source(const std::string& origin, bool forwarded) {
   if (forwarded) {
-    forwarded_puts_[origin]++;
+    metrics_
+        ->counter("wiera_forwarded_puts_total",
+                  {{"instance", config_.instance_id}, {"origin", origin}})
+        ->inc();
   } else {
-    direct_puts_++;
+    direct_puts_->inc();
   }
   put_history_.push_back(PutEvent{sim_->now(), origin, forwarded});
 }

@@ -28,6 +28,7 @@
 
 #include "common/breaker.h"
 #include "common/context.h"
+#include "obs/metrics.h"
 #include "coord/lock_service.h"
 #include "sim/sync.h"
 #include "tiera/instance.h"
@@ -183,35 +184,43 @@ class WieraPeer : public tiera::InstanceHooks {
   sim::Task<Status> catch_up(std::vector<std::string> sources);
   // Clear recovering state and refresh the serve lease.
   void finish_recovery();
-  int64_t catch_ups_completed() const { return catch_ups_completed_; }
-  int64_t replication_retries() const { return replication_retries_; }
+  // All remaining counter accessors are thin views over the sim-wide
+  // metrics registry (wiera_*_total{instance=<id>}; docs/OBSERVABILITY.md).
+  int64_t catch_ups_completed() const { return catch_ups_completed_->value(); }
+  int64_t replication_retries() const {
+    return replication_retries_->value();
+  }
 
   // ---- data-integrity state (read by tests/benches) ----
   // Wire-level checksum rejections (put / replicate / repair payloads that
   // arrived corrupt). Tier-level failures live on the TieraInstance.
-  int64_t wire_checksum_failures() const { return wire_checksum_failures_; }
+  int64_t wire_checksum_failures() const {
+    return wire_checksum_failures_->value();
+  }
   // Read-repairs served inline after a local kDataLoss.
-  int64_t repairs() const { return repairs_; }
+  int64_t repairs() const { return repairs_->value(); }
   // Repairs applied by the periodic scrubber (local re-verify + digest
   // exchange), and completed scrub rounds.
-  int64_t scrub_repairs() const { return scrub_repairs_; }
-  int64_t scrub_rounds() const { return scrub_rounds_; }
+  int64_t scrub_repairs() const { return scrub_repairs_->value(); }
+  int64_t scrub_rounds() const { return scrub_rounds_->value(); }
 
   // ---- overload-robustness state (read by tests/benches) ----
-  int64_t stale_serves() const { return stale_serves_; }
-  int64_t breaker_fast_fails() const { return breaker_fast_fails_; }
+  int64_t stale_serves() const { return stale_serves_->value(); }
+  int64_t breaker_fast_fails() const { return breaker_fast_fails_->value(); }
   int64_t retry_budget_denials() const { return retry_budget_.denied(); }
   // nullptr when breakers are disabled or no traffic went to `target` yet.
   const CircuitBreaker* breaker(const std::string& target) const;
 
   // ---- monitor state (read by tests/benches) ----
-  const LatencyHistogram& put_latency() const { return put_hist_; }
-  const LatencyHistogram& get_latency() const { return get_hist_; }
-  int64_t direct_puts() const { return direct_puts_; }
+  const LatencyHistogram& put_latency() const { return put_hist_->latency(); }
+  const LatencyHistogram& get_latency() const { return get_hist_->latency(); }
+  int64_t direct_puts() const { return direct_puts_->value(); }
   int64_t forwarded_puts_from(const std::string& origin) const;
   int64_t queue_depth() const { return static_cast<int64_t>(queue_->size()); }
-  int64_t replications_sent() const { return replications_sent_; }
-  int64_t replications_accepted() const { return replications_accepted_; }
+  int64_t replications_sent() const { return replications_sent_->value(); }
+  int64_t replications_accepted() const {
+    return replications_accepted_->value();
+  }
 
   // InstanceHooks (§5.3 centralized cold data).
   sim::Task<bool> on_cold_object(const std::string& key) override;
@@ -230,15 +239,24 @@ class WieraPeer : public tiera::InstanceHooks {
                                                          bool synchronous);
 
   sim::Task<Status> replicate_to_all(ReplicateRequest update,
-                                     TimePoint deadline = TimePoint::max());
+                                     TimePoint deadline = TimePoint::max(),
+                                     TraceContext trace = {});
   sim::Task<Status> send_replicate(std::string peer_id, ReplicateRequest update,
-                                   TimePoint deadline);
+                                   TimePoint deadline, TraceContext trace);
+  // send_replicate minus the span bracket (one span covers all retries).
+  sim::Task<Status> send_replicate_impl(std::string peer_id,
+                                        ReplicateRequest update,
+                                        TimePoint deadline, TraceContext span);
+
+  // Telemetry shorthands (sim-wide tracer / event journal).
+  obs::Tracer& tracer() { return sim_->telemetry().tracer(); }
+  obs::Journal& journal() { return sim_->telemetry().journal(); }
 
   // Overload robustness helpers.
   // Breaker for a send target; nullptr when breakers are disabled.
   CircuitBreaker* breaker_for(const std::string& target);
-  // Context carrying `deadline` (default Context when there is none).
-  static Context ctx_for(TimePoint deadline);
+  // Context carrying `deadline` plus the current trace identity.
+  static Context ctx_for(TimePoint deadline, TraceContext trace = {});
   // Whether a stale local read may substitute for an unreachable
   // primary/forward-target right now (degradation policy present, local
   // data not wiped by a crash, authority contact within the bound).
@@ -256,7 +274,8 @@ class WieraPeer : public tiera::InstanceHooks {
   // Fetch (key, version; 0 = latest) from `source`, verify the payload
   // checksum, and LWW-merge it locally. ok = merged or already newer.
   sim::Task<Status> fetch_and_merge(std::string source, std::string key,
-                                    int64_t version, bool from_scrub);
+                                    int64_t version, bool from_scrub,
+                                    TraceContext trace = {});
   sim::Task<void> scrub_loop();
   sim::Task<void> run_scrub();
 
@@ -293,8 +312,12 @@ class WieraPeer : public tiera::InstanceHooks {
   // Crash/recovery state.
   bool recovering_ = false;
   TimePoint last_contact_;  // last successful lease-authority round trip
-  int64_t catch_ups_completed_ = 0;
-  int64_t replication_retries_ = 0;
+
+  // Registry-backed counters/histograms (set once in the constructor; the
+  // instruments live in the sim's obs::Registry and outlive this peer).
+  obs::Registry* metrics_ = nullptr;
+  obs::Counter* catch_ups_completed_ = nullptr;
+  obs::Counter* replication_retries_ = nullptr;
 
   // Overload-robustness state (docs/OVERLOAD.md).
   std::map<std::string, CircuitBreaker> breakers_;  // per send target
@@ -304,14 +327,15 @@ class WieraPeer : public tiera::InstanceHooks {
   // Set on crash, cleared when recovery finishes: a crashed peer lost its
   // volatile tiers, so its local copy must not be served as merely stale.
   bool data_suspect_ = false;
-  int64_t stale_serves_ = 0;
-  int64_t breaker_fast_fails_ = 0;
+  obs::Counter* stale_serves_ = nullptr;
+  obs::Counter* breaker_fast_fails_ = nullptr;
+  obs::Counter* breaker_transitions_ = nullptr;
 
   // Data-integrity state (docs/INTEGRITY.md).
-  int64_t wire_checksum_failures_ = 0;
-  int64_t repairs_ = 0;
-  int64_t scrub_repairs_ = 0;
-  int64_t scrub_rounds_ = 0;
+  obs::Counter* wire_checksum_failures_ = nullptr;
+  obs::Counter* repairs_ = nullptr;
+  obs::Counter* scrub_repairs_ = nullptr;
+  obs::Counter* scrub_rounds_ = nullptr;
 
   // Block-and-queue state for consistency changes.
   bool blocking_ = false;
@@ -338,12 +362,11 @@ class WieraPeer : public tiera::InstanceHooks {
   // §5.3 cold index: keys shipped to the centralized cold peer.
   std::set<std::string> cold_remote_keys_;
 
-  LatencyHistogram put_hist_;
-  LatencyHistogram get_hist_;
-  int64_t direct_puts_ = 0;
-  std::map<std::string, int64_t> forwarded_puts_;
-  int64_t replications_sent_ = 0;
-  int64_t replications_accepted_ = 0;
+  obs::Histogram* put_hist_ = nullptr;
+  obs::Histogram* get_hist_ = nullptr;
+  obs::Counter* direct_puts_ = nullptr;
+  obs::Counter* replications_sent_ = nullptr;
+  obs::Counter* replications_accepted_ = nullptr;
 };
 
 }  // namespace wiera::geo

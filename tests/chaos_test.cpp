@@ -14,12 +14,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/units.h"
+#include "obs/telemetry.h"
 #include "policy/builtin_policies.h"
 #include "policy/parser.h"
 #include "sim/faults.h"
@@ -225,6 +228,35 @@ std::function<void(WieraPeer::Config&)> self_heal_tweak() {
   return [](WieraPeer::Config& config) { config.scrub_interval = sec(3); };
 }
 
+std::string hex_trace(uint64_t hash) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+// WIERA_DUMP_TELEMETRY=1 (scripts/chaos_sweep.sh sets it when replaying a
+// failing seed; `chaos_test --dump-telemetry` does the same) makes every
+// run print its metrics snapshot and the span trees worth reading — the
+// representative put plus every violation's trace — so a failing seed's
+// replay is self-describing.
+bool dump_telemetry_enabled() {
+  const char* env = std::getenv("WIERA_DUMP_TELEMETRY");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void dump_telemetry(sim::Simulation& sim, std::set<uint64_t> traces) {
+  std::printf("TELEMETRY-SNAPSHOT\n%s",
+              sim.telemetry().registry().render_text().c_str());
+  traces.erase(0);
+  for (uint64_t id : traces) {
+    obs::TraceView view(sim.telemetry().tracer(), id);
+    if (view.empty()) continue;
+    std::printf("TELEMETRY-TRACE trace=%s\n%s", hex_trace(id).c_str(),
+                view.render().c_str());
+  }
+}
+
 struct RunResult {
   std::vector<sim::OracleViolation> violations;
   // Mode-independent finals check: post-scrub replicas must agree on every
@@ -259,12 +291,14 @@ sim::Task<void> client_workload(sim::Simulation& sim,
         "c" + std::to_string(index) + "r" + std::to_string(round);
     int64_t put_op = oracle.begin_put(client.id(), key, value, sim.now());
     auto put = co_await client.put(key, Blob(value));
+    oracle.set_op_trace(put_op, client.last_trace_id());
     oracle.end_put(put_op, sim.now(), put.ok(), put.ok() ? put->version : 0);
 
     co_await sim.delay(msec(400) + msec(90) * static_cast<double>(index));
 
     int64_t get_op = oracle.begin_get(client.id(), key, sim.now());
     auto got = co_await client.get(key);
+    oracle.set_op_trace(get_op, client.last_trace_id());
     if (got.ok()) {
       oracle.end_get(get_op, sim.now(), true, got->value.to_string(),
                      got->version, got->served_by);
@@ -305,8 +339,10 @@ sim::Task<void> harvest_finals(WieraController& controller,
 }
 
 RunResult run_chaos(ConsistencyMode mode, FaultClass fault, uint64_t seed,
-                    std::function<void(WieraPeer::Config&)> peer_tweak = {}) {
+                    std::function<void(WieraPeer::Config&)> peer_tweak = {},
+                    bool telemetry_on = true) {
   ChaosCluster cluster(seed);
+  if (!telemetry_on) cluster.sim.telemetry().set_enabled(false);
   auto peers = cluster.controller.start_instances(
       "w1", cluster.options_for(mode, std::move(peer_tweak)));
   EXPECT_TRUE(peers.ok()) << peers.status().to_string();
@@ -345,15 +381,25 @@ RunResult run_chaos(ConsistencyMode mode, FaultClass fault, uint64_t seed,
   result.ops = oracle.op_count();
   result.completed_ok = oracle.completed_ok_count();
   result.events_applied = injector.events_applied();
+  // Integrity counters come straight from the metrics registry: every peer,
+  // tier and client instrument lives there now, so a family sum is the
+  // cluster-wide total (the per-object accessors are thin views over the
+  // same series). Wire detections fold in the client-side family too — the
+  // response leg is the last hop a corruption can hide on.
+  const obs::Registry& reg = cluster.sim.telemetry().registry();
+  result.tier_checksum_failures =
+      reg.counter_sum("tiera_checksum_failures_total");
+  result.quarantined = reg.counter_sum("tiera_quarantined_copies_total");
+  result.wire_checksum_failures =
+      reg.counter_sum("wiera_wire_checksum_failures_total") +
+      reg.counter_sum("wiera_client_checksum_failures_total");
+  result.repairs = reg.counter_sum("wiera_repairs_total");
+  result.scrub_repairs = reg.counter_sum("wiera_scrub_repairs_total");
+  result.scrub_rounds = reg.counter_sum("wiera_scrub_rounds_total");
+  // Torn-write accounting stays at the storage-tier layer (not registered).
   for (const char* node : kStorageNodes) {
     WieraPeer* p = cluster.controller.peer(node);
     if (p == nullptr) continue;
-    result.tier_checksum_failures += p->local().checksum_failures();
-    result.quarantined += p->local().quarantined_copies();
-    result.wire_checksum_failures += p->wire_checksum_failures();
-    result.repairs += p->repairs();
-    result.scrub_repairs += p->scrub_repairs();
-    result.scrub_rounds += p->scrub_rounds();
     for (const std::string& label : p->local().tier_labels()) {
       const store::StorageTier* tier = p->local().tier_by_label(label);
       if (tier == nullptr) continue;
@@ -361,12 +407,14 @@ RunResult run_chaos(ConsistencyMode mode, FaultClass fault, uint64_t seed,
       result.torn_discards += tier->stats().torn_discards;
     }
   }
-  // Client-side detections: responses whose checksum failed over the
-  // delivered bytes (the last hop a corruption can hide on).
-  for (const auto& client : clients) {
-    result.wire_checksum_failures += client->checksum_failures();
-  }
   result.corrupted_msgs = cluster.network.chaos_stats().corrupted;
+  if (dump_telemetry_enabled()) {
+    std::set<uint64_t> traces{oracle.sample_put_trace()};
+    for (const auto& v : result.violations) traces.insert(v.trace_id);
+    for (const auto& v : result.convergence_violations)
+      traces.insert(v.trace_id);
+    dump_telemetry(cluster.sim, std::move(traces));
+  }
   return result;
 }
 
@@ -375,13 +423,6 @@ int seed_count() {
   if (env == nullptr) return 20;
   int n = std::atoi(env);
   return n > 0 ? n : 20;
-}
-
-std::string hex_trace(uint64_t hash) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "0x%016llx",
-                static_cast<unsigned long long>(hash));
-  return buf;
 }
 
 // CI greps these counters out of a failing corruption sweep: how much
@@ -446,6 +487,10 @@ struct BrownoutResult {
   int64_t hedged = 0;
   int64_t hedged_wins = 0;
   int64_t budget_denied = 0;
+  // Full registry snapshots taken at quiescence, in both expositions —
+  // what a failing seed's dump prints and what CI asserts coverage on.
+  std::string metrics_text;
+  std::string metrics_json;
 };
 
 void note_outcome(BrownoutCounts& counts, Duration elapsed, StatusCode code,
@@ -496,6 +541,7 @@ sim::Task<void> brownout_workload(sim::Simulation& sim,
     TimePoint start = sim.now();
     int64_t put_op = oracle.begin_put(client.id(), key, value, sim.now());
     auto put = co_await client.put(key, Blob(value));
+    oracle.set_op_trace(put_op, client.last_trace_id());
     oracle.end_put(put_op, sim.now(), put.ok(), put.ok() ? put->version : 0);
     note_outcome(counts, sim.now() - start,
                  put.ok() ? StatusCode::kOk : put.status().code(),
@@ -507,6 +553,7 @@ sim::Task<void> brownout_workload(sim::Simulation& sim,
     start = sim.now();
     int64_t get_op = oracle.begin_get(client.id(), key, sim.now());
     auto got = co_await client.get(key);
+    oracle.set_op_trace(get_op, client.last_trace_id());
     if (got.ok() && !got->stale) {
       oracle.end_get(get_op, sim.now(), true, got->value.to_string(),
                      got->version, got->served_by);
@@ -523,8 +570,9 @@ sim::Task<void> brownout_workload(sim::Simulation& sim,
   }
 }
 
-BrownoutResult run_brownout(uint64_t seed) {
+BrownoutResult run_brownout(uint64_t seed, bool telemetry_on = true) {
   ChaosCluster cluster(seed);
+  if (!telemetry_on) cluster.sim.telemetry().set_enabled(false);
   auto degradation = policy::parse_policy(policy::builtin::bounded_staleness());
   EXPECT_TRUE(degradation.ok()) << degradation.status().to_string();
   auto peers = cluster.controller.start_instances(
@@ -611,19 +659,32 @@ BrownoutResult run_brownout(uint64_t seed) {
   result.violations = oracle.check(sim::CheckMode::kPrimaryOrder);
   result.trace_hash = cluster.sim.checker().trace_hash();
   result.counts = counts;
+  // Overload counters via registry reads. Family sums work where only one
+  // side of the protocol can increment the series (clients never shed or
+  // hedge-serve); rpc expirations are summed per storage node by label
+  // because the client endpoints count their own deadline cut-offs in the
+  // same family.
+  const obs::Registry& reg = cluster.sim.telemetry().registry();
+  result.shed = reg.counter_sum("rpc_calls_shed_total");
+  result.stale_serves = reg.counter_sum("wiera_stale_serves_total");
+  result.fast_fails = reg.counter_sum("wiera_breaker_fast_fails_total");
+  result.hedged = reg.counter_sum("wiera_client_hedged_gets_total");
+  result.hedged_wins = reg.counter_sum("wiera_client_hedged_wins_total");
   for (const char* node : kStorageNodes) {
+    result.rpc_expired +=
+        reg.counter_value("rpc_calls_expired_total", {{"node", node}});
     WieraPeer* p = cluster.controller.peer(node);
-    if (p == nullptr) continue;
-    result.shed += p->endpoint().calls_shed();
-    result.rpc_expired += p->endpoint().calls_expired();
-    result.stale_serves += p->stale_serves();
-    result.fast_fails += p->breaker_fast_fails();
-    result.budget_denied += p->retry_budget_denials();
+    if (p != nullptr) result.budget_denied += p->retry_budget_denials();
   }
   for (const auto& client : clients) {
-    result.hedged += client->hedged_gets();
-    result.hedged_wins += client->hedged_wins();
     result.budget_denied += client->retry_budget_denials();
+  }
+  result.metrics_text = reg.render_text();
+  result.metrics_json = reg.render_json();
+  if (dump_telemetry_enabled()) {
+    std::set<uint64_t> traces{oracle.sample_put_trace()};
+    for (const auto& v : result.violations) traces.insert(v.trace_id);
+    dump_telemetry(cluster.sim, std::move(traces));
   }
   return result;
 }
@@ -695,6 +756,294 @@ TEST(ChaosBrownoutTest, TraceHashReplayDeterministicWithOverloadActive) {
   EXPECT_EQ(a.hedged, b.hedged);
   BrownoutResult c = run_brownout(/*seed=*/8);
   EXPECT_NE(a.trace_hash, c.trace_hash);
+}
+
+// Telemetry must be schedule-invisible (docs/DETERMINISM.md): disabling it
+// (no span retention, no journal IO) leaves the determinism hash and every
+// outcome byte-identical. Metrics always record — they are pure memory —
+// so even the rendered snapshot matches.
+TEST(ChaosBrownoutTest, TelemetryOffLeavesScheduleAndHashIdentical) {
+  BrownoutResult on = run_brownout(/*seed=*/7);
+  BrownoutResult off = run_brownout(/*seed=*/7, /*telemetry_on=*/false);
+  EXPECT_EQ(on.trace_hash, off.trace_hash);
+  EXPECT_EQ(on.counts.ok, off.counts.ok);
+  EXPECT_EQ(on.counts.stale, off.counts.stale);
+  EXPECT_EQ(on.counts.expired, off.counts.expired);
+  EXPECT_EQ(on.shed, off.shed);
+  EXPECT_EQ(on.rpc_expired, off.rpc_expired);
+  EXPECT_EQ(on.fast_fails, off.fast_fails);
+  EXPECT_EQ(on.hedged, off.hedged);
+  EXPECT_EQ(on.metrics_text, off.metrics_text);
+}
+
+// Acceptance snapshot: a brownout seed's registry covers the whole
+// overload/degradation surface in both expositions. Families created
+// unconditionally (endpoint/peer/client/tier constructors) must always be
+// present; the breaker-transition family only materialises once a breaker
+// actually trips.
+TEST(ChaosBrownoutTest, RegistrySnapshotCoversOverloadCounters) {
+  BrownoutResult r = run_brownout(/*seed=*/3);
+  ASSERT_FALSE(r.metrics_text.empty());
+  for (const char* name :
+       {"rpc_calls_handled_total", "rpc_calls_shed_total",
+        "rpc_calls_expired_total", "wiera_breaker_fast_fails_total",
+        "wiera_stale_serves_total", "wiera_replication_retries_total",
+        "wiera_client_hedged_gets_total", "wiera_client_failovers_total",
+        "wiera_client_put_latency_us", "tiera_put_latency_us",
+        "tiera_checksum_failures_total"}) {
+    EXPECT_NE(r.metrics_text.find(name), std::string::npos)
+        << "text snapshot missing " << name;
+    EXPECT_NE(r.metrics_json.find(name), std::string::npos)
+        << "json snapshot missing " << name;
+  }
+  if (r.fast_fails > 0) {
+    EXPECT_NE(r.metrics_text.find("wiera_breaker_transitions_total"),
+              std::string::npos)
+        << "breaker fast-failed but no transition series was recorded";
+  }
+}
+
+// --------------------------------------------------------------- span trees
+//
+// Whole-tree assertions on the Dapper-style traces (docs/OBSERVABILITY.md):
+// a client op must reassemble into a single rooted tree with no orphan or
+// duplicate spans — across hedging, replication retries and deadline
+// expiry — and every span must be closed once the op resolves.
+
+TEST(TelemetryTraceTest, CrossRegionPutProducesWellFormedSpanTree) {
+  ChaosCluster cluster(/*seed=*/11);
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kPrimaryBackupSync, {}));
+  ASSERT_TRUE(peers.ok()) << peers.status().to_string();
+  cluster.controller.start();
+
+  WieraClient eu(cluster.sim, cluster.network, cluster.registry, "app-eu",
+                 "client-eu-west", *peers);
+  auto one_put = [](sim::Simulation& sim, WieraClient& c) -> sim::Task<void> {
+    co_await sim.delay(sec(1));
+    auto put = co_await c.put("k0", Blob("v"));
+    EXPECT_TRUE(put.ok()) << put.status().to_string();
+  };
+  cluster.sim.spawn(one_put(cluster.sim, eu));
+  cluster.sim.run_until(TimePoint(sec(8).us()));
+
+  const obs::Tracer& tracer = cluster.sim.telemetry().tracer();
+  const uint64_t trace_id = eu.last_trace_id();
+  ASSERT_NE(trace_id, 0u);
+  obs::TraceView view(tracer, trace_id);
+  ASSERT_FALSE(view.empty());
+  EXPECT_TRUE(view.well_formed()) << view.render();
+  ASSERT_NE(view.root(), nullptr);
+  EXPECT_EQ(view.root()->name, "client.put");
+  EXPECT_EQ(view.root()->host, "app-eu");
+  EXPECT_EQ(view.root()->status, "ok");
+
+  // Per-hop latency breakdown: every span closed, none starting before the
+  // root, and the hop inventory of a forwarded + sync-replicated put —
+  // client rpc into the nearest peer, a server span per handled rpc, one
+  // tier write at the primary, and replication fan-out to the backups.
+  int rpc_calls = 0, rpc_servers = 0, tier_puts = 0, replications = 0;
+  for (const obs::Span* span : view.spans()) {
+    EXPECT_FALSE(span->open()) << span->name << " never closed";
+    EXPECT_GE(span->start.us(), view.root()->start.us()) << span->name;
+    if (span->name.rfind("rpc.call ", 0) == 0) rpc_calls++;
+    if (span->name.rfind("rpc.server ", 0) == 0) rpc_servers++;
+    if (span->name == "tiera.put") tier_puts++;
+    if (span->name.rfind("peer.replicate ", 0) == 0) replications++;
+  }
+  EXPECT_GE(rpc_calls, 2) << view.render();
+  EXPECT_GE(rpc_servers, 2) << view.render();
+  EXPECT_EQ(tier_puts, 1) << view.render();
+  EXPECT_GE(replications, 1) << view.render();
+  EXPECT_EQ(tracer.open_count(), 0);
+}
+
+TEST(TelemetryTraceTest, HedgedGetTraceShowsBothAttempts) {
+  ChaosCluster cluster(/*seed=*/13);
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kPrimaryBackupSync, {}));
+  ASSERT_TRUE(peers.ok()) << peers.status().to_string();
+  cluster.controller.start();
+
+  // Slow the client's nearest peer so the hedge timer — armed from the
+  // warm-up get's latency sample — fires and the backup attempt wins.
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  plan.latency_spike("tiera-eu-west", sec(5), TimePoint::origin() + sec(2),
+                     TimePoint::origin() + sec(20));
+  injector.arm(std::move(plan));
+
+  WieraClient::Config config;
+  config.hedge_gets = true;
+  config.hedge_min_samples = 1;
+  config.hedge_min_delay = msec(10);
+  WieraClient eu(cluster.sim, cluster.network, cluster.registry, "app-eu",
+                 "client-eu-west", *peers, config);
+
+  uint64_t get_trace = 0;
+  auto workload = [&get_trace](sim::Simulation& sim,
+                               WieraClient& c) -> sim::Task<void> {
+    co_await sim.delay(sec(1));
+    auto put = co_await c.put("k0", Blob("v"));
+    EXPECT_TRUE(put.ok()) << put.status().to_string();
+    auto warm = co_await c.get("k0");  // latency sample for the hedge timer
+    EXPECT_TRUE(warm.ok()) << warm.status().to_string();
+    co_await sim.delay(sec(2));  // t=3s: the spike is active
+    auto got = co_await c.get("k0");
+    EXPECT_TRUE(got.ok()) << got.status().to_string();
+    get_trace = c.last_trace_id();
+  };
+  cluster.sim.spawn(workload(cluster.sim, eu));
+  cluster.sim.run_until(TimePoint(sec(40).us()));
+
+  ASSERT_GT(eu.hedged_gets(), 0);
+  ASSERT_NE(get_trace, 0u);
+  obs::TraceView view(cluster.sim.telemetry().tracer(), get_trace);
+  EXPECT_TRUE(view.well_formed()) << view.render();
+  ASSERT_NE(view.root(), nullptr);
+  // Both racing attempts hang off the same root — the spiked primary path
+  // and the hedge — and the root records that the hedge fired and won.
+  int attempts = 0;
+  bool hedged = false, hedge_won = false;
+  for (const obs::Span* span : view.spans()) {
+    if (span->name == "rpc.call peer.client_get") attempts++;
+  }
+  for (const std::string& a : view.root()->annotations) {
+    if (a == "hedged=true") hedged = true;
+    if (a == "hedge_won=true") hedge_won = true;
+  }
+  EXPECT_GE(attempts, 2) << view.render();
+  EXPECT_TRUE(hedged) << view.render();
+  EXPECT_TRUE(hedge_won) << view.render();
+  EXPECT_EQ(cluster.sim.telemetry().tracer().open_count(), 0);
+}
+
+TEST(TelemetryTraceTest, DeadlineExpiryStillClosesEverySpan) {
+  ChaosCluster cluster(/*seed=*/17);
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kPrimaryBackupSync, {}));
+  ASSERT_TRUE(peers.ok()) << peers.status().to_string();
+  cluster.controller.start();
+
+  std::string primary = kStorageNodes[0];
+  for (const char* node : kStorageNodes) {
+    WieraPeer* p = cluster.controller.peer(node);
+    if (p != nullptr && p->is_primary()) primary = node;
+  }
+
+  // Every message touching the primary takes 5s against a 500ms op
+  // deadline: the put must resolve kDeadlineExceeded at the client while
+  // the late-arriving request is expired server-side — and both halves of
+  // the trace must still close.
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  plan.latency_spike(primary, sec(5), TimePoint::origin() + sec(2),
+                     TimePoint::origin() + sec(10));
+  injector.arm(std::move(plan));
+
+  WieraClient::Config config;
+  config.op_deadline = msec(500);
+  WieraClient us(cluster.sim, cluster.network, cluster.registry, "app-us",
+                 "client-us-west", *peers, config);
+
+  bool expired = false;
+  auto workload = [&expired](sim::Simulation& sim,
+                             WieraClient& c) -> sim::Task<void> {
+    co_await sim.delay(sec(3));  // inside the spike window
+    auto put = co_await c.put("k0", Blob("v"));
+    expired = !put.ok() &&
+              put.status().code() == StatusCode::kDeadlineExceeded;
+  };
+  cluster.sim.spawn(workload(cluster.sim, us));
+  cluster.sim.run_until(TimePoint(sec(30).us()));
+
+  EXPECT_TRUE(expired);
+  const obs::Tracer& tracer = cluster.sim.telemetry().tracer();
+  obs::TraceView view(tracer, us.last_trace_id());
+  ASSERT_FALSE(view.empty());
+  EXPECT_TRUE(view.well_formed()) << view.render();
+  ASSERT_NE(view.root(), nullptr);
+  EXPECT_EQ(view.root()->status, "DEADLINE_EXCEEDED") << view.render();
+  for (const obs::Span* span : view.spans()) {
+    EXPECT_FALSE(span->open()) << span->name << " never closed";
+  }
+  EXPECT_EQ(tracer.open_count(), 0) << "spans leaked past quiescence: "
+                                    << ::testing::PrintToString(
+                                           tracer.open_span_names());
+}
+
+TEST(TelemetryTraceTest, RetriedReplicationKeepsOneSpanPerTarget) {
+  ChaosCluster cluster(/*seed=*/19);
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kPrimaryBackupSync, {}));
+  ASSERT_TRUE(peers.ok()) << peers.status().to_string();
+  cluster.controller.start();
+
+  std::string primary = kStorageNodes[0];
+  for (const char* node : kStorageNodes) {
+    WieraPeer* p = cluster.controller.peer(node);
+    if (p != nullptr && p->is_primary()) primary = node;
+  }
+  std::string victim;
+  for (const char* node : kStorageNodes) {
+    if (primary != node) {
+      victim = node;
+      break;
+    }
+  }
+
+  // Drop every message to one backup for 600ms around the put: the sync
+  // replication to it must retry through the window (exponential backoff
+  // from 50ms reaches past 600ms well inside the retry cap) and the whole
+  // retry loop must stay inside ONE span per target, annotated per attempt
+  // — never one span per attempt.
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  plan.message_chaos(victim, TimePoint::origin() + sec(2),
+                     TimePoint::origin() + msec(2600), /*drop_prob=*/1.0,
+                     /*dup_prob=*/0.0);
+  injector.arm(std::move(plan));
+
+  WieraClient us(cluster.sim, cluster.network, cluster.registry, "app-us",
+                 "client-us-west", *peers);
+  bool put_ok = false;
+  auto workload = [&put_ok](sim::Simulation& sim,
+                            WieraClient& c) -> sim::Task<void> {
+    co_await sim.delay(msec(2050));  // inside the drop window
+    auto put = co_await c.put("k0", Blob("v"));
+    EXPECT_TRUE(put.ok()) << put.status().to_string();
+    put_ok = put.ok();
+  };
+  cluster.sim.spawn(workload(cluster.sim, us));
+  cluster.sim.run_until(TimePoint(sec(20).us()));
+
+  ASSERT_TRUE(put_ok);
+  obs::TraceView view(cluster.sim.telemetry().tracer(), us.last_trace_id());
+  EXPECT_TRUE(view.well_formed()) << view.render();
+  std::map<std::string, int> per_target;
+  bool victim_retried = false;
+  for (const obs::Span* span : view.spans()) {
+    if (span->name.rfind("peer.replicate ", 0) != 0) continue;
+    per_target[span->name]++;
+    if (span->name == "peer.replicate " + victim) {
+      for (const std::string& a : span->annotations) {
+        if (a.rfind("retry=", 0) == 0) victim_retried = true;
+      }
+      EXPECT_EQ(span->status, "ok") << view.render();
+    }
+  }
+  // One span per replication target (the policy's replica set, not
+  // necessarily every peer), each covering its whole retry loop.
+  ASSERT_GE(per_target.size(), 2u) << view.render();
+  for (const auto& [name, count] : per_target) {
+    EXPECT_EQ(count, 1) << name << " span duplicated across retries\n"
+                        << view.render();
+  }
+  EXPECT_TRUE(victim_retried) << view.render();
+  EXPECT_EQ(cluster.sim.telemetry().tracer().open_count(), 0);
 }
 
 // ------------------------------------------------------- randomized sweeps
@@ -1447,7 +1796,9 @@ TEST(ChaosRegressionTest, PingDeadlineKeepsFailureDetectionLive) {
 // FAULT is one of partition|crash|drop|spike|brownout|bitrot|torn|msgcorrupt
 // (brownout ignores MODE; it always runs the primary-backup overload
 // schedule). The corruption classes replay with scrub + read-repair armed,
-// exactly as the CorruptionSuite runs them.
+// exactly as the CorruptionSuite runs them. Add --dump-telemetry (or set
+// WIERA_DUMP_TELEMETRY=1) to print the metrics snapshot and span trees of
+// the replayed schedule (docs/OBSERVABILITY.md).
 
 int replay_main(uint64_t seed, const std::string& plan_spec) {
   const size_t colon = plan_spec.find(':');
@@ -1537,6 +1888,10 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--plan" && i + 1 < argc) {
       plan = argv[++i];
+    } else if (arg == "--dump-telemetry") {
+      // Same switch the env var flips; the flag form keeps reproducer
+      // command lines self-contained.
+      setenv("WIERA_DUMP_TELEMETRY", "1", 1);
     }
   }
   if (!plan.empty()) return wiera::geo::replay_main(seed, plan);
