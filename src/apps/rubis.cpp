@@ -92,7 +92,7 @@ sim::Task<void> RubisApp::client_loop(uint64_t seed) {
     } else {
       st = co_await view_item(rng);
     }
-    (void)st;  // errors count as failed page loads; session continues
+    if (!st.ok()) failed_requests_++;  // failed page load; session continues
     total_requests_++;
     if (measuring_) measured_requests_++;
     co_await sim_->delay(options_.think_time);

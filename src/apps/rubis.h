@@ -43,6 +43,7 @@ class RubisApp {
   sim::Task<Result<RubisResult>> run();
 
   int64_t total_requests() const { return total_requests_; }
+  int64_t failed_requests() const { return failed_requests_; }
 
  private:
   // One client session: repeats weighted interactions until told to stop.
@@ -67,6 +68,7 @@ class RubisApp {
   bool stop_ = false;
   bool measuring_ = false;
   int64_t total_requests_ = 0;
+  int64_t failed_requests_ = 0;
   int64_t measured_requests_ = 0;
 };
 

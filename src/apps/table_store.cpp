@@ -106,6 +106,7 @@ sim::Task<Result<int64_t>> TableStore::insert(std::string table_name,
   const int64_t row_id = table.rows;
   Status st = co_await update(table_name, row_id, std::move(row));
   if (!st.ok()) co_return st;
+  // wiera-lint: allow(await-hazard) tables_ is an insert-only std::map; node references are stable
   table.rows = row_id + 1;
   co_return row_id;
 }
@@ -125,6 +126,7 @@ sim::Task<Result<Blob>> TableStore::select(std::string table_name,
   auto page_data = co_await read_page(table, page);
   if (!page_data.ok()) co_return page_data.status();
   Bytes row(page_data->data() + in_page,
+            // wiera-lint: allow(await-hazard) tables_ is an insert-only std::map; node references are stable
             page_data->data() + in_page + table.row_size);
   co_return Blob(std::move(row));
 }
@@ -148,6 +150,7 @@ sim::Task<Status> TableStore::update(std::string table_name, int64_t row_id,
   }
   std::memcpy(merged.data() + in_page, row.data(),
               std::min<size_t>(row.size(),
+                               // wiera-lint: allow(await-hazard) tables_ is an insert-only std::map; node references are stable
                                static_cast<size_t>(table.row_size)));
   co_return co_await write_page(table, page, Blob(std::move(merged)));
 }

@@ -216,6 +216,7 @@ void Endpoint::admission_exit() {
 sim::Task<void> Endpoint::dispatch_discard(std::string method,
                                            Message request) {
   Result<Message> discarded = co_await dispatch(method, std::move(request));
+  // wiera-lint: allow(status-discipline) chaos-duplicate delivery: the duplicate's response is dropped by design
   (void)discarded;
 }
 
@@ -283,6 +284,7 @@ sim::Task<Result<Message>> Endpoint::dispatch_inner(const std::string& method,
     co_return deadline_exceeded("rpc " + method + " on " + node_name_ +
                                 ": expired in admission queue");
   }
+  // wiera-lint: allow(await-hazard) handlers_ is a setup-time-only std::map; never mutated during dispatch
   Result<Message> response = co_await it->second(std::move(request));
   admission_exit();
   co_return response;

@@ -98,6 +98,7 @@ void SimChecker::clear_diagnostics() {
 std::vector<std::string> SimChecker::live_task_names() const {
   std::vector<std::string> names;
   names.reserve(tasks_.size());
+  // wiera-lint: allow(unordered-iteration) names are sorted before returning
   for (const auto& [id, info] : tasks_) names.push_back(info.name);
   std::sort(names.begin(), names.end());
   return names;
@@ -242,12 +243,18 @@ void SimChecker::on_primitive_destroyed(WaitKind kind, const void* prim,
                                         const char* prim_name,
                                         size_t waiters) {
   if (!enabled_ || g_teardown > 0) return;
-  std::string who;
+  // Collect-and-sort: the waiter list renders into the diagnostic text, so
+  // hash order would leak into user-visible (and test-asserted) output.
+  std::vector<std::string> waiter_names;
+  // wiera-lint: allow(unordered-iteration) names are sorted before rendering
   for (const auto& [id, info] : tasks_) {
-    if (info.wait_prim == prim) {
-      if (!who.empty()) who += ", ";
-      who += "'" + info.name + "'";
-    }
+    if (info.wait_prim == prim) waiter_names.push_back(info.name);
+  }
+  std::sort(waiter_names.begin(), waiter_names.end());
+  std::string who;
+  for (const std::string& n : waiter_names) {
+    if (!who.empty()) who += ", ";
+    who += "'" + n + "'";
   }
   std::string name = prim_name == nullptr || prim_name[0] == '\0'
                          ? "<unnamed>"
@@ -297,6 +304,7 @@ void SimChecker::on_quiescent() {
   // pending wakeup at all (lost wakeup / leak).
   std::vector<uint64_t> ids;
   ids.reserve(tasks_.size());
+  // wiera-lint: allow(unordered-iteration) ids are sorted before reporting
   for (const auto& [id, info] : tasks_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());  // deterministic report order
 

@@ -185,6 +185,7 @@ sim::Task<Result<Blob>> MemoryTier::get(std::string key, IoOptions /*opts*/) {
     co_await sim_->delay(service_time(spec_.read_base, 0));
     co_return not_found("memory tier: " + key);
   }
+  // wiera-lint: allow(await-hazard) the await above is in a co_returning miss branch; the hit path re-fetches below
   const auto bytes = static_cast<int64_t>(it->second.value.size());
   co_await sim_->delay(service_time(spec_.read_base, bytes));
   // Entry may have been evicted while this op was "in flight".
@@ -346,6 +347,7 @@ sim::Task<Result<Blob>> BlockTier::get(std::string key, IoOptions opts) {
     co_await sim_->delay(service_time(usec(calibration::kCacheHitUs), 0));
     co_return not_found("block tier: " + key);
   }
+  // wiera-lint: allow(await-hazard) the await above is in a co_returning miss branch; the device path re-fetches below
   const auto bytes = static_cast<int64_t>(it->second.size());
 
   if (!opts.direct && cache_lookup(key)) {
@@ -432,6 +434,7 @@ sim::Task<Result<Blob>> ObjectTier::get(std::string key, IoOptions opts) {
     co_await sim_->delay(service_time(spec_.read_base, 0));
     co_return not_found("object tier: " + key);
   }
+  // wiera-lint: allow(await-hazard) the await above is in a co_returning miss branch; re-fetched below
   const auto bytes = static_cast<int64_t>(it->second.size());
   co_await sim_->delay(service_time(spec_.read_base, bytes));
   it = entries_.find(key);

@@ -34,7 +34,14 @@ TieraInstance::TieraInstance(sim::Simulation& sim, Config config)
   build_tiers();
   const Status st = compile_rules();
   assert(st.ok() && "unclassifiable trigger in local policy");
-  (void)st;
+  if (!st.ok()) {
+    // NDEBUG builds must not swallow a bad policy silently: record why every
+    // rule loop for this instance is missing.
+    sim.telemetry().journal()
+        .event("tiera", "policy_compile_failed")
+        .str("instance", config_.instance_id)
+        .str("error", st.to_string());
+  }
 }
 
 TieraInstance::~TieraInstance() { stop(); }
@@ -115,7 +122,14 @@ Status TieraInstance::adopt_policy(
     std::swap(config_, trial);  // roll back; rules_ recompile below
     Status rollback = compile_rules();
     assert(rollback.ok());
-    (void)rollback;
+    if (!rollback.ok()) {
+      // The old policy compiled once already, so this cannot fail; if it
+      // somehow does, journal it instead of dropping the error in NDEBUG.
+      sim_->telemetry().journal()
+          .event("tiera", "policy_rollback_failed")
+          .str("instance", config_.instance_id)
+          .str("error", rollback.to_string());
+    }
     return st;
   }
 
@@ -189,7 +203,10 @@ sim::Task<Result<PutResult>> TieraInstance::put(std::string key, Blob value,
   ctx.opts = opts;
   Status st = co_await run_insert_rules(ctx);
   if (!st.ok()) {
-    (void)meta_.remove_version(key, version);  // roll back the upsert
+    // Roll back the uncommitted upsert; NotFound just means a concurrent
+    // remove already dropped it.
+    // wiera-lint: allow(status-discipline) rollback of an uncommitted version; only a benign NotFound is possible
+    (void)meta_.remove_version(key, version);
     co_return st;
   }
   meta_.upsert_version(key, version).committed = true;
@@ -274,6 +291,7 @@ sim::Task<Status> TieraInstance::remove(std::string key) {
   for (int64_t version : versions) {
     co_await erase_version_everywhere(key, version);
   }
+  // wiera-lint: allow(status-discipline) a concurrent remove may have emptied the object while we awaited; NotFound is benign
   (void)meta_.remove_object(key);
   co_return ok_status();
 }
@@ -309,6 +327,7 @@ void TieraInstance::wipe_volatile() {
       if (wiped.count(vm.tier) > 0) lost.push_back(version);
     }
     for (int64_t version : lost) {
+      // wiera-lint: allow(status-discipline) version was enumerated from the same map just above; cannot fail
       (void)meta_.remove_version(key, version);
     }
   }
@@ -356,6 +375,7 @@ sim::Task<std::vector<std::string>> TieraInstance::scrub_local() {
       // Committed but gone from every tier (e.g. lost durable copy): drop
       // the metadata row so a peer's repair is not LWW-rejected, keeping
       // the allocation high-water mark.
+      // wiera-lint: allow(status-discipline) a concurrent remove beating us to the drop is the desired end state
       (void)meta_.forget_version(key, version);
       lost.push_back(key);
     }
@@ -557,10 +577,14 @@ sim::Task<Status> TieraInstance::exec_maintenance_action(
     if (!selector->matches(*obj)) continue;
     const int64_t version = obj->latest_version();
     const metadb::VersionMeta* vm = obj->latest();
+    // Copy what later branches need: vm points into meta_, and every branch
+    // below suspends, so the entry may be rewritten before we resume.
     const std::string source = vm->tier;
+    const int64_t vm_size = vm->size;
 
     if (action.name == "delete") {
       co_await erase_version_everywhere(key, version);
+      // wiera-lint: allow(status-discipline) the version may already be gone after the erase fan-out; NotFound is benign
       (void)meta_.remove_version(key, version);
       continue;
     }
@@ -588,6 +612,7 @@ sim::Task<Status> TieraInstance::exec_maintenance_action(
         store::StorageTier* src_tier = tier_by_label(source);
         if (src_tier != nullptr) {
           // Best effort: the move already committed at the target tier.
+          // wiera-lint: allow(status-discipline) stale source copy; the scrub pass reclaims it if this remove loses a race
           (void)co_await src_tier->remove(versioned_key(key, version));
         }
       }
@@ -596,7 +621,7 @@ sim::Task<Status> TieraInstance::exec_maintenance_action(
 
     if (action.name == "compress" || action.name == "encrypt") {
       // Modelled as metadata-only transforms with a small CPU cost.
-      co_await sim_->delay(usec(50 + vm->size / 2048));
+      co_await sim_->delay(usec(50 + vm_size / 2048));
       meta_.add_tag(key, action.name == "compress" ? "compressed"
                                                    : "encrypted");
       continue;
@@ -730,6 +755,7 @@ sim::Task<Result<Blob>> TieraInstance::read_version(const std::string& key,
       saw_corrupt = true;
       WLOG_WARN(kComponent) << id() << " checksum mismatch on " << vkey
                             << " in tier " << label << " (quarantined)";
+      // wiera-lint: allow(status-discipline) the copy is already journaled as quarantined; dropping it is best-effort
       (void)co_await tier->remove(vkey);
       continue;
     }
@@ -740,6 +766,7 @@ sim::Task<Result<Blob>> TieraInstance::read_version(const std::string& key,
     // re-applied from a healthy replica is not rejected by LWW as a stale
     // duplicate (same rationale as wipe_volatile). forget_version keeps the
     // allocation high-water mark so the burned number is never reused.
+    // wiera-lint: allow(status-discipline) a concurrent remove beating us to the drop is the desired end state
     (void)meta_.forget_version(key, version);
     co_return data_loss("all local copies of " + vkey + " corrupt");
   }
@@ -749,9 +776,13 @@ sim::Task<Result<Blob>> TieraInstance::read_version(const std::string& key,
 sim::Task<void> TieraInstance::erase_version_everywhere(
     const std::string& key, int64_t version) {
   const std::string vkey = versioned_key(key, version);
-  for (const std::string& label : tier_order_) {
+  // Snapshot the tier list: mount/unmount can resize tier_order_ while a
+  // remove is in flight, which would invalidate this loop's iterator.
+  const std::vector<std::string> tiers = tier_order_;
+  for (const std::string& label : tiers) {
     store::StorageTier* tier = tier_by_label(label);
     if (tier != nullptr && tier->contains(vkey)) {
+      // wiera-lint: allow(status-discipline) erase is best-effort per tier; a copy that vanished meanwhile is already gone
       (void)co_await tier->remove(vkey);
     }
   }
@@ -770,11 +801,13 @@ void TieraInstance::prune_versions(const std::string& key) {
       store::StorageTier* tier = tier_by_label(label);
       if (tier != nullptr && tier->contains(vkey)) {
         sim_->spawn([](store::StorageTier* t, std::string k) -> sim::Task<void> {
+          // wiera-lint: allow(status-discipline) fire-and-forget GC; the data path must not stall on tier cleanup
           (void)co_await t->remove(std::move(k));
         }(tier, vkey),
                     "tiera.version-gc");
       }
     }
+    // wiera-lint: allow(status-discipline) oldest was read from the same map in the loop condition; cannot fail
     (void)meta_.remove_version(key, oldest);
   }
 }

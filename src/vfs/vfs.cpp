@@ -172,6 +172,10 @@ sim::Task<Result<int64_t>> WieraVfs::pwrite(int fd, int64_t offset,
     writes_++;
   }
 
+  // Re-find after the write loop: a concurrent unlink can erase the entry
+  // while a block write is suspended, leaving file_it dangling.
+  file_it = files_.find(fd_state.path);
+  if (file_it == files_.end()) co_return not_found("vfs: file gone");
   file_it->second.size = std::max(file_it->second.size, offset + length);
   co_return length;
 }

@@ -220,7 +220,11 @@ Status WieraController::stop_instances(const std::string& wiera_id) {
   for (const std::string& id : it->second.peer_ids) {
     for (TieraServer* server : servers_) {
       if (server->peer(id) != nullptr) {
-        (void)server->stop_peer(id);
+        const Status st = server->stop_peer(id);
+        if (!st.ok()) {
+          WLOG_WARN(kComponent) << "stop_peer " << id
+                                << " failed: " << st.to_string();
+        }
         break;
       }
     }
@@ -264,11 +268,18 @@ sim::Task<Status> WieraController::change_consistency(std::string wiera_id,
     }(endpoint_.get(), id, std::move(msg)));
   }
   std::vector<Status> results = co_await sim::when_all(*sim_, std::move(tasks));
-  record.change_in_progress = false;
+  // Re-find after resuming: stop_instances may have erased this record while
+  // the fan-out was in flight, which would leave `record` dangling.
+  it = instances_.find(wiera_id);
+  if (it == instances_.end()) {
+    co_return not_found("wiera instance " + wiera_id +
+                        " stopped during consistency change");
+  }
+  it->second.change_in_progress = false;
   for (const Status& st : results) {
     if (!st.ok()) co_return st;
   }
-  record.mode = mode;
+  it->second.mode = mode;
   consistency_changes_++;
   WLOG_INFO(kComponent) << wiera_id << " now "
                         << consistency_mode_name(mode);
@@ -306,11 +317,18 @@ sim::Task<Status> WieraController::change_primary(std::string wiera_id,
     }(endpoint_.get(), id, std::move(msg)));
   }
   std::vector<Status> results = co_await sim::when_all(*sim_, std::move(tasks));
-  record.change_in_progress = false;
+  // Same re-find discipline as change_consistency: the record may have been
+  // erased by stop_instances while the fan-out was suspended.
+  it = instances_.find(wiera_id);
+  if (it == instances_.end()) {
+    co_return not_found("wiera instance " + wiera_id +
+                        " stopped during primary change");
+  }
+  it->second.change_in_progress = false;
   for (const Status& st : results) {
     if (!st.ok()) co_return st;
   }
-  record.primary = new_primary;
+  it->second.primary = new_primary;
   primary_changes_++;
   WLOG_INFO(kComponent) << wiera_id << " primary -> " << new_primary;
   co_return ok_status();
@@ -443,7 +461,10 @@ sim::Task<void> WieraController::heartbeat_loop() {
   while (running_) {
     co_await sim_->delay(config_.heartbeat_interval);
     if (!running_) break;
-    for (TieraServer* server : servers_) {
+    // Snapshot the membership: add_server can grow servers_ (and a server's
+    // peer set) while a ping is in flight, invalidating these iterators.
+    const std::vector<TieraServer*> servers = servers_;
+    for (TieraServer* server : servers) {
       for (const std::string& id : server->peer_ids()) {
         rpc::Message ping;
         Context ping_ctx;

@@ -361,14 +361,19 @@ void WieraPeer::register_handlers() {
           if (obj == nullptr) continue;
           const metadb::VersionMeta* vm = obj->latest_committed();
           if (vm == nullptr) continue;
-          auto value = co_await local_->get_version(key, vm->version);
+          // Copy before suspending: a concurrent put/GC during get_version
+          // can erase this version's metadata out from under vm.
+          const int64_t version = vm->version;
+          const TimePoint last_modified = vm->last_modified;
+          const std::string origin = vm->origin;
+          auto value = co_await local_->get_version(key, version);
           if (!value.ok()) continue;  // payload lost (volatile-only copy)
           ReplicateRequest entry;
           entry.key = key;
-          entry.version = vm->version;
+          entry.version = version;
           entry.value = std::move(value->value);
-          entry.last_modified = vm->last_modified;
-          entry.origin = vm->origin;
+          entry.last_modified = last_modified;
+          entry.origin = origin;
           entry.checksum = object_checksum(entry.key, entry.version,
                                            entry.value);
           out.entries.push_back(std::move(entry));
@@ -577,6 +582,7 @@ sim::Task<Result<PutResponse>> WieraPeer::put_primary_backup(
     auto resp = co_await endpoint_->call(
         config_.primary_instance, method::kForwardPut, std::move(msg),
         ctx_for(request.deadline, request.trace));
+    // wiera-lint: allow(await-hazard) breakers_ is an emplace-only std::map; node references are stable
     if (brk != nullptr) {
       if (resp.ok() || (resp.status().code() != StatusCode::kUnavailable &&
                         resp.status().code() !=
@@ -1159,14 +1165,19 @@ sim::Task<Status> WieraPeer::catch_up(std::vector<std::string> sources) {
       if (obj == nullptr) continue;
       const metadb::VersionMeta* vm = obj->latest_committed();
       if (vm == nullptr) continue;
-      auto value = co_await local_->get_version(key, vm->version);
+      // Copy before suspending: get_version can interleave with a put/GC
+      // that erases this version's metadata out from under vm.
+      const int64_t version = vm->version;
+      const TimePoint last_modified = vm->last_modified;
+      const std::string origin = vm->origin;
+      auto value = co_await local_->get_version(key, version);
       if (!value.ok()) continue;
       ReplicateRequest entry;
       entry.key = key;
-      entry.version = vm->version;
+      entry.version = version;
       entry.value = std::move(value->value);
-      entry.last_modified = vm->last_modified;
-      entry.origin = vm->origin;
+      entry.last_modified = last_modified;
+      entry.origin = origin;
       entry.checksum = object_checksum(entry.key, entry.version, entry.value);
       queue_->send(QueuedUpdate{std::move(entry)});
     }
@@ -1328,7 +1339,10 @@ sim::Task<Status> WieraPeer::fetch_and_merge(std::string source,
 sim::Task<Result<GetResponse>> WieraPeer::repair_get(GetRequest request) {
   Status last = unavailable("read-repair of " + request.key +
                             ": no replica reachable");
-  for (const std::string& peer_id : storage_peer_ids_) {
+  // Snapshot the membership: set_storage_peers can rewrite the list while a
+  // fetch is in flight, invalidating this loop's iterator.
+  const std::vector<std::string> repair_peers = storage_peer_ids_;
+  for (const std::string& peer_id : repair_peers) {
     Status st = co_await fetch_and_merge(peer_id, request.key, request.version,
                                          /*from_scrub=*/false, request.trace);
     if (!st.ok()) {
@@ -1382,9 +1396,12 @@ sim::Task<void> WieraPeer::run_scrub() {
   // Pass 1 — local verification: every committed version is re-read against
   // its recorded checksum; corrupt copies are quarantined. Keys whose last
   // good local copy is gone get repaired from the first healthy replica.
+  // Snapshot the membership once for both passes: set_storage_peers can
+  // rewrite the list while a fetch or digest call is in flight.
+  const std::vector<std::string> scrub_peers = storage_peer_ids_;
   std::vector<std::string> lost = co_await local_->scrub_local();
   for (const std::string& key : lost) {
-    for (const std::string& peer_id : storage_peer_ids_) {
+    for (const std::string& peer_id : scrub_peers) {
       Status st = co_await fetch_and_merge(peer_id, key, /*version=*/0,
                                            /*from_scrub=*/true, scrub_trace);
       if (st.ok()) break;
@@ -1397,7 +1414,7 @@ sim::Task<void> WieraPeer::run_scrub() {
   // a mismatch (or a key we miss entirely) is silent divergence. Pull the
   // peer's copy and let LWW decide — if ours is actually newer the merge
   // rejects it, and the peer's own scrub pulls ours on its next round.
-  for (const std::string& peer_id : storage_peer_ids_) {
+  for (const std::string& peer_id : scrub_peers) {
     ScrubDigestRequest req{config_.instance_id};
     auto resp = co_await endpoint_->call(peer_id, method::kScrubDigest,
                                          encode(req),

@@ -1,0 +1,314 @@
+// await-hazard: a reference, pointer, or iterator into shared member state —
+// or a RAII lock guard — live across a co_await suspension point.
+//
+// While a coroutine is suspended, any other task may run: a concurrent
+// put/quarantine/adopt_policy can rehash or erase the container the pointer
+// aims at, and the resumed coroutine dereferences freed memory that ASan
+// only catches if a chaos seed happens to interleave the mutation
+// (docs/FAULTS.md). The rule the codebase already follows by convention —
+// "re-fetch after resuming, or copy what you need before the await" — is
+// enforced here mechanically.
+//
+// Three shapes are flagged, all scoped to the enclosing function or lambda
+// body (a co_await inside a nested lambda suspends the lambda's coroutine,
+// not the enclosing function):
+//   1. A std::lock_guard / unique_lock / scoped_lock / shared_lock local
+//      with any later co_await in scope (OS mutexes have no place in
+//      single-threaded sim code at all, let alone across suspension).
+//   2. A pointer/reference local initialized from member state (an
+//      identifier ending in `_`, or derived from another armed local), or
+//      an `auto it = member_.find(...)`-style iterator, *used after* a
+//      later co_await in the same scope. The expression the co_await itself
+//      awaits is evaluated before suspension, so `co_await ptr->op()` is
+//      fine; `ptr` on the next line is not. Reassignment after the await
+//      re-arms the variable safely.
+//   3. A range-for directly over a member container whose loop body
+//      contains a co_await (mutation during suspension invalidates the
+//      loop's iterator). Iterate a copy instead.
+//
+// The scan is flow-insensitive (token order approximates program order), so
+// mutually exclusive branches can produce conservative positives; those are
+// exactly the places where a copied value is cheaper than an argument about
+// interleavings.
+#include "lint.h"
+
+namespace wiera::lint {
+
+namespace {
+
+bool is_member_ident(const std::string& t) {
+  return t.size() > 1 && t.back() == '_';
+}
+
+bool is_guard_type(const std::string& t) {
+  return t == "lock_guard" || t == "unique_lock" || t == "scoped_lock" ||
+         t == "shared_lock";
+}
+
+struct ArmedVar {
+  std::string name;
+  int decl_line = 0;
+  bool is_guard = false;
+  bool suspended = false;  // a co_await completed since (re)binding
+  bool reported = false;
+};
+
+struct Scope {
+  bool barrier = false;  // function/lambda body: co_await stops here
+  std::vector<ArmedVar> vars;
+};
+
+// End of the statement containing token i: the first `;`, `{`, `}` at the
+// current paren depth, or the `)` that closes an enclosing paren group.
+size_t statement_end(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (size_t j = i; j < toks.size(); ++j) {
+    const std::string& t = toks[j].text;
+    if (t == "(") depth++;
+    else if (t == ")") {
+      if (depth == 0) return j;
+      depth--;
+    } else if (depth == 0 && (t == ";" || t == "{" || t == "}")) {
+      return j;
+    }
+  }
+  return toks.size();
+}
+
+class AwaitHazardCheck : public Check {
+ public:
+  std::string name() const override { return "await-hazard"; }
+  std::string description() const override {
+    return "no lock guard or reference into shared state live across a "
+           "co_await";
+  }
+
+  void run(const SourceFile& file, const Project&,
+           std::vector<Finding>& out) const override {
+    if (file.module.empty()) return;  // src/ only
+    const auto& toks = file.tokens;
+
+    std::vector<Scope> scopes;
+    scopes.push_back(Scope{});  // file scope
+
+    auto find_armed = [&](const std::string& ident) -> ArmedVar* {
+      for (auto s = scopes.rbegin(); s != scopes.rend(); ++s) {
+        for (ArmedVar& v : s->vars) {
+          if (v.name == ident) return &v;
+        }
+        if (s->barrier) break;  // other functions' locals are out of reach
+      }
+      return nullptr;
+    };
+
+    // Suspension takes effect at the end of the awaiting statement (the
+    // awaited expression itself is evaluated before the coroutine suspends).
+    std::vector<size_t> pending_suspends;
+    // Tokens of a just-armed declaration's initializer: no use-checking.
+    size_t skip_uses_until = 0;
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (!pending_suspends.empty()) {
+        bool fire = false;
+        for (size_t k = 0; k < pending_suspends.size();) {
+          if (i >= pending_suspends[k]) {
+            fire = true;
+            pending_suspends.erase(pending_suspends.begin() + k);
+          } else {
+            ++k;
+          }
+        }
+        if (fire) {
+          for (auto s = scopes.rbegin(); s != scopes.rend(); ++s) {
+            for (ArmedVar& v : s->vars) v.suspended = true;
+            if (s->barrier) break;
+          }
+        }
+      }
+
+      const std::string& t = toks[i].text;
+
+      if (t == "{") {
+        Scope s;
+        s.barrier = is_function_body_brace(toks, i);
+        scopes.push_back(std::move(s));
+        continue;
+      }
+      if (t == "}") {
+        if (scopes.size() > 1) scopes.pop_back();
+        continue;
+      }
+
+      if (t == "co_await") {
+        for (auto s = scopes.rbegin(); s != scopes.rend(); ++s) {
+          for (ArmedVar& v : s->vars) {
+            if (v.is_guard && !v.reported) {
+              v.reported = true;
+              out.push_back(
+                  {name(), file.path, toks[i].line,
+                   "lock guard '" + v.name + "' (declared line " +
+                       std::to_string(v.decl_line) +
+                       ") is held across this co_await",
+                   "the simulation is single-threaded: drop the OS lock, "
+                   "or release the guard before suspending"});
+            }
+          }
+          if (s->barrier) break;
+        }
+        pending_suspends.push_back(statement_end(toks, i));
+        continue;
+      }
+
+      // RAII guard declaration: lock_guard<...> name(...);
+      if (toks[i].kind == Token::Kind::kIdent && is_guard_type(t) &&
+          i + 1 < toks.size()) {
+        size_t j = i + 1;
+        if (toks[j].text == "<") {
+          const size_t close = match_angle(toks, j, toks.size());
+          if (close == j) continue;
+          j = close + 1;
+        }
+        if (j < toks.size() && toks[j].kind == Token::Kind::kIdent) {
+          scopes.back().vars.push_back(
+              ArmedVar{toks[j].text, toks[j].line, /*is_guard=*/true});
+          skip_uses_until = statement_end(toks, j);
+        }
+        continue;
+      }
+
+      // Pointer/reference/iterator declarations and rebindings at `=`.
+      if (t == "=" && i >= 2 && toks[i - 1].kind == Token::Kind::kIdent) {
+        const std::string& var = toks[i - 1].text;
+        const std::string& p2 = toks[i - 2].text;
+        const bool is_ptr_decl = (p2 == "*" || p2 == "&");
+        const bool is_auto_decl = (p2 == "auto");
+        if (!is_ptr_decl && !is_auto_decl) continue;
+
+        // Scan the initializer for a member-state source.
+        bool memberish = false;
+        bool iterator_source = false;
+        int paren = 0;
+        size_t end = i + 1;
+        for (; end < toks.size(); ++end) {
+          const std::string& e = toks[end].text;
+          if (e == "(") paren++;
+          else if (e == ")") {
+            if (--paren < 0) break;
+          } else if ((e == ";" || e == ",") && paren == 0) {
+            break;
+          }
+          if (toks[end].kind == Token::Kind::kIdent) {
+            if (is_member_ident(e)) memberish = true;
+            if (ArmedVar* src = find_armed(e);
+                src != nullptr && !src->is_guard) {
+              memberish = true;
+            }
+            if (e == "find" || e == "begin" || e == "end" ||
+                e == "lower_bound" || e == "upper_bound" || e == "rbegin") {
+              iterator_source = true;
+            }
+          }
+        }
+        if (!memberish) continue;
+        if (is_auto_decl && !iterator_source) continue;  // value copy
+        if (ArmedVar* existing = find_armed(var)) {
+          existing->suspended = false;  // re-fetched: safe again
+        } else {
+          scopes.back().vars.push_back(
+              ArmedVar{var, toks[i - 1].line, /*is_guard=*/false});
+        }
+        skip_uses_until = end;
+        continue;
+      }
+
+      // Identifier use of an armed variable.
+      if (toks[i].kind != Token::Kind::kIdent || i < skip_uses_until) {
+        continue;
+      }
+      ArmedVar* v = find_armed(t);
+      if (v == nullptr || v->is_guard) continue;
+      if (i + 1 < toks.size() && toks[i + 1].text == "=") {
+        v->suspended = false;  // rebinding handled above or plain overwrite
+        continue;
+      }
+      if (!v->suspended || v->reported) continue;
+      v->reported = true;
+      out.push_back(
+          {name(), file.path, toks[i].line,
+           "'" + t + "' (bound to shared state at line " +
+               std::to_string(v->decl_line) +
+               ") is used after a co_await; the suspension can invalidate "
+               "it",
+           "re-fetch '" + t +
+               "' after the co_await, or copy the needed fields into "
+               "locals before suspending"});
+    }
+
+    flag_member_range_for(file, out);
+  }
+
+ private:
+  // Range-for directly over a member container with a co_await in the body.
+  void flag_member_range_for(const SourceFile& file,
+                             std::vector<Finding>& out) const {
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].text != "for" || toks[i + 1].text != "(") continue;
+      int depth = 0;
+      size_t colon = 0, close = 0;
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        const std::string& t = toks[j].text;
+        if (t == "(") depth++;
+        else if (t == ")") {
+          if (--depth == 0) { close = j; break; }
+        } else if (t == ":" && depth == 1 && colon == 0) {
+          colon = j;
+        } else if (t == ";" && depth == 1) {
+          break;  // classic for loop
+        }
+      }
+      if (colon == 0 || close == 0) continue;
+      std::string member;
+      bool is_call = false;
+      for (size_t j = colon + 1; j < close; ++j) {
+        // A call in the range expression (`meta_.keys()`) yields a prvalue
+        // whose lifetime extends over the whole loop — iterating that
+        // temporary is safe even if the member mutates meanwhile.
+        if (toks[j].text == "(") is_call = true;
+        if (toks[j].kind == Token::Kind::kIdent &&
+            is_member_ident(toks[j].text)) {
+          member = toks[j].text;
+        }
+      }
+      if (member.empty() || is_call) continue;
+      if (close + 1 >= toks.size() || toks[close + 1].text != "{") continue;
+      const size_t body_end = match_brace(toks, close + 1);
+      // Look for co_await in the body, skipping nested lambda bodies (their
+      // co_awaits suspend the lambda's coroutine, not this loop).
+      for (size_t j = close + 2; j < body_end && j < toks.size(); ++j) {
+        if (toks[j].text == "{" && is_function_body_brace(toks, j)) {
+          j = match_brace(toks, j);
+          continue;
+        }
+        if (toks[j].text != "co_await") continue;
+        out.push_back(
+            {name(), file.path, toks[i].line,
+             "range-for over member container '" + member +
+                 "' with a co_await in the loop body; a concurrent "
+                 "mutation during the suspension invalidates the iterator",
+             "iterate a copy (e.g. `auto snapshot = " + member +
+                 ";`) or collect keys first and look each up after "
+                 "resuming"});
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_await_check() {
+  return std::make_unique<AwaitHazardCheck>();
+}
+
+}  // namespace wiera::lint

@@ -1,0 +1,97 @@
+// determinism-source: ban wall clocks, OS randomness and OS scheduling in
+// sim-reachable code (everything under src/). The determinism trace hash
+// (docs/DETERMINISM.md, PR 1) only replays if every timestamp flows through
+// Simulation::now() and every random draw through the seed-derived
+// wiera::Rng — one stray std::chrono or rand() call desynchronizes every
+// seed-replay test without failing any of them locally.
+#include "lint.h"
+
+namespace wiera::lint {
+
+namespace {
+
+// Any appearance of these identifiers is a finding.
+const char* kBannedIdents[] = {
+    "system_clock",    "steady_clock", "high_resolution_clock",
+    "random_device",   "mt19937",      "mt19937_64",
+    "default_random_engine", "minstd_rand", "minstd_rand0",
+    "ranlux24",        "ranlux48",     "knuth_b",
+    "gettimeofday",    "clock_gettime", "timespec_get",
+    "localtime",       "gmtime",       "mktime",
+    "chrono",          "sleep_for",    "sleep_until",
+    "this_thread",
+};
+
+// Banned only as a direct (or std::-qualified) function call, so member
+// functions like `vm.create_time` or `sim_->time()` stay legal.
+const char* kBannedCalls[] = {"rand", "srand", "time", "clock", "random",
+                              "drand48", "lrand48"};
+
+bool banned_ident(const std::string& t) {
+  for (const char* b : kBannedIdents) {
+    if (t == b) return true;
+  }
+  return false;
+}
+
+bool banned_call(const std::string& t) {
+  for (const char* b : kBannedCalls) {
+    if (t == b) return true;
+  }
+  return false;
+}
+
+class DeterminismCheck : public Check {
+ public:
+  std::string name() const override { return "determinism-source"; }
+  std::string description() const override {
+    return "no wall-clock / OS randomness in sim-reachable code "
+           "(use Simulation::now() and wiera::Rng)";
+  }
+
+  void run(const SourceFile& file, const Project&,
+           std::vector<Finding>& out) const override {
+    if (file.module.empty()) return;  // only src/ is sim-reachable
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != Token::Kind::kIdent) continue;
+      const std::string& t = toks[i].text;
+      if (banned_ident(t)) {
+        out.push_back(
+            {name(), file.path, toks[i].line,
+             "nondeterministic source '" + t + "' in sim-reachable code",
+             "route time through Simulation::now() / common/time.h and "
+             "randomness through the seed-derived wiera::Rng"});
+        continue;
+      }
+      if (!banned_call(t)) continue;
+      if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+      // Member calls (`x.time(...)`, `sim_->clock(...)`) are fine, as are
+      // declarations (`long time() const` — preceded by a type name); only
+      // a bare or std::-qualified call hits the C library.
+      if (i > 0) {
+        const std::string& prev = toks[i - 1].text;
+        if (prev == "." || prev == "->") continue;
+        if (prev == "::") {
+          if (!(i >= 2 && toks[i - 2].text == "std")) continue;
+        } else if (toks[i - 1].kind == Token::Kind::kIdent &&
+                   prev != "return" && prev != "co_return" &&
+                   prev != "co_await") {
+          continue;  // declaration or qualified type, not a call
+        }
+      }
+      out.push_back(
+          {name(), file.path, toks[i].line,
+           "call to nondeterministic '" + t + "()' in sim-reachable code",
+           "use Simulation::now() for time and wiera::Rng for randomness"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_determinism_check() {
+  return std::make_unique<DeterminismCheck>();
+}
+
+}  // namespace wiera::lint

@@ -1,0 +1,104 @@
+// layering: enforce the module DAG.
+//
+//              common
+//             /   |  .
+//          obs  policy .
+//           |       .   .
+//          sim ------+----+---  (sim: common, obs)
+//         /   .                 net, store: common, sim
+//       net   store             rpc: common, net, obs, sim
+//        |   /    .             metadb: common, rpc  ·  coord: common, rpc, sim
+//       rpc       cost          cost: common, net, store
+//      /    .                   tiera: common, metadb, obs, policy, sim, store
+//   metadb  coord               wiera: + coord, net, rpc, tiera
+//       .    |                  ycsb, vfs: common, wiera  ·  apps: common, vfs
+//        tiera
+//          |
+//        wiera
+//        / | .
+//     ycsb vfs ...
+//           |
+//         apps
+//
+// An include edge src/<A>/x includes "B/y.h" is admissible iff B == A or B
+// is in the transitive closure of A's sanctioned deps (the table in
+// project.cpp — the *measured* structure of the tree, frozen as policy).
+// Upward or sideways includes are how layering erodes one convenience
+// #include at a time; the big refactors queued in ROADMAP items 1–2 rely on
+// the low layers staying ignorant of the high ones. The sanctioned-deps
+// table itself is cycle-checked on every run.
+#include "lint.h"
+
+namespace wiera::lint {
+
+namespace {
+
+class LayeringCheck : public Check {
+ public:
+  std::string name() const override { return "layering"; }
+  std::string description() const override {
+    return "include edges respect the module DAG (no upward or sideways "
+           "includes)";
+  }
+
+  void run(const SourceFile& file, const Project& project,
+           std::vector<Finding>& out) const override {
+    // Tests, benches, tools and examples may include anything.
+    if (file.module.empty()) return;
+
+    // Cycle check of the sanctioned table: a module must never appear in
+    // its own closure (the closure construction would have pulled it in).
+    bool table_ok = true;
+    for (const auto& [mod, closure] : project.allowed_deps) {
+      if (closure.count(mod) > 0) table_ok = false;
+    }
+    if (!table_ok) {
+      out.push_back({name(), file.path, 1,
+                     "the sanctioned module-dependency table in "
+                     "tools/lint/project.cpp contains a cycle",
+                     "break the cycle in the table before trusting any "
+                     "layering result"});
+      return;
+    }
+
+    auto closure_it = project.allowed_deps.find(file.module);
+    const std::set<std::string>* closure =
+        closure_it == project.allowed_deps.end() ? nullptr
+                                                 : &closure_it->second;
+
+    for (const auto& [line, inc] : file.includes) {
+      const size_t slash = inc.find('/');
+      if (slash == std::string::npos) continue;  // same-directory include
+      const std::string target = inc.substr(0, slash);
+      if (project.module_deps.count(target) == 0) continue;  // not a module
+      if (target == file.module) continue;
+      if (closure == nullptr) {
+        out.push_back({name(), file.path, line,
+                       "module '" + file.module +
+                           "' is not in the sanctioned module table but "
+                           "includes \"" + inc + "\"",
+                       "add the new module and its deps to the table in "
+                       "tools/lint/project.cpp and docs/STATIC_ANALYSIS.md"});
+        continue;
+      }
+      if (closure->count(target) > 0) continue;
+      out.push_back(
+          {name(), file.path, line,
+           "layering violation: module '" + file.module + "' includes \"" +
+               inc + "\" but '" + target +
+               "' is not among its sanctioned dependencies",
+           "invert the dependency (callback/interface in the lower "
+           "module), or — if the edge is a deliberate design change — add "
+           "it to the table in tools/lint/project.cpp and document it in "
+           "docs/STATIC_ANALYSIS.md"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_layering_check() {
+  return std::make_unique<LayeringCheck>();
+}
+
+}  // namespace wiera::lint

@@ -1,0 +1,187 @@
+// span-pairing: every trace span opened with start_span()/start_trace() must
+// be provably closed (an end_span() on the same context in the same function
+// body) or escape to whoever owns closing it (returned, or passed to another
+// function). A span that is neither leaks: the SimChecker reports
+// kLeakedSpan at quiescence (PR 5), but only on paths a test actually
+// drives — this check catches the leak at analysis time on every path.
+//
+// Escape forms that silence the check:
+//   return X / co_return X          the caller owns the close
+//   f(..., X, ...)                  the callee (or a later finish helper)
+//                                   owns it — any call other than
+//                                   end_span/annotate counts
+//   member = X / X stored           ownership moved into an object
+//
+// A start_span()/start_trace() whose result is dropped on the floor
+// (`tracer().start_trace(...);` as a statement) is always a finding: the
+// context is the only handle that can ever close the span.
+#include "lint.h"
+
+namespace wiera::lint {
+
+namespace {
+
+class SpanPairingCheck : public Check {
+ public:
+  std::string name() const override { return "span-pairing"; }
+  std::string description() const override {
+    return "every opened trace span is closed (end_span) or escapes to its "
+           "closer";
+  }
+
+  void run(const SourceFile& file, const Project&,
+           std::vector<Finding>& out) const override {
+    if (file.module.empty()) return;  // src/ only
+    const auto& toks = file.tokens;
+
+    // Function body extents, innermost-first lookup.
+    std::vector<std::pair<size_t, size_t>> bodies;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].text == "{" && is_function_body_brace(toks, i)) {
+        bodies.emplace_back(i, match_brace(toks, i));
+      }
+    }
+    auto enclosing_body_end = [&](size_t i) -> size_t {
+      size_t best_start = 0, best_end = toks.size();
+      bool found = false;
+      for (const auto& [b, e] : bodies) {
+        if (b < i && i < e && (!found || b > best_start)) {
+          best_start = b;
+          best_end = e;
+          found = true;
+        }
+      }
+      return best_end;
+    };
+
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Token::Kind::kIdent) continue;
+      const std::string& t = toks[i].text;
+      if (t != "start_span" && t != "start_trace") continue;
+      if (toks[i + 1].text != "(") continue;
+      // Skip declarations (`TraceContext start_trace(...)` in headers):
+      // a call site is preceded by `.` `->` `=` `(` `,` `return` etc.,
+      // a declaration by a type name.
+      if (i > 0 && toks[i - 1].kind == Token::Kind::kIdent &&
+          toks[i - 1].text != "return" && toks[i - 1].text != "co_return") {
+        continue;
+      }
+
+      // The variable receiving the context: walk back over `tracer ( ) .`
+      // style qualifiers to an `=`; the ident before it is the name.
+      std::string var;
+      size_t j = i;
+      while (j > 0) {
+        const std::string& p = toks[j - 1].text;
+        if (p == "." || p == "->" || p == "::" || p == ")" || p == "(" ||
+            (toks[j - 1].kind == Token::Kind::kIdent && p != "return" &&
+             p != "co_return")) {
+          j--;
+          continue;
+        }
+        break;
+      }
+      if (j > 1 && toks[j - 1].text == "=" &&
+          toks[j - 2].kind == Token::Kind::kIdent) {
+        var = toks[j - 2].text;
+      }
+
+      const size_t body_end = enclosing_body_end(i);
+
+      if (var.empty()) {
+        // Not assigned to a variable. Passed straight into a call or
+        // returned → escaped; discarded as a statement → leak.
+        const size_t call_close = [&] {
+          int depth = 0;
+          for (size_t k = i + 1; k < toks.size(); ++k) {
+            if (toks[k].text == "(") depth++;
+            else if (toks[k].text == ")" && --depth == 0) return k;
+          }
+          return toks.size();
+        }();
+        const bool discarded =
+            call_close + 1 < toks.size() && toks[call_close + 1].text == ";" &&
+            (j == 0 || toks[j - 1].text == ";" || toks[j - 1].text == "{" ||
+             toks[j - 1].text == "}");
+        if (discarded) {
+          out.push_back(
+              {name(), file.path, toks[i].line,
+               t + "() result discarded: the returned TraceContext is the "
+                   "only handle that can close this span",
+               "assign the context and end_span() it, or drop the call"});
+        }
+        continue;
+      }
+
+      // Scan the rest of the enclosing function for a close or an escape.
+      bool closed = false, escaped = false;
+      for (size_t k = i; k < body_end && k < toks.size(); ++k) {
+        if (toks[k].kind != Token::Kind::kIdent || toks[k].text != var) {
+          continue;
+        }
+        const std::string& prev = toks[k - 1].text;
+        const std::string& next =
+            k + 1 < toks.size() ? toks[k + 1].text : std::string();
+        // `end_span(var` or `end_span(var,` closes it.
+        if (prev == "(" && k >= 2 &&
+            toks[k - 2].text == "end_span") {
+          closed = true;
+          break;
+        }
+        // `return var` / `co_return var` escapes.
+        if (prev == "return" || prev == "co_return") {
+          escaped = true;
+          break;
+        }
+        // Argument position in any other call: `foo(..., var` — the callee
+        // owns closing. annotate() doesn't close, skip it.
+        if ((prev == "(" || prev == ",")) {
+          // Find the callee of this argument list.
+          int depth = 0;
+          size_t c = k;
+          while (c > 0) {
+            const std::string& ct = toks[c].text;
+            if (ct == ")") depth++;
+            else if (ct == "(") {
+              if (depth == 0) break;
+              depth--;
+            }
+            c--;
+          }
+          const std::string callee =
+              c > 0 && toks[c - 1].kind == Token::Kind::kIdent
+                  ? toks[c - 1].text
+                  : "";
+          if (callee != "annotate" && callee != "end_span") {
+            escaped = true;
+            break;
+          }
+          continue;
+        }
+        // Stored somewhere (`x = var;`) escapes.
+        if (prev == "=" && next == ";") {
+          escaped = true;
+          break;
+        }
+      }
+      if (closed || escaped) continue;
+      out.push_back(
+          {name(), file.path, toks[i].line,
+           "trace span context '" + var +
+               "' is opened here but never closed in this function and "
+               "never escapes — the span leaks (SimChecker kLeakedSpan at "
+               "quiescence)",
+           "call tracer().end_span(" + var +
+               ", status) on every exit path, or pass/return the context "
+               "to whoever finishes the span"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_span_check() {
+  return std::make_unique<SpanPairingCheck>();
+}
+
+}  // namespace wiera::lint

@@ -1,0 +1,112 @@
+// status-discipline: catch (void)-laundered Status / Result<T>.
+//
+// Both types are [[nodiscard]], so a plain drop is a compiler warning — but
+// `(void)expr` silences it, and the codebase's assert-then-`(void)st` idiom
+// silently swallows errors in NDEBUG builds. Every launder must either turn
+// into real handling or carry a written justification
+// (`// wiera-lint: allow(status-discipline) <reason>`).
+//
+// Two shapes are flagged:
+//   (void)call(...)         where `call` is declared anywhere in the tree to
+//                           return Status / Result<T> / Task<Status-ish>
+//                           (co_await between the cast and the call is
+//                           looked through)
+//   (void)name;             where `name` is a local declared as
+//                           Status / Result<T> earlier in the same file
+#include "lint.h"
+
+namespace wiera::lint {
+
+namespace {
+
+class StatusDisciplineCheck : public Check {
+ public:
+  std::string name() const override { return "status-discipline"; }
+  std::string description() const override {
+    return "no (void)-cast or otherwise-laundered Status / Result<T>";
+  }
+
+  void run(const SourceFile& file, const Project& project,
+           std::vector<Finding>& out) const override {
+    if (file.module.empty()) return;  // src/ only
+    const auto& toks = file.tokens;
+
+    // Locals declared as Status/Result in this file: `Status name =`,
+    // `Status name;` and `Result<...> name =` shapes.
+    std::set<std::string> status_locals;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind != Token::Kind::kIdent) continue;
+      size_t name_idx = 0;
+      if (toks[i].text == "Status" &&
+          toks[i + 1].kind == Token::Kind::kIdent) {
+        name_idx = i + 1;
+      } else if (toks[i].text == "Result" && toks[i + 1].text == "<") {
+        const size_t close = match_angle(toks, i + 1, toks.size());
+        if (close != i + 1 && close + 1 < toks.size() &&
+            toks[close + 1].kind == Token::Kind::kIdent) {
+          name_idx = close + 1;
+        }
+      }
+      if (name_idx == 0 || name_idx + 1 >= toks.size()) continue;
+      const std::string& after = toks[name_idx + 1].text;
+      if (after == "=" || after == ";") {
+        status_locals.insert(toks[name_idx].text);
+      }
+    }
+
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (!(toks[i].text == "(" && toks[i + 1].text == "void" &&
+            toks[i + 2].text == ")")) {
+        continue;
+      }
+      size_t j = i + 3;
+      if (toks[j].text == "co_await") j++;
+
+      // `(void)name;` — laundering a named status local.
+      if (toks[j].kind == Token::Kind::kIdent && j + 1 < toks.size() &&
+          toks[j + 1].text == ";" &&
+          status_locals.count(toks[j].text) > 0) {
+        out.push_back(
+            {name(), file.path, toks[j].line,
+             "Status/Result local '" + toks[j].text +
+                 "' laundered with (void); in NDEBUG builds the error "
+                 "vanishes silently",
+             "handle the status (log / propagate / fold into a counter) or "
+             "justify with // wiera-lint: allow(status-discipline) <why>"});
+        continue;
+      }
+
+      // `(void)a.b->c(...)` — walk the member chain to the callee.
+      std::string callee;
+      while (j + 1 < toks.size()) {
+        if (toks[j].kind == Token::Kind::kIdent) {
+          callee = toks[j].text;
+          j++;
+          continue;
+        }
+        if (toks[j].text == "." || toks[j].text == "->" ||
+            toks[j].text == "::") {
+          j++;
+          continue;
+        }
+        break;
+      }
+      if (toks[j].text != "(" || callee.empty()) continue;
+      if (project.status_functions.count(callee) == 0) continue;
+      out.push_back(
+          {name(), file.path, toks[i].line,
+           "result of '" + callee +
+               "' (returns Status/Result) discarded via (void) cast",
+           "handle the status (log / propagate / fold into a counter) or "
+           "justify with // wiera-lint: allow(status-discipline) <why>"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_status_check() {
+  return std::make_unique<StatusDisciplineCheck>();
+}
+
+}  // namespace wiera::lint

@@ -1,0 +1,140 @@
+// Driver: file discovery, suppression application, baseline diffing.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint.h"
+
+namespace wiera::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".h";
+}
+
+// Collect *.cpp / *.h under each path (file or directory), repo-relative.
+std::vector<std::string> collect_files(const Options& options) {
+  std::vector<std::string> files;
+  for (const std::string& raw : options.paths) {
+    const fs::path abs = fs::path(options.root) / raw;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (auto it = fs::recursive_directory_iterator(abs, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) && lintable(it->path())) {
+          files.push_back(
+              fs::relative(it->path(), options.root, ec).generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(abs, ec) && lintable(abs)) {
+      files.push_back(raw);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+// Baseline file format, one grandfathered finding per line:
+//   <check> <path>:<line>
+// Lines starting with '#' and blank lines are ignored.
+std::set<std::string> load_baseline(const std::string& path) {
+  std::set<std::string> entries;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos || line[b] == '#') continue;
+    const auto e = line.find_last_not_of(" \t\r");
+    entries.insert(line.substr(b, e - b + 1));
+  }
+  return entries;
+}
+
+std::string baseline_key(const Finding& f) {
+  return f.check + " " + f.file + ":" + std::to_string(f.line);
+}
+
+}  // namespace
+
+RunResult run_lint(const Options& options) {
+  RunResult result;
+  Project project;
+
+  std::vector<Finding> all;  // includes bad-suppression findings
+  for (const std::string& rel : collect_files(options)) {
+    const std::string abs =
+        (std::filesystem::path(options.root) / rel).string();
+    project.files.push_back(load_source(abs, rel, all));
+  }
+  result.files_scanned = static_cast<int>(project.files.size());
+  build_tables(project);
+
+  const auto checks = make_all_checks();
+  for (const SourceFile& file : project.files) {
+    for (const auto& check : checks) {
+      if (!options.only.empty() && options.only.count(check->name()) == 0) {
+        continue;
+      }
+      check->run(file, project, all);
+    }
+  }
+
+  // Apply suppressions. bad-suppression itself cannot be suppressed.
+  std::vector<Finding> kept;
+  for (Finding& f : all) {
+    bool suppressed = false;
+    if (f.check != "bad-suppression") {
+      for (const SourceFile& file : project.files) {
+        if (file.path != f.file) continue;
+        for (const Suppression& s : file.suppressions) {
+          if (s.check == f.check && s.target_line == f.line) {
+            suppressed = true;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (suppressed) {
+      result.suppressed++;
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const Finding& a, const Finding& b) {
+                           return a.check == b.check && a.file == b.file &&
+                                  a.line == b.line && a.message == b.message;
+                         }),
+             kept.end());
+
+  if (!options.write_baseline_path.empty()) {
+    std::ofstream out(options.write_baseline_path);
+    out << "# wiera-lint baseline: grandfathered findings, one per line\n"
+        << "# (regenerate with --write-baseline; shrink it, never grow "
+           "it)\n";
+    for (const Finding& f : kept) out << baseline_key(f) << "\n";
+  }
+
+  std::set<std::string> baseline;
+  if (!options.baseline_path.empty()) {
+    baseline = load_baseline(options.baseline_path);
+  }
+  for (Finding& f : kept) {
+    if (baseline.count(baseline_key(f)) > 0) {
+      result.baselined++;
+    } else {
+      result.findings.push_back(std::move(f));
+    }
+  }
+  return result;
+}
+
+}  // namespace wiera::lint

@@ -1,0 +1,8 @@
+// Fixture: layering positives — `common` is the bottom layer and must not
+// reach up into sim or wiera.
+#include "sim/sim.h"
+#include "wiera/peer.h"
+
+namespace fx {
+int bottom();
+}

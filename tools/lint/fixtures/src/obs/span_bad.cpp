@@ -1,0 +1,28 @@
+// Fixture: span-pairing positives — a context that neither closes nor
+// escapes, and a start_trace() whose result is dropped on the floor.
+namespace fx {
+
+struct TraceContext {
+  int id = 0;
+};
+
+struct Tracer {
+  TraceContext start_trace(const char* name);
+  TraceContext start_span(const TraceContext& parent, const char* name);
+  void end_span(const TraceContext& ctx, int status);
+  void annotate(const TraceContext& ctx, const char* note);
+};
+
+Tracer& tracer();
+
+int leaked_span() {
+  TraceContext ctx = tracer().start_trace("op");
+  int work = ctx.id;
+  return work;
+}
+
+void dropped_trace() {
+  tracer().start_trace("op");
+}
+
+}  // namespace fx

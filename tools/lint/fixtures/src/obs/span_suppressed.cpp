@@ -1,0 +1,23 @@
+// Fixture: span-pairing suppression.
+namespace fx {
+
+struct TraceContext {
+  int id = 0;
+};
+
+struct Tracer {
+  TraceContext start_trace(const char* name);
+};
+
+Tracer& tracer();
+
+int last_id;
+
+int intentionally_open() {
+  // wiera-lint: allow(span-pairing) span closed by the shutdown flusher via its id
+  TraceContext ctx = tracer().start_trace("background");
+  last_id = ctx.id;
+  return last_id;
+}
+
+}  // namespace fx

@@ -1,0 +1,7 @@
+// Fixture: layering suppression on the include line below the comment.
+// wiera-lint: allow(layering) transitional: printer moves into policy next PR
+#include "obs/trace.h"
+
+namespace fx {
+int pol();
+}

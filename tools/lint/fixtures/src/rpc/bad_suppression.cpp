@@ -1,0 +1,20 @@
+// Fixture: malformed suppressions. A reason-less allow() and an allow()
+// naming an unknown check each yield a bad-suppression finding and do NOT
+// suppress anything — the status finding below must still fire.
+namespace fx {
+
+struct Status {};
+
+Status poke();
+
+void nope() {
+  (void)poke();  // wiera-lint: allow(status-discipline)
+}
+
+void unknown() {
+  // wiera-lint: allow(made-up-check) not a real check
+  int x = 1;
+  (void)x;
+}
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Fixture: status-discipline positives — the two laundering shapes.
+namespace fx {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status do_send();
+
+void drop_call() {
+  (void)do_send();
+}
+
+void drop_local() {
+  Status st = do_send();
+  (void)st;
+}
+
+}  // namespace fx

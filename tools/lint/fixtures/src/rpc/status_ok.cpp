@@ -1,0 +1,27 @@
+// Fixture: status-discipline negatives — (void) on non-status values, and a
+// handled status.
+namespace fx {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+struct Widget {
+  int frob();
+};
+
+Status probe();
+
+int fine() {
+  Widget w;
+  (void)w.frob();
+  int unused = 3;
+  (void)unused;
+  Status st = probe();
+  if (!st.ok()) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+// Fixture: status-discipline suppression on the code line itself.
+namespace fx {
+
+struct Status {};
+
+Status fire_and_forget();
+
+void launch() {
+  (void)fire_and_forget();  // wiera-lint: allow(status-discipline) best-effort probe, failure is expected
+}
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+// Fixture: determinism-source positives. Never compiled — lexed only.
+#include <chrono>
+
+namespace fx {
+
+long wall_now() {
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count() + std::time(nullptr);
+}
+
+int roll() {
+  return rand() % 6;
+}
+
+}  // namespace fx

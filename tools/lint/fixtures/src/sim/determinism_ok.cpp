@@ -1,0 +1,22 @@
+// Fixture: determinism-source negatives — member calls and declarations
+// named like libc functions must not fire.
+namespace fx {
+
+struct Sim {
+  long now() const { return 7; }
+};
+
+struct Vm {
+  long create_time = 0;
+};
+
+struct Clocky {
+  long time() const { return 1; }
+  int clock() const { return 2; }
+};
+
+long good(const Sim& sim, const Vm& vm, const Clocky& c) {
+  return sim.now() + vm.create_time + c.time() + c.clock();
+}
+
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: determinism-source suppression with a reason.
+namespace fx {
+
+long legacy() {
+  // wiera-lint: allow(determinism-source) interop shim, measured offline only
+  return std::time(nullptr);
+}
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+// Fixture: unordered-iteration negatives — ordered containers, vectors, and
+// a name that is declared both ordered and unordered somewhere in the tree
+// (ambiguous, deliberately skipped).
+#include <map>
+#include <vector>
+
+namespace fx {
+
+struct Ok {
+  std::map<int, int> m_;
+  std::vector<int> v_;
+  std::map<int, int> ambiguous_;
+
+  int sum() const {
+    int t = 0;
+    for (const auto& [k, x] : m_) t += k + x;
+    for (int x : v_) t += x;
+    for (const auto& [k, x] : ambiguous_) t += k + x;
+    return t;
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// Fixture: unordered-iteration suppression with a reason.
+#include <string>
+#include <unordered_map>
+
+namespace fx {
+
+struct Sup {
+  std::unordered_map<std::string, int> stats_;
+
+  int total() const {
+    int t = 0;
+    // wiera-lint: allow(unordered-iteration) commutative sum, order-free
+    for (const auto& [k, v] : stats_) t += v + static_cast<int>(k.size());
+    return t;
+  }
+};
+
+}  // namespace fx

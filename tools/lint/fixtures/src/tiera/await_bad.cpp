@@ -1,0 +1,38 @@
+// Fixture: await-hazard positives — the three flagged shapes.
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+struct Task {};
+struct Obj {
+  int size = 0;
+};
+
+struct Inst {
+  std::vector<Obj> objs_;
+  std::vector<int> order_;
+  std::mutex mu_;
+
+  Task wait();
+
+  Task use_after_await(int* out) {
+    Obj* obj = &objs_[0];
+    co_await wait();
+    out[0] = obj->size;
+  }
+
+  Task guard_across_await() {
+    std::lock_guard<std::mutex> lock(mu_);
+    co_await wait();
+  }
+
+  Task iterate_member() {
+    for (int id : order_) {
+      co_await wait();
+      out(id);
+    }
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,60 @@
+// Fixture: await-hazard negatives — copy-before-await, re-fetch after
+// resume, the awaited expression itself (evaluated pre-suspension), a copied
+// snapshot loop, and a co_await inside a nested lambda (barrier: it suspends
+// the lambda's coroutine, not the enclosing function).
+#include <vector>
+
+namespace fx {
+
+struct Task {};
+struct Obj {
+  int size = 0;
+};
+
+void schedule(Task t);
+
+struct Inst {
+  std::vector<Obj> objs_;
+  std::vector<int> order_;
+
+  Task wait();
+  Task push(int v);
+
+  Task copy_before_await(int* out) {
+    Obj* obj = &objs_[0];
+    const int size = obj->size;
+    co_await wait();
+    out[0] = size;
+  }
+
+  Task refetch_after_await(int* out) {
+    Obj* obj = &objs_[0];
+    co_await wait();
+    obj = &objs_[1];
+    out[0] = obj->size;
+  }
+
+  Task awaited_expression_runs_before_suspension() {
+    Obj* obj = &objs_[0];
+    co_await push(obj->size);
+  }
+
+  Task snapshot_loop() {
+    const std::vector<int> snapshot = order_;
+    for (int id : snapshot) {
+      co_await push(id);
+    }
+  }
+
+  void lambda_in_loop() {
+    for (int id : order_) {
+      auto spawn = [this, id]() -> Task {
+        co_await push(id);
+        co_return;
+      };
+      schedule(spawn());
+    }
+  }
+};
+
+}  // namespace fx

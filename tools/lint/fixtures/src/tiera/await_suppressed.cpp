@@ -1,0 +1,22 @@
+// Fixture: await-hazard suppression (comment alone targets the next line).
+#include <vector>
+
+namespace fx {
+
+struct Task {};
+
+struct Inst {
+  std::vector<int> order_;
+
+  Task wait();
+
+  Task stable_iteration() {
+    // wiera-lint: allow(await-hazard) order_ is append-only while replaying
+    for (int id : order_) {
+      co_await wait();
+      use(id);
+    }
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: layering negatives — sanctioned downward edges and a
+// same-directory include.
+#include "common/status.h"
+#include "local_header.h"
+#include "store/tier.h"
+
+namespace fx {
+int mid();
+}

@@ -1,0 +1,160 @@
+#include <cctype>
+#include <cstring>
+
+#include "lint.h"
+
+namespace wiera::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Longest-match multi-char punctuation. `>>` is kept as one token; template
+// matching treats it as two closers.
+const char* kPuncts[] = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",  "++",  "--",  "##",
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& text) {
+  std::vector<Token> toks;
+  size_t i = 0;
+  const size_t n = text.size();
+  int line = 1;
+
+  auto push = [&](Token::Kind kind, std::string t, int l) {
+    toks.push_back(Token{kind, std::move(t), l});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      line++;
+      i++;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') i++;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') line++;
+        i++;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      size_t d = i + 2;
+      while (d < n && text[d] != '(') d++;
+      const std::string delim = text.substr(i + 2, d - (i + 2));
+      const std::string closer = ")" + delim + "\"";
+      size_t end = text.find(closer, d);
+      if (end == std::string::npos) end = n;
+      const int start_line = line;
+      for (size_t k = i; k < end && k < n; ++k) {
+        if (text[k] == '\n') line++;
+      }
+      push(Token::Kind::kString, text.substr(i, end + closer.size() - i),
+           start_line);
+      i = end + closer.size() > n ? n : end + closer.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) j++;
+        if (text[j] == '\n') line++;
+        j++;
+      }
+      j = j < n ? j + 1 : n;
+      push(quote == '"' ? Token::Kind::kString : Token::Kind::kChar,
+           text.substr(i, j - i), start_line);
+      i = j;
+      continue;
+    }
+    if (ident_start(c)) {
+      size_t j = i + 1;
+      while (j < n && ident_char(text[j])) j++;
+      push(Token::Kind::kIdent, text.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      // pp-number: digits, idents, dots, and exponent signs.
+      size_t j = i + 1;
+      while (j < n &&
+             (ident_char(text[j]) || text[j] == '.' ||
+              ((text[j] == '+' || text[j] == '-') &&
+               (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        j++;
+      }
+      push(Token::Kind::kNumber, text.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+    // Backslash-newline continuation.
+    if (c == '\\' && i + 1 < n && text[i + 1] == '\n') {
+      line++;
+      i += 2;
+      continue;
+    }
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const size_t len = std::strlen(p);
+      if (text.compare(i, len, p) == 0) {
+        push(Token::Kind::kPunct, p, line);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    push(Token::Kind::kPunct, std::string(1, c), line);
+    i++;
+  }
+  push(Token::Kind::kEof, "", line);
+  return toks;
+}
+
+size_t match_angle(const std::vector<Token>& toks, size_t open, size_t limit) {
+  int depth = 0;
+  for (size_t i = open; i < limit && i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") depth++;
+    else if (t == ">") {
+      if (--depth == 0) return i;
+    } else if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i;
+    } else if (t == ";" || t == "{") {
+      return open;  // not a template argument list after all
+    }
+  }
+  return open;
+}
+
+}  // namespace wiera::lint

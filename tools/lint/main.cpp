@@ -1,0 +1,94 @@
+// wiera-lint CLI. Exit status: 0 clean, 1 new findings, 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lint.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: wiera-lint [options] [path...]\n"
+               "\n"
+               "Paths are files or directories, relative to --root; default: "
+               "src bench tests.\n"
+               "\n"
+               "  --root <dir>            repo root (default: .)\n"
+               "  --baseline <file>       ignore findings listed in <file>\n"
+               "  --write-baseline <file> write current findings as a new "
+               "baseline\n"
+               "  --only <check>[,...]    run only the named checks\n"
+               "  --fix-hints             print a suggested fix under each "
+               "finding\n"
+               "  --list-checks           list registered checks and exit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using wiera::lint::Options;
+  Options options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "wiera-lint: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      options.root = value("--root");
+    } else if (arg == "--baseline") {
+      options.baseline_path = value("--baseline");
+    } else if (arg == "--write-baseline") {
+      options.write_baseline_path = value("--write-baseline");
+    } else if (arg == "--only") {
+      std::string list = value("--only");
+      size_t pos = 0;
+      while (pos < list.size()) {
+        const size_t comma = list.find(',', pos);
+        const size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > pos) options.only.insert(list.substr(pos, end - pos));
+        pos = end + 1;
+      }
+    } else if (arg == "--fix-hints") {
+      options.fix_hints = true;
+    } else if (arg == "--list-checks") {
+      for (const auto& check : wiera::lint::make_all_checks()) {
+        std::printf("%-20s %s\n", check->name().c_str(),
+                    check->description().c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "wiera-lint: unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+  if (options.paths.empty()) {
+    options.paths = {"src", "bench", "tests"};
+  }
+
+  const wiera::lint::RunResult result = wiera::lint::run_lint(options);
+  for (const auto& finding : result.findings) {
+    std::printf("%s", wiera::lint::render(finding, options.fix_hints).c_str());
+  }
+  std::printf(
+      "wiera-lint: %zu finding%s (%d suppressed, %d baselined) in %d files\n",
+      result.findings.size(), result.findings.size() == 1 ? "" : "s",
+      result.suppressed, result.baselined, result.files_scanned);
+  if (!options.write_baseline_path.empty()) {
+    std::printf("wiera-lint: baseline written to %s\n",
+                options.write_baseline_path.c_str());
+    return 0;
+  }
+  return result.findings.empty() ? 0 : 1;
+}

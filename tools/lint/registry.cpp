@@ -1,0 +1,23 @@
+#include "lint.h"
+
+namespace wiera::lint {
+
+std::unique_ptr<Check> make_determinism_check();
+std::unique_ptr<Check> make_unordered_check();
+std::unique_ptr<Check> make_status_check();
+std::unique_ptr<Check> make_await_check();
+std::unique_ptr<Check> make_span_check();
+std::unique_ptr<Check> make_layering_check();
+
+std::vector<std::unique_ptr<Check>> make_all_checks() {
+  std::vector<std::unique_ptr<Check>> checks;
+  checks.push_back(make_determinism_check());
+  checks.push_back(make_unordered_check());
+  checks.push_back(make_status_check());
+  checks.push_back(make_await_check());
+  checks.push_back(make_span_check());
+  checks.push_back(make_layering_check());
+  return checks;
+}
+
+}  // namespace wiera::lint
