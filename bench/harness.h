@@ -4,6 +4,7 @@
 // small table-printing helpers.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -90,6 +91,28 @@ struct PaperCluster {
       std::abort();
     }
   }
+};
+
+// ---- wall-clock measurement (bench trajectory, docs/PERFORMANCE.md) ----
+//
+// Real (host) time spent executing the simulation — the "how fast does the
+// simulator itself run" axis tracked in BENCH_micro.json. Contract: run all
+// warm-up work (populating tiers, first-touch allocations, arena fill)
+// BEFORE start(), so warm-up never counts against the measured wall-clock;
+// folding it in understates steady-state throughput on short runs. Host
+// time never feeds back into simulated behavior, so reading it here is
+// determinism-safe (and bench/ is outside the lint's sim-reachable set).
+class WallTimer {
+ public:
+  void start() { begin_ = std::chrono::steady_clock::now(); }
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - begin_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point begin_{};
 };
 
 // ---- output helpers ----

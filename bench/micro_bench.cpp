@@ -1,11 +1,24 @@
 // Google-benchmark micro-benchmarks for the substrates: DES kernel event
 // throughput, task fan-out, RNG/zipfian generation, wire serialization,
-// policy parsing/evaluation, lock-service cycles, storage-tier ops.
+// policy parsing/evaluation, lock-service cycles, storage-tier ops — plus a
+// small end-to-end macro section (a PaperCluster put/get stream) measuring
+// wall-clock per simulated second and client latency percentiles.
+//
+// Custom driver (replaces BENCHMARK_MAIN):
+//   micro_bench [--quick] [--json PATH] [gbench flags...]
+// --quick caps per-benchmark measuring time (CI gate); --json writes the
+// machine-readable trajectory file (BENCH_micro.json schema, compared by
+// scripts/bench_check.sh — see docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
 #include "coord/lock_service.h"
+#include "harness.h"
 #include "policy/builtin_policies.h"
 #include "policy/eval.h"
 #include "policy/parser.h"
@@ -13,6 +26,7 @@
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "store/tier.h"
+#include "wiera/messages.h"
 #include "ycsb/ycsb.h"
 
 namespace wiera {
@@ -90,7 +104,32 @@ BENCHMARK(BM_WorkloadGeneratorNext);
 
 // ------------------------------------------------------------ wire format
 
+// The RPC hot path as rpc::Endpoint actually runs it: encode into a
+// segmented BodyView (payload appended as a shared segment, no memcpy) and
+// decode a Blob that aliases the body's storage. Per-iteration cost is
+// header scratch + refcount traffic, independent of payload size.
 void BM_WireRoundTrip(benchmark::State& state) {
+  const Blob payload = Blob::zeros(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    rpc::WireWriter w;
+    w.put_string("some-object-key");
+    w.put_i64(42);
+    w.put_blob(payload);
+    rpc::Message msg{w.take_body()};
+    rpc::WireReader r(msg.body);
+    benchmark::DoNotOptimize(r.get_string());
+    benchmark::DoNotOptimize(r.get_i64());
+    benchmark::DoNotOptimize(r.get_blob().size());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WireRoundTrip)->Arg(128)->Arg(4096)->Arg(65536);
+
+// The pre-zero-copy path kept for comparison: flatten the body into one
+// contiguous byte vector and copy the payload back out on decode. The gap
+// between this and BM_WireRoundTrip is the copy cost the BodyView design
+// removes (docs/PERFORMANCE.md).
+void BM_WireRoundTripFlat(benchmark::State& state) {
   const Blob payload = Blob::zeros(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     rpc::WireWriter w;
@@ -105,7 +144,30 @@ void BM_WireRoundTrip(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_WireRoundTrip)->Arg(128)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_WireRoundTripFlat)->Arg(128)->Arg(4096)->Arg(65536);
+
+// Replication fan-out: one payload encoded and decoded once per replica
+// target. With shared segments all four decoded blobs alias the same
+// storage — the payload is never duplicated per target.
+void BM_ReplicateFanout(benchmark::State& state) {
+  geo::ReplicateRequest req;
+  req.key = "some-object-key";
+  req.version = 3;
+  req.value = Blob::zeros(static_cast<size_t>(state.range(0)));
+  req.origin = "tiera-us-east";
+  constexpr int kTargets = 4;
+  for (auto _ : state) {
+    size_t total = 0;
+    for (int t = 0; t < kTargets; ++t) {
+      rpc::Message msg = geo::encode(req);
+      auto decoded = geo::decode_replicate_request(msg);
+      total += decoded.value().value.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * kTargets);
+}
+BENCHMARK(BM_ReplicateFanout)->Arg(4096)->Arg(65536);
 
 // ------------------------------------------------------------ policy
 
@@ -198,7 +260,189 @@ void BM_MemoryTierPutGet(benchmark::State& state) {
 }
 BENCHMARK(BM_MemoryTierPutGet)->Arg(256);
 
+// ------------------------------------------------- trajectory driver
+
+// Console output as usual, plus a machine-readable record of every run
+// (per-iteration time and throughput) for BENCH_micro.json.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double ns_per_iter = 0;
+    double ops_per_sec = 0;
+    double bytes_per_sec = 0;
+  };
+  std::vector<Row> rows;
+
+  bool ReportContext(const Context& context) override {
+    return ConsoleReporter::ReportContext(context);
+  }
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Row r;
+      r.name = run.benchmark_name();
+      const double secs = run.real_accumulated_time;
+      const double iters = static_cast<double>(run.iterations);
+      if (secs > 0 && iters > 0) {
+        r.ns_per_iter = secs * 1e9 / iters;
+        r.ops_per_sec = iters / secs;
+      }
+      // SetItemsProcessed/SetBytesProcessed land in user counters; prefer
+      // items/sec as the benchmark's own throughput notion when present.
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) r.ops_per_sec = it->second.value;
+      auto bt = run.counters.find("bytes_per_second");
+      if (bt != run.counters.end()) r.bytes_per_sec = bt->second.value;
+      rows.push_back(std::move(r));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+// End-to-end macro measurement: a PaperCluster under MultiPrimaries serving
+// a put/get stream from one client. Tracks (a) host wall-clock per
+// simulated second — the simulator-speed axis — and (b) client latency
+// percentiles out of the obs::Registry histograms — the simulated-latency
+// axis. Warm-up ops run before WallTimer::start() per the harness contract.
+struct MacroStats {
+  double ops = 0;
+  double wall_us = 0;
+  double sim_seconds = 0;
+  double put_p50_us = 0;
+  double put_p99_us = 0;
+  double get_p50_us = 0;
+  double get_p99_us = 0;
+
+  double ops_per_wall_sec() const {
+    return wall_us > 0 ? ops / (wall_us / 1e6) : 0;
+  }
+  double wall_us_per_sim_sec() const {
+    return sim_seconds > 0 ? wall_us / sim_seconds : 0;
+  }
+};
+
+MacroStats run_macro(bool quick) {
+  using wiera::bench::PaperCluster;
+  MacroStats out;
+  PaperCluster cluster(/*seed=*/7);
+  auto options =
+      cluster.options_for(policy::builtin::multi_primaries_consistency());
+  auto peers = cluster.controller.start_instances("bench", std::move(options));
+  if (!peers.ok()) {
+    std::fprintf(stderr, "macro start: %s\n",
+                 peers.status().to_string().c_str());
+    std::abort();
+  }
+  geo::WieraClient client(cluster.sim, cluster.network, cluster.registry,
+                          "app-us-east", "client-us-east", *peers);
+  const int kWarmup = quick ? 50 : 200;
+  const int kOps = quick ? 400 : 2000;
+  wiera::bench::WallTimer timer;
+  cluster.run([&]() -> sim::Task<void> {
+    const Blob value = Blob::zeros(4096);
+    for (int i = 0; i < kWarmup; ++i) {
+      co_await client.put("warm" + std::to_string(i % 16), value);
+      co_await client.get("warm" + std::to_string(i % 16));
+    }
+    timer.start();
+    const TimePoint sim_start = cluster.sim.now();
+    for (int i = 0; i < kOps; ++i) {
+      co_await client.put("key" + std::to_string(i % 64), value);
+      co_await client.get("key" + std::to_string(i % 64));
+    }
+    out.wall_us = timer.elapsed_us();
+    out.sim_seconds = (cluster.sim.now() - sim_start).seconds();
+    out.ops = 2.0 * kOps;
+  });
+  auto& registry = cluster.sim.telemetry().registry();
+  const obs::LabelSet labels{{"client", "app-us-east"}};
+  auto* put_hist = registry.histogram("wiera_client_put_latency_us", labels);
+  auto* get_hist = registry.histogram("wiera_client_get_latency_us", labels);
+  out.put_p50_us = static_cast<double>(put_hist->percentile(0.50).us());
+  out.put_p99_us = static_cast<double>(put_hist->percentile(0.99).us());
+  out.get_p50_us = static_cast<double>(get_hist->percentile(0.50).us());
+  out.get_p99_us = static_cast<double>(get_hist->percentile(0.99).us());
+  return out;
+}
+
+void write_json(const std::string& path, bool quick,
+                const std::vector<RecordingReporter::Row>& rows,
+                const MacroStats& macro) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::abort();
+  }
+  std::fprintf(f, "{\n  \"schema\": \"wiera-bench-micro/1\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  std::fprintf(f, "  \"micro\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_iter\": %.2f, "
+                 "\"ops_per_sec\": %.2f, \"bytes_per_sec\": %.2f}%s\n",
+                 r.name.c_str(), r.ns_per_iter, r.ops_per_sec,
+                 r.bytes_per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"macro\": {\n");
+  std::fprintf(f, "    \"ops\": %.0f,\n", macro.ops);
+  std::fprintf(f, "    \"wall_us\": %.1f,\n", macro.wall_us);
+  std::fprintf(f, "    \"ops_per_wall_sec\": %.2f,\n",
+               macro.ops_per_wall_sec());
+  std::fprintf(f, "    \"sim_seconds\": %.3f,\n", macro.sim_seconds);
+  std::fprintf(f, "    \"wall_us_per_sim_sec\": %.1f,\n",
+               macro.wall_us_per_sim_sec());
+  std::fprintf(f, "    \"put_p50_us\": %.0f,\n", macro.put_p50_us);
+  std::fprintf(f, "    \"put_p99_us\": %.0f,\n", macro.put_p99_us);
+  std::fprintf(f, "    \"get_p50_us\": %.0f,\n", macro.get_p50_us);
+  std::fprintf(f, "    \"get_p99_us\": %.0f\n", macro.get_p99_us);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 }  // namespace wiera
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  std::vector<char*> gb_args;
+  gb_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      gb_args.push_back(argv[i]);
+    }
+  }
+  static char min_time_flag[] = "--benchmark_min_time=0.05";
+  if (quick) gb_args.push_back(min_time_flag);
+  int gb_argc = static_cast<int>(gb_args.size());
+  benchmark::Initialize(&gb_argc, gb_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_args.data())) {
+    return 1;
+  }
+
+  wiera::RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  wiera::MacroStats macro = wiera::run_macro(quick);
+  std::printf("\n--- macro: PaperCluster put/get (MultiPrimaries) ---\n");
+  std::printf("ops %.0f | wall %.1f ms | %.0f ops/wall-sec | "
+              "%.1f ms-wall per sim-sec\n",
+              macro.ops, macro.wall_us / 1e3, macro.ops_per_wall_sec(),
+              macro.wall_us_per_sim_sec() / 1e3);
+  std::printf("put p50/p99 %.0f/%.0f us | get p50/p99 %.0f/%.0f us\n",
+              macro.put_p50_us, macro.put_p99_us, macro.get_p50_us,
+              macro.get_p99_us);
+
+  if (!json_path.empty()) {
+    wiera::write_json(json_path, quick, reporter.rows, macro);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Performance-regression gate (docs/PERFORMANCE.md): run the micro-benchmark
+# suite in --quick mode and compare per-benchmark ops/sec against the
+# committed baseline bench/baselines/BENCH_micro.json. A benchmark that
+# drops more than 15% below baseline fails the gate.
+#
+# Usage:
+#   scripts/bench_check.sh [BUILD_DIR]
+#
+#   BUILD_DIR  cmake build directory containing bench/micro_bench
+#              (default: build)
+#
+# Environment:
+#   WIERA_BENCH_GATE=0   skip the gate entirely (exit 77, which the ctest
+#                        wrapper reports as SKIPPED) — for machines where
+#                        wall-clock measurement is meaningless (emulation,
+#                        heavily shared CI runners)
+#   WIERA_BENCH_RUNS     best-of-N runs (default 3)
+#
+# Noise defenses (single-core CI containers jitter by 10-20%):
+#   * best-of-N: noise only ever makes a run slower, so the max over N runs
+#     estimates the machine's true capability;
+#   * only tight-loop benchmarks are gated (wire codec, fan-out encode, RNG,
+#     zipfian, workload gen, policy). Benchmarks built around PauseTiming or
+#     OS-heavy setup (lock cycles, tier put/get, sim-kernel events) and the
+#     macro wall-clock section are recorded in BENCH_micro.json but not
+#     gated — their run-to-run variance exceeds any useful threshold.
+set -u
+
+BUILD_DIR="${1:-build}"
+BENCH="${BUILD_DIR}/bench/micro_bench"
+BASELINE="$(dirname "$0")/../bench/baselines/BENCH_micro.json"
+RUNS="${WIERA_BENCH_RUNS:-3}"
+
+if [ "${WIERA_BENCH_GATE:-1}" = "0" ]; then
+  echo "bench_check: WIERA_BENCH_GATE=0 — skipping"
+  exit 77
+fi
+if [ ! -x "${BENCH}" ]; then
+  echo "bench_check: ${BENCH} not built" >&2
+  exit 1
+fi
+if [ ! -f "${BASELINE}" ]; then
+  echo "bench_check: baseline ${BASELINE} missing" >&2
+  exit 1
+fi
+
+TMPDIR_BENCH="$(mktemp -d)"
+trap 'rm -rf "${TMPDIR_BENCH}"' EXIT
+
+# Gated set: tight measurement loops only (see header).
+FILTER='BM_WireRoundTrip|BM_WireRoundTripFlat|BM_ReplicateFanout|BM_RngNextU64|BM_ZipfianNext|BM_WorkloadGeneratorNext|BM_PolicyParse|BM_PolicyEvaluateCondition'
+
+for i in $(seq 1 "${RUNS}"); do
+  "${BENCH}" --quick --json "${TMPDIR_BENCH}/run${i}.json" \
+    "--benchmark_filter=${FILTER}" > /dev/null 2>&1 || {
+    echo "bench_check: micro_bench run ${i} failed" >&2
+    exit 1
+  }
+done
+
+python3 - "${BASELINE}" "${TMPDIR_BENCH}" "${RUNS}" <<'EOF'
+import json, sys
+
+baseline_path, tmpdir, runs = sys.argv[1], sys.argv[2], int(sys.argv[3])
+TOLERANCE = 0.15  # >15% ops/sec drop vs baseline fails
+
+with open(baseline_path) as f:
+    baseline = {r["name"]: r["ops_per_sec"] for r in json.load(f)["micro"]}
+
+best = {}
+for i in range(1, runs + 1):
+    with open(f"{tmpdir}/run{i}.json") as f:
+        for r in json.load(f)["micro"]:
+            best[r["name"]] = max(best.get(r["name"], 0.0), r["ops_per_sec"])
+
+failed = []
+for name, ops in sorted(best.items()):
+    base = baseline.get(name)
+    if base is None or base <= 0:
+        print(f"  {name:34s} {ops:14.0f} ops/s  (no baseline — informational)")
+        continue
+    ratio = ops / base
+    mark = "ok" if ratio >= 1.0 - TOLERANCE else "FAIL"
+    print(f"  {name:34s} {ops:14.0f} ops/s  {ratio:6.2f}x baseline  {mark}")
+    if ratio < 1.0 - TOLERANCE:
+        failed.append(name)
+
+if failed:
+    print(f"bench_check: {len(failed)} benchmark(s) regressed >15% vs "
+          f"{baseline_path}: {', '.join(failed)}")
+    sys.exit(1)
+print("bench_check: all gated benchmarks within tolerance")
+EOF

@@ -1,0 +1,324 @@
+// Small-size-optimized containers for hot metadata paths.
+//
+// The per-op structures on the PUT/GET hot path are tiny in practice — a
+// key has a handful of versions, a fan-out targets 2–4 peers, a message
+// body has 1–3 segments — but the std containers they used (std::map,
+// std::set, std::vector) pay a heap allocation per node or per element.
+// SmallVec keeps up to N elements inline; FlatMap/FlatSet are sorted
+// SmallVecs with map/set semantics. Iteration order is the key order, so
+// swapping std::map/std::set for these is determinism-neutral.
+//
+// Invalidation: unlike std::map/std::set, *any* insert or erase may move
+// elements (and an insert past capacity reallocates), so pointers and
+// iterators into a FlatMap/FlatSet do not survive mutation. Callers that
+// held long-lived node pointers must re-find after mutating.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+#include <new>
+#include <utility>
+
+namespace wiera {
+
+template <typename T, size_t N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& other) { append_range(other.begin(), other.end()); }
+
+  SmallVec(SmallVec&& other) noexcept { move_from(std::move(other)); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear();
+      append_range(other.begin(), other.end());
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVec() { destroy_all(); }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return cap_; }
+  static constexpr size_t inline_capacity() { return N; }
+  bool is_inline() const { return data_ == inline_data(); }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(size_t want) {
+    if (want > cap_) grow_to(want);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow_to(cap_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    size_++;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    size_--;
+    data_[size_].~T();
+  }
+
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  // Insert before `pos`; shifts the tail right. Returns the new element.
+  iterator insert(const_iterator pos, T value) {
+    const size_t idx = static_cast<size_t>(pos - data_);
+    assert(idx <= size_);
+    if (size_ == cap_) grow_to(cap_ * 2);
+    if (idx == size_) {
+      emplace_back(std::move(value));
+      return data_ + idx;
+    }
+    // Move-construct the last element into the new back slot, then shift.
+    ::new (static_cast<void*>(data_ + size_)) T(std::move(data_[size_ - 1]));
+    for (size_t i = size_ - 1; i > idx; --i) data_[i] = std::move(data_[i - 1]);
+    data_[idx] = std::move(value);
+    size_++;
+    return data_ + idx;
+  }
+
+  iterator erase(const_iterator pos) {
+    const size_t idx = static_cast<size_t>(pos - data_);
+    assert(idx < size_);
+    for (size_t i = idx; i + 1 < size_; ++i) data_[i] = std::move(data_[i + 1]);
+    pop_back();
+    return data_ + idx;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  T* inline_data() {
+    return std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+  const T* inline_data() const {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  void grow_to(size_t want) {
+    const size_t new_cap = std::max(want, cap_ * 2);
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T),
+                                              std::align_val_t(alignof(T))));
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    release_heap();
+    data_ = fresh;
+    cap_ = new_cap;
+  }
+
+  void append_range(const T* first, const T* last) {
+    reserve(size_ + static_cast<size_t>(last - first));
+    for (const T* p = first; p != last; ++p) emplace_back(*p);
+  }
+
+  // Leaves `other` empty. Assumes *this holds no live elements.
+  void move_from(SmallVec&& other) {
+    if (!other.is_inline()) {
+      // Steal the heap block outright.
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.cap_ = N;
+      other.size_ = 0;
+      return;
+    }
+    data_ = inline_data();
+    cap_ = N;
+    size_ = 0;
+    for (size_t i = 0; i < other.size_; ++i) emplace_back(std::move(other[i]));
+    other.clear();
+  }
+
+  void release_heap() {
+    if (!is_inline()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+  }
+
+  void destroy_all() {
+    clear();
+    release_heap();
+    data_ = inline_data();
+    cap_ = N;
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  size_t size_ = 0;
+  size_t cap_ = N;
+};
+
+// Sorted-vector map: std::map surface over SmallVec storage. Ordered
+// iteration (begin..end ascending by key, rbegin = highest key), O(log n)
+// find, O(n) insert/erase — the right trade for the per-key version lists
+// and per-target tables this replaces, which hold a handful of entries.
+template <typename K, typename V, size_t N = 4>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = value_type*;
+  using const_iterator = const value_type*;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+  reverse_iterator rbegin() { return entries_.rbegin(); }
+  reverse_iterator rend() { return entries_.rend(); }
+  const_reverse_iterator rbegin() const { return entries_.rbegin(); }
+  const_reverse_iterator rend() const { return entries_.rend(); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  iterator lower_bound(const K& key) {
+    return std::lower_bound(begin(), end(), key, KeyLess{});
+  }
+  const_iterator lower_bound(const K& key) const {
+    return std::lower_bound(begin(), end(), key, KeyLess{});
+  }
+
+  iterator find(const K& key) {
+    iterator it = lower_bound(key);
+    return (it != end() && it->first == key) ? it : end();
+  }
+  const_iterator find(const K& key) const {
+    const_iterator it = lower_bound(key);
+    return (it != end() && it->first == key) ? it : end();
+  }
+
+  size_t count(const K& key) const { return find(key) != end() ? 1 : 0; }
+  bool contains(const K& key) const { return count(key) > 0; }
+
+  V& operator[](const K& key) {
+    iterator it = lower_bound(key);
+    if (it != end() && it->first == key) return it->second;
+    return entries_.insert(it, value_type(key, V{}))->second;
+  }
+
+  std::pair<iterator, bool> insert_or_assign(const K& key, V value) {
+    iterator it = lower_bound(key);
+    if (it != end() && it->first == key) {
+      it->second = std::move(value);
+      return {it, false};
+    }
+    return {entries_.insert(it, value_type(key, std::move(value))), true};
+  }
+
+  size_t erase(const K& key) {
+    iterator it = find(key);
+    if (it == end()) return 0;
+    entries_.erase(it);
+    return 1;
+  }
+
+  iterator erase(const_iterator pos) { return entries_.erase(pos); }
+
+ private:
+  struct KeyLess {
+    bool operator()(const value_type& e, const K& k) const {
+      return e.first < k;
+    }
+  };
+  SmallVec<value_type, N> entries_;
+};
+
+// Sorted-vector set, same trade-offs as FlatMap.
+template <typename K, size_t N = 4>
+class FlatSet {
+ public:
+  using iterator = K*;
+  using const_iterator = const K*;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  std::pair<iterator, bool> insert(K key) {
+    iterator it = std::lower_bound(begin(), end(), key);
+    if (it != end() && *it == key) return {it, false};
+    return {entries_.insert(it, std::move(key)), true};
+  }
+
+  size_t count(const K& key) const {
+    const_iterator it = std::lower_bound(begin(), end(), key);
+    return (it != end() && *it == key) ? 1 : 0;
+  }
+  bool contains(const K& key) const { return count(key) > 0; }
+
+  size_t erase(const K& key) {
+    iterator it = std::lower_bound(begin(), end(), key);
+    if (it == end() || *it != key) return 0;
+    entries_.erase(it);
+    return 1;
+  }
+
+ private:
+  SmallVec<K, N> entries_;
+};
+
+}  // namespace wiera

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/small_vec.h"
 #include "common/status.h"
 #include "common/time.h"
 
@@ -44,8 +45,14 @@ struct VersionMeta {
 struct ObjectMeta {
   std::string key;
   std::set<std::string> tags;
-  // version number -> metadata; ordered so *rbegin() is the latest.
-  std::map<int64_t, VersionMeta> versions;
+  // version number -> metadata; ordered so *rbegin() is the latest. A key
+  // holds a handful of versions (max_versions caps it), so this is a flat
+  // sorted map with inline storage — no heap node per version on the PUT
+  // hot path. Unlike std::map, mutating it moves rows: VersionMeta
+  // pointers/references must not be held across an upsert/remove of the
+  // same key (the await-hazard lint already forbids holding them across
+  // suspension points, where concurrent mutation could bite either way).
+  FlatMap<int64_t, VersionMeta, 4> versions;
   // Highest version number ever recorded for this key. Never decremented:
   // forget_version() may drop the latest version's row (quarantined copy,
   // lost durable payload) but allocation must stay monotonic — reusing a

@@ -122,8 +122,9 @@ sim::Task<Result<Message>> Endpoint::call_inner(std::string target_node,
       !request.body.empty()) {
     // The request payload arrives with a flipped byte. The frame itself
     // still parses (headers are modeled out of band), so only end-to-end
-    // checksums can catch this.
-    request.body[request.body.size() / 2] ^= 0x01;
+    // checksums can catch this. Copy-on-write: the body's storage is shared
+    // with the sender, so only this delivery's view may change.
+    request.body.flip_byte(request.body.size() / 2);
   }
 
   if (network_->chaos_duplicate(node_name_, target_node)) {
@@ -150,7 +151,7 @@ sim::Task<Result<Message>> Endpoint::call_inner(std::string target_node,
 
   if (network_->chaos_corrupt(target_node, node_name_) &&
       !response->body.empty()) {
-    response->body[response->body.size() / 2] ^= 0x01;
+    response->body.flip_byte(response->body.size() / 2);
   }
 
   co_return std::move(response).value();

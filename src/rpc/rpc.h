@@ -36,9 +36,11 @@
 namespace wiera::rpc {
 
 // A serialized message body plus a small framing overhead that models
-// headers on the wire.
+// headers on the wire. The body is a segmented view over ref-counted
+// buffers (common/bytes.h): copying a Message shares payload storage, and
+// wire_size() reflects the logical byte string exactly as if it were flat.
 struct Message {
-  Bytes body;
+  BodyView body;
   // Absolute deadline carried in the frame header (gRPC-style metadata, not
   // part of the serialized body). TimePoint::max() = no deadline.
   TimePoint deadline = TimePoint::max();

@@ -4,8 +4,19 @@
 // RPC payload in the system is produced by WireWriter and consumed by
 // WireReader; the serialized size feeds the network model, so message sizes
 // (and therefore transfer times and egress bills) are realistic.
+//
+// Zero-copy path: blob payloads at or above kZeroCopyThreshold are not
+// memcpy'd into the scratch buffer — the writer seals the scratch as one
+// segment and appends the blob's ref-counted Buffer as the next, and
+// take_body() hands the segments to rpc::Message without flattening. The
+// segmented body's logical byte string is identical to the flat encoding
+// (take() still produces it), so wire sizes, transfer times, and every
+// determinism trace are unchanged. Readers constructed over a BodyView
+// alias blob bytes out of the body's storage instead of copying.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -16,8 +27,16 @@
 
 namespace wiera::rpc {
 
+// Blobs shorter than this are cheaper to memcpy inline than to carry as a
+// separate ref-counted segment (segment = shared_ptr bump + vector slot).
+inline constexpr size_t kZeroCopyThreshold = 64;
+
 class WireWriter {
  public:
+  WireWriter() : arena_(default_arena()), buf_(arena_->acquire()) {}
+  explicit WireWriter(BufferArena* arena)
+      : arena_(arena), buf_(arena_->acquire()) {}
+
   void put_u8(uint8_t v) { buf_.push_back(v); }
   void put_bool(bool v) { put_u8(v ? 1 : 0); }
   void put_u32(uint32_t v) { put_raw(&v, sizeof(v)); }
@@ -32,27 +51,81 @@ class WireWriter {
 
   void put_blob(const Blob& b) {
     put_u32(static_cast<uint32_t>(b.size()));
-    put_raw(b.data(), b.size());
+    if (b.size() >= kZeroCopyThreshold) {
+      seal_scratch();
+      body_.append(b.buffer());
+    } else {
+      put_raw(b.data(), b.size());
+    }
   }
 
-  size_t size() const { return buf_.size(); }
-  Bytes take() { return std::move(buf_); }
-  const Bytes& bytes() const { return buf_; }
+  size_t size() const { return body_.size() + buf_.size(); }
+
+  // Flat encoding, always a fresh copy when blobs were segmented. The
+  // metadata snapshot and tests use this; the RPC path uses take_body().
+  Bytes take() {
+    if (body_.segment_count() == 0) return std::move(buf_);
+    Bytes out = body_.flatten();
+    out.insert(out.end(), buf_.begin(), buf_.end());
+    body_ = BodyView();
+    buf_.clear();
+    return out;
+  }
+
+  // The segmented body: blob payloads ride as shared segments, everything
+  // else in arena-recycled scratch segments. Logical bytes == take().
+  BodyView take_body() {
+    seal_scratch();
+    return std::move(body_);
+  }
+
+  // Only meaningful while no blob has been segmented (the scratch holds the
+  // whole encoding); the metadata checksum path uses this.
+  const Bytes& bytes() const {
+    assert(body_.segment_count() == 0 &&
+           "bytes() is invalid after a zero-copy put_blob; use take()");
+    return buf_;
+  }
 
  private:
   void put_raw(const void* data, size_t len) {
     const auto* p = static_cast<const uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + len);
   }
+
+  void seal_scratch() {
+    if (buf_.empty()) return;
+    body_.append(arena_->seal(std::move(buf_)));
+    buf_ = arena_->acquire();
+  }
+
+  // Encoders are free functions with no per-simulation handle, so the
+  // recycling pool is process-wide. The simulation is single-threaded and
+  // buffer reuse is invisible to program logic (contents are fully
+  // rewritten, sizes unchanged), so determinism is unaffected.
+  static BufferArena* default_arena() {
+    static BufferArena arena;
+    return &arena;
+  }
+
+  BufferArena* arena_;
+  BodyView body_;
   Bytes buf_;
 };
 
 // Bounds-checked reader. Reads return false / default on truncation and
 // latch an error flag; callers check ok() once at the end (Thrift-style).
+// Constructed over a BodyView it reads the logical byte string across
+// segments; get_blob then aliases the body's storage (zero copy) whenever
+// the blob does not straddle a segment boundary — which it never does for
+// writer-produced bodies, only for corrupted length fields.
 class WireReader {
  public:
-  explicit WireReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  explicit WireReader(const Bytes& data)
+      : data_(data.data()), size_(data.size()) {}
   WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const BodyView& body)
+      : body_(&body), size_(body.size()) {}
 
   bool ok() const { return !failed_; }
   size_t remaining() const { return size_ - pos_; }
@@ -90,8 +163,8 @@ class WireReader {
       failed_ = true;
       return {};
     }
-    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
-    pos_ += len;
+    std::string s(len, '\0');
+    copy_out(s.data(), len);
     return s;
   }
 
@@ -100,6 +173,20 @@ class WireReader {
     if (failed_ || len > remaining()) {
       failed_ = true;
       return {};
+    }
+    if (len == 0) return {};
+    if (body_ != nullptr) {
+      const Buffer& seg = body_->segment(seg_);
+      if (len <= seg.size() - seg_off_) {
+        // Fast path: the payload sits inside one segment — hand out a view
+        // of the body's storage instead of copying.
+        Buffer alias = seg.slice(seg_off_, len);
+        advance(len);
+        return Blob(std::move(alias));
+      }
+      Bytes out(len);
+      copy_out(out.data(), len);
+      return Blob(std::move(out));
     }
     Blob b(Bytes(data_ + pos_, data_ + pos_ + len));
     pos_ += len;
@@ -118,13 +205,45 @@ class WireReader {
       std::memset(out, 0, len);
       return;
     }
-    std::memcpy(out, data_ + pos_, len);
-    pos_ += len;
+    copy_out(out, len);
   }
 
-  const uint8_t* data_;
+  // Copies `len` logical bytes (possibly across segments) and advances.
+  // Caller has already bounds-checked.
+  void copy_out(void* out, size_t len) {
+    if (body_ == nullptr) {
+      std::memcpy(out, data_ + pos_, len);
+      pos_ += len;
+      return;
+    }
+    auto* dst = static_cast<uint8_t*>(out);
+    while (len > 0) {
+      const Buffer& seg = body_->segment(seg_);
+      const size_t take = std::min(len, seg.size() - seg_off_);
+      std::memcpy(dst, seg.data() + seg_off_, take);
+      dst += take;
+      len -= take;
+      advance(take);
+    }
+  }
+
+  void advance(size_t n) {
+    pos_ += n;
+    if (body_ == nullptr) return;
+    seg_off_ += n;
+    while (seg_ < body_->segment_count() &&
+           seg_off_ >= body_->segment(seg_).size()) {
+      seg_off_ -= body_->segment(seg_).size();
+      seg_++;
+    }
+  }
+
+  const uint8_t* data_ = nullptr;
+  const BodyView* body_ = nullptr;
   size_t size_;
   size_t pos_ = 0;
+  size_t seg_ = 0;     // segmented mode: current segment index
+  size_t seg_off_ = 0;  // ... and offset within it
   bool failed_ = false;
 };
 

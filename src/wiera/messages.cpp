@@ -11,7 +11,7 @@ rpc::Message encode(const PutRequest& m) {
   w.put_bool(m.direct);
   w.put_i64(m.version);
   w.put_u64(m.checksum);
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<PutRequest> decode_put_request(const rpc::Message& msg) {
@@ -32,7 +32,7 @@ rpc::Message encode(const PutResponse& m) {
   rpc::WireWriter w;
   w.put_i64(m.version);
   w.put_u64(m.checksum);
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<PutResponse> decode_put_response(const rpc::Message& msg) {
@@ -51,7 +51,7 @@ rpc::Message encode(const GetRequest& m) {
   w.put_string(m.client);
   w.put_bool(m.direct);
   w.put_u64(m.checksum);
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<GetRequest> decode_get_request(const rpc::Message& msg) {
@@ -73,7 +73,7 @@ rpc::Message encode(const GetResponse& m) {
   w.put_string(m.served_by);
   w.put_bool(m.stale);
   w.put_u64(m.checksum);
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<GetResponse> decode_get_response(const rpc::Message& msg) {
@@ -96,7 +96,7 @@ rpc::Message encode(const ReplicateRequest& m) {
   w.put_i64(m.last_modified.us());
   w.put_string(m.origin);
   w.put_u64(m.checksum);
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<ReplicateRequest> decode_replicate_request(const rpc::Message& msg) {
@@ -115,7 +115,7 @@ Result<ReplicateRequest> decode_replicate_request(const rpc::Message& msg) {
 rpc::Message encode(const ReplicateResponse& m) {
   rpc::WireWriter w;
   w.put_bool(m.accepted);
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<ReplicateResponse> decode_replicate_response(const rpc::Message& msg) {
@@ -126,10 +126,70 @@ Result<ReplicateResponse> decode_replicate_response(const rpc::Message& msg) {
   return out;
 }
 
+rpc::Message encode(const ReplicateBatchRequest& m) {
+  rpc::WireWriter w;
+  w.put_string(m.origin);
+  w.put_u32(static_cast<uint32_t>(m.ops.size()));
+  for (const ReplicateRequest& e : m.ops) {
+    w.put_string(e.key);
+    w.put_i64(e.version);
+    w.put_blob(e.value);
+    w.put_i64(e.last_modified.us());
+    w.put_string(e.origin);
+    w.put_u64(e.checksum);
+  }
+  return rpc::Message{w.take_body()};
+}
+
+Result<ReplicateBatchRequest> decode_replicate_batch_request(
+    const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  ReplicateBatchRequest out;
+  out.origin = r.get_string();
+  const uint32_t n = r.get_u32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    ReplicateRequest e;
+    e.key = r.get_string();
+    e.version = r.get_i64();
+    e.value = r.get_blob();
+    e.last_modified = TimePoint(r.get_i64());
+    e.origin = r.get_string();
+    e.checksum = r.get_u64();
+    out.ops.push_back(std::move(e));
+  }
+  if (!r.ok()) return r.status();
+  return out;
+}
+
+rpc::Message encode(const ReplicateBatchResponse& m) {
+  rpc::WireWriter w;
+  w.put_u32(static_cast<uint32_t>(m.results.size()));
+  for (const ReplicateBatchResult& res : m.results) {
+    w.put_u32(static_cast<uint32_t>(res.code));
+    w.put_bool(res.accepted);
+  }
+  return rpc::Message{w.take_body()};
+}
+
+Result<ReplicateBatchResponse> decode_replicate_batch_response(
+    const rpc::Message& msg) {
+  rpc::WireReader r(msg.body);
+  ReplicateBatchResponse out;
+  const uint32_t n = r.get_u32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    ReplicateBatchResult res;
+    res.code = static_cast<StatusCode>(r.get_u32());
+    res.accepted = r.get_bool();
+    out.results.push_back(res);
+  }
+  if (!r.ok()) return r.status();
+  return out;
+}
+
 rpc::Message encode(const SetConsistencyRequest& m) {
   rpc::WireWriter w;
   w.put_u32(static_cast<uint32_t>(m.mode));
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<SetConsistencyRequest> decode_set_consistency(const rpc::Message& msg) {
@@ -143,7 +203,7 @@ Result<SetConsistencyRequest> decode_set_consistency(const rpc::Message& msg) {
 rpc::Message encode(const SetPrimaryRequest& m) {
   rpc::WireWriter w;
   w.put_string(m.primary_instance);
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<SetPrimaryRequest> decode_set_primary(const rpc::Message& msg) {
@@ -158,7 +218,7 @@ rpc::Message encode(const VersionListResponse& m) {
   rpc::WireWriter w;
   w.put_u32(static_cast<uint32_t>(m.versions.size()));
   for (int64_t v : m.versions) w.put_i64(v);
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<VersionListResponse> decode_version_list(const rpc::Message& msg) {
@@ -177,7 +237,7 @@ rpc::Message encode(const RemoveRequest& m) {
   w.put_string(m.key);
   w.put_i64(m.version);
   w.put_bool(m.propagate);
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<RemoveRequest> decode_remove_request(const rpc::Message& msg) {
@@ -193,7 +253,7 @@ Result<RemoveRequest> decode_remove_request(const rpc::Message& msg) {
 rpc::Message encode(const SyncPullRequest& m) {
   rpc::WireWriter w;
   w.put_string(m.requester);
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<SyncPullRequest> decode_sync_pull_request(const rpc::Message& msg) {
@@ -215,7 +275,7 @@ rpc::Message encode(const SyncPullResponse& m) {
     w.put_string(e.origin);
     w.put_u64(e.checksum);
   }
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<SyncPullResponse> decode_sync_pull_response(const rpc::Message& msg) {
@@ -239,7 +299,7 @@ Result<SyncPullResponse> decode_sync_pull_response(const rpc::Message& msg) {
 rpc::Message encode(const ScrubDigestRequest& m) {
   rpc::WireWriter w;
   w.put_string(m.requester);
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<ScrubDigestRequest> decode_scrub_digest_request(
@@ -259,7 +319,7 @@ rpc::Message encode(const ScrubDigestResponse& m) {
     w.put_i64(d.version);
     w.put_u64(d.checksum);
   }
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<ScrubDigestResponse> decode_scrub_digest_response(
@@ -282,7 +342,7 @@ rpc::Message encode(const RepairFetchRequest& m) {
   rpc::WireWriter w;
   w.put_string(m.key);
   w.put_i64(m.version);
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Result<RepairFetchRequest> decode_repair_fetch_request(
@@ -300,7 +360,7 @@ rpc::Message encode_status(const Status& st) {
   w.put_bool(st.ok());
   w.put_u32(static_cast<uint32_t>(st.code()));
   w.put_string(st.message());
-  return rpc::Message{w.take()};
+  return rpc::Message{w.take_body()};
 }
 
 Status decode_status(const rpc::Message& msg) {

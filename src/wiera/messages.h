@@ -23,6 +23,9 @@ inline constexpr char kClientGet[] = "peer.client_get";
 inline constexpr char kForwardPut[] = "peer.forward_put";
 inline constexpr char kForwardGet[] = "peer.forward_get";
 inline constexpr char kReplicate[] = "peer.replicate";
+// Coalesced replication (docs/PERFORMANCE.md): one wire message carrying a
+// batch of queued updates for one target — flushed on size or deadline.
+inline constexpr char kReplicateBatch[] = "peer.replicate_batch";
 inline constexpr char kSetConsistency[] = "peer.set_consistency";
 inline constexpr char kSetPrimary[] = "peer.set_primary";
 inline constexpr char kPing[] = "peer.ping";
@@ -126,6 +129,27 @@ struct ReplicateResponse {
   bool accepted = false;
 };
 
+// Coalesced replication: every update queued for one target in one flush
+// round, in one wire message. Each op carries its own checksum and is
+// verified/applied independently on the receiver — a corrupt op must not
+// poison its batch-mates.
+struct ReplicateBatchRequest {
+  std::string origin;
+  std::vector<ReplicateRequest> ops;
+};
+
+// Parallel to ReplicateBatchRequest::ops: the per-op outcome. The sender
+// requeues exactly the ops that failed; wholesale batch retry would
+// re-apply (and re-count) updates the receiver already accepted.
+struct ReplicateBatchResult {
+  StatusCode code = StatusCode::kOk;
+  bool accepted = false;
+};
+
+struct ReplicateBatchResponse {
+  std::vector<ReplicateBatchResult> results;
+};
+
 struct SetConsistencyRequest {
   ConsistencyMode mode = ConsistencyMode::kMultiPrimaries;
 };
@@ -202,6 +226,13 @@ rpc::Message encode(const ReplicateRequest& m);
 Result<ReplicateRequest> decode_replicate_request(const rpc::Message& msg);
 rpc::Message encode(const ReplicateResponse& m);
 Result<ReplicateResponse> decode_replicate_response(const rpc::Message& msg);
+
+rpc::Message encode(const ReplicateBatchRequest& m);
+Result<ReplicateBatchRequest> decode_replicate_batch_request(
+    const rpc::Message& msg);
+rpc::Message encode(const ReplicateBatchResponse& m);
+Result<ReplicateBatchResponse> decode_replicate_batch_response(
+    const rpc::Message& msg);
 
 rpc::Message encode(const SetConsistencyRequest& m);
 Result<SetConsistencyRequest> decode_set_consistency(const rpc::Message& msg);

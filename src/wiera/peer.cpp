@@ -136,6 +136,15 @@ WieraPeer::WieraPeer(sim::Simulation& sim, net::Network& network,
       metrics_->counter("wiera_replications_sent_total", inst);
   replications_accepted_ =
       metrics_->counter("wiera_replications_accepted_total", inst);
+  // Registered only when batching is on: a counter family's mere presence
+  // shows up in telemetry dumps, and batching-off deployments must produce
+  // byte-identical dumps to the pre-batching code.
+  if (config_.replicate_batch_max > 1) {
+    replication_batches_ =
+        metrics_->counter("wiera_replication_batches_total", inst);
+    replication_batched_ops_ =
+        metrics_->counter("wiera_replication_batched_ops_total", inst);
+  }
   put_hist_ = metrics_->histogram("wiera_put_latency_us", inst);
   get_hist_ = metrics_->histogram("wiera_get_latency_us", inst);
   config_.local.instance_id = config_.instance_id;
@@ -308,6 +317,41 @@ void WieraPeer::register_handlers() {
         auto accepted = co_await local_->apply_remote_update(std::move(update));
         if (!accepted.ok()) co_return accepted.status();
         co_return encode(ReplicateResponse{*accepted});
+      });
+  endpoint_->register_handler(
+      method::kReplicateBatch,
+      [this](rpc::Message msg) -> sim::Task<Result<rpc::Message>> {
+        auto req = decode_replicate_batch_request(msg);
+        if (!req.ok()) co_return req.status();
+        // Each op is verified and applied independently: a corrupt or
+        // rejected op reports its own status without poisoning batch-mates
+        // the sender would otherwise have to re-send.
+        ReplicateBatchResponse out;
+        out.results.reserve(req->ops.size());
+        for (ReplicateRequest& op : req->ops) {
+          ReplicateBatchResult res;
+          if (config_.local.verify_checksums && op.checksum != 0 &&
+              object_checksum(op.key, op.version, op.value) != op.checksum) {
+            wire_checksum_failures_->inc();
+            res.code = StatusCode::kDataLoss;
+          } else {
+            tiera::TieraInstance::RemoteUpdate update;
+            update.key = op.key;
+            update.version = op.version;
+            update.value = op.value;
+            update.last_modified = op.last_modified;
+            update.origin = op.origin;
+            auto accepted =
+                co_await local_->apply_remote_update(std::move(update));
+            if (!accepted.ok()) {
+              res.code = accepted.status().code();
+            } else {
+              res.accepted = *accepted;
+            }
+          }
+          out.results.push_back(res);
+        }
+        co_return encode(out);
       });
   endpoint_->register_handler(
       method::kSetConsistency,
@@ -659,6 +703,7 @@ sim::Task<Result<PutResponse>> WieraPeer::put_local_and_replicate(
     if (!st.ok()) co_return st;
   } else if (!storage_peer_ids_.empty()) {
     queue_->send(QueuedUpdate{std::move(update)});
+    maybe_trigger_size_flush();
   }
   co_return PutResponse{version, response_checksum};
 }
@@ -869,7 +914,7 @@ sim::Task<Status> WieraPeer::replicate_to_all(ReplicateRequest update,
   // membership: a put must never report success while excluding a peer that
   // became a replication target again mid-flight — its catch-up snapshot may
   // predate this update, which would leave it permanently stale.
-  std::set<std::string> acked;
+  FlatSet<std::string, 4> acked;
   while (true) {
     std::vector<std::string> targets;
     for (const std::string& peer_id : storage_peer_ids_) {
@@ -994,6 +1039,15 @@ sim::Task<Status> WieraPeer::flush_queue() {
   if (budget > 0) {
     flush_trace = tracer().start_trace("peer.flush", config_.instance_id);
   }
+  if (config_.replicate_batch_max > 1) {
+    // Coalescing path (docs/PERFORMANCE.md): one wire message per target
+    // per chunk of up to replicate_batch_max queued updates.
+    Status batched = co_await flush_batched(budget, flush_trace);
+    const std::string_view batched_st =
+        batched.ok() ? "ok" : status_code_name(batched.code());
+    tracer().end_span(flush_trace, batched_st);
+    co_return batched;
+  }
   Status first_error;
   while (budget-- > 0 && !queue_->empty()) {
     std::optional<QueuedUpdate> item = queue_->try_recv();
@@ -1019,6 +1073,202 @@ sim::Task<Status> WieraPeer::flush_queue() {
       first_error.ok() ? "ok" : status_code_name(first_error.code());
   tracer().end_span(flush_trace, flush_st);
   co_return first_error;
+}
+
+sim::Task<Status> WieraPeer::flush_batched(size_t budget,
+                                           TraceContext flush_trace) {
+  Status first_error;
+  while (budget > 0 && !queue_->empty()) {
+    std::vector<QueuedUpdate> chunk;
+    const auto max_ops = static_cast<size_t>(config_.replicate_batch_max);
+    while (chunk.size() < max_ops && budget > 0) {
+      std::optional<QueuedUpdate> item = queue_->try_recv();
+      if (!item.has_value()) break;
+      budget--;
+      chunk.push_back(std::move(*item));
+    }
+    if (chunk.empty()) break;
+    const TimePoint start = sim_->now();
+    std::vector<Status> op_status(chunk.size(), ok_status());
+    Status st = co_await replicate_batch_to_all(chunk, op_status, flush_trace);
+    if (config_.mode == ConsistencyMode::kEventual) {
+      observe_put_latency(sim_->now() - start);
+    }
+    if (!st.ok() && first_error.ok()) first_error = st;
+    // Requeue exactly the ops that failed somewhere; accepted batch-mates
+    // are done (replicas reject their duplicates via LWW anyway, but not
+    // re-sending them is the point of per-op outcomes).
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      if (!op_status[i].ok()) queue_->send(std::move(chunk[i]));
+    }
+  }
+  co_return first_error;
+}
+
+sim::Task<Status> WieraPeer::replicate_batch_to_all(
+    std::vector<QueuedUpdate>& chunk, std::vector<Status>& op_status,
+    TraceContext flush_trace) {
+  // Same membership-widening loop as replicate_to_all: keep sending until
+  // the acknowledged set covers current membership, so a peer that rejoins
+  // mid-flush still receives every update in this chunk.
+  FlatSet<std::string, 4> acked;
+  Status first_error;
+  while (true) {
+    std::vector<std::string> targets;
+    for (const std::string& peer_id : storage_peer_ids_) {
+      if (acked.insert(peer_id).second) targets.push_back(peer_id);
+    }
+    if (targets.empty()) break;
+    std::vector<sim::Task<std::vector<Status>>> tasks;
+    tasks.reserve(targets.size());
+    for (const std::string& peer_id : targets) {
+      tasks.push_back(send_replicate_batch(peer_id, chunk, flush_trace));
+    }
+    std::vector<std::vector<Status>> per_target =
+        co_await sim::when_all(*sim_, std::move(tasks));
+    for (const std::vector<Status>& statuses : per_target) {
+      for (size_t i = 0; i < statuses.size() && i < op_status.size(); ++i) {
+        if (!statuses[i].ok()) {
+          if (op_status[i].ok()) op_status[i] = statuses[i];
+          if (first_error.ok()) first_error = statuses[i];
+        }
+      }
+    }
+  }
+  co_return first_error;
+}
+
+sim::Task<std::vector<Status>> WieraPeer::send_replicate_batch(
+    std::string peer_id, const std::vector<QueuedUpdate>& chunk,
+    TraceContext flush_trace) {
+  const std::string target = std::move(peer_id);
+  const std::string batched = "batched=" + std::to_string(chunk.size());
+  // One span per logical op, exactly as the per-op path has — a coalesced
+  // send must not make replication lag invisible per update. The wire-level
+  // batch gets its own span; the op spans close with their op's outcome.
+  std::vector<TraceContext> op_spans;
+  op_spans.reserve(chunk.size());
+  for (const QueuedUpdate& item : chunk) {
+    TraceContext span = tracer().start_span("peer.replicate " + target,
+                                            config_.instance_id, flush_trace);
+    tracer().annotate(span, batched);
+    tracer().annotate(span, "key=" + item.update.key);
+    op_spans.push_back(span);
+  }
+  const TraceContext batch_span = tracer().start_span(
+      "peer.replicate_batch " + target, config_.instance_id, flush_trace);
+  tracer().annotate(batch_span, batched);
+
+  std::vector<Status> out;
+  Status last = unavailable("replicate batch: no attempt made");
+  bool done = false;
+  for (int attempt = 0; attempt <= config_.replicate_retries && !done;
+       ++attempt) {
+    if (attempt > 0) {
+      // Same budget/backoff pacing as send_replicate_impl: a coalesced
+      // retry is still a retry and must drain the same token bucket.
+      if (!retry_budget_.try_spend(sim_->now())) {
+        tracer().annotate(batch_span, "retry_budget=denied");
+        break;
+      }
+      replication_retries_->inc();
+      tracer().annotate(batch_span, "retry=" + std::to_string(attempt));
+      co_await sim_->delay(config_.replicate_backoff *
+                           static_cast<double>(int64_t{1} << (attempt - 1)));
+      if (stopping_) break;
+    }
+    CircuitBreaker* brk = breaker_for(target);
+    if (brk != nullptr && !brk->allow(sim_->now())) {
+      breaker_fast_fails_->inc();
+      tracer().annotate(batch_span, "breaker=open");
+      last = unavailable("replicate to " + target + ": circuit open");
+      continue;
+    }
+    ReplicateBatchRequest req;
+    req.origin = config_.instance_id;
+    req.ops.reserve(chunk.size());
+    // Payload blobs are ref-counted: rebuilding the request per attempt
+    // shares the bytes, it does not copy them.
+    for (const QueuedUpdate& item : chunk) req.ops.push_back(item.update);
+    rpc::Message msg = encode(req);
+    replication_batches_->inc();
+    replication_batched_ops_->inc(static_cast<int64_t>(chunk.size()));
+    const TimePoint start = sim_->now();
+    auto resp = co_await endpoint_->call(target, method::kReplicateBatch,
+                                         std::move(msg),
+                                         ctx_for(TimePoint::max(), batch_span));
+    if (config_.network_monitor != nullptr) {
+      config_.network_monitor->record_link_latency(config_.instance_id, target,
+                                                   sim_->now() - start);
+    }
+    if (brk != nullptr) {
+      if (!resp.ok() && (resp.status().code() == StatusCode::kUnavailable ||
+                         resp.status().code() ==
+                             StatusCode::kDeadlineExceeded)) {
+        brk->record_failure(sim_->now());
+      } else {
+        brk->record_success();
+      }
+    }
+    if (!resp.ok()) {
+      last = resp.status();
+      // Only unreachability is worth retrying; other errors are permanent.
+      if (last.code() == StatusCode::kUnavailable) continue;
+      break;
+    }
+    auto decoded = decode_replicate_batch_response(*resp);
+    if (!decoded.ok()) {
+      last = decoded.status();
+      break;
+    }
+    out.reserve(chunk.size());
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      if (i < decoded->results.size()) {
+        const ReplicateBatchResult& res = decoded->results[i];
+        if (res.code == StatusCode::kOk) {
+          if (res.accepted) replications_accepted_->inc();
+          out.push_back(ok_status());
+        } else {
+          out.push_back(Status(res.code, "batched replicate to " + target +
+                                             ": op rejected"));
+        }
+      } else {
+        out.push_back(invalid_argument("batched replicate to " + target +
+                                       ": short response"));
+      }
+    }
+    done = true;
+  }
+  if (!done) out.assign(chunk.size(), last);
+  const std::string_view batch_st =
+      done ? "ok" : status_code_name(last.code());
+  tracer().end_span(batch_span, batch_st);
+  for (size_t i = 0; i < op_spans.size(); ++i) {
+    const Status& st = out[i];
+    tracer().end_span(op_spans[i],
+                      st.ok() ? "ok" : status_code_name(st.code()));
+  }
+  co_return out;
+}
+
+void WieraPeer::maybe_trigger_size_flush() {
+  if (config_.replicate_batch_max <= 1 || size_flush_inflight_ || stopping_) {
+    return;
+  }
+  if (queue_->size() < static_cast<size_t>(config_.replicate_batch_max)) {
+    return;
+  }
+  size_flush_inflight_ = true;
+  sim_->spawn(size_triggered_flush(), config_.instance_id + "/size-flush");
+}
+
+sim::Task<void> WieraPeer::size_triggered_flush() {
+  Status st = co_await flush_queue();
+  size_flush_inflight_ = false;
+  if (!st.ok()) {
+    WLOG_WARN(kComponent) << id() << " size-triggered flush: "
+                          << st.to_string();
+  }
 }
 
 // ---------------------------------------------------------------- blocking

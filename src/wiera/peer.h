@@ -50,6 +50,16 @@ class WieraPeer : public tiera::InstanceHooks {
     std::string primary_instance;            // current primary's id
     std::string lock_service_node;           // ZooKeeper stand-in location
     Duration queue_flush_interval = msec(100);
+    // ---- replication coalescing (docs/PERFORMANCE.md) ----
+    // Max queued updates coalesced into one kReplicateBatch wire message
+    // per target per flush round. 1 = no coalescing (seed behaviour: one
+    // kReplicate message per update per target). With coalescing on, a
+    // flush also triggers as soon as the queue reaches this size — batches
+    // flush on size or deadline, whichever comes first. Breaker, retry
+    // budget, and per-op trace spans behave exactly as in the per-op path;
+    // op outcomes are returned per-op so a failed op is requeued without
+    // re-sending its accepted batch-mates.
+    int replicate_batch_max = 1;
     // ---- fault recovery (chaos harness) ----
     // Retry budget for replication sends that fail kUnavailable (dropped
     // messages, transient partitions). 0 = fail fast (seed behaviour).
@@ -218,6 +228,13 @@ class WieraPeer : public tiera::InstanceHooks {
   int64_t forwarded_puts_from(const std::string& origin) const;
   int64_t queue_depth() const { return static_cast<int64_t>(queue_->size()); }
   int64_t replications_sent() const { return replications_sent_->value(); }
+  // Zero (not registered) unless config_.replicate_batch_max > 1.
+  int64_t replication_batches() const {
+    return replication_batches_ ? replication_batches_->value() : 0;
+  }
+  int64_t replication_batched_ops() const {
+    return replication_batched_ops_ ? replication_batched_ops_->value() : 0;
+  }
   int64_t replications_accepted() const {
     return replications_accepted_->value();
   }
@@ -265,6 +282,26 @@ class WieraPeer : public tiera::InstanceHooks {
   sim::Task<Result<GetResponse>> stale_local_get(const GetRequest& request);
   sim::Task<void> queue_flusher();
   sim::Task<Status> flush_queue();
+  // ---- replication coalescing (docs/PERFORMANCE.md) ----
+  // Batched flush body: drains up to `budget` queued updates in chunks of
+  // replicate_batch_max, one wire message per target per chunk. Failed ops
+  // are requeued individually.
+  sim::Task<Status> flush_batched(size_t budget, TraceContext flush_trace);
+  // One coalesced fan-out: `chunk` to every storage peer (membership may
+  // widen mid-flight, same loop as replicate_to_all). op_status[i] is the
+  // worst outcome of chunk[i] across targets.
+  sim::Task<Status> replicate_batch_to_all(std::vector<QueuedUpdate>& chunk,
+                                           std::vector<Status>& op_status,
+                                           TraceContext flush_trace);
+  // One batch message to one target, with the send_replicate_impl retry/
+  // breaker/budget semantics; returns per-op status (size == chunk size).
+  sim::Task<std::vector<Status>> send_replicate_batch(
+      std::string peer_id, const std::vector<QueuedUpdate>& chunk,
+      TraceContext flush_trace);
+  // Size-based flush trigger: when coalescing is on and the queue reached
+  // replicate_batch_max, flush now instead of waiting for the timer.
+  void maybe_trigger_size_flush();
+  sim::Task<void> size_triggered_flush();
 
   // ---- integrity: read-repair and scrub (docs/INTEGRITY.md) ----
   // Inline read-repair: every local copy of the requested object failed its
@@ -367,6 +404,10 @@ class WieraPeer : public tiera::InstanceHooks {
   obs::Counter* direct_puts_ = nullptr;
   obs::Counter* replications_sent_ = nullptr;
   obs::Counter* replications_accepted_ = nullptr;
+  // Coalescing: wire messages sent / logical ops carried in them.
+  obs::Counter* replication_batches_ = nullptr;
+  obs::Counter* replication_batched_ops_ = nullptr;
+  bool size_flush_inflight_ = false;
 };
 
 }  // namespace wiera::geo

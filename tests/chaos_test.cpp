@@ -228,6 +228,18 @@ std::function<void(WieraPeer::Config&)> self_heal_tweak() {
   return [](WieraPeer::Config& config) { config.scrub_interval = sec(3); };
 }
 
+// Replication coalescing armed (docs/PERFORMANCE.md). The flush interval is
+// stretched so queued updates actually pool up into multi-op batches — at
+// the default 100ms tick this workload rarely has two updates queued at
+// once and the batched wire path would go untested.
+std::function<void(WieraPeer::Config&)> batching_tweak(
+    int batch_max = 4, Duration flush_interval = msec(600)) {
+  return [batch_max, flush_interval](WieraPeer::Config& config) {
+    config.replicate_batch_max = batch_max;
+    config.queue_flush_interval = flush_interval;
+  };
+}
+
 std::string hex_trace(uint64_t hash) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "0x%016llx",
@@ -276,6 +288,11 @@ struct RunResult {
   int64_t torn_writes = 0;    // durable writes torn by a crash window
   int64_t torn_discards = 0;  // journalled tears discarded on restart
   int64_t corrupted_msgs = 0;  // messages the network chaos corrupted
+  // Replication coalescing (docs/PERFORMANCE.md): wire batches sent and the
+  // logical updates they carried. Zero unless the run arms batching_tweak()
+  // — coalescing ships default-off.
+  int64_t replication_batches = 0;
+  int64_t replication_batched_ops = 0;
 };
 
 // One client: alternating put/get rounds against the two workload keys,
@@ -396,6 +413,10 @@ RunResult run_chaos(ConsistencyMode mode, FaultClass fault, uint64_t seed,
   result.repairs = reg.counter_sum("wiera_repairs_total");
   result.scrub_repairs = reg.counter_sum("wiera_scrub_repairs_total");
   result.scrub_rounds = reg.counter_sum("wiera_scrub_rounds_total");
+  result.replication_batches =
+      reg.counter_sum("wiera_replication_batches_total");
+  result.replication_batched_ops =
+      reg.counter_sum("wiera_replication_batched_ops_total");
   // Torn-write accounting stays at the storage-tier layer (not registered).
   for (const char* node : kStorageNodes) {
     WieraPeer* p = cluster.controller.peer(node);
@@ -1046,6 +1067,80 @@ TEST(TelemetryTraceTest, RetriedReplicationKeepsOneSpanPerTarget) {
   EXPECT_EQ(cluster.sim.telemetry().tracer().open_count(), 0);
 }
 
+TEST(TelemetryTraceTest, BatchedFlushRacingDropsClosesEverySpan) {
+  // A burst of puts pools into the primary's queue and flushes as coalesced
+  // batches while one replica drops everything: the batch send must retry
+  // inside its one wire span, every per-op span must close with its op's
+  // outcome and carry the batched=N annotation, and nothing may stay open
+  // once the retries resolve.
+  ChaosCluster cluster(/*seed=*/23);
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kEventual,
+                                batching_tweak(4, msec(400))));
+  ASSERT_TRUE(peers.ok()) << peers.status().to_string();
+  cluster.controller.start();
+
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  plan.message_chaos("tiera-asia-east", TimePoint::origin() + sec(1),
+                     TimePoint::origin() + msec(2800), /*drop_prob=*/1.0,
+                     /*dup_prob=*/0.0);
+  injector.arm(std::move(plan));
+
+  WieraClient us(cluster.sim, cluster.network, cluster.registry, "app-us",
+                 "client-us-west", *peers);
+  int puts_ok = 0;
+  auto workload = [&puts_ok](sim::Simulation& sim,
+                             WieraClient& c) -> sim::Task<void> {
+    co_await sim.delay(sec(1));
+    for (int i = 0; i < 6; ++i) {
+      auto put = co_await c.put(kKeys[i % 2], Blob("v" + std::to_string(i)));
+      EXPECT_TRUE(put.ok()) << put.status().to_string();
+      if (put.ok()) puts_ok++;
+    }
+  };
+  cluster.sim.spawn(workload(cluster.sim, us));
+  cluster.sim.run_until(TimePoint(sec(30).us()));
+  ASSERT_EQ(puts_ok, 6);
+
+  const obs::Tracer& tracer = cluster.sim.telemetry().tracer();
+  int batch_spans = 0;
+  int op_spans = 0;
+  bool coalesced = false;
+  bool batch_retried = false;
+  // Span ids are sequential from 1; evicted ids return nullptr.
+  const uint64_t total = tracer.span_count() +
+                         static_cast<uint64_t>(tracer.dropped());
+  for (uint64_t id = 1; id <= total; ++id) {
+    const obs::Span* span = tracer.find_span(id);
+    if (span == nullptr) continue;
+    EXPECT_FALSE(span->open()) << span->name << " never closed";
+    if (span->name.rfind("peer.replicate_batch ", 0) == 0) {
+      batch_spans++;
+      for (const std::string& a : span->annotations) {
+        if (a.rfind("batched=", 0) == 0 && a != "batched=1") coalesced = true;
+        if (a.rfind("retry=", 0) == 0) batch_retried = true;
+      }
+    } else if (span->name.rfind("peer.replicate ", 0) == 0) {
+      op_spans++;
+      bool annotated = false;
+      for (const std::string& a : span->annotations) {
+        if (a.rfind("batched=", 0) == 0) annotated = true;
+      }
+      EXPECT_TRUE(annotated)
+          << span->name << " missing batched= (op sent outside a batch?)";
+    }
+  }
+  EXPECT_GT(batch_spans, 0) << "no batch wire span recorded";
+  // One per-op span per update per target, exactly as the per-op path.
+  EXPECT_GE(op_spans, 6);
+  EXPECT_TRUE(coalesced) << "no batch ever carried more than one update";
+  EXPECT_TRUE(batch_retried) << "drop window never forced a batch retry";
+  EXPECT_EQ(tracer.open_count(), 0)
+      << ::testing::PrintToString(tracer.open_span_names());
+}
+
 // ------------------------------------------------------- randomized sweeps
 
 struct ChaosCase {
@@ -1094,6 +1189,51 @@ INSTANTIATE_TEST_SUITE_P(
                   FaultClass::kDropWindow},
         ChaosCase{ConsistencyMode::kPrimaryBackupSync,
                   FaultClass::kLatencySpike},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kPartition},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kCrash},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kDropWindow},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kLatencySpike}),
+    case_name);
+
+// --------------------------------------------------------- batching sweeps
+//
+// Replication coalescing ships with replicate_batch_max = 1, so every suite
+// above exercises the per-op wire path. This sweep re-runs the queue-driven
+// mode's fault matrix with coalescing armed: same oracle, same invariants —
+// a batch is an encoding of the queue, never a semantic change. Eventual is
+// the mode whose every put rides the flusher, so it is where batches form.
+
+class BatchingChaosSuite : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(BatchingChaosSuite, OracleHoldsWithCoalescingArmed) {
+  const ChaosCase c = GetParam();
+  const int seeds = seed_count();
+  int64_t batches = 0;
+  int64_t batched_ops = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    RunResult r = run_chaos(c.mode, c.fault, static_cast<uint64_t>(seed),
+                            batching_tweak());
+    batches += r.replication_batches;
+    batched_ops += r.replication_batched_ops;
+    EXPECT_GT(r.completed_ok, 0) << "seed " << seed << ": no op completed";
+    EXPECT_GT(r.events_applied, 0) << "seed " << seed << ": no fault fired";
+    if (!r.violations.empty()) {
+      ADD_FAILURE() << "CHAOS-FAIL seed=" << seed << " mode="
+                    << consistency_mode_name(c.mode)
+                    << " fault=" << fault_class_name(c.fault)
+                    << " batching=on trace=" << hex_trace(r.trace_hash)
+                    << "\n"
+                    << sim::ConsistencyOracle::describe(r.violations);
+    }
+  }
+  // The sweep only proves something if coalescing actually engaged.
+  EXPECT_GT(batches, 0) << "no batch sent across " << seeds << " seeds";
+  EXPECT_GE(batched_ops, batches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EventualAllFaults, BatchingChaosSuite,
+    ::testing::Values(
         ChaosCase{ConsistencyMode::kEventual, FaultClass::kPartition},
         ChaosCase{ConsistencyMode::kEventual, FaultClass::kCrash},
         ChaosCase{ConsistencyMode::kEventual, FaultClass::kDropWindow},
@@ -1214,6 +1354,25 @@ TEST(ChaosDeterminismTest, SameSeedSameTraceHashWithScrubAndRepairActive) {
   EXPECT_EQ(a.scrub_rounds, b.scrub_rounds);
   RunResult c = run_chaos(ConsistencyMode::kEventual, FaultClass::kBitRot,
                           /*seed=*/8, self_heal_tweak());
+  EXPECT_NE(a.trace_hash, c.trace_hash);
+}
+
+TEST(ChaosDeterminismTest, SameSeedSameTraceHashWithBatchingArmed) {
+  // Coalesced flushes (chunking, size-triggered rounds, batch retries) are
+  // all folded into the trace: a replay with batching armed must reproduce
+  // hash-identically, down to how many batches were cut and what they held.
+  RunResult a = run_chaos(ConsistencyMode::kEventual, FaultClass::kDropWindow,
+                          /*seed=*/7, batching_tweak());
+  RunResult b = run_chaos(ConsistencyMode::kEventual, FaultClass::kDropWindow,
+                          /*seed=*/7, batching_tweak());
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.completed_ok, b.completed_ok);
+  EXPECT_EQ(a.replication_batches, b.replication_batches);
+  EXPECT_EQ(a.replication_batched_ops, b.replication_batched_ops);
+  EXPECT_GT(a.replication_batches, 0);
+  RunResult c = run_chaos(ConsistencyMode::kEventual, FaultClass::kDropWindow,
+                          /*seed=*/8, batching_tweak());
   EXPECT_NE(a.trace_hash, c.trace_hash);
 }
 
@@ -1433,6 +1592,131 @@ TEST(ChaosRegressionTest, BackupCatchesUpAfterRestart) {
   cluster.sim.spawn(reader(*eu, read_done));
   cluster.sim.run_until(TimePoint(sec(21).us()));
   EXPECT_TRUE(read_done);
+}
+
+// ----------------------------------------------- mid-flush primary failover
+//
+// PrimaryBackupAsync with coalescing armed: the primary acks a burst of
+// puts, the flusher has a batch on the wire, and the primary crashes with
+// that batch in flight and more acked updates still queued. The builtin
+// primary-backup policy derives the Sync protocol, so the tweak overrides
+// the mode — async-with-a-primary is the only configuration where an
+// acknowledged-but-unflushed update can die with its node. The queue is
+// volatile and dies in the crash; the primary's durable tier keeps the
+// committed versions, so after restart + catch-up the scrubber's digest
+// exchange must re-propagate them and every replica must converge on the
+// newest client-written value. Replayable as `--seed N --plan async:midflush`
+// (the MODE token is ignored, like brownout).
+struct MidFlushResult {
+  std::vector<sim::OracleViolation> convergence_violations;
+  uint64_t trace_hash = 0;
+  int64_t puts_ok = 0;
+  int64_t batches = 0;
+  int64_t open_spans = 0;
+  std::vector<std::string> open_span_names;
+};
+
+MidFlushResult run_midflush(uint64_t seed) {
+  ChaosCluster cluster(seed);
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kPrimaryBackupAsync,
+                                [](WieraPeer::Config& config) {
+                                  config.mode =
+                                      ConsistencyMode::kPrimaryBackupAsync;
+                                  config.replicate_batch_max = 4;
+                                  config.queue_flush_interval = msec(200);
+                                  config.scrub_interval = sec(2);
+                                }));
+  EXPECT_TRUE(peers.ok()) << peers.status().to_string();
+  if (!peers.ok()) return {};
+  cluster.controller.start();
+
+  ChaosHost host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, host);
+  sim::FaultPlan plan;
+  // The burst below fills the primary's queue at t=1s; the size-triggered
+  // flush has cross-region sends in flight when the crash lands at 1.12s,
+  // and the updates past the first chunk are still queued — they die with
+  // the node and must come back from its durable tier.
+  plan.crash("tiera-us-west", TimePoint::origin() + msec(1120),
+             TimePoint::origin() + sec(6));
+  injector.arm(std::move(plan));
+
+  sim::ConsistencyOracle oracle;
+  WieraClient client(cluster.sim, cluster.network, cluster.registry, "app",
+                     "client-us-west", *peers);
+  int64_t puts_ok = 0;
+  auto writer = [&oracle, &puts_ok](sim::Simulation& sim,
+                                    WieraClient& c) -> sim::Task<void> {
+    co_await sim.delay(sec(1));
+    for (int i = 0; i < 6; ++i) {
+      const std::string key = kKeys[i % 2];
+      const std::string value = "burst" + std::to_string(i);
+      int64_t op = oracle.begin_put(c.id(), key, value, sim.now());
+      auto put = co_await c.put(key, Blob(value));
+      oracle.set_op_trace(op, c.last_trace_id());
+      oracle.end_put(op, sim.now(), put.ok(), put.ok() ? put->version : 0);
+      if (put.ok()) puts_ok++;
+    }
+  };
+  cluster.sim.spawn(writer(cluster.sim, client));
+
+  // Crash at 1.12s, restart at 6s, catch-up plus a few scrub rounds: by 25s
+  // the re-propagation has long settled.
+  cluster.sim.run_until(TimePoint(sec(25).us()));
+  bool harvested = false;
+  cluster.sim.spawn(harvest_finals(cluster.controller, oracle, harvested));
+  cluster.sim.run_until(TimePoint(sec(26).us()));
+  EXPECT_TRUE(harvested);
+
+  MidFlushResult result;
+  result.convergence_violations = oracle.check_convergence();
+  result.trace_hash = cluster.sim.checker().trace_hash();
+  result.puts_ok = puts_ok;
+  result.batches = cluster.sim.telemetry().registry().counter_sum(
+      "wiera_replication_batches_total");
+  // Periodic background work (a scrub round) can legitimately be mid-flight
+  // at the cutoff instant; what must never stay open is the flush machinery
+  // — batch wire spans, per-op spans, flush roots — long after the last
+  // replication resolved.
+  for (const std::string& name :
+       cluster.sim.telemetry().tracer().open_span_names()) {
+    if (name.rfind("peer.replicate", 0) == 0 ||
+        name.rfind("peer.flush", 0) == 0) {
+      result.open_spans++;
+      result.open_span_names.push_back(name);
+    }
+  }
+  if (dump_telemetry_enabled()) {
+    std::set<uint64_t> traces{client.last_trace_id()};
+    for (const auto& v : result.convergence_violations)
+      traces.insert(v.trace_id);
+    dump_telemetry(cluster.sim, std::move(traces));
+  }
+  return result;
+}
+
+TEST(ChaosRegressionTest, MidFlushPrimaryFailoverConverges) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    MidFlushResult r = run_midflush(seed);
+    EXPECT_GE(r.puts_ok, 4) << "seed " << seed
+                            << ": burst did not land before the crash";
+    EXPECT_GT(r.batches, 0) << "seed " << seed << ": no batch was in flight";
+    EXPECT_EQ(r.open_spans, 0)
+        << "seed " << seed << ": crash leaked replication spans: "
+        << ::testing::PrintToString(r.open_span_names);
+    if (!r.convergence_violations.empty()) {
+      ADD_FAILURE() << "CHAOS-FAIL seed=" << seed
+                    << " plan=async:midflush trace="
+                    << hex_trace(r.trace_hash) << "\n"
+                    << sim::ConsistencyOracle::describe(
+                           r.convergence_violations);
+    }
+  }
+  // The schedule must replay hash-identically for --plan async:midflush.
+  MidFlushResult a = run_midflush(1);
+  MidFlushResult b = run_midflush(1);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
 }
 
 // §4.4: a crashed closest peer costs the client exactly one failover — the
@@ -1793,9 +2077,11 @@ TEST(ChaosRegressionTest, PingDeadlineKeepsFailureDetectionLive) {
 //
 // `chaos_test --seed N --plan MODE:FAULT` re-runs exactly one schedule —
 // the reproducer line scripts/chaos_sweep.sh prints for every CHAOS-FAIL.
-// FAULT is one of partition|crash|drop|spike|brownout|bitrot|torn|msgcorrupt
-// (brownout ignores MODE; it always runs the primary-backup overload
-// schedule). The corruption classes replay with scrub + read-repair armed,
+// FAULT is one of
+// partition|crash|drop|spike|brownout|midflush|bitrot|torn|msgcorrupt
+// (brownout and midflush ignore MODE; brownout always runs the
+// primary-backup overload schedule, midflush the async-primary batched
+// flush failover). The corruption classes replay with scrub + read-repair armed,
 // exactly as the CorruptionSuite runs them. Add --dump-telemetry (or set
 // WIERA_DUMP_TELEMETRY=1) to print the metrics snapshot and span trees of
 // the replayed schedule (docs/OBSERVABILITY.md).
@@ -1816,6 +2102,23 @@ int replay_main(uint64_t seed, const std::string& plan_spec) {
     if (!r.violations.empty()) {
       std::printf("%s\n",
                   sim::ConsistencyOracle::describe(r.violations).c_str());
+      return 1;
+    }
+    std::printf("replay clean\n");
+    return 0;
+  }
+
+  if (fault_name == "midflush") {
+    MidFlushResult r = run_midflush(seed);
+    std::printf(
+        "replay seed=%llu plan=midflush trace=%s puts_ok=%lld batches=%lld\n",
+        static_cast<unsigned long long>(seed), hex_trace(r.trace_hash).c_str(),
+        static_cast<long long>(r.puts_ok),
+        static_cast<long long>(r.batches));
+    if (!r.convergence_violations.empty()) {
+      std::printf("%s\n",
+                  sim::ConsistencyOracle::describe(r.convergence_violations)
+                      .c_str());
       return 1;
     }
     std::printf("replay clean\n");
