@@ -24,22 +24,20 @@
 #   <build>/tests/chaos_test --seed <n> --plan <mode>:<class>
 set -u
 
+# shellcheck source=scripts/sweep_lib.sh
+. "$(dirname "$0")/sweep_lib.sh"
+
 SEEDS="${1:-${WIERA_CHAOS_SEED_COUNT:-50}}"
 BUILD_DIR="${2:-build}"
 BINARY="${BUILD_DIR}/tests/chaos_test"
 JOBS="${CTEST_PARALLEL_LEVEL:-1}"
 
-if [[ ! -x "${BINARY}" ]]; then
-  echo "chaos_sweep: ${BINARY} not found; build first:" >&2
-  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
-  exit 2
-fi
+sweep_require_binary "${BINARY}" "${BUILD_DIR}" chaos_sweep
 
 # One gtest filter per (mode, fault) combination: the availability faults,
 # the corruption faults, and the brownout sweep.
-FILTERS="$("${BINARY}" --gtest_list_tests \
-    --gtest_filter='AllModesAllFaults/*:AllModesAllCorruptionFaults/*:ChaosBrownoutTest.EveryRequest*' \
-  | awk '/^[^ ]/ {suite=$1} /^  / {print suite $1}')"
+FILTERS="$(sweep_filters "${BINARY}" \
+  'AllModesAllFaults/*:AllModesAllCorruptionFaults/*:ChaosBrownoutTest.EveryRequest*')"
 COMBOS="$(wc -l <<<"${FILTERS}")"
 
 echo "chaos_sweep: ${SEEDS} seeds x ${COMBOS} combinations (${JOBS} parallel)"
@@ -47,30 +45,20 @@ LOGDIR="$(mktemp -d)"
 trap 'rm -rf "${LOGDIR}"' EXIT
 
 export WIERA_CHAOS_SEED_COUNT="${SEEDS}"
-running=0
-for FILTER in ${FILTERS}; do
-  LOG="${LOGDIR}/$(echo "${FILTER}" | tr '/.' '__').log"
-  "${BINARY}" --gtest_filter="${FILTER}" --gtest_color=no \
-    >"${LOG}" 2>&1 &
-  running=$((running + 1))
-  if (( running >= JOBS )); then
-    wait -n || true
-    running=$((running - 1))
-  fi
-done
-wait || true
+# shellcheck disable=SC2086
+sweep_run_filters "${BINARY}" "${LOGDIR}" "${JOBS}" ${FILTERS}
 
-grep -hE '^\[ *(OK|FAILED) *\]' "${LOGDIR}"/*.log | sed 's/^/  /'
+sweep_summarize "${LOGDIR}"
 
-FAILS="$(grep -h '^CHAOS-FAIL' "${LOGDIR}"/*.log | wc -l)"
-GTEST_FAILS="$(grep -l '\[  FAILED  \]' "${LOGDIR}"/*.log | wc -l)"
+FAILS="$(sweep_fail_count "${LOGDIR}" CHAOS-FAIL)"
+GTEST_FAILS="$(sweep_gtest_fail_count "${LOGDIR}")"
 if [[ "${FAILS}" -gt 0 || "${GTEST_FAILS}" -gt 0 ]]; then
   echo ""
   echo "chaos_sweep: FAILING SEEDS (replay semantics in docs/FAULTS.md):"
-  grep -h '^CHAOS-FAIL' "${LOGDIR}"/*.log | while read -r LINE; do
-    SEED="$(sed -n 's/.*seed=\([0-9]*\).*/\1/p' <<<"${LINE}")"
-    MODE="$(sed -n 's/.*mode=\([^ ]*\).*/\1/p' <<<"${LINE}")"
-    FAULT="$(sed -n 's/.*fault=\([^ ]*\).*/\1/p' <<<"${LINE}")"
+  sweep_fail_lines "${LOGDIR}" CHAOS-FAIL | while read -r LINE; do
+    SEED="$(sweep_field "${LINE}" seed)"
+    MODE="$(sweep_field "${LINE}" mode)"
+    FAULT="$(sweep_field "${LINE}" fault)"
     echo "  ${LINE}"
     echo "    reproduce: ${BINARY} --seed ${SEED} --plan ${MODE}:${FAULT}"
     # Replay the failing seed with telemetry dumping on: the registry

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Scenario sweep: run the scenario engine's SLO acceptance suite
+# (docs/SCENARIOS.md) over many seeds — every built-in scenario, fault-free
+# and composed with at least one fault class — plus the bit-identical
+# replay checks, and report every failing seed with its determinism trace
+# hash and a one-line reproducer command.
+#
+# Usage:
+#   scripts/scenario_sweep.sh [SEEDS] [BUILD_DIR] [ARTIFACT_DIR]
+#
+#   SEEDS         seeds per (scenario, fault) combination
+#                 (default 20; overrides WIERA_SCENARIO_SEED_COUNT)
+#   BUILD_DIR     cmake build directory containing tests/scenario_test
+#                 (default: build)
+#   ARTIFACT_DIR  where failing-seed telemetry dumps are written for upload
+#                 (default: none — dumps are inlined into the log only)
+#
+# Combinations run in parallel when CTEST_PARALLEL_LEVEL is set. Every
+# failing run prints a line of the form
+#   SCENARIO-FAIL seed=<n> scenario=<name> fault=<class> trace=0x<hash>
+# which this script collects, echoing next to each one the exact replay:
+#   <build>/tests/scenario_test --seed <n> --scenario <name>:<class>
+# and the per-run SCENARIO-STATS counters CI greps for.
+set -u
+
+# shellcheck source=scripts/sweep_lib.sh
+. "$(dirname "$0")/sweep_lib.sh"
+
+SEEDS="${1:-${WIERA_SCENARIO_SEED_COUNT:-20}}"
+BUILD_DIR="${2:-build}"
+ARTIFACT_DIR="${3:-}"
+BINARY="${BUILD_DIR}/tests/scenario_test"
+JOBS="${CTEST_PARALLEL_LEVEL:-1}"
+
+sweep_require_binary "${BINARY}" "${BUILD_DIR}" scenario_sweep
+
+# One gtest filter per scenario sweep plus the determinism replays.
+FILTERS="$(sweep_filters "${BINARY}" \
+  'ScenarioSweepTest.*:ScenarioDeterminismTest.*:ScenarioMutationTest.*')"
+COMBOS="$(wc -l <<<"${FILTERS}")"
+
+echo "scenario_sweep: ${SEEDS} seeds x ${COMBOS} combinations (${JOBS} parallel)"
+LOGDIR="$(mktemp -d)"
+trap 'rm -rf "${LOGDIR}"' EXIT
+
+export WIERA_SCENARIO_SEED_COUNT="${SEEDS}"
+# shellcheck disable=SC2086
+sweep_run_filters "${BINARY}" "${LOGDIR}" "${JOBS}" ${FILTERS}
+
+sweep_summarize "${LOGDIR}"
+
+FAILS="$(sweep_fail_count "${LOGDIR}" SCENARIO-FAIL)"
+GTEST_FAILS="$(sweep_gtest_fail_count "${LOGDIR}")"
+if [[ "${FAILS}" -gt 0 || "${GTEST_FAILS}" -gt 0 ]]; then
+  echo ""
+  echo "scenario_sweep: FAILING SEEDS (replay semantics in docs/SCENARIOS.md):"
+  sweep_fail_lines "${LOGDIR}" SCENARIO-FAIL | while read -r LINE; do
+    SEED="$(sweep_field "${LINE}" seed)"
+    SCENARIO="$(sweep_field "${LINE}" scenario)"
+    FAULT="$(sweep_field "${LINE}" fault)"
+    echo "  ${LINE}"
+    echo "    reproduce: ${BINARY} --seed ${SEED} --scenario ${SCENARIO}:${FAULT}"
+    # Replay the failing seed with telemetry dumping on: the scenario
+    # timeline, registry snapshot and implicated span trees land in the
+    # log — and in ARTIFACT_DIR when set, for CI upload.
+    DUMP="${LOGDIR}/dump_${SEED}_${SCENARIO}_${FAULT}.log"
+    "${BINARY}" --seed "${SEED}" --scenario "${SCENARIO}:${FAULT}" \
+      --dump-telemetry >"${DUMP}" 2>&1 || true
+    sed -n '/^SCENARIO-TIMELINE/,$p' "${DUMP}" | sed 's/^/    /'
+    if [[ -n "${ARTIFACT_DIR}" ]]; then
+      mkdir -p "${ARTIFACT_DIR}"
+      cp "${DUMP}" "${ARTIFACT_DIR}/"
+    fi
+  done
+  # Per-run counters from every failing combination, for CI logs.
+  grep -lh '\[  FAILED  \]' "${LOGDIR}"/*.log 2>/dev/null \
+    | xargs -r grep -h '^SCENARIO-STATS' | sed 's/^/  /' || true
+  echo ""
+  echo "scenario_sweep: ${FAILS} SLO/oracle failure(s), ${GTEST_FAILS} failing combination(s)"
+  exit 1
+fi
+
+echo "scenario_sweep: all seeds green"

@@ -1,0 +1,73 @@
+# Shared machinery for the seed-sweep drivers (chaos_sweep.sh,
+# scenario_sweep.sh): gtest filter enumeration, bounded-parallel execution
+# of one test binary per combination, result summaries, and field
+# extraction from the FAIL/STATS marker lines the suites print.
+#
+# Source this file; it defines functions only (no side effects). Callers
+# own their CLI surface and the suite-specific reproducer command shape.
+
+# sweep_require_binary BINARY BUILD_DIR NAME
+# Exit 2 with a build hint unless BINARY is executable.
+sweep_require_binary() {
+  local binary="$1" build_dir="$2" name="$3"
+  if [[ ! -x "${binary}" ]]; then
+    echo "${name}: ${binary} not found; build first:" >&2
+    echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+    exit 2
+  fi
+}
+
+# sweep_filters BINARY GTEST_FILTER
+# Print one fully-qualified test name per line for every test matching
+# GTEST_FILTER — each becomes its own process in the sweep.
+sweep_filters() {
+  "$1" --gtest_list_tests --gtest_filter="$2" \
+    | awk '/^[^ ]/ {suite=$1} /^  / {print suite $1}'
+}
+
+# sweep_run_filters BINARY LOGDIR JOBS FILTER...
+# Run BINARY once per filter with at most JOBS processes in flight; each
+# run's output lands in LOGDIR/<filter>.log.
+sweep_run_filters() {
+  local binary="$1" logdir="$2" jobs="$3"
+  shift 3
+  local running=0 filter log
+  for filter in "$@"; do
+    log="${logdir}/$(echo "${filter}" | tr '/.' '__').log"
+    "${binary}" --gtest_filter="${filter}" --gtest_color=no \
+      >"${log}" 2>&1 &
+    running=$((running + 1))
+    if (( running >= jobs )); then
+      wait -n || true
+      running=$((running - 1))
+    fi
+  done
+  wait || true
+}
+
+# sweep_summarize LOGDIR
+# Echo every per-test OK/FAILED line from the sweep logs, indented.
+sweep_summarize() {
+  grep -hE '^\[ *(OK|FAILED) *\]' "$1"/*.log | sed 's/^/  /'
+}
+
+# sweep_field LINE KEY
+# Extract the value of "KEY=value" from a marker line ("" if absent).
+sweep_field() {
+  sed -n "s/.*$2=\([^ ]*\).*/\1/p" <<<"$1"
+}
+
+# sweep_fail_lines LOGDIR TAG
+# Every suite marker line (e.g. CHAOS-FAIL, SCENARIO-FAIL) in the logs.
+sweep_fail_lines() {
+  grep -h "^$2" "$1"/*.log 2>/dev/null || true
+}
+
+# sweep_fail_count LOGDIR TAG / sweep_gtest_fail_count LOGDIR
+sweep_fail_count() {
+  sweep_fail_lines "$1" "$2" | grep -c . || true
+}
+
+sweep_gtest_fail_count() {
+  grep -l '\[  FAILED  \]' "$1"/*.log 2>/dev/null | wc -l
+}

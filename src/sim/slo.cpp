@@ -1,0 +1,276 @@
+#include "sim/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace wiera::sim {
+
+namespace {
+
+// Client-side integrity counters that must stay zero under no_corrupt_reads:
+// payload checksum mismatches surfaced to a client, and wire-level frame
+// corruption it detected (docs/INTEGRITY.md).
+constexpr const char* kCorruptionCounters[] = {
+    "wiera_client_checksum_failures_total",
+    "wiera_wire_checksum_failures_total",
+};
+
+std::string time_str(TimePoint t) { return std::to_string(t.us()) + "us"; }
+
+}  // namespace
+
+std::string SloContract::describe() const {
+  std::string out = "contract[" + scenario + "]";
+  if (max_put_p99 > Duration::zero()) {
+    out += " put_p99<=" + std::to_string(max_put_p99.us()) + "us";
+  }
+  if (max_get_p99 > Duration::zero()) {
+    out += " get_p99<=" + std::to_string(max_get_p99.us()) + "us";
+  }
+  if (max_shed_fraction >= 0.0) {
+    out += " shed<=" + std::to_string(max_shed_fraction);
+  }
+  if (no_failed_ops) out += " no-failed-ops";
+  if (no_corrupt_reads) out += " no-corrupt-reads";
+  if (max_availability_gap > Duration::zero()) {
+    out += " gap<=" + std::to_string(max_availability_gap.us()) + "us";
+  }
+  if (session_reads) out += " session-reads";
+  return out;
+}
+
+void SloOracle::set_window(TimePoint start, TimePoint end) {
+  has_window_ = true;
+  window_start_ = start;
+  window_end_ = end;
+}
+
+void SloOracle::record(OpRec rec) {
+  switch (rec.code) {
+    case StatusCode::kOk: ok_++; break;
+    case StatusCode::kNotFound: not_found_++; break;
+    case StatusCode::kResourceExhausted: shed_++; break;
+    default: failed_++; break;
+  }
+  ops_.push_back(std::move(rec));
+}
+
+void SloOracle::record_put(const std::string& client, const std::string& key,
+                           const std::string& value, TimePoint start,
+                           TimePoint end, StatusCode code, uint64_t trace_id) {
+  OpRec rec;
+  rec.is_put = true;
+  rec.client = client;
+  rec.key = key;
+  rec.value = value;
+  rec.start = start;
+  rec.end = end;
+  rec.code = code;
+  rec.trace_id = trace_id;
+  record(std::move(rec));
+}
+
+void SloOracle::record_get(const std::string& client, const std::string& key,
+                           const std::string& value, TimePoint start,
+                           TimePoint end, StatusCode code, uint64_t trace_id) {
+  OpRec rec;
+  rec.client = client;
+  rec.key = key;
+  rec.value = value;
+  rec.start = start;
+  rec.end = end;
+  rec.code = code;
+  rec.trace_id = trace_id;
+  record(std::move(rec));
+}
+
+std::vector<SloViolation> SloOracle::check(
+    const SloContract& contract, const obs::Registry& registry,
+    const std::vector<std::string>& clients) const {
+  std::vector<SloViolation> out;
+  const bool sheds_tolerated = contract.max_shed_fraction >= 0.0;
+
+  // ---- failed ops (whole run, not just the window) ----
+  if (contract.no_failed_ops) {
+    for (const OpRec& op : ops_) {
+      const bool shed_ok =
+          sheds_tolerated && op.code == StatusCode::kResourceExhausted;
+      if (op.code == StatusCode::kOk || op.code == StatusCode::kNotFound ||
+          shed_ok) {
+        continue;
+      }
+      out.push_back({"no-failed-ops",
+                     std::string(op.is_put ? "put" : "get") + " by " +
+                         op.client + " on " + op.key + " failed with " +
+                         std::string(status_code_name(op.code)) + " at " +
+                         time_str(op.end),
+                     op.trace_id});
+      break;  // first failure is evidence enough; counters carry the total
+    }
+  }
+
+  // ---- shed fraction over the scenario window ----
+  if (sheds_tolerated && has_window_) {
+    int64_t in_window = 0;
+    int64_t shed_in_window = 0;
+    for (const OpRec& op : ops_) {
+      if (op.end < window_start_ || op.end > window_end_) continue;
+      in_window++;
+      if (op.code == StatusCode::kResourceExhausted) shed_in_window++;
+    }
+    const double fraction =
+        in_window == 0 ? 0.0
+                       : static_cast<double>(shed_in_window) /
+                             static_cast<double>(in_window);
+    if (fraction > contract.max_shed_fraction) {
+      out.push_back({"shed-fraction",
+                     "shed " + std::to_string(shed_in_window) + "/" +
+                         std::to_string(in_window) + " in-window ops (" +
+                         std::to_string(fraction) + " > " +
+                         std::to_string(contract.max_shed_fraction) + ")",
+                     0});
+    }
+  }
+
+  // ---- p99 latency from the registry's per-client histograms ----
+  const auto check_p99 = [&](const char* family, Duration bound,
+                             const char* check) {
+    if (bound <= Duration::zero()) return;
+    for (const std::string& client : clients) {
+      const obs::Histogram* hist =
+          registry.find_histogram(family, {{"client", client}});
+      if (hist == nullptr || hist->count() == 0) continue;
+      const Duration p99 = hist->percentile(0.99);
+      if (p99 > bound) {
+        out.push_back({check,
+                       std::string(family) + "{client=" + client +
+                           "} p99=" + std::to_string(p99.us()) + "us > " +
+                           std::to_string(bound.us()) + "us over " +
+                           std::to_string(hist->count()) + " ops",
+                       0});
+      }
+    }
+  };
+  check_p99("wiera_client_put_latency_us", contract.max_put_p99, "put-p99");
+  check_p99("wiera_client_get_latency_us", contract.max_get_p99, "get-p99");
+
+  // ---- corrupt reads ----
+  if (contract.no_corrupt_reads) {
+    for (const char* family : kCorruptionCounters) {
+      const int64_t seen = registry.counter_sum(family);
+      if (seen > 0) {
+        out.push_back({"no-corrupt-reads",
+                       std::string(family) + " = " + std::to_string(seen),
+                       0});
+      }
+    }
+  }
+
+  // ---- availability gap across the scenario window ----
+  if (contract.max_availability_gap > Duration::zero() && has_window_) {
+    std::vector<TimePoint> successes;
+    for (const OpRec& op : ops_) {
+      if (op.code != StatusCode::kOk && op.code != StatusCode::kNotFound) {
+        continue;
+      }
+      if (op.end < window_start_ || op.end > window_end_) continue;
+      successes.push_back(op.end);
+    }
+    std::sort(successes.begin(), successes.end());
+    TimePoint prev = window_start_;
+    Duration worst = Duration::zero();
+    TimePoint worst_at = window_start_;
+    for (const TimePoint t : successes) {
+      if (t - prev > worst) {
+        worst = t - prev;
+        worst_at = prev;
+      }
+      prev = t;
+    }
+    if (window_end_ - prev > worst) {
+      worst = window_end_ - prev;
+      worst_at = prev;
+    }
+    if (worst > contract.max_availability_gap) {
+      out.push_back({"availability-gap",
+                     "no successful op for " + std::to_string(worst.us()) +
+                         "us (> " +
+                         std::to_string(contract.max_availability_gap.us()) +
+                         "us) starting at " + time_str(worst_at),
+                     0});
+    }
+  }
+
+  // ---- session read-your-writes ----
+  if (contract.session_reads) {
+    // Acked puts per (client, key), in completion order. ops_ is already in
+    // record order, which is completion order for a single-threaded driver;
+    // sort by end time anyway so interleaved drivers stay correct.
+    std::map<std::pair<std::string, std::string>, std::vector<const OpRec*>>
+        acked;
+    for (const OpRec& op : ops_) {
+      if (op.is_put && op.code == StatusCode::kOk) {
+        acked[{op.client, op.key}].push_back(&op);
+      }
+    }
+    for (auto& [who, puts] : acked) {
+      std::sort(puts.begin(), puts.end(),
+                [](const OpRec* a, const OpRec* b) { return a->end < b->end; });
+    }
+    for (const OpRec& op : ops_) {
+      if (op.is_put) continue;
+      if (op.code != StatusCode::kOk && op.code != StatusCode::kNotFound) {
+        continue;
+      }
+      const auto it = acked.find({op.client, op.key});
+      if (it == acked.end()) continue;
+      // Own writes acked before this read started.
+      const OpRec* last = nullptr;
+      bool is_earlier_own = false;
+      for (const OpRec* put : it->second) {
+        if (put->end > op.start) break;
+        if (last != nullptr && last->value == op.value) is_earlier_own = true;
+        last = put;
+      }
+      if (last == nullptr) continue;
+      if (op.code == StatusCode::kNotFound) {
+        out.push_back({"session-reads",
+                       op.client + " read nothing from " + op.key + " at " +
+                           time_str(op.end) + " after its own write '" +
+                           last->value + "' was acked at " +
+                           time_str(last->end),
+                       op.trace_id});
+        continue;
+      }
+      if (op.value != last->value && is_earlier_own) {
+        out.push_back({"session-reads",
+                       op.client + " read its own stale value '" + op.value +
+                           "' from " + op.key + " at " + time_str(op.end) +
+                           " after acking '" + last->value + "' at " +
+                           time_str(last->end),
+                       op.trace_id});
+      }
+    }
+  }
+
+  return out;
+}
+
+std::string SloOracle::describe(const std::vector<SloViolation>& violations) {
+  std::string out;
+  for (const SloViolation& v : violations) {
+    if (!out.empty()) out += "\n";
+    out += "[" + v.check + "] " + v.message;
+    if (v.trace_id != 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " trace=0x%016llx",
+                    static_cast<unsigned long long>(v.trace_id));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace wiera::sim

@@ -21,6 +21,8 @@ WieraClient::WieraClient(sim::Simulation& sim, net::Network& network,
   put_hist_ = metrics_->histogram("wiera_client_put_latency_us", labels);
   get_hist_ = metrics_->histogram("wiera_client_get_latency_us", labels);
   failovers_ = metrics_->counter("wiera_client_failovers_total", labels);
+  attempt_timeouts_ =
+      metrics_->counter("wiera_client_attempt_timeouts_total", labels);
   hedged_gets_ = metrics_->counter("wiera_client_hedged_gets_total", labels);
   hedged_wins_ = metrics_->counter("wiera_client_hedged_wins_total", labels);
   checksum_failures_ =
@@ -78,21 +80,46 @@ sim::Task<Result<rpc::Message>> WieraClient::call_any_ctx(
   for (size_t i = 0; i < attempts; ++i) {
     const std::string peer = peer_ids_.front();
     rpc::Message msg = make_request();
-    resp = co_await endpoint_->call(peer, rpc_method, std::move(msg), ctx);
+    // With failover_attempt_timeout set (and another replica to try), bound
+    // this attempt tighter than the op deadline: a black-holed or draining
+    // peer then costs one attempt window, not the whole op budget.
+    Context attempt = ctx;
+    bool attempt_bounded = false;
+    if (config_.failover_attempt_timeout > Duration::zero() &&
+        peer_ids_.size() > 1) {
+      const TimePoint cut = sim_->now() + config_.failover_attempt_timeout;
+      if (!ctx.has_deadline() || cut < ctx.deadline()) {
+        attempt = Context::with_deadline(cut);
+        attempt.trace = ctx.trace;
+        attempt_bounded = true;
+      }
+    }
+    resp = co_await endpoint_->call(peer, rpc_method, std::move(msg),
+                                    attempt);
     if (resp.ok()) co_return resp;
     const StatusCode code = resp.status().code();
-    // kDeadlineExceeded is final: the deadline covers the whole operation,
-    // so another replica cannot answer in time either. But a peer slow
-    // enough to burn the whole deadline is still demoted — subsequent
-    // operations should prefer replicas that answer.
-    if (code == StatusCode::kDeadlineExceeded && peer_ids_.size() > 1) {
-      std::rotate(peer_ids_.begin(), peer_ids_.begin() + 1, peer_ids_.end());
-      co_return resp;
-    }
-    // Any other non-retriable error is the peer's verdict, not a liveness
-    // problem.
-    if (code != StatusCode::kUnavailable &&
-        code != StatusCode::kResourceExhausted) {
+    if (code == StatusCode::kDeadlineExceeded) {
+      if (attempt_bounded) {
+        // The *attempt* timer fired, not the op deadline (the attempt cut
+        // was strictly earlier): the op still has time, so treat the silent
+        // peer like an unreachable one and fail over within the budget.
+        attempt_timeouts_->inc();
+        tracer().annotate(ctx.trace, "attempt_timeout=" + peer);
+      } else {
+        // kDeadlineExceeded is final: the deadline covers the whole
+        // operation, so another replica cannot answer in time either. But a
+        // peer slow enough to burn the whole deadline is still demoted —
+        // subsequent operations should prefer replicas that answer.
+        if (peer_ids_.size() > 1) {
+          std::rotate(peer_ids_.begin(), peer_ids_.begin() + 1,
+                      peer_ids_.end());
+        }
+        co_return resp;
+      }
+    } else if (code != StatusCode::kUnavailable &&
+               code != StatusCode::kResourceExhausted) {
+      // Any other non-retriable error is the peer's verdict, not a liveness
+      // problem.
       co_return resp;
     }
     if (i + 1 == attempts) break;

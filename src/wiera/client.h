@@ -43,6 +43,13 @@ class WieraClient {
     int hedge_min_samples = 20;
     double hedge_percentile = 0.95;
     Duration hedge_min_delay = msec(10);
+    // Per-attempt bound inside the failover loop: an attempt still silent
+    // after this long fails over to the next replica (spending a retry-
+    // budget token) instead of letting one black-holed or draining peer
+    // burn the whole op deadline before the client ever tries a healthy
+    // one (docs/SCENARIOS.md). Zero = off (seed behaviour: only the op
+    // deadline cuts an attempt short).
+    Duration failover_attempt_timeout = Duration::zero();
   };
 
   // `peer_ids` is sorted by proximity automatically (base one-way latency
@@ -79,6 +86,8 @@ class WieraClient {
   const LatencyHistogram& put_latency() const { return put_hist_->latency(); }
   const LatencyHistogram& get_latency() const { return get_hist_->latency(); }
   int64_t failovers() const { return failovers_->value(); }
+  // Failovers forced by failover_attempt_timeout (subset of failovers()).
+  int64_t attempt_timeouts() const { return attempt_timeouts_->value(); }
   int64_t hedged_gets() const { return hedged_gets_->value(); }
   int64_t hedged_wins() const { return hedged_wins_->value(); }
   int64_t retry_budget_denials() const { return retry_budget_.denied(); }
@@ -139,6 +148,7 @@ class WieraClient {
   obs::Histogram* put_hist_ = nullptr;
   obs::Histogram* get_hist_ = nullptr;
   obs::Counter* failovers_ = nullptr;
+  obs::Counter* attempt_timeouts_ = nullptr;
   obs::Counter* hedged_gets_ = nullptr;
   obs::Counter* hedged_wins_ = nullptr;
   obs::Counter* checksum_failures_ = nullptr;

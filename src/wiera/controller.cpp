@@ -55,6 +55,18 @@ Status TieraServer::stop_peer(const std::string& instance_id) {
   return ok_status();
 }
 
+Status TieraServer::retire_peer(const std::string& instance_id) {
+  auto it = peers_.find(instance_id);
+  if (it == peers_.end()) return not_found("no peer " + instance_id);
+  it->second->stop();
+  // Keep the object alive: a replicate/ping coroutine already running on it
+  // would otherwise use freed frame state, and its endpoint keeps answering
+  // straggler clients with a fast "draining" instead of a silent timeout.
+  retired_.push_back(std::move(it->second));
+  peers_.erase(it);
+  return ok_status();
+}
+
 WieraPeer* TieraServer::peer(const std::string& instance_id) {
   auto it = peers_.find(instance_id);
   return it == peers_.end() ? nullptr : it->second.get();
@@ -480,7 +492,11 @@ sim::Task<void> WieraController::heartbeat_loop() {
         node_alive_[id] = alive;
         if (alive) {
           down_handled_.erase(id);
-        } else if (down_handled_.count(id) == 0) {
+        } else if (down_handled_.count(id) == 0 &&
+                   draining_.count(id) == 0) {
+          // (A draining peer's drain task owns its membership transition;
+          // down-handling — say a fault partitions it mid-drain — must not
+          // race that. The drain's own deadline bounds the deferral.)
           // Narrowing membership around an unreachable peer is only safe
           // once its serve lease has provably lapsed: lease_seen_ upper-
           // bounds the peer's own last renewal, so waiting one heartbeat
@@ -550,6 +566,10 @@ void WieraController::push_membership(const std::string& wiera_id,
   // the next push after its catch-up.
   std::vector<std::string> live_storage;
   for (const std::string& id : record.storage_peer_ids) {
+    // A draining peer stops receiving new placements the moment the drain
+    // starts: everything it already holds is being handed off, so routing
+    // fresh updates to it would only grow the hand-off (docs/SCENARIOS.md).
+    if (draining_.count(id) > 0) continue;
     auto alive = node_alive_.find(id);
     if (alive == node_alive_.end() || alive->second) live_storage.push_back(id);
   }
@@ -673,7 +693,9 @@ void WieraController::maintain_replicas() {
                     server->node()) != record.peer_ids.end();
       auto alive = node_alive_.find(server->node());
       const bool up = alive == node_alive_.end() || alive->second;
-      if (!hosting && up) {
+      // An evacuated node's endpoint belongs to its retired peer object:
+      // re-spawning there would double-register it.
+      if (!hosting && up && evacuated_.count(server->node()) == 0) {
         spare = server;
         break;
       }
@@ -721,6 +743,254 @@ void WieraController::maintain_replicas() {
     }
     replacement->start();
   }
+}
+
+// ------------------------------------------- operational events (scenarios)
+
+sim::Task<Status> WieraController::drain_peer(std::string wiera_id,
+                                              std::string peer_id,
+                                              TimePoint deadline) {
+  auto it = instances_.find(wiera_id);
+  if (it == instances_.end()) {
+    co_return not_found("wiera instance " + wiera_id);
+  }
+  if (std::find(it->second.peer_ids.begin(), it->second.peer_ids.end(),
+                peer_id) == it->second.peer_ids.end()) {
+    co_return not_found(peer_id + " is not a member of " + wiera_id);
+  }
+  WieraPeer* p = peer_by_id_internal(peer_id);
+  if (p == nullptr) {
+    co_return not_found("no peer object for " + peer_id);
+  }
+  if (!draining_.insert(peer_id).second) {
+    co_return failed_precondition(peer_id + " is already draining");
+  }
+  sim_->telemetry()
+      .journal()
+      .event("controller", "drain_begin")
+      .str("instance", peer_id);
+  WLOG_INFO(kComponent) << wiera_id << " draining " << peer_id;
+
+  // 1. Move primary-ship off the draining peer. Local promotion (the §4.4
+  //    failover path), not change_primary's all-peer ack fan-out: a third
+  //    peer partitioned away must not block an evacuation, and it learns
+  //    the new primary through its own recovery push when it heals.
+  if (it->second.primary == peer_id) {
+    std::string successor;
+    for (const std::string& candidate : it->second.storage_peer_ids) {
+      if (candidate == peer_id || draining_.count(candidate) > 0) continue;
+      auto alive = node_alive_.find(candidate);
+      if (alive != node_alive_.end() && !alive->second) continue;
+      successor = candidate;
+      break;
+    }
+    if (successor.empty()) {
+      draining_.erase(peer_id);
+      co_return failed_precondition(
+          "no live successor to take primary-ship from " + peer_id);
+    }
+    it->second.primary = successor;
+    primary_changes_++;
+    WLOG_INFO(kComponent) << wiera_id << " primary handed off: " << peer_id
+                          << " -> " << successor;
+  }
+
+  // 2. Stop admitting new placements: with peer_id in draining_, this push
+  //    drops it from every live peer's replication set.
+  push_membership(wiera_id, it->second);
+
+  // 3. Hand off. enter_draining *before* the final flush: the gate refuses
+  //    new client ops from here on (clients fail over within their retry
+  //    budget), so nothing can land between the last flush and the detach.
+  p->enter_draining();
+  if (config_.drain_handoff) {
+    const Status handoff = co_await p->drain(deadline);
+    it = instances_.find(wiera_id);
+    p = peer_by_id_internal(peer_id);
+    if (it == instances_.end() || p == nullptr) {
+      draining_.erase(peer_id);
+      co_return not_found(wiera_id + " stopped during drain of " + peer_id);
+    }
+    if (!handoff.ok()) {
+      // Abort: restore full membership and keep serving. Nothing was lost —
+      // the peer still holds everything it ever acked.
+      p->exit_draining();
+      draining_.erase(peer_id);
+      push_membership(wiera_id, it->second);
+      WLOG_WARN(kComponent) << wiera_id << " drain of " << peer_id
+                            << " aborted: " << handoff.to_string();
+      co_return handoff;
+    }
+  }
+
+  // 4. Detach without tripping the failure detector: out of the membership
+  //    record first, then retire the object so the heartbeat stops pinging
+  //    it while stragglers still get a fast "draining" answer.
+  InstanceRecord& record = it->second;
+  std::erase(record.peer_ids, peer_id);
+  std::erase(record.storage_peer_ids, peer_id);
+  for (auto t = record.templates.begin(); t != record.templates.end(); ++t) {
+    if (t->instance_id == peer_id) {
+      record.templates.erase(t);
+      break;
+    }
+  }
+  draining_.erase(peer_id);
+  evacuated_.insert(peer_id);
+  node_alive_.erase(peer_id);
+  lease_seen_.erase(peer_id);
+  down_handled_.erase(peer_id);
+  push_membership(wiera_id, record);
+  for (TieraServer* server : servers_) {
+    if (server->peer(peer_id) == nullptr) continue;
+    const Status retired = server->retire_peer(peer_id);
+    if (!retired.ok()) {
+      WLOG_WARN(kComponent) << "retiring " << peer_id
+                            << " failed: " << retired.to_string();
+    }
+    break;
+  }
+  drains_completed_++;
+  sim_->telemetry()
+      .journal()
+      .event("controller", "drain_complete")
+      .str("instance", peer_id);
+  WLOG_INFO(kComponent) << wiera_id << " evacuated " << peer_id;
+  co_return ok_status();
+}
+
+sim::Task<Status> WieraController::add_peer_live(std::string wiera_id,
+                                                 std::string node) {
+  auto it = instances_.find(wiera_id);
+  if (it == instances_.end()) {
+    co_return not_found("wiera instance " + wiera_id);
+  }
+  if (std::find(it->second.peer_ids.begin(), it->second.peer_ids.end(),
+                node) != it->second.peer_ids.end()) {
+    co_return already_exists(node + " is already a member of " + wiera_id);
+  }
+  if (evacuated_.count(node) > 0) {
+    // The retired peer still owns this node's rpc endpoint; spawning a new
+    // one there would double-register it. Capacity returns on fresh nodes.
+    co_return failed_precondition(node +
+                                  " was evacuated; add a fresh node instead");
+  }
+  if (draining_.count(node) > 0) {
+    co_return failed_precondition(node + " is draining");
+  }
+  TieraServer* server = nullptr;
+  for (TieraServer* candidate : servers_) {
+    if (candidate->node() == node) {
+      server = candidate;
+      break;
+    }
+  }
+  if (server == nullptr) {
+    co_return not_found("no Tiera server registered on node " + node);
+  }
+  auto alive = node_alive_.find(node);
+  if (alive != node_alive_.end() && !alive->second) {
+    co_return unavailable(node + " is down");
+  }
+  InstanceRecord& record = it->second;
+  if (record.templates.empty()) {
+    co_return failed_precondition("no peer template to clone for " + wiera_id);
+  }
+
+  WieraPeer::Config config = record.templates.front();
+  config.instance_id = node;
+  config.is_primary = false;
+  const bool stores =
+      !config.forwarding_only && !config.local.policy.tiers.empty();
+  record.templates.push_back(config);
+  WieraPeer* added = server->spawn_peer(std::move(config));
+  record.peer_ids.push_back(added->id());
+  if (stores) record.storage_peer_ids.push_back(added->id());
+  node_alive_[node] = true;
+  lease_seen_[node] = sim_->now();
+  wire_control_plane(wiera_id, added);
+  // The newcomer starts empty: recover it like a restarted peer — catch up
+  // from the live sources while replication already flows to it.
+  added->begin_recovery();
+  push_membership(wiera_id, record);
+  added->start();
+  peers_added_++;
+  sim_->telemetry()
+      .journal()
+      .event("controller", "peer_added")
+      .str("instance", node);
+  WLOG_INFO(kComponent) << wiera_id << " added live peer " << node;
+  if (catching_up_.insert(node).second) {
+    co_await recover_peer(wiera_id, node);
+  }
+  co_return ok_status();
+}
+
+sim::Task<Status> WieraController::rolling_restart(std::string wiera_id) {
+  auto it = instances_.find(wiera_id);
+  if (it == instances_.end()) {
+    co_return not_found("wiera instance " + wiera_id);
+  }
+  // Snapshot the walk order: drains or replacements may edit the record
+  // while a bounce is suspended.
+  const std::vector<std::string> ids = it->second.storage_peer_ids;
+  Status first_error = ok_status();
+  for (const std::string& id : ids) {
+    it = instances_.find(wiera_id);
+    if (it == instances_.end()) {
+      co_return not_found(wiera_id + " stopped during rolling restart");
+    }
+    if (draining_.count(id) > 0 || evacuated_.count(id) > 0) continue;
+    auto alive = node_alive_.find(id);
+    if (alive != node_alive_.end() && !alive->second) continue;  // down anyway
+    WieraPeer* p = peer_by_id_internal(id);
+    if (p == nullptr) continue;
+    // A controlled restart must not trip a failover: primary-ship moves off
+    // the peer before it bounces (same local promotion as drain_peer).
+    if (it->second.primary == id) {
+      for (const std::string& candidate : it->second.storage_peer_ids) {
+        if (candidate == id || draining_.count(candidate) > 0) continue;
+        auto cand_alive = node_alive_.find(candidate);
+        if (cand_alive != node_alive_.end() && !cand_alive->second) continue;
+        it->second.primary = candidate;
+        primary_changes_++;
+        WLOG_INFO(kComponent) << wiera_id << " primary handed off: " << id
+                              << " -> " << candidate;
+        break;
+      }
+      push_membership(wiera_id, it->second);
+    }
+    // Flush the outbound queue so the bounce loses nothing; tolerate a
+    // flush that cannot finish (a partitioned sibling) and bounce anyway —
+    // the queue survives a clean stop/start, only crashes drop it.
+    const Status flushed = co_await p->drain(
+        sim_->now() + config_.heartbeat_interval * 4, /*flush_only=*/true);
+    if (!flushed.ok() && first_error.ok()) first_error = flushed;
+    it = instances_.find(wiera_id);
+    p = peer_by_id_internal(id);
+    if (it == instances_.end() || p == nullptr) continue;
+    p->begin_recovery();
+    p->stop();
+    co_await sim_->delay(config_.restart_pause);
+    p = peer_by_id_internal(id);
+    if (p == nullptr) continue;
+    p->start();
+    sim_->telemetry()
+        .journal()
+        .event("controller", "peer_restarted")
+        .str("instance", id);
+    // Recover before bouncing the next peer: at most one member is ever
+    // out of full service.
+    if (catching_up_.insert(id).second) {
+      co_await recover_peer(wiera_id, id);
+    } else {
+      // The heartbeat already owns this peer's recovery; give it a beat.
+      co_await sim_->delay(config_.heartbeat_interval);
+    }
+  }
+  rolling_restarts_++;
+  WLOG_INFO(kComponent) << wiera_id << " rolling restart complete";
+  co_return first_error;
 }
 
 void WieraController::start() {

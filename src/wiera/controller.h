@@ -44,6 +44,12 @@ class TieraServer {
   // with (or equal to) this server's node.
   WieraPeer* spawn_peer(WieraPeer::Config config);
   Status stop_peer(const std::string& instance_id);
+  // Detach a peer without destroying it: the object (and its registered
+  // rpc endpoint) moves to a retired list where it stays alive, so
+  // in-flight handler coroutines and straggler RPCs land on a live object
+  // that answers fast — but it leaves peer_ids(), so the heartbeat stops
+  // pinging it and the failure detector never trips (docs/SCENARIOS.md).
+  Status retire_peer(const std::string& instance_id);
   WieraPeer* peer(const std::string& instance_id);
   std::vector<std::string> peer_ids() const;
 
@@ -53,6 +59,7 @@ class TieraServer {
   rpc::Registry* registry_;
   std::string node_;
   std::map<std::string, std::unique_ptr<WieraPeer>> peers_;
+  std::vector<std::unique_ptr<WieraPeer>> retired_;
 };
 
 class WieraController {
@@ -79,6 +86,15 @@ class WieraController {
     // unreachable timeout; with one, failure detection keeps its cadence
     // under brownouts. Zero = no deadline (seed behaviour).
     Duration ping_deadline = Duration::zero();
+    // ---- operational events (docs/SCENARIOS.md) ----
+    // Hand the draining peer's queued + committed state off to the
+    // remaining replicas before detaching it. Disabling this is the SLO
+    // oracle's mutation knob: the drain then detaches with whatever the
+    // flusher had not pushed yet, and the session read-your-writes
+    // contract catches the loss.
+    bool drain_handoff = true;
+    // Pause between stop and restart of each peer in a rolling restart.
+    Duration restart_pause = msec(500);
   };
 
   // How to launch a Wiera instance from a global policy document.
@@ -123,6 +139,30 @@ class WieraController {
                                        ConsistencyMode mode);
   sim::Task<Status> change_primary(std::string wiera_id,
                                    std::string new_primary);
+
+  // ---- operational events (docs/SCENARIOS.md) ----
+  // Cooperatively evacuate `peer_id` from `wiera_id`: move primary-ship off
+  // it, stop admitting new placements (membership pushed without it), hand
+  // off its queued + committed state over the normal replication path, then
+  // detach it without tripping the failure detector. On hand-off failure
+  // the peer is restored to full membership and the error returned.
+  sim::Task<Status> drain_peer(std::string wiera_id, std::string peer_id,
+                               TimePoint deadline);
+  // Bring a new replica up live on `node` (a registered Tiera server that
+  // is not yet a member) and catch it up like a recovered peer. Evacuated
+  // node ids stay retired for the life of the cluster — capacity comes back
+  // on a fresh node, never by re-registering a retired endpoint.
+  sim::Task<Status> add_peer_live(std::string wiera_id, std::string node);
+  // Controlled one-at-a-time restart of the storage peers: primary-ship is
+  // moved off each peer, its queue flushed, and the peer recovered before
+  // the next one bounces — at most one member is ever out of full service.
+  sim::Task<Status> rolling_restart(std::string wiera_id);
+  bool draining(const std::string& peer_id) const {
+    return draining_.count(peer_id) > 0;
+  }
+  int64_t drains_completed() const { return drains_completed_; }
+  int64_t peers_added() const { return peers_added_; }
+  int64_t rolling_restarts_completed() const { return rolling_restarts_; }
 
   ConsistencyMode current_mode(const std::string& wiera_id) const;
   std::string current_primary(const std::string& wiera_id) const;
@@ -190,6 +230,15 @@ class WieraController {
   // Peers whose down-transition has been handled (failover + narrowing);
   // cleared when the peer answers pings again.
   std::set<std::string> down_handled_;
+  // Peers mid-drain: excluded from replication membership pushes, and the
+  // heartbeat's down-handling defers to the drain in progress.
+  std::set<std::string> draining_;
+  // Node ids already evacuated: never re-added (their rpc endpoint stays
+  // registered to the retired object) and never picked as spares.
+  std::set<std::string> evacuated_;
+  int64_t drains_completed_ = 0;
+  int64_t peers_added_ = 0;
+  int64_t rolling_restarts_ = 0;
   int64_t consistency_changes_ = 0;
   int64_t primary_changes_ = 0;
   int64_t replacements_spawned_ = 0;

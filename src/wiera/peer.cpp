@@ -1319,6 +1319,13 @@ void WieraPeer::apply_primary_change(const std::string& new_primary) {
 // ---------------------------------------------------------------- recovery
 
 Status WieraPeer::availability_gate() {
+  // A draining peer refuses new client work in *every* mode — the point of
+  // the cooperative drain is that clients fail over to the remaining
+  // replicas before this peer detaches, so nothing new lands between its
+  // final hand-off flush and the detach (docs/SCENARIOS.md).
+  if (draining_) {
+    return unavailable(config_.instance_id + " is draining");
+  }
   // Eventual mode keeps serving through faults (that is its contract; the
   // oracle only demands convergence after quiescence). The strong modes
   // must not serve stale data from an isolated or freshly-restarted node.
@@ -1446,6 +1453,83 @@ void WieraPeer::finish_recovery() {
   recovering_ = false;
   data_suspect_ = false;
   last_contact_ = sim_->now();
+}
+
+// ------------------------------------------------------- cooperative drain
+
+void WieraPeer::enter_draining() {
+  if (draining_) return;
+  draining_ = true;
+  journal().event("peer", "drain_begin").str("instance", config_.instance_id);
+  WLOG_INFO(kComponent) << id() << " draining: refusing new client ops";
+}
+
+void WieraPeer::exit_draining() {
+  if (!draining_) return;
+  draining_ = false;
+  journal().event("peer", "drain_abort").str("instance", config_.instance_id);
+  WLOG_INFO(kComponent) << id() << " drain aborted: serving again";
+}
+
+sim::Task<Status> WieraPeer::drain(TimePoint deadline, bool flush_only) {
+  // Phase 1: push everything already queued. flush_queue rides the normal
+  // replication path (breakers, retry budget, batching) and re-queues what
+  // it could not deliver, so we loop with a pause until the queue is empty
+  // or the deadline passes.
+  while (queue_->size() > 0) {
+    if (sim_->now() >= deadline) {
+      co_return deadline_exceeded(config_.instance_id + " drain: " +
+                                  std::to_string(queue_->size()) +
+                                  " updates still queued at the deadline");
+    }
+    const Status flushed = co_await flush_queue();
+    if (!flushed.ok() && queue_->size() > 0) {
+      co_await sim_->delay(msec(200));
+    }
+  }
+  if (flush_only) co_return ok_status();
+  // Phase 2: enqueue the latest committed version of every local key —
+  // catch_up's push-back half — so replicas that missed an update (or that
+  // LWW-lost one we hold) converge before this peer detaches. Replicas drop
+  // duplicates by version, so re-sending the already-replicated majority is
+  // idle work, not corruption.
+  for (const std::string& key : local_->meta().keys()) {
+    const metadb::ObjectMeta* obj = local_->meta().find(key);
+    if (obj == nullptr) continue;
+    const metadb::VersionMeta* vm = obj->latest_committed();
+    if (vm == nullptr) continue;
+    // Copy before suspending: get_version can interleave with GC that
+    // erases this version's metadata out from under vm.
+    const int64_t version = vm->version;
+    const TimePoint last_modified = vm->last_modified;
+    const std::string origin = vm->origin;
+    auto value = co_await local_->get_version(key, version);
+    if (!value.ok()) continue;
+    ReplicateRequest entry;
+    entry.key = key;
+    entry.version = version;
+    entry.value = std::move(value->value);
+    entry.last_modified = last_modified;
+    entry.origin = origin;
+    entry.checksum = object_checksum(entry.key, entry.version, entry.value);
+    queue_->send(QueuedUpdate{std::move(entry)});
+  }
+  while (queue_->size() > 0) {
+    if (sim_->now() >= deadline) {
+      co_return deadline_exceeded(config_.instance_id + " drain hand-off: " +
+                                  std::to_string(queue_->size()) +
+                                  " updates still queued at the deadline");
+    }
+    const Status flushed = co_await flush_queue();
+    if (!flushed.ok() && queue_->size() > 0) {
+      co_await sim_->delay(msec(200));
+    }
+  }
+  journal()
+      .event("peer", "drain_complete")
+      .str("instance", config_.instance_id);
+  WLOG_INFO(kComponent) << id() << " drain hand-off complete";
+  co_return ok_status();
 }
 
 // ------------------------------------------------------- overload robustness

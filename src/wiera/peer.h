@@ -194,6 +194,22 @@ class WieraPeer : public tiera::InstanceHooks {
   sim::Task<Status> catch_up(std::vector<std::string> sources);
   // Clear recovering state and refresh the serve lease.
   void finish_recovery();
+
+  // ---- cooperative drain (controller-driven; docs/SCENARIOS.md) ----
+  // While draining, the availability gate refuses new client ops in every
+  // mode (clients fail over within their retry budget) but replication and
+  // sync handlers keep answering so the hand-off can finish.
+  void enter_draining();
+  // Abort path: resume serving after a failed hand-off.
+  void exit_draining();
+  bool draining() const { return draining_; }
+  // Hand this peer's data off to the remaining replicas: flush the outbound
+  // queue to empty, then (unless flush_only) enqueue the latest committed
+  // version of every local key — catch_up's push-back half — and flush
+  // again, so nothing this peer acked exists only here. Flush failures back
+  // off and retry until `deadline`, riding the replication path's breaker /
+  // retry-budget machinery underneath.
+  sim::Task<Status> drain(TimePoint deadline, bool flush_only = false);
   // All remaining counter accessors are thin views over the sim-wide
   // metrics registry (wiera_*_total{instance=<id>}; docs/OBSERVABILITY.md).
   int64_t catch_ups_completed() const { return catch_ups_completed_->value(); }
@@ -349,6 +365,9 @@ class WieraPeer : public tiera::InstanceHooks {
   // Crash/recovery state.
   bool recovering_ = false;
   TimePoint last_contact_;  // last successful lease-authority round trip
+
+  // Cooperative-drain state: gate refuses client ops while set.
+  bool draining_ = false;
 
   // Registry-backed counters/histograms (set once in the constructor; the
   // instruments live in the sim's obs::Registry and outlive this peer).

@@ -1,0 +1,53 @@
+#include "wiera/scenario_host.h"
+
+#include "common/logging.h"
+
+namespace wiera::geo {
+
+namespace {
+constexpr const char* kComponent = "wiera";
+}  // namespace
+
+void ScenarioHost::on_drain_region(const sim::ScenarioEvent& e) {
+  sim_->spawn(run_drain(e.target, e.until), "scenario.drain/" + e.target);
+}
+
+void ScenarioHost::on_add_region(const sim::ScenarioEvent& e) {
+  sim_->spawn(run_add(e.target), "scenario.add/" + e.target);
+}
+
+void ScenarioHost::on_rolling_restart(const sim::ScenarioEvent& e) {
+  (void)e;
+  sim_->spawn(run_rolling_restart(), "scenario.rolling-restart");
+}
+
+sim::Task<void> ScenarioHost::run_drain(std::string target,
+                                        TimePoint deadline) {
+  const Status st =
+      co_await controller_->drain_peer(wiera_id_, target, deadline);
+  if (!st.ok()) {
+    failed_operations_++;
+    WLOG_WARN(kComponent) << "scenario drain of " << target
+                          << " failed: " << st.to_string();
+  }
+}
+
+sim::Task<void> ScenarioHost::run_add(std::string target) {
+  const Status st = co_await controller_->add_peer_live(wiera_id_, target);
+  if (!st.ok()) {
+    failed_operations_++;
+    WLOG_WARN(kComponent) << "scenario add of " << target
+                          << " failed: " << st.to_string();
+  }
+}
+
+sim::Task<void> ScenarioHost::run_rolling_restart() {
+  const Status st = co_await controller_->rolling_restart(wiera_id_);
+  if (!st.ok()) {
+    failed_operations_++;
+    WLOG_WARN(kComponent) << "scenario rolling restart failed: "
+                          << st.to_string();
+  }
+}
+
+}  // namespace wiera::geo

@@ -1,0 +1,45 @@
+// ScenarioHost: binds the sim layer's abstract ScenarioSurface to the
+// Wiera management plane (docs/SCENARIOS.md).
+//
+// The ScenarioEngine fires operational events (drain a region, add a region
+// live, rolling restart) at plan-scheduled virtual times; this host turns
+// each into the matching WieraController coroutine, spawned as its own task
+// so the engine's driver keeps walking the plan while the operation runs.
+// Load-shape events never reach the controller — workload drivers sample
+// them straight from the engine's LoadModel.
+#pragma once
+
+#include <string>
+
+#include "sim/scenario.h"
+#include "wiera/controller.h"
+
+namespace wiera::geo {
+
+class ScenarioHost : public sim::ScenarioSurface {
+ public:
+  ScenarioHost(sim::Simulation& sim, WieraController& controller,
+               std::string wiera_id)
+      : sim_(&sim), controller_(&controller), wiera_id_(std::move(wiera_id)) {}
+
+  void on_drain_region(const sim::ScenarioEvent& e) override;
+  void on_add_region(const sim::ScenarioEvent& e) override;
+  void on_rolling_restart(const sim::ScenarioEvent& e) override;
+
+  // Operational events that finished with an error (drain deadline overrun
+  // under a composed fault, add on a dead node, ...). The cluster must ride
+  // these out — the SLO contract judges the clients, not the operation.
+  int64_t failed_operations() const { return failed_operations_; }
+
+ private:
+  sim::Task<void> run_drain(std::string target, TimePoint deadline);
+  sim::Task<void> run_add(std::string target);
+  sim::Task<void> run_rolling_restart();
+
+  sim::Simulation* sim_;
+  WieraController* controller_;
+  std::string wiera_id_;
+  int64_t failed_operations_ = 0;
+};
+
+}  // namespace wiera::geo
