@@ -34,10 +34,18 @@ JOBS="${CTEST_PARALLEL_LEVEL:-1}"
 
 sweep_require_binary "${BINARY}" "${BUILD_DIR}" chaos_sweep
 
+# The sweep matrix must match the binary's advertised fault vocabulary
+# (--list-plans): a plan class added on either side without the other is a
+# stale matrix, caught here before any seed runs.
+sweep_validate_tokens "${BINARY}" --list-plans \
+  partition crash drop spike bitrot torn msgcorrupt \
+  stutter flakylink slownode brownout midflush
+
 # One gtest filter per (mode, fault) combination: the availability faults,
-# the corruption faults, and the brownout sweep.
+# the corruption faults, the gray (degraded-but-alive) faults with health
+# detection armed (docs/HEALTH.md), and the brownout sweep.
 FILTERS="$(sweep_filters "${BINARY}" \
-  'AllModesAllFaults/*:AllModesAllCorruptionFaults/*:ChaosBrownoutTest.EveryRequest*')"
+  'AllModesAllFaults/*:AllModesAllCorruptionFaults/*:AllModesAllGrayFaults/*:ChaosBrownoutTest.EveryRequest*')"
 COMBOS="$(wc -l <<<"${FILTERS}")"
 
 echo "chaos_sweep: ${SEEDS} seeds x ${COMBOS} combinations (${JOBS} parallel)"
@@ -75,6 +83,10 @@ if [[ "${FAILS}" -gt 0 || "${GTEST_FAILS}" -gt 0 ]]; then
   # Detection/repair counters from any failing corruption runs: how much
   # was corrupted, caught, quarantined, and healed (docs/INTEGRITY.md).
   grep -h '^CORRUPTION-STATS' "${LOGDIR}"/*Corruption*.log 2>/dev/null \
+    | sed 's/^/  /' || true
+  # Probation lifecycle counters from any failing gray runs: how often the
+  # health tracker demoted and reinstated the degraded peer (docs/HEALTH.md).
+  grep -h '^HEALTH-STATS' "${LOGDIR}"/*Gray*.log 2>/dev/null \
     | sed 's/^/  /' || true
   echo ""
   echo "chaos_sweep: ${FAILS} oracle failure(s), ${GTEST_FAILS} failing combination(s)"

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Gray-failure sweep: the health-detection acceptance matrix
+# (docs/HEALTH.md) over many seeds, across both suites that exercise it.
+#
+#   * chaos_test  — AllModesAllGrayFaults/* (a single degraded-but-alive
+#     peer or link never trips failover with health detection armed), the
+#     flap-damping regression, and the health-armed determinism replay;
+#   * scenario_test — the gray scenario sweeps (grayprimary under diurnal
+#     load, graylink during a flash crowd) holding the SLO p99-inflation
+#     clause, plus the DisabledHealthDetection mutation test showing the
+#     clause fires when the tracker is off.
+#
+# Usage:
+#   scripts/gray_sweep.sh [SEEDS] [BUILD_DIR] [ARTIFACT_DIR]
+#
+#   SEEDS         seeds per combination (default 20; overrides both
+#                 WIERA_CHAOS_SEED_COUNT and WIERA_SCENARIO_SEED_COUNT)
+#   BUILD_DIR     cmake build directory (default: build)
+#   ARTIFACT_DIR  where failing-seed telemetry dumps and the HEALTH-STATS
+#                 telemetry are written for upload (default: none)
+#
+# Every run prints HEALTH-STATS lines (probation entry/exit counters keyed
+# by seed and trace hash); this script surfaces them all — green or red —
+# so CI keeps a record of detection behavior over time. Failing seeds are
+# replayed with --dump-telemetry exactly like the parent sweeps:
+#   <build>/tests/chaos_test    --seed <n> --plan <mode>:<fault>
+#   <build>/tests/scenario_test --seed <n> --scenario <name>:<fault>
+set -u
+
+# shellcheck source=scripts/sweep_lib.sh
+. "$(dirname "$0")/sweep_lib.sh"
+
+SEEDS="${1:-20}"
+BUILD_DIR="${2:-build}"
+ARTIFACT_DIR="${3:-}"
+CHAOS_BINARY="${BUILD_DIR}/tests/chaos_test"
+SCENARIO_BINARY="${BUILD_DIR}/tests/scenario_test"
+JOBS="${CTEST_PARALLEL_LEVEL:-1}"
+
+sweep_require_binary "${CHAOS_BINARY}" "${BUILD_DIR}" gray_sweep
+sweep_require_binary "${SCENARIO_BINARY}" "${BUILD_DIR}" gray_sweep
+
+# The gray fault classes and scenarios this sweep covers must be advertised
+# by the binaries (--list-plans / --list-scenarios), so a rename on either
+# side fails loudly up front.
+sweep_validate_tokens "${CHAOS_BINARY}" --list-plans \
+  partition crash drop spike bitrot torn msgcorrupt \
+  stutter flakylink slownode brownout midflush
+sweep_validate_tokens "${SCENARIO_BINARY}" --list-scenarios \
+  diurnal zipfshift flashcrowd tenantmix evacuation addregion rolling \
+  grayprimary graylink
+
+CHAOS_FILTERS="$(sweep_filters "${CHAOS_BINARY}" \
+  'AllModesAllGrayFaults/*:ChaosRegressionTest.FlapDampingAbsorbsOneDroppedPingRound:ChaosDeterminismTest.SameSeedSameTraceHashWithHealthDetectionArmed')"
+SCENARIO_FILTERS="$(sweep_filters "${SCENARIO_BINARY}" \
+  'ScenarioSweepTest.GrayPrimaryUnderDiurnalHoldsTheInflationBound:ScenarioSweepTest.FlakyLinkDuringFlashCrowdStaysConvergent:ScenarioMutationTest.DisabledHealthDetectionTripsTheInflationClause')"
+COMBOS="$(($(wc -l <<<"${CHAOS_FILTERS}") + $(wc -l <<<"${SCENARIO_FILTERS}")))"
+
+echo "gray_sweep: ${SEEDS} seeds x ${COMBOS} combinations (${JOBS} parallel)"
+LOGDIR="$(mktemp -d)"
+trap 'rm -rf "${LOGDIR}"' EXIT
+
+export WIERA_CHAOS_SEED_COUNT="${SEEDS}"
+export WIERA_SCENARIO_SEED_COUNT="${SEEDS}"
+# shellcheck disable=SC2086
+sweep_run_filters "${CHAOS_BINARY}" "${LOGDIR}" "${JOBS}" ${CHAOS_FILTERS}
+# shellcheck disable=SC2086
+sweep_run_filters "${SCENARIO_BINARY}" "${LOGDIR}" "${JOBS}" ${SCENARIO_FILTERS}
+
+sweep_summarize "${LOGDIR}"
+
+# The probation lifecycle telemetry, surfaced on green runs too: CI keeps
+# these lines (and the artifact copy) as a record of detection behavior.
+echo ""
+echo "gray_sweep: HEALTH-STATS telemetry:"
+grep -h '^HEALTH-STATS' "${LOGDIR}"/*.log 2>/dev/null | sed 's/^/  /' || true
+if [[ -n "${ARTIFACT_DIR}" ]]; then
+  mkdir -p "${ARTIFACT_DIR}"
+  grep -h '^HEALTH-STATS' "${LOGDIR}"/*.log 2>/dev/null \
+    >"${ARTIFACT_DIR}/health_stats.txt" || true
+fi
+
+CHAOS_FAILS="$(sweep_fail_count "${LOGDIR}" CHAOS-FAIL)"
+SCENARIO_FAILS="$(sweep_fail_count "${LOGDIR}" SCENARIO-FAIL)"
+GTEST_FAILS="$(sweep_gtest_fail_count "${LOGDIR}")"
+if [[ "${CHAOS_FAILS}" -gt 0 || "${SCENARIO_FAILS}" -gt 0 ||
+      "${GTEST_FAILS}" -gt 0 ]]; then
+  echo ""
+  echo "gray_sweep: FAILING SEEDS (replay semantics in docs/HEALTH.md):"
+  sweep_fail_lines "${LOGDIR}" CHAOS-FAIL | while read -r LINE; do
+    SEED="$(sweep_field "${LINE}" seed)"
+    MODE="$(sweep_field "${LINE}" mode)"
+    FAULT="$(sweep_field "${LINE}" fault)"
+    echo "  ${LINE}"
+    echo "    reproduce: ${CHAOS_BINARY} --seed ${SEED} --plan ${MODE}:${FAULT}"
+    DUMP="${LOGDIR}/dump_chaos_${SEED}_${MODE}_${FAULT}.log"
+    "${CHAOS_BINARY}" --seed "${SEED}" --plan "${MODE}:${FAULT}" \
+      --dump-telemetry >"${DUMP}" 2>&1 || true
+    sed -n '/^TELEMETRY-SNAPSHOT/,$p' "${DUMP}" | sed 's/^/    /'
+    if [[ -n "${ARTIFACT_DIR}" ]]; then
+      mkdir -p "${ARTIFACT_DIR}"
+      cp "${DUMP}" "${ARTIFACT_DIR}/"
+    fi
+  done
+  sweep_fail_lines "${LOGDIR}" SCENARIO-FAIL | while read -r LINE; do
+    SEED="$(sweep_field "${LINE}" seed)"
+    SCENARIO="$(sweep_field "${LINE}" scenario)"
+    FAULT="$(sweep_field "${LINE}" fault)"
+    echo "  ${LINE}"
+    echo "    reproduce: ${SCENARIO_BINARY} --seed ${SEED} --scenario ${SCENARIO}:${FAULT}"
+    DUMP="${LOGDIR}/dump_scenario_${SEED}_${SCENARIO}_${FAULT}.log"
+    "${SCENARIO_BINARY}" --seed "${SEED}" --scenario "${SCENARIO}:${FAULT}" \
+      --dump-telemetry >"${DUMP}" 2>&1 || true
+    sed -n '/^SCENARIO-TIMELINE/,$p' "${DUMP}" | sed 's/^/    /'
+    if [[ -n "${ARTIFACT_DIR}" ]]; then
+      mkdir -p "${ARTIFACT_DIR}"
+      cp "${DUMP}" "${ARTIFACT_DIR}/"
+    fi
+  done
+  echo ""
+  echo "gray_sweep: ${CHAOS_FAILS}+${SCENARIO_FAILS} oracle failure(s), ${GTEST_FAILS} failing combination(s)"
+  exit 1
+fi
+
+echo "gray_sweep: all seeds green"

@@ -34,6 +34,13 @@ JOBS="${CTEST_PARALLEL_LEVEL:-1}"
 
 sweep_require_binary "${BINARY}" "${BUILD_DIR}" scenario_sweep
 
+# The sweep matrix must match the binary's advertised scenario vocabulary
+# (--list-scenarios): a built-in added on either side without the other is
+# a stale matrix, caught here before any seed runs.
+sweep_validate_tokens "${BINARY}" --list-scenarios \
+  diurnal zipfshift flashcrowd tenantmix evacuation addregion rolling \
+  grayprimary graylink
+
 # One gtest filter per scenario sweep plus the determinism replays.
 FILTERS="$(sweep_filters "${BINARY}" \
   'ScenarioSweepTest.*:ScenarioDeterminismTest.*:ScenarioMutationTest.*')"
@@ -72,9 +79,11 @@ if [[ "${FAILS}" -gt 0 || "${GTEST_FAILS}" -gt 0 ]]; then
       cp "${DUMP}" "${ARTIFACT_DIR}/"
     fi
   done
-  # Per-run counters from every failing combination, for CI logs.
+  # Per-run counters from every failing combination, for CI logs — the
+  # scenario op counters and, for gray runs, the probation lifecycle
+  # counters (docs/HEALTH.md).
   grep -lh '\[  FAILED  \]' "${LOGDIR}"/*.log 2>/dev/null \
-    | xargs -r grep -h '^SCENARIO-STATS' | sed 's/^/  /' || true
+    | xargs -r grep -hE '^(SCENARIO|HEALTH)-STATS' | sed 's/^/  /' || true
   echo ""
   echo "scenario_sweep: ${FAILS} SLO/oracle failure(s), ${GTEST_FAILS} failing combination(s)"
   exit 1

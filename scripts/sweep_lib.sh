@@ -17,6 +17,41 @@ sweep_require_binary() {
   fi
 }
 
+# sweep_validate_tokens BINARY FLAG TOKEN...
+# Cross-check the sweep matrix against the binary's own advertised
+# vocabulary: BINARY FLAG (--list-plans / --list-scenarios) must print every
+# TOKEN, and every printed token must be among TOKEN... — so a fault class
+# or scenario added on one side without the other fails the sweep up front
+# instead of silently not sweeping.
+sweep_validate_tokens() {
+  local binary="$1" flag="$2"
+  shift 2
+  local advertised token ok
+  advertised="$("${binary}" "${flag}")" || {
+    echo "sweep_validate_tokens: ${binary} ${flag} failed" >&2
+    exit 2
+  }
+  for token in "$@"; do
+    if ! grep -qx "${token}" <<<"${advertised}"; then
+      echo "sweep_validate_tokens: ${binary} ${flag} does not advertise" \
+        "'${token}' — sweep matrix is stale" >&2
+      exit 2
+    fi
+  done
+  while read -r token; do
+    [[ -z "${token}" ]] && continue
+    ok=0
+    for want in "$@"; do
+      [[ "${token}" == "${want}" ]] && ok=1
+    done
+    if (( !ok )); then
+      echo "sweep_validate_tokens: ${binary} ${flag} advertises '${token}'" \
+        "but the sweep matrix does not cover it" >&2
+      exit 2
+    fi
+  done <<<"${advertised}"
+}
+
 # sweep_filters BINARY GTEST_FILTER
 # Print one fully-qualified test name per line for every test matching
 # GTEST_FILTER — each becomes its own process in the sweep.

@@ -48,6 +48,9 @@ struct TrafficStats {
 // run is fully reproducible from the seed.
 struct ChaosWindow {
   std::string node;  // empty = all messages
+  // Flaky-link scope (docs/HEALTH.md): when node_b is also set, the window
+  // applies only to messages between node and node_b (either direction).
+  std::string node_b;
   TimePoint from;
   TimePoint until;
   double drop_prob = 0.0;       // message silently lost in transit
@@ -127,7 +130,14 @@ class Network {
     const TimePoint now = sim_->now();
     for (const auto& w : chaos_windows_) {
       if (now < w.from || now >= w.until) continue;
-      if (!w.node.empty() && w.node != from && w.node != to) continue;
+      if (!w.node_b.empty()) {
+        // Pair-scoped (flaky link): only messages between the two endpoints.
+        const bool pair = (w.node == from && w.node_b == to) ||
+                          (w.node == to && w.node_b == from);
+        if (!pair) continue;
+      } else if (!w.node.empty() && w.node != from && w.node != to) {
+        continue;
+      }
       fn(w);
     }
   }

@@ -96,6 +96,12 @@ Duration Topology::sample_latency(const std::string& from,
     lat += sec(transfer_s);
   }
 
+  // Slow-node windows scale the whole base+transfer sample (the node's
+  // processing is slow, so everything it touches takes longer), while
+  // injected extras add on top.
+  const double slow = slow_multiplier(from, now) * slow_multiplier(to, now);
+  if (slow != 1.0) lat = lat * slow;
+
   lat += injected_extra(from, now);
   lat += injected_extra(to, now);
   return lat;
@@ -105,6 +111,18 @@ void Topology::inject_node_delay(const std::string& node_name, Duration extra,
                                  TimePoint from, TimePoint until) {
   assert(nodes_.count(node_name));
   delays_.push_back(DelayWindow{node_name, extra, from, until});
+}
+
+void Topology::inject_freeze(const std::string& node_name, TimePoint from,
+                             TimePoint until) {
+  assert(nodes_.count(node_name));
+  freezes_.push_back(FreezeWindow{node_name, from, until});
+}
+
+void Topology::inject_node_slow(const std::string& node_name, double factor,
+                                TimePoint from, TimePoint until) {
+  assert(nodes_.count(node_name));
+  slows_.push_back(SlowWindow{node_name, factor, from, until});
 }
 
 void Topology::inject_outage(const std::string& node_name, TimePoint from,
@@ -152,6 +170,8 @@ void Topology::clear_faults() {
   delays_.clear();
   outages_.clear();
   partitions_.clear();
+  freezes_.clear();
+  slows_.clear();
 }
 
 Duration Topology::injected_extra(const std::string& node_name,
@@ -162,7 +182,25 @@ Duration Topology::injected_extra(const std::string& node_name,
       extra += d.extra;
     }
   }
+  // A frozen node stalls every message it touches until the window ends:
+  // the work isn't lost, it completes just after the thaw.
+  for (const auto& f : freezes_) {
+    if (f.node == node_name && now >= f.from && now < f.until) {
+      extra += f.until - now;
+    }
+  }
   return extra;
+}
+
+double Topology::slow_multiplier(const std::string& node_name,
+                                 TimePoint now) const {
+  double factor = 1.0;
+  for (const auto& s : slows_) {
+    if (s.node == node_name && now >= s.from && now < s.until) {
+      factor *= s.factor;
+    }
+  }
+  return factor;
 }
 
 Topology Topology::paper_default() {

@@ -93,6 +93,16 @@ class Topology {
   // Add `extra` to every message touching `node_name` during [from, until).
   void inject_node_delay(const std::string& node_name, Duration extra,
                          TimePoint from, TimePoint until);
+  // Gray failures (docs/HEALTH.md):
+  // Stutter/freeze window: a message touching the node during [from, until)
+  // is stalled until the window ends (extra = until - now), so the node
+  // loses no state but everything it queued completes late.
+  void inject_freeze(const std::string& node_name, TimePoint from,
+                     TimePoint until);
+  // Slow-node window: multiply the sampled latency of every message
+  // touching the node by `factor` during [from, until).
+  void inject_node_slow(const std::string& node_name, double factor,
+                        TimePoint from, TimePoint until);
   // Node outage window: transfers fail with kUnavailable.
   void inject_outage(const std::string& node_name, TimePoint from,
                      TimePoint until);
@@ -134,8 +144,20 @@ class Topology {
     TimePoint from;
     TimePoint until;
   };
+  struct FreezeWindow {
+    std::string node;
+    TimePoint from;
+    TimePoint until;
+  };
+  struct SlowWindow {
+    std::string node;
+    double factor;
+    TimePoint from;
+    TimePoint until;
+  };
 
   Duration injected_extra(const std::string& node_name, TimePoint now) const;
+  double slow_multiplier(const std::string& node_name, TimePoint now) const;
 
   std::map<std::string, Datacenter> datacenters_;
   std::map<std::string, Node> nodes_;
@@ -144,6 +166,8 @@ class Topology {
   std::vector<DelayWindow> delays_;
   std::vector<OutageWindow> outages_;
   std::vector<PartitionWindow> partitions_;
+  std::vector<FreezeWindow> freezes_;
+  std::vector<SlowWindow> slows_;
 };
 
 // Calibrated inter-region RTTs (see DESIGN.md §5).

@@ -19,6 +19,9 @@ const char* kind_name(FaultEvent::Kind k) {
     case FaultEvent::Kind::kBitRot: return "bit-rot";
     case FaultEvent::Kind::kTornWrite: return "torn-write";
     case FaultEvent::Kind::kMsgCorrupt: return "msg-corrupt";
+    case FaultEvent::Kind::kStutter: return "stutter";
+    case FaultEvent::Kind::kFlakyLink: return "flaky-link";
+    case FaultEvent::Kind::kSlowNode: return "slow-node";
   }
   return "?";
 }
@@ -78,6 +81,13 @@ std::string FaultEvent::describe() const {
     case Kind::kMsgCorrupt:
       out += " corrupt=" + std::to_string(corrupt_prob);
       break;
+    case Kind::kFlakyLink:
+      out += " peer=" + peer_node + " drop=" + std::to_string(drop_prob) +
+             " jitter=" + std::to_string(max_extra_delay.us()) + "us";
+      break;
+    case Kind::kSlowNode:
+      out += " factor=" + std::to_string(slow_factor);
+      break;
     default:
       break;
   }
@@ -100,6 +110,13 @@ uint64_t FaultEvent::hash() const {
   h = fnv1a(h, enospc ? 1 : 0);
   h = fnv1a_str(h, object_key);
   h = fnv1a(h, static_cast<uint64_t>(corrupt_prob * 1e6));
+  // Gray-failure fields fold only when set: fnv1a_str over "" is a no-op
+  // already, and slow_factor folds conditionally so every pre-existing
+  // event (slow_factor == 1.0) keeps its exact historical hash.
+  h = fnv1a_str(h, peer_node);
+  if (slow_factor != 1.0) {
+    h = fnv1a(h, static_cast<uint64_t>(slow_factor * 1e6));
+  }
   return h;
 }
 
@@ -218,6 +235,43 @@ FaultPlan& FaultPlan::corrupting_chaos(std::string node, TimePoint at,
   return *this;
 }
 
+FaultPlan& FaultPlan::stutter(std::string node, TimePoint at, TimePoint until) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kStutter;
+  e.node = std::move(node);
+  e.at = at;
+  e.until = until;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::flaky_link(std::string node, std::string peer,
+                                 TimePoint at, TimePoint until,
+                                 double drop_prob, Duration max_extra_delay) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kFlakyLink;
+  e.node = std::move(node);
+  e.peer_node = std::move(peer);
+  e.at = at;
+  e.until = until;
+  e.drop_prob = drop_prob;
+  e.max_extra_delay = max_extra_delay;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::slow_node(std::string node, double factor, TimePoint at,
+                                TimePoint until) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kSlowNode;
+  e.node = std::move(node);
+  e.at = at;
+  e.until = until;
+  e.slow_factor = factor;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
 FaultPlan& FaultPlan::add(FaultEvent event) {
   events_.push_back(std::move(event));
   return *this;
@@ -288,6 +342,30 @@ FaultPlan FaultPlan::random(uint64_t seed, const RandomOptions& options) {
     const std::string node = rng.bernoulli(0.5) ? pick_node() : std::string();
     plan.corrupting_chaos(node, at, until, options.corrupt_prob);
   }
+  // Gray-failure classes sample after the integrity classes for the same
+  // reason those sample after the availability classes: all counts default
+  // 0, so earlier seeds draw the identical RNG sequence.
+  for (int i = 0; i < options.stutters; ++i) {
+    pick_window(at, until);
+    plan.stutter(pick_node(), at, until);
+  }
+  if (options.nodes.size() >= 2) {
+    for (int i = 0; i < options.flaky_links; ++i) {
+      pick_window(at, until);
+      const auto a = static_cast<size_t>(rng.uniform_int(
+          0, static_cast<int64_t>(options.nodes.size()) - 1));
+      // Draw the peer from the remaining nodes so the link endpoints differ.
+      auto b = static_cast<size_t>(rng.uniform_int(
+          0, static_cast<int64_t>(options.nodes.size()) - 2));
+      if (b >= a) ++b;
+      plan.flaky_link(options.nodes[a], options.nodes[b], at, until,
+                      options.flaky_drop_prob, options.flaky_extra_delay);
+    }
+  }
+  for (int i = 0; i < options.slow_nodes; ++i) {
+    pick_window(at, until);
+    plan.slow_node(pick_node(), options.slow_factor, at, until);
+  }
   return plan;
 }
 
@@ -333,6 +411,9 @@ void FaultInjector::apply(const FaultEvent& e) {
     case FaultEvent::Kind::kBitRot: surface_->on_bit_rot(e); break;
     case FaultEvent::Kind::kTornWrite: surface_->on_torn_write(e); break;
     case FaultEvent::Kind::kMsgCorrupt: surface_->on_message_corrupt(e); break;
+    case FaultEvent::Kind::kStutter: surface_->on_stutter(e); break;
+    case FaultEvent::Kind::kFlakyLink: surface_->on_flaky_link(e); break;
+    case FaultEvent::Kind::kSlowNode: surface_->on_slow_node(e); break;
   }
 }
 

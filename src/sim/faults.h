@@ -48,6 +48,11 @@ struct FaultEvent {
     kBitRot,        // flip a byte of object_key's stored copy on node at `at`
     kTornWrite,     // crash whose window tears in-flight durable-tier writes
     kMsgCorrupt,    // probabilistic payload-corrupting message window
+    // Gray-failure classes (docs/HEALTH.md): the node stays "alive" —
+    // answers pings eventually, loses no state — but degrades service.
+    kStutter,       // process freeze during [at, until): queued work runs late
+    kFlakyLink,     // intermittent loss/latency on the node↔peer_node link
+    kSlowNode,      // slow_factor multiplier on all of node's processing
   };
 
   Kind kind = Kind::kCrash;
@@ -75,6 +80,13 @@ struct FaultEvent {
   // kMsgCorrupt knob.
   double corrupt_prob = 0.0;
 
+  // kFlakyLink knob: the other endpoint of the degraded link (the flaky
+  // window reuses drop_prob / max_extra_delay for its loss and jitter).
+  std::string peer_node;
+
+  // kSlowNode knob: multiplier on the node's processing + message delays.
+  double slow_factor = 1.0;
+
   std::string describe() const;
   // Stable content hash folded into the determinism trace when applied.
   uint64_t hash() const;
@@ -97,6 +109,11 @@ class FaultSurface {
   virtual void on_bit_rot(const FaultEvent& /*e*/) {}
   virtual void on_torn_write(const FaultEvent& /*e*/) {}
   virtual void on_message_corrupt(const FaultEvent& /*e*/) {}
+  // Gray-failure faults (docs/HEALTH.md). Default no-op for the same
+  // reason.
+  virtual void on_stutter(const FaultEvent& /*e*/) {}
+  virtual void on_flaky_link(const FaultEvent& /*e*/) {}
+  virtual void on_slow_node(const FaultEvent& /*e*/) {}
 };
 
 class FaultPlan {
@@ -124,6 +141,17 @@ class FaultPlan {
   // Probabilistic payload corruption on messages touching `node` ("" = all).
   FaultPlan& corrupting_chaos(std::string node, TimePoint at, TimePoint until,
                               double corrupt_prob);
+  // Gray failures (docs/HEALTH.md): the node keeps answering pings but
+  // degrades. Freeze `node`'s processing during [at, until) without losing
+  // state (queued work executes late).
+  FaultPlan& stutter(std::string node, TimePoint at, TimePoint until);
+  // Intermittent loss + jitter confined to the node↔peer link.
+  FaultPlan& flaky_link(std::string node, std::string peer, TimePoint at,
+                        TimePoint until, double drop_prob,
+                        Duration max_extra_delay);
+  // Multiply all of `node`'s processing/message delays by `factor`.
+  FaultPlan& slow_node(std::string node, double factor, TimePoint at,
+                       TimePoint until);
   FaultPlan& add(FaultEvent event);
 
   // ---- random generation ----
@@ -155,6 +183,15 @@ class FaultPlan {
     int torn_writes = 0;
     int corrupt_windows = 0;
     double corrupt_prob = 0.3;
+    // Gray-failure fault classes (docs/HEALTH.md). Also default 0 and
+    // sampled after the integrity classes, preserving every earlier seed's
+    // RNG draw sequence.
+    int stutters = 0;
+    int flaky_links = 0;
+    int slow_nodes = 0;
+    double flaky_drop_prob = 0.4;
+    Duration flaky_extra_delay = msec(60);
+    double slow_factor = 8.0;
   };
   static FaultPlan random(uint64_t seed, const RandomOptions& options);
 

@@ -237,8 +237,8 @@ ScenarioPlan& ScenarioPlan::add(ScenarioEvent event) {
 
 const std::vector<std::string>& ScenarioPlan::builtin_names() {
   static const std::vector<std::string> names = {
-      "diurnal",    "zipfshift", "flashcrowd", "tenantmix",
-      "evacuation", "addregion", "rolling"};
+      "diurnal",   "zipfshift",  "flashcrowd", "tenantmix", "evacuation",
+      "addregion", "rolling",    "grayprimary", "graylink"};
   return names;
 }
 
@@ -309,6 +309,37 @@ Result<ScenarioPlan> ScenarioPlan::builtin(const std::string& name,
   } else if (name == "rolling") {
     plan.rolling_restart(start +
                          usec(rng.uniform_int(sec(1).us(), sec(4).us())));
+  } else if (name == "grayprimary") {
+    // Gray primary under diurnal load (docs/HEALTH.md): per-region diurnal
+    // sines that begin only after a quiet head of several seconds, so the
+    // SLO p99-inflation clause always has an out-of-window baseline to hold
+    // the gray window against. The gray fault itself (slow node / stutter
+    // on one peer) is composed by the test harness the same way partitions
+    // and crashes compose with the other built-ins.
+    if (options.regions.empty()) {
+      return invalid_argument("grayprimary scenario needs client regions");
+    }
+    for (const std::string& region : options.regions) {
+      const TimePoint at =
+          start + sec(4) + usec(rng.uniform_int(0, sec(2).us()));
+      plan.diurnal(region, at, options.latest,
+                   /*amplitude=*/0.3 + 0.3 * rng.next_double(),
+                   /*period=*/sec(5) + usec(rng.uniform_int(0, sec(5).us())));
+    }
+  } else if (name == "graylink") {
+    // Flaky inter-region link during a flash crowd: hot-range traffic surge
+    // while one tiera<->tiera replication link drops and jitters. Same
+    // deliberate quiet head as grayprimary for the inflation baseline.
+    if (options.key_count < 1) {
+      return invalid_argument("graylink scenario needs keys");
+    }
+    const TimePoint at =
+        start + sec(4) + usec(rng.uniform_int(0, sec(3).us()));
+    const Duration dur = usec(rng.uniform_int(sec(6).us(), sec(10).us()));
+    const int hot =
+        static_cast<int>(rng.uniform_int(0, options.key_count - 1));
+    plan.flash_crowd(hot, std::min(hot + 1, options.key_count - 1),
+                     /*boost=*/0.8, at, at + dur);
   } else {
     return not_found("unknown scenario: " + name);
   }

@@ -169,7 +169,9 @@ class ScenarioPlan {
     TimePoint latest = TimePoint::origin() + sec(30);
   };
   // diurnal | zipfshift | flashcrowd | tenantmix | evacuation | addregion |
-  // rolling (docs/SCENARIOS.md describes each).
+  // rolling | grayprimary | graylink (docs/SCENARIOS.md describes each; the
+  // gray pair is the load-shape half of the gray-failure scenarios in
+  // docs/HEALTH.md — the degraded peer/link is composed as a FaultPlan).
   static const std::vector<std::string>& builtin_names();
   static Result<ScenarioPlan> builtin(const std::string& name, uint64_t seed,
                                       const BuiltinOptions& options);

@@ -38,6 +38,10 @@ std::string SloContract::describe() const {
     out += " gap<=" + std::to_string(max_availability_gap.us()) + "us";
   }
   if (session_reads) out += " session-reads";
+  if (max_get_p99_inflation > 0.0) {
+    out += " get_p99_inflation<=" + std::to_string(max_get_p99_inflation) +
+           "x";
+  }
   return out;
 }
 
@@ -200,6 +204,52 @@ std::vector<SloViolation> SloOracle::check(
                          std::to_string(contract.max_availability_gap.us()) +
                          "us) starting at " + time_str(worst_at),
                      0});
+    }
+  }
+
+  // ---- in-window GET p99 inflation vs the quiet baseline ----
+  if (contract.max_get_p99_inflation > 0.0 && has_window_) {
+    std::vector<Duration> inside;
+    std::vector<Duration> outside;
+    for (const OpRec& op : ops_) {
+      if (op.is_put) continue;
+      if (op.code != StatusCode::kOk && op.code != StatusCode::kNotFound) {
+        continue;
+      }
+      if (op.end >= window_start_ && op.end <= window_end_) {
+        inside.push_back(op.end - op.start);
+      } else {
+        outside.push_back(op.end - op.start);
+      }
+    }
+    const auto p99_of = [](std::vector<Duration>& v) {
+      std::sort(v.begin(), v.end());
+      // Nearest-rank p99 (ceil), matching LatencyHistogram semantics.
+      const size_t idx = (v.size() * 99 + 99) / 100 - 1;
+      return v[idx];
+    };
+    const int64_t min_samples =
+        std::max<int64_t>(contract.min_inflation_samples, 1);
+    if (static_cast<int64_t>(inside.size()) >= min_samples &&
+        static_cast<int64_t>(outside.size()) >= min_samples) {
+      const Duration in_p99 = p99_of(inside);
+      const Duration out_p99 = p99_of(outside);
+      if (out_p99 > Duration::zero() &&
+          static_cast<double>(in_p99.us()) >
+              contract.max_get_p99_inflation *
+                  static_cast<double>(out_p99.us())) {
+        out.push_back(
+            {"get-p99-inflation",
+             "in-window get p99=" + std::to_string(in_p99.us()) + "us over " +
+                 std::to_string(inside.size()) + " ops vs baseline p99=" +
+                 std::to_string(out_p99.us()) + "us over " +
+                 std::to_string(outside.size()) + " ops (" +
+                 std::to_string(static_cast<double>(in_p99.us()) /
+                                static_cast<double>(out_p99.us())) +
+                 "x > " + std::to_string(contract.max_get_p99_inflation) +
+                 "x)",
+             0});
+      }
     }
   }
 

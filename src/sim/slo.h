@@ -50,6 +50,15 @@ struct SloContract {
   // Read-your-writes per client: an ok GET must never return an *earlier*
   // own acked value (or nothing) once a later own write was acked.
   bool session_reads = false;
+  // Gray-degradation bound (docs/HEALTH.md): the p99 of successful GET
+  // latencies completing *inside* the scenario window may exceed the p99 of
+  // those completing *outside* it by at most this factor. Catches the
+  // failure mode absolute p99 bounds miss — a degraded-but-alive replica
+  // quietly inflating the tail for the whole gray window. Requires a
+  // window; <= 0 = unchecked. Both sides need min_inflation_samples
+  // successful GETs or the clause passes vacuously.
+  double max_get_p99_inflation = 0.0;
+  int min_inflation_samples = 20;
 
   std::string describe() const;
 };

@@ -121,4 +121,38 @@ void ChaosHost::on_message_corrupt(const sim::FaultEvent& e) {
   network_->inject_chaos(std::move(window));
 }
 
+void ChaosHost::on_stutter(const sim::FaultEvent& e) {
+  // The process freezes but loses nothing: every message touching the node
+  // during the window completes just after the thaw.
+  network_->topology().inject_freeze(e.node, e.at, e.until);
+}
+
+void ChaosHost::on_flaky_link(const sim::FaultEvent& e) {
+  // Pair-scoped chaos: only the node<->peer link degrades; the rest of the
+  // mesh (including pings from the controller) is untouched.
+  net::ChaosWindow window;
+  window.node = e.node;
+  window.node_b = e.peer_node;
+  window.from = e.at;
+  window.until = e.until;
+  window.drop_prob = e.drop_prob;
+  window.max_extra_delay = e.max_extra_delay;
+  network_->inject_chaos(std::move(window));
+}
+
+void ChaosHost::on_slow_node(const sim::FaultEvent& e) {
+  // Every message the node touches takes slow_factor longer, and so does
+  // every storage-tier access: degraded, not dead.
+  network_->topology().inject_node_slow(e.node, e.slow_factor, e.at, e.until);
+  WieraPeer* peer = controller_->peer(e.node);
+  if (peer == nullptr) {
+    WLOG_WARN(kComponent) << "slow-node fault on unknown peer " << e.node;
+    return;
+  }
+  for (const std::string& label : peer->local().tier_labels()) {
+    store::StorageTier* tier = peer->local().tier_by_label(label);
+    if (tier != nullptr) tier->inject_slowdown(e.slow_factor, e.at, e.until);
+  }
+}
+
 }  // namespace wiera::geo

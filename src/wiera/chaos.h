@@ -13,7 +13,10 @@
 //   * bit rot    -> flip one byte of a stored copy (TieraInstance);
 //   * torn write -> crash + torn-write windows armed on every storage tier,
 //                   so in-flight durable puts land as torn prefixes;
-//   * msg corrupt-> a payload-corrupting net::Network ChaosWindow.
+//   * msg corrupt-> a payload-corrupting net::Network ChaosWindow;
+//   * stutter    -> a topology freeze window (work stalls, completes late);
+//   * flaky link -> a pair-scoped ChaosWindow (loss + jitter on one link);
+//   * slow node  -> a topology slow window + tier slowdowns (docs/HEALTH.md).
 #pragma once
 
 #include <string>
@@ -38,6 +41,9 @@ class ChaosHost : public sim::FaultSurface {
   void on_bit_rot(const sim::FaultEvent& e) override;
   void on_torn_write(const sim::FaultEvent& e) override;
   void on_message_corrupt(const sim::FaultEvent& e) override;
+  void on_stutter(const sim::FaultEvent& e) override;
+  void on_flaky_link(const sim::FaultEvent& e) override;
+  void on_slow_node(const sim::FaultEvent& e) override;
 
  private:
   net::Network* network_;

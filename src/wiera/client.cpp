@@ -72,13 +72,27 @@ sim::Task<Result<rpc::Message>> WieraClient::call_any(
                                   std::move(make_request), make_ctx(trace));
 }
 
+void WieraClient::rank_peers_by_health() {
+  if (config_.health == nullptr || !config_.health->enabled() ||
+      peer_ids_.size() < 2) {
+    return;
+  }
+  std::stable_sort(peer_ids_.begin(), peer_ids_.end(),
+                   [this](const std::string& a, const std::string& b) {
+                     return config_.health->rank_penalty(a) <
+                            config_.health->rank_penalty(b);
+                   });
+}
+
 sim::Task<Result<rpc::Message>> WieraClient::call_any_ctx(
     std::string rpc_method, std::function<rpc::Message()> make_request,
     Context ctx) {
+  rank_peers_by_health();
   Result<rpc::Message> resp = internal_error("no peers");
   const size_t attempts = peer_ids_.size();
   for (size_t i = 0; i < attempts; ++i) {
     const std::string peer = peer_ids_.front();
+    const TimePoint attempt_start = sim_->now();
     rpc::Message msg = make_request();
     // With failover_attempt_timeout set (and another replica to try), bound
     // this attempt tighter than the op deadline: a black-holed or draining
@@ -96,7 +110,15 @@ sim::Task<Result<rpc::Message>> WieraClient::call_any_ctx(
     }
     resp = co_await endpoint_->call(peer, rpc_method, std::move(msg),
                                     attempt);
-    if (resp.ok()) co_return resp;
+    if (resp.ok()) {
+      // Successful exchanges feed the per-target latency EWMA; failures are
+      // liveness signals and must not pollute the baseline.
+      if (config_.health != nullptr) {
+        config_.health->record_latency(peer, sim_->now() - attempt_start,
+                                       sim_->now());
+      }
+      co_return resp;
+    }
     const StatusCode code = resp.status().code();
     if (code == StatusCode::kDeadlineExceeded) {
       if (attempt_bounded) {
@@ -142,9 +164,18 @@ bool WieraClient::hedge_ready() const {
 
 sim::Task<Result<rpc::Message>> WieraClient::call_hedged(GetRequest request,
                                                          TraceContext trace) {
-  const Duration trigger =
+  // Rank before choosing the trigger so peer_ids_.front() / [1] reflect
+  // health: the backup request targets the best non-preferred replica, and
+  // a non-clean preferred replica hedges at hedge_min_delay instead of
+  // waiting out the latency percentile (docs/HEALTH.md).
+  rank_peers_by_health();
+  Duration trigger =
       std::max(get_hist_->percentile(config_.hedge_percentile),
                config_.hedge_min_delay);
+  if (config_.health != nullptr && config_.health->enabled() &&
+      config_.health->rank_penalty(peer_ids_.front()) > 0) {
+    trigger = config_.hedge_min_delay;
+  }
   auto promise = std::make_shared<sim::Promise<Result<rpc::Message>>>(
       *sim_, "client.hedged-get");
   Context ctx = make_ctx(trace);

@@ -23,6 +23,7 @@
 #include "common/context.h"
 #include "common/histogram.h"
 #include "sim/simulation.h"
+#include "wiera/health.h"
 #include "wiera/messages.h"
 
 namespace wiera::geo {
@@ -50,6 +51,13 @@ class WieraClient {
     // one (docs/SCENARIOS.md). Zero = off (seed behaviour: only the op
     // deadline cuts an attempt short).
     Duration failover_attempt_timeout = Duration::zero();
+    // Health-scored replica ranking (docs/HEALTH.md): when set, each
+    // operation stable-sorts the replica preference order by the tracker's
+    // rank penalty (probation last), successful attempt latencies feed the
+    // per-target EWMA, and hedged GETs fire at hedge_min_delay — skipping
+    // the percentile wait — when the preferred replica is not clean.
+    // Null = seed behaviour.
+    HealthTracker* health = nullptr;
   };
 
   // `peer_ids` is sorted by proximity automatically (base one-way latency
@@ -118,6 +126,11 @@ class WieraClient {
   sim::Task<Result<rpc::Message>> call_hedged(GetRequest request,
                                               TraceContext trace);
   bool hedge_ready() const;
+  // Stable-sort peer_ids_ by health rank penalty (docs/HEALTH.md): probation
+  // peers sink to the back, degraded peers behind clean ones, and peers with
+  // insufficient samples keep their existing (proximity / rotation) slot —
+  // health never reorders equally-ranked replicas. No-op without a tracker.
+  void rank_peers_by_health();
   Context make_ctx(TraceContext trace = {}) const;
 
   // Root-span bracket around one client operation: begin_op starts a fresh

@@ -84,7 +84,8 @@ std::vector<std::string> TieraServer::peer_ids() const {
 WieraController::WieraController(sim::Simulation& sim, net::Network& network,
                                  rpc::Registry& registry, Config config)
     : sim_(&sim), network_(&network), registry_(&registry),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      health_(sim.telemetry().registry(), config_.health) {
   endpoint_ = std::make_unique<rpc::Endpoint>(network, registry, config_.node);
   // ZooKeeper runs co-located with Wiera (paper §5 setup).
   lock_service_ = std::make_unique<coord::LockService>(sim, *endpoint_);
@@ -177,6 +178,7 @@ Result<std::vector<std::string>> WieraController::start_instances(
     peer_config.change_primary_policy = options.change_primary;
     peer_config.network_monitor = &network_monitor_;
     peer_config.workload_monitor = &workload_monitor_;
+    peer_config.health = &health_;
     if (options.customize) options.customize(peer_config);
 
     const bool can_store =
@@ -488,7 +490,20 @@ sim::Task<void> WieraController::heartbeat_loop() {
                                              std::move(ping), ping_ctx);
         auto prev = node_alive_.find(id);
         const bool was_alive = prev == node_alive_.end() || prev->second;
-        const bool alive = resp.ok();
+        const bool ping_ok = resp.ok();
+        health_.record_ping(id, ping_ok, sim_->now());
+        // Flap damping (docs/HEALTH.md): liveness flips only after
+        // ping_failure_threshold *consecutive* failures, so one
+        // chaos-dropped ping cannot trigger failover. Threshold 1 is the
+        // seed behaviour (the first failure counts).
+        if (ping_ok) {
+          ping_failures_.erase(id);
+        } else {
+          ping_failures_[id]++;
+        }
+        const bool alive =
+            ping_ok ||
+            ping_failures_[id] < std::max(config_.ping_failure_threshold, 1);
         node_alive_[id] = alive;
         if (alive) {
           down_handled_.erase(id);
@@ -543,20 +558,34 @@ void WieraController::handle_peer_down(const std::string& peer_id) {
       continue;
     }
     if (record.primary == peer_id) {
-      // §4.4 failover: promote the first live storage peer.
-      for (const std::string& candidate : record.storage_peer_ids) {
-        if (candidate == peer_id) continue;
-        auto alive = node_alive_.find(candidate);
-        if (alive != node_alive_.end() && !alive->second) continue;
-        record.primary = candidate;
+      // §4.4 failover: promote the first live storage peer, preferring one
+      // that is not in health probation (docs/HEALTH.md).
+      const std::string successor = pick_successor(record, peer_id);
+      if (!successor.empty()) {
+        record.primary = successor;
         primary_changes_++;
         WLOG_INFO(kComponent) << wiera_id << " primary failover: " << peer_id
-                              << " -> " << candidate;
-        break;
+                              << " -> " << successor;
       }
     }
     push_membership(wiera_id, record);
   }
+}
+
+std::string WieraController::pick_successor(const InstanceRecord& record,
+                                            const std::string& excluding) const {
+  std::string fallback;
+  for (const std::string& candidate : record.storage_peer_ids) {
+    if (candidate == excluding || draining_.count(candidate) > 0) continue;
+    auto alive = node_alive_.find(candidate);
+    if (alive != node_alive_.end() && !alive->second) continue;
+    if (health_.in_probation(candidate)) {
+      if (fallback.empty()) fallback = candidate;
+      continue;
+    }
+    return candidate;
+  }
+  return fallback;
 }
 
 void WieraController::push_membership(const std::string& wiera_id,
@@ -722,14 +751,15 @@ void WieraController::maintain_replicas() {
                           << replacement->id();
 
     // Primary failover: if the down peer was the primary, promote the
-    // closest live peer.
-    std::string new_primary = record.primary;
+    // closest live peer (preferring one not in health probation).
     auto primary_alive = node_alive_.find(record.primary);
-    if (primary_alive != node_alive_.end() && !primary_alive->second &&
-        !live.empty()) {
-      new_primary = live.front();
-      record.primary = new_primary;
-      primary_changes_++;
+    if (primary_alive != node_alive_.end() && !primary_alive->second) {
+      std::string successor = pick_successor(record, record.primary);
+      if (successor.empty() && !live.empty()) successor = live.front();
+      if (!successor.empty()) {
+        record.primary = successor;
+        primary_changes_++;
+      }
     }
 
     // Propagate membership + primary to every live peer and the newcomer.
@@ -776,14 +806,7 @@ sim::Task<Status> WieraController::drain_peer(std::string wiera_id,
   //    peer partitioned away must not block an evacuation, and it learns
   //    the new primary through its own recovery push when it heals.
   if (it->second.primary == peer_id) {
-    std::string successor;
-    for (const std::string& candidate : it->second.storage_peer_ids) {
-      if (candidate == peer_id || draining_.count(candidate) > 0) continue;
-      auto alive = node_alive_.find(candidate);
-      if (alive != node_alive_.end() && !alive->second) continue;
-      successor = candidate;
-      break;
-    }
+    const std::string successor = pick_successor(it->second, peer_id);
     if (successor.empty()) {
       draining_.erase(peer_id);
       co_return failed_precondition(
@@ -948,15 +971,12 @@ sim::Task<Status> WieraController::rolling_restart(std::string wiera_id) {
     // A controlled restart must not trip a failover: primary-ship moves off
     // the peer before it bounces (same local promotion as drain_peer).
     if (it->second.primary == id) {
-      for (const std::string& candidate : it->second.storage_peer_ids) {
-        if (candidate == id || draining_.count(candidate) > 0) continue;
-        auto cand_alive = node_alive_.find(candidate);
-        if (cand_alive != node_alive_.end() && !cand_alive->second) continue;
-        it->second.primary = candidate;
+      const std::string successor = pick_successor(it->second, id);
+      if (!successor.empty()) {
+        it->second.primary = successor;
         primary_changes_++;
         WLOG_INFO(kComponent) << wiera_id << " primary handed off: " << id
-                              << " -> " << candidate;
-        break;
+                              << " -> " << successor;
       }
       push_membership(wiera_id, it->second);
     }

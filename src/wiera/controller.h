@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "coord/lock_service.h"
+#include "wiera/health.h"
 #include "wiera/monitors.h"
 #include "wiera/peer.h"
 
@@ -86,6 +87,13 @@ class WieraController {
     // unreachable timeout; with one, failure detection keeps its cadence
     // under brownouts. Zero = no deadline (seed behaviour).
     Duration ping_deadline = Duration::zero();
+    // Heartbeat flap damping (docs/HEALTH.md): a peer is declared down only
+    // after this many *consecutive* failed pings, so one chaos-dropped ping
+    // cannot trigger failover. 1 = seed behaviour (first failure counts).
+    int ping_failure_threshold = 1;
+    // Health-scored failure detection (docs/HEALTH.md). Disabled by
+    // default: the tracker records nothing and every peer ranks neutral.
+    HealthTracker::Config health = {};
     // ---- operational events (docs/SCENARIOS.md) ----
     // Hand the draining peer's queued + committed state off to the
     // remaining replicas before detaching it. Disabling this is the SLO
@@ -175,6 +183,10 @@ class WieraController {
   // placement advisor built on them.
   NetworkMonitor& network_monitor() { return network_monitor_; }
   WorkloadMonitor& workload_monitor() { return workload_monitor_; }
+  // Health-scored failure detection (docs/HEALTH.md): fed by the heartbeat
+  // loop here and by client/peer latency observations.
+  HealthTracker& health() { return health_; }
+  const HealthTracker& health() const { return health_; }
   // Recommended primary for a Wiera instance based on observed workload
   // ("" when there is not enough signal).
   std::string recommend_primary(const std::string& wiera_id) const;
@@ -209,6 +221,12 @@ class WieraController {
   // failover + membership narrowed to live nodes) or came back (catch-up
   // resync, then rejoin).
   void handle_peer_down(const std::string& peer_id);
+  // Probation-aware primary successor choice (docs/HEALTH.md): the first
+  // live, non-draining storage peer that is not in probation; falls back to
+  // a probation peer when no healthy candidate exists (a slow primary still
+  // beats none). Empty when there is no candidate at all.
+  std::string pick_successor(const InstanceRecord& record,
+                             const std::string& excluding) const;
   void push_membership(const std::string& wiera_id, InstanceRecord& record);
   sim::Task<void> recover_peer(std::string wiera_id, std::string peer_id);
 
@@ -221,6 +239,8 @@ class WieraController {
   std::vector<TieraServer*> servers_;
   std::map<std::string, InstanceRecord> instances_;
   std::map<std::string, bool> node_alive_;
+  // Consecutive failed pings per peer (flap damping; docs/HEALTH.md).
+  std::map<std::string, int> ping_failures_;
   bool running_ = false;
   // Peers with a recovery task in flight (one at a time per peer).
   std::set<std::string> catching_up_;
@@ -245,6 +265,7 @@ class WieraController {
   int64_t recoveries_completed_ = 0;
   NetworkMonitor network_monitor_;
   WorkloadMonitor workload_monitor_;
+  HealthTracker health_;
   PlacementAdvisor advisor_;
 };
 

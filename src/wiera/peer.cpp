@@ -921,6 +921,7 @@ sim::Task<Status> WieraPeer::replicate_to_all(ReplicateRequest update,
       if (acked.insert(peer_id).second) targets.push_back(peer_id);
     }
     if (targets.empty()) co_return ok_status();
+    order_targets_by_health(targets);
     std::vector<sim::Task<Status>> tasks;
     tasks.reserve(targets.size());
     for (const std::string& peer_id : targets) {
@@ -991,6 +992,11 @@ sim::Task<Status> WieraPeer::send_replicate_impl(std::string peer_id,
     if (config_.network_monitor != nullptr) {
       config_.network_monitor->record_link_latency(config_.instance_id, target,
                                                    sim_->now() - start);
+    }
+    if (config_.health != nullptr && resp.ok()) {
+      // Successful acks only: timeouts would pollute the EWMA with the
+      // deadline value instead of the peer's actual service time.
+      config_.health->record_latency(target, sim_->now() - start, sim_->now());
     }
     if (brk != nullptr) {
       // Unreachability and timeouts mark the target unhealthy; any decoded
@@ -1119,6 +1125,7 @@ sim::Task<Status> WieraPeer::replicate_batch_to_all(
       if (acked.insert(peer_id).second) targets.push_back(peer_id);
     }
     if (targets.empty()) break;
+    order_targets_by_health(targets);
     std::vector<sim::Task<std::vector<Status>>> tasks;
     tasks.reserve(targets.size());
     for (const std::string& peer_id : targets) {
@@ -1200,6 +1207,9 @@ sim::Task<std::vector<Status>> WieraPeer::send_replicate_batch(
     if (config_.network_monitor != nullptr) {
       config_.network_monitor->record_link_latency(config_.instance_id, target,
                                                    sim_->now() - start);
+    }
+    if (config_.health != nullptr && resp.ok()) {
+      config_.health->record_latency(target, sim_->now() - start, sim_->now());
     }
     if (brk != nullptr) {
       if (!resp.ok() && (resp.status().code() == StatusCode::kUnavailable ||
@@ -1533,6 +1543,15 @@ sim::Task<Status> WieraPeer::drain(TimePoint deadline, bool flush_only) {
 }
 
 // ------------------------------------------------------- overload robustness
+
+void WieraPeer::order_targets_by_health(
+    std::vector<std::string>& targets) const {
+  if (config_.health == nullptr || !config_.health->enabled()) return;
+  std::stable_partition(targets.begin(), targets.end(),
+                        [this](const std::string& t) {
+                          return !config_.health->in_probation(t);
+                        });
+}
 
 CircuitBreaker* WieraPeer::breaker_for(const std::string& target) {
   if (config_.breaker_failures <= 0) return nullptr;

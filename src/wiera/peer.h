@@ -32,6 +32,7 @@
 #include "coord/lock_service.h"
 #include "sim/sync.h"
 #include "tiera/instance.h"
+#include "wiera/health.h"
 #include "wiera/messages.h"
 #include "wiera/monitors.h"
 #include "wiera/types.h"
@@ -86,6 +87,11 @@ class WieraPeer : public tiera::InstanceHooks {
     // the controller; null disables recording).
     NetworkMonitor* network_monitor = nullptr;
     WorkloadMonitor* workload_monitor = nullptr;
+    // Health-scored failure detection (docs/HEALTH.md; owned by the
+    // controller, wired like the monitors). When set and enabled,
+    // replication fan-outs order probation targets last and successful
+    // replication acks feed the per-target latency EWMA. Null = disabled.
+    HealthTracker* health = nullptr;
     // Optional parsed dynamic policies evaluated by the monitors.
     std::optional<policy::PolicyDoc> dynamic_consistency_policy;  // Fig. 5a
     std::optional<policy::PolicyDoc> change_primary_policy;       // Fig. 5b
@@ -288,6 +294,11 @@ class WieraPeer : public tiera::InstanceHooks {
   // Overload robustness helpers.
   // Breaker for a send target; nullptr when breakers are disabled.
   CircuitBreaker* breaker_for(const std::string& target);
+  // Probation-last fan-out ordering (docs/HEALTH.md): stable-partition
+  // healthy targets first so a slow peer's sends queue behind the healthy
+  // acks on the shared NIC instead of ahead of them. No-op when health
+  // detection is off.
+  void order_targets_by_health(std::vector<std::string>& targets) const;
   // Context carrying `deadline` plus the current trace identity.
   static Context ctx_for(TimePoint deadline, TraceContext trace = {});
   // Whether a stale local read may substitute for an unreachable

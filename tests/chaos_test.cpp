@@ -48,6 +48,13 @@ enum class FaultClass {
   kBitRot,
   kTornWrite,
   kMsgCorrupt,
+  // Gray-failure classes (docs/HEALTH.md): the node stays "up" by every
+  // binary liveness test while serving degraded — a process freeze that
+  // completes queued work late, an intermittently lossy inter-node link,
+  // and a node running all its processing several times slower.
+  kStutter,
+  kFlakyLink,
+  kSlowNode,
 };
 
 const char* fault_class_name(FaultClass fault) {
@@ -66,6 +73,12 @@ const char* fault_class_name(FaultClass fault) {
       return "torn";
     case FaultClass::kMsgCorrupt:
       return "msgcorrupt";
+    case FaultClass::kStutter:
+      return "stutter";
+    case FaultClass::kFlakyLink:
+      return "flakylink";
+    case FaultClass::kSlowNode:
+      return "slownode";
   }
   return "?";
 }
@@ -73,6 +86,11 @@ const char* fault_class_name(FaultClass fault) {
 bool is_integrity_fault(FaultClass fault) {
   return fault == FaultClass::kBitRot || fault == FaultClass::kTornWrite ||
          fault == FaultClass::kMsgCorrupt;
+}
+
+bool is_gray_fault(FaultClass fault) {
+  return fault == FaultClass::kStutter || fault == FaultClass::kFlakyLink ||
+         fault == FaultClass::kSlowNode;
 }
 
 sim::CheckMode check_mode_for(ConsistencyMode mode) {
@@ -204,6 +222,15 @@ sim::FaultPlan plan_for(FaultClass fault, uint64_t seed) {
       options.corrupt_windows = 2;
       options.corrupt_prob = 0.25;
       break;
+    case FaultClass::kStutter:
+      options.stutters = 1;
+      break;
+    case FaultClass::kFlakyLink:
+      options.flaky_links = 1;
+      break;
+    case FaultClass::kSlowNode:
+      options.slow_nodes = 1;
+      break;
   }
   sim::FaultPlan plan = sim::FaultPlan::random(seed, options);
   if (fault == FaultClass::kMsgCorrupt) {
@@ -232,6 +259,14 @@ std::function<void(WieraPeer::Config&)> self_heal_tweak() {
 // stretched so queued updates actually pool up into multi-op batches — at
 // the default 100ms tick this workload rarely has two updates queued at
 // once and the batched wire path would go untested.
+// Health-scored failure detection armed (docs/HEALTH.md): φ-accrual over
+// the heartbeat plus per-target latency EWMAs drive the probation
+// lifecycle. Everything else keeps its default, so these runs measure what
+// the detector adds, not a retuned cluster.
+std::function<void(WieraController::Config&)> health_tweak() {
+  return [](WieraController::Config& config) { config.health.enabled = true; };
+}
+
 std::function<void(WieraPeer::Config&)> batching_tweak(
     int batch_max = 4, Duration flush_interval = msec(600)) {
   return [batch_max, flush_interval](WieraPeer::Config& config) {
@@ -293,6 +328,13 @@ struct RunResult {
   // — coalescing ships default-off.
   int64_t replication_batches = 0;
   int64_t replication_batched_ops = 0;
+  // Gray-failure detection (docs/HEALTH.md). The probation counters stay
+  // zero unless the run arms health_tweak() — health detection ships
+  // default-off.
+  int64_t probation_entries = 0;
+  int64_t probation_exits = 0;
+  int64_t primary_changes = 0;
+  int64_t client_failovers = 0;
 };
 
 // One client: alternating put/get rounds against the two workload keys,
@@ -355,10 +397,12 @@ sim::Task<void> harvest_finals(WieraController& controller,
   done = true;
 }
 
-RunResult run_chaos(ConsistencyMode mode, FaultClass fault, uint64_t seed,
-                    std::function<void(WieraPeer::Config&)> peer_tweak = {},
-                    bool telemetry_on = true) {
-  ChaosCluster cluster(seed);
+RunResult run_chaos(
+    ConsistencyMode mode, FaultClass fault, uint64_t seed,
+    std::function<void(WieraPeer::Config&)> peer_tweak = {},
+    bool telemetry_on = true,
+    std::function<void(WieraController::Config&)> controller_tweak = {}) {
+  ChaosCluster cluster(seed, std::move(controller_tweak));
   if (!telemetry_on) cluster.sim.telemetry().set_enabled(false);
   auto peers = cluster.controller.start_instances(
       "w1", cluster.options_for(mode, std::move(peer_tweak)));
@@ -374,10 +418,16 @@ RunResult run_chaos(ConsistencyMode mode, FaultClass fault, uint64_t seed,
   std::vector<std::unique_ptr<WieraClient>> clients;
   const char* const client_nodes[] = {"client-us-west", "client-eu-west",
                                       "client-asia-east"};
+  // Clients share the controller's health view (docs/HEALTH.md): a disabled
+  // tracker records nothing and ranks every peer neutral, so default runs
+  // keep the seed schedule; health_tweak() runs get health-ranked replica
+  // ordering plus client-attempt latency feeds.
+  WieraClient::Config client_config;
+  client_config.health = &cluster.controller.health();
   for (int i = 0; i < 3; ++i) {
     clients.push_back(std::make_unique<WieraClient>(
         cluster.sim, cluster.network, cluster.registry,
-        "app-" + std::to_string(i), client_nodes[i], *peers));
+        "app-" + std::to_string(i), client_nodes[i], *peers, client_config));
     cluster.sim.spawn(
         client_workload(cluster.sim, oracle, *clients.back(), i));
   }
@@ -429,6 +479,12 @@ RunResult run_chaos(ConsistencyMode mode, FaultClass fault, uint64_t seed,
     }
   }
   result.corrupted_msgs = cluster.network.chaos_stats().corrupted;
+  result.probation_entries = cluster.controller.health().probation_entries();
+  result.probation_exits = cluster.controller.health().probation_exits();
+  result.primary_changes = cluster.controller.primary_changes();
+  for (const auto& client : clients) {
+    result.client_failovers += client->failovers();
+  }
   if (dump_telemetry_enabled()) {
     std::set<uint64_t> traces{oracle.sample_put_trace()};
     for (const auto& v : result.violations) traces.insert(v.trace_id);
@@ -468,6 +524,24 @@ void print_corruption_stats(ConsistencyMode mode, FaultClass fault,
       static_cast<long long>(r.torn_writes),
       static_cast<long long>(r.torn_discards),
       static_cast<long long>(r.corrupted_msgs),
+      hex_trace(r.trace_hash).c_str());
+}
+
+// CI greps these counters out of the gray-failure sweep: how often the
+// detector moved a peer into/out of probation, and the two things a gray
+// peer must never cause — a primary change or a storm of client failovers.
+void print_health_stats(ConsistencyMode mode, FaultClass fault, uint64_t seed,
+                        const RunResult& r) {
+  std::printf(
+      "HEALTH-STATS seed=%llu mode=%s fault=%s probation_entries=%lld "
+      "probation_exits=%lld primary_changes=%lld client_failovers=%lld "
+      "trace=%s\n",
+      static_cast<unsigned long long>(seed),
+      std::string(consistency_mode_name(mode)).c_str(),
+      fault_class_name(fault), static_cast<long long>(r.probation_entries),
+      static_cast<long long>(r.probation_exits),
+      static_cast<long long>(r.primary_changes),
+      static_cast<long long>(r.client_failovers),
       hex_trace(r.trace_hash).c_str());
 }
 
@@ -1322,6 +1396,68 @@ INSTANTIATE_TEST_SUITE_P(
         ChaosCase{ConsistencyMode::kEventual, FaultClass::kMsgCorrupt}),
     case_name);
 
+// ----------------------------------------------------- gray-failure sweeps
+//
+// Every consistency mode against every gray fault class (docs/HEALTH.md),
+// with health-scored failure detection armed. A gray peer is degraded, not
+// dead: it answers every binary liveness probe while serving late, lossy,
+// or slow. The acceptance bar is twofold — the per-mode oracle stays clean,
+// and the detector never escalates: a single gray peer must not trip
+// failover (zero primary changes), because probation demotes ranking and
+// fan-out order without ever narrowing membership.
+
+class GrayFailureSuite : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(GrayFailureSuite, SingleGrayPeerNeverTripsFailoverAcrossSeeds) {
+  const ChaosCase c = GetParam();
+  const int seeds = seed_count();
+  int64_t total_probations = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    RunResult r = run_chaos(c.mode, c.fault, static_cast<uint64_t>(seed), {},
+                            /*telemetry_on=*/true, health_tweak());
+    print_health_stats(c.mode, c.fault, static_cast<uint64_t>(seed), r);
+    EXPECT_GT(r.completed_ok, 0) << "seed " << seed << ": no op completed";
+    EXPECT_GT(r.events_applied, 0) << "seed " << seed << ": no fault fired";
+    EXPECT_EQ(r.primary_changes, 0)
+        << "seed " << seed << ": a gray (degraded, not dead) peer tripped "
+        << "failover";
+    if (!r.violations.empty()) {
+      ADD_FAILURE() << "CHAOS-FAIL seed=" << seed
+                    << " mode=" << consistency_mode_name(c.mode)
+                    << " fault=" << fault_class_name(c.fault)
+                    << " trace=" << hex_trace(r.trace_hash) << "\n"
+                    << sim::ConsistencyOracle::describe(r.violations);
+    }
+    total_probations += r.probation_entries;
+  }
+  // A sustained 8x slowdown sits far past degraded_factor: across the sweep
+  // the latency-EWMA signal must put someone into probation. The other two
+  // classes can stay below the thresholds on short windows (a stutter only
+  // produces late samples at thaw; a flaky link mostly costs retries), so
+  // they assert only the never-escalate side.
+  if (c.fault == FaultClass::kSlowNode) {
+    EXPECT_GT(total_probations, 0)
+        << "an 8x-slow node never entered probation across " << seeds
+        << " seeds";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModesAllGrayFaults, GrayFailureSuite,
+    ::testing::Values(
+        ChaosCase{ConsistencyMode::kMultiPrimaries, FaultClass::kStutter},
+        ChaosCase{ConsistencyMode::kMultiPrimaries, FaultClass::kFlakyLink},
+        ChaosCase{ConsistencyMode::kMultiPrimaries, FaultClass::kSlowNode},
+        ChaosCase{ConsistencyMode::kPrimaryBackupSync, FaultClass::kStutter},
+        ChaosCase{ConsistencyMode::kPrimaryBackupSync,
+                  FaultClass::kFlakyLink},
+        ChaosCase{ConsistencyMode::kPrimaryBackupSync,
+                  FaultClass::kSlowNode},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kStutter},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kFlakyLink},
+        ChaosCase{ConsistencyMode::kEventual, FaultClass::kSlowNode}),
+    case_name);
+
 // ------------------------------------------------------------ determinism
 
 TEST(ChaosDeterminismTest, SameSeedSameTraceHash) {
@@ -1354,6 +1490,29 @@ TEST(ChaosDeterminismTest, SameSeedSameTraceHashWithScrubAndRepairActive) {
   EXPECT_EQ(a.scrub_rounds, b.scrub_rounds);
   RunResult c = run_chaos(ConsistencyMode::kEventual, FaultClass::kBitRot,
                           /*seed=*/8, self_heal_tweak());
+  EXPECT_NE(a.trace_hash, c.trace_hash);
+}
+
+TEST(ChaosDeterminismTest, SameSeedSameTraceHashWithHealthDetectionArmed) {
+  // The detector's whole pipeline — ping feeds, latency EWMAs, probation
+  // transitions, health-ranked client ordering, probation-last fan-out — is
+  // schedule-affecting state, so a replay with a gray fault and health
+  // armed must reproduce hash-identically, down to the probation counters.
+  RunResult a = run_chaos(ConsistencyMode::kEventual, FaultClass::kSlowNode,
+                          /*seed=*/7, {}, /*telemetry_on=*/true,
+                          health_tweak());
+  RunResult b = run_chaos(ConsistencyMode::kEventual, FaultClass::kSlowNode,
+                          /*seed=*/7, {}, /*telemetry_on=*/true,
+                          health_tweak());
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.completed_ok, b.completed_ok);
+  EXPECT_EQ(a.probation_entries, b.probation_entries);
+  EXPECT_EQ(a.probation_exits, b.probation_exits);
+  EXPECT_EQ(a.client_failovers, b.client_failovers);
+  RunResult c = run_chaos(ConsistencyMode::kEventual, FaultClass::kSlowNode,
+                          /*seed=*/8, {}, /*telemetry_on=*/true,
+                          health_tweak());
   EXPECT_NE(a.trace_hash, c.trace_hash);
 }
 
@@ -2073,18 +2232,87 @@ TEST(ChaosRegressionTest, PingDeadlineKeepsFailureDetectionLive) {
       << "no healthy peer was promoted while " << spiked << " was spiked";
 }
 
+// Heartbeat flap damping (docs/HEALTH.md): one chaos-dropped ping round
+// must not trigger failover when ping_failure_threshold > 1. The drop
+// window is sized so no peer can miss two *consecutive* pings (a failed
+// ping costs its 900ms deadline, pushing the peer's next ping well past the
+// window), so threshold 2 absorbs the flap completely while the identical
+// schedule under the seed threshold (1: first failure counts) declares
+// peers down and pays the down/recover round trip.
+TEST(ChaosRegressionTest, FlapDampingAbsorbsOneDroppedPingRound) {
+  const auto run = [](int threshold) {
+    ChaosCluster cluster(/*seed=*/17,
+                         [threshold](WieraController::Config& config) {
+                           config.ping_deadline = msec(900);
+                           config.ping_failure_threshold = threshold;
+                           // Lease-lapse gating would defer down-handling
+                           // past a single dropped round on its own; clear
+                           // it so this test isolates the damping knob.
+                           config.serve_lease = Duration::zero();
+                         });
+    auto peers = cluster.controller.start_instances(
+        "w1",
+        cluster.options_for(ConsistencyMode::kPrimaryBackupSync, nullptr));
+    EXPECT_TRUE(peers.ok()) << peers.status().to_string();
+    cluster.controller.start();
+
+    ChaosHost host(cluster.network, cluster.controller);
+    sim::FaultInjector injector(cluster.sim, host);
+    sim::FaultPlan plan;
+    // Every controller-touching message dropped for ~1.6s: long enough that
+    // one heartbeat round must start inside it, short enough that a peer
+    // whose ping failed cannot be pinged again before it closes.
+    plan.message_chaos("wiera-controller", TimePoint::origin() + sec(3) +
+                                               msec(600),
+                       TimePoint::origin() + sec(5) + msec(200),
+                       /*drop_prob=*/1.0, /*dup_prob=*/0.0);
+    injector.arm(std::move(plan));
+    cluster.sim.run_until(TimePoint(sec(15).us()));
+    return std::make_pair(cluster.controller.recoveries_completed(),
+                          cluster.controller.primary_changes());
+  };
+
+  const auto damped = run(/*threshold=*/2);
+  EXPECT_EQ(damped.first, 0)
+      << "a single dropped ping round tripped the failure detector despite "
+         "flap damping";
+  EXPECT_EQ(damped.second, 0);
+
+  // Control: the seed behaviour on the same schedule does transition peers
+  // down — proving the damping knob, not the schedule, absorbed the flap.
+  const auto seed_behaviour = run(/*threshold=*/1);
+  EXPECT_GE(seed_behaviour.first, 1)
+      << "the drop window never failed a ping; the damped run above proved "
+         "nothing";
+}
+
 // ------------------------------------------------------------------ replay
 //
 // `chaos_test --seed N --plan MODE:FAULT` re-runs exactly one schedule —
 // the reproducer line scripts/chaos_sweep.sh prints for every CHAOS-FAIL.
 // FAULT is one of
-// partition|crash|drop|spike|brownout|midflush|bitrot|torn|msgcorrupt
+// partition|crash|drop|spike|brownout|midflush|bitrot|torn|msgcorrupt|
+// stutter|flakylink|slownode
 // (brownout and midflush ignore MODE; brownout always runs the
 // primary-backup overload schedule, midflush the async-primary batched
-// flush failover). The corruption classes replay with scrub + read-repair armed,
-// exactly as the CorruptionSuite runs them. Add --dump-telemetry (or set
-// WIERA_DUMP_TELEMETRY=1) to print the metrics snapshot and span trees of
-// the replayed schedule (docs/OBSERVABILITY.md).
+// flush failover). The corruption classes replay with scrub + read-repair
+// armed, exactly as the CorruptionSuite runs them; the gray classes replay
+// with health detection armed, exactly as the GrayFailureSuite runs them.
+// `chaos_test --list-plans` prints every FAULT token one per line
+// (scripts/sweep_lib.sh validates its sweep matrices against it). Add
+// --dump-telemetry (or set WIERA_DUMP_TELEMETRY=1) to print the metrics
+// snapshot and span trees of the replayed schedule (docs/OBSERVABILITY.md).
+
+// Every FAULT token --plan accepts, in the order the enum declares them.
+const char* const kPlanNames[] = {"partition", "crash",   "drop",
+                                  "spike",     "bitrot",  "torn",
+                                  "msgcorrupt", "stutter", "flakylink",
+                                  "slownode",  "brownout", "midflush"};
+
+int list_plans_main() {
+  for (const char* name : kPlanNames) std::printf("%s\n", name);
+  return 0;
+}
 
 int replay_main(uint64_t seed, const std::string& plan_spec) {
   const size_t colon = plan_spec.find(':');
@@ -2145,15 +2373,26 @@ int replay_main(uint64_t seed, const std::string& plan_spec) {
     fault = FaultClass::kTornWrite;
   } else if (fault_name == "msgcorrupt") {
     fault = FaultClass::kMsgCorrupt;
+  } else if (fault_name == "stutter") {
+    fault = FaultClass::kStutter;
+  } else if (fault_name == "flakylink") {
+    fault = FaultClass::kFlakyLink;
+  } else if (fault_name == "slownode") {
+    fault = FaultClass::kSlowNode;
   } else {
     std::fprintf(stderr, "unknown fault class '%s'\n", fault_name.c_str());
     return 2;
   }
 
   const bool integrity = is_integrity_fault(fault);
-  RunResult r = run_chaos(*mode, fault, seed,
-                          integrity ? self_heal_tweak()
-                                    : std::function<void(WieraPeer::Config&)>{});
+  const bool gray = is_gray_fault(fault);
+  RunResult r = run_chaos(
+      *mode, fault, seed,
+      integrity ? self_heal_tweak()
+                : std::function<void(WieraPeer::Config&)>{},
+      /*telemetry_on=*/true,
+      gray ? health_tweak()
+           : std::function<void(WieraController::Config&)>{});
   std::printf("replay seed=%llu mode=%s fault=%s trace=%s ops=%lld ok=%lld\n",
               static_cast<unsigned long long>(seed),
               std::string(consistency_mode_name(*mode)).c_str(),
@@ -2161,6 +2400,7 @@ int replay_main(uint64_t seed, const std::string& plan_spec) {
               static_cast<long long>(r.ops),
               static_cast<long long>(r.completed_ok));
   if (integrity) print_corruption_stats(*mode, fault, seed, r);
+  if (gray) print_health_stats(*mode, fault, seed, r);
   if (!r.violations.empty()) {
     std::printf("%s\n", sim::ConsistencyOracle::describe(r.violations).c_str());
     return 1;
@@ -2191,6 +2431,8 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--plan" && i + 1 < argc) {
       plan = argv[++i];
+    } else if (arg == "--list-plans") {
+      return wiera::geo::list_plans_main();
     } else if (arg == "--dump-telemetry") {
       // Same switch the env var flips; the flag form keeps reproducer
       // command lines self-contained.

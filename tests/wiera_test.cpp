@@ -10,6 +10,7 @@
 #include "policy/parser.h"
 #include "wiera/client.h"
 #include "wiera/controller.h"
+#include "wiera/health.h"
 
 namespace wiera::geo {
 namespace {
@@ -581,6 +582,68 @@ Tiera ColdInstance() {
     EXPECT_EQ(got->served_by, "tiera-us-east");
     EXPECT_EQ(got->value.size(), 4096u);
   });
+}
+
+// ------------------------------------------------------------ health ranking
+
+// Sparse data must stay NEUTRAL (health.h Config::min_samples): a peer with
+// fewer than min_samples observations ranks exactly like one never observed,
+// so early samples can neither promote nor demote it past proximity order.
+TEST(ClientHealthRanking, SparseSamplesRankNeutral) {
+  obs::Registry registry;
+  HealthTracker::Config config;
+  config.enabled = true;
+  HealthTracker health(registry, config);
+  TimePoint now = TimePoint::origin();
+
+  // Two brutally slow latency samples — still below min_samples (3).
+  health.record_latency("tiera-us-west", msec(900), now);
+  now = now + sec(1);
+  health.record_latency("tiera-us-west", msec(900), now);
+  EXPECT_EQ(health.latency_ratio("tiera-us-west"), 1.0);
+  EXPECT_EQ(health.rank_penalty("tiera-us-west"), 0);
+  EXPECT_EQ(health.rank_penalty("tiera-never-observed"), 0);
+  EXPECT_FALSE(health.in_probation("tiera-us-west"));
+
+  // Two prompt pings then a long silence — φ stays 0 below min_samples, so
+  // the silence cannot push the peer into probation either.
+  health.record_ping("tiera-eu-west", true, now);
+  health.record_ping("tiera-eu-west", true, now + sec(1));
+  EXPECT_EQ(health.phi("tiera-eu-west", now + sec(30)), 0.0);
+  EXPECT_EQ(health.rank_penalty("tiera-eu-west"), 0);
+}
+
+// Once the baseline exists, a sustained latency spike walks the peer through
+// degraded (penalty 1) into probation (penalty 2), and the dwell plus
+// hysteresis hold it there until the EWMA genuinely recovers.
+TEST(ClientHealthRanking, SustainedDegradationRanksPeerLast) {
+  obs::Registry registry;
+  HealthTracker::Config config;
+  config.enabled = true;
+  HealthTracker health(registry, config);
+  TimePoint now = TimePoint::origin();
+
+  for (int i = 0; i < 3; ++i) {  // establish a ~10ms baseline
+    health.record_latency("tiera-us-west", msec(10), now);
+    now = now + sec(1);
+  }
+  EXPECT_EQ(health.rank_penalty("tiera-us-west"), 0);
+
+  // One 25x sample lifts the EWMA past degraded_factor (4x): probation.
+  health.record_latency("tiera-us-west", msec(250), now);
+  EXPECT_TRUE(health.in_probation("tiera-us-west"));
+  EXPECT_EQ(health.rank_penalty("tiera-us-west"), 2);
+  EXPECT_EQ(health.probation_entries(), 1);
+
+  // Recovery: fast samples decay the EWMA, but the exit waits for the
+  // minimum dwell and the ratio to drop under degraded_factor/2.
+  for (int i = 0; i < 12; ++i) {
+    now = now + sec(1);
+    health.record_latency("tiera-us-west", msec(10), now);
+  }
+  EXPECT_FALSE(health.in_probation("tiera-us-west"));
+  EXPECT_EQ(health.rank_penalty("tiera-us-west"), 0);
+  EXPECT_EQ(health.probation_exits(), 1);
 }
 
 // ------------------------------------------------------------ property sweep
