@@ -19,10 +19,12 @@
 #include "common/units.h"
 #include "coord/lock_service.h"
 #include "harness.h"
+#include "obs/sampler.h"
 #include "policy/builtin_policies.h"
 #include "policy/eval.h"
 #include "policy/parser.h"
 #include "rpc/wire.h"
+#include "sim/obs_pipeline.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "store/tier.h"
@@ -260,6 +262,31 @@ void BM_MemoryTierPutGet(benchmark::State& state) {
 }
 BENCHMARK(BM_MemoryTierPutGet)->Arg(256);
 
+// ------------------------------------------------------------ obs sampler
+
+// Pure scrape cost: one Sampler pass over a registry with `range` counter
+// and histogram families (the per-tick work an armed ObsPipeline adds).
+void BM_SamplerScrape(benchmark::State& state) {
+  obs::Registry reg;
+  const int families = static_cast<int>(state.range(0));
+  std::vector<obs::Counter*> counters;
+  for (int i = 0; i < families; ++i) {
+    counters.push_back(reg.counter("bench_c" + std::to_string(i) + "_total",
+                                   {{"instance", "NYC"}}));
+    reg.histogram("bench_h" + std::to_string(i) + "_us")->record(msec(i + 1));
+  }
+  obs::Sampler sampler;
+  int64_t t_us = 0;
+  for (auto _ : state) {
+    for (auto* c : counters) c->inc();
+    t_us += 10'000;
+    sampler.scrape(reg, TimePoint(t_us));
+    benchmark::DoNotOptimize(sampler.scrapes());
+  }
+  state.SetItemsProcessed(state.iterations() * families);
+}
+BENCHMARK(BM_SamplerScrape)->Arg(16)->Arg(128);
+
 // ------------------------------------------------- trajectory driver
 
 // Console output as usual, plus a machine-readable record of every run
@@ -313,6 +340,8 @@ struct MacroStats {
   double put_p99_us = 0;
   double get_p50_us = 0;
   double get_p99_us = 0;
+  // Scrapes the armed ObsPipeline performed (0 for unsampled runs).
+  double scrapes = 0;
 
   double ops_per_wall_sec() const {
     return wall_us > 0 ? ops / (wall_us / 1e6) : 0;
@@ -322,7 +351,10 @@ struct MacroStats {
   }
 };
 
-MacroStats run_macro(bool quick) {
+// scrape_interval > 0 arms the ObsPipeline for the run (the sampler-overhead
+// section, docs/METRICS_PIPELINE.md); zero keeps the seed unsampled path.
+MacroStats run_macro(bool quick,
+                     Duration scrape_interval = Duration::zero()) {
   using wiera::bench::PaperCluster;
   MacroStats out;
   PaperCluster cluster(/*seed=*/7);
@@ -333,6 +365,15 @@ MacroStats run_macro(bool quick) {
     std::fprintf(stderr, "macro start: %s\n",
                  peers.status().to_string().c_str());
     std::abort();
+  }
+  sim::ObsPipeline pipeline(cluster.sim);
+  if (scrape_interval > Duration::zero()) {
+    sim::ObsPipeline::Config obs_config;
+    obs_config.interval = scrape_interval;
+    // The harness stops the sim when the workload body completes, so a far
+    // horizon just means "scrape for the whole measured run".
+    obs_config.until = TimePoint::origin() + sec(100000);
+    pipeline.arm(obs_config);
   }
   geo::WieraClient client(cluster.sim, cluster.network, cluster.registry,
                           "app-us-east", "client-us-east", *peers);
@@ -363,12 +404,39 @@ MacroStats run_macro(bool quick) {
   out.put_p99_us = static_cast<double>(put_hist->percentile(0.99).us());
   out.get_p50_us = static_cast<double>(get_hist->percentile(0.50).us());
   out.get_p99_us = static_cast<double>(get_hist->percentile(0.99).us());
+  if (pipeline.sampler() != nullptr) {
+    out.scrapes = static_cast<double>(pipeline.sampler()->scrapes());
+  }
+  return out;
+}
+
+// Sampler-overhead section (docs/METRICS_PIPELINE.md): the identical macro
+// stream unsampled, scraped every 10ms, and scraped every 1ms of virtual
+// time. The delta in ops/wall-sec is the host-side cost an armed pipeline
+// adds; the virtual-time schedule cost is already visible in sim_seconds.
+struct SamplerOverhead {
+  MacroStats off;
+  MacroStats per10ms;
+  MacroStats per1ms;
+
+  static double overhead_pct(const MacroStats& base, const MacroStats& with) {
+    const double a = base.ops_per_wall_sec();
+    const double b = with.ops_per_wall_sec();
+    return a > 0 ? (a - b) / a * 100.0 : 0;
+  }
+};
+
+SamplerOverhead run_sampler_overhead(bool quick) {
+  SamplerOverhead out;
+  out.off = run_macro(quick);
+  out.per10ms = run_macro(quick, msec(10));
+  out.per1ms = run_macro(quick, msec(1));
   return out;
 }
 
 void write_json(const std::string& path, bool quick,
                 const std::vector<RecordingReporter::Row>& rows,
-                const MacroStats& macro) {
+                const MacroStats& macro, const SamplerOverhead& sampler) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -397,6 +465,19 @@ void write_json(const std::string& path, bool quick,
   std::fprintf(f, "    \"put_p99_us\": %.0f,\n", macro.put_p99_us);
   std::fprintf(f, "    \"get_p50_us\": %.0f,\n", macro.get_p50_us);
   std::fprintf(f, "    \"get_p99_us\": %.0f\n", macro.get_p99_us);
+  std::fprintf(f, "  },\n  \"sampler\": {\n");
+  std::fprintf(f, "    \"off_ops_per_wall_sec\": %.2f,\n",
+               sampler.off.ops_per_wall_sec());
+  std::fprintf(f, "    \"interval_10ms_ops_per_wall_sec\": %.2f,\n",
+               sampler.per10ms.ops_per_wall_sec());
+  std::fprintf(f, "    \"interval_1ms_ops_per_wall_sec\": %.2f,\n",
+               sampler.per1ms.ops_per_wall_sec());
+  std::fprintf(f, "    \"scrapes_10ms\": %.0f,\n", sampler.per10ms.scrapes);
+  std::fprintf(f, "    \"scrapes_1ms\": %.0f,\n", sampler.per1ms.scrapes);
+  std::fprintf(f, "    \"overhead_10ms_pct\": %.2f,\n",
+               SamplerOverhead::overhead_pct(sampler.off, sampler.per10ms));
+  std::fprintf(f, "    \"overhead_1ms_pct\": %.2f\n",
+               SamplerOverhead::overhead_pct(sampler.off, sampler.per1ms));
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
 }
@@ -429,7 +510,9 @@ int main(int argc, char** argv) {
   wiera::RecordingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
-  wiera::MacroStats macro = wiera::run_macro(quick);
+  // The overhead section's unsampled run doubles as the macro measurement.
+  wiera::SamplerOverhead sampler = wiera::run_sampler_overhead(quick);
+  const wiera::MacroStats& macro = sampler.off;
   std::printf("\n--- macro: PaperCluster put/get (MultiPrimaries) ---\n");
   std::printf("ops %.0f | wall %.1f ms | %.0f ops/wall-sec | "
               "%.1f ms-wall per sim-sec\n",
@@ -438,9 +521,20 @@ int main(int argc, char** argv) {
   std::printf("put p50/p99 %.0f/%.0f us | get p50/p99 %.0f/%.0f us\n",
               macro.put_p50_us, macro.put_p99_us, macro.get_p50_us,
               macro.get_p99_us);
+  std::printf("\n--- sampler overhead: same stream, ObsPipeline armed ---\n");
+  std::printf("off %.0f ops/wall-sec | 10ms %.0f (%.1f%% overhead, "
+              "%.0f scrapes) | 1ms %.0f (%.1f%% overhead, %.0f scrapes)\n",
+              sampler.off.ops_per_wall_sec(),
+              sampler.per10ms.ops_per_wall_sec(),
+              wiera::SamplerOverhead::overhead_pct(sampler.off,
+                                                   sampler.per10ms),
+              sampler.per10ms.scrapes, sampler.per1ms.ops_per_wall_sec(),
+              wiera::SamplerOverhead::overhead_pct(sampler.off,
+                                                   sampler.per1ms),
+              sampler.per1ms.scrapes);
 
   if (!json_path.empty()) {
-    wiera::write_json(json_path, quick, reporter.rows, macro);
+    wiera::write_json(json_path, quick, reporter.rows, macro, sampler);
     std::printf("wrote %s\n", json_path.c_str());
   }
   benchmark::Shutdown();

@@ -69,12 +69,14 @@ if [[ "${FAILS}" -gt 0 || "${GTEST_FAILS}" -gt 0 ]]; then
     FAULT="$(sweep_field "${LINE}" fault)"
     echo "  ${LINE}"
     echo "    reproduce: ${BINARY} --seed ${SEED} --plan ${MODE}:${FAULT}"
-    # Replay the failing seed with telemetry dumping on: the registry
-    # snapshot plus the reassembled span tree of an implicated trace land
-    # in the CI log next to the reproducer (docs/OBSERVABILITY.md).
+    # Replay the failing seed with telemetry + time-series dumping on: the
+    # registry snapshot, the reassembled span tree of an implicated trace,
+    # the ATTRIBUTION-REPORT and the TIMESERIES-SNAPSHOT land in the CI log
+    # next to the reproducer (docs/OBSERVABILITY.md,
+    # docs/METRICS_PIPELINE.md).
     DUMP="${LOGDIR}/dump_${SEED}_${MODE}_${FAULT}.log"
     "${BINARY}" --seed "${SEED}" --plan "${MODE}:${FAULT}" \
-      --dump-telemetry >"${DUMP}" 2>&1 || true
+      --dump-telemetry --dump-timeseries >"${DUMP}" 2>&1 || true
     sed -n '/^TELEMETRY-SNAPSHOT/,$p' "${DUMP}" | sed 's/^/    /'
   done
   # Overload counters from any failing brownout runs, for CI logs.

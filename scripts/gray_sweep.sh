@@ -22,7 +22,9 @@
 # Every run prints HEALTH-STATS lines (probation entry/exit counters keyed
 # by seed and trace hash); this script surfaces them all — green or red —
 # so CI keeps a record of detection behavior over time. Failing seeds are
-# replayed with --dump-telemetry exactly like the parent sweeps:
+# replayed with --dump-telemetry --dump-timeseries exactly like the parent
+# sweeps (time-series JSON and attribution reports land in ARTIFACT_DIR as
+# sidecar files, docs/METRICS_PIPELINE.md):
 #   <build>/tests/chaos_test    --seed <n> --plan <mode>:<fault>
 #   <build>/tests/scenario_test --seed <n> --scenario <name>:<fault>
 set -u
@@ -95,11 +97,15 @@ if [[ "${CHAOS_FAILS}" -gt 0 || "${SCENARIO_FAILS}" -gt 0 ||
     echo "    reproduce: ${CHAOS_BINARY} --seed ${SEED} --plan ${MODE}:${FAULT}"
     DUMP="${LOGDIR}/dump_chaos_${SEED}_${MODE}_${FAULT}.log"
     "${CHAOS_BINARY}" --seed "${SEED}" --plan "${MODE}:${FAULT}" \
-      --dump-telemetry >"${DUMP}" 2>&1 || true
+      --dump-telemetry --dump-timeseries >"${DUMP}" 2>&1 || true
     sed -n '/^TELEMETRY-SNAPSHOT/,$p' "${DUMP}" | sed 's/^/    /'
     if [[ -n "${ARTIFACT_DIR}" ]]; then
       mkdir -p "${ARTIFACT_DIR}"
       cp "${DUMP}" "${ARTIFACT_DIR}/"
+      sweep_extract_timeseries "${DUMP}" \
+        "${ARTIFACT_DIR}/dump_chaos_${SEED}_${MODE}_${FAULT}.timeseries.json"
+      sweep_extract_attribution "${DUMP}" \
+        "${ARTIFACT_DIR}/dump_chaos_${SEED}_${MODE}_${FAULT}.attribution.txt"
     fi
   done
   sweep_fail_lines "${LOGDIR}" SCENARIO-FAIL | while read -r LINE; do
@@ -110,11 +116,15 @@ if [[ "${CHAOS_FAILS}" -gt 0 || "${SCENARIO_FAILS}" -gt 0 ||
     echo "    reproduce: ${SCENARIO_BINARY} --seed ${SEED} --scenario ${SCENARIO}:${FAULT}"
     DUMP="${LOGDIR}/dump_scenario_${SEED}_${SCENARIO}_${FAULT}.log"
     "${SCENARIO_BINARY}" --seed "${SEED}" --scenario "${SCENARIO}:${FAULT}" \
-      --dump-telemetry >"${DUMP}" 2>&1 || true
+      --dump-telemetry --dump-timeseries >"${DUMP}" 2>&1 || true
     sed -n '/^SCENARIO-TIMELINE/,$p' "${DUMP}" | sed 's/^/    /'
     if [[ -n "${ARTIFACT_DIR}" ]]; then
       mkdir -p "${ARTIFACT_DIR}"
       cp "${DUMP}" "${ARTIFACT_DIR}/"
+      sweep_extract_timeseries "${DUMP}" \
+        "${ARTIFACT_DIR}/dump_scenario_${SEED}_${SCENARIO}_${FAULT}.timeseries.json"
+      sweep_extract_attribution "${DUMP}" \
+        "${ARTIFACT_DIR}/dump_scenario_${SEED}_${SCENARIO}_${FAULT}.attribution.txt"
     fi
   done
   echo ""

@@ -67,16 +67,22 @@ if [[ "${FAILS}" -gt 0 || "${GTEST_FAILS}" -gt 0 ]]; then
     FAULT="$(sweep_field "${LINE}" fault)"
     echo "  ${LINE}"
     echo "    reproduce: ${BINARY} --seed ${SEED} --scenario ${SCENARIO}:${FAULT}"
-    # Replay the failing seed with telemetry dumping on: the scenario
-    # timeline, registry snapshot and implicated span trees land in the
-    # log — and in ARTIFACT_DIR when set, for CI upload.
+    # Replay the failing seed with telemetry + time-series dumping on: the
+    # scenario timeline, registry snapshot, implicated span trees,
+    # ATTRIBUTION-REPORT and TIMESERIES-SNAPSHOT land in the log — and in
+    # ARTIFACT_DIR when set, with the time-series JSON and attribution
+    # block split into sidecar files for upload.
     DUMP="${LOGDIR}/dump_${SEED}_${SCENARIO}_${FAULT}.log"
     "${BINARY}" --seed "${SEED}" --scenario "${SCENARIO}:${FAULT}" \
-      --dump-telemetry >"${DUMP}" 2>&1 || true
+      --dump-telemetry --dump-timeseries >"${DUMP}" 2>&1 || true
     sed -n '/^SCENARIO-TIMELINE/,$p' "${DUMP}" | sed 's/^/    /'
     if [[ -n "${ARTIFACT_DIR}" ]]; then
       mkdir -p "${ARTIFACT_DIR}"
       cp "${DUMP}" "${ARTIFACT_DIR}/"
+      sweep_extract_timeseries "${DUMP}" \
+        "${ARTIFACT_DIR}/dump_${SEED}_${SCENARIO}_${FAULT}.timeseries.json"
+      sweep_extract_attribution "${DUMP}" \
+        "${ARTIFACT_DIR}/dump_${SEED}_${SCENARIO}_${FAULT}.attribution.txt"
     fi
   done
   # Per-run counters from every failing combination, for CI logs — the

@@ -98,6 +98,28 @@ sweep_fail_lines() {
   grep -h "^$2" "$1"/*.log 2>/dev/null || true
 }
 
+# sweep_extract_timeseries DUMPLOG OUTJSON
+# Pull the one-line TIMESERIES-SNAPSHOT JSON (printed by --dump-timeseries
+# replays, docs/METRICS_PIPELINE.md) out of a failing-seed dump log into its
+# own artifact file next to the telemetry snapshot; the KEYSTATS lines ride
+# along as a JSON-lines tail. Removes OUTJSON when the log has no snapshot.
+sweep_extract_timeseries() {
+  local dump="$1" out="$2"
+  awk '/^TIMESERIES-SNAPSHOT$/ {grab=1; next}
+       grab {print; grab=0}
+       /^KEYSTATS instance=/ {print}' "${dump}" >"${out}"
+  [[ -s "${out}" ]] || rm -f "${out}"
+}
+
+# sweep_extract_attribution DUMPLOG OUT
+# Copy the ATTRIBUTION-REPORT ... END-ATTRIBUTION-REPORT block a failing
+# replay printed into its own artifact file ("" when the replay was clean).
+sweep_extract_attribution() {
+  local dump="$1" out="$2"
+  sed -n '/^ATTRIBUTION-REPORT/,/^END-ATTRIBUTION-REPORT/p' "${dump}" >"${out}"
+  [[ -s "${out}" ]] || rm -f "${out}"
+}
+
 # sweep_fail_count LOGDIR TAG / sweep_gtest_fail_count LOGDIR
 sweep_fail_count() {
   sweep_fail_lines "$1" "$2" | grep -c . || true

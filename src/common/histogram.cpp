@@ -1,6 +1,7 @@
 #include "common/histogram.h"
 
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 
 namespace wiera {
@@ -30,7 +31,7 @@ void LatencyHistogram::record(Duration d) {
   if (d < min_) min_ = d;
   if (d > max_) max_ = d;
   if (exact_) {
-    if (total_count_ <= kExactSamples) {
+    if (total_count_ <= exact_cap_) {
       raw_.push_back(us);
     } else {
       exact_ = false;
@@ -82,13 +83,47 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
     max_ = std::max(max_, other.max_);
   }
   // Stay exact only if both sides are and the union still fits.
-  if (exact_ && other.exact_ && total_count_ <= kExactSamples) {
+  if (exact_ && other.exact_ && total_count_ <= exact_cap_) {
     raw_.insert(raw_.end(), other.raw_.begin(), other.raw_.end());
   } else {
     exact_ = false;
     raw_.clear();
     raw_.shrink_to_fit();
   }
+}
+
+LatencyHistogram LatencyHistogram::delta_since(
+    const LatencyHistogram& earlier) const {
+  LatencyHistogram out(exact_cap_);
+  if (earlier.total_count_ > total_count_) return out;  // not a prefix
+  for (int b = 0; b < kBuckets; ++b) {
+    out.counts_[static_cast<size_t>(b)] =
+        counts_[static_cast<size_t>(b)] -
+        earlier.counts_[static_cast<size_t>(b)];
+  }
+  out.total_count_ = total_count_ - earlier.total_count_;
+  out.sum_us_ = sum_us_ - earlier.sum_us_;
+  if (out.total_count_ == 0) return LatencyHistogram(exact_cap_);
+  if (exact_ && earlier.exact_) {
+    // record() appends raw samples in arrival order, so the snapshot's
+    // samples are a prefix and the window's samples are exactly the suffix.
+    out.raw_.assign(raw_.begin() +
+                        static_cast<ptrdiff_t>(earlier.total_count_),
+                    raw_.end());
+    out.min_ = Duration::max();
+    out.max_ = Duration::zero();
+    for (const int64_t us : out.raw_) {
+      if (Duration(us) < out.min_) out.min_ = Duration(us);
+      if (Duration(us) > out.max_) out.max_ = Duration(us);
+    }
+  } else {
+    // Bucket resolution only: the window's true min/max are unknowable, so
+    // keep the full-run envelope for percentile clamping.
+    out.exact_ = false;
+    out.min_ = total_count_ ? min_ : Duration::zero();
+    out.max_ = max_;
+  }
+  return out;
 }
 
 void LatencyHistogram::reset() {

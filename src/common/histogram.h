@@ -19,6 +19,14 @@ namespace wiera {
 class LatencyHistogram {
  public:
   LatencyHistogram() { counts_.fill(0); }
+  // Override the exact-sample retention cap. The default keeps small-n
+  // percentiles exact and flips to the bucketed approximation past
+  // kExactSamples; an analysis-side consumer (e.g. the SLO oracle's
+  // windowed p99 comparison) can pass a cap larger than any realistic
+  // sample count to stay exact nearest-rank throughout.
+  explicit LatencyHistogram(int64_t exact_cap) : exact_cap_(exact_cap) {
+    counts_.fill(0);
+  }
 
   void record(Duration d);
 
@@ -44,6 +52,16 @@ class LatencyHistogram {
   Duration p99() const { return percentile(0.99); }
 
   void merge(const LatencyHistogram& other);
+  // The recordings made since `earlier` was copied from this same
+  // instrument (a windowed delta of a cumulative histogram): bucket counts,
+  // count and sum subtract. While both sides are still exact, `earlier`'s
+  // raw samples are a prefix of ours (record() only appends), so the delta
+  // keeps the exact suffix and its percentiles are exact nearest-rank over
+  // just the window; after the bucketed flip the delta is bucket-resolution
+  // with min/max clamped to the full-run envelope. Returns an empty
+  // histogram if `earlier` is not a plausible prefix (more recordings than
+  // this).
+  LatencyHistogram delta_since(const LatencyHistogram& earlier) const;
   void reset();
 
   // e.g. "n=1000 mean=12.3ms p50=10ms p95=40ms p99=80ms max=120ms"
@@ -61,6 +79,7 @@ class LatencyHistogram {
   std::array<int64_t, kBuckets> counts_{};
   int64_t total_count_ = 0;
   int64_t sum_us_ = 0;
+  int64_t exact_cap_ = kExactSamples;
   Duration min_ = Duration::max();
   Duration max_ = Duration::zero();
   bool exact_ = true;

@@ -1,0 +1,147 @@
+#include "obs/alerts.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace wiera::obs {
+
+namespace {
+
+const char* kind_name(AlertRule::Kind k) {
+  switch (k) {
+    case AlertRule::Kind::kBurnRate: return "burn-rate";
+    case AlertRule::Kind::kValueAbove: return "value-above";
+    case AlertRule::Kind::kStall: return "stall";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string AlertRule::describe() const {
+  return str_format("%s[%s] guards=%s series=%s%s%s budget=%g threshold=%g "
+                    "windows=%lldus/%lldus",
+                    name.c_str(), kind_name(kind), clause.c_str(),
+                    series.c_str(), denominator.empty() ? "" : " over ",
+                    denominator.c_str(), budget, burn_threshold,
+                    static_cast<long long>(long_window.us()),
+                    static_cast<long long>(short_window.us()));
+}
+
+void AlertRules::add(AlertRule rule) {
+  rules_.push_back({std::move(rule), false});
+}
+
+double AlertRules::window_burn(const AlertRule& rule, const Sampler& sampler,
+                               Duration window, TimePoint now, bool* ready) {
+  *ready = false;
+  const TimeSeries* ts = sampler.series(rule.series);
+  if (ts == nullptr || !ts->covers(window, now)) return 0.0;
+  switch (rule.kind) {
+    case AlertRule::Kind::kBurnRate: {
+      const TimeSeries* den = sampler.series(rule.denominator);
+      if (den == nullptr || !den->covers(window, now)) return 0.0;
+      if (ts->samples_in(window, now) < 2 ||
+          den->samples_in(window, now) < 2) {
+        return 0.0;
+      }
+      *ready = true;
+      const double total = den->delta_over(window, now);
+      if (total <= 0.0) return 0.0;
+      const double bad = std::max(0.0, ts->delta_over(window, now));
+      const double fraction = bad / total;
+      if (rule.budget <= 0.0) return fraction > 0.0 ? 1e9 : 0.0;
+      return fraction / rule.budget;
+    }
+    case AlertRule::Kind::kValueAbove: {
+      if (ts->samples_in(window, now) < 1) return 0.0;
+      *ready = true;
+      const double value = ts->mean_over(window, now);
+      if (rule.budget <= 0.0) return value > 0.0 ? 1e9 : 0.0;
+      return value / rule.budget;
+    }
+    case AlertRule::Kind::kStall: {
+      if (ts->samples_in(window, now) < 2) return 0.0;
+      *ready = true;
+      // Burn is binary for a stall: 1 when the progress counter made no
+      // progress across the window, 0 otherwise.
+      return ts->delta_over(window, now) <= 0.0 ? 1.0 : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+void AlertRules::evaluate(const Sampler& sampler, TimePoint now) {
+  evaluations_++;
+  for (RuleState& state : rules_) {
+    const AlertRule& rule = state.rule;
+    bool long_ready = false;
+    bool short_ready = false;
+    const double long_burn =
+        window_burn(rule, sampler, rule.long_window, now, &long_ready);
+    const double short_burn =
+        window_burn(rule, sampler, rule.short_window, now, &short_ready);
+    const double trigger =
+        rule.kind == AlertRule::Kind::kStall ? 1.0 : rule.burn_threshold;
+    const bool breach = long_ready && short_ready && long_burn >= trigger &&
+                        short_burn >= trigger;
+    if (breach && !state.active) {
+      AlertFiring firing;
+      firing.rule = rule.name;
+      firing.clause = rule.clause;
+      firing.at = now;
+      firing.long_burn = long_burn;
+      firing.short_burn = short_burn;
+      firing.message = str_format(
+          "%s burning at %.2fx/%.2fx (long/short) of budget %g on %s",
+          rule.name.c_str(), long_burn, short_burn, rule.budget,
+          rule.series.c_str());
+      firings_.push_back(std::move(firing));
+    }
+    state.active = breach;
+  }
+}
+
+bool AlertRules::fired(const std::string& clause) const {
+  for (const AlertFiring& f : firings_) {
+    if (f.clause == clause) return true;
+  }
+  return false;
+}
+
+TimePoint AlertRules::first_firing(const std::string& clause) const {
+  for (const AlertFiring& f : firings_) {
+    if (f.clause == clause) return f.at;  // firings_ is in time order
+  }
+  return TimePoint::max();
+}
+
+std::string AlertRules::render_text() const {
+  std::string out;
+  for (const AlertFiring& f : firings_) {
+    out += str_format("ALERT %s clause=%s at=%lldus long=%.2fx short=%.2fx\n",
+                      f.rule.c_str(), f.clause.c_str(),
+                      static_cast<long long>(f.at.us()), f.long_burn,
+                      f.short_burn);
+  }
+  return out;
+}
+
+std::string AlertRules::render_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const AlertFiring& f : firings_) {
+    if (!first) out += ",";
+    first = false;
+    out += str_format(
+        "{\"rule\":\"%s\",\"clause\":\"%s\",\"at_us\":%lld,"
+        "\"long_burn\":%g,\"short_burn\":%g}",
+        json_escape(f.rule).c_str(), json_escape(f.clause).c_str(),
+        static_cast<long long>(f.at.us()), f.long_burn, f.short_burn);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace wiera::obs

@@ -1,0 +1,100 @@
+// SLO burn-rate alerting over sampled time series
+// (docs/METRICS_PIPELINE.md).
+//
+// Rules follow the SRE multi-window burn-rate recipe: a rule fires only when
+// its condition holds over BOTH a long and a short window — the long window
+// proves the budget is really burning (not one blip), the short window
+// proves it is burning *now* (the alert clears quickly once the cause
+// stops). Three rule kinds cover the SLO clauses scenario contracts check:
+//
+//   kBurnRate   bad-counter delta / total-counter delta, divided by the
+//               budget fraction: burn >= threshold on both windows fires
+//               (guards shed-fraction style clauses).
+//   kValueAbove sampled value (e.g. a histogram's #p99_us series) whose
+//               window mean exceeds budget * threshold on both windows
+//               (guards latency-bound clauses).
+//   kStall      a progress counter that stops increasing across both fully
+//               covered windows (guards availability-gap clauses).
+//
+// evaluate() is called after each scrape by the sim-layer driver; it reads
+// ring buffers and appends firings — pure memory, nothing scheduled. Each
+// rule fires once per breach episode (edge-triggered) and re-arms when the
+// condition clears. Firings carry the guarded SLO clause name so
+// sim::SloOracle can check "detection preceded violation".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/sampler.h"
+
+namespace wiera::obs {
+
+struct AlertRule {
+  enum class Kind { kBurnRate, kValueAbove, kStall };
+
+  std::string name;    // e.g. "shed-burn"
+  std::string clause;  // SLO contract clause this rule guards
+  Kind kind = Kind::kBurnRate;
+  // Sampler series ids. `series` is the bad/progress/value series;
+  // `denominator` the total-ops counter (kBurnRate only).
+  std::string series;
+  std::string denominator;
+  // kBurnRate: the SLO's allowed bad fraction. kValueAbove: the bound on
+  // the sampled value. Unused by kStall.
+  double budget = 0.01;
+  // Fire at burn >= threshold (burn = fraction/budget or value/budget).
+  double burn_threshold = 1.0;
+  Duration long_window = sec(4);
+  Duration short_window = sec(1);
+
+  std::string describe() const;
+};
+
+struct AlertFiring {
+  std::string rule;
+  std::string clause;
+  TimePoint at;
+  double long_burn = 0.0;
+  double short_burn = 0.0;
+  std::string message;
+};
+
+class AlertRules {
+ public:
+  void add(AlertRule rule);
+  size_t rule_count() const { return rules_.size(); }
+
+  // Evaluate every rule against the sampler's series at virtual time `now`
+  // (deterministic: rules in add order). Call after each scrape.
+  void evaluate(const Sampler& sampler, TimePoint now);
+
+  const std::vector<AlertFiring>& firings() const { return firings_; }
+  int64_t evaluations() const { return evaluations_; }
+  bool fired(const std::string& clause) const;
+  // Earliest firing guarding `clause`; TimePoint::max() when none.
+  TimePoint first_firing(const std::string& clause) const;
+
+  // One "ALERT ..." line per firing, in firing order.
+  std::string render_text() const;
+  std::string render_json() const;
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    bool active = false;  // currently breaching (edge-trigger latch)
+  };
+
+  // Burn of one window; sets *ready when the series data suffices to judge
+  // the window (coverage + enough samples).
+  static double window_burn(const AlertRule& rule, const Sampler& sampler,
+                            Duration window, TimePoint now, bool* ready);
+
+  std::vector<RuleState> rules_;
+  std::vector<AlertFiring> firings_;
+  int64_t evaluations_ = 0;
+};
+
+}  // namespace wiera::obs

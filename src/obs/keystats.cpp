@@ -1,0 +1,153 @@
+#include "obs/keystats.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace wiera::obs {
+
+void KeyStats::bind(Registry* registry, std::string instance) {
+  registry_ = registry;
+  instance_ = std::move(instance);
+}
+
+void KeyStats::rotate(TimePoint now) {
+  const Duration window = config_.window;
+  if (window <= Duration::zero()) return;
+  if (now < epoch_start_ + window) return;
+  // Jump epoch_start_ forward in whole windows (aligned, so two runs that
+  // touch the sketch at different moments inside the same epoch agree).
+  const int64_t elapsed = (now - epoch_start_).us();
+  const int64_t steps = elapsed / window.us();
+  if (steps == 1) {
+    keys_prev_ = std::move(keys_cur_);
+    tenants_prev_ = std::move(tenants_cur_);
+  } else {
+    // Skipped at least one full epoch: nothing recent survives.
+    keys_prev_.clear();
+    tenants_prev_.clear();
+  }
+  keys_cur_.clear();
+  tenants_cur_.clear();
+  epoch_start_ = epoch_start_ + Duration(window.us() * steps);
+}
+
+void KeyStats::sketch_record(Sketch& sketch, const std::string& id,
+                             size_t cap) {
+  auto it = sketch.find(id);
+  if (it != sketch.end()) {
+    it->second.count++;
+    return;
+  }
+  if (sketch.size() < cap) {
+    sketch.emplace(id, Slot{1, 0});
+    return;
+  }
+  // Evict the minimum-count entry (first in map order on ties — a
+  // deterministic choice) and inherit its count as the overestimate.
+  auto min_it = sketch.begin();
+  for (auto cand = sketch.begin(); cand != sketch.end(); ++cand) {
+    if (cand->second.count < min_it->second.count) min_it = cand;
+  }
+  const int64_t floor = min_it->second.count;
+  sketch.erase(min_it);
+  sketch.emplace(id, Slot{floor + 1, floor});
+}
+
+void KeyStats::record_access(const std::string& key, const std::string& tenant,
+                             TimePoint now, bool is_put) {
+  if (!config_.enabled) return;
+  if (total_ == 0) {
+    epoch_start_ = now;
+    if (registry_ != nullptr) {
+      accesses_ = registry_->counter("wiera_keystats_accesses_total",
+                                     {{"instance", instance_}});
+      tracked_keys_ = registry_->gauge("wiera_keystats_tracked_keys",
+                                       {{"instance", instance_}});
+      hot_key_rate_ = registry_->gauge("wiera_keystats_hot_key_rate",
+                                       {{"instance", instance_}});
+    }
+  }
+  rotate(now);
+  sketch_record(keys_cur_, key, config_.top_k);
+  sketch_record(tenants_cur_, tenant, config_.top_k);
+  total_++;
+  if (is_put) puts_++;
+  if (accesses_ != nullptr) {
+    accesses_->inc();
+    tracked_keys_->set(static_cast<double>(keys_cur_.size()));
+    const std::vector<Entry> top = top_keys(1, now);
+    hot_key_rate_->set(top.empty() ? 0.0 : top[0].rate_per_sec);
+  }
+}
+
+std::vector<KeyStats::Entry> KeyStats::merged_top(const Sketch& cur,
+                                                  const Sketch& prev,
+                                                  size_t n,
+                                                  TimePoint now) const {
+  // Window the rate covers: from the previous epoch's start (when one is
+  // retained) to now. Guard against a zero span right at the first access.
+  TimePoint span_start = epoch_start_;
+  if (!prev.empty()) span_start = epoch_start_ - config_.window;
+  const double span_sec =
+      std::max((now - span_start).seconds(), 1e-6);
+
+  std::map<std::string, Slot> merged = cur;
+  for (const auto& [id, slot] : prev) {
+    auto& m = merged[id];
+    m.count += slot.count;
+    m.overestimate += slot.overestimate;
+  }
+  std::vector<Entry> out;
+  out.reserve(merged.size());
+  for (const auto& [id, slot] : merged) {
+    out.push_back({id, slot.count, slot.overestimate,
+                   static_cast<double>(slot.count) / span_sec});
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.id < b.id;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::vector<KeyStats::Entry> KeyStats::top_keys(size_t n,
+                                                TimePoint now) const {
+  return merged_top(keys_cur_, keys_prev_, n, now);
+}
+
+std::vector<KeyStats::Entry> KeyStats::top_tenants(size_t n,
+                                                   TimePoint now) const {
+  return merged_top(tenants_cur_, tenants_prev_, n, now);
+}
+
+std::string KeyStats::render_json(TimePoint now) const {
+  const auto render_entries = [](const std::vector<Entry>& entries) {
+    std::string out = "[";
+    bool first = true;
+    for (const Entry& e : entries) {
+      if (!first) out += ",";
+      first = false;
+      out += str_format("{\"id\":\"%s\",\"count\":%lld,\"overestimate\":%lld,"
+                        "\"rate_per_sec\":%g}",
+                        json_escape(e.id).c_str(),
+                        static_cast<long long>(e.count),
+                        static_cast<long long>(e.overestimate),
+                        e.rate_per_sec);
+    }
+    out += "]";
+    return out;
+  };
+  std::string out = str_format(
+      "{\"window_us\":%lld,\"total\":%lld,\"puts\":%lld,\"keys\":",
+      static_cast<long long>(config_.window.us()),
+      static_cast<long long>(total_), static_cast<long long>(puts_));
+  out += render_entries(top_keys(config_.top_k, now));
+  out += ",\"tenants\":";
+  out += render_entries(top_tenants(config_.top_k, now));
+  out += "}";
+  return out;
+}
+
+}  // namespace wiera::obs

@@ -1,0 +1,106 @@
+// Hot-key / workload analytics: a space-saving top-K sketch per peer
+// (docs/METRICS_PIPELINE.md).
+//
+// Metwally's space-saving algorithm tracks the K most frequent ids in a
+// stream with bounded memory and a per-entry overestimate bound: an untracked
+// id evicts the current minimum and inherits its count as `overestimate`, so
+// `count - overestimate` is a guaranteed lower bound on the id's true
+// frequency. Two sketches run side by side — one over keys, one over tenants
+// (the requesting client id) — and both rotate on a sliding window of two
+// epochs aligned to the virtual clock, so top_keys() reports recent access
+// rates rather than lifetime totals. That windowed skew signal is what
+// Anna-style hot-key promotion and the placement planner consume
+// (ROADMAP items 1 and 3).
+//
+// Default-off: a disabled KeyStats records nothing and registers no metrics,
+// leaving registry dumps and bench figures byte-identical. Everything is
+// driven by caller-supplied virtual timestamps — no wall clock, no
+// scheduling — so an enabled sketch is still deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/metrics.h"
+
+namespace wiera::obs {
+
+class KeyStats {
+ public:
+  struct Config {
+    bool enabled = false;
+    // Tracked ids per sketch (keys and tenants each get their own budget).
+    size_t top_k = 32;
+    // Sliding-window epoch length; rates cover the current + previous epoch.
+    Duration window = sec(5);
+  };
+
+  struct Entry {
+    std::string id;
+    int64_t count = 0;         // observed occurrences (upper bound)
+    int64_t overestimate = 0;  // count - overestimate lower-bounds the truth
+    double rate_per_sec = 0.0;
+  };
+
+  KeyStats() = default;
+  explicit KeyStats(Config config) : config_(config) {}
+
+  void configure(Config config) { config_ = config; }
+  bool enabled() const { return config_.enabled; }
+  const Config& config() const { return config_; }
+
+  // Attach registry exposure: wiera_keystats_* instruments labeled
+  // {instance=...}, created lazily on the first recorded access so a bound
+  // but never-exercised (or disabled) KeyStats adds no series.
+  void bind(Registry* registry, std::string instance);
+
+  // Record one access of `key` by `tenant` at virtual time `now`.
+  // No-op while disabled.
+  void record_access(const std::string& key, const std::string& tenant,
+                     TimePoint now, bool is_put);
+
+  int64_t total_accesses() const { return total_; }
+  int64_t put_accesses() const { return puts_; }
+
+  // Top-n entries by windowed count (current + previous epoch), count then
+  // id as tie-break — a deterministic order for dumps and tests.
+  std::vector<Entry> top_keys(size_t n, TimePoint now) const;
+  std::vector<Entry> top_tenants(size_t n, TimePoint now) const;
+
+  // {"window_us":...,"total":N,"keys":[{"id":..,"count":..,...}],
+  //  "tenants":[...]} — the snapshot-dump shape.
+  std::string render_json(TimePoint now) const;
+
+ private:
+  struct Slot {
+    int64_t count = 0;
+    int64_t overestimate = 0;
+  };
+  // One space-saving sketch: map keeps iteration (and min tie-break)
+  // deterministic.
+  using Sketch = std::map<std::string, Slot>;
+
+  void rotate(TimePoint now);
+  static void sketch_record(Sketch& sketch, const std::string& id,
+                            size_t cap);
+  std::vector<Entry> merged_top(const Sketch& cur, const Sketch& prev,
+                                size_t n, TimePoint now) const;
+
+  Config config_;
+  Registry* registry_ = nullptr;
+  std::string instance_;
+  Counter* accesses_ = nullptr;
+  Gauge* tracked_keys_ = nullptr;
+  Gauge* hot_key_rate_ = nullptr;
+
+  TimePoint epoch_start_;
+  Sketch keys_cur_, keys_prev_;
+  Sketch tenants_cur_, tenants_prev_;
+  int64_t total_ = 0;
+  int64_t puts_ = 0;
+};
+
+}  // namespace wiera::obs

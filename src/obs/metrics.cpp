@@ -63,6 +63,30 @@ const Histogram* Registry::find_histogram(const std::string& name,
   return it == fam->second.series.end() ? nullptr : it->second.get();
 }
 
+void Registry::for_each_counter(
+    const std::function<void(const std::string&, const std::string&,
+                             const Counter&)>& fn) const {
+  for (const auto& [name, fam] : counters_) {
+    for (const auto& [labels, c] : fam.series) fn(name, labels, *c);
+  }
+}
+
+void Registry::for_each_gauge(
+    const std::function<void(const std::string&, const std::string&,
+                             const Gauge&)>& fn) const {
+  for (const auto& [name, fam] : gauges_) {
+    for (const auto& [labels, g] : fam.series) fn(name, labels, *g);
+  }
+}
+
+void Registry::for_each_histogram(
+    const std::function<void(const std::string&, const std::string&,
+                             const Histogram&)>& fn) const {
+  for (const auto& [name, fam] : histograms_) {
+    for (const auto& [labels, h] : fam.series) fn(name, labels, *h);
+  }
+}
+
 std::string Registry::render_text() const {
   std::string out;
   for (const auto& [name, fam] : counters_) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -64,6 +65,15 @@ class Histogram {
   Duration percentile(double q) const { return hist_.percentile(q); }
   const LatencyHistogram& latency() const { return hist_; }
 
+  // Windowed-delta support (docs/METRICS_PIPELINE.md): copy the cumulative
+  // state at a window boundary, then diff against a later state to get a
+  // histogram of just the recordings in between — exact nearest-rank
+  // percentiles while the instrument is still in its exact regime.
+  LatencyHistogram snapshot() const { return hist_; }
+  LatencyHistogram diff(const LatencyHistogram& earlier) const {
+    return hist_.delta_since(earlier);
+  }
+
  private:
   LatencyHistogram hist_;
 };
@@ -87,6 +97,22 @@ class Registry {
   int64_t counter_sum(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name,
                                   const LabelSet& labels = {}) const;
+
+  // Deterministic read-only visitation (families sorted by name, series by
+  // label string) — the obs::Sampler's scrape surface. The label argument is
+  // the rendered label string ('{k="v"}' or "").
+  void for_each_counter(
+      const std::function<void(const std::string& name,
+                               const std::string& labels, const Counter&)>& fn)
+      const;
+  void for_each_gauge(
+      const std::function<void(const std::string& name,
+                               const std::string& labels, const Gauge&)>& fn)
+      const;
+  void for_each_histogram(
+      const std::function<void(const std::string& name,
+                               const std::string& labels, const Histogram&)>&
+          fn) const;
 
   // Prometheus-style text exposition: families sorted by name, series by
   // label string. Histograms render count/sum plus p50/p95/p99 gauge lines

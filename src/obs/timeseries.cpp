@@ -1,0 +1,109 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace wiera::obs {
+
+TimeSeries::TimeSeries(size_t capacity) {
+  buf_.resize(std::max<size_t>(capacity, 2));
+}
+
+void TimeSeries::record(TimePoint t, double value) {
+  const size_t slot = (head_ + size_) % buf_.size();
+  buf_[slot] = Sample{t, value};
+  if (size_ < buf_.size()) {
+    size_++;
+  } else {
+    head_ = (head_ + 1) % buf_.size();
+    dropped_++;
+  }
+}
+
+const TimeSeries::Sample& TimeSeries::at(size_t i) const {
+  return buf_[(head_ + i) % buf_.size()];
+}
+
+size_t TimeSeries::lower_bound(TimePoint t) const {
+  // Samples are time-ordered, so binary search over logical indices.
+  size_t lo = 0;
+  size_t hi = size_;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (at(mid).time < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double TimeSeries::delta_over(Duration window, TimePoint now) const {
+  const size_t first = lower_bound(now - window);
+  if (size_ - first < 2) return 0.0;
+  return at(size_ - 1).value - at(first).value;
+}
+
+double TimeSeries::rate_over(Duration window, TimePoint now) const {
+  const size_t first = lower_bound(now - window);
+  if (size_ - first < 2) return 0.0;
+  const Duration span = at(size_ - 1).time - at(first).time;
+  if (span <= Duration::zero()) return 0.0;
+  return (at(size_ - 1).value - at(first).value) / span.seconds();
+}
+
+double TimeSeries::percentile_over(Duration window, TimePoint now,
+                                   double q) const {
+  const size_t first = lower_bound(now - window);
+  if (first >= size_) return 0.0;
+  std::vector<double> values;
+  values.reserve(size_ - first);
+  for (size_t i = first; i < size_; ++i) values.push_back(at(i).value);
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank, matching LatencyHistogram's exact path.
+  const auto rank = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil(q * static_cast<double>(values.size()))));
+  return values[static_cast<size_t>(rank - 1)];
+}
+
+double TimeSeries::max_over(Duration window, TimePoint now) const {
+  const size_t first = lower_bound(now - window);
+  double best = 0.0;
+  for (size_t i = first; i < size_; ++i) best = std::max(best, at(i).value);
+  return best;
+}
+
+double TimeSeries::mean_over(Duration window, TimePoint now) const {
+  const size_t first = lower_bound(now - window);
+  if (first >= size_) return 0.0;
+  double sum = 0.0;
+  for (size_t i = first; i < size_; ++i) sum += at(i).value;
+  return sum / static_cast<double>(size_ - first);
+}
+
+size_t TimeSeries::samples_in(Duration window, TimePoint now) const {
+  return size_ - lower_bound(now - window);
+}
+
+bool TimeSeries::covers(Duration window, TimePoint now) const {
+  return size_ > 0 && at(0).time <= now - window;
+}
+
+std::string TimeSeries::render_json() const {
+  std::string out = str_format("{\"n\":%zu,\"dropped\":%lld,\"samples\":[",
+                               size_, static_cast<long long>(dropped_));
+  for (size_t i = 0; i < size_; ++i) {
+    if (i > 0) out += ",";
+    out += str_format("[%lld,%g]", static_cast<long long>(at(i).time.us()),
+                      at(i).value);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace wiera::obs

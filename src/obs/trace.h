@@ -74,6 +74,11 @@ class Tracer {
 
   int64_t dropped() const { return dropped_; }
   size_t span_count() const { return spans_.size(); }
+  // Deterministic oldest-to-newest visitation of every retained span — the
+  // attribution reporter's scan surface for worst-span selection.
+  void for_each_span(const std::function<void(const Span&)>& fn) const {
+    for (const Span& s : spans_) fn(s);
+  }
   const Span* find_span(uint64_t span_id) const;
   // All retained spans of one trace, in creation order.
   std::vector<const Span*> trace_spans(uint64_t trace_id) const;

@@ -1,0 +1,103 @@
+// Failure attribution: correlate an SLO/oracle failure with everything else
+// the run recorded (docs/METRICS_PIPELINE.md).
+//
+// When a clause trips, the evidence is scattered: the violation text names a
+// symptom, the fault injector knows what it broke and when, the scenario
+// engine knows what load it shaped, KeyStats knows which keys were hot, the
+// tracer holds the slow spans and the sampler the time-series shape of the
+// window. An AttributionReport gathers all of it into one timeline block —
+// the `ATTRIBUTION-REPORT` marker chaos_test/scenario_test print on failure
+// and the sweep scripts upload — so a failing seed's artifact answers
+// "which injected fault event overlapped the violating window, which
+// keys/tenants were affected, and where did the time go?" without replaying
+// anything.
+//
+// Pure rendering over caller-supplied state; nothing here touches the
+// simulation or the schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/alerts.h"
+#include "obs/keystats.h"
+#include "obs/trace.h"
+#include "sim/faults.h"
+#include "sim/slo.h"
+
+namespace wiera::sim {
+
+class AttributionReport {
+ public:
+  // suite: "scenario" | "chaos"; name: scenario or plan name.
+  void set_context(std::string suite, std::string name, uint64_t seed,
+                   uint64_t trace_hash);
+  // The violating window faults/spans are correlated against (typically the
+  // scenario window). Without one, the span of the violations' evidence
+  // times is used.
+  void set_window(TimePoint start, TimePoint end);
+
+  void add_violation(const SloViolation& v);
+  void add_violations(const std::vector<SloViolation>& vs);
+  // Free-form violation from suites without an SloOracle (the consistency
+  // oracle's line, a gtest expectation).
+  void add_violation(std::string check, std::string message, TimePoint at,
+                     uint64_t trace_id = 0);
+
+  void set_fault_timeline(const std::vector<FaultEvent>& timeline);
+  void set_scenario_timeline(
+      const std::vector<std::pair<TimePoint, std::string>>& timeline);
+  void set_alerts(const obs::AlertRules& alerts);
+  // Snapshot one instance's hot keys/tenants as of `now`.
+  void add_key_stats(const std::string& instance, const obs::KeyStats& stats,
+                     TimePoint now);
+  // Pick the worst spans overlapping the window: error-status spans first,
+  // then longest, capped at `keep`.
+  void set_tracer(const obs::Tracer& tracer, size_t keep = 5);
+
+  bool empty() const { return violations_.empty(); }
+
+  // Multi-line block bracketed by "ATTRIBUTION-REPORT ..." and
+  // "END-ATTRIBUTION-REPORT".
+  std::string render_text() const;
+  // The same content as one JSON object (sweep artifacts).
+  std::string render_json() const;
+
+ private:
+  struct HotEntry {
+    std::string instance;
+    obs::KeyStats::Entry entry;
+    bool is_tenant = false;
+  };
+  struct WorstSpan {
+    std::string name;
+    std::string host;
+    std::string status;
+    uint64_t trace_id = 0;
+    TimePoint start;
+    Duration duration;
+  };
+
+  std::pair<TimePoint, TimePoint> effective_window() const;
+  // Faults whose [at, until] window intersects the violating window.
+  std::vector<const FaultEvent*> overlapping_faults() const;
+
+  std::string suite_;
+  std::string name_;
+  uint64_t seed_ = 0;
+  uint64_t trace_hash_ = 0;
+  bool has_window_ = false;
+  TimePoint window_start_;
+  TimePoint window_end_;
+  std::vector<SloViolation> violations_;
+  std::vector<FaultEvent> faults_;
+  std::vector<std::pair<TimePoint, std::string>> scenario_events_;
+  std::vector<obs::AlertFiring> alerts_;
+  std::vector<HotEntry> hot_;
+  std::vector<WorstSpan> worst_spans_;
+};
+
+}  // namespace wiera::sim

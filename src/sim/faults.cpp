@@ -378,6 +378,14 @@ std::string FaultPlan::describe() const {
   return out;
 }
 
+std::string FaultInjector::render_timeline() const {
+  std::string out;
+  for (const FaultEvent& e : timeline_) {
+    out += "  " + std::to_string(e.at.us()) + "us " + e.describe() + "\n";
+  }
+  return out;
+}
+
 void FaultInjector::arm(FaultPlan plan) {
   std::vector<FaultEvent> events = plan.events();
   // Stable sort: events at the same instant apply in insertion order.
@@ -401,6 +409,7 @@ void FaultInjector::apply(const FaultEvent& e) {
   sim_->checker().fold_trace(e.hash());
   WLOG_INFO("chaos") << "applying fault: " << e.describe();
   events_applied_++;
+  timeline_.push_back(e);
   switch (e.kind) {
     case FaultEvent::Kind::kCrash: surface_->on_node_crash(e); break;
     case FaultEvent::Kind::kRestart: surface_->on_node_restart(e); break;

@@ -216,6 +216,13 @@ class FaultInjector {
 
   int64_t events_applied() const { return events_applied_; }
 
+  // Applied events in apply order — the fault timeline an attribution
+  // report (sim/attribution.h) correlates an SLO-violating window against.
+  // Symmetric with ScenarioEngine::timeline(), but keeps the full typed
+  // event so overlap checks can use [at, until) windows.
+  const std::vector<FaultEvent>& timeline() const { return timeline_; }
+  std::string render_timeline() const;
+
  private:
   Task<void> drive(std::vector<FaultEvent> events);
   void apply(const FaultEvent& e);
@@ -223,6 +230,7 @@ class FaultInjector {
   Simulation* sim_;
   FaultSurface* surface_;
   int64_t events_applied_ = 0;
+  std::vector<FaultEvent> timeline_;
 };
 
 }  // namespace wiera::sim

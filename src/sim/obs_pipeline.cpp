@@ -1,0 +1,25 @@
+#include "sim/obs_pipeline.h"
+
+namespace wiera::sim {
+
+void ObsPipeline::arm(Config config) {
+  sampler_ = std::make_unique<obs::Sampler>(
+      obs::Sampler::Config{config.keep});
+  sim_->spawn(drive(config), "obs.pipeline");
+}
+
+Task<void> ObsPipeline::drive(Config config) {
+  while (sim_->now() + config.interval <= config.until) {
+    co_await sim_->delay(config.interval);
+    sampler_->scrape(sim_->telemetry().registry(), sim_->now());
+    alerts_.evaluate(*sampler_, sim_->now());
+  }
+}
+
+void ObsPipeline::feed(SloOracle& oracle) const {
+  for (const obs::AlertFiring& f : alerts_.firings()) {
+    oracle.record_alert(f.clause, f.at);
+  }
+}
+
+}  // namespace wiera::sim

@@ -1,0 +1,66 @@
+// Sim-time driver of the obs metrics pipeline (docs/METRICS_PIPELINE.md).
+//
+// The obs layer owns the pure machinery — Sampler ring buffers and AlertRules
+// burn-rate evaluation — but cannot touch the simulation (sim links against
+// obs, not the other way around). This driver closes the loop: arm() spawns a
+// coroutine that scrapes the sim's Registry into the Sampler on a fixed
+// virtual-time interval and evaluates the alert rules after every scrape.
+//
+// Default-off contract: an ObsPipeline that is never armed spawns no task and
+// schedules nothing, so default runs keep byte-identical determinism trace
+// hashes. An armed pipeline adds timer events to the schedule (its hash
+// legitimately differs from an unarmed run's) but is itself fully
+// deterministic per seed, and scraping never feeds back into cluster
+// behavior — it only reads the registry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "obs/alerts.h"
+#include "obs/sampler.h"
+#include "sim/simulation.h"
+#include "sim/slo.h"
+#include "sim/task.h"
+
+namespace wiera::sim {
+
+class ObsPipeline {
+ public:
+  struct Config {
+    // Virtual-time scrape interval.
+    Duration interval = msec(10);
+    // Stop scraping at this virtual time; the driver task exits. Keep this
+    // at or before the run horizon so a run-to-quiescence is not extended.
+    TimePoint until = TimePoint::origin() + sec(40);
+    // Ring capacity per series.
+    size_t keep = 512;
+  };
+
+  explicit ObsPipeline(Simulation& sim) : sim_(&sim) {}
+
+  // Register a burn-rate rule (before or after arm()).
+  void add_rule(obs::AlertRule rule) { alerts_.add(std::move(rule)); }
+
+  // Spawn the scrape task. Call at most once.
+  void arm(Config config);
+  bool armed() const { return sampler_ != nullptr; }
+
+  // nullptr until armed.
+  const obs::Sampler* sampler() const { return sampler_.get(); }
+  obs::AlertRules& alerts() { return alerts_; }
+  const obs::AlertRules& alerts() const { return alerts_; }
+
+  // Replay every alert firing into the oracle so its contract can check
+  // "detection preceded violation".
+  void feed(SloOracle& oracle) const;
+
+ private:
+  Task<void> drive(Config config);
+
+  Simulation* sim_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  obs::AlertRules alerts_;
+};
+
+}  // namespace wiera::sim

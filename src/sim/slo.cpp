@@ -42,7 +42,19 @@ std::string SloContract::describe() const {
     out += " get_p99_inflation<=" + std::to_string(max_get_p99_inflation) +
            "x";
   }
+  if (require_detection) {
+    out += " detection-required[";
+    for (size_t i = 0; i < guarded_clauses.size(); ++i) {
+      if (i > 0) out += ",";
+      out += guarded_clauses[i];
+    }
+    out += "]";
+  }
   return out;
+}
+
+void SloOracle::record_alert(const std::string& clause, TimePoint at) {
+  alerts_.emplace_back(clause, at);
 }
 
 void SloOracle::set_window(TimePoint start, TimePoint end) {
@@ -110,7 +122,7 @@ std::vector<SloViolation> SloOracle::check(
                          op.client + " on " + op.key + " failed with " +
                          std::string(status_code_name(op.code)) + " at " +
                          time_str(op.end),
-                     op.trace_id});
+                     op.trace_id, op.end});
       break;  // first failure is evidence enough; counters carry the total
     }
   }
@@ -134,7 +146,7 @@ std::vector<SloViolation> SloOracle::check(
                          std::to_string(in_window) + " in-window ops (" +
                          std::to_string(fraction) + " > " +
                          std::to_string(contract.max_shed_fraction) + ")",
-                     0});
+                     0, window_end_});
     }
   }
 
@@ -153,7 +165,7 @@ std::vector<SloViolation> SloOracle::check(
                            "} p99=" + std::to_string(p99.us()) + "us > " +
                            std::to_string(bound.us()) + "us over " +
                            std::to_string(hist->count()) + " ops",
-                       0});
+                       0, has_window_ ? window_end_ : TimePoint()});
       }
     }
   };
@@ -167,7 +179,7 @@ std::vector<SloViolation> SloOracle::check(
       if (seen > 0) {
         out.push_back({"no-corrupt-reads",
                        std::string(family) + " = " + std::to_string(seen),
-                       0});
+                       0, has_window_ ? window_end_ : TimePoint()});
       }
     }
   }
@@ -203,37 +215,34 @@ std::vector<SloViolation> SloOracle::check(
                          "us (> " +
                          std::to_string(contract.max_availability_gap.us()) +
                          "us) starting at " + time_str(worst_at),
-                     0});
+                     0, worst_at + worst});
     }
   }
 
   // ---- in-window GET p99 inflation vs the quiet baseline ----
   if (contract.max_get_p99_inflation > 0.0 && has_window_) {
-    std::vector<Duration> inside;
-    std::vector<Duration> outside;
+    // The shared exact-percentile primitive (common/histogram.h) with a cap
+    // past any realistic op count, so p99 stays exact nearest-rank —
+    // byte-identical to the hand-rolled sorted-vector version it replaced.
+    constexpr int64_t kAlwaysExact = int64_t{1} << 40;
+    LatencyHistogram inside(kAlwaysExact);
+    LatencyHistogram outside(kAlwaysExact);
     for (const OpRec& op : ops_) {
       if (op.is_put) continue;
       if (op.code != StatusCode::kOk && op.code != StatusCode::kNotFound) {
         continue;
       }
       if (op.end >= window_start_ && op.end <= window_end_) {
-        inside.push_back(op.end - op.start);
+        inside.record(op.end - op.start);
       } else {
-        outside.push_back(op.end - op.start);
+        outside.record(op.end - op.start);
       }
     }
-    const auto p99_of = [](std::vector<Duration>& v) {
-      std::sort(v.begin(), v.end());
-      // Nearest-rank p99 (ceil), matching LatencyHistogram semantics.
-      const size_t idx = (v.size() * 99 + 99) / 100 - 1;
-      return v[idx];
-    };
     const int64_t min_samples =
         std::max<int64_t>(contract.min_inflation_samples, 1);
-    if (static_cast<int64_t>(inside.size()) >= min_samples &&
-        static_cast<int64_t>(outside.size()) >= min_samples) {
-      const Duration in_p99 = p99_of(inside);
-      const Duration out_p99 = p99_of(outside);
+    if (inside.count() >= min_samples && outside.count() >= min_samples) {
+      const Duration in_p99 = inside.p99();
+      const Duration out_p99 = outside.p99();
       if (out_p99 > Duration::zero() &&
           static_cast<double>(in_p99.us()) >
               contract.max_get_p99_inflation *
@@ -241,14 +250,14 @@ std::vector<SloViolation> SloOracle::check(
         out.push_back(
             {"get-p99-inflation",
              "in-window get p99=" + std::to_string(in_p99.us()) + "us over " +
-                 std::to_string(inside.size()) + " ops vs baseline p99=" +
+                 std::to_string(inside.count()) + " ops vs baseline p99=" +
                  std::to_string(out_p99.us()) + "us over " +
-                 std::to_string(outside.size()) + " ops (" +
+                 std::to_string(outside.count()) + " ops (" +
                  std::to_string(static_cast<double>(in_p99.us()) /
                                 static_cast<double>(out_p99.us())) +
                  "x > " + std::to_string(contract.max_get_p99_inflation) +
                  "x)",
-             0});
+             0, window_end_});
       }
     }
   }
@@ -291,7 +300,7 @@ std::vector<SloViolation> SloOracle::check(
                            time_str(op.end) + " after its own write '" +
                            last->value + "' was acked at " +
                            time_str(last->end),
-                       op.trace_id});
+                       op.trace_id, op.end});
         continue;
       }
       if (op.value != last->value && is_earlier_own) {
@@ -300,9 +309,39 @@ std::vector<SloViolation> SloOracle::check(
                            "' from " + op.key + " at " + time_str(op.end) +
                            " after acking '" + last->value + "' at " +
                            time_str(last->end),
-                       op.trace_id});
+                       op.trace_id, op.end});
       }
     }
+  }
+
+  // ---- detection precedes violation ----
+  if (contract.require_detection) {
+    std::vector<SloViolation> gaps;
+    for (const SloViolation& v : out) {
+      bool guarded = false;
+      for (const std::string& clause : contract.guarded_clauses) {
+        if (clause == v.check) {
+          guarded = true;
+          break;
+        }
+      }
+      if (!guarded) continue;
+      bool detected = false;
+      for (const auto& [clause, at] : alerts_) {
+        if (clause == v.check && at < v.at) {
+          detected = true;
+          break;
+        }
+      }
+      if (detected) continue;
+      gaps.push_back({"detection-gap",
+                      "clause " + v.check + " tripped at " + time_str(v.at) +
+                          " with no earlier " + v.check +
+                          " alert firing (" + std::to_string(alerts_.size()) +
+                          " firings recorded)",
+                      0, v.at});
+    }
+    out.insert(out.end(), gaps.begin(), gaps.end());
   }
 
   return out;

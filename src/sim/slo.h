@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -59,6 +60,14 @@ struct SloContract {
   // successful GETs or the clause passes vacuously.
   double max_get_p99_inflation = 0.0;
   int min_inflation_samples = 20;
+  // Detection precedes violation (docs/METRICS_PIPELINE.md): when set,
+  // every violation of a clause named here must be preceded by a recorded
+  // burn-rate alert firing for that clause (SloOracle::record_alert,
+  // strictly earlier than the violation's evidence time) — otherwise a
+  // "detection-gap" violation is appended. An empty list with
+  // require_detection keeps the contract sparse: no clause is guarded.
+  bool require_detection = false;
+  std::vector<std::string> guarded_clauses;
 
   std::string describe() const;
 };
@@ -67,6 +76,10 @@ struct SloViolation {
   std::string check;    // which contract clause fired
   std::string message;  // human-readable evidence
   uint64_t trace_id = 0;  // offending op's distributed trace, if any
+  // Evidence time: when the clause demonstrably tripped (an offending op's
+  // completion, the availability gap's start, else the window end). The
+  // detection-precedes-violation check compares alert firings against this.
+  TimePoint at;
 };
 
 class SloOracle {
@@ -74,6 +87,13 @@ class SloOracle {
   // The scenario window availability/shed checks apply to. Ops outside the
   // window still count for no_failed_ops and session_reads.
   void set_window(TimePoint start, TimePoint end);
+
+  // Record a burn-rate alert firing that guards `clause` (obs::AlertRules
+  // firings carry the clause name). Feed these before check(): the
+  // require_detection contract clause compares their times against each
+  // violation's evidence time.
+  void record_alert(const std::string& clause, TimePoint at);
+  int64_t alerts() const { return static_cast<int64_t>(alerts_.size()); }
 
   void record_put(const std::string& client, const std::string& key,
                   const std::string& value, TimePoint start, TimePoint end,
@@ -113,6 +133,7 @@ class SloOracle {
   TimePoint window_start_;
   TimePoint window_end_;
   std::vector<OpRec> ops_;
+  std::vector<std::pair<std::string, TimePoint>> alerts_;
   int64_t ok_ = 0;
   int64_t not_found_ = 0;
   int64_t shed_ = 0;

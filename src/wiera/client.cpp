@@ -27,6 +27,11 @@ WieraClient::WieraClient(sim::Simulation& sim, net::Network& network,
   hedged_wins_ = metrics_->counter("wiera_client_hedged_wins_total", labels);
   checksum_failures_ =
       metrics_->counter("wiera_client_checksum_failures_total", labels);
+  // Client-side hot-key sketch (docs/METRICS_PIPELINE.md): series register
+  // lazily on the first recorded access, so the default (disabled) config
+  // leaves telemetry dumps unchanged.
+  key_stats_.configure(config_.key_stats);
+  key_stats_.bind(metrics_, client_id_);
   // Closest instance first (§4.1 places it at the head of the list).
   std::stable_sort(peer_ids_.begin(), peer_ids_.end(),
                    [&](const std::string& a, const std::string& b) {
@@ -247,6 +252,7 @@ sim::Task<Result<PutResponse>> WieraClient::update_impl(std::string key,
   // Checksum the payload before it leaves the application: every hop to the
   // storing replica re-verifies it (docs/INTEGRITY.md).
   req.checksum = object_checksum(req.key, req.version, req.value);
+  key_stats_.record_access(req.key, client_id_, start, /*is_put=*/true);
 
   Result<rpc::Message> resp =
       co_await call_any(method::kClientPut, [&] { return encode(req); }, op);
@@ -291,6 +297,7 @@ sim::Task<Result<GetResponse>> WieraClient::get_version_impl(std::string key,
   // Request integrity: binds (key, version, client) so a request garbled in
   // transit is rejected by the peer instead of answered as a clean miss.
   req.checksum = object_checksum(req.key, req.version, req.client);
+  key_stats_.record_access(req.key, client_id_, start, /*is_put=*/false);
 
   // NOTE: no ternary around co_await — GCC 12 miscompiles conditional
   // operators whose branches both await (frame-slot corruption).

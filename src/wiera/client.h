@@ -22,6 +22,7 @@
 
 #include "common/context.h"
 #include "common/histogram.h"
+#include "obs/keystats.h"
 #include "sim/simulation.h"
 #include "wiera/health.h"
 #include "wiera/messages.h"
@@ -58,6 +59,10 @@ class WieraClient {
     // the percentile wait — when the preferred replica is not clean.
     // Null = seed behaviour.
     HealthTracker* health = nullptr;
+    // Client-side hot-key analytics (docs/METRICS_PIPELINE.md): tracks the
+    // keys this application touches, windowed on the virtual clock. The
+    // tenant dimension is the client's own id. Default-off.
+    obs::KeyStats::Config key_stats;
   };
 
   // `peer_ids` is sorted by proximity automatically (base one-way latency
@@ -106,6 +111,8 @@ class WieraClient {
   // oracle stamps it onto the op it records, so a violation names the trace
   // that can be reassembled with obs::TraceView).
   uint64_t last_trace_id() const { return last_trace_id_; }
+  // Hot-key sketch over this client's own accesses (disabled by default).
+  const obs::KeyStats& key_stats() const { return key_stats_; }
 
  private:
   // Issue `rpc_method` against the preferred peer; on kUnavailable (peer
@@ -166,6 +173,7 @@ class WieraClient {
   obs::Counter* hedged_wins_ = nullptr;
   obs::Counter* checksum_failures_ = nullptr;
   RetryBudget retry_budget_;
+  obs::KeyStats key_stats_;
   uint64_t last_trace_id_ = 0;
 };
 

@@ -147,6 +147,11 @@ WieraPeer::WieraPeer(sim::Simulation& sim, net::Network& network,
   }
   put_hist_ = metrics_->histogram("wiera_put_latency_us", inst);
   get_hist_ = metrics_->histogram("wiera_get_latency_us", inst);
+  // Hot-key analytics (docs/METRICS_PIPELINE.md): bound eagerly but the
+  // sketch registers its series lazily on first recorded access, so a
+  // disabled (default) config adds nothing to telemetry dumps.
+  key_stats_.configure(config_.key_stats);
+  key_stats_.bind(metrics_, config_.instance_id);
   config_.local.instance_id = config_.instance_id;
   config_.local.region = config_.region;
   local_ = std::make_unique<tiera::TieraInstance>(sim, config_.local);
@@ -549,6 +554,8 @@ sim::Task<Result<PutResponse>> WieraPeer::client_put(PutRequest request) {
                         .append(consistency_mode_name(config_.mode)));
 
   record_put_source(request.client, request.forwarded);
+  key_stats_.record_access(request.key, request.client, sim_->now(),
+                           /*is_put=*/true);
 
   Result<PutResponse> result = internal_error("unreached");
   switch (config_.mode) {
@@ -734,6 +741,8 @@ sim::Task<Result<GetResponse>> WieraPeer::client_get(GetRequest request) {
   co_await wait_if_blocked();
   op_started();
   const TimePoint start = sim_->now();
+  key_stats_.record_access(request.key, request.client, start,
+                           /*is_put=*/false);
   Result<GetResponse> result = internal_error("unreached");
 
   // §5.4 get-forwarding / Fig. 6b forwarding instances.

@@ -28,6 +28,7 @@
 
 #include "common/breaker.h"
 #include "common/context.h"
+#include "obs/keystats.h"
 #include "obs/metrics.h"
 #include "coord/lock_service.h"
 #include "sim/sync.h"
@@ -92,6 +93,11 @@ class WieraPeer : public tiera::InstanceHooks {
     // replication fan-outs order probation targets last and successful
     // replication acks feed the per-target latency EWMA. Null = disabled.
     HealthTracker* health = nullptr;
+    // Hot-key / workload analytics (docs/METRICS_PIPELINE.md): a space-
+    // saving top-K sketch over client accesses, windowed on the virtual
+    // clock. Default-off: a disabled sketch records nothing and registers
+    // no metrics, so default telemetry dumps stay byte-identical.
+    obs::KeyStats::Config key_stats;
     // Optional parsed dynamic policies evaluated by the monitors.
     std::optional<policy::PolicyDoc> dynamic_consistency_policy;  // Fig. 5a
     std::optional<policy::PolicyDoc> change_primary_policy;       // Fig. 5b
@@ -242,6 +248,11 @@ class WieraPeer : public tiera::InstanceHooks {
   int64_t retry_budget_denials() const { return retry_budget_.denied(); }
   // nullptr when breakers are disabled or no traffic went to `target` yet.
   const CircuitBreaker* breaker(const std::string& target) const;
+
+  // ---- hot-key analytics (docs/METRICS_PIPELINE.md) ----
+  // Disabled unless config_.key_stats.enabled; fed by client_put/client_get
+  // with the request's key and originating client (tenant).
+  const obs::KeyStats& key_stats() const { return key_stats_; }
 
   // ---- monitor state (read by tests/benches) ----
   const LatencyHistogram& put_latency() const { return put_hist_->latency(); }
@@ -428,6 +439,10 @@ class WieraPeer : public tiera::InstanceHooks {
 
   // §5.3 cold index: keys shipped to the centralized cold peer.
   std::set<std::string> cold_remote_keys_;
+
+  // Hot-key analytics sketch (docs/METRICS_PIPELINE.md); no-op when the
+  // config leaves it disabled.
+  obs::KeyStats key_stats_;
 
   obs::Histogram* put_hist_ = nullptr;
   obs::Histogram* get_hist_ = nullptr;

@@ -25,7 +25,9 @@
 #include "obs/telemetry.h"
 #include "policy/builtin_policies.h"
 #include "policy/parser.h"
+#include "sim/attribution.h"
 #include "sim/faults.h"
+#include "sim/obs_pipeline.h"
 #include "sim/oracle.h"
 #include "wiera/chaos.h"
 #include "wiera/client.h"
@@ -292,6 +294,16 @@ bool dump_telemetry_enabled() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+// WIERA_DUMP_TIMESERIES=1 (`chaos_test --dump-timeseries`) additionally arms
+// the ObsPipeline scraper and the per-peer hot-key sketches for the run and
+// prints TIMESERIES-SNAPSHOT / KEYSTATS blocks (docs/METRICS_PIPELINE.md).
+// Off by default: an armed pipeline adds timer events, so replay hashes from
+// a timeseries run only compare against other timeseries runs.
+bool dump_timeseries_enabled() {
+  const char* env = std::getenv("WIERA_DUMP_TIMESERIES");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 void dump_telemetry(sim::Simulation& sim, std::set<uint64_t> traces) {
   std::printf("TELEMETRY-SNAPSHOT\n%s",
               sim.telemetry().registry().render_text().c_str());
@@ -335,6 +347,8 @@ struct RunResult {
   int64_t probation_exits = 0;
   int64_t primary_changes = 0;
   int64_t client_failovers = 0;
+  // Rendered ATTRIBUTION-REPORT block; empty when the oracles were clean.
+  std::string attribution;
 };
 
 // One client: alternating put/get rounds against the two workload keys,
@@ -404,6 +418,14 @@ RunResult run_chaos(
     std::function<void(WieraController::Config&)> controller_tweak = {}) {
   ChaosCluster cluster(seed, std::move(controller_tweak));
   if (!telemetry_on) cluster.sim.telemetry().set_enabled(false);
+  // Timeseries runs additionally arm the per-peer hot-key sketches; default
+  // runs keep the caller's tweak so seed schedules stay byte-identical.
+  if (dump_timeseries_enabled()) {
+    peer_tweak = [inner = std::move(peer_tweak)](WieraPeer::Config& config) {
+      config.key_stats.enabled = true;
+      if (inner) inner(config);
+    };
+  }
   auto peers = cluster.controller.start_instances(
       "w1", cluster.options_for(mode, std::move(peer_tweak)));
   EXPECT_TRUE(peers.ok()) << peers.status().to_string();
@@ -413,6 +435,16 @@ RunResult run_chaos(
   ChaosHost host(cluster.network, cluster.controller);
   sim::FaultInjector injector(cluster.sim, host);
   injector.arm(plan_for(fault, seed));
+
+  // Metrics pipeline (docs/METRICS_PIPELINE.md): unarmed by default — it
+  // spawns nothing and the schedule stays byte-identical.
+  sim::ObsPipeline pipeline(cluster.sim);
+  if (dump_timeseries_enabled()) {
+    sim::ObsPipeline::Config obs_config;
+    obs_config.interval = msec(100);
+    obs_config.until = TimePoint::origin() + sec(40);
+    pipeline.arm(obs_config);
+  }
 
   sim::ConsistencyOracle oracle;
   std::vector<std::unique_ptr<WieraClient>> clients;
@@ -485,12 +517,55 @@ RunResult run_chaos(
   for (const auto& client : clients) {
     result.client_failovers += client->failovers();
   }
+  // Failure attribution (docs/METRICS_PIPELINE.md): any oracle violation
+  // gets one report correlating the workload window with the injected fault
+  // timeline, alert firings, per-peer hot keys and the worst spans.
+  if (!result.violations.empty() || !result.convergence_violations.empty()) {
+    sim::AttributionReport report;
+    report.set_context("chaos",
+                       std::string(consistency_mode_name(mode)) + ":" +
+                           fault_class_name(fault),
+                       seed, result.trace_hash);
+    // The workload + fault plan both live inside the first 30s.
+    report.set_window(TimePoint::origin(), TimePoint::origin() + sec(30));
+    for (const auto& v : result.violations) {
+      report.add_violation("consistency", v.key + ": " + v.message,
+                           TimePoint::origin() + sec(30), v.trace_id);
+    }
+    for (const auto& v : result.convergence_violations) {
+      report.add_violation("convergence", v.key + ": " + v.message,
+                           TimePoint::origin() + sec(30), v.trace_id);
+    }
+    report.set_fault_timeline(injector.timeline());
+    report.set_alerts(pipeline.alerts());
+    const TimePoint now = cluster.sim.now();
+    for (const char* node : kStorageNodes) {
+      const WieraPeer* peer = cluster.controller.peer(node);
+      if (peer != nullptr) report.add_key_stats(node, peer->key_stats(), now);
+    }
+    report.set_tracer(cluster.sim.telemetry().tracer());
+    result.attribution = report.render_text();
+    std::printf("%s", result.attribution.c_str());
+  }
+
   if (dump_telemetry_enabled()) {
     std::set<uint64_t> traces{oracle.sample_put_trace()};
     for (const auto& v : result.violations) traces.insert(v.trace_id);
     for (const auto& v : result.convergence_violations)
       traces.insert(v.trace_id);
     dump_telemetry(cluster.sim, std::move(traces));
+  }
+  if (dump_timeseries_enabled() && pipeline.sampler() != nullptr) {
+    std::printf("TIMESERIES-SNAPSHOT\n%s\n",
+                pipeline.sampler()->render_json().c_str());
+    const TimePoint now = cluster.sim.now();
+    for (const char* node : kStorageNodes) {
+      const WieraPeer* peer = cluster.controller.peer(node);
+      if (peer == nullptr || peer->key_stats().total_accesses() == 0)
+        continue;
+      std::printf("KEYSTATS instance=%s %s\n", node,
+                  peer->key_stats().render_json(now).c_str());
+    }
   }
   return result;
 }
@@ -2437,6 +2512,8 @@ int main(int argc, char** argv) {
       // Same switch the env var flips; the flag form keeps reproducer
       // command lines self-contained.
       setenv("WIERA_DUMP_TELEMETRY", "1", 1);
+    } else if (arg == "--dump-timeseries") {
+      setenv("WIERA_DUMP_TIMESERIES", "1", 1);
     }
   }
   if (!plan.empty()) return wiera::geo::replay_main(seed, plan);

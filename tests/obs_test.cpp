@@ -222,6 +222,52 @@ TEST(TracerTest, BoundedCollectorDropsOldest) {
   EXPECT_EQ(t.open_count(), 0);
 }
 
+TEST(TracerTest, WraparoundAtExactCapacityBoundary) {
+  Tracer t(1);
+  // Fill to exactly the collector bound: nothing dropped yet.
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 16384; ++i) {
+    const TraceContext ctx = t.start_trace("fill", "h");
+    t.end_span(ctx);
+    ids.push_back(ctx.span_id);
+  }
+  EXPECT_EQ(t.span_count(), 16384u);
+  EXPECT_EQ(t.dropped(), 0);
+  EXPECT_NE(t.find_span(ids.front()), nullptr);
+  // One more span evicts exactly the oldest — and only the oldest.
+  const TraceContext extra = t.start_trace("extra", "h");
+  t.end_span(extra);
+  EXPECT_EQ(t.span_count(), 16384u);
+  EXPECT_EQ(t.dropped(), 1);
+  EXPECT_EQ(t.find_span(ids[0]), nullptr);
+  EXPECT_NE(t.find_span(ids[1]), nullptr);
+  EXPECT_NE(t.find_span(extra.span_id), nullptr);
+}
+
+TEST(TracerTest, DroppedCountsEveryEvictionIncludingOpenSpans) {
+  Tracer t(1);
+  // An open span can be evicted too; the open-leak counter must not go
+  // negative when its end_span arrives after eviction.
+  const TraceContext doomed = t.start_trace("doomed", "h");
+  for (int i = 0; i < 16384; ++i) {
+    const TraceContext ctx = t.start_trace("churn", "h");
+    t.end_span(ctx);
+  }
+  EXPECT_EQ(t.find_span(doomed.span_id), nullptr);
+  EXPECT_EQ(t.dropped(), 1);
+  t.end_span(doomed);  // late close of an evicted span: harmless no-op
+  EXPECT_GE(t.open_count(), 0);
+  // for_each_span visits exactly the retained window, oldest first.
+  size_t visited = 0;
+  TimePoint prev = TimePoint::origin();
+  t.for_each_span([&](const Span& s) {
+    visited++;
+    EXPECT_GE(s.start, prev);
+    prev = s.start;
+  });
+  EXPECT_EQ(visited, t.span_count());
+}
+
 // ---------------------------------------------------------------- traceview
 
 TEST(TraceViewTest, ReassemblesTreeAndRendersHops) {
@@ -259,6 +305,32 @@ TEST(TraceViewTest, OrphanSpanBreaksWellFormedness) {
   TraceView view(t, root.trace_id);
   EXPECT_EQ(view.span_count(), 2u);
   EXPECT_FALSE(view.well_formed());
+}
+
+TEST(TraceViewTest, DroppedRootLeavesHeadlessButRenderableTrace) {
+  Tracer t(3);
+  // A long-lived trace whose root span is evicted by churn: the children
+  // survive, reassembly reports no root and not-well-formed, and render()
+  // still produces stable output instead of crashing on the missing parent.
+  const TraceContext root = t.start_trace("client.put", "app");
+  const TraceContext child = t.start_span("rpc.call", "c1", root);
+  t.end_span(child);
+  t.end_span(root);
+  for (int i = 0; i < 16384; ++i) {
+    // Churn one span per iteration until the root (retained first) is gone
+    // but the child still fits in the window.
+    const TraceContext ctx = t.start_trace("churn", "h");
+    t.end_span(ctx);
+    if (t.find_span(root.span_id) == nullptr) break;
+  }
+  ASSERT_EQ(t.find_span(root.span_id), nullptr);
+  ASSERT_NE(t.find_span(child.span_id), nullptr);
+  TraceView view(t, root.trace_id);
+  EXPECT_EQ(view.span_count(), 1u);
+  EXPECT_EQ(view.root(), nullptr);
+  EXPECT_FALSE(view.well_formed());
+  const std::string rendered = view.render();
+  EXPECT_EQ(rendered, view.render());  // stable under a headless tree
 }
 
 TEST(TraceViewTest, UnknownTraceIsEmpty) {

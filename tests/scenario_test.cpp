@@ -27,10 +27,13 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/alerts.h"
 #include "obs/telemetry.h"
 #include "policy/builtin_policies.h"
 #include "policy/parser.h"
+#include "sim/attribution.h"
 #include "sim/faults.h"
+#include "sim/obs_pipeline.h"
 #include "sim/oracle.h"
 #include "sim/scenario.h"
 #include "sim/slo.h"
@@ -290,6 +293,15 @@ bool dump_telemetry_enabled() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+// Time-series capture (docs/METRICS_PIPELINE.md): arms the ObsPipeline
+// scraper and per-peer hot-key sketches for the run. Off by default — an
+// armed pipeline adds timer events, so replay hashes from a timeseries run
+// only compare against other timeseries runs.
+bool dump_timeseries_enabled() {
+  const char* env = std::getenv("WIERA_DUMP_TIMESERIES");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 void dump_telemetry(sim::Simulation& sim, std::set<uint64_t> traces) {
   std::printf("TELEMETRY-SNAPSHOT\n%s",
               sim.telemetry().registry().render_text().c_str());
@@ -324,6 +336,8 @@ struct ScenarioRunResult {
   int64_t probation_entries = 0;
   int64_t probation_exits = 0;
   std::string timeline;
+  // Rendered ATTRIBUTION-REPORT block; empty when no clause tripped.
+  std::string attribution;
 };
 
 // One client: put/get rounds whose key choice, tenant class and cadence all
@@ -431,8 +445,17 @@ ScenarioRunResult run_scenario(const std::string& name, ComposedFault fault,
   }
   ScenarioCluster cluster(seed, std::move(controller_tweak));
   if (!telemetry_on) cluster.sim.telemetry().set_enabled(false);
+  // Timeseries runs additionally arm the per-peer hot-key sketches; default
+  // runs keep the seed peer config so telemetry dumps stay byte-identical.
+  std::function<void(WieraPeer::Config&)> peer_tweak;
+  if (dump_timeseries_enabled()) {
+    peer_tweak = [](WieraPeer::Config& config) {
+      config.key_stats.enabled = true;
+    };
+  }
   auto peers = cluster.controller.start_instances(
-      "w1", cluster.options_for(ConsistencyMode::kEventual));
+      "w1",
+      cluster.options_for(ConsistencyMode::kEventual, std::move(peer_tweak)));
   EXPECT_TRUE(peers.ok()) << peers.status().to_string();
   if (!peers.ok()) return {};
   cluster.controller.start();
@@ -451,6 +474,17 @@ ScenarioRunResult run_scenario(const std::string& name, ComposedFault fault,
   sim::ScenarioEngine engine(cluster.sim, scenario_host);
   engine.load().set_key_count(kKeyCount);
   engine.arm(std::move(plan).value());
+
+  // Metrics pipeline (docs/METRICS_PIPELINE.md): unarmed by default — it
+  // spawns nothing and the schedule stays byte-identical. Timeseries runs
+  // scrape every 100ms until the workload horizon.
+  sim::ObsPipeline pipeline(cluster.sim);
+  if (dump_timeseries_enabled()) {
+    sim::ObsPipeline::Config obs_config;
+    obs_config.interval = msec(100);
+    obs_config.until = TimePoint::origin() + sec(35);
+    pipeline.arm(obs_config);
+  }
 
   WieraClient::Config client_config;
   client_config.op_deadline = sec(3);
@@ -508,12 +542,55 @@ ScenarioRunResult run_scenario(const std::string& name, ComposedFault fault,
     result.attempt_timeouts += client->attempt_timeouts();
   }
   result.timeline = engine.render_timeline();
+
+  // Failure attribution (docs/METRICS_PIPELINE.md): any tripped clause gets
+  // one report correlating the violating window with the fault/scenario
+  // timelines, alert firings, per-peer hot keys and the worst spans.
+  if (!result.slo_violations.empty() || !result.violations.empty() ||
+      !result.convergence_violations.empty()) {
+    sim::AttributionReport report;
+    report.set_context("scenario", name + ":" + fault_name(fault), seed,
+                       result.trace_hash);
+    report.set_window(window.first, window.second);
+    report.add_violations(result.slo_violations);
+    for (const auto& v : result.violations) {
+      report.add_violation("consistency", v.key + ": " + v.message,
+                           window.second, v.trace_id);
+    }
+    for (const auto& v : result.convergence_violations) {
+      report.add_violation("convergence", v.key + ": " + v.message,
+                           window.second, v.trace_id);
+    }
+    report.set_fault_timeline(injector.timeline());
+    report.set_scenario_timeline(engine.timeline());
+    report.set_alerts(pipeline.alerts());
+    const TimePoint now = cluster.sim.now();
+    for (const std::string& node : *peers) {
+      const WieraPeer* peer = cluster.controller.peer(node);
+      if (peer != nullptr) report.add_key_stats(node, peer->key_stats(), now);
+    }
+    report.set_tracer(cluster.sim.telemetry().tracer());
+    result.attribution = report.render_text();
+    std::printf("%s", result.attribution.c_str());
+  }
+
   if (dump_telemetry_enabled()) {
     std::set<uint64_t> traces{oracle.sample_put_trace()};
     for (const auto& v : result.slo_violations) traces.insert(v.trace_id);
     for (const auto& v : result.violations) traces.insert(v.trace_id);
     std::printf("SCENARIO-TIMELINE\n%s", result.timeline.c_str());
     dump_telemetry(cluster.sim, std::move(traces));
+  }
+  if (dump_timeseries_enabled() && pipeline.sampler() != nullptr) {
+    std::printf("TIMESERIES-SNAPSHOT\n%s\n",
+                pipeline.sampler()->render_json().c_str());
+    const TimePoint now = cluster.sim.now();
+    for (const std::string& node : *peers) {
+      const WieraPeer* peer = cluster.controller.peer(node);
+      if (peer == nullptr || peer->key_stats().total_accesses() == 0) continue;
+      std::printf("KEYSTATS instance=%s %s\n", node.c_str(),
+                  peer->key_stats().render_json(now).c_str());
+    }
   }
   return result;
 }
@@ -570,18 +647,18 @@ void check_run(const std::string& name, ComposedFault fault, uint64_t seed,
   if (!r.slo_violations.empty()) {
     ADD_FAILURE() << tag << "\n"
                   << sim::SloOracle::describe(r.slo_violations)
-                  << r.timeline;
+                  << r.timeline << r.attribution;
   }
   if (!r.violations.empty()) {
     ADD_FAILURE() << tag << " (consistency)\n"
                   << sim::ConsistencyOracle::describe(r.violations)
-                  << r.timeline;
+                  << r.timeline << r.attribution;
   }
   if (!r.convergence_violations.empty()) {
     ADD_FAILURE() << tag << " (convergence)\n"
                   << sim::ConsistencyOracle::describe(
                          r.convergence_violations)
-                  << r.timeline;
+                  << r.timeline << r.attribution;
   }
   if (fault == ComposedFault::kNone) {
     // Fault-free runs must complete their operational events; composed runs
@@ -1003,6 +1080,243 @@ TEST(ScenarioMutationTest, DisabledHealthDetectionTripsTheInflationClause) {
       << sim::SloOracle::describe(control.violations);
 }
 
+// --------------------------------------------- alert-precedes-violation
+
+// Mutation pair for the burn-rate alert layer (docs/METRICS_PIPELINE.md):
+// a latency spike pushes the colocated client's GET p99 far past the
+// contract bound for the whole SLO window, so the get-p99 clause trips
+// either way. The armed run scrapes the client's p99 series every 100ms and
+// a value-above rule must fire *strictly before* the clause's evidence time
+// — feeding the firings into the oracle satisfies its require_detection
+// guard. The mutated run leaves the pipeline unarmed: same violation, no
+// alert, and the oracle reports the detection-gap — proving the alert layer
+// (not the fault) is what closes the guard.
+
+sim::Task<void> alert_mutation_workload(sim::Simulation& sim,
+                                        sim::SloOracle& slo,
+                                        WieraClient& client, TimePoint end) {
+  co_await sim.delay(msec(300));
+  const std::string key = "am-0";
+  auto put = co_await client.put(key, Blob("v0"));
+  EXPECT_TRUE(put.ok()) << put.status().to_string();
+  while (sim.now() < end) {
+    const TimePoint start = sim.now();
+    auto got = co_await client.get(key);
+    slo.record_get(client.id(), key,
+                   got.ok() ? got->value.to_string() : "", start, sim.now(),
+                   got.ok() ? StatusCode::kOk : got.status().code(),
+                   client.last_trace_id());
+    co_await sim.delay(msec(60));
+  }
+}
+
+struct AlertMutationResult {
+  std::vector<sim::SloViolation> violations;
+  bool alert_fired = false;
+  TimePoint first_alert = TimePoint::max();
+};
+
+AlertMutationResult run_alert_mutation(bool armed) {
+  ScenarioCluster cluster(
+      /*seed=*/17, [](WieraController::Config& config) {
+        // The spiked peer must stay "alive" (pings late but in-deadline):
+        // the degradation is visible only in the latency tail the sampler
+        // scrapes, never to the binary detector.
+        config.ping_deadline = sec(5);
+      });
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kEventual));
+  EXPECT_TRUE(peers.ok()) << peers.status().to_string();
+  if (!peers.ok()) return {};
+  cluster.controller.start();
+
+  ChaosHost chaos_host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, chaos_host);
+  sim::FaultPlan plan;
+  plan.latency_spike("tiera-us-west", msec(300), TimePoint::origin() + sec(8),
+                     TimePoint::origin() + sec(20));
+  injector.arm(std::move(plan));
+
+  sim::ObsPipeline pipeline(cluster.sim);
+  obs::AlertRule rule;
+  rule.name = "get-p99-burn";
+  rule.clause = "get-p99";
+  rule.kind = obs::AlertRule::Kind::kValueAbove;
+  rule.series = "wiera_client_get_latency_us{client=\"app-0\"}#p99_us";
+  rule.budget = static_cast<double>(msec(200).us());
+  rule.long_window = sec(2);
+  rule.short_window = msec(500);
+  pipeline.add_rule(rule);
+  if (armed) {
+    sim::ObsPipeline::Config obs_config;
+    obs_config.interval = msec(100);
+    obs_config.until = TimePoint::origin() + sec(24);
+    pipeline.arm(obs_config);
+  }
+
+  WieraClient::Config client_config;
+  client_config.op_deadline = sec(3);
+
+  sim::SloOracle slo;
+  slo.set_window(TimePoint::origin() + sec(8), TimePoint::origin() + sec(20));
+  WieraClient client(cluster.sim, cluster.network, cluster.registry, "app-0",
+                     "client-us-west", *peers, client_config);
+  cluster.sim.spawn(alert_mutation_workload(cluster.sim, slo, client,
+                                            TimePoint::origin() + sec(22)));
+  cluster.sim.run_until(TimePoint(sec(24).us()));
+
+  pipeline.feed(slo);
+  sim::SloContract contract;
+  contract.scenario = "alert-mutation";
+  contract.max_get_p99 = msec(200);
+  contract.require_detection = true;
+  contract.guarded_clauses = {"get-p99"};
+  AlertMutationResult result;
+  result.violations =
+      slo.check(contract, cluster.sim.telemetry().registry(), {"app-0"});
+  result.alert_fired = pipeline.alerts().fired("get-p99");
+  result.first_alert = pipeline.alerts().first_firing("get-p99");
+  return result;
+}
+
+TEST(ScenarioMutationTest, BurnRateAlertFiresBeforeTheSloClauseTrips) {
+  // Mutated: pipeline unarmed. The clause trips and — with no alert on
+  // record — the guard reports the detection gap.
+  AlertMutationResult mutated = run_alert_mutation(/*armed=*/false);
+  EXPECT_FALSE(mutated.alert_fired);
+  bool clause = false, gap = false;
+  for (const auto& v : mutated.violations) {
+    if (v.check == "get-p99") clause = true;
+    if (v.check == "detection-gap") gap = true;
+  }
+  EXPECT_TRUE(clause) << "latency spike never tripped the clause\n"
+                      << sim::SloOracle::describe(mutated.violations);
+  EXPECT_TRUE(gap) << "unarmed pipeline but no detection-gap\n"
+                   << sim::SloOracle::describe(mutated.violations);
+
+  // Control: identical fault, pipeline armed. Same clause, no gap, and the
+  // alert fired strictly before the clause's evidence time.
+  AlertMutationResult control = run_alert_mutation(/*armed=*/true);
+  EXPECT_TRUE(control.alert_fired) << "armed pipeline never fired";
+  TimePoint clause_at = TimePoint::max();
+  for (const auto& v : control.violations) {
+    EXPECT_NE(v.check, "detection-gap")
+        << "alert on record but the oracle still saw a gap";
+    if (v.check == "get-p99") clause_at = v.at;
+  }
+  ASSERT_NE(clause_at, TimePoint::max())
+      << "control run lost the clause violation\n"
+      << sim::SloOracle::describe(control.violations);
+  EXPECT_LT(control.first_alert, clause_at)
+      << "alert did not precede the violation";
+}
+
+// ------------------------------------------------- attribution sweep
+
+// Acceptance sweep for the failure-attribution path: across seeds a forced
+// SLO failure (an impossible latency bound under an injected degradation of
+// a hot key's home peer) must always yield a report that names the injected
+// fault event and the hot key from the peer-side sketch.
+
+sim::Task<void> hot_key_workload(sim::Simulation& sim, sim::SloOracle& slo,
+                                 WieraClient& client, TimePoint end) {
+  co_await sim.delay(msec(200));
+  auto put = co_await client.put("hot-0", Blob("v0"));
+  EXPECT_TRUE(put.ok()) << put.status().to_string();
+  while (sim.now() < end) {
+    const TimePoint start = sim.now();
+    auto got = co_await client.get("hot-0");
+    slo.record_get(client.id(), "hot-0",
+                   got.ok() ? got->value.to_string() : "", start, sim.now(),
+                   got.ok() ? StatusCode::kOk : got.status().code(),
+                   client.last_trace_id());
+    co_await sim.delay(msec(80));
+  }
+}
+
+std::string run_attribution_probe(uint64_t seed) {
+  ScenarioCluster cluster(seed, [](WieraController::Config& config) {
+    config.ping_deadline = sec(5);
+  });
+  auto peers = cluster.controller.start_instances(
+      "w1", cluster.options_for(ConsistencyMode::kEventual,
+                                [](WieraPeer::Config& config) {
+                                  config.key_stats.enabled = true;
+                                }));
+  EXPECT_TRUE(peers.ok()) << peers.status().to_string();
+  if (!peers.ok()) return {};
+  cluster.controller.start();
+
+  ChaosHost chaos_host(cluster.network, cluster.controller);
+  sim::FaultInjector injector(cluster.sim, chaos_host);
+  sim::FaultPlan plan;
+  // Alternate the injected class by seed so the sweep exercises both
+  // describe() spellings in the report.
+  const bool slow = (seed % 2) == 0;
+  if (slow) {
+    plan.slow_node("tiera-us-west", 10.0, TimePoint::origin() + sec(3),
+                   TimePoint::origin() + sec(8));
+  } else {
+    plan.latency_spike("tiera-us-west", msec(150),
+                       TimePoint::origin() + sec(3),
+                       TimePoint::origin() + sec(8));
+  }
+  injector.arm(std::move(plan));
+
+  WieraClient::Config client_config;
+  client_config.op_deadline = sec(3);
+  sim::SloOracle slo;
+  slo.set_window(TimePoint::origin() + sec(1), TimePoint::origin() + sec(10));
+  WieraClient client(cluster.sim, cluster.network, cluster.registry, "app-0",
+                     "client-us-west", *peers, client_config);
+  cluster.sim.spawn(hot_key_workload(cluster.sim, slo, client,
+                                     TimePoint::origin() + sec(12)));
+  cluster.sim.run_until(TimePoint(sec(13).us()));
+
+  // An impossible bound forces the clause: the report, not the verdict, is
+  // under test here.
+  sim::SloContract contract;
+  contract.scenario = "attribution-probe";
+  contract.max_get_p99 = usec(1);
+  auto violations =
+      slo.check(contract, cluster.sim.telemetry().registry(), {"app-0"});
+  EXPECT_FALSE(violations.empty()) << "seed " << seed;
+
+  sim::AttributionReport report;
+  report.set_context("scenario", slow ? "probe:slownode" : "probe:spike",
+                     seed, cluster.sim.checker().trace_hash());
+  report.set_window(TimePoint::origin() + sec(1),
+                    TimePoint::origin() + sec(10));
+  report.add_violations(violations);
+  report.set_fault_timeline(injector.timeline());
+  const TimePoint now = cluster.sim.now();
+  for (const std::string& node : *peers) {
+    const WieraPeer* peer = cluster.controller.peer(node);
+    if (peer != nullptr) report.add_key_stats(node, peer->key_stats(), now);
+  }
+  report.set_tracer(cluster.sim.telemetry().tracer());
+  return report.render_text();
+}
+
+TEST(AttributionSweepTest, ReportNamesTheFaultAndTheHotKeyAcrossSeeds) {
+  const int seeds = seed_count();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const std::string text =
+        run_attribution_probe(static_cast<uint64_t>(seed));
+    const char* fault_tag =
+        (seed % 2) == 0 ? "slow-node node=tiera-us-west"
+                        : "latency-spike node=tiera-us-west";
+    EXPECT_NE(text.find(fault_tag), std::string::npos)
+        << "seed " << seed << ": report missed the injected fault\n"
+        << text;
+    EXPECT_NE(text.find("key=hot-0"), std::string::npos)
+        << "seed " << seed << ": report missed the hot key\n"
+        << text;
+    EXPECT_NE(text.find("END-ATTRIBUTION-REPORT"), std::string::npos)
+        << "seed " << seed;
+  }
+}
+
 // --------------------------------------------------- client failover paths
 
 struct ProbeResult {
@@ -1216,7 +1530,10 @@ TEST(ScenarioOperationalTest, EvacuatingTheSyncPrimaryKeepsClientsWhole) {
 // exits 0 iff it is clean —
 // the reproducer line scripts/scenario_sweep.sh prints for a failing seed.
 // Add --dump-telemetry (or WIERA_DUMP_TELEMETRY=1) for the timeline,
-// metrics snapshot and span trees of the replayed run.
+// metrics snapshot and span trees of the replayed run, and
+// --dump-timeseries (WIERA_DUMP_TIMESERIES=1) to arm the ObsPipeline
+// scraper + per-peer hot-key sketches and print TIMESERIES-SNAPSHOT /
+// KEYSTATS blocks (docs/METRICS_PIPELINE.md).
 
 int replay_main(uint64_t seed, const std::string& spec) {
   std::string name = spec;
@@ -1277,6 +1594,18 @@ int replay_main(uint64_t seed, const std::string& spec) {
   return 0;
 }
 
+// scenario_test --attribution-sample [--seed N]: run the forced-failure
+// attribution probe for one seed and print the rendered report — the sample
+// artifact scripts/obs_sweep.sh generates for CI upload
+// (docs/METRICS_PIPELINE.md). Exits 0 iff a complete report was produced.
+int attribution_sample_main(uint64_t seed) {
+  const std::string text = run_attribution_probe(seed);
+  std::printf("%s", text.c_str());
+  const bool complete =
+      text.find("END-ATTRIBUTION-REPORT") != std::string::npos;
+  return complete ? 0 : 1;
+}
+
 // scenario_test --list-scenarios: one valid --scenario name per line, so
 // sweep scripts validate their matrix against the binary instead of
 // grepping source (scripts/sweep_lib.sh sweep_validate_tokens).
@@ -1298,6 +1627,7 @@ int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
   uint64_t seed = 1;
   std::string scenario;
+  bool attribution_sample = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
@@ -1306,10 +1636,15 @@ int main(int argc, char** argv) {
       scenario = argv[++i];
     } else if (arg == "--list-scenarios") {
       return wiera::geo::list_scenarios_main();
+    } else if (arg == "--attribution-sample") {
+      attribution_sample = true;
     } else if (arg == "--dump-telemetry") {
       setenv("WIERA_DUMP_TELEMETRY", "1", 1);
+    } else if (arg == "--dump-timeseries") {
+      setenv("WIERA_DUMP_TIMESERIES", "1", 1);
     }
   }
+  if (attribution_sample) return wiera::geo::attribution_sample_main(seed);
   if (!scenario.empty()) return wiera::geo::replay_main(seed, scenario);
   return RUN_ALL_TESTS();
 }
